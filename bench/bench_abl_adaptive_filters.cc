@@ -1,0 +1,147 @@
+// Ablation A11: the STREAM-project baseline with its adaptivity restored.
+// The paper's evaluation disables [23]'s dynamic bound growing/shrinking;
+// this bench quantifies (a) what that adaptivity is worth on
+// heterogeneous sources, and (b) how much further prediction-based
+// suppression goes at the same error guarantee.
+//
+// Two scalar sources share a bound-width budget: a drifting power-load
+// stream and a quasi-static reference channel. Compared strategies:
+//   static    — even split of the budget, never reallocated
+//   adaptive  — Olston-style periodic shrink + burden-driven regrant
+//   DKF       — per-source dual Kalman links with delta = w_i / 2 (the
+//               deviation guarantee equivalent to a width-w bound)
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/dual_link.h"
+#include "metrics/experiment.h"
+#include "models/model_factory.h"
+#include "query/adaptive_filters.h"
+
+namespace {
+
+using namespace dkf;
+using namespace dkf::bench;
+
+struct Streams {
+  std::vector<double> drifting;  // zonal power load
+  std::vector<double> quiet;     // near-constant reference
+};
+
+Streams MakeStreams() {
+  Streams streams;
+  const TimeSeries load = StandardPowerLoad();
+  Rng rng(99);
+  for (size_t i = 0; i < load.size(); ++i) {
+    streams.drifting.push_back(load.value(i));
+    streams.quiet.push_back(42.0 + rng.Gaussian(0.0, 0.8));
+  }
+  return streams;
+}
+
+int64_t RunBank(const Streams& streams, bool adaptive, double total_width) {
+  AdaptiveFiltersOptions options;
+  options.total_width = total_width;
+  options.period = adaptive ? 50 : (1 << 30);
+  auto bank = AdaptiveFilterBank::Create(2, options).value();
+  for (size_t i = 0; i < streams.drifting.size(); ++i) {
+    (void)bank.Step({streams.drifting[i], streams.quiet[i]});
+  }
+  return bank.stats(0).updates_sent + bank.stats(1).updates_sent;
+}
+
+/// DKF with per-source widths {w0, w1}; delta_i = w_i / 2 gives the
+/// deviation guarantee equivalent to a width-w_i bound.
+int64_t RunDkf(const Streams& streams, double w0, double w1) {
+  DualLinkOptions load_options;
+  load_options.delta = w0 / 2.0;
+  auto load_link =
+      DualLink::Create(
+          KalmanPredictor::Create(Example2LinearModel()).value(),
+          load_options)
+          .value();
+  ModelNoise quiet_noise;
+  quiet_noise.process_variance = 0.1;
+  quiet_noise.measurement_variance = 1.0;
+  DualLinkOptions quiet_options;
+  quiet_options.delta = w1 / 2.0;
+  auto quiet_link =
+      DualLink::Create(KalmanPredictor::Create(
+                           MakeConstantModel(1, quiet_noise).value())
+                           .value(),
+                       quiet_options)
+          .value();
+  for (size_t i = 0; i < streams.drifting.size(); ++i) {
+    (void)load_link.Step(Vector{streams.drifting[i]});
+    (void)quiet_link.Step(Vector{streams.quiet[i]});
+  }
+  return load_link.stats().updates_sent + quiet_link.stats().updates_sent;
+}
+
+/// Final widths the adaptive bank converges to (used to give the DKF the
+/// same cross-source split).
+std::pair<double, double> AdaptiveWidths(const Streams& streams,
+                                         double total_width) {
+  AdaptiveFiltersOptions options;
+  options.total_width = total_width;
+  options.period = 50;
+  auto bank = AdaptiveFilterBank::Create(2, options).value();
+  for (size_t i = 0; i < streams.drifting.size(); ++i) {
+    (void)bank.Step({streams.drifting[i], streams.quiet[i]});
+  }
+  return {bank.width(0), bank.width(1)};
+}
+
+void PrintFigure() {
+  std::printf(
+      "Ablation A11: static vs adaptive bound allocation vs DKF, two "
+      "sources (drifting power load + quiet reference) sharing a width "
+      "budget.\n\n");
+  const Streams streams = MakeStreams();
+  AsciiTable table({"width budget", "static bounds", "adaptive bounds",
+                    "DKF even split", "DKF adaptive split"});
+  for (double budget : {100.0, 200.0, 400.0, 800.0}) {
+    const auto [w0, w1] = AdaptiveWidths(streams, budget);
+    table.AddNumericRow(
+        {budget, static_cast<double>(RunBank(streams, false, budget)),
+         static_cast<double>(RunBank(streams, true, budget)),
+         static_cast<double>(RunDkf(streams, budget / 2.0, budget / 2.0)),
+         static_cast<double>(RunDkf(streams, w0, w1))});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: the two mechanisms are complementary. "
+      "Restoring [23]'s adaptivity lets the quiet source donate width to "
+      "the drifting one; prediction-based suppression removes the "
+      "trend-following updates; combining them (DKF links under the "
+      "adaptive width split) is the strongest configuration across the "
+      "tight-to-moderate budgets where saving matters most. (At very "
+      "generous budgets the donated bound alone is already wider than "
+      "the stream's whole swing, so allocation dominates.)\n");
+}
+
+void BM_AdaptiveBank(benchmark::State& state) {
+  const Streams streams = MakeStreams();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBank(streams, true, 200.0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(streams.drifting.size()));
+}
+BENCHMARK(BM_AdaptiveBank);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Ablation A10: the nonlinear DKF (§6 future-work item "developing models
+// for non-linear systems", enabled by §3.2's EKF discussion). A platform
+// moving on circular arcs defeats the linear constant-velocity model —
+// its straight-line extrapolation keeps leaving the arc — while the
+// coordinated-turn EKF coasts along it.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/dual_link.h"
+#include "core/ekf_predictor.h"
+#include "models/model_factory.h"
+#include "models/nonlinear_models.h"
+
+namespace {
+
+using namespace dkf;
+
+constexpr double kDt = 0.1;
+
+/// Piecewise-coordinated-turn trajectory: the platform alternates turn
+/// rates (including straight stretches) at random intervals.
+std::vector<Vector> TurningTrajectory(size_t n) {
+  Rng rng(777);
+  std::vector<Vector> points;
+  double x = 0.0;
+  double y = 0.0;
+  double heading = 0.0;
+  double speed = 10.0;
+  double turn_rate = 0.3;
+  size_t remaining = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (remaining == 0) {
+      turn_rate = rng.Uniform(-0.5, 0.5);
+      speed = rng.Uniform(5.0, 15.0);
+      remaining = static_cast<size_t>(rng.UniformInt(300, 900));
+    }
+    x += speed * std::cos(heading) * kDt;
+    y += speed * std::sin(heading) * kDt;
+    heading += turn_rate * kDt;
+    --remaining;
+    points.push_back(Vector{x, y});
+  }
+  return points;
+}
+
+void PrintFigure() {
+  std::printf(
+      "Ablation A10: linear DKF vs coordinated-turn EKF DKF on turning "
+      "motion (6000 ticks at 100 ms).\n\n");
+  const std::vector<Vector> trajectory = TurningTrajectory(6000);
+
+  AsciiTable table({"delta", "linear-KF % updates", "turn-EKF % updates",
+                    "turn-UKF % updates"});
+  for (double delta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    DualLinkOptions options;
+    options.delta = delta;
+
+    ModelNoise noise;
+    auto linear = KalmanPredictor::Create(
+                      MakeLinearModel(2, kDt, noise).value())
+                      .value();
+    auto linear_link = DualLink::Create(linear, options).value();
+
+    // Honest process noise for both nonlinear filters (the trajectory's
+    // turn-rate changes are what Q must absorb; see the UKF model note).
+    NonlinearModelNoise turn_noise;
+    turn_noise.process_variance = 1e-3;
+    auto ekf_options = MakeCoordinatedTurnModel(kDt, turn_noise).value();
+    auto ekf = EkfPredictor::Create("turn-ekf", ekf_options, 2).value();
+    auto ekf_link = DualLink::Create(ekf, options).value();
+
+    auto ukf_options = MakeCoordinatedTurnUkf(kDt, turn_noise).value();
+    auto ukf = UkfPredictor::Create("turn-ukf", ukf_options, 2).value();
+    auto ukf_link = DualLink::Create(ukf, options).value();
+
+    for (const Vector& point : trajectory) {
+      (void)linear_link.Step(point);
+      (void)ekf_link.Step(point);
+      (void)ukf_link.Step(point);
+    }
+    table.AddNumericRow({delta, linear_link.stats().UpdatePercentage(),
+                         ekf_link.stats().UpdatePercentage(),
+                         ukf_link.stats().UpdatePercentage()});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: the EKF's and UKF's state carries the turn "
+      "rate, so sustained arcs coast for free; the linear model pays an "
+      "update every time the arc bends away from its tangent by delta. "
+      "The derivative-free UKF matches the EKF here (mild nonlinearity) "
+      "while needing no Jacobians.\n");
+}
+
+void BM_EkfLinkStep(benchmark::State& state) {
+  const std::vector<Vector> trajectory = TurningTrajectory(6000);
+  auto ekf_options =
+      MakeCoordinatedTurnModel(kDt, NonlinearModelNoise{}).value();
+  auto ekf = EkfPredictor::Create("turn-ekf", ekf_options, 2).value();
+  DualLinkOptions options;
+  options.delta = 2.0;
+  for (auto _ : state) {
+    auto link = DualLink::Create(ekf, options).value();
+    for (const Vector& point : trajectory) {
+      benchmark::DoNotOptimize(link.Step(point));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trajectory.size()));
+}
+BENCHMARK(BM_EkfLinkStep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation A12: DKF behaviour on a lossy wireless uplink. The paper's
+// testbed was a reliable LAN; real sensor radios drop frames. With
+// link-layer delivery feedback the source corrects its mirror only on
+// confirmed deliveries, so KF_m never diverges from KF_s — drops cost
+// retransmissions (the deviation persists and re-triggers), never
+// correctness.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dsms/simulation.h"
+
+namespace {
+
+using namespace dkf;
+using namespace dkf::bench;
+
+SourceReport RunWithDropRate(double drop_probability) {
+  SimulationSourceConfig config;
+  config.id = 1;
+  config.data = StandardTrajectory();
+  config.model = Example1LinearModel();
+  config.delta = 3.0;
+  ChannelOptions channel;
+  channel.drop_probability = drop_probability;
+  auto sim =
+      DsmsSimulation::Create({config}, EnergyModelOptions(), channel).value();
+  return sim.Run().value()[0];
+}
+
+void PrintFigure() {
+  std::printf(
+      "Ablation A12: Example-1 DKF (delta = 3) across uplink drop "
+      "rates.\n\n");
+  AsciiTable table({"drop rate", "% transmissions", "avg error",
+                    "max error", "energy (Minstr)"});
+  for (double drop : {0.0, 0.1, 0.3, 0.5}) {
+    const SourceReport report = RunWithDropRate(drop);
+    table.AddRow({StrFormat("%.1f", drop),
+                  StrFormat("%.2f", report.update_percentage),
+                  StrFormat("%.3f", report.avg_error),
+                  StrFormat("%.3f", report.max_error),
+                  StrFormat("%.2f", report.energy_spent / 1e6)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: drops inflate transmissions (each lost update "
+      "is retried while the deviation persists) and leave a short error "
+      "transient per loss, but the protocol degrades gracefully — no "
+      "divergence, no resync storm — because the mirror tracks exactly "
+      "what the server actually received.\n");
+}
+
+void BM_LossyRun(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunWithDropRate(0.3));
+  }
+}
+BENCHMARK(BM_LossyRun);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

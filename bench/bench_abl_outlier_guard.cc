@@ -1,0 +1,128 @@
+// Ablation A9: innovation-based outlier rejection (§3.1 advantage 5, "the
+// innovation sequence helps in detecting outliers"). A trending stream is
+// corrupted with isolated spikes; the plain DKF transmits every spike AND
+// lets it corrupt both filters, while the guarded link absorbs lone
+// spikes and only concedes to sustained changes.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/dual_link.h"
+#include "core/outlier_guard.h"
+#include "models/model_factory.h"
+
+namespace {
+
+using namespace dkf;
+
+constexpr double kDelta = 2.0;
+
+KalmanPredictor LinearPredictor() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  return KalmanPredictor::Create(MakeLinearModel(1, 1.0, noise).value())
+      .value();
+}
+
+struct StreamPair {
+  std::vector<double> clean;
+  std::vector<double> spiky;
+};
+
+StreamPair MakeStream(double spike_probability) {
+  Rng rng(404);
+  StreamPair stream;
+  double value = 0.0;
+  double slope = 1.0;
+  for (int i = 0; i < 6000; ++i) {
+    if (i % 800 == 0) slope = rng.Uniform(-1.5, 1.5);
+    value += slope;
+    stream.clean.push_back(value);
+    stream.spiky.push_back(
+        rng.Bernoulli(spike_probability) ? value + rng.Uniform(100.0, 500.0)
+                                         : value);
+  }
+  return stream;
+}
+
+void PrintFigure() {
+  std::printf(
+      "Ablation A9: outlier guard vs plain DKF on a trending stream with "
+      "isolated spikes (delta = %.1f).\n\n",
+      kDelta);
+  AsciiTable table({"spike rate", "strategy", "updates", "dropped",
+                    "avg err vs clean"});
+  for (double spike_rate : {0.0, 0.005, 0.02, 0.05}) {
+    const StreamPair stream = MakeStream(spike_rate);
+
+    DualLinkOptions plain_options;
+    plain_options.delta = kDelta;
+    DualLink plain =
+        DualLink::Create(LinearPredictor(), plain_options).value();
+    OutlierGuardOptions guard_options;
+    guard_options.delta = kDelta;
+    OutlierFilteredLink guarded =
+        OutlierFilteredLink::Create(LinearPredictor(), guard_options)
+            .value();
+
+    double plain_err = 0.0;
+    double guarded_err = 0.0;
+    for (size_t i = 0; i < stream.spiky.size(); ++i) {
+      const Vector reading{stream.spiky[i]};
+      auto p = plain.Step(reading).value();
+      auto g = guarded.Step(reading).value();
+      plain_err += std::fabs(p.server_value[0] - stream.clean[i]);
+      guarded_err += std::fabs(g.server_value[0] - stream.clean[i]);
+    }
+    const double n = static_cast<double>(stream.spiky.size());
+    table.AddRow({StrFormat("%.3f", spike_rate), "plain DKF",
+                  StrFormat("%lld",
+                            static_cast<long long>(plain.stats().updates_sent)),
+                  "-", StrFormat("%.3f", plain_err / n)});
+    table.AddRow(
+        {"", "guarded DKF",
+         StrFormat("%lld",
+                   static_cast<long long>(guarded.stats().updates_sent)),
+         StrFormat("%lld",
+                   static_cast<long long>(guarded.stats().outliers_dropped)),
+         StrFormat("%.3f", guarded_err / n)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: with no spikes the guard costs only a "
+      "one-tick confirmation delay at each maneuver; as the spike rate "
+      "rises it drops the spikes instead of transmitting them, sending "
+      "far fewer updates and answering much closer to the clean "
+      "signal.\n");
+}
+
+void BM_GuardedLink(benchmark::State& state) {
+  const StreamPair stream = MakeStream(0.02);
+  for (auto _ : state) {
+    OutlierGuardOptions options;
+    options.delta = kDelta;
+    OutlierFilteredLink link =
+        OutlierFilteredLink::Create(LinearPredictor(), options).value();
+    for (double v : stream.spiky) {
+      benchmark::DoNotOptimize(link.Step(Vector{v}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.spiky.size()));
+}
+BENCHMARK(BM_GuardedLink);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Figure 3: the Example-1 moving-object dataset (§5.1) — 4000
+// samples at 100 ms of piecewise-linear 2-D motion — and benchmarks the
+// generator.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "streamgen/trajectory_generator.h"
+
+namespace {
+
+void PrintFigure() {
+  using namespace dkf;
+  using namespace dkf::bench;
+  PrintHeader("Figure 3", "moving-object dataset (synthetic, paper §5.1)");
+
+  TrajectoryOptions options;  // paper defaults
+  const TrajectoryData data = GenerateTrajectory(options).value();
+
+  const SeriesStats x_stats = data.observed.Stats(0).value();
+  const SeriesStats y_stats = data.observed.Stats(1).value();
+
+  // Per-sample displacement statistics (what the precision sweep competes
+  // against).
+  double total_displacement = 0.0;
+  double max_displacement = 0.0;
+  int segments = 1;
+  double prev_dx = 0.0;
+  double prev_dy = 0.0;
+  for (size_t i = 1; i < data.truth.size(); ++i) {
+    const double dx = data.truth.value(i, 0) - data.truth.value(i - 1, 0);
+    const double dy = data.truth.value(i, 1) - data.truth.value(i - 1, 1);
+    const double displacement = std::hypot(dx, dy);
+    total_displacement += displacement;
+    max_displacement = std::max(max_displacement, displacement);
+    if (i > 1 && (std::fabs(dx - prev_dx) > 1e-9 ||
+                  std::fabs(dy - prev_dy) > 1e-9)) {
+      ++segments;
+    }
+    prev_dx = dx;
+    prev_dy = dy;
+  }
+
+  AsciiTable table({"property", "value"});
+  table.AddRow({"samples", StrFormat("%zu", data.observed.size())});
+  table.AddRow({"sampling interval (s)", StrFormat("%.3f", options.dt)});
+  table.AddRow({"x range", StrFormat("[%.1f, %.1f]", x_stats.min,
+                                     x_stats.max)});
+  table.AddRow({"y range", StrFormat("[%.1f, %.1f]", y_stats.min,
+                                     y_stats.max)});
+  table.AddRow({"linear segments", StrFormat("%d", segments)});
+  table.AddRow({"mean displacement / sample",
+                StrFormat("%.3f", total_displacement /
+                                      static_cast<double>(
+                                          data.truth.size() - 1))});
+  table.AddRow({"max displacement / sample",
+                StrFormat("%.3f", max_displacement)});
+  table.AddRow(
+      {"observation noise stddev", StrFormat("%.3f", options.noise_stddev)});
+  table.Print();
+}
+
+void BM_GenerateTrajectory(benchmark::State& state) {
+  dkf::TrajectoryOptions options;
+  options.num_points = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto data = dkf::GenerateTrajectory(options);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateTrajectory)->Arg(4000)->Arg(40000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

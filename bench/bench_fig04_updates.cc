@@ -1,0 +1,72 @@
+// Reproduces Figure 4: number of updates received at the central server
+// vs precision width (Example 1, §5.1) for the caching scheme, the
+// constant KF model, and the linear KF model.
+//
+// Expected shape (paper): constant KF == caching; linear KF cuts updates
+// by roughly 75% at delta = 3; all models converge as delta grows.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/dual_link.h"
+#include "metrics/experiment.h"
+
+namespace {
+
+using namespace dkf;
+using namespace dkf::bench;
+
+const std::vector<double> kDeltas = {0.5, 1.0, 2.0, 3.0, 4.0,
+                                     5.0, 6.0, 8.0, 10.0};
+
+void PrintFigure() {
+  PrintHeader("Figure 4",
+              "updates at the server vs precision width (Example 1)");
+
+  const TimeSeries trajectory = StandardTrajectory();
+  auto caching = CachedValuePredictor::Create(2).value();
+  auto constant = KalmanPredictor::Create(Example1ConstantModel()).value();
+  auto linear = KalmanPredictor::Create(Example1LinearModel()).value();
+  const std::vector<const Predictor*> prototypes = {&caching, &constant,
+                                                    &linear};
+  const auto rows = RunSweep(trajectory, prototypes, kDeltas).value();
+  MaybeExportRows("fig04_updates", rows);
+  PrintSweepTable("Figure 4: % updates vs precision width", "% updates",
+                  rows, kDeltas, {"caching", "constant-KF", "linear-KF"},
+                  ExtractUpdatePercentage);
+
+  // The paper's headline number: reduction of the linear model vs caching
+  // at delta = 3.
+  for (size_t i = 0; i < kDeltas.size(); ++i) {
+    if (kDeltas[i] == 3.0) {
+      const double caching_pct = rows[i * 3 + 0].update_percentage;
+      const double linear_pct = rows[i * 3 + 2].update_percentage;
+      std::printf(
+          "\nlinear-KF update reduction vs caching at delta=3: %.1f%% "
+          "(paper: ~75%%)\n",
+          100.0 * (1.0 - linear_pct / caching_pct));
+    }
+  }
+}
+
+void BM_LinearKfSweepPoint(benchmark::State& state) {
+  const TimeSeries trajectory = StandardTrajectory();
+  auto linear = KalmanPredictor::Create(Example1LinearModel()).value();
+  for (auto _ : state) {
+    auto row = RunSuppressionExperiment(trajectory, linear, 3.0);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations() * trajectory.size());
+}
+BENCHMARK(BM_LinearKfSweepPoint);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 5: average error value vs precision width (Example 1,
+// §5.1). Error metric: |dx| + |dy| averaged over all readings.
+//
+// Expected shape (paper): constant KF and caching nearly identical; the
+// linear KF slightly worse at low precision widths, better at high ones;
+// all errors grow with delta.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "metrics/experiment.h"
+
+namespace {
+
+using namespace dkf;
+using namespace dkf::bench;
+
+const std::vector<double> kDeltas = {0.5, 1.0, 2.0, 3.0, 4.0,
+                                     5.0, 6.0, 8.0, 10.0};
+
+void PrintFigure() {
+  PrintHeader("Figure 5",
+              "average error vs precision width (Example 1)");
+  const TimeSeries trajectory = StandardTrajectory();
+  auto caching = CachedValuePredictor::Create(2).value();
+  auto constant = KalmanPredictor::Create(Example1ConstantModel()).value();
+  auto linear = KalmanPredictor::Create(Example1LinearModel()).value();
+  const std::vector<const Predictor*> prototypes = {&caching, &constant,
+                                                    &linear};
+  const auto rows = RunSweep(trajectory, prototypes, kDeltas).value();
+  MaybeExportRows("fig05_error", rows);
+  PrintSweepTable("Figure 5: average error value vs precision width",
+                  "avg |dx|+|dy|", rows, kDeltas,
+                  {"caching", "constant-KF", "linear-KF"}, ExtractAvgError);
+}
+
+void BM_ErrorAccountingOverhead(benchmark::State& state) {
+  const TimeSeries trajectory = StandardTrajectory();
+  auto caching = CachedValuePredictor::Create(2).value();
+  for (auto _ : state) {
+    auto row = RunSuppressionExperiment(trajectory, caching, 3.0);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations() * trajectory.size());
+}
+BENCHMARK(BM_ErrorAccountingOverhead);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

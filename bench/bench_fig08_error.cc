@@ -1,0 +1,58 @@
+// Reproduces Figure 8: average error value vs precision width (Example 2,
+// §5.2).
+//
+// Expected shape (paper): comparable errors at low precision widths;
+// caching slightly better at high widths; all errors grow with delta
+// while communication drops.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "metrics/experiment.h"
+
+namespace {
+
+using namespace dkf;
+using namespace dkf::bench;
+
+const std::vector<double> kDeltas = {25.0,  50.0,  75.0,  100.0,
+                                     150.0, 200.0, 300.0, 400.0};
+
+void PrintFigure() {
+  PrintHeader("Figure 8",
+              "average error vs precision width (Example 2)");
+  const TimeSeries load = StandardPowerLoad();
+  auto caching = CachedValuePredictor::Create(1).value();
+  auto linear = KalmanPredictor::Create(Example2LinearModel()).value();
+  auto sinusoidal =
+      KalmanPredictor::Create(Example2SinusoidalModel()).value();
+  const std::vector<const Predictor*> prototypes = {&caching, &linear,
+                                                    &sinusoidal};
+  const auto rows = RunSweep(load, prototypes, kDeltas).value();
+  MaybeExportRows("fig08_error", rows);
+  PrintSweepTable("Figure 8: average error value vs precision width",
+                  "avg error", rows, kDeltas,
+                  {"caching", "linear-KF", "sinusoidal-KF"},
+                  ExtractAvgError);
+}
+
+void BM_FullSweep(benchmark::State& state) {
+  const TimeSeries load = StandardPowerLoad();
+  auto linear = KalmanPredictor::Create(Example2LinearModel()).value();
+  for (auto _ : state) {
+    auto rows = RunSweep(load, {&linear}, kDeltas);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * load.size() *
+                          kDeltas.size());
+}
+BENCHMARK(BM_FullSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 11: performance of the DKF on smoothed network data
+// with F = 1e-7, vs precision width (Example 3, §5.3).
+//
+// Expected shape (paper): after KF_c smoothing the stream becomes
+// predictable; the linear KF model achieves the best reduction in
+// communication overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/smoothing.h"
+#include "metrics/experiment.h"
+
+namespace {
+
+using namespace dkf;
+using namespace dkf::bench;
+
+constexpr double kSmoothingFactor = 1e-7;  // the figure's F
+const std::vector<double> kDeltas = {1.0, 2.0,  5.0,  10.0,
+                                     15.0, 20.0, 30.0, 50.0};
+
+void PrintFigure() {
+  PrintHeader("Figure 11",
+              "DKF on smoothed data with F = 1e-7 (Example 3)");
+  const TimeSeries raw = StandardHttpTraffic();
+  const TimeSeries smoothed =
+      SmoothSeriesKalman(raw, kSmoothingFactor,
+                         Example3SmoothingMeasurementVariance())
+          .value();
+
+  auto caching = CachedValuePredictor::Create(1).value();
+  auto constant = KalmanPredictor::Create(Example3ConstantModel()).value();
+  auto linear = KalmanPredictor::Create(Example3LinearModel()).value();
+  const std::vector<const Predictor*> prototypes = {&caching, &constant,
+                                                    &linear};
+  const auto rows = RunSweep(smoothed, prototypes, kDeltas).value();
+  MaybeExportRows("fig11_smoothed_dkf", rows);
+  PrintSweepTable(
+      "Figure 11: % updates vs precision width (smoothed stream)",
+      "% updates", rows, kDeltas,
+      {"caching", "constant-KF", "linear-KF"}, ExtractUpdatePercentage);
+}
+
+void BM_SmoothThenSuppress(benchmark::State& state) {
+  const TimeSeries raw = StandardHttpTraffic();
+  auto linear = KalmanPredictor::Create(Example3LinearModel()).value();
+  for (auto _ : state) {
+    const TimeSeries smoothed =
+        SmoothSeriesKalman(raw, kSmoothingFactor,
+                           Example3SmoothingMeasurementVariance())
+            .value();
+    auto row = RunSuppressionExperiment(smoothed, linear, 10.0);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations() * raw.size());
+}
+BENCHMARK(BM_SmoothThenSuppress);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

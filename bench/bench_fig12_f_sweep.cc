@@ -1,0 +1,76 @@
+// Reproduces Figure 12: performance of the DKF vs the smoothing factor F
+// at fixed precision width delta = 10 (Example 3, §5.3).
+//
+// Expected shape (paper): lowering F improves performance (fewer updates)
+// because the smoothed stream varies less; F is the user's sensitivity
+// knob trading fidelity for savings.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/smoothing.h"
+#include "metrics/experiment.h"
+#include "metrics/metrics.h"
+
+namespace {
+
+using namespace dkf;
+using namespace dkf::bench;
+
+constexpr double kDelta = 10.0;  // the figure's operating point
+
+void PrintFigure() {
+  PrintHeader("Figure 12",
+              "DKF performance vs smoothing factor F at delta = 10");
+  const TimeSeries raw = StandardHttpTraffic();
+  auto linear = KalmanPredictor::Create(Example3LinearModel()).value();
+  auto constant = KalmanPredictor::Create(Example3ConstantModel()).value();
+
+  AsciiTable table({"F", "linear-KF % updates", "constant-KF % updates",
+                    "smoothed-vs-raw mean dev"});
+  for (double f : {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
+    const TimeSeries smoothed =
+        SmoothSeriesKalman(raw, f, Example3SmoothingMeasurementVariance())
+            .value();
+    const auto linear_row =
+        RunSuppressionExperiment(smoothed, linear, kDelta).value();
+    const auto constant_row =
+        RunSuppressionExperiment(smoothed, constant, kDelta).value();
+    table.AddRow({StrFormat("%.0e", f),
+                  StrFormat("%.2f", linear_row.update_percentage),
+                  StrFormat("%.2f", constant_row.update_percentage),
+                  StrFormat("%.2f", SeriesMeanAbsDiff(smoothed, raw).value())});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: lower F -> smoother protocol stream -> fewer "
+      "updates, at the cost of larger deviation from the raw data.\n");
+}
+
+void BM_FSweepPoint(benchmark::State& state) {
+  const TimeSeries raw = StandardHttpTraffic();
+  auto linear = KalmanPredictor::Create(Example3LinearModel()).value();
+  for (auto _ : state) {
+    const TimeSeries smoothed =
+        SmoothSeriesKalman(raw, 1e-7,
+                           Example3SmoothingMeasurementVariance())
+            .value();
+    auto row = RunSuppressionExperiment(smoothed, linear, kDelta);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations() * raw.size());
+}
+BENCHMARK(BM_FSweepPoint);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

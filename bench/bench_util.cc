@@ -1,0 +1,147 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "metrics/report.h"
+#include "models/model_factory.h"
+#include "streamgen/http_traffic_generator.h"
+#include "streamgen/power_load_generator.h"
+#include "streamgen/trajectory_generator.h"
+
+namespace dkf::bench {
+
+TimeSeries StandardTrajectory() {
+  TrajectoryOptions options;  // paper defaults: 4000 pts, 100 ms
+  return GenerateTrajectory(options).value().observed;
+}
+
+TimeSeries StandardPowerLoad() {
+  return GeneratePowerLoad(PowerLoadOptions{}).value();  // 5831 pts
+}
+
+TimeSeries StandardHttpTraffic() {
+  return GenerateHttpTraffic(HttpTrafficOptions{}).value();  // 5000 bins
+}
+
+StateModel Example1LinearModel() {
+  ModelNoise noise;  // §4.1: diagonal 0.05
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(2, 0.1, noise).value();
+}
+
+StateModel Example1ConstantModel() {
+  // Near-unity gain: the constant filter adopts each transmitted value,
+  // which is what makes it behave exactly like the caching scheme.
+  ModelNoise noise;
+  noise.process_variance = 10.0;
+  noise.measurement_variance = 0.05;
+  return MakeConstantModel(2, noise).value();
+}
+
+namespace {
+
+ModelNoise LoadNoise() {
+  ModelNoise noise;
+  noise.process_variance = 25.0;
+  noise.measurement_variance = 25.0;
+  return noise;
+}
+
+ModelNoise TrafficNoise() {
+  // Applied to the KF_c-smoothed stream, which is nearly noise-free, so
+  // measurements are trusted strongly and the velocity locks onto the
+  // smoothed trend.
+  ModelNoise noise;
+  noise.process_variance = 1e-4;
+  noise.measurement_variance = 1e-2;
+  return noise;
+}
+
+}  // namespace
+
+StateModel Example2LinearModel() {
+  return MakeLinearModel(1, 1.0, LoadNoise()).value();
+}
+
+StateModel Example2SinusoidalModel() {
+  // Align with the generator: diurnal cosine peaking at hour 15; the
+  // model's regressor carries the phase of the *increment* of that cosine
+  // (omega (k + 1/2 - peak) - pi/2).
+  const double omega = 2.0 * M_PI / 24.0;
+  const double theta = omega * (0.5 - 15.0) - M_PI / 2.0;
+  return MakeSinusoidalModel(omega, theta, 1.0, LoadNoise()).value();
+}
+
+StateModel Example2ConstantModel() {
+  ModelNoise noise;
+  noise.process_variance = 2500.0;  // adopt-the-value configuration
+  noise.measurement_variance = 25.0;
+  return MakeConstantModel(1, noise).value();
+}
+
+StateModel Example3LinearModel() {
+  return MakeLinearModel(1, 1.0, TrafficNoise()).value();
+}
+
+StateModel Example3ConstantModel() {
+  ModelNoise noise;  // adopt-the-value configuration (== caching)
+  noise.process_variance = 1000.0;
+  noise.measurement_variance = 1.0;
+  return MakeConstantModel(1, noise).value();
+}
+
+double Example3SmoothingMeasurementVariance() { return 0.01; }
+
+void PrintSweepTable(const std::string& title,
+                     const std::string& value_name,
+                     const std::vector<ExperimentRow>& rows,
+                     const std::vector<double>& deltas,
+                     const std::vector<std::string>& predictor_names,
+                     double (*extract)(const ExperimentRow&)) {
+  std::printf("\n%s\n(cell value: %s)\n", title.c_str(), value_name.c_str());
+  std::vector<std::string> header = {"delta"};
+  header.insert(header.end(), predictor_names.begin(),
+                predictor_names.end());
+  AsciiTable table(header);
+  size_t row_index = 0;
+  for (double delta : deltas) {
+    std::vector<double> cells = {delta};
+    for (size_t p = 0; p < predictor_names.size(); ++p) {
+      cells.push_back(extract(rows[row_index++]));
+    }
+    table.AddNumericRow(cells);
+  }
+  table.Print();
+}
+
+double ExtractUpdatePercentage(const ExperimentRow& row) {
+  return row.update_percentage;
+}
+
+double ExtractAvgError(const ExperimentRow& row) { return row.avg_error; }
+
+void MaybeExportRows(const std::string& name,
+                     const std::vector<ExperimentRow>& rows) {
+  const char* dir = std::getenv("DKF_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  const Status status = WriteExperimentRowsCsv(rows, path);
+  if (status.ok()) {
+    std::printf("(rows exported to %s)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "csv export failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dkf::bench

@@ -1,0 +1,225 @@
+// dkf_explorer: a command-line workbench for the library. Pick a dataset,
+// a state model, a precision width, and optional KF_c smoothing, and get
+// the paper's two metrics for that configuration — handy for exploring
+// parameter trade-offs without writing code.
+//
+// Usage:
+//   dkf_explorer [--dataset=trajectory|power|http]
+//                [--model=caching|constant|linear|poly2|poly3|sinusoidal]
+//                [--delta=<d>] [--smoothing-f=<F>] [--smoothing-r=<R>]
+//                [--q=<process var>] [--r=<measurement var>]
+//                [--export-csv=<path>]
+//
+// Examples:
+//   dkf_explorer --dataset=power --model=sinusoidal --delta=100
+//   dkf_explorer --dataset=http --model=linear --delta=10
+//                --smoothing-f=1e-7 --smoothing-r=0.01   (one line)
+//   dkf_explorer --dataset=trajectory --export-csv=/tmp/trajectory.csv
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/predictor.h"
+#include "core/smoothing.h"
+#include "metrics/experiment.h"
+#include "models/model_factory.h"
+#include "streamgen/http_traffic_generator.h"
+#include "streamgen/power_load_generator.h"
+#include "streamgen/trajectory_generator.h"
+
+namespace {
+
+using namespace dkf;
+
+struct Args {
+  std::string dataset = "trajectory";
+  std::string model = "linear";
+  double delta = 3.0;
+  std::optional<double> smoothing_f;
+  double smoothing_r = 1.0;
+  std::optional<double> q;
+  std::optional<double> r;
+  std::optional<std::string> export_csv;
+};
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    double number = 0.0;
+    if (ParseArg(argv[i], "--dataset=", &value)) {
+      args->dataset = value;
+    } else if (ParseArg(argv[i], "--model=", &value)) {
+      args->model = value;
+    } else if (ParseArg(argv[i], "--delta=", &value) &&
+               ParseDouble(value, &number)) {
+      args->delta = number;
+    } else if (ParseArg(argv[i], "--smoothing-f=", &value) &&
+               ParseDouble(value, &number)) {
+      args->smoothing_f = number;
+    } else if (ParseArg(argv[i], "--smoothing-r=", &value) &&
+               ParseDouble(value, &number)) {
+      args->smoothing_r = number;
+    } else if (ParseArg(argv[i], "--q=", &value) &&
+               ParseDouble(value, &number)) {
+      args->q = number;
+    } else if (ParseArg(argv[i], "--r=", &value) &&
+               ParseDouble(value, &number)) {
+      args->r = number;
+    } else if (ParseArg(argv[i], "--export-csv=", &value)) {
+      args->export_csv = value;
+    } else {
+      std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<TimeSeries> LoadDataset(const std::string& name) {
+  if (name == "trajectory") {
+    auto data_or = GenerateTrajectory(TrajectoryOptions{});
+    if (!data_or.ok()) return data_or.status();
+    return data_or.value().observed;
+  }
+  if (name == "power") return GeneratePowerLoad(PowerLoadOptions{});
+  if (name == "http") return GenerateHttpTraffic(HttpTrafficOptions{});
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+Result<std::unique_ptr<Predictor>> BuildPredictor(const Args& args,
+                                                  size_t width) {
+  if (args.model == "caching") {
+    auto caching_or = CachedValuePredictor::Create(width);
+    if (!caching_or.ok()) return caching_or.status();
+    return caching_or.value().Clone();
+  }
+
+  ModelNoise noise;
+  // Sensible per-dataset defaults, overridable via --q / --r.
+  if (args.dataset == "power") {
+    noise.process_variance = 25.0;
+    noise.measurement_variance = 25.0;
+  } else if (args.dataset == "http") {
+    noise.process_variance = args.smoothing_f.has_value() ? 1e-4 : 1.0;
+    noise.measurement_variance =
+        args.smoothing_f.has_value() ? 1e-2 : 100.0;
+  } else {
+    noise.process_variance = 0.05;
+    noise.measurement_variance = 0.05;
+  }
+  if (args.q.has_value()) noise.process_variance = *args.q;
+  if (args.r.has_value()) noise.measurement_variance = *args.r;
+
+  Result<StateModel> model_or = Status::InvalidArgument("unset");
+  if (args.model == "constant") {
+    model_or = MakeConstantModel(width, noise);
+  } else if (args.model == "linear") {
+    model_or = MakeLinearModel(width, args.dataset == "trajectory" ? 0.1
+                                                                   : 1.0,
+                               noise);
+  } else if (args.model == "poly2" || args.model == "poly3") {
+    model_or = MakePolynomialModel(
+        width, args.model == "poly2" ? 2 : 3,
+        args.dataset == "trajectory" ? 0.1 : 1.0, noise);
+  } else if (args.model == "sinusoidal") {
+    if (width != 1) {
+      return Status::InvalidArgument(
+          "sinusoidal model needs a scalar dataset");
+    }
+    const double omega = 2.0 * M_PI / 24.0;
+    const double theta = omega * (0.5 - 15.0) - M_PI / 2.0;
+    model_or = MakeSinusoidalModel(omega, theta, 1.0, noise);
+  } else {
+    return Status::InvalidArgument("unknown model: " + args.model);
+  }
+  if (!model_or.ok()) return model_or.status();
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  if (!predictor_or.ok()) return predictor_or.status();
+  return predictor_or.value().Clone();
+}
+
+int Run(const Args& args) {
+  auto series_or = LoadDataset(args.dataset);
+  if (!series_or.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 series_or.status().ToString().c_str());
+    return 1;
+  }
+  TimeSeries series = std::move(series_or).value();
+
+  if (args.export_csv.has_value()) {
+    Status status = WriteTimeSeriesCsv(series, *args.export_csv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "export: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu samples to %s\n", series.size(),
+                args.export_csv->c_str());
+  }
+
+  if (args.smoothing_f.has_value()) {
+    if (series.width() != 1) {
+      std::fprintf(stderr, "smoothing requires a scalar dataset\n");
+      return 1;
+    }
+    auto smoothed_or =
+        SmoothSeriesKalman(series, *args.smoothing_f, args.smoothing_r);
+    if (!smoothed_or.ok()) {
+      std::fprintf(stderr, "smoothing: %s\n",
+                   smoothed_or.status().ToString().c_str());
+      return 1;
+    }
+    series = std::move(smoothed_or).value();
+  }
+
+  auto predictor_or = BuildPredictor(args, series.width());
+  if (!predictor_or.ok()) {
+    std::fprintf(stderr, "predictor: %s\n",
+                 predictor_or.status().ToString().c_str());
+    return 1;
+  }
+
+  auto row_or =
+      RunSuppressionExperiment(series, *predictor_or.value(), args.delta);
+  if (!row_or.ok()) {
+    std::fprintf(stderr, "experiment: %s\n",
+                 row_or.status().ToString().c_str());
+    return 1;
+  }
+  const ExperimentRow& row = row_or.value();
+  std::printf("dataset:    %s (%zu samples, width %zu)\n",
+              args.dataset.c_str(), series.size(), series.width());
+  std::printf("model:      %s\n", row.predictor.c_str());
+  std::printf("delta:      %g\n", row.delta);
+  if (args.smoothing_f.has_value()) {
+    std::printf("smoothing:  F = %g (R = %g)\n", *args.smoothing_f,
+                args.smoothing_r);
+  }
+  std::printf("updates:    %lld / %lld (%.2f%%)\n",
+              static_cast<long long>(row.updates),
+              static_cast<long long>(row.ticks), row.update_percentage);
+  std::printf("avg error:  %.4f\n", row.avg_error);
+  std::printf("max error:  %.4f\n", row.max_error);
+  std::printf("rmse:       %.4f\n", row.rmse);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  return Run(args);
+}

@@ -1,0 +1,141 @@
+// Live dashboard: the end-to-end StreamManager in action (paper §6,
+// "developing an end-to-end system"). Three heterogeneous sources stream
+// through one manager; users submit and retract precision queries while
+// data flows, and the dashboard shows answers with confidence bands plus
+// the uplink traffic actually spent.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "dsms/stream_manager.h"
+#include "models/model_factory.h"
+#include "streamgen/http_traffic_generator.h"
+#include "streamgen/power_load_generator.h"
+#include "streamgen/trajectory_generator.h"
+
+int main() {
+  using namespace dkf;
+
+  // --- Build the three stream feeds.
+  TrajectoryOptions trajectory_options;
+  trajectory_options.num_points = 3000;
+  const TimeSeries vehicle =
+      GenerateTrajectory(trajectory_options).value().observed;
+  PowerLoadOptions load_options;
+  load_options.num_points = 3000;
+  const TimeSeries load = GeneratePowerLoad(load_options).value();
+  HttpTrafficOptions traffic_options;
+  traffic_options.num_points = 3000;
+  const TimeSeries traffic = GenerateHttpTraffic(traffic_options).value();
+
+  // --- Register the sources with their stream models.
+  StreamManager manager{StreamManagerOptions{}};
+  ModelNoise vehicle_noise;
+  vehicle_noise.process_variance = 0.05;
+  vehicle_noise.measurement_variance = 0.05;
+  if (!manager.RegisterSource(1, MakeLinearModel(2, 0.1, vehicle_noise)
+                                     .value())
+           .ok()) {
+    return 1;
+  }
+  ModelNoise load_noise;
+  load_noise.process_variance = 25.0;
+  load_noise.measurement_variance = 25.0;
+  (void)manager.RegisterSource(2,
+                               MakeLinearModel(1, 1.0, load_noise).value());
+  ModelNoise traffic_noise;
+  traffic_noise.process_variance = 1e-4;
+  traffic_noise.measurement_variance = 1e-2;
+  (void)manager.RegisterSource(
+      3, MakeLinearModel(1, 1.0, traffic_noise).value());
+
+  // --- Users submit queries (more arrive mid-run below).
+  ContinuousQuery track;
+  track.id = 1;
+  track.source_id = 1;
+  track.precision = 3.0;
+  track.description = "vehicle within 3 units";
+  (void)manager.SubmitQuery(track);
+  ContinuousQuery grid;
+  grid.id = 2;
+  grid.source_id = 2;
+  grid.precision = 100.0;
+  grid.description = "load within 100 MW";
+  (void)manager.SubmitQuery(grid);
+  ContinuousQuery web;
+  web.id = 3;
+  web.source_id = 3;
+  web.precision = 25.0;
+  web.smoothing_factor = 1e-7;
+  web.description = "smoothed traffic within 25 pkt/bin";
+  (void)manager.SubmitQuery(web);
+
+  auto dashboard = [&manager](const char* moment) {
+    std::printf("\n--- dashboard %s (tick %lld) ---\n", moment,
+                static_cast<long long>(manager.ticks()));
+    AsciiTable table({"source", "answer", "95% band", "delta", "updates"});
+    for (int id : {1, 2, 3}) {
+      const auto answer_or = manager.AnswerWithConfidence(id);
+      const auto& answer = answer_or.value();
+      std::string value_text;
+      for (size_t d = 0; d < answer.value.size(); ++d) {
+        if (d > 0) value_text += ", ";
+        value_text += StrFormat("%.1f", answer.value[d]);
+      }
+      const double band =
+          answer.covariance.has_value()
+              ? 1.96 * std::sqrt((*answer.covariance)(0, 0))
+              : 0.0;
+      table.AddRow({StrFormat("%d", id), value_text,
+                    StrFormat("+/- %.2f", band),
+                    StrFormat("%.1f", manager.source_delta(id).value()),
+                    StrFormat("%lld", static_cast<long long>(
+                                          manager.updates_sent(id).value()))});
+    }
+    table.Print();
+  };
+
+  // --- Drive the ticks, with query churn partway through.
+  const size_t ticks = vehicle.size();
+  for (size_t tick = 0; tick < ticks; ++tick) {
+    std::map<int, Vector> readings;
+    readings[1] = Vector(vehicle.Row(tick));
+    readings[2] = Vector{load.value(tick)};
+    readings[3] = Vector{traffic.value(tick)};
+    if (!manager.ProcessTick(readings).ok()) return 1;
+
+    if (tick == 1000) {
+      dashboard("after 1000 ticks");
+      // A control-room user needs tighter grid precision for an hour.
+      ContinuousQuery urgent;
+      urgent.id = 4;
+      urgent.source_id = 2;
+      urgent.precision = 30.0;
+      (void)manager.SubmitQuery(urgent);
+      std::printf("\n>> query 4 submitted: load within 30 MW\n");
+    }
+    if (tick == 2000) {
+      dashboard("under the tighter query");
+      (void)manager.RemoveQuery(4);
+      std::printf("\n>> query 4 retracted\n");
+    }
+  }
+  dashboard("at end of run");
+
+  std::printf("\nuplink: %lld messages, %lld bytes, %lld control msgs\n",
+              static_cast<long long>(manager.uplink_traffic().messages),
+              static_cast<long long>(manager.uplink_traffic().bytes),
+              static_cast<long long>(manager.control_messages()));
+  std::printf(
+      "Without suppression every tick would cost 3 messages: %lld total. "
+      "The manager answered every query within its precision for %.1f%% "
+      "fewer transmissions.\n",
+      static_cast<long long>(3 * ticks),
+      100.0 * (1.0 - static_cast<double>(
+                         manager.uplink_traffic().messages) /
+                         static_cast<double>(3 * ticks)));
+  return 0;
+}

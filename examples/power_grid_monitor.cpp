@@ -1,0 +1,93 @@
+// Power-grid monitoring (paper Example 2, §5.2): hourly zonal load with a
+// strong diurnal sinusoid. Shows how swapping the state model — the only
+// application-specific piece of the DKF framework — changes communication
+// cost, and how online model switching discovers the right model without
+// being told.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/model_switching.h"
+#include "core/predictor.h"
+#include "metrics/experiment.h"
+#include "models/model_factory.h"
+#include "streamgen/power_load_generator.h"
+
+int main() {
+  using namespace dkf;
+
+  PowerLoadOptions generator_options;  // 5831 hourly samples
+  auto series_or = GeneratePowerLoad(generator_options);
+  if (!series_or.ok()) return 1;
+  const TimeSeries& load = series_or.value();
+  const double delta = 100.0;  // MW precision the control room tolerates
+
+  ModelNoise noise;
+  noise.process_variance = 25.0;
+  noise.measurement_variance = 25.0;
+
+  // The sinusoidal model of §4.2, phase-aligned with the diurnal cycle.
+  const double omega = 2.0 * M_PI / 24.0;
+  const double theta =
+      omega * (0.5 - generator_options.peak_hour) - M_PI / 2.0;
+
+  AsciiTable table({"strategy", "% updates", "avg error (MW)"});
+  struct Candidate {
+    const char* name;
+    StateModel model;
+  };
+  const Candidate candidates[] = {
+      {"linear-KF", MakeLinearModel(1, 1.0, noise).value()},
+      {"sinusoidal-KF (matched)",
+       MakeSinusoidalModel(omega, theta, 1.0, noise).value()},
+  };
+  for (const Candidate& candidate : candidates) {
+    auto predictor_or = KalmanPredictor::Create(candidate.model);
+    if (!predictor_or.ok()) return 1;
+    auto row_or =
+        RunSuppressionExperiment(load, predictor_or.value(), delta);
+    if (!row_or.ok()) return 1;
+    table.AddRow({candidate.name,
+                  StrFormat("%.1f", row_or.value().update_percentage),
+                  StrFormat("%.1f", row_or.value().avg_error)});
+  }
+
+  // Model switching: start from the (wrong) constant model with a bank of
+  // candidates; the link should migrate to the sinusoidal model on its
+  // own and report how many switch messages that cost.
+  ModelSwitchingOptions switching_options;
+  switching_options.link.delta = delta;
+  switching_options.check_interval = 168;  // re-evaluate weekly
+  switching_options.warmup = 168;
+  ModelNoise adopt;
+  adopt.process_variance = 2500.0;
+  adopt.measurement_variance = 25.0;
+  auto link_or = ModelSwitchingLink::Create(
+      {MakeConstantModel(1, adopt).value(),
+       MakeLinearModel(1, 1.0, noise).value(),
+       MakeSinusoidalModel(omega, theta, 1.0, noise).value()},
+      /*initial=*/0, switching_options);
+  if (!link_or.ok()) return 1;
+  ModelSwitchingLink link = std::move(link_or).value();
+  for (size_t i = 0; i < load.size(); ++i) {
+    auto step_or = link.Step(Vector{load.value(i)});
+    if (!step_or.ok()) return 1;
+  }
+  table.AddRow(
+      {StrFormat("switching (ends on model %zu)", link.active_model()),
+       StrFormat("%.1f",
+                 100.0 * static_cast<double>(link.stats().updates_sent) /
+                     static_cast<double>(link.stats().ticks)),
+       StrFormat("(+%lld switch msgs)",
+                 static_cast<long long>(link.stats().switches))});
+
+  std::printf("Zonal power-load monitoring (delta = %.0f MW)\n\n", delta);
+  table.Print();
+  std::printf(
+      "\nThe bank indices are {0: constant, 1: linear, 2: sinusoidal}; "
+      "the switching link should finish on the sinusoidal model — the "
+      "framework discovered the diurnal structure online.\n");
+  return 0;
+}

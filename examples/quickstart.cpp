@@ -1,0 +1,80 @@
+// Quickstart: suppress transmissions of a drifting scalar stream with a
+// dual Kalman filter link.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The program streams a noisy ramp through the DKF protocol with a
+// precision constraint of 2.0, and prints how many readings actually had
+// to cross the (simulated) network.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/dual_link.h"
+#include "core/predictor.h"
+#include "models/model_factory.h"
+
+int main() {
+  using namespace dkf;
+
+  // 1. Describe how the stream evolves: one attribute with a (roughly)
+  //    linear trend -> the constant-velocity model of paper §4.1.
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  auto model_or = MakeLinearModel(/*axes=*/1, /*dt=*/1.0, noise);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "model: %s\n",
+                 model_or.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Build the predictor and the dual link with the user's precision
+  //    constraint. The link owns the server filter KF_s and the source
+  //    mirror KF_m.
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  if (!predictor_or.ok()) {
+    std::fprintf(stderr, "predictor: %s\n",
+                 predictor_or.status().ToString().c_str());
+    return 1;
+  }
+  DualLinkOptions options;
+  options.delta = 2.0;  // server answers stay within 2 units
+  auto link_or = DualLink::Create(predictor_or.value(), options);
+  if (!link_or.ok()) {
+    std::fprintf(stderr, "link: %s\n", link_or.status().ToString().c_str());
+    return 1;
+  }
+  DualLink link = std::move(link_or).value();
+
+  // 3. Stream 1000 readings of a noisy ramp through the protocol.
+  Rng rng(7);
+  double value = 0.0;
+  double worst_error = 0.0;
+  for (int tick = 0; tick < 1000; ++tick) {
+    value += 0.8 + rng.Gaussian(0.0, 0.1);
+    auto step_or = link.Step(Vector{value});
+    if (!step_or.ok()) {
+      std::fprintf(stderr, "step: %s\n",
+                   step_or.status().ToString().c_str());
+      return 1;
+    }
+    const double err = step_or.value().server_value[0] - value;
+    worst_error = std::max(worst_error, err < 0 ? -err : err);
+  }
+
+  std::printf("readings:            %lld\n",
+              static_cast<long long>(link.stats().ticks));
+  std::printf("updates transmitted: %lld (%.1f%%)\n",
+              static_cast<long long>(link.stats().updates_sent),
+              link.stats().UpdatePercentage());
+  std::printf("worst server error:  %.3f (precision constraint %.1f)\n",
+              worst_error, options.delta);
+  std::printf(
+      "\nThe linear model learned the ramp's slope from the first few "
+      "updates; afterwards the server extrapolated on its own and the "
+      "source stayed silent.\n");
+  return 0;
+}

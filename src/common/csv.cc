@@ -1,0 +1,178 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  return CsvWriter(file);
+}
+
+CsvWriter& CsvWriter::operator=(CsvWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    line += QuoteCell(cells[i]);
+  }
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::FailedPrecondition("already closed");
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::Internal("fclose failed");
+  return Status::OK();
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') {
+      rows.push_back(ParseCsvLine(line));
+      line.clear();
+    } else {
+      line += static_cast<char>(c);
+    }
+  }
+  if (!line.empty()) rows.push_back(ParseCsvLine(line));
+  std::fclose(file);
+  return rows;
+}
+
+Status WriteTimeSeriesCsv(const TimeSeries& series, const std::string& path) {
+  auto writer_or = CsvWriter::Open(path);
+  if (!writer_or.ok()) return writer_or.status();
+  CsvWriter writer = std::move(writer_or).value();
+
+  std::vector<std::string> header = {"timestamp"};
+  for (size_t d = 0; d < series.width(); ++d) {
+    header.push_back(StrFormat("v%zu", d));
+  }
+  DKF_RETURN_IF_ERROR(writer.WriteRow(header));
+
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::vector<std::string> row = {DoubleToString(series.timestamp(i))};
+    for (size_t d = 0; d < series.width(); ++d) {
+      row.push_back(DoubleToString(series.value(i, d)));
+    }
+    DKF_RETURN_IF_ERROR(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+Result<TimeSeries> ReadTimeSeriesCsv(const std::string& path) {
+  auto rows_or = ReadCsvFile(path);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty()) return Status::InvalidArgument("empty csv file");
+  const size_t width = rows[0].size() - 1;
+  if (rows[0].empty() || rows[0][0] != "timestamp" || width == 0) {
+    return Status::InvalidArgument("missing timeseries header");
+  }
+  TimeSeries series(width);
+  series.Reserve(rows.size() - 1);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != width + 1) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu cells, expected %zu", i, rows[i].size(),
+                    width + 1));
+    }
+    double ts = 0.0;
+    if (!ParseDouble(rows[i][0], &ts)) {
+      return Status::InvalidArgument(StrFormat("bad timestamp in row %zu", i));
+    }
+    std::vector<double> values(width);
+    for (size_t d = 0; d < width; ++d) {
+      if (!ParseDouble(rows[i][d + 1], &values[d])) {
+        return Status::InvalidArgument(StrFormat("bad value in row %zu", i));
+      }
+    }
+    DKF_RETURN_IF_ERROR(series.Append(ts, values));
+  }
+  return series;
+}
+
+}  // namespace dkf

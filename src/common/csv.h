@@ -1,0 +1,55 @@
+#ifndef DKF_COMMON_CSV_H_
+#define DKF_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_series.h"
+
+namespace dkf {
+
+/// Writes rows of string cells as RFC-4180-ish CSV (quotes a cell only when
+/// it contains a comma, quote, or newline).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  CsvWriter(CsvWriter&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  CsvWriter& operator=(CsvWriter&& other) noexcept;
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  ~CsvWriter();
+
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; further writes fail.
+  Status Close();
+
+ private:
+  explicit CsvWriter(FILE* file) : file_(file) {}
+  FILE* file_ = nullptr;
+};
+
+/// Parses one CSV line into cells (handles quoted cells and embedded
+/// commas/quotes; does not handle embedded newlines across lines).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Reads an entire CSV file into rows of cells.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Serializes a TimeSeries as CSV with a header row
+/// `timestamp,v0,v1,...`.
+Status WriteTimeSeriesCsv(const TimeSeries& series, const std::string& path);
+
+/// Reads a TimeSeries written by WriteTimeSeriesCsv.
+Result<TimeSeries> ReadTimeSeriesCsv(const std::string& path);
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_CSV_H_

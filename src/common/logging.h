@@ -1,0 +1,20 @@
+#ifndef DKF_COMMON_LOGGING_H_
+#define DKF_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace dkf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Not thread-safe beyond the
+/// atomicity of a single fprintf; the simulator is single-threaded.
+void Log(LogLevel level, const std::string& message);
+
+/// Messages below this level are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_LOGGING_H_

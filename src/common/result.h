@@ -1,0 +1,75 @@
+#ifndef DKF_COMMON_RESULT_H_
+#define DKF_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dkf {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`
+/// explaining why the value is absent (the StatusOr idiom). Accessing the
+/// value of an errored result is a programming error and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. The status must be
+  /// non-OK; an OK status without a value is meaningless.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns OK when a value is present, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Returns the value, or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error to the caller or
+/// binding the value to `lhs`. Usable only in functions returning `Status`
+/// or `Result<U>`.
+#define DKF_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto DKF_CONCAT_(_dkf_result, __LINE__) = (rexpr); \
+  if (!DKF_CONCAT_(_dkf_result, __LINE__).ok())      \
+    return DKF_CONCAT_(_dkf_result, __LINE__).status(); \
+  lhs = std::move(DKF_CONCAT_(_dkf_result, __LINE__)).value()
+
+#define DKF_CONCAT_IMPL_(a, b) a##b
+#define DKF_CONCAT_(a, b) DKF_CONCAT_IMPL_(a, b)
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_RESULT_H_

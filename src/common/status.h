@@ -1,0 +1,92 @@
+#ifndef DKF_COMMON_STATUS_H_
+#define DKF_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace dkf {
+
+/// Error categories used across the library. Modeled on the RocksDB /
+/// Abseil status idiom: library code never throws; fallible operations
+/// return a `Status` (or a `Result<T>`, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// A `Status` is either OK or carries an error code plus a human-readable
+/// message. It is cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  /// Empty for an OK status.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CategoryName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning `Status`.
+#define DKF_RETURN_IF_ERROR(expr)               \
+  do {                                          \
+    ::dkf::Status _dkf_status = (expr);         \
+    if (!_dkf_status.ok()) return _dkf_status;  \
+  } while (false)
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_STATUS_H_

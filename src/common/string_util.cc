@@ -1,0 +1,94 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+#include <cstring>
+
+namespace dkf {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view input, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StrStrip(std::string_view input) {
+  const char* kWhitespace = " \t\r\n\f\v";
+  const size_t begin = input.find_first_not_of(kWhitespace);
+  if (begin == std::string_view::npos) return std::string_view();
+  const size_t end = input.find_last_not_of(kWhitespace);
+  return input.substr(begin, end - begin + 1);
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool ParseDouble(std::string_view input, double* out) {
+  const std::string buf(StrStrip(input));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view input, long long* out) {
+  const std::string buf(StrStrip(input));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::string DoubleToString(double value) {
+  // %.17g always round-trips an IEEE double; prefer the shortest
+  // representation that does.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::string candidate = StrFormat("%.*g", precision, value);
+    double parsed = 0.0;
+    if (ParseDouble(candidate, &parsed) && parsed == value) return candidate;
+  }
+  return StrFormat("%.17g", value);
+}
+
+}  // namespace dkf

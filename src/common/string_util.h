@@ -1,0 +1,36 @@
+#ifndef DKF_COMMON_STRING_UTIL_H_
+#define DKF_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dkf {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrStrip(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// Parses a double; returns false on malformed or trailing-garbage input.
+bool ParseDouble(std::string_view input, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view input, long long* out);
+
+/// Formats a double with enough digits to round-trip (shortest %.17g style,
+/// trimmed).
+std::string DoubleToString(double value);
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_STRING_UTIL_H_

@@ -1,0 +1,40 @@
+#ifndef DKF_COMMON_TABLE_H_
+#define DKF_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dkf {
+
+/// Column-aligned ASCII table used by the bench harness to print the
+/// rows/series corresponding to each figure and table of the paper.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row; shorter rows are padded with empty cells, longer rows
+  /// are truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.4g.
+  void AddNumericRow(const std::vector<double>& values);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule, e.g.
+  ///   delta  caching  linear
+  ///   -----  -------  ------
+  ///   1      96.2     22.1
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_TABLE_H_

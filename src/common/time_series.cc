@@ -1,0 +1,117 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+TimeSeries::TimeSeries(size_t width) : width_(width == 0 ? 1 : width) {}
+
+Status TimeSeries::Append(double timestamp, const std::vector<double>& values) {
+  if (values.size() != width_) {
+    return Status::InvalidArgument(
+        StrFormat("sample has %zu values, series width is %zu", values.size(),
+                  width_));
+  }
+  if (!timestamps_.empty() && timestamp <= timestamps_.back()) {
+    return Status::InvalidArgument(
+        StrFormat("timestamp %g not after previous %g", timestamp,
+                  timestamps_.back()));
+  }
+  timestamps_.push_back(timestamp);
+  values_.insert(values_.end(), values.begin(), values.end());
+  return Status::OK();
+}
+
+Status TimeSeries::Append(double timestamp, double value) {
+  if (width_ != 1) {
+    return Status::InvalidArgument("scalar append on multivariate series");
+  }
+  if (!timestamps_.empty() && timestamp <= timestamps_.back()) {
+    return Status::InvalidArgument(
+        StrFormat("timestamp %g not after previous %g", timestamp,
+                  timestamps_.back()));
+  }
+  timestamps_.push_back(timestamp);
+  values_.push_back(value);
+  return Status::OK();
+}
+
+std::vector<double> TimeSeries::Row(size_t i) const {
+  return std::vector<double>(values_.begin() + i * width_,
+                             values_.begin() + (i + 1) * width_);
+}
+
+std::vector<double> TimeSeries::Column(size_t dim) const {
+  std::vector<double> column;
+  column.reserve(size());
+  for (size_t i = 0; i < size(); ++i) column.push_back(value(i, dim));
+  return column;
+}
+
+Result<SeriesStats> TimeSeries::Stats(size_t dim) const {
+  if (dim >= width_) {
+    return Status::OutOfRange(
+        StrFormat("dim %zu out of range for width %zu", dim, width_));
+  }
+  if (empty()) return Status::FailedPrecondition("stats of empty series");
+  SeriesStats stats;
+  stats.count = size();
+  stats.min = value(0, dim);
+  stats.max = value(0, dim);
+  double sum = 0.0;
+  for (size_t i = 0; i < size(); ++i) {
+    const double v = value(i, dim);
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    sum += v;
+  }
+  stats.mean = sum / static_cast<double>(size());
+  double sq = 0.0;
+  for (size_t i = 0; i < size(); ++i) {
+    const double d = value(i, dim) - stats.mean;
+    sq += d * d;
+  }
+  stats.stddev = std::sqrt(sq / static_cast<double>(size()));
+  return stats;
+}
+
+Result<TimeSeries> TimeSeries::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > size()) {
+    return Status::OutOfRange(
+        StrFormat("slice [%zu, %zu) of series of size %zu", begin, end,
+                  size()));
+  }
+  TimeSeries out(width_);
+  out.Reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    Status s = out.Append(timestamp(i), Row(i));
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+Result<TimeSeries> TimeSeries::Downsample(size_t stride) const {
+  if (stride == 0) return Status::InvalidArgument("stride must be >= 1");
+  TimeSeries out(width_);
+  out.Reserve(size() / stride + 1);
+  for (size_t i = 0; i < size(); i += stride) {
+    Status s = out.Append(timestamp(i), Row(i));
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+void TimeSeries::Clear() {
+  timestamps_.clear();
+  values_.clear();
+}
+
+void TimeSeries::Reserve(size_t n) {
+  timestamps_.reserve(n);
+  values_.reserve(n * width_);
+}
+
+}  // namespace dkf

@@ -1,0 +1,75 @@
+#ifndef DKF_COMMON_TIME_SERIES_H_
+#define DKF_COMMON_TIME_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dkf {
+
+/// Summary statistics of a scalar sequence.
+struct SeriesStats {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// A fixed-width multivariate time series: `n` samples, each a timestamp
+/// plus `width` double-valued attributes. This is the interchange type
+/// between workload generators, the DSMS simulator, and the experiment
+/// harness.
+class TimeSeries {
+ public:
+  /// Creates an empty series whose samples carry `width` values each.
+  explicit TimeSeries(size_t width = 1);
+
+  size_t width() const { return width_; }
+  size_t size() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+
+  /// Appends one sample. `values` must contain exactly width() entries and
+  /// `timestamp` must be strictly greater than the previous timestamp.
+  Status Append(double timestamp, const std::vector<double>& values);
+
+  /// Convenience for width-1 series.
+  Status Append(double timestamp, double value);
+
+  double timestamp(size_t i) const { return timestamps_[i]; }
+
+  /// Value of attribute `dim` at sample `i`.
+  double value(size_t i, size_t dim = 0) const {
+    return values_[i * width_ + dim];
+  }
+
+  /// All width() values of sample `i`.
+  std::vector<double> Row(size_t i) const;
+
+  /// The full column for attribute `dim`.
+  std::vector<double> Column(size_t dim) const;
+
+  /// Statistics of attribute `dim`; errors on an empty series or bad dim.
+  Result<SeriesStats> Stats(size_t dim = 0) const;
+
+  /// The sub-series of samples [begin, end).
+  Result<TimeSeries> Slice(size_t begin, size_t end) const;
+
+  /// Keeps every `stride`-th sample starting at index 0 (stride >= 1).
+  Result<TimeSeries> Downsample(size_t stride) const;
+
+  void Clear();
+  void Reserve(size_t n);
+
+ private:
+  size_t width_;
+  std::vector<double> timestamps_;
+  std::vector<double> values_;  // row-major, size() * width_ entries
+};
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_TIME_SERIES_H_

@@ -1,0 +1,69 @@
+#include "core/adaptive_sampling.h"
+
+#include <algorithm>
+
+namespace dkf {
+
+Result<AdaptiveSamplingLink> AdaptiveSamplingLink::Create(
+    const Predictor& prototype, const AdaptiveSamplingOptions& options) {
+  if (options.min_stride == 0 || options.max_stride < options.min_stride) {
+    return Status::InvalidArgument(
+        "need 1 <= min_stride <= max_stride");
+  }
+  if (options.quiet_threshold == 0) {
+    return Status::InvalidArgument("quiet_threshold must be >= 1");
+  }
+  if (options.guard_fraction <= 0.0 || options.guard_fraction > 1.0) {
+    return Status::InvalidArgument("guard_fraction must be in (0, 1]");
+  }
+  auto link_or = DualLink::Create(prototype, options.link);
+  if (!link_or.ok()) return link_or.status();
+  return AdaptiveSamplingLink(std::move(link_or).value(), options);
+}
+
+Result<AdaptiveStepResult> AdaptiveSamplingLink::Step(const Vector& reading) {
+  AdaptiveStepResult result;
+  ++stats_.ticks;
+
+  if (ticks_until_sample_ > 0) {
+    // Skip the sensor this tick; both filters still advance so the server
+    // keeps extrapolating (and the mirror stays in lock-step).
+    --ticks_until_sample_;
+    auto coast_or = link_.Coast();
+    if (!coast_or.ok()) return coast_or.status();
+    result.server_value = coast_or.value().server_value;
+    result.stride = stride_;
+    return result;
+  }
+
+  // Take a real reading.
+  result.sampled = true;
+  ++stats_.samples_taken;
+  auto step_or = link_.Step(reading);
+  if (!step_or.ok()) return step_or.status();
+  const LinkStepResult& step = step_or.value();
+  result.sent = step.sent;
+  result.server_value = step.server_value;
+  if (step.sent) ++stats_.updates_sent;
+
+  // Adapt the stride from the innovation magnitude.
+  const double guard = options_.guard_fraction * options_.link.delta;
+  if (step.sent) {
+    stride_ = options_.min_stride;
+    quiet_run_ = 0;
+  } else if (step.deviation > guard) {
+    stride_ = std::max(options_.min_stride, stride_ / 2);
+    quiet_run_ = 0;
+  } else {
+    ++quiet_run_;
+    if (quiet_run_ >= options_.quiet_threshold) {
+      stride_ = std::min(options_.max_stride, stride_ * 2);
+      quiet_run_ = 0;
+    }
+  }
+  ticks_until_sample_ = stride_ - 1;
+  result.stride = stride_;
+  return result;
+}
+
+}  // namespace dkf

@@ -1,0 +1,84 @@
+#ifndef DKF_CORE_ADAPTIVE_SAMPLING_H_
+#define DKF_CORE_ADAPTIVE_SAMPLING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/dual_link.h"
+
+namespace dkf {
+
+/// Configuration of innovation-driven adaptive sampling (§3.1 advantage 5
+/// and the §6 future-work item "adaptively adjusting the sampling rate
+/// based on the innovation sequence").
+///
+/// The source does not have to *read* its sensor every tick: while the
+/// innovation stays small relative to delta the model is tracking well and
+/// the sensing rate can be backed off geometrically; any update (or a
+/// near-threshold innovation) snaps the rate back to full. Sensing costs
+/// energy too, so skipped readings are a second resource saving on top of
+/// suppressed transmissions.
+struct AdaptiveSamplingOptions {
+  DualLinkOptions link;
+
+  size_t min_stride = 1;   ///< ticks between readings at full rate
+  size_t max_stride = 32;  ///< back-off cap
+
+  /// Consecutive suppressed (quiet) readings before the stride doubles.
+  size_t quiet_threshold = 4;
+
+  /// When a reading's deviation exceeds guard_fraction * delta — even if
+  /// still suppressed — the stride halves pre-emptively.
+  double guard_fraction = 0.5;
+};
+
+/// Outcome of one tick of the adaptive-sampling link.
+struct AdaptiveStepResult {
+  bool sampled = false;  ///< did the source read the sensor this tick
+  bool sent = false;     ///< was the reading transmitted
+  Vector server_value;   ///< value the server answers this tick
+  size_t stride = 1;     ///< sampling stride after this tick
+};
+
+/// Running totals.
+struct AdaptiveSamplingStats {
+  int64_t ticks = 0;
+  int64_t samples_taken = 0;
+  int64_t updates_sent = 0;
+};
+
+/// A DualLink whose source additionally modulates its own sensing rate
+/// from the innovation sequence. Both filters still tick every tick, so
+/// the mirror invariant is untouched; only the frequency of suppression
+/// *evaluations* adapts.
+class AdaptiveSamplingLink {
+ public:
+  static Result<AdaptiveSamplingLink> Create(
+      const Predictor& prototype, const AdaptiveSamplingOptions& options);
+
+  AdaptiveSamplingLink(AdaptiveSamplingLink&&) = default;
+  AdaptiveSamplingLink& operator=(AdaptiveSamplingLink&&) = default;
+
+  /// Advances one tick. `reading` is the value the sensor *would* observe;
+  /// the link decides whether the source actually samples it.
+  Result<AdaptiveStepResult> Step(const Vector& reading);
+
+  const AdaptiveSamplingStats& stats() const { return stats_; }
+  const DualLink& link() const { return link_; }
+
+ private:
+  AdaptiveSamplingLink(DualLink link, const AdaptiveSamplingOptions& options)
+      : link_(std::move(link)), options_(options),
+        stride_(options.min_stride) {}
+
+  DualLink link_;
+  AdaptiveSamplingOptions options_;
+  size_t stride_;
+  size_t ticks_until_sample_ = 0;
+  size_t quiet_run_ = 0;
+  AdaptiveSamplingStats stats_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_ADAPTIVE_SAMPLING_H_

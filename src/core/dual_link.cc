@@ -1,0 +1,85 @@
+#include "core/dual_link.h"
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+Result<DualLink> DualLink::Create(const Predictor& prototype,
+                                  const DualLinkOptions& options) {
+  if (!options.component_deltas.empty()) {
+    if (options.component_deltas.size() != prototype.dim()) {
+      return Status::InvalidArgument(
+          StrFormat("%zu component deltas for a %zu-wide predictor",
+                    options.component_deltas.size(), prototype.dim()));
+    }
+    for (double delta : options.component_deltas) {
+      if (delta <= 0.0) {
+        return Status::InvalidArgument(
+            "component deltas must be positive");
+      }
+    }
+  } else if (options.delta <= 0.0) {
+    return Status::InvalidArgument("delta must be positive");
+  }
+  return DualLink(prototype.Clone(), prototype.Clone(), options);
+}
+
+Result<LinkStepResult> DualLink::Step(const Vector& reading) {
+  if (reading.size() != server_->dim()) {
+    return Status::InvalidArgument(
+        StrFormat("reading width %zu, predictor expects %zu", reading.size(),
+                  server_->dim()));
+  }
+
+  // Both endpoints advance their (identical) models.
+  DKF_RETURN_IF_ERROR(server_->Tick());
+  DKF_RETURN_IF_ERROR(mirror_->Tick());
+
+  LinkStepResult result;
+  // The mirror knows exactly what the server predicts — that is the whole
+  // point of the dual architecture.
+  result.predicted = mirror_->Predicted();
+  result.deviation = Deviation(result.predicted, reading, options_.norm);
+  if (options_.component_deltas.empty()) {
+    result.sent = result.deviation > options_.delta;
+  } else {
+    result.sent = ShouldTransmitPerComponent(
+        result.predicted, reading, Vector(options_.component_deltas));
+  }
+
+  if (result.sent) {
+    DKF_RETURN_IF_ERROR(mirror_->Update(reading));
+    DKF_RETURN_IF_ERROR(server_->Update(reading));
+    ++stats_.updates_sent;
+  }
+  ++stats_.ticks;
+
+  result.server_value = server_->Predicted();
+
+  if (options_.check_mirror_consistency &&
+      !mirror_->StateEquals(*server_)) {
+    return Status::Internal(
+        StrFormat("mirror-consistency violated at tick %lld",
+                  static_cast<long long>(stats_.ticks)));
+  }
+  return result;
+}
+
+Result<LinkStepResult> DualLink::Coast() {
+  DKF_RETURN_IF_ERROR(server_->Tick());
+  DKF_RETURN_IF_ERROR(mirror_->Tick());
+  ++stats_.ticks;
+
+  LinkStepResult result;
+  result.predicted = mirror_->Predicted();
+  result.server_value = server_->Predicted();
+
+  if (options_.check_mirror_consistency && !mirror_->StateEquals(*server_)) {
+    return Status::Internal(
+        StrFormat("mirror-consistency violated at tick %lld",
+                  static_cast<long long>(stats_.ticks)));
+  }
+  return result;
+}
+
+}  // namespace dkf

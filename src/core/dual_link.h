@@ -1,0 +1,110 @@
+#ifndef DKF_CORE_DUAL_LINK_H_
+#define DKF_CORE_DUAL_LINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/predictor.h"
+#include "core/suppression.h"
+
+namespace dkf {
+
+/// Configuration of one source->server dual-prediction link.
+struct DualLinkOptions {
+  /// Precision width delta: transmit when the prediction deviates from the
+  /// reading by more than this.
+  double delta = 1.0;
+
+  /// Deviation norm for the suppression test.
+  DeviationNorm norm = DeviationNorm::kMaxAbs;
+
+  /// When non-empty, overrides `delta`/`norm` with a per-attribute rule:
+  /// transmit when ANY component deviates beyond its own width (§6
+  /// "multiple queries with multiple attributes" — e.g. a tracking query
+  /// that needs X within 1 unit but tolerates Y within 10). Must match
+  /// the predictor's dimension; all entries must be positive.
+  std::vector<double> component_deltas;
+
+  /// When true, every step asserts the mirror-consistency invariant
+  /// (source mirror state == server state) and fails with Internal if it
+  /// is ever violated. Costs one state comparison per tick; meant for
+  /// tests and debugging.
+  bool check_mirror_consistency = false;
+};
+
+/// Outcome of feeding one reading through a link.
+struct LinkStepResult {
+  bool sent = false;      ///< was the reading transmitted to the server
+  Vector predicted;       ///< server prediction before any update
+  Vector server_value;    ///< value the server answers after this tick
+  double deviation = 0.0; ///< deviation of `predicted` from the reading
+};
+
+/// Running totals of a link.
+struct LinkStats {
+  int64_t ticks = 0;
+  int64_t updates_sent = 0;
+
+  /// updates_sent / ticks * 100 — the paper's "percentage of updates".
+  double UpdatePercentage() const {
+    return ticks == 0 ? 0.0
+                      : 100.0 * static_cast<double>(updates_sent) /
+                            static_cast<double>(ticks);
+  }
+};
+
+/// One instance of the DKF architecture (Figure 2) for a single source:
+/// the server-side predictor KF_s and its source-side mirror KF_m, plus
+/// the suppression rule that decides per tick whether the reading is
+/// transmitted.
+///
+/// The class simulates both endpoints in one object; the dsms layer splits
+/// the same logic across SourceNode/ServerNode with explicit messages.
+/// Works with any Predictor, so the cached-value baseline runs through the
+/// identical protocol for an apples-to-apples comparison.
+class DualLink {
+ public:
+  /// Clones `prototype` into the server and mirror instances.
+  static Result<DualLink> Create(const Predictor& prototype,
+                                 const DualLinkOptions& options);
+
+  DualLink(DualLink&&) = default;
+  DualLink& operator=(DualLink&&) = default;
+
+  /// Feeds the reading for the current tick through the protocol:
+  /// both predictors tick, the mirror evaluates the suppression rule, and
+  /// on transmission both predictors are corrected with the reading.
+  Result<LinkStepResult> Step(const Vector& reading);
+
+  /// Advances both predictors one tick *without* a reading (the source did
+  /// not sample its sensor). Nothing can be transmitted; the server keeps
+  /// extrapolating. Used by adaptive sampling.
+  Result<LinkStepResult> Coast();
+
+  const LinkStats& stats() const { return stats_; }
+
+  /// The server-side predictor (for inspecting filter internals).
+  const Predictor& server() const { return *server_; }
+
+  /// The source-side mirror.
+  const Predictor& mirror() const { return *mirror_; }
+
+  const DualLinkOptions& options() const { return options_; }
+
+ private:
+  DualLink(std::unique_ptr<Predictor> server, std::unique_ptr<Predictor> mirror,
+           const DualLinkOptions& options)
+      : server_(std::move(server)), mirror_(std::move(mirror)),
+        options_(options) {}
+
+  std::unique_ptr<Predictor> server_;
+  std::unique_ptr<Predictor> mirror_;
+  DualLinkOptions options_;
+  LinkStats stats_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_DUAL_LINK_H_

@@ -1,0 +1,60 @@
+#include "core/ekf_predictor.h"
+
+namespace dkf {
+
+Result<EkfPredictor> EkfPredictor::Create(
+    std::string name, const ExtendedKalmanFilterOptions& options,
+    size_t measurement_dim) {
+  if (measurement_dim == 0) {
+    return Status::InvalidArgument("measurement_dim must be positive");
+  }
+  if (options.measurement_noise.rows() != measurement_dim) {
+    return Status::InvalidArgument(
+        "measurement_dim does not match the measurement-noise shape");
+  }
+  auto filter_or = ExtendedKalmanFilter::Create(options);
+  if (!filter_or.ok()) return filter_or.status();
+  return EkfPredictor(std::move(name), std::move(filter_or).value(),
+                      measurement_dim);
+}
+
+bool EkfPredictor::StateEquals(const Predictor& other) const {
+  const auto* peer = dynamic_cast<const EkfPredictor*>(&other);
+  return peer != nullptr && filter_.StateEquals(peer->filter_);
+}
+
+Result<SteadyStatePredictor> SteadyStatePredictor::Create(
+    const StateModel& model) {
+  auto filter_or = SteadyStateKalmanFilter::Create(model.options);
+  if (!filter_or.ok()) return filter_or.status();
+  return SteadyStatePredictor(model.name + "-ss",
+                              std::move(filter_or).value());
+}
+
+bool SteadyStatePredictor::StateEquals(const Predictor& other) const {
+  const auto* peer = dynamic_cast<const SteadyStatePredictor*>(&other);
+  return peer != nullptr && filter_.StateEquals(peer->filter_);
+}
+
+Result<UkfPredictor> UkfPredictor::Create(
+    std::string name, const UnscentedKalmanFilterOptions& options,
+    size_t measurement_dim) {
+  if (measurement_dim == 0) {
+    return Status::InvalidArgument("measurement_dim must be positive");
+  }
+  if (options.measurement_noise.rows() != measurement_dim) {
+    return Status::InvalidArgument(
+        "measurement_dim does not match the measurement-noise shape");
+  }
+  auto filter_or = UnscentedKalmanFilter::Create(options);
+  if (!filter_or.ok()) return filter_or.status();
+  return UkfPredictor(std::move(name), std::move(filter_or).value(),
+                      measurement_dim);
+}
+
+bool UkfPredictor::StateEquals(const Predictor& other) const {
+  const auto* peer = dynamic_cast<const UkfPredictor*>(&other);
+  return peer != nullptr && filter_.StateEquals(peer->filter_);
+}
+
+}  // namespace dkf

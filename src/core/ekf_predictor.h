@@ -1,0 +1,130 @@
+#ifndef DKF_CORE_EKF_PREDICTOR_H_
+#define DKF_CORE_EKF_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/predictor.h"
+#include "filter/extended_kalman_filter.h"
+#include "filter/steady_state.h"
+#include "filter/unscented_kalman_filter.h"
+
+namespace dkf {
+
+/// Extended-Kalman-filter predictor: runs the DKF protocol over a
+/// *nonlinear* state model (§3.2 cases 2-3 and the §6 future-work item
+/// "developing models for non-linear systems"). The mirror-consistency
+/// argument is unchanged: the EKF is deterministic, so identical inputs
+/// keep KF_s and KF_m in lock-step; linearization error affects accuracy,
+/// never consistency.
+class EkfPredictor : public Predictor {
+ public:
+  /// `measurement_dim` must match what options.measurement produces.
+  static Result<EkfPredictor> Create(
+      std::string name, const ExtendedKalmanFilterOptions& options,
+      size_t measurement_dim);
+
+  std::string name() const override { return name_; }
+  size_t dim() const override { return measurement_dim_; }
+  Status Tick() override { return filter_.Predict(); }
+  Vector Predicted() const override { return filter_.PredictedMeasurement(); }
+  Status Update(const Vector& value) override {
+    return filter_.Correct(value);
+  }
+  std::unique_ptr<Predictor> Clone() const override {
+    return std::make_unique<EkfPredictor>(*this);
+  }
+  bool StateEquals(const Predictor& other) const override;
+
+  const ExtendedKalmanFilter& filter() const { return filter_; }
+
+ private:
+  EkfPredictor(std::string name, ExtendedKalmanFilter filter,
+               size_t measurement_dim)
+      : name_(std::move(name)), filter_(std::move(filter)),
+        measurement_dim_(measurement_dim) {}
+
+  std::string name_;
+  ExtendedKalmanFilter filter_;
+  size_t measurement_dim_;
+};
+
+/// Steady-state (precomputed Riccati gain) predictor: the §3.2 case-5
+/// runtime optimization. Per tick it costs a single matrix-vector product
+/// with no covariance arithmetic — attractive for the battery-powered
+/// source side when the noise processes are stationary.
+///
+/// Caveat found empirically (see bench_abl_filter_cost and the predictor
+/// tests): the Riccati gain assumes a correction *every* tick. Under
+/// suppression the full filter's covariance inflates during silent runs,
+/// so its next correction snaps hard onto the reading, while the fixed
+/// gain resyncs sluggishly and pays extra updates after each maneuver.
+/// Use it where corrections are dense (e.g. the KF_c smoothing stage),
+/// and prefer the full KalmanPredictor for sparsely-corrected links.
+class SteadyStatePredictor : public Predictor {
+ public:
+  /// Solves the Riccati equation for the model's (constant) matrices.
+  static Result<SteadyStatePredictor> Create(const StateModel& model);
+
+  std::string name() const override { return name_; }
+  size_t dim() const override { return filter_.measurement_dim(); }
+  Status Tick() override {
+    filter_.Predict();
+    return Status::OK();
+  }
+  Vector Predicted() const override { return filter_.PredictedMeasurement(); }
+  Status Update(const Vector& value) override {
+    return filter_.Correct(value);
+  }
+  std::unique_ptr<Predictor> Clone() const override {
+    return std::make_unique<SteadyStatePredictor>(*this);
+  }
+  bool StateEquals(const Predictor& other) const override;
+
+  const SteadyStateKalmanFilter& filter() const { return filter_; }
+
+ private:
+  SteadyStatePredictor(std::string name, SteadyStateKalmanFilter filter)
+      : name_(std::move(name)), filter_(std::move(filter)) {}
+
+  std::string name_;
+  SteadyStateKalmanFilter filter_;
+};
+
+/// Unscented-Kalman-filter predictor: the derivative-free nonlinear DKF
+/// variant. Same protocol contract as EkfPredictor; exact on linear
+/// systems and more accurate than linearization on strong curvature.
+class UkfPredictor : public Predictor {
+ public:
+  static Result<UkfPredictor> Create(
+      std::string name, const UnscentedKalmanFilterOptions& options,
+      size_t measurement_dim);
+
+  std::string name() const override { return name_; }
+  size_t dim() const override { return measurement_dim_; }
+  Status Tick() override { return filter_.Predict(); }
+  Vector Predicted() const override { return filter_.PredictedMeasurement(); }
+  Status Update(const Vector& value) override {
+    return filter_.Correct(value);
+  }
+  std::unique_ptr<Predictor> Clone() const override {
+    return std::make_unique<UkfPredictor>(*this);
+  }
+  bool StateEquals(const Predictor& other) const override;
+
+  const UnscentedKalmanFilter& filter() const { return filter_; }
+
+ private:
+  UkfPredictor(std::string name, UnscentedKalmanFilter filter,
+               size_t measurement_dim)
+      : name_(std::move(name)), filter_(std::move(filter)),
+        measurement_dim_(measurement_dim) {}
+
+  std::string name_;
+  UnscentedKalmanFilter filter_;
+  size_t measurement_dim_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_EKF_PREDICTOR_H_

@@ -1,0 +1,122 @@
+#include "core/model_switching.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/suppression.h"
+
+namespace dkf {
+
+Result<ModelSwitchingLink> ModelSwitchingLink::Create(
+    std::vector<StateModel> bank, size_t initial,
+    const ModelSwitchingOptions& options) {
+  if (bank.empty()) return Status::InvalidArgument("empty model bank");
+  if (initial >= bank.size()) {
+    return Status::InvalidArgument("initial model index out of range");
+  }
+  const size_t dim = bank[0].measurement_dim;
+  for (const StateModel& model : bank) {
+    if (model.measurement_dim != dim) {
+      return Status::InvalidArgument(
+          "all bank models must share the measurement width");
+    }
+  }
+  if (options.evaluation_window == 0 || options.check_interval == 0) {
+    return Status::InvalidArgument(
+        "evaluation_window and check_interval must be >= 1");
+  }
+  if (options.improvement_threshold <= 0.0 ||
+      options.improvement_threshold >= 1.0) {
+    return Status::InvalidArgument(
+        "improvement_threshold must be in (0, 1)");
+  }
+
+  auto active_predictor_or = KalmanPredictor::Create(bank[initial]);
+  if (!active_predictor_or.ok()) return active_predictor_or.status();
+  auto link_or = DualLink::Create(active_predictor_or.value(), options.link);
+  if (!link_or.ok()) return link_or.status();
+
+  std::vector<std::unique_ptr<Predictor>> evaluators;
+  evaluators.reserve(bank.size());
+  for (const StateModel& model : bank) {
+    auto eval_or = KalmanPredictor::Create(model);
+    if (!eval_or.ok()) return eval_or.status();
+    evaluators.push_back(
+        std::make_unique<KalmanPredictor>(std::move(eval_or).value()));
+  }
+  return ModelSwitchingLink(std::move(bank), initial,
+                            std::move(link_or).value(), std::move(evaluators),
+                            options);
+}
+
+Result<SwitchStepResult> ModelSwitchingLink::Step(const Vector& reading) {
+  // Update every candidate's rolling one-step error (they are always
+  // corrected, measuring pure model quality independent of suppression).
+  const double alpha =
+      2.0 / (static_cast<double>(options_.evaluation_window) + 1.0);
+  for (size_t i = 0; i < evaluators_.size(); ++i) {
+    DKF_RETURN_IF_ERROR(evaluators_[i]->Tick());
+    const double err =
+        Deviation(evaluators_[i]->Predicted(), reading, options_.link.norm);
+    candidate_error_[i] = (1.0 - alpha) * candidate_error_[i] + alpha * err;
+    DKF_RETURN_IF_ERROR(evaluators_[i]->Update(reading));
+  }
+
+  auto step_or = link_.Step(reading);
+  if (!step_or.ok()) return step_or.status();
+  const LinkStepResult& step = step_or.value();
+
+  SwitchStepResult result;
+  result.sent = step.sent;
+  result.server_value = step.server_value;
+  if (step.sent) ++stats_.updates_sent;
+  ++stats_.ticks;
+
+  // Periodic switch decision.
+  const auto tick = static_cast<size_t>(stats_.ticks);
+  if (tick >= options_.warmup && tick % options_.check_interval == 0) {
+    size_t best = active_;
+    for (size_t i = 0; i < candidate_error_.size(); ++i) {
+      if (candidate_error_[i] < candidate_error_[best]) best = i;
+    }
+    if (best != active_ &&
+        candidate_error_[best] <
+            options_.improvement_threshold * candidate_error_[active_]) {
+      // Transmit the switch: both endpoints swap in the winning model,
+      // initialized with the current reading so the new filter starts
+      // anchored to the stream. A time-varying model must keep *global*
+      // time — a fresh filter restarts its step counter at 0, which would
+      // shift e.g. the sinusoidal model's phase by the elapsed ticks — so
+      // the transition function is rebased onto the current tick. (The
+      // offset is part of the switch message, so the server stays in
+      // lock-step.)
+      StateModel rebased = bank_[best];
+      if (rebased.options.transition_fn) {
+        const int64_t offset = stats_.ticks - 1;  // this reading's index
+        auto original = rebased.options.transition_fn;
+        rebased.options.transition_fn = [original, offset](int64_t k) {
+          return original(k + offset);
+        };
+      }
+      auto predictor_or = KalmanPredictor::Create(rebased);
+      if (!predictor_or.ok()) return predictor_or.status();
+      auto new_link_or =
+          DualLink::Create(predictor_or.value(), options_.link);
+      if (!new_link_or.ok()) return new_link_or.status();
+      link_ = std::move(new_link_or).value();
+      // Prime the fresh link with the current reading (part of the switch
+      // message payload, not an extra update).
+      auto prime_or = link_.Step(reading);
+      if (!prime_or.ok()) return prime_or.status();
+      result.server_value = prime_or.value().server_value;
+
+      active_ = best;
+      result.switched = true;
+      ++stats_.switches;
+    }
+  }
+  result.active_model = active_;
+  return result;
+}
+
+}  // namespace dkf

@@ -1,0 +1,105 @@
+#ifndef DKF_CORE_MODEL_SWITCHING_H_
+#define DKF_CORE_MODEL_SWITCHING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dual_link.h"
+#include "core/predictor.h"
+#include "models/state_model.h"
+
+namespace dkf {
+
+/// Configuration of online model selection (§6 future-work item
+/// "investigating updating the state transition matrices online as the
+/// streaming data trend changes"; enabled by §3.1 advantage 6, "it is
+/// relatively simple to change the state equations dynamically").
+struct ModelSwitchingOptions {
+  DualLinkOptions link;
+
+  /// Exponential window (in ticks) over which each candidate's one-step
+  /// prediction error is averaged.
+  size_t evaluation_window = 50;
+
+  /// Ticks between switch decisions.
+  size_t check_interval = 100;
+
+  /// Switch only when the best candidate's windowed error is below this
+  /// fraction of the active model's (hysteresis against thrashing).
+  double improvement_threshold = 0.7;
+
+  /// Don't evaluate a switch before this many ticks (filters still
+  /// converging).
+  size_t warmup = 50;
+};
+
+/// Outcome of one tick.
+struct SwitchStepResult {
+  bool sent = false;       ///< measurement transmitted
+  bool switched = false;   ///< model-switch message transmitted
+  size_t active_model = 0; ///< index into the bank after this tick
+  Vector server_value;
+};
+
+/// Running totals. A switch costs one (larger) control message on top of
+/// the regular updates; the bench reports both.
+struct ModelSwitchingStats {
+  int64_t ticks = 0;
+  int64_t updates_sent = 0;
+  int64_t switches = 0;
+};
+
+/// A dual link over a *bank* of candidate state models. The source feeds
+/// every reading to one evaluation filter per candidate and tracks their
+/// one-step prediction errors; when a rival model beats the active one by
+/// the hysteresis margin, the source transmits a switch message and both
+/// endpoints swap in a fresh predictor of the winning model (initialized
+/// with the current reading).
+///
+/// Only the source sees every reading, so the decision is made there and
+/// communicated — which is why a switch is a message, not free.
+class ModelSwitchingLink {
+ public:
+  /// `bank` must be non-empty; all models must share the measurement
+  /// width. `initial` indexes the starting model.
+  static Result<ModelSwitchingLink> Create(
+      std::vector<StateModel> bank, size_t initial,
+      const ModelSwitchingOptions& options);
+
+  ModelSwitchingLink(ModelSwitchingLink&&) = default;
+  ModelSwitchingLink& operator=(ModelSwitchingLink&&) = default;
+
+  Result<SwitchStepResult> Step(const Vector& reading);
+
+  const ModelSwitchingStats& stats() const { return stats_; }
+  size_t active_model() const { return active_; }
+  const std::vector<StateModel>& bank() const { return bank_; }
+
+  /// Windowed one-step prediction error of candidate `i`.
+  double candidate_error(size_t i) const { return candidate_error_[i]; }
+
+ private:
+  ModelSwitchingLink(std::vector<StateModel> bank, size_t initial,
+                     DualLink link,
+                     std::vector<std::unique_ptr<Predictor>> evaluators,
+                     const ModelSwitchingOptions& options)
+      : bank_(std::move(bank)), active_(initial), link_(std::move(link)),
+        evaluators_(std::move(evaluators)), options_(options),
+        candidate_error_(bank_.size(), 0.0) {}
+
+  std::vector<StateModel> bank_;
+  size_t active_;
+  DualLink link_;
+  /// Source-side evaluation filters, one per candidate, corrected with
+  /// every reading.
+  std::vector<std::unique_ptr<Predictor>> evaluators_;
+  ModelSwitchingOptions options_;
+  std::vector<double> candidate_error_;
+  ModelSwitchingStats stats_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_MODEL_SWITCHING_H_

@@ -1,0 +1,39 @@
+#include "core/moving_average.h"
+
+namespace dkf {
+
+Result<MovingAverage> MovingAverage::Create(size_t window) {
+  if (window == 0) return Status::InvalidArgument("window must be >= 1");
+  return MovingAverage(window);
+}
+
+double MovingAverage::Push(double raw) {
+  buffer_.push_back(raw);
+  sum_ += raw;
+  if (buffer_.size() > window_) {
+    sum_ -= buffer_.front();
+    buffer_.pop_front();
+  }
+  return sum_ / static_cast<double>(buffer_.size());
+}
+
+Result<TimeSeries> SmoothSeriesMovingAverage(const TimeSeries& series,
+                                             size_t window) {
+  if (series.width() != 1) {
+    return Status::InvalidArgument(
+        "moving-average smoothing expects a width-1 series");
+  }
+  auto ma_or = MovingAverage::Create(window);
+  if (!ma_or.ok()) return ma_or.status();
+  MovingAverage ma = std::move(ma_or).value();
+
+  TimeSeries out(1);
+  out.Reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    DKF_RETURN_IF_ERROR(
+        out.Append(series.timestamp(i), ma.Push(series.value(i))));
+  }
+  return out;
+}
+
+}  // namespace dkf

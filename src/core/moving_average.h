@@ -1,0 +1,39 @@
+#ifndef DKF_CORE_MOVING_AVERAGE_H_
+#define DKF_CORE_MOVING_AVERAGE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace dkf {
+
+/// Sliding-window moving average — the conventional smoothing baseline the
+/// paper compares KF_c against (§5.3, Fig 10). Requires O(window) memory
+/// per stream, which is exactly the cost the Kalman smoother avoids.
+class MovingAverage {
+ public:
+  /// Window of `window` >= 1 most recent readings.
+  static Result<MovingAverage> Create(size_t window);
+
+  /// Consumes one reading, returns the average over the (partial) window.
+  double Push(double raw);
+
+  size_t window() const { return window_; }
+
+ private:
+  explicit MovingAverage(size_t window) : window_(window) {}
+
+  size_t window_;
+  std::deque<double> buffer_;
+  double sum_ = 0.0;
+};
+
+/// Smooths an entire width-1 series through a fresh MovingAverage.
+Result<TimeSeries> SmoothSeriesMovingAverage(const TimeSeries& series,
+                                             size_t window);
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_MOVING_AVERAGE_H_

@@ -1,0 +1,98 @@
+#include "core/outlier_guard.h"
+
+#include "common/string_util.h"
+#include "filter/steady_state.h"
+#include "linalg/decompose.h"
+
+namespace dkf {
+
+Result<OutlierFilteredLink> OutlierFilteredLink::Create(
+    const KalmanPredictor& prototype, const OutlierGuardOptions& options) {
+  if (options.delta <= 0.0) {
+    return Status::InvalidArgument("delta must be positive");
+  }
+  if (options.nis_threshold <= 0.0) {
+    return Status::InvalidArgument("nis threshold must be positive");
+  }
+  if (options.confirmations < 1) {
+    return Status::InvalidArgument("confirmations must be >= 1");
+  }
+
+  // Precompute the steady-state innovation covariance so the outlier test
+  // keeps its discrimination power during long suppression runs (see the
+  // header). The covariance recursion is independent of measurement
+  // *values*, so replaying predict/correct on a scratch filter (corrected
+  // with its own prediction each tick) drives S to the always-corrected
+  // Riccati fixed point. Models whose S never settles (time-varying phi)
+  // simply fall back to the instantaneous NIS.
+  std::optional<Matrix> steady_inverse;
+  {
+    KalmanPredictor scratch = prototype;
+    KalmanFilter& filter = scratch.mutable_filter();
+    Matrix previous = filter.InnovationCovariance();
+    for (int i = 0; i < 10000; ++i) {
+      if (!filter.Predict().ok()) break;
+      const Matrix s = filter.InnovationCovariance();
+      if (i > 2 && s.MaxAbsDiff(previous) < 1e-10) {
+        auto inv_or = Inverse(s);
+        if (inv_or.ok()) steady_inverse = inv_or.value();
+        break;
+      }
+      previous = s;
+      if (!filter.Correct(filter.PredictedMeasurement()).ok()) break;
+    }
+  }
+
+  return OutlierFilteredLink(prototype.Clone(), prototype.Clone(), options,
+                             std::move(steady_inverse));
+}
+
+Result<GuardedStepResult> OutlierFilteredLink::Step(const Vector& reading) {
+  if (reading.size() != server_->dim()) {
+    return Status::InvalidArgument(
+        StrFormat("reading width %zu, predictor expects %zu", reading.size(),
+                  server_->dim()));
+  }
+  DKF_RETURN_IF_ERROR(server_->Tick());
+  DKF_RETURN_IF_ERROR(mirror_->Tick());
+  ++stats_.ticks;
+
+  GuardedStepResult result;
+  const auto* mirror_kf = dynamic_cast<const KalmanPredictor*>(mirror_.get());
+  if (mirror_kf == nullptr) {
+    return Status::Internal("outlier guard requires a Kalman predictor");
+  }
+  const Vector innovation = reading - mirror_->Predicted();
+  if (steady_innovation_inverse_.has_value()) {
+    result.nis = innovation.Dot(*steady_innovation_inverse_ * innovation);
+  } else {
+    auto nis_or = mirror_kf->filter().Nis(reading);
+    if (!nis_or.ok()) return nis_or.status();
+    result.nis = nis_or.value();
+  }
+
+  const double deviation =
+      Deviation(mirror_->Predicted(), reading, options_.norm);
+  if (deviation > options_.delta) {
+    const bool suspicious = result.nis > options_.nis_threshold;
+    if (suspicious && suspicious_run_ + 1 < options_.confirmations) {
+      // Probable outlier: neither transmit nor correct; wait to see
+      // whether the deviation persists.
+      ++suspicious_run_;
+      result.dropped_as_outlier = true;
+      ++stats_.outliers_dropped;
+    } else {
+      DKF_RETURN_IF_ERROR(mirror_->Update(reading));
+      DKF_RETURN_IF_ERROR(server_->Update(reading));
+      result.sent = true;
+      ++stats_.updates_sent;
+      suspicious_run_ = 0;
+    }
+  } else {
+    suspicious_run_ = 0;
+  }
+  result.server_value = server_->Predicted();
+  return result;
+}
+
+}  // namespace dkf

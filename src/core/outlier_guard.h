@@ -1,0 +1,100 @@
+#ifndef DKF_CORE_OUTLIER_GUARD_H_
+#define DKF_CORE_OUTLIER_GUARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "core/predictor.h"
+#include "core/suppression.h"
+
+namespace dkf {
+
+/// Configuration of the innovation-based outlier guard (§3.1 advantage 5:
+/// "the innovation sequence helps in detecting outliers").
+struct OutlierGuardOptions {
+  double delta = 1.0;
+  DeviationNorm norm = DeviationNorm::kMaxAbs;
+
+  /// A reading whose normalized innovation squared (NIS) exceeds this is
+  /// suspected to be an outlier. NIS is chi-squared with m degrees of
+  /// freedom for a consistent filter; 13.8 is the 99.98% quantile for
+  /// m = 1.
+  ///
+  /// The statistic is computed against the *steady-state* innovation
+  /// covariance (solved once from the Riccati equation at Create) rather
+  /// than the filter's instantaneous one: during long suppression runs
+  /// the coasted covariance inflates so much that even wild spikes look
+  /// statistically plausible, which would blind the guard exactly when it
+  /// is most needed. Models with a time-varying transition fall back to
+  /// the instantaneous covariance.
+  double nis_threshold = 13.8;
+
+  /// Consecutive suspicious readings before the guard concedes the stream
+  /// really changed and transmits. A lone spike is simply dropped; a
+  /// genuine maneuver produces a *sustained* run of large innovations and
+  /// gets through after this short confirmation delay.
+  int64_t confirmations = 2;
+};
+
+/// Outcome of one guarded tick.
+struct GuardedStepResult {
+  bool sent = false;
+  bool dropped_as_outlier = false;
+  Vector server_value;
+  double nis = 0.0;
+};
+
+/// Running totals.
+struct OutlierGuardStats {
+  int64_t ticks = 0;
+  int64_t updates_sent = 0;
+  int64_t outliers_dropped = 0;
+};
+
+/// A dual-prediction link whose source discards isolated outlier readings
+/// instead of transmitting them. Without the guard, every spike that
+/// exceeds delta costs an update *and* corrupts both filters' state; with
+/// it, spikes are absorbed and only persistent deviations are treated as
+/// signal.
+///
+/// Works with Kalman predictors only (the NIS test needs the filter's
+/// innovation covariance).
+class OutlierFilteredLink {
+ public:
+  static Result<OutlierFilteredLink> Create(
+      const KalmanPredictor& prototype, const OutlierGuardOptions& options);
+
+  OutlierFilteredLink(OutlierFilteredLink&&) = default;
+  OutlierFilteredLink& operator=(OutlierFilteredLink&&) = default;
+
+  Result<GuardedStepResult> Step(const Vector& reading);
+
+  const OutlierGuardStats& stats() const { return stats_; }
+
+  /// Mirror-consistency check (for tests).
+  bool MirrorConsistent() const { return mirror_->StateEquals(*server_); }
+
+ private:
+  OutlierFilteredLink(std::unique_ptr<Predictor> server,
+                      std::unique_ptr<Predictor> mirror,
+                      const OutlierGuardOptions& options,
+                      std::optional<Matrix> steady_innovation_inverse)
+      : server_(std::move(server)), mirror_(std::move(mirror)),
+        options_(options),
+        steady_innovation_inverse_(std::move(steady_innovation_inverse)) {}
+
+  std::unique_ptr<Predictor> server_;
+  std::unique_ptr<Predictor> mirror_;
+  OutlierGuardOptions options_;
+  /// Inverse of the steady-state S = H P^- H^T + R; nullopt for
+  /// time-varying models.
+  std::optional<Matrix> steady_innovation_inverse_;
+  int64_t suspicious_run_ = 0;
+  OutlierGuardStats stats_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_OUTLIER_GUARD_H_

@@ -1,0 +1,129 @@
+#ifndef DKF_CORE_PREDICTOR_H_
+#define DKF_CORE_PREDICTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "models/state_model.h"
+
+namespace dkf {
+
+/// The prediction procedure the server caches for one stream source.
+///
+/// The DKF protocol (and its baselines) only need three operations from a
+/// prediction scheme: advance one time step, report the value the server
+/// would answer right now, and incorporate a transmitted measurement. Both
+/// endpoints of a dual link run *identical* Predictor instances fed
+/// identical inputs, which is what makes server-side prediction possible
+/// without communication.
+///
+/// Implementations must be deterministic: equal call sequences on equal
+/// initial states must produce bit-identical states (see StateEquals).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Display name used in experiment tables.
+  virtual std::string name() const = 0;
+
+  /// Width of the values this predictor consumes and produces.
+  virtual size_t dim() const = 0;
+
+  /// Advances the internal model by one time step (the prediction half of
+  /// the prediction-correction loop). Called exactly once per stream tick.
+  virtual Status Tick() = 0;
+
+  /// The value the server would answer for the current tick.
+  virtual Vector Predicted() const = 0;
+
+  /// Incorporates a measurement transmitted from the source (the
+  /// correction half). Called only on ticks whose reading was sent.
+  virtual Status Update(const Vector& value) = 0;
+
+  /// Uncertainty of Predicted() — the state covariance projected through
+  /// the measurement map (H P H^T) — when the scheme tracks one.
+  /// std::nullopt for point predictors like the cached-value baseline.
+  /// Lets the server attach confidence intervals to its answers.
+  virtual std::optional<Matrix> PredictedCovariance() const {
+    return std::nullopt;
+  }
+
+  /// Deep copy. A link clones its prototype once for the server filter and
+  /// once for the source-side mirror.
+  virtual std::unique_ptr<Predictor> Clone() const = 0;
+
+  /// True when `other` is the same concrete type with bit-identical
+  /// internal state — the mirror-consistency predicate.
+  virtual bool StateEquals(const Predictor& other) const = 0;
+};
+
+/// Kalman-filter predictor (the paper's proposal): wraps a KalmanFilter
+/// built from a StateModel recipe. Tick = Predict, Update = Correct.
+class KalmanPredictor : public Predictor {
+ public:
+  /// Builds the predictor from a model recipe; errors when the recipe is
+  /// invalid.
+  static Result<KalmanPredictor> Create(const StateModel& model);
+
+  std::string name() const override { return name_; }
+  size_t dim() const override { return filter_.measurement_dim(); }
+  Status Tick() override { return filter_.Predict(); }
+  Vector Predicted() const override { return filter_.PredictedMeasurement(); }
+  Status Update(const Vector& value) override {
+    return filter_.Correct(value);
+  }
+  std::optional<Matrix> PredictedCovariance() const override;
+  std::unique_ptr<Predictor> Clone() const override {
+    return std::make_unique<KalmanPredictor>(*this);
+  }
+  bool StateEquals(const Predictor& other) const override;
+
+  /// Access to the underlying filter (innovation statistics, covariance).
+  const KalmanFilter& filter() const { return filter_; }
+  KalmanFilter& mutable_filter() { return filter_; }
+
+ private:
+  KalmanPredictor(std::string name, KalmanFilter filter)
+      : name_(std::move(name)), filter_(std::move(filter)) {}
+
+  std::string name_;
+  KalmanFilter filter_;
+};
+
+/// The cached-approximation baseline of Olston et al. [23, 25] as used in
+/// the paper's evaluation (§5): the server caches the last transmitted
+/// value; the "prediction" never moves between updates.
+///
+/// In bound form the scheme keeps [L, H] = [V - delta, V + delta] around
+/// the cached value V and transmits when a reading exits the bound; the
+/// deviation test |v - V| > delta applied by the link is exactly that
+/// bound check, so this class only needs to remember V. No dynamic bound
+/// growing/shrinking (the paper disables it too).
+class CachedValuePredictor : public Predictor {
+ public:
+  /// A cache for `dim`-wide values, initially all-zero (the first real
+  /// reading virtually always deviates and forces the initial update).
+  static Result<CachedValuePredictor> Create(size_t dim);
+
+  std::string name() const override { return "caching"; }
+  size_t dim() const override { return cached_.size(); }
+  Status Tick() override { return Status::OK(); }
+  Vector Predicted() const override { return cached_; }
+  Status Update(const Vector& value) override;
+  std::unique_ptr<Predictor> Clone() const override {
+    return std::make_unique<CachedValuePredictor>(*this);
+  }
+  bool StateEquals(const Predictor& other) const override;
+
+ private:
+  explicit CachedValuePredictor(size_t dim) : cached_(dim) {}
+  Vector cached_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_PREDICTOR_H_

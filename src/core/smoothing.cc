@@ -1,0 +1,50 @@
+#include "core/smoothing.h"
+
+#include "models/model_factory.h"
+
+namespace dkf {
+
+Result<KalmanSmoother> KalmanSmoother::Create(double smoothing_factor,
+                                              double measurement_variance) {
+  auto model_or = MakeSmoothingModel(smoothing_factor, measurement_variance);
+  if (!model_or.ok()) return model_or.status();
+  auto filter_or = model_or.value().MakeFilter();
+  if (!filter_or.ok()) return filter_or.status();
+  return KalmanSmoother(smoothing_factor, std::move(filter_or).value());
+}
+
+Result<double> KalmanSmoother::Push(double raw) {
+  DKF_RETURN_IF_ERROR(filter_.Predict());
+  DKF_RETURN_IF_ERROR(filter_.Correct(Vector{raw}));
+  ++count_;
+  return filter_.state()[0];
+}
+
+Result<TimeSeries> SmoothSeriesKalman(const TimeSeries& series,
+                                      double smoothing_factor,
+                                      double measurement_variance) {
+  if (series.width() != 1) {
+    return Status::InvalidArgument("KF smoothing expects a width-1 series");
+  }
+  auto smoother_or = KalmanSmoother::Create(smoothing_factor,
+                                            measurement_variance);
+  if (!smoother_or.ok()) return smoother_or.status();
+  KalmanSmoother smoother = std::move(smoother_or).value();
+
+  TimeSeries out(1);
+  out.Reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    auto smoothed_or = smoother.Push(series.value(i));
+    if (!smoothed_or.ok()) return smoothed_or.status();
+    DKF_RETURN_IF_ERROR(out.Append(series.timestamp(i), smoothed_or.value()));
+  }
+  return out;
+}
+
+double SmoothingFactorForWindow(size_t window, double measurement_variance) {
+  const double n = static_cast<double>(window == 0 ? 1 : window);
+  const double alpha = 2.0 / (n + 1.0);
+  return measurement_variance * alpha * alpha / (1.0 - alpha);
+}
+
+}  // namespace dkf

@@ -1,0 +1,59 @@
+#ifndef DKF_CORE_SMOOTHING_H_
+#define DKF_CORE_SMOOTHING_H_
+
+#include "common/result.h"
+#include "common/time_series.h"
+#include "filter/kalman_filter.h"
+
+namespace dkf {
+
+/// The KF_c data-smoothing stage (§4.3): a one-state constant-model Kalman
+/// filter whose process-noise variance is the user-supplied smoothing
+/// factor F. Small F means the filter trusts its own state over the noisy
+/// reading, producing a heavily smoothed output ("using sufficiently low F
+/// the smoothed values match those of a moving average", Fig 10); large F
+/// tracks the raw data closely.
+///
+/// Unlike a moving average, the smoother needs no history buffer — the
+/// paper's "no extra memory, yet a true online solution" claim — and F is
+/// a continuous sensitivity knob.
+class KalmanSmoother {
+ public:
+  /// `smoothing_factor` is F > 0; `measurement_variance` is the assumed
+  /// reading noise R > 0.
+  static Result<KalmanSmoother> Create(double smoothing_factor,
+                                       double measurement_variance = 1.0);
+
+  /// Consumes one raw reading, returns the smoothed value.
+  Result<double> Push(double raw);
+
+  double smoothing_factor() const { return smoothing_factor_; }
+  int64_t count() const { return count_; }
+
+ private:
+  KalmanSmoother(double smoothing_factor, KalmanFilter filter)
+      : smoothing_factor_(smoothing_factor), filter_(std::move(filter)) {}
+
+  double smoothing_factor_;
+  KalmanFilter filter_;
+  int64_t count_ = 0;
+};
+
+/// Smooths an entire width-1 series through a fresh KalmanSmoother.
+Result<TimeSeries> SmoothSeriesKalman(const TimeSeries& series,
+                                      double smoothing_factor,
+                                      double measurement_variance = 1.0);
+
+/// The smoothing factor F whose steady-state gain turns KF_c into an
+/// exponential smoother with the same effective horizon as an N-sample
+/// moving average.
+///
+/// At steady state the scalar random-walk filter satisfies
+/// F = K^2 R / (1 - K); matching the EWMA coefficient K = 2/(N+1) of an
+/// N-sample moving average yields the F below. This makes Figure 10's
+/// "sufficiently low F matches the moving average" claim quantitative.
+double SmoothingFactorForWindow(size_t window, double measurement_variance);
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_SMOOTHING_H_

@@ -1,0 +1,48 @@
+#include "core/suppression.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dkf {
+
+double Deviation(const Vector& predicted, const Vector& actual,
+                 DeviationNorm norm) {
+  assert(predicted.size() == actual.size());
+  switch (norm) {
+    case DeviationNorm::kMaxAbs: {
+      double best = 0.0;
+      for (size_t i = 0; i < predicted.size(); ++i) {
+        best = std::max(best, std::fabs(predicted[i] - actual[i]));
+      }
+      return best;
+    }
+    case DeviationNorm::kL2: {
+      double sum = 0.0;
+      for (size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - actual[i];
+        sum += d * d;
+      }
+      return std::sqrt(sum);
+    }
+    case DeviationNorm::kL1: {
+      double sum = 0.0;
+      for (size_t i = 0; i < predicted.size(); ++i) {
+        sum += std::fabs(predicted[i] - actual[i]);
+      }
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+bool ShouldTransmitPerComponent(const Vector& predicted,
+                                const Vector& actual, const Vector& deltas) {
+  assert(predicted.size() == actual.size());
+  assert(predicted.size() == deltas.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (std::fabs(predicted[i] - actual[i]) > deltas[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace dkf

@@ -1,0 +1,40 @@
+#ifndef DKF_CORE_SUPPRESSION_H_
+#define DKF_CORE_SUPPRESSION_H_
+
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// How the deviation between the server-side prediction and the true
+/// reading is reduced to a scalar for the `> delta` test.
+enum class DeviationNorm {
+  /// Largest per-component deviation: "updated to the server if error in
+  /// either X or Y value is greater than delta" (§5.1). The default.
+  kMaxAbs,
+  /// Euclidean norm of the deviation vector.
+  kL2,
+  /// Sum of absolute component deviations (the paper's error *metric*,
+  /// |dx| + |dy|, offered as a trigger variant too).
+  kL1,
+};
+
+/// The scalar deviation between prediction and reading under `norm`.
+double Deviation(const Vector& predicted, const Vector& actual,
+                 DeviationNorm norm);
+
+/// The suppression rule: transmit iff the deviation exceeds delta.
+inline bool ShouldTransmit(const Vector& predicted, const Vector& actual,
+                           double delta, DeviationNorm norm) {
+  return Deviation(predicted, actual, norm) > delta;
+}
+
+/// Per-component variant (§6 "multiple queries with multiple attributes"):
+/// each attribute carries its own precision width; transmit when ANY
+/// component's deviation exceeds its delta. With all deltas equal this is
+/// exactly the kMaxAbs rule. Sizes must match.
+bool ShouldTransmitPerComponent(const Vector& predicted,
+                                const Vector& actual, const Vector& deltas);
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_SUPPRESSION_H_

@@ -1,0 +1,128 @@
+#include "core/synopsis.h"
+
+#include "common/string_util.h"
+#include "core/dual_link.h"
+#include "core/predictor.h"
+#include "filter/rts_smoother.h"
+
+namespace dkf {
+
+Result<KfSynopsis> KfSynopsis::Build(const TimeSeries& series,
+                                     const StateModel& model,
+                                     const SynopsisOptions& options) {
+  if (options.tolerance <= 0.0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (series.width() != model.measurement_dim) {
+    return Status::InvalidArgument(
+        StrFormat("series width %zu, model expects %zu", series.width(),
+                  model.measurement_dim));
+  }
+
+  auto predictor_or = KalmanPredictor::Create(model);
+  if (!predictor_or.ok()) return predictor_or.status();
+  DualLinkOptions link_options;
+  link_options.delta = options.tolerance;
+  link_options.norm = options.norm;
+  auto link_or = DualLink::Create(predictor_or.value(), link_options);
+  if (!link_or.ok()) return link_or.status();
+  DualLink link = std::move(link_or).value();
+
+  std::vector<double> timestamps;
+  timestamps.reserve(series.size());
+  std::vector<SynopsisEntry> entries;
+  for (size_t i = 0; i < series.size(); ++i) {
+    timestamps.push_back(series.timestamp(i));
+    const Vector reading(series.Row(i));
+    auto step_or = link.Step(reading);
+    if (!step_or.ok()) return step_or.status();
+    if (step_or.value().sent) {
+      entries.push_back(SynopsisEntry{i, reading});
+    }
+  }
+  return KfSynopsis(model, options, std::move(timestamps),
+                    std::move(entries));
+}
+
+Result<KfSynopsis> KfSynopsis::FromParts(StateModel model,
+                                         const SynopsisOptions& options,
+                                         std::vector<double> timestamps,
+                                         std::vector<SynopsisEntry> entries) {
+  if (options.tolerance <= 0.0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (timestamps.empty()) {
+    return Status::InvalidArgument("synopsis needs at least one timestamp");
+  }
+  for (size_t i = 1; i < timestamps.size(); ++i) {
+    if (timestamps[i] <= timestamps[i - 1]) {
+      return Status::InvalidArgument("timestamps must be increasing");
+    }
+  }
+  size_t previous = 0;
+  bool first = true;
+  for (const SynopsisEntry& entry : entries) {
+    if (entry.index >= timestamps.size()) {
+      return Status::InvalidArgument("entry index out of range");
+    }
+    if (!first && entry.index <= previous) {
+      return Status::InvalidArgument("entries must be strictly increasing");
+    }
+    if (entry.value.size() != model.measurement_dim) {
+      return Status::InvalidArgument("entry width does not match the model");
+    }
+    previous = entry.index;
+    first = false;
+  }
+  // The model must be instantiable.
+  auto filter_or = model.MakeFilter();
+  if (!filter_or.ok()) return filter_or.status();
+  return KfSynopsis(std::move(model), options, std::move(timestamps),
+                    std::move(entries));
+}
+
+Result<TimeSeries> KfSynopsis::Reconstruct() const {
+  auto predictor_or = KalmanPredictor::Create(model_);
+  if (!predictor_or.ok()) return predictor_or.status();
+  std::unique_ptr<Predictor> predictor = predictor_or.value().Clone();
+
+  TimeSeries out(model_.measurement_dim);
+  out.Reserve(timestamps_.size());
+  size_t next_entry = 0;
+  for (size_t i = 0; i < timestamps_.size(); ++i) {
+    DKF_RETURN_IF_ERROR(predictor->Tick());
+    if (next_entry < entries_.size() && entries_[next_entry].index == i) {
+      DKF_RETURN_IF_ERROR(predictor->Update(entries_[next_entry].value));
+      ++next_entry;
+    }
+    const Vector value = predictor->Predicted();
+    DKF_RETURN_IF_ERROR(out.Append(timestamps_[i], value.data()));
+  }
+  return out;
+}
+
+Result<TimeSeries> KfSynopsis::ReconstructSmoothed() const {
+  std::vector<std::optional<Vector>> measurements(timestamps_.size());
+  for (const SynopsisEntry& entry : entries_) {
+    measurements[entry.index] = entry.value;
+  }
+  auto rts_or = RtsSmooth(model_.options, measurements);
+  if (!rts_or.ok()) return rts_or.status();
+  const RtsResult& rts = rts_or.value();
+
+  TimeSeries out(model_.measurement_dim);
+  out.Reserve(timestamps_.size());
+  for (size_t i = 0; i < timestamps_.size(); ++i) {
+    DKF_RETURN_IF_ERROR(
+        out.Append(timestamps_[i], rts.measurements[i].data()));
+  }
+  return out;
+}
+
+size_t KfSynopsis::StorageBytes() const {
+  // Per entry: a 64-bit index plus measurement_dim doubles.
+  return entries_.size() *
+         (sizeof(uint64_t) + model_.measurement_dim * sizeof(double));
+}
+
+}  // namespace dkf

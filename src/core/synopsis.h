@@ -1,0 +1,99 @@
+#ifndef DKF_CORE_SYNOPSIS_H_
+#define DKF_CORE_SYNOPSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_series.h"
+#include "core/suppression.h"
+#include "models/state_model.h"
+
+namespace dkf {
+
+/// Configuration of a Kalman-filter stream synopsis (§6 future-work item:
+/// "storing stream summaries/synopses under the constraint of specified
+/// reconstruction error tolerance").
+struct SynopsisOptions {
+  /// Maximum allowed per-sample reconstruction deviation.
+  double tolerance = 1.0;
+  DeviationNorm norm = DeviationNorm::kMaxAbs;
+};
+
+/// One stored sample: the tick index and the exact reading at that tick.
+struct SynopsisEntry {
+  size_t index = 0;
+  Vector value;
+};
+
+/// A lossy compressed representation of a time series: the state model
+/// plus only those readings the model could not predict within the
+/// tolerance. Reconstruction replays the *identical deterministic
+/// predictor* the compressor used, so by construction every reconstructed
+/// sample deviates from the original by at most `tolerance`.
+///
+/// This is the storage dual of the communication problem: the suppression
+/// ratio of the DKF link becomes a compression ratio.
+class KfSynopsis {
+ public:
+  /// Compresses `series` under `model`. The series width must match the
+  /// model's measurement width.
+  static Result<KfSynopsis> Build(const TimeSeries& series,
+                                  const StateModel& model,
+                                  const SynopsisOptions& options);
+
+  /// Replays the synopsis into a full-length series with the same online
+  /// filter the compressor used; every sample is within `tolerance` of the
+  /// original by construction.
+  Result<TimeSeries> Reconstruct() const;
+
+  /// Offline (archive-quality) reconstruction: a fixed-interval RTS
+  /// smoothing pass over the stored readings propagates information from
+  /// later updates backward into the coasted gaps, typically reducing the
+  /// average reconstruction error well below Reconstruct()'s. The
+  /// per-sample tolerance bound holds only for Reconstruct(); smoothing
+  /// trades the pointwise guarantee for accuracy.
+  Result<TimeSeries> ReconstructSmoothed() const;
+
+  /// Rebuilds a synopsis from its serialized parts (see synopsis_io.h).
+  /// Validates entry ordering, index range, and payload widths.
+  static Result<KfSynopsis> FromParts(StateModel model,
+                                      const SynopsisOptions& options,
+                                      std::vector<double> timestamps,
+                                      std::vector<SynopsisEntry> entries);
+
+  const std::vector<SynopsisEntry>& entries() const { return entries_; }
+  const StateModel& model() const { return model_; }
+  const std::vector<double>& timestamps() const { return timestamps_; }
+  size_t original_size() const { return timestamps_.size(); }
+
+  /// Stored samples / original samples (lower is better).
+  double CompressionRatio() const {
+    return original_size() == 0
+               ? 0.0
+               : static_cast<double>(entries_.size()) /
+                     static_cast<double>(original_size());
+  }
+
+  /// Approximate storage footprint: stored entries only (index + payload
+  /// doubles), excluding the model constants shared by all synopses.
+  size_t StorageBytes() const;
+
+  const SynopsisOptions& options() const { return options_; }
+
+ private:
+  KfSynopsis(StateModel model, SynopsisOptions options,
+             std::vector<double> timestamps, std::vector<SynopsisEntry> entries)
+      : model_(std::move(model)), options_(options),
+        timestamps_(std::move(timestamps)), entries_(std::move(entries)) {}
+
+  StateModel model_;
+  SynopsisOptions options_;
+  /// Original timestamps (needed to rebuild the series' time axis).
+  std::vector<double> timestamps_;
+  std::vector<SynopsisEntry> entries_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_SYNOPSIS_H_

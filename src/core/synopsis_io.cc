@@ -1,0 +1,215 @@
+#include "core/synopsis_io.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace dkf {
+
+namespace {
+
+constexpr const char* kMagic = "dkf_synopsis";
+constexpr const char* kVersion = "1";
+
+std::vector<std::string> MatrixRow(const std::string& tag, const Matrix& m) {
+  std::vector<std::string> row = {tag, StrFormat("%zu", m.rows()),
+                                  StrFormat("%zu", m.cols())};
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      row.push_back(DoubleToString(m(r, c)));
+    }
+  }
+  return row;
+}
+
+Result<Matrix> ParseMatrixRow(const std::vector<std::string>& row) {
+  if (row.size() < 3) return Status::InvalidArgument("short matrix row");
+  long long rows = 0;
+  long long cols = 0;
+  if (!ParseInt64(row[1], &rows) || !ParseInt64(row[2], &cols) ||
+      rows < 0 || cols < 0) {
+    return Status::InvalidArgument("bad matrix dimensions");
+  }
+  const size_t expected = static_cast<size_t>(rows * cols);
+  if (row.size() != 3 + expected) {
+    return Status::InvalidArgument("matrix cell count mismatch");
+  }
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  size_t cell = 3;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      double value = 0.0;
+      if (!ParseDouble(row[cell++], &value)) {
+        return Status::InvalidArgument("bad matrix value");
+      }
+      m(r, c) = value;
+    }
+  }
+  return m;
+}
+
+std::vector<std::string> VectorRow(const std::string& tag, const Vector& v) {
+  std::vector<std::string> row = {tag, StrFormat("%zu", v.size())};
+  for (size_t i = 0; i < v.size(); ++i) {
+    row.push_back(DoubleToString(v[i]));
+  }
+  return row;
+}
+
+Result<Vector> ParseVectorRow(const std::vector<std::string>& row) {
+  if (row.size() < 2) return Status::InvalidArgument("short vector row");
+  long long size = 0;
+  if (!ParseInt64(row[1], &size) || size < 0) {
+    return Status::InvalidArgument("bad vector size");
+  }
+  if (row.size() != 2 + static_cast<size_t>(size)) {
+    return Status::InvalidArgument("vector cell count mismatch");
+  }
+  Vector v(static_cast<size_t>(size));
+  for (size_t i = 0; i < v.size(); ++i) {
+    double value = 0.0;
+    if (!ParseDouble(row[2 + i], &value)) {
+      return Status::InvalidArgument("bad vector value");
+    }
+    v[i] = value;
+  }
+  return v;
+}
+
+}  // namespace
+
+Status SaveSynopsis(const KfSynopsis& synopsis, const std::string& path) {
+  const StateModel& model = synopsis.model();
+  if (model.options.transition_fn) {
+    return Status::Unimplemented(
+        "time-varying transitions are not serializable");
+  }
+  auto writer_or = CsvWriter::Open(path);
+  if (!writer_or.ok()) return writer_or.status();
+  CsvWriter writer = std::move(writer_or).value();
+
+  DKF_RETURN_IF_ERROR(writer.WriteRow({kMagic, kVersion}));
+  DKF_RETURN_IF_ERROR(writer.WriteRow({"name", model.name}));
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      {"measurement_dim", StrFormat("%zu", model.measurement_dim)}));
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      {"tolerance", DoubleToString(synopsis.options().tolerance)}));
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      {"norm",
+       StrFormat("%d", static_cast<int>(synopsis.options().norm))}));
+  DKF_RETURN_IF_ERROR(
+      writer.WriteRow(MatrixRow("transition", model.options.transition)));
+  DKF_RETURN_IF_ERROR(
+      writer.WriteRow(MatrixRow("measurement", model.options.measurement)));
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      MatrixRow("process_noise", model.options.process_noise)));
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      MatrixRow("measurement_noise", model.options.measurement_noise)));
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      VectorRow("initial_state", model.options.initial_state)));
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      MatrixRow("initial_covariance", model.options.initial_covariance)));
+
+  std::vector<std::string> ts_row = {
+      "timestamps", StrFormat("%zu", synopsis.timestamps().size())};
+  for (double t : synopsis.timestamps()) {
+    ts_row.push_back(DoubleToString(t));
+  }
+  DKF_RETURN_IF_ERROR(writer.WriteRow(ts_row));
+
+  for (const SynopsisEntry& entry : synopsis.entries()) {
+    std::vector<std::string> row = {"entry",
+                                    StrFormat("%zu", entry.index)};
+    for (size_t d = 0; d < entry.value.size(); ++d) {
+      row.push_back(DoubleToString(entry.value[d]));
+    }
+    DKF_RETURN_IF_ERROR(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+Result<KfSynopsis> LoadSynopsis(const std::string& path) {
+  auto rows_or = ReadCsvFile(path);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty() || rows[0].size() < 2 || rows[0][0] != kMagic ||
+      rows[0][1] != kVersion) {
+    return Status::InvalidArgument("not a dkf synopsis file");
+  }
+
+  StateModel model;
+  SynopsisOptions options;
+  std::vector<double> timestamps;
+  std::vector<SynopsisEntry> entries;
+  size_t measurement_dim = 0;
+
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.empty()) continue;
+    const std::string& tag = row[0];
+    if (tag == "name") {
+      if (row.size() != 2) return Status::InvalidArgument("bad name row");
+      model.name = row[1];
+    } else if (tag == "measurement_dim") {
+      long long dim = 0;
+      if (row.size() != 2 || !ParseInt64(row[1], &dim) || dim <= 0) {
+        return Status::InvalidArgument("bad measurement_dim row");
+      }
+      measurement_dim = static_cast<size_t>(dim);
+    } else if (tag == "tolerance") {
+      if (row.size() != 2 || !ParseDouble(row[1], &options.tolerance)) {
+        return Status::InvalidArgument("bad tolerance row");
+      }
+    } else if (tag == "norm") {
+      long long norm = 0;
+      if (row.size() != 2 || !ParseInt64(row[1], &norm) || norm < 0 ||
+          norm > 2) {
+        return Status::InvalidArgument("bad norm row");
+      }
+      options.norm = static_cast<DeviationNorm>(norm);
+    } else if (tag == "transition") {
+      DKF_ASSIGN_OR_RETURN(model.options.transition, ParseMatrixRow(row));
+    } else if (tag == "measurement") {
+      DKF_ASSIGN_OR_RETURN(model.options.measurement, ParseMatrixRow(row));
+    } else if (tag == "process_noise") {
+      DKF_ASSIGN_OR_RETURN(model.options.process_noise,
+                           ParseMatrixRow(row));
+    } else if (tag == "measurement_noise") {
+      DKF_ASSIGN_OR_RETURN(model.options.measurement_noise,
+                           ParseMatrixRow(row));
+    } else if (tag == "initial_state") {
+      DKF_ASSIGN_OR_RETURN(model.options.initial_state, ParseVectorRow(row));
+    } else if (tag == "initial_covariance") {
+      DKF_ASSIGN_OR_RETURN(model.options.initial_covariance,
+                           ParseMatrixRow(row));
+    } else if (tag == "timestamps") {
+      auto ts_or = ParseVectorRow(row);
+      if (!ts_or.ok()) return ts_or.status();
+      timestamps = ts_or.value().data();
+    } else if (tag == "entry") {
+      if (row.size() < 2) return Status::InvalidArgument("bad entry row");
+      long long index = 0;
+      if (!ParseInt64(row[1], &index) || index < 0) {
+        return Status::InvalidArgument("bad entry index");
+      }
+      SynopsisEntry entry;
+      entry.index = static_cast<size_t>(index);
+      Vector value(row.size() - 2);
+      for (size_t d = 0; d + 2 < row.size(); ++d) {
+        double cell = 0.0;
+        if (!ParseDouble(row[d + 2], &cell)) {
+          return Status::InvalidArgument("bad entry value");
+        }
+        value[d] = cell;
+      }
+      entry.value = value;
+      entries.push_back(std::move(entry));
+    } else {
+      return Status::InvalidArgument("unknown row tag: " + tag);
+    }
+  }
+  model.measurement_dim = measurement_dim;
+  return KfSynopsis::FromParts(std::move(model), options,
+                               std::move(timestamps), std::move(entries));
+}
+
+}  // namespace dkf

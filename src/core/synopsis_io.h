@@ -1,0 +1,26 @@
+#ifndef DKF_CORE_SYNOPSIS_IO_H_
+#define DKF_CORE_SYNOPSIS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/synopsis.h"
+
+namespace dkf {
+
+/// Persists a synopsis — the state-model matrices plus the stored
+/// exceptional readings — to a CSV-structured file, completing the §6
+/// storage story: a stream archive IS a model plus its violations.
+///
+/// Only constant-transition models serialize (a time-varying transition
+/// is an arbitrary function); Build()ing with one and saving returns
+/// Unimplemented.
+Status SaveSynopsis(const KfSynopsis& synopsis, const std::string& path);
+
+/// Loads a synopsis written by SaveSynopsis. The reconstructed object
+/// replays identically to the original (same model, same entries).
+Result<KfSynopsis> LoadSynopsis(const std::string& path);
+
+}  // namespace dkf
+
+#endif  // DKF_CORE_SYNOPSIS_IO_H_

@@ -1,0 +1,25 @@
+#include "dsms/channel.h"
+
+namespace dkf {
+
+Result<bool> Channel::Send(const Message& message) {
+  const size_t bytes = message.SizeBytes();
+  ++total_.messages;
+  total_.bytes += static_cast<int64_t>(bytes);
+  ChannelStats& stats = per_source_[message.source_id];
+  ++stats.messages;
+  stats.bytes += static_cast<int64_t>(bytes);
+
+  if (options_.drop_probability > 0.0 &&
+      rng_.Bernoulli(options_.drop_probability)) {
+    ++total_.dropped;
+    ++stats.dropped;
+    return false;
+  }
+  if (sink_) {
+    DKF_RETURN_IF_ERROR(sink_(message));
+  }
+  return true;
+}
+
+}  // namespace dkf

@@ -1,0 +1,67 @@
+#ifndef DKF_DSMS_CHANNEL_H_
+#define DKF_DSMS_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "dsms/message.h"
+
+namespace dkf {
+
+/// Traffic counters for one direction of the simulated network.
+struct ChannelStats {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t dropped = 0;
+};
+
+/// Lossiness configuration. The paper's testbed was a reliable LAN; the
+/// drop knob models a flaky wireless uplink with link-layer delivery
+/// feedback (802.15.4-style ACKs): the sender always learns whether the
+/// frame got through, which is what lets the mirror filter stay
+/// consistent with the server under loss.
+struct ChannelOptions {
+  double drop_probability = 0.0;
+  uint64_t seed = 13;
+};
+
+/// The simulated uplink from the sensor field to the central server.
+/// Delivery is instantaneous; a Send either reaches the sink or is
+/// dropped (per `drop_probability`), and the caller is told which.
+class Channel {
+ public:
+  using Sink = std::function<Status(const Message&)>;
+
+  /// `sink` receives every delivered message (normally
+  /// ServerNode::OnMessage).
+  explicit Channel(Sink sink, const ChannelOptions& options = ChannelOptions())
+      : sink_(std::move(sink)), options_(options), rng_(options.seed) {}
+
+  /// Accounts for and attempts delivery of a message. Returns true when
+  /// the message reached the sink, false when the channel dropped it —
+  /// the link-layer ACK the source acts on. Transmission energy/bytes are
+  /// charged either way (the bits went on air).
+  Result<bool> Send(const Message& message);
+
+  const ChannelStats& total() const { return total_; }
+
+  /// Per-source counters (zero-initialized on first touch).
+  const ChannelStats& for_source(int source_id) {
+    return per_source_[source_id];
+  }
+
+ private:
+  Sink sink_;
+  ChannelOptions options_;
+  Rng rng_;
+  ChannelStats total_;
+  std::map<int, ChannelStats> per_source_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_DSMS_CHANNEL_H_

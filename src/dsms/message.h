@@ -1,0 +1,42 @@
+#ifndef DKF_DSMS_MESSAGE_H_
+#define DKF_DSMS_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Kinds of source->server traffic in the simulated DSMS.
+enum class MessageType {
+  /// A measurement update: the reading the mirror filter failed to predict
+  /// within delta.
+  kMeasurement,
+  /// A model-switch notification (extension): tells the server to swap in
+  /// bank model `model_index`, primed with `payload`.
+  kModelSwitch,
+};
+
+/// One unit of network traffic. The byte accounting mirrors a compact wire
+/// format rather than any in-memory layout: a fixed header plus 8 bytes
+/// per payload double.
+struct Message {
+  MessageType type = MessageType::kMeasurement;
+  int source_id = 0;
+  int64_t tick = 0;
+  Vector payload;
+  size_t model_index = 0;  ///< only meaningful for kModelSwitch
+
+  /// Serialized size: type/source/tick header (13 bytes) + payload, + the
+  /// model index for switch messages.
+  size_t SizeBytes() const {
+    size_t bytes = 1 + 4 + 8 + payload.size() * sizeof(double);
+    if (type == MessageType::kModelSwitch) bytes += 4;
+    return bytes;
+  }
+};
+
+}  // namespace dkf
+
+#endif  // DKF_DSMS_MESSAGE_H_

@@ -1,0 +1,77 @@
+#include "dsms/server_node.h"
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+Status ServerNode::RegisterSource(int source_id, const StateModel& model) {
+  if (predictors_.contains(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("source %d already registered", source_id));
+  }
+  auto predictor_or = KalmanPredictor::Create(model);
+  if (!predictor_or.ok()) return predictor_or.status();
+  predictors_[source_id] = predictor_or.value().Clone();
+  return Status::OK();
+}
+
+Status ServerNode::UnregisterSource(int source_id) {
+  if (predictors_.erase(source_id) == 0) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return Status::OK();
+}
+
+Status ServerNode::TickAll() {
+  for (auto& [id, predictor] : predictors_) {
+    DKF_RETURN_IF_ERROR(predictor->Tick());
+  }
+  return Status::OK();
+}
+
+Status ServerNode::OnMessage(const Message& message) {
+  auto it = predictors_.find(message.source_id);
+  if (it == predictors_.end()) {
+    return Status::NotFound(
+        StrFormat("message for unregistered source %d", message.source_id));
+  }
+  switch (message.type) {
+    case MessageType::kMeasurement:
+      return it->second->Update(message.payload);
+    case MessageType::kModelSwitch:
+      return Status::Unimplemented(
+          "model switching runs through ModelSwitchingLink; the plain "
+          "server node does not carry a model bank");
+  }
+  return Status::Internal("unknown message type");
+}
+
+Result<Vector> ServerNode::Answer(int source_id) const {
+  auto it = predictors_.find(source_id);
+  if (it == predictors_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->Predicted();
+}
+
+Result<ServerNode::ConfidentAnswer> ServerNode::AnswerWithConfidence(
+    int source_id) const {
+  auto it = predictors_.find(source_id);
+  if (it == predictors_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  ConfidentAnswer answer;
+  answer.value = it->second->Predicted();
+  answer.covariance = it->second->PredictedCovariance();
+  return answer;
+}
+
+Result<const Predictor*> ServerNode::predictor(int source_id) const {
+  auto it = predictors_.find(source_id);
+  if (it == predictors_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return static_cast<const Predictor*>(it->second.get());
+}
+
+}  // namespace dkf

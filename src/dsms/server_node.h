@@ -1,0 +1,63 @@
+#ifndef DKF_DSMS_SERVER_NODE_H_
+#define DKF_DSMS_SERVER_NODE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "core/predictor.h"
+#include "dsms/message.h"
+#include "models/state_model.h"
+
+namespace dkf {
+
+/// The central server: one predictor KF_s per registered source, advanced
+/// every tick and corrected only when an update message arrives. Continuous
+/// queries are answered from the predictors without contacting the sources.
+class ServerNode {
+ public:
+  ServerNode() = default;
+  ServerNode(ServerNode&&) = default;
+  ServerNode& operator=(ServerNode&&) = default;
+
+  /// Installs a predictor for `source_id` built from `model`. Errors when
+  /// the id is already registered.
+  Status RegisterSource(int source_id, const StateModel& model);
+
+  /// Removes a source's predictor.
+  Status UnregisterSource(int source_id);
+
+  /// Advances every source predictor by one tick. Call exactly once per
+  /// simulation tick, before delivering that tick's messages.
+  Status TickAll();
+
+  /// Applies an update or model-switch message.
+  Status OnMessage(const Message& message);
+
+  /// The server's current answer for `source_id`'s stream value.
+  Result<Vector> Answer(int source_id) const;
+
+  /// An answer plus its uncertainty. The covariance is the predictor's
+  /// state covariance projected through the measurement map; it grows
+  /// during suppression runs (the longer the source stays silent, the
+  /// wider the confidence band) and collapses on each update. Empty for
+  /// point predictors.
+  struct ConfidentAnswer {
+    Vector value;
+    std::optional<Matrix> covariance;
+  };
+  Result<ConfidentAnswer> AnswerWithConfidence(int source_id) const;
+
+  /// The predictor backing a source (for tests).
+  Result<const Predictor*> predictor(int source_id) const;
+
+  size_t num_sources() const { return predictors_.size(); }
+
+ private:
+  std::map<int, std::unique_ptr<Predictor>> predictors_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_DSMS_SERVER_NODE_H_

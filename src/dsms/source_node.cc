@@ -1,0 +1,126 @@
+#include "dsms/source_node.h"
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+Result<SourceNode> SourceNode::Create(const SourceNodeOptions& options) {
+  if (!options.component_deltas.empty()) {
+    if (options.component_deltas.size() != options.model.measurement_dim) {
+      return Status::InvalidArgument(
+          StrFormat("%zu component deltas for a %zu-wide model",
+                    options.component_deltas.size(),
+                    options.model.measurement_dim));
+    }
+    for (double delta : options.component_deltas) {
+      if (delta <= 0.0) {
+        return Status::InvalidArgument("component deltas must be positive");
+      }
+    }
+  } else if (options.delta <= 0.0) {
+    return Status::InvalidArgument("delta must be positive");
+  }
+  auto predictor_or = KalmanPredictor::Create(options.model);
+  if (!predictor_or.ok()) return predictor_or.status();
+
+  std::optional<KalmanSmoother> smoother;
+  if (options.smoothing_factor.has_value()) {
+    if (options.model.measurement_dim != 1) {
+      return Status::InvalidArgument(
+          "KF_c smoothing is only supported for width-1 models");
+    }
+    auto smoother_or =
+        KalmanSmoother::Create(*options.smoothing_factor,
+                               options.smoothing_measurement_variance);
+    if (!smoother_or.ok()) return smoother_or.status();
+    smoother = std::move(smoother_or).value();
+  }
+  return SourceNode(options, predictor_or.value().Clone(),
+                    std::move(smoother));
+}
+
+Status SourceNode::set_delta(double delta) {
+  if (delta <= 0.0) {
+    return Status::InvalidArgument("delta must be positive");
+  }
+  options_.delta = delta;
+  return Status::OK();
+}
+
+Status SourceNode::set_smoothing(std::optional<double> smoothing_factor) {
+  if (!smoothing_factor.has_value()) {
+    smoother_.reset();
+    options_.smoothing_factor.reset();
+    return Status::OK();
+  }
+  if (mirror_->dim() != 1) {
+    return Status::InvalidArgument(
+        "KF_c smoothing is only supported for width-1 models");
+  }
+  auto smoother_or = KalmanSmoother::Create(
+      *smoothing_factor, options_.smoothing_measurement_variance);
+  if (!smoother_or.ok()) return smoother_or.status();
+  smoother_ = std::move(smoother_or).value();
+  options_.smoothing_factor = smoothing_factor;
+  return Status::OK();
+}
+
+Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
+                                                    const Vector& raw,
+                                                    Channel* channel) {
+  if (raw.size() != mirror_->dim()) {
+    return Status::InvalidArgument(
+        StrFormat("reading width %zu, model expects %zu", raw.size(),
+                  mirror_->dim()));
+  }
+  energy_.ChargeReading();
+  ++readings_;
+
+  SourceStepResult result;
+  result.protocol_value = raw;
+  if (smoother_.has_value()) {
+    auto smoothed_or = smoother_->Push(raw[0]);
+    if (!smoothed_or.ok()) return smoothed_or.status();
+    result.protocol_value = Vector{smoothed_or.value()};
+    energy_.ChargeFilterStep();  // KF_c costs a filter step too
+  }
+
+  // Mirror prediction for this tick; the suppression decision is made
+  // entirely at the source.
+  DKF_RETURN_IF_ERROR(mirror_->Tick());
+  energy_.ChargeFilterStep();
+  const Vector predicted = mirror_->Predicted();
+  if (options_.component_deltas.empty()) {
+    result.sent = ShouldTransmit(predicted, result.protocol_value,
+                                 options_.delta, options_.norm);
+  } else {
+    result.sent = ShouldTransmitPerComponent(
+        predicted, result.protocol_value, Vector(options_.component_deltas));
+  }
+
+  if (result.sent) {
+    Message message;
+    message.type = MessageType::kMeasurement;
+    message.source_id = options_.source_id;
+    message.tick = tick;
+    message.payload = result.protocol_value;
+    energy_.ChargeTransmission(message.SizeBytes());
+    ++updates_sent_;
+
+    result.delivered = true;
+    if (channel != nullptr) {
+      auto delivered_or = channel->Send(message);
+      if (!delivered_or.ok()) return delivered_or.status();
+      result.delivered = delivered_or.value();
+    }
+    // Correct the mirror only on confirmed delivery: the mirror must
+    // track the *server's* state, and the server never saw a dropped
+    // message. The next tick's deviation test retries automatically.
+    if (result.delivered) {
+      DKF_RETURN_IF_ERROR(mirror_->Update(result.protocol_value));
+    }
+  }
+  return result;
+}
+
+}  // namespace dkf

@@ -1,0 +1,112 @@
+#ifndef DKF_DSMS_SOURCE_NODE_H_
+#define DKF_DSMS_SOURCE_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/predictor.h"
+#include "core/smoothing.h"
+#include "core/suppression.h"
+#include "dsms/channel.h"
+#include "dsms/energy_model.h"
+#include "models/state_model.h"
+
+namespace dkf {
+
+/// Configuration of one remote sensor node.
+struct SourceNodeOptions {
+  int source_id = 0;
+
+  /// The stream model shared with the server (defines KF_m / KF_s).
+  StateModel model;
+
+  /// Precision width delta_i installed by the query layer.
+  double delta = 1.0;
+  DeviationNorm norm = DeviationNorm::kMaxAbs;
+
+  /// When non-empty, overrides delta/norm with per-attribute widths
+  /// (transmit when ANY attribute deviates beyond its own width). Must
+  /// match the model's measurement width.
+  std::vector<double> component_deltas;
+
+  /// When set, readings pass through a KF_c smoothing filter with this
+  /// factor F before reaching the mirror (§4.3). Only valid for width-1
+  /// models.
+  std::optional<double> smoothing_factor;
+  /// Measurement variance assumed by KF_c.
+  double smoothing_measurement_variance = 1.0;
+
+  EnergyModelOptions energy;
+};
+
+/// Result of processing one reading at the source.
+struct SourceStepResult {
+  /// A transmission was attempted.
+  bool sent = false;
+  /// The transmission reached the server (always equals `sent` on a
+  /// loss-free channel). On a drop the mirror is NOT corrected — keeping
+  /// it consistent with the server — and the suppression rule naturally
+  /// retries on the next tick while the deviation persists.
+  bool delivered = false;
+  /// The value that entered the protocol (smoothed if KF_c is active).
+  Vector protocol_value;
+};
+
+/// A remote sensor node: owns the mirror predictor KF_m (and optionally
+/// the smoothing filter KF_c), evaluates the suppression rule locally, and
+/// transmits a measurement message only when the server-side prediction
+/// would violate the precision constraint.
+class SourceNode {
+ public:
+  static Result<SourceNode> Create(const SourceNodeOptions& options);
+
+  SourceNode(SourceNode&&) = default;
+  SourceNode& operator=(SourceNode&&) = default;
+
+  /// Processes the reading for tick `tick`, possibly transmitting through
+  /// `channel`. Must be called once per tick, after the server has ticked.
+  Result<SourceStepResult> ProcessReading(int64_t tick, const Vector& raw,
+                                          Channel* channel);
+
+  /// Reconfigures the precision width mid-stream (a new/removed query
+  /// changed the source's effective delta). Safe at any tick: delta only
+  /// gates the suppression test; neither filter's state depends on it, so
+  /// mirror consistency is untouched.
+  Status set_delta(double delta);
+
+  /// Reconfigures the KF_c smoothing stage mid-stream. Passing nullopt
+  /// disables smoothing. The smoother restarts from scratch (its state is
+  /// pre-protocol, so this too cannot break the mirror), which costs a
+  /// short re-convergence transient on the smoothed values.
+  Status set_smoothing(std::optional<double> smoothing_factor);
+
+  double delta() const { return options_.delta; }
+
+  const EnergyAccount& energy() const { return energy_; }
+  int64_t readings() const { return readings_; }
+  int64_t updates_sent() const { return updates_sent_; }
+  int source_id() const { return options_.source_id; }
+
+  /// The mirror predictor (for the mirror-consistency tests).
+  const Predictor& mirror() const { return *mirror_; }
+
+ private:
+  SourceNode(const SourceNodeOptions& options,
+             std::unique_ptr<Predictor> mirror,
+             std::optional<KalmanSmoother> smoother)
+      : options_(options), mirror_(std::move(mirror)),
+        smoother_(std::move(smoother)), energy_(options.energy) {}
+
+  SourceNodeOptions options_;
+  std::unique_ptr<Predictor> mirror_;
+  std::optional<KalmanSmoother> smoother_;
+  EnergyAccount energy_;
+  int64_t readings_ = 0;
+  int64_t updates_sent_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_DSMS_SOURCE_NODE_H_

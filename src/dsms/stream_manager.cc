@@ -1,0 +1,246 @@
+#include "dsms/stream_manager.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+StreamManager::StreamManager(const StreamManagerOptions& options)
+    : options_(options),
+      channel_(
+          [this](const Message& message) {
+            return server_.OnMessage(message);
+          },
+          options.channel) {}
+
+Status StreamManager::RegisterSource(int source_id, const StateModel& model) {
+  if (sources_.contains(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("source %d already registered", source_id));
+  }
+  DKF_RETURN_IF_ERROR(server_.RegisterSource(source_id, model));
+
+  SourceNodeOptions node_options;
+  node_options.source_id = source_id;
+  node_options.model = model;
+  node_options.delta = options_.default_delta;
+  node_options.energy = options_.energy;
+  auto node_or = SourceNode::Create(node_options);
+  if (!node_or.ok()) {
+    // Keep server and source sets consistent on failure.
+    (void)server_.UnregisterSource(source_id);
+    return node_or.status();
+  }
+  sources_[source_id] =
+      std::make_unique<SourceNode>(std::move(node_or).value());
+  return Status::OK();
+}
+
+namespace {
+
+/// Synthetic query-id space for aggregate members; user queries must stay
+/// below it and RemoveQuery refuses to touch it (aggregate members are
+/// managed through RemoveAggregateQuery).
+constexpr int kReservedQueryIdBase = 1 << 24;
+
+}  // namespace
+
+Status StreamManager::SubmitQuery(const ContinuousQuery& query) {
+  if (query.id >= kReservedQueryIdBase) {
+    return Status::InvalidArgument(
+        StrFormat("query ids >= %d are reserved for aggregate members",
+                  kReservedQueryIdBase));
+  }
+  if (!sources_.contains(query.source_id)) {
+    return Status::NotFound(
+        StrFormat("query %d targets unregistered source %d", query.id,
+                  query.source_id));
+  }
+  DKF_RETURN_IF_ERROR(registry_.AddQuery(query));
+  return ReconfigureSource(query.source_id);
+}
+
+Status StreamManager::RemoveQuery(int query_id) {
+  if (query_id >= kReservedQueryIdBase) {
+    return Status::InvalidArgument(
+        "aggregate members are removed via RemoveAggregateQuery");
+  }
+  // Find the query's source before removal so we can relax it after.
+  int source_id = -1;
+  for (int candidate : registry_.ActiveSources()) {
+    for (const ContinuousQuery& query :
+         registry_.QueriesForSource(candidate)) {
+      if (query.id == query_id) source_id = candidate;
+    }
+  }
+  DKF_RETURN_IF_ERROR(registry_.RemoveQuery(query_id));
+  if (source_id >= 0) return ReconfigureSource(source_id);
+  return Status::OK();
+}
+
+Status StreamManager::SubmitAggregateQuery(
+    const AggregateQuery& query, const std::vector<double>& weights) {
+  if (aggregates_.contains(query.id)) {
+    return Status::AlreadyExists(
+        StrFormat("aggregate %d already registered", query.id));
+  }
+  for (int source_id : query.source_ids) {
+    auto it = sources_.find(source_id);
+    if (it == sources_.end()) {
+      return Status::NotFound(
+          StrFormat("aggregate %d targets unregistered source %d", query.id,
+                    source_id));
+    }
+    if (it->second->mirror().dim() != 1) {
+      return Status::InvalidArgument(
+          "aggregate queries support scalar sources only");
+    }
+  }
+  auto deltas_or = SplitAggregatePrecision(query, weights);
+  if (!deltas_or.ok()) return deltas_or.status();
+  const std::vector<double>& deltas = deltas_or.value();
+
+  AggregateBinding binding;
+  binding.source_ids = query.source_ids;
+  for (size_t i = 0; i < query.source_ids.size(); ++i) {
+    ContinuousQuery member;
+    member.id = kReservedQueryIdBase + query.id * 1024 +
+                static_cast<int>(i);
+    member.source_id = query.source_ids[i];
+    member.precision = deltas[i];
+    member.description = StrFormat("aggregate %d member", query.id);
+    Status status = registry_.AddQuery(member);
+    if (!status.ok()) {
+      // Roll back the members installed so far.
+      for (int installed : binding.synthetic_query_ids) {
+        (void)registry_.RemoveQuery(installed);
+      }
+      return status;
+    }
+    binding.synthetic_query_ids.push_back(member.id);
+  }
+  for (int source_id : query.source_ids) {
+    DKF_RETURN_IF_ERROR(ReconfigureSource(source_id));
+  }
+  aggregates_[query.id] = std::move(binding);
+  return Status::OK();
+}
+
+Status StreamManager::RemoveAggregateQuery(int aggregate_id) {
+  auto it = aggregates_.find(aggregate_id);
+  if (it == aggregates_.end()) {
+    return Status::NotFound(
+        StrFormat("aggregate %d not registered", aggregate_id));
+  }
+  for (int query_id : it->second.synthetic_query_ids) {
+    DKF_RETURN_IF_ERROR(registry_.RemoveQuery(query_id));
+  }
+  for (int source_id : it->second.source_ids) {
+    DKF_RETURN_IF_ERROR(ReconfigureSource(source_id));
+  }
+  aggregates_.erase(it);
+  return Status::OK();
+}
+
+Result<double> StreamManager::AnswerAggregate(int aggregate_id) const {
+  auto it = aggregates_.find(aggregate_id);
+  if (it == aggregates_.end()) {
+    return Status::NotFound(
+        StrFormat("aggregate %d not registered", aggregate_id));
+  }
+  double sum = 0.0;
+  for (int source_id : it->second.source_ids) {
+    auto answer_or = server_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    sum += answer_or.value()[0];
+  }
+  return sum;
+}
+
+Status StreamManager::ReconfigureSource(int source_id) {
+  SourceNode& node = *sources_.at(source_id);
+  auto delta_or = registry_.EffectiveDelta(source_id);
+  const double new_delta =
+      delta_or.ok() ? delta_or.value() : options_.default_delta;
+
+  std::optional<double> new_smoothing;
+  auto smoothing_or = registry_.EffectiveSmoothing(source_id);
+  if (smoothing_or.ok()) new_smoothing = smoothing_or.value();
+
+  bool changed = false;
+  if (node.delta() != new_delta) {
+    DKF_RETURN_IF_ERROR(node.set_delta(new_delta));
+    changed = true;
+  }
+  // Only touch (and thereby restart) the KF_c smoother when the factor
+  // actually changed.
+  if (installed_smoothing_[source_id] != new_smoothing) {
+    DKF_RETURN_IF_ERROR(node.set_smoothing(new_smoothing));
+    installed_smoothing_[source_id] = new_smoothing;
+    changed = true;
+  }
+  if (changed) ++control_messages_;
+  return Status::OK();
+}
+
+Status StreamManager::ProcessTick(const std::map<int, Vector>& readings) {
+  if (readings.size() != sources_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu readings for %zu sources", readings.size(),
+                  sources_.size()));
+  }
+  for (const auto& [id, node] : sources_) {
+    if (!readings.contains(id)) {
+      return Status::InvalidArgument(
+          StrFormat("missing reading for source %d", id));
+    }
+  }
+  // Server-side prediction step for every stream, then the sources.
+  DKF_RETURN_IF_ERROR(server_.TickAll());
+  for (auto& [id, node] : sources_) {
+    auto step_or = node->ProcessReading(ticks_, readings.at(id), &channel_);
+    if (!step_or.ok()) return step_or.status();
+  }
+  ++ticks_;
+  return Status::OK();
+}
+
+Result<Vector> StreamManager::Answer(int source_id) const {
+  return server_.Answer(source_id);
+}
+
+Result<ServerNode::ConfidentAnswer> StreamManager::AnswerWithConfidence(
+    int source_id) const {
+  return server_.AnswerWithConfidence(source_id);
+}
+
+Status StreamManager::VerifyMirrorConsistency() const {
+  for (const auto& [id, node] : sources_) {
+    auto predictor_or = server_.predictor(id);
+    if (!predictor_or.ok()) return predictor_or.status();
+    if (!node->mirror().StateEquals(*predictor_or.value())) {
+      return Status::Internal(
+          StrFormat("mirror-consistency violated for source %d", id));
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> StreamManager::source_delta(int source_id) const {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->delta();
+}
+
+Result<int64_t> StreamManager::updates_sent(int source_id) const {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->updates_sent();
+}
+
+}  // namespace dkf

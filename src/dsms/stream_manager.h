@@ -1,0 +1,122 @@
+#ifndef DKF_DSMS_STREAM_MANAGER_H_
+#define DKF_DSMS_STREAM_MANAGER_H_
+
+#include <map>
+#include <memory>
+
+#include "common/result.h"
+#include "dsms/channel.h"
+#include "dsms/energy_model.h"
+#include "dsms/server_node.h"
+#include "dsms/source_node.h"
+#include "models/state_model.h"
+#include "query/aggregate.h"
+#include "query/query.h"
+#include "query/registry.h"
+
+namespace dkf {
+
+/// Configuration of the end-to-end stream manager.
+struct StreamManagerOptions {
+  EnergyModelOptions energy;
+  ChannelOptions channel;
+  /// Delta a source runs at before any query binds to it (a registered
+  /// source with no query still streams, at this loose precision).
+  double default_delta = 1e6;
+};
+
+/// The paper's Figure-1 system as one object (§6 first future-work item:
+/// "developing an end-to-end system"): users submit continuous queries
+/// with precision constraints; the manager derives each source's
+/// effective delta and smoothing from the registry, installs/reconfigures
+/// the dual filters, drives the tick loop, and answers queries from the
+/// server-side predictors.
+///
+/// Reconfiguration (a query arriving or leaving mid-stream) is pushed to
+/// the source as a control message on the (perfect, out-of-band) downlink
+/// and counted, so the cost of query churn is visible.
+class StreamManager {
+ public:
+  explicit StreamManager(const StreamManagerOptions& options);
+
+  StreamManager(StreamManager&&) = delete;
+  StreamManager& operator=(StreamManager&&) = delete;
+
+  /// Installs a source and its dual filters. The model's measurement
+  /// width defines the reading width ProcessTick expects for it.
+  Status RegisterSource(int source_id, const StateModel& model);
+
+  /// Registers a continuous query and reconfigures its source's delta /
+  /// smoothing to the registry's new effective values. The query's source
+  /// must be registered.
+  Status SubmitQuery(const ContinuousQuery& query);
+
+  /// Removes a query and relaxes its source's configuration accordingly.
+  Status RemoveQuery(int query_id);
+
+  /// Registers a continuous SUM query over scalar sources: the precision
+  /// budget is split into per-source deltas (uniformly, or proportional
+  /// to `weights`) and installed as synthetic per-source queries, so the
+  /// aggregate guarantee |sum answers - sum readings| <= precision holds
+  /// on every suppressed tick by construction.
+  Status SubmitAggregateQuery(const AggregateQuery& query,
+                              const std::vector<double>& weights = {});
+
+  /// Removes an aggregate query and its synthetic per-source queries.
+  Status RemoveAggregateQuery(int aggregate_id);
+
+  /// The server's current answer for an aggregate query's sum.
+  Result<double> AnswerAggregate(int aggregate_id) const;
+
+  /// Advances one tick: the server propagates every filter, then each
+  /// source processes its reading (suppressing or transmitting).
+  /// `readings` must contain exactly one entry per registered source.
+  Status ProcessTick(const std::map<int, Vector>& readings);
+
+  /// The server's current answer for a source's stream.
+  Result<Vector> Answer(int source_id) const;
+
+  /// Answer plus confidence (projected state covariance).
+  Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
+      int source_id) const;
+
+  /// Verifies the mirror-consistency invariant across every source.
+  Status VerifyMirrorConsistency() const;
+
+  const ChannelStats& uplink_traffic() const { return channel_.total(); }
+  int64_t control_messages() const { return control_messages_; }
+  int64_t ticks() const { return ticks_; }
+  const QueryRegistry& registry() const { return registry_; }
+
+  /// Per-source effective delta currently installed.
+  Result<double> source_delta(int source_id) const;
+
+  /// Per-source update totals.
+  Result<int64_t> updates_sent(int source_id) const;
+
+ private:
+  /// Pushes the registry's current effective delta/smoothing to a source
+  /// (one control message when something actually changed).
+  Status ReconfigureSource(int source_id);
+
+  StreamManagerOptions options_;
+  ServerNode server_;
+  Channel channel_;
+  std::map<int, std::unique_ptr<SourceNode>> sources_;
+  /// Smoothing factor currently installed at each source (the manager
+  /// tracks it so an unrelated reconfiguration does not restart KF_c).
+  std::map<int, std::optional<double>> installed_smoothing_;
+  /// Aggregate id -> {member sources, synthetic query ids}.
+  struct AggregateBinding {
+    std::vector<int> source_ids;
+    std::vector<int> synthetic_query_ids;
+  };
+  std::map<int, AggregateBinding> aggregates_;
+  QueryRegistry registry_;
+  int64_t control_messages_ = 0;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_DSMS_STREAM_MANAGER_H_

@@ -1,0 +1,120 @@
+#include "filter/extended_kalman_filter.h"
+
+#include "common/string_util.h"
+#include "linalg/decompose.h"
+
+namespace dkf {
+
+namespace {
+
+Status ValidateOptions(const ExtendedKalmanFilterOptions& options) {
+  if (!options.transition || !options.transition_jacobian ||
+      !options.measurement || !options.measurement_jacobian) {
+    return Status::InvalidArgument(
+        "EKF requires transition, measurement, and both Jacobians");
+  }
+  const size_t n = options.initial_state.size();
+  if (n == 0) return Status::InvalidArgument("empty initial state");
+  if (options.process_noise.rows() != n || options.process_noise.cols() != n) {
+    return Status::InvalidArgument("process noise must be n x n");
+  }
+  const size_t m = options.measurement_noise.rows();
+  if (m == 0 || options.measurement_noise.cols() != m) {
+    return Status::InvalidArgument("measurement noise must be m x m");
+  }
+  if (options.initial_covariance.rows() != n ||
+      options.initial_covariance.cols() != n) {
+    return Status::InvalidArgument("initial covariance must be n x n");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ExtendedKalmanFilter::ExtendedKalmanFilter(
+    ExtendedKalmanFilterOptions options)
+    : options_(std::move(options)),
+      x_(options_.initial_state),
+      p_(options_.initial_covariance) {}
+
+Result<ExtendedKalmanFilter> ExtendedKalmanFilter::Create(
+    const ExtendedKalmanFilterOptions& options) {
+  DKF_RETURN_IF_ERROR(ValidateOptions(options));
+  return ExtendedKalmanFilter(options);
+}
+
+Status ExtendedKalmanFilter::Predict() {
+  const Matrix jacobian = options_.transition_jacobian(x_, step_);
+  if (jacobian.rows() != x_.size() || jacobian.cols() != x_.size()) {
+    return Status::Internal("transition Jacobian has wrong shape");
+  }
+  x_ = options_.transition(x_, step_);
+  if (x_.size() != jacobian.rows()) {
+    return Status::Internal("transition changed the state dimension");
+  }
+  p_ = jacobian * p_ * jacobian.Transpose() + options_.process_noise;
+  p_.Symmetrize();
+  ++step_;
+  if (!x_.IsFinite() || !p_.IsFinite()) {
+    return Status::Internal("EKF state diverged to non-finite values");
+  }
+  return Status::OK();
+}
+
+Vector ExtendedKalmanFilter::PredictedMeasurement() const {
+  return options_.measurement(x_);
+}
+
+Status ExtendedKalmanFilter::Correct(const Vector& z) {
+  const Matrix h = options_.measurement_jacobian(x_);
+  if (h.cols() != x_.size()) {
+    return Status::Internal("measurement Jacobian has wrong shape");
+  }
+  if (z.size() != h.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("measurement size %zu, expected %zu", z.size(), h.rows()));
+  }
+  const Matrix s = h * p_ * h.Transpose() + options_.measurement_noise;
+  auto s_inv_or = Inverse(s);
+  if (!s_inv_or.ok()) {
+    return Status::FailedPrecondition(
+        "innovation covariance not invertible: " +
+        s_inv_or.status().message());
+  }
+  const Matrix k = p_ * h.Transpose() * s_inv_or.value();
+  const Vector innovation = z - options_.measurement(x_);
+  x_ += k * innovation;
+  const Matrix i_kh = Matrix::Identity(x_.size()) - k * h;
+  p_ = i_kh * p_ * i_kh.Transpose() +
+       k * options_.measurement_noise * k.Transpose();
+  p_.Symmetrize();
+  if (!x_.IsFinite() || !p_.IsFinite()) {
+    return Status::Internal("EKF state diverged to non-finite values");
+  }
+  return Status::OK();
+}
+
+bool ExtendedKalmanFilter::StateEquals(
+    const ExtendedKalmanFilter& other) const {
+  if (step_ != other.step_ || x_.size() != other.x_.size()) return false;
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (x_[i] != other.x_[i]) return false;
+  }
+  if (p_.rows() != other.p_.rows() || p_.cols() != other.p_.cols()) {
+    return false;
+  }
+  for (size_t r = 0; r < p_.rows(); ++r) {
+    for (size_t c = 0; c < p_.cols(); ++c) {
+      if (p_(r, c) != other.p_(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+void ExtendedKalmanFilter::Reset() {
+  x_ = options_.initial_state;
+  p_ = options_.initial_covariance;
+  step_ = 0;
+}
+
+}  // namespace dkf

@@ -1,0 +1,76 @@
+#ifndef DKF_FILTER_EXTENDED_KALMAN_FILTER_H_
+#define DKF_FILTER_EXTENDED_KALMAN_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Configuration of an extended Kalman filter for the nonlinear system
+///   x_{k+1} = f(x_k, k) + w_k
+///   z_k     = h(x_k) + v_k
+/// linearized about the most recent estimate (§3.2 cases 2-3: nonlinear
+/// state propagation and/or measurement).
+struct ExtendedKalmanFilterOptions {
+  /// Nonlinear state propagation f(x, k).
+  std::function<Vector(const Vector&, int64_t)> transition;
+
+  /// Jacobian of f with respect to x, evaluated at (x, k).
+  std::function<Matrix(const Vector&, int64_t)> transition_jacobian;
+
+  /// Nonlinear measurement function h(x).
+  std::function<Vector(const Vector&)> measurement;
+
+  /// Jacobian of h with respect to x.
+  std::function<Matrix(const Vector&)> measurement_jacobian;
+
+  Matrix process_noise;      ///< Q (n x n)
+  Matrix measurement_noise;  ///< R (m x m)
+  Vector initial_state;      ///< x_0 (n)
+  Matrix initial_covariance; ///< P_0 (n x n)
+};
+
+/// Extended Kalman filter. Mirrors the KalmanFilter tick discipline:
+/// Predict() once per step, Correct(z) only when a measurement arrives.
+class ExtendedKalmanFilter {
+ public:
+  static Result<ExtendedKalmanFilter> Create(
+      const ExtendedKalmanFilterOptions& options);
+
+  /// Time update through the nonlinear model: x <- f(x, k),
+  /// P <- F P F^T + Q with F the transition Jacobian at the prior estimate.
+  Status Predict();
+
+  /// h(x) at the current estimate.
+  Vector PredictedMeasurement() const;
+
+  /// Measurement update linearized at the current estimate.
+  Status Correct(const Vector& z);
+
+  const Vector& state() const { return x_; }
+  const Matrix& covariance() const { return p_; }
+  int64_t step() const { return step_; }
+
+  /// True when both filters have bit-identical state, covariance, and
+  /// step counter (the mirror-consistency predicate; the callbacks are
+  /// assumed shared/equal by construction).
+  bool StateEquals(const ExtendedKalmanFilter& other) const;
+
+  void Reset();
+
+ private:
+  explicit ExtendedKalmanFilter(ExtendedKalmanFilterOptions options);
+
+  ExtendedKalmanFilterOptions options_;
+  Vector x_;
+  Matrix p_;
+  int64_t step_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_EXTENDED_KALMAN_FILTER_H_

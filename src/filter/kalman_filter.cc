@@ -1,0 +1,171 @@
+#include "filter/kalman_filter.h"
+
+#include "common/string_util.h"
+#include "linalg/decompose.h"
+
+namespace dkf {
+
+namespace {
+
+Status ValidateOptions(const KalmanFilterOptions& options) {
+  const size_t n = options.initial_state.size();
+  if (n == 0) return Status::InvalidArgument("empty initial state");
+  if (!options.transition_fn) {
+    if (options.transition.rows() != n || options.transition.cols() != n) {
+      return Status::InvalidArgument(
+          StrFormat("transition is %zux%zu, state dim is %zu",
+                    options.transition.rows(), options.transition.cols(), n));
+    }
+  }
+  const size_t m = options.measurement.rows();
+  if (m == 0 || options.measurement.cols() != n) {
+    return Status::InvalidArgument(
+        StrFormat("measurement matrix is %zux%zu, state dim is %zu", m,
+                  options.measurement.cols(), n));
+  }
+  if (options.process_noise.rows() != n || options.process_noise.cols() != n) {
+    return Status::InvalidArgument("process noise must be n x n");
+  }
+  if (options.measurement_noise.rows() != m ||
+      options.measurement_noise.cols() != m) {
+    return Status::InvalidArgument("measurement noise must be m x m");
+  }
+  if (options.initial_covariance.rows() != n ||
+      options.initial_covariance.cols() != n) {
+    return Status::InvalidArgument("initial covariance must be n x n");
+  }
+  if (!options.initial_state.IsFinite() ||
+      !options.initial_covariance.IsFinite()) {
+    return Status::InvalidArgument("non-finite initial state or covariance");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+KalmanFilter::KalmanFilter(KalmanFilterOptions options)
+    : options_(std::move(options)),
+      x_(options_.initial_state),
+      p_(options_.initial_covariance) {}
+
+Result<KalmanFilter> KalmanFilter::Create(const KalmanFilterOptions& options) {
+  DKF_RETURN_IF_ERROR(ValidateOptions(options));
+  return KalmanFilter(options);
+}
+
+Matrix KalmanFilter::TransitionAt(int64_t step) const {
+  return options_.transition_fn ? options_.transition_fn(step)
+                                : options_.transition;
+}
+
+Status KalmanFilter::Predict() {
+  const Matrix phi = TransitionAt(step_);
+  if (phi.rows() != x_.size() || phi.cols() != x_.size()) {
+    return Status::Internal(
+        StrFormat("transition_fn returned %zux%zu for state dim %zu",
+                  phi.rows(), phi.cols(), x_.size()));
+  }
+  x_ = phi * x_;
+  p_ = phi * p_ * phi.Transpose() + options_.process_noise;
+  p_.Symmetrize();
+  ++step_;
+  if (!x_.IsFinite() || !p_.IsFinite()) {
+    return Status::Internal("filter state diverged to non-finite values");
+  }
+  return Status::OK();
+}
+
+Vector KalmanFilter::PredictedMeasurement() const {
+  return options_.measurement * x_;
+}
+
+Matrix KalmanFilter::InnovationCovariance() const {
+  const Matrix& h = options_.measurement;
+  return h * p_ * h.Transpose() + options_.measurement_noise;
+}
+
+Status KalmanFilter::Correct(const Vector& z) {
+  const Matrix& h = options_.measurement;
+  if (z.size() != h.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("measurement size %zu, expected %zu", z.size(), h.rows()));
+  }
+  const Matrix s = InnovationCovariance();
+  // K = P H^T S^{-1}, computed by solving S K^T = H P (S is symmetric).
+  auto s_inv_or = Inverse(s);
+  if (!s_inv_or.ok()) {
+    return Status::FailedPrecondition(
+        "innovation covariance not invertible: " +
+        s_inv_or.status().message());
+  }
+  const Matrix k = p_ * h.Transpose() * s_inv_or.value();
+
+  const Vector innovation = z - h * x_;
+  x_ += k * innovation;
+
+  // Joseph-form covariance update: (I-KH) P (I-KH)^T + K R K^T. Stable
+  // against the loss of symmetry/positivity the textbook form suffers.
+  const Matrix i_kh = Matrix::Identity(x_.size()) - k * h;
+  p_ = i_kh * p_ * i_kh.Transpose() +
+       k * options_.measurement_noise * k.Transpose();
+  p_.Symmetrize();
+  last_innovation_ = innovation;
+  if (!x_.IsFinite() || !p_.IsFinite()) {
+    return Status::Internal("filter state diverged to non-finite values");
+  }
+  return Status::OK();
+}
+
+Result<double> KalmanFilter::Nis(const Vector& z) const {
+  const Matrix& h = options_.measurement;
+  if (z.size() != h.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("measurement size %zu, expected %zu", z.size(), h.rows()));
+  }
+  const Vector innovation = z - h * x_;
+  auto solved = SolveLinear(InnovationCovariance(), innovation);
+  if (!solved.ok()) return solved.status();
+  return innovation.Dot(solved.value());
+}
+
+Status KalmanFilter::set_process_noise(const Matrix& q) {
+  if (q.rows() != x_.size() || q.cols() != x_.size()) {
+    return Status::InvalidArgument("process noise must be n x n");
+  }
+  options_.process_noise = q;
+  return Status::OK();
+}
+
+Status KalmanFilter::set_measurement_noise(const Matrix& r) {
+  const size_t m = options_.measurement.rows();
+  if (r.rows() != m || r.cols() != m) {
+    return Status::InvalidArgument("measurement noise must be m x m");
+  }
+  options_.measurement_noise = r;
+  return Status::OK();
+}
+
+void KalmanFilter::Reset() {
+  x_ = options_.initial_state;
+  p_ = options_.initial_covariance;
+  step_ = 0;
+  last_innovation_ = Vector();
+}
+
+bool KalmanFilter::StateEquals(const KalmanFilter& other) const {
+  if (step_ != other.step_ || x_.size() != other.x_.size()) return false;
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (x_[i] != other.x_[i]) return false;
+  }
+  if (p_.rows() != other.p_.rows() || p_.cols() != other.p_.cols()) {
+    return false;
+  }
+  for (size_t r = 0; r < p_.rows(); ++r) {
+    for (size_t c = 0; c < p_.cols(); ++c) {
+      if (p_(r, c) != other.p_(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dkf

@@ -1,0 +1,130 @@
+#ifndef DKF_FILTER_KALMAN_FILTER_H_
+#define DKF_FILTER_KALMAN_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Full configuration of a discrete Kalman filter
+///   x_{k+1} = phi_k x_k + w_k,   w ~ N(0, Q)
+///   z_k     = H x_k + v_k,       v ~ N(0, R)
+/// (paper eqs. 3-12). `transition_fn`, when set, supplies a time-varying
+/// phi_k (needed by the sinusoidal model of §4.2); otherwise the constant
+/// `transition` is used.
+struct KalmanFilterOptions {
+  /// Constant state-transition matrix phi (n x n). Ignored when
+  /// transition_fn is set.
+  Matrix transition;
+
+  /// Optional time-varying transition: called with the *current* step index
+  /// k to produce the matrix relating x_k to x_{k+1}. Must be
+  /// deterministic — the dual-filter protocol relies on the mirror filter
+  /// reproducing the server filter bit-for-bit.
+  std::function<Matrix(int64_t)> transition_fn;
+
+  /// Measurement matrix H (m x n).
+  Matrix measurement;
+
+  /// Process-noise covariance Q (n x n).
+  Matrix process_noise;
+
+  /// Measurement-noise covariance R (m x m).
+  Matrix measurement_noise;
+
+  /// Initial state estimate x_0 (n).
+  Vector initial_state;
+
+  /// Initial error covariance P_0 (n x n).
+  Matrix initial_covariance;
+};
+
+/// Discrete Kalman filter over double-valued states.
+///
+/// Usage per tick: call Predict() once (propagates the estimate through
+/// phi_k and inflates the covariance by Q), read PredictedMeasurement(),
+/// and call Correct(z) only when a measurement is available. Skipping
+/// Correct leaves the filter coasting on the model — exactly the behaviour
+/// the DKF protocol exploits when an update is suppressed.
+class KalmanFilter {
+ public:
+  /// Validates dimensions and builds the filter. Errors with
+  /// InvalidArgument when shapes are inconsistent.
+  static Result<KalmanFilter> Create(const KalmanFilterOptions& options);
+
+  /// Time update: x <- phi_k x, P <- phi_k P phi_k^T + Q; advances the step
+  /// counter. After this call state() is the a-priori estimate for the new
+  /// step.
+  Status Predict();
+
+  /// The measurement the filter expects at the current step: H x.
+  Vector PredictedMeasurement() const;
+
+  /// Measurement update with observation z (the correction step, eq. 8-12;
+  /// the covariance update uses the Joseph form for numerical robustness).
+  /// Errors when the innovation covariance is not invertible.
+  Status Correct(const Vector& z);
+
+  /// Current state estimate (a-priori right after Predict, a-posteriori
+  /// right after Correct).
+  const Vector& state() const { return x_; }
+
+  /// Current error covariance.
+  const Matrix& covariance() const { return p_; }
+
+  /// Number of Predict() calls so far.
+  int64_t step() const { return step_; }
+
+  size_t state_dim() const { return x_.size(); }
+  size_t measurement_dim() const { return options_.measurement.rows(); }
+
+  /// Innovation z - Hx from the most recent Correct (empty before the
+  /// first correction).
+  const Vector& last_innovation() const { return last_innovation_; }
+
+  /// Innovation covariance S = H P H^T + R at the current state.
+  Matrix InnovationCovariance() const;
+
+  /// Normalized innovation squared y^T S^{-1} y for measurement z — the
+  /// chi-squared consistency statistic used by outlier detection, model
+  /// switching, and adaptive sampling.
+  Result<double> Nis(const Vector& z) const;
+
+  /// Replaces Q (used by the adaptive noise estimator and the smoothing
+  /// factor F knob). Must keep the (n x n) shape.
+  Status set_process_noise(const Matrix& q);
+
+  /// Replaces R. Must keep the (m x m) shape.
+  Status set_measurement_noise(const Matrix& r);
+
+  const Matrix& process_noise() const { return options_.process_noise; }
+  const Matrix& measurement_noise() const {
+    return options_.measurement_noise;
+  }
+
+  /// Resets state, covariance, and step counter to the initial values.
+  void Reset();
+
+  /// True when the two filters have bit-identical state, covariance, and
+  /// step counter — the mirror-consistency predicate of the DKF protocol.
+  bool StateEquals(const KalmanFilter& other) const;
+
+ private:
+  explicit KalmanFilter(KalmanFilterOptions options);
+
+  Matrix TransitionAt(int64_t step) const;
+
+  KalmanFilterOptions options_;
+  Vector x_;
+  Matrix p_;
+  int64_t step_ = 0;
+  Vector last_innovation_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_KALMAN_FILTER_H_

@@ -1,0 +1,69 @@
+#include "filter/noise_estimation.h"
+
+#include <algorithm>
+
+namespace dkf {
+
+Result<AdaptiveNoiseEstimator> AdaptiveNoiseEstimator::Create(
+    const AdaptiveNoiseOptions& options) {
+  if (options.window == 0) {
+    return Status::InvalidArgument("window must be positive");
+  }
+  if (options.min_samples == 0 || options.min_samples > options.window) {
+    return Status::InvalidArgument(
+        "min_samples must be in [1, window]");
+  }
+  if (options.floor <= 0.0) {
+    return Status::InvalidArgument("variance floor must be positive");
+  }
+  return AdaptiveNoiseEstimator(options);
+}
+
+void AdaptiveNoiseEstimator::Observe(const Vector& innovation,
+                                     const Matrix& projected_covariance) {
+  innovations_.push_back(innovation);
+  projected_.push_back(projected_covariance);
+  while (innovations_.size() > options_.window) {
+    innovations_.pop_front();
+    projected_.pop_front();
+  }
+}
+
+Result<Matrix> AdaptiveNoiseEstimator::EstimateMeasurementNoise() const {
+  if (innovations_.size() < options_.min_samples) {
+    return Status::FailedPrecondition("not enough innovations to adapt");
+  }
+  const size_t m = innovations_.front().size();
+  const double count = static_cast<double>(innovations_.size());
+
+  // Sample second moment of the innovations (mean is theoretically zero for
+  // a consistent filter; using the raw second moment also captures bias
+  // caused by an over-confident R).
+  Matrix moment(m, m);
+  for (const Vector& y : innovations_) {
+    moment += y.Outer(y);
+  }
+  moment = moment * (1.0 / count);
+
+  // Average of the projected a-priori covariances H P^- H^T.
+  Matrix projected(m, m);
+  for (const Matrix& hph : projected_) projected += hph;
+  projected = projected * (1.0 / count);
+
+  Matrix estimate = moment - projected;
+  estimate.Symmetrize();
+  // Clamp diagonals to the floor; zero out any row/col whose diagonal was
+  // clamped hard negative to keep the matrix PSD-ish.
+  for (size_t i = 0; i < m; ++i) {
+    estimate(i, i) = std::max(estimate(i, i), options_.floor);
+  }
+  return estimate;
+}
+
+Status AdaptiveNoiseEstimator::Apply(KalmanFilter* filter) const {
+  auto estimate_or = EstimateMeasurementNoise();
+  if (!estimate_or.ok()) return estimate_or.status();
+  return filter->set_measurement_noise(estimate_or.value());
+}
+
+}  // namespace dkf

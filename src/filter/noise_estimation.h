@@ -1,0 +1,57 @@
+#ifndef DKF_FILTER_NOISE_ESTIMATION_H_
+#define DKF_FILTER_NOISE_ESTIMATION_H_
+
+#include <deque>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "filter/kalman_filter.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Innovation-based adaptive estimation of the measurement-noise
+/// covariance R, addressing the paper's future-work item "robustness of
+/// the KF when the statistics of the noise are not known" (§6).
+///
+/// Over a sliding window of innovations y_k = z_k - H x^-_k the sample
+/// covariance C approaches S = H P^- H^T + R for a consistent filter, so
+///   R_hat = C - H P^- H^T
+/// (projected back to positive diagonals) tracks the true R. Feeding R_hat
+/// back into the filter closes the adaptation loop.
+struct AdaptiveNoiseOptions {
+  size_t window = 64;        ///< innovations kept for the sample covariance
+  size_t min_samples = 16;   ///< don't adapt before this many innovations
+  double floor = 1e-9;       ///< lower clamp for estimated variances
+};
+
+class AdaptiveNoiseEstimator {
+ public:
+  static Result<AdaptiveNoiseEstimator> Create(
+      const AdaptiveNoiseOptions& options);
+
+  /// Records the innovation and a-priori projected covariance
+  /// H P^- H^T from one correction step.
+  void Observe(const Vector& innovation, const Matrix& projected_covariance);
+
+  /// Current estimate of R, or FailedPrecondition before min_samples
+  /// innovations have been observed.
+  Result<Matrix> EstimateMeasurementNoise() const;
+
+  /// Convenience: estimate R and install it into `filter`.
+  Status Apply(KalmanFilter* filter) const;
+
+  size_t samples() const { return innovations_.size(); }
+
+ private:
+  explicit AdaptiveNoiseEstimator(const AdaptiveNoiseOptions& options)
+      : options_(options) {}
+
+  AdaptiveNoiseOptions options_;
+  std::deque<Vector> innovations_;
+  std::deque<Matrix> projected_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_NOISE_ESTIMATION_H_

@@ -1,0 +1,61 @@
+#include "filter/recursive_least_squares.h"
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+RecursiveLeastSquares::RecursiveLeastSquares(
+    const RecursiveLeastSquaresOptions& options)
+    : options_(options),
+      w_(options.dim),
+      p_(Matrix::ScaledIdentity(options.dim, options.initial_gain)) {}
+
+Result<RecursiveLeastSquares> RecursiveLeastSquares::Create(
+    const RecursiveLeastSquaresOptions& options) {
+  if (options.dim == 0) {
+    return Status::InvalidArgument("parameter dimension must be positive");
+  }
+  if (options.forgetting <= 0.0 || options.forgetting > 1.0) {
+    return Status::InvalidArgument("forgetting factor must be in (0, 1]");
+  }
+  if (options.initial_gain <= 0.0) {
+    return Status::InvalidArgument("initial gain must be positive");
+  }
+  return RecursiveLeastSquares(options);
+}
+
+Status RecursiveLeastSquares::Update(const Vector& phi, double z) {
+  if (phi.size() != options_.dim) {
+    return Status::InvalidArgument(
+        StrFormat("regressor size %zu, expected %zu", phi.size(),
+                  options_.dim));
+  }
+  const double lambda = options_.forgetting;
+  const Vector p_phi = p_ * phi;
+  const double denom = lambda + phi.Dot(p_phi);
+  if (denom <= 0.0) {
+    return Status::FailedPrecondition("RLS update denominator not positive");
+  }
+  const Vector gain = p_phi * (1.0 / denom);
+  const double error = z - phi.Dot(w_);
+  w_ += gain * error;
+  // P <- (P - k phi^T P) / lambda.
+  p_ = (p_ - gain.Outer(p_phi)) * (1.0 / lambda);
+  p_.Symmetrize();
+  ++observations_;
+  if (!w_.IsFinite() || !p_.IsFinite()) {
+    return Status::Internal("RLS diverged to non-finite values");
+  }
+  return Status::OK();
+}
+
+Result<double> RecursiveLeastSquares::Predict(const Vector& phi) const {
+  if (phi.size() != options_.dim) {
+    return Status::InvalidArgument(
+        StrFormat("regressor size %zu, expected %zu", phi.size(),
+                  options_.dim));
+  }
+  return phi.Dot(w_);
+}
+
+}  // namespace dkf

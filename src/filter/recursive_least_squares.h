@@ -1,0 +1,53 @@
+#ifndef DKF_FILTER_RECURSIVE_LEAST_SQUARES_H_
+#define DKF_FILTER_RECURSIVE_LEAST_SQUARES_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Recursive least squares estimation of a parameter vector w from scalar
+/// observations z_k = phi_k^T w + e_k.
+///
+/// Section 3.2 (case 4) observes that when measurements carry no confidence
+/// value and are treated as exact, Kalman filtering degenerates to
+/// (weighted) least squares; RLS is that degenerate case with an optional
+/// exponential forgetting factor for slowly drifting parameters.
+struct RecursiveLeastSquaresOptions {
+  size_t dim = 0;             ///< number of parameters
+  double forgetting = 1.0;    ///< lambda in (0, 1]; 1 = no forgetting
+  double initial_gain = 1e6;  ///< P_0 = initial_gain * I (diffuse prior)
+};
+
+class RecursiveLeastSquares {
+ public:
+  static Result<RecursiveLeastSquares> Create(
+      const RecursiveLeastSquaresOptions& options);
+
+  /// Incorporates one observation with regressor `phi` and target `z`.
+  Status Update(const Vector& phi, double z);
+
+  /// Predicted target for regressor `phi`: phi^T w.
+  Result<double> Predict(const Vector& phi) const;
+
+  /// Current parameter estimate.
+  const Vector& parameters() const { return w_; }
+
+  /// Current inverse-information matrix (gain covariance).
+  const Matrix& gain_covariance() const { return p_; }
+
+  int64_t observations() const { return observations_; }
+
+ private:
+  RecursiveLeastSquares(const RecursiveLeastSquaresOptions& options);
+
+  RecursiveLeastSquaresOptions options_;
+  Vector w_;
+  Matrix p_;
+  int64_t observations_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_RECURSIVE_LEAST_SQUARES_H_

@@ -1,0 +1,76 @@
+#include "filter/rts_smoother.h"
+
+#include "linalg/decompose.h"
+
+namespace dkf {
+
+Result<RtsResult> RtsSmooth(
+    const KalmanFilterOptions& options,
+    const std::vector<std::optional<Vector>>& measurements) {
+  if (measurements.empty()) {
+    return Status::InvalidArgument("no measurements to smooth");
+  }
+  auto filter_or = KalmanFilter::Create(options);
+  if (!filter_or.ok()) return filter_or.status();
+  KalmanFilter filter = std::move(filter_or).value();
+
+  const size_t n = measurements.size();
+  // Forward pass, recording priors and posteriors.
+  std::vector<Vector> prior_states(n);
+  std::vector<Matrix> prior_covs(n);
+  std::vector<Vector> post_states(n);
+  std::vector<Matrix> post_covs(n);
+  std::vector<Matrix> transitions(n);
+
+  for (size_t k = 0; k < n; ++k) {
+    // The transition that maps step k-1 to k is TransitionAt(k-1); record
+    // the one mapping k to k+1 for the backward recursion.
+    transitions[k] = options.transition_fn
+                         ? options.transition_fn(static_cast<int64_t>(k) + 1)
+                         : options.transition;
+    DKF_RETURN_IF_ERROR(filter.Predict());
+    prior_states[k] = filter.state();
+    prior_covs[k] = filter.covariance();
+    if (measurements[k].has_value()) {
+      DKF_RETURN_IF_ERROR(filter.Correct(*measurements[k]));
+    }
+    post_states[k] = filter.state();
+    post_covs[k] = filter.covariance();
+  }
+
+  // Backward pass.
+  RtsResult result;
+  result.states.resize(n);
+  result.covariances.resize(n);
+  result.states[n - 1] = post_states[n - 1];
+  result.covariances[n - 1] = post_covs[n - 1];
+  for (size_t kk = n - 1; kk > 0; --kk) {
+    const size_t k = kk - 1;
+    // Gain C_k = P_k phi_k^T (P^-_{k+1})^{-1}, with phi_k relating step k
+    // to step k+1.
+    auto prior_inv_or = Inverse(prior_covs[k + 1]);
+    if (!prior_inv_or.ok()) {
+      return Status::FailedPrecondition(
+          "prior covariance not invertible in RTS backward pass: " +
+          prior_inv_or.status().message());
+    }
+    const Matrix gain =
+        post_covs[k] * transitions[k].Transpose() * prior_inv_or.value();
+    result.states[k] =
+        post_states[k] + gain * (result.states[k + 1] - prior_states[k + 1]);
+    Matrix cov = post_covs[k] +
+                 gain * (result.covariances[k + 1] - prior_covs[k + 1]) *
+                     gain.Transpose();
+    cov.Symmetrize();
+    result.covariances[k] = cov;
+  }
+
+  result.measurements.reserve(n);
+  const Matrix& h = options.measurement;
+  for (size_t k = 0; k < n; ++k) {
+    result.measurements.push_back(h * result.states[k]);
+  }
+  return result;
+}
+
+}  // namespace dkf

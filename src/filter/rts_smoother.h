@@ -1,0 +1,41 @@
+#ifndef DKF_FILTER_RTS_SMOOTHER_H_
+#define DKF_FILTER_RTS_SMOOTHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "filter/kalman_filter.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Output of a fixed-interval Rauch-Tung-Striebel smoothing pass.
+struct RtsResult {
+  /// Smoothed state estimate per tick.
+  std::vector<Vector> states;
+  /// Smoothed state covariance per tick.
+  std::vector<Matrix> covariances;
+  /// Smoothed measurement H x per tick (convenience).
+  std::vector<Vector> measurements;
+};
+
+/// Fixed-interval RTS smoothing over a recorded measurement sequence.
+///
+/// The forward pass is a standard Kalman filter built from `options`;
+/// ticks whose entry is std::nullopt are coasted (prediction only) —
+/// exactly the pattern a stream-synopsis replay produces, where only the
+/// exceptional readings were stored. The backward pass then propagates
+/// information from later updates into the coasted gaps:
+///   C_k = P_k phi_k^T (P^-_{k+1})^{-1}
+///   x^s_k = x_k + C_k (x^s_{k+1} - x^-_{k+1})
+///
+/// This is an offline (archive-quality) refinement of the online
+/// reconstruction; the paper's §6 synopsis extension benefits directly.
+Result<RtsResult> RtsSmooth(
+    const KalmanFilterOptions& options,
+    const std::vector<std::optional<Vector>>& measurements);
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_RTS_SMOOTHER_H_

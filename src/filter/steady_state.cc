@@ -1,0 +1,106 @@
+#include "filter/steady_state.h"
+
+#include "common/string_util.h"
+#include "linalg/decompose.h"
+
+namespace dkf {
+
+Result<SteadyStateSolution> SolveRiccati(const Matrix& transition,
+                                         const Matrix& measurement,
+                                         const Matrix& process_noise,
+                                         const Matrix& measurement_noise,
+                                         double tolerance,
+                                         int max_iterations) {
+  const size_t n = transition.rows();
+  if (transition.cols() != n) {
+    return Status::InvalidArgument("transition must be square");
+  }
+  if (measurement.cols() != n) {
+    return Status::InvalidArgument("measurement must have n columns");
+  }
+  const Matrix h_t = measurement.Transpose();
+  Matrix p = process_noise;  // any PSD start converges for detectable systems
+  int iterations = 0;
+  for (; iterations < max_iterations; ++iterations) {
+    const Matrix s = measurement * p * h_t + measurement_noise;
+    auto s_inv_or = Inverse(s);
+    if (!s_inv_or.ok()) {
+      return Status::FailedPrecondition(
+          "innovation covariance not invertible during Riccati iteration");
+    }
+    const Matrix gain = p * h_t * s_inv_or.value();
+    Matrix next = transition * (p - gain * measurement * p) *
+                      transition.Transpose() +
+                  process_noise;
+    next.Symmetrize();
+    const double delta = next.MaxAbsDiff(p);
+    p = next;
+    if (delta < tolerance) {
+      SteadyStateSolution solution;
+      solution.covariance = p;
+      const Matrix s_final = measurement * p * h_t + measurement_noise;
+      auto s_final_inv = Inverse(s_final);
+      if (!s_final_inv.ok()) return s_final_inv.status();
+      solution.gain = p * h_t * s_final_inv.value();
+      solution.iterations = iterations + 1;
+      return solution;
+    }
+  }
+  return Status::FailedPrecondition(
+      StrFormat("Riccati iteration did not converge in %d steps",
+                max_iterations));
+}
+
+SteadyStateKalmanFilter::SteadyStateKalmanFilter(Matrix transition,
+                                                 Matrix measurement,
+                                                 Matrix gain,
+                                                 Vector initial_state)
+    : transition_(std::move(transition)),
+      measurement_(std::move(measurement)),
+      gain_(std::move(gain)),
+      x_(std::move(initial_state)) {}
+
+Result<SteadyStateKalmanFilter> SteadyStateKalmanFilter::Create(
+    const KalmanFilterOptions& options) {
+  if (options.transition_fn) {
+    return Status::InvalidArgument(
+        "steady-state filter requires a constant transition matrix");
+  }
+  auto solution_or =
+      SolveRiccati(options.transition, options.measurement,
+                   options.process_noise, options.measurement_noise);
+  if (!solution_or.ok()) return solution_or.status();
+  return SteadyStateKalmanFilter(options.transition, options.measurement,
+                                 std::move(solution_or).value().gain,
+                                 options.initial_state);
+}
+
+void SteadyStateKalmanFilter::Predict() {
+  x_ = transition_ * x_;
+  ++step_;
+}
+
+Vector SteadyStateKalmanFilter::PredictedMeasurement() const {
+  return measurement_ * x_;
+}
+
+bool SteadyStateKalmanFilter::StateEquals(
+    const SteadyStateKalmanFilter& other) const {
+  if (step_ != other.step_ || x_.size() != other.x_.size()) return false;
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (x_[i] != other.x_[i]) return false;
+  }
+  return true;
+}
+
+Status SteadyStateKalmanFilter::Correct(const Vector& z) {
+  if (z.size() != measurement_.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("measurement size %zu, expected %zu", z.size(),
+                  measurement_.rows()));
+  }
+  x_ += gain_ * (z - measurement_ * x_);
+  return Status::OK();
+}
+
+}  // namespace dkf

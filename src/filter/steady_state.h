@@ -1,0 +1,75 @@
+#ifndef DKF_FILTER_STEADY_STATE_H_
+#define DKF_FILTER_STEADY_STATE_H_
+
+#include "common/result.h"
+#include "filter/kalman_filter.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Solution of the discrete algebraic Riccati equation for a
+/// time-invariant system: the fixed point of the a-priori covariance
+/// recursion, and the corresponding steady-state Kalman gain.
+struct SteadyStateSolution {
+  Matrix covariance;  ///< steady-state a-priori covariance P^-
+  Matrix gain;        ///< steady-state gain K = P^- H^T (H P^- H^T + R)^{-1}
+  int iterations = 0; ///< Riccati iterations until convergence
+};
+
+/// Iterates the Riccati recursion
+///   P <- phi (P - P H^T (H P H^T + R)^{-1} H P) phi^T + Q
+/// to a fixed point. When the noise processes are stationary (§3.2 case 5)
+/// this can be computed offline and the per-tick covariance update skipped
+/// entirely. Requires a constant transition matrix.
+Result<SteadyStateSolution> SolveRiccati(const Matrix& transition,
+                                         const Matrix& measurement,
+                                         const Matrix& process_noise,
+                                         const Matrix& measurement_noise,
+                                         double tolerance = 1e-12,
+                                         int max_iterations = 100000);
+
+/// A Kalman filter that uses a precomputed constant gain: the state update
+/// costs one matrix-vector product per tick with no covariance arithmetic.
+/// This is the "offline Riccati" runtime optimization of §3.2.
+class SteadyStateKalmanFilter {
+ public:
+  /// Builds the filter by solving the Riccati equation for the options'
+  /// (constant) matrices. Errors when options use a time-varying
+  /// transition.
+  static Result<SteadyStateKalmanFilter> Create(
+      const KalmanFilterOptions& options);
+
+  /// x <- phi x.
+  void Predict();
+
+  /// H x.
+  Vector PredictedMeasurement() const;
+
+  /// x <- x + K (z - H x) with the fixed steady-state gain.
+  Status Correct(const Vector& z);
+
+  const Vector& state() const { return x_; }
+  const Matrix& gain() const { return gain_; }
+  int64_t step() const { return step_; }
+
+  /// Width of the measurement vector.
+  size_t measurement_dim() const { return measurement_.rows(); }
+
+  /// True when both filters share bit-identical state and step counter
+  /// (the gain is constant, so state + step fully determine behaviour).
+  bool StateEquals(const SteadyStateKalmanFilter& other) const;
+
+ private:
+  SteadyStateKalmanFilter(Matrix transition, Matrix measurement, Matrix gain,
+                          Vector initial_state);
+
+  Matrix transition_;
+  Matrix measurement_;
+  Matrix gain_;
+  Vector x_;
+  int64_t step_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_STEADY_STATE_H_

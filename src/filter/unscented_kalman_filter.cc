@@ -1,0 +1,187 @@
+#include "filter/unscented_kalman_filter.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "linalg/decompose.h"
+
+namespace dkf {
+
+namespace {
+
+Status ValidateOptions(const UnscentedKalmanFilterOptions& options) {
+  if (!options.transition || !options.measurement) {
+    return Status::InvalidArgument(
+        "UKF requires transition and measurement functions");
+  }
+  const size_t n = options.initial_state.size();
+  if (n == 0) return Status::InvalidArgument("empty initial state");
+  if (options.process_noise.rows() != n || options.process_noise.cols() != n) {
+    return Status::InvalidArgument("process noise must be n x n");
+  }
+  const size_t m = options.measurement_noise.rows();
+  if (m == 0 || options.measurement_noise.cols() != m) {
+    return Status::InvalidArgument("measurement noise must be m x m");
+  }
+  if (options.initial_covariance.rows() != n ||
+      options.initial_covariance.cols() != n) {
+    return Status::InvalidArgument("initial covariance must be n x n");
+  }
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+UnscentedKalmanFilter::UnscentedKalmanFilter(
+    UnscentedKalmanFilterOptions options)
+    : options_(std::move(options)), x_(options_.initial_state),
+      p_(options_.initial_covariance) {
+  const double n = static_cast<double>(x_.size());
+  lambda_ = options_.alpha * options_.alpha * (n + options_.kappa) - n;
+  const size_t count = 2 * x_.size() + 1;
+  mean_weights_.resize(count);
+  cov_weights_.resize(count);
+  mean_weights_[0] = lambda_ / (n + lambda_);
+  cov_weights_[0] = mean_weights_[0] +
+                    (1.0 - options_.alpha * options_.alpha + options_.beta);
+  for (size_t i = 1; i < count; ++i) {
+    mean_weights_[i] = 1.0 / (2.0 * (n + lambda_));
+    cov_weights_[i] = mean_weights_[i];
+  }
+}
+
+Result<UnscentedKalmanFilter> UnscentedKalmanFilter::Create(
+    const UnscentedKalmanFilterOptions& options) {
+  DKF_RETURN_IF_ERROR(ValidateOptions(options));
+  return UnscentedKalmanFilter(options);
+}
+
+Result<std::vector<Vector>> UnscentedKalmanFilter::SigmaPoints() const {
+  const size_t n = x_.size();
+  const double scale = static_cast<double>(n) + lambda_;
+  Matrix scaled = p_ * scale;
+  auto chol_or = CholeskyDecomposition::Compute(scaled);
+  if (!chol_or.ok()) {
+    return Status::FailedPrecondition(
+        "covariance lost positive definiteness: " +
+        chol_or.status().message());
+  }
+  const Matrix& l = chol_or.value().L();
+  std::vector<Vector> points;
+  points.reserve(2 * n + 1);
+  points.push_back(x_);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(x_ + l.Col(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(x_ - l.Col(i));
+  }
+  return points;
+}
+
+Status UnscentedKalmanFilter::Predict() {
+  auto points_or = SigmaPoints();
+  if (!points_or.ok()) return points_or.status();
+  std::vector<Vector>& points = points_or.value();
+  for (Vector& point : points) {
+    point = options_.transition(point, step_);
+    if (point.size() != x_.size()) {
+      return Status::Internal("transition changed the state dimension");
+    }
+  }
+  Vector mean(x_.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    mean += points[i] * mean_weights_[i];
+  }
+  Matrix cov = options_.process_noise;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Vector d = points[i] - mean;
+    cov += d.Outer(d) * cov_weights_[i];
+  }
+  cov.Symmetrize();
+  x_ = mean;
+  p_ = cov;
+  ++step_;
+  if (!x_.IsFinite() || !p_.IsFinite()) {
+    return Status::Internal("UKF state diverged to non-finite values");
+  }
+  return Status::OK();
+}
+
+Vector UnscentedKalmanFilter::PredictedMeasurement() const {
+  return options_.measurement(x_);
+}
+
+Status UnscentedKalmanFilter::Correct(const Vector& z) {
+  const size_t m = options_.measurement_noise.rows();
+  if (z.size() != m) {
+    return Status::InvalidArgument(
+        StrFormat("measurement size %zu, expected %zu", z.size(), m));
+  }
+  auto points_or = SigmaPoints();
+  if (!points_or.ok()) return points_or.status();
+  const std::vector<Vector>& points = points_or.value();
+
+  std::vector<Vector> projected;
+  projected.reserve(points.size());
+  for (const Vector& point : points) {
+    Vector zp = options_.measurement(point);
+    if (zp.size() != m) {
+      return Status::Internal("measurement function has wrong output size");
+    }
+    projected.push_back(std::move(zp));
+  }
+  Vector z_mean(m);
+  for (size_t i = 0; i < projected.size(); ++i) {
+    z_mean += projected[i] * mean_weights_[i];
+  }
+  Matrix s = options_.measurement_noise;
+  Matrix cross(x_.size(), m);
+  for (size_t i = 0; i < projected.size(); ++i) {
+    const Vector dz = projected[i] - z_mean;
+    const Vector dx = points[i] - x_;
+    s += dz.Outer(dz) * cov_weights_[i];
+    cross += dx.Outer(dz) * cov_weights_[i];
+  }
+  s.Symmetrize();
+  auto s_inv_or = Inverse(s);
+  if (!s_inv_or.ok()) {
+    return Status::FailedPrecondition(
+        "innovation covariance not invertible: " +
+        s_inv_or.status().message());
+  }
+  const Matrix gain = cross * s_inv_or.value();
+  x_ += gain * (z - z_mean);
+  p_ -= gain * s * gain.Transpose();
+  p_.Symmetrize();
+  if (!x_.IsFinite() || !p_.IsFinite()) {
+    return Status::Internal("UKF state diverged to non-finite values");
+  }
+  return Status::OK();
+}
+
+bool UnscentedKalmanFilter::StateEquals(
+    const UnscentedKalmanFilter& other) const {
+  if (step_ != other.step_ || x_.size() != other.x_.size()) return false;
+  for (size_t i = 0; i < x_.size(); ++i) {
+    if (x_[i] != other.x_[i]) return false;
+  }
+  if (p_.rows() != other.p_.rows()) return false;
+  for (size_t r = 0; r < p_.rows(); ++r) {
+    for (size_t c = 0; c < p_.cols(); ++c) {
+      if (p_(r, c) != other.p_(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+void UnscentedKalmanFilter::Reset() {
+  x_ = options_.initial_state;
+  p_ = options_.initial_covariance;
+  step_ = 0;
+}
+
+}  // namespace dkf

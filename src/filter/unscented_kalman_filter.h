@@ -1,0 +1,90 @@
+#ifndef DKF_FILTER_UNSCENTED_KALMAN_FILTER_H_
+#define DKF_FILTER_UNSCENTED_KALMAN_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Configuration of an unscented Kalman filter (Julier/Uhlmann,
+/// Wan/van der Merwe weights) for the same nonlinear system class the EKF
+/// handles:
+///   x_{k+1} = f(x_k, k) + w_k,   z_k = h(x_k) + v_k.
+///
+/// Where the EKF linearizes through Jacobians — losing accuracy on strong
+/// curvature and demanding analytic derivatives — the UKF propagates a
+/// deterministic set of sigma points through f and h directly. It is the
+/// natural next step on the paper's §6 "models for non-linear systems"
+/// agenda: same prediction-correction shape, no Jacobians, exact for
+/// linear systems.
+struct UnscentedKalmanFilterOptions {
+  std::function<Vector(const Vector&, int64_t)> transition;  ///< f(x, k)
+  std::function<Vector(const Vector&)> measurement;          ///< h(x)
+
+  Matrix process_noise;       ///< Q (n x n)
+  Matrix measurement_noise;   ///< R (m x m)
+  Vector initial_state;       ///< x_0 (n)
+  Matrix initial_covariance;  ///< P_0 (n x n)
+
+  /// Sigma-point spread parameters. The defaults are the standard
+  /// recommendation (alpha controls spread, beta = 2 optimal for
+  /// Gaussians, kappa = 0). Keep alpha small: under DKF suppression the
+  /// covariance inflates during long silent runs, and widely spread sigma
+  /// points through a periodic nonlinearity (e.g. a heading angle) smear
+  /// the predicted mean badly.
+  double alpha = 1e-3;
+  double beta = 2.0;
+  double kappa = 0.0;
+};
+
+/// Unscented Kalman filter with the library's usual tick discipline:
+/// Predict() once per step, Correct(z) only when a measurement arrives.
+/// Deterministic, hence DKF-mirror-safe.
+class UnscentedKalmanFilter {
+ public:
+  static Result<UnscentedKalmanFilter> Create(
+      const UnscentedKalmanFilterOptions& options);
+
+  /// Unscented time update: sigma points of (x, P) through f, recombined.
+  Status Predict();
+
+  /// h(x) at the current mean (the value the server answers).
+  Vector PredictedMeasurement() const;
+
+  /// Unscented measurement update with observation z.
+  Status Correct(const Vector& z);
+
+  const Vector& state() const { return x_; }
+  const Matrix& covariance() const { return p_; }
+  int64_t step() const { return step_; }
+  size_t state_dim() const { return x_.size(); }
+
+  bool StateEquals(const UnscentedKalmanFilter& other) const;
+
+  void Reset();
+
+ private:
+  explicit UnscentedKalmanFilter(UnscentedKalmanFilterOptions options);
+
+  /// Generates the 2n+1 sigma points of (x_, p_). Errors when P is not
+  /// positive definite.
+  Result<std::vector<Vector>> SigmaPoints() const;
+
+  UnscentedKalmanFilterOptions options_;
+  Vector x_;
+  Matrix p_;
+  int64_t step_ = 0;
+  // Precomputed weights.
+  double lambda_ = 0.0;
+  std::vector<double> mean_weights_;
+  std::vector<double> cov_weights_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_UNSCENTED_KALMAN_FILTER_H_

@@ -1,0 +1,133 @@
+#ifndef DKF_LINALG_MATRIX_H_
+#define DKF_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dkf {
+
+class Matrix;
+
+/// A dense column vector of doubles. Kalman-filter state dimensions in this
+/// library are tiny (n <= 6), so all storage is heap-backed row-major dense
+/// with no blocking — the same regime the paper's JAMA-based implementation
+/// operated in.
+class Vector {
+ public:
+  Vector() = default;
+  /// A vector of `n` zeros.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+  /// From explicit entries, e.g. Vector({1.0, 2.0}).
+  Vector(std::initializer_list<double> entries) : data_(entries) {}
+  /// From a std::vector.
+  explicit Vector(std::vector<double> entries) : data_(std::move(entries)) {}
+
+  size_t size() const { return data_.size(); }
+
+  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) { return data_[i]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double scalar) const;
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+
+  /// Dot product; dimensions must match.
+  double Dot(const Vector& other) const;
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Largest absolute entry (infinity norm); 0 for an empty vector.
+  double MaxAbs() const;
+
+  /// Outer product: this * other^T, an (size x other.size) matrix.
+  Matrix Outer(const Vector& other) const;
+
+  /// True when every entry is finite.
+  bool IsFinite() const;
+
+  /// "[a, b, c]" with %.6g entries.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator*(double scalar, const Vector& v);
+
+/// A dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// An (rows x cols) matrix of zeros.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// From nested initializer lists: Matrix({{1, 2}, {3, 4}}). All rows must
+  /// have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// The (n x n) identity.
+  static Matrix Identity(size_t n);
+  /// A square matrix with `diagonal` on the diagonal.
+  static Matrix Diagonal(const Vector& diagonal);
+  /// A square matrix with `value` repeated on the diagonal.
+  static Matrix ScaledIdentity(size_t n, double value);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+  Vector operator*(const Vector& v) const;
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+
+  Matrix Transpose() const;
+
+  /// Row `r` as a vector.
+  Vector Row(size_t r) const;
+  /// Column `c` as a vector.
+  Vector Col(size_t c) const;
+
+  /// Sum of diagonal entries; requires a square matrix.
+  double Trace() const;
+
+  /// Largest absolute entry.
+  double MaxAbs() const;
+
+  /// Largest |a_ij - b_ij|; matrices must have equal shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Replaces the matrix with (M + M^T) / 2 — used after covariance updates
+  /// to wash out floating-point asymmetry.
+  void Symmetrize();
+
+  /// True when every entry is finite.
+  bool IsFinite() const;
+
+  /// Multi-line "[[a, b], [c, d]]"-style rendering with %.6g entries.
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator*(double scalar, const Matrix& m);
+
+}  // namespace dkf
+
+#endif  // DKF_LINALG_MATRIX_H_

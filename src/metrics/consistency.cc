@@ -1,0 +1,50 @@
+#include "metrics/consistency.h"
+
+namespace dkf {
+
+namespace {
+
+// 95% chi-squared quantiles for m = 1..4 (the library's measurement
+// dimensions are tiny).
+constexpr double kChi2Q95[] = {3.841, 5.991, 7.815, 9.488};
+
+}  // namespace
+
+Result<NisConsistency> EvaluateNisConsistency(KalmanFilter filter,
+                                              const TimeSeries& series,
+                                              size_t warmup) {
+  if (series.width() != filter.measurement_dim()) {
+    return Status::InvalidArgument(
+        "series width does not match the filter's measurement dimension");
+  }
+  if (series.size() <= warmup) {
+    return Status::InvalidArgument("series shorter than the warmup");
+  }
+  const size_t m = filter.measurement_dim();
+  if (m == 0 || m > 4) {
+    return Status::InvalidArgument("supported measurement dims: 1..4");
+  }
+  const double threshold = kChi2Q95[m - 1];
+
+  NisConsistency result;
+  double sum = 0.0;
+  int64_t exceed = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    DKF_RETURN_IF_ERROR(filter.Predict());
+    const Vector z(series.Row(i));
+    if (i >= warmup) {
+      auto nis_or = filter.Nis(z);
+      if (!nis_or.ok()) return nis_or.status();
+      sum += nis_or.value();
+      if (nis_or.value() > threshold) ++exceed;
+      ++result.samples;
+    }
+    DKF_RETURN_IF_ERROR(filter.Correct(z));
+  }
+  result.mean_nis = sum / static_cast<double>(result.samples);
+  result.exceed_95_fraction =
+      static_cast<double>(exceed) / static_cast<double>(result.samples);
+  return result;
+}
+
+}  // namespace dkf

@@ -1,0 +1,34 @@
+#ifndef DKF_METRICS_CONSISTENCY_H_
+#define DKF_METRICS_CONSISTENCY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/time_series.h"
+#include "filter/kalman_filter.h"
+
+namespace dkf {
+
+/// Result of a normalized-innovation-squared consistency check.
+struct NisConsistency {
+  /// Mean NIS across the run. For a well-specified filter this is a
+  /// chi-squared mean: expected value = measurement dimension m.
+  double mean_nis = 0.0;
+  int64_t samples = 0;
+  /// Fraction of ticks whose NIS exceeded the 95% chi-squared quantile
+  /// (3.84 for m = 1). ~0.05 for a consistent filter; >> 0.05 when R is
+  /// optimistic, << 0.05 when pessimistic.
+  double exceed_95_fraction = 0.0;
+};
+
+/// Runs `filter` over `series` (predict + correct every tick, skipping a
+/// configurable warmup) and accumulates the NIS statistics — the standard
+/// diagnostic for whether Q/R match the stream, and the measurable basis
+/// for the paper's §6 concern about unknown noise statistics.
+Result<NisConsistency> EvaluateNisConsistency(KalmanFilter filter,
+                                              const TimeSeries& series,
+                                              size_t warmup = 20);
+
+}  // namespace dkf
+
+#endif  // DKF_METRICS_CONSISTENCY_H_

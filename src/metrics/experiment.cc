@@ -1,0 +1,64 @@
+#include "metrics/experiment.h"
+
+#include "core/dual_link.h"
+#include "metrics/metrics.h"
+
+namespace dkf {
+
+Result<ExperimentRow> RunSuppressionExperiment(
+    const TimeSeries& readings, const Predictor& prototype, double delta,
+    const ExperimentOptions& options) {
+  if (readings.width() != prototype.dim()) {
+    return Status::InvalidArgument(
+        "series width does not match the predictor dimension");
+  }
+  DualLinkOptions link_options;
+  link_options.delta = delta;
+  link_options.norm = options.trigger_norm;
+  link_options.check_mirror_consistency = options.check_mirror_consistency;
+  auto link_or = DualLink::Create(prototype, link_options);
+  if (!link_or.ok()) return link_or.status();
+  DualLink link = std::move(link_or).value();
+
+  ErrorAccumulator errors;
+  for (size_t i = 0; i < readings.size(); ++i) {
+    const Vector reading(readings.Row(i));
+    auto step_or = link.Step(reading);
+    if (!step_or.ok()) return step_or.status();
+    errors.Add(Deviation(step_or.value().server_value, reading,
+                         options.error_norm));
+  }
+
+  ExperimentRow row;
+  row.predictor = prototype.name();
+  row.delta = delta;
+  row.ticks = link.stats().ticks;
+  row.updates = link.stats().updates_sent;
+  row.update_percentage = link.stats().UpdatePercentage();
+  row.avg_error = errors.mean();
+  row.max_error = errors.max();
+  row.rmse = errors.rmse();
+  return row;
+}
+
+Result<std::vector<ExperimentRow>> RunSweep(
+    const TimeSeries& readings,
+    const std::vector<const Predictor*>& prototypes,
+    const std::vector<double>& deltas, const ExperimentOptions& options) {
+  if (prototypes.empty() || deltas.empty()) {
+    return Status::InvalidArgument("empty sweep");
+  }
+  std::vector<ExperimentRow> rows;
+  rows.reserve(prototypes.size() * deltas.size());
+  for (double delta : deltas) {
+    for (const Predictor* prototype : prototypes) {
+      auto row_or =
+          RunSuppressionExperiment(readings, *prototype, delta, options);
+      if (!row_or.ok()) return row_or.status();
+      rows.push_back(std::move(row_or).value());
+    }
+  }
+  return rows;
+}
+
+}  // namespace dkf

@@ -1,0 +1,56 @@
+#ifndef DKF_METRICS_EXPERIMENT_H_
+#define DKF_METRICS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_series.h"
+#include "core/predictor.h"
+#include "core/suppression.h"
+
+namespace dkf {
+
+/// One row of a figure-reproduction table: the outcome of running one
+/// predictor over one dataset at one precision width.
+struct ExperimentRow {
+  std::string predictor;
+  double delta = 0.0;
+  int64_t ticks = 0;
+  int64_t updates = 0;
+  double update_percentage = 0.0;  ///< the paper's "% updates" metric
+  double avg_error = 0.0;          ///< the paper's "average error value"
+  double max_error = 0.0;
+  double rmse = 0.0;
+};
+
+/// Knobs shared by every suppression experiment.
+struct ExperimentOptions {
+  /// Deviation norm of the suppression trigger. Default matches §5.1
+  /// ("error in either X or Y ... greater than delta").
+  DeviationNorm trigger_norm = DeviationNorm::kMaxAbs;
+  /// Norm of the reported error metric. Default matches §5.1
+  /// ("errors are measured as sum of errors in both coordinates").
+  DeviationNorm error_norm = DeviationNorm::kL1;
+  /// Verify mirror consistency on every tick (slower; used by tests).
+  bool check_mirror_consistency = false;
+};
+
+/// Runs the dual-prediction protocol for `prototype` over `readings` at
+/// one precision width, returning the paper's two metrics. This is the
+/// engine behind every Figure 4/5/7/8/11/12-style bench.
+Result<ExperimentRow> RunSuppressionExperiment(
+    const TimeSeries& readings, const Predictor& prototype, double delta,
+    const ExperimentOptions& options = ExperimentOptions());
+
+/// Runs a full sweep: every predictor in `prototypes` at every delta.
+/// Rows are ordered delta-major, predictor-minor.
+Result<std::vector<ExperimentRow>> RunSweep(
+    const TimeSeries& readings,
+    const std::vector<const Predictor*>& prototypes,
+    const std::vector<double>& deltas,
+    const ExperimentOptions& options = ExperimentOptions());
+
+}  // namespace dkf
+
+#endif  // DKF_METRICS_EXPERIMENT_H_

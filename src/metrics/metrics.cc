@@ -1,0 +1,62 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+void ErrorAccumulator::Add(double error) {
+  ++count_;
+  sum_ += error;
+  sum_sq_ += error * error;
+  max_ = std::max(max_, error);
+}
+
+double ErrorAccumulator::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double ErrorAccumulator::rmse() const {
+  return count_ == 0 ? 0.0
+                     : std::sqrt(sum_sq_ / static_cast<double>(count_));
+}
+
+namespace {
+
+Status CheckComparable(const TimeSeries& a, const TimeSeries& b) {
+  if (a.width() != 1 || b.width() != 1) {
+    return Status::InvalidArgument("series comparison expects width-1 series");
+  }
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        StrFormat("series sizes differ: %zu vs %zu", a.size(), b.size()));
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("cannot compare empty series");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> SeriesMeanAbsDiff(const TimeSeries& a, const TimeSeries& b) {
+  DKF_RETURN_IF_ERROR(CheckComparable(a, b));
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::fabs(a.value(i) - b.value(i));
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+Result<double> SeriesMaxAbsDiff(const TimeSeries& a, const TimeSeries& b) {
+  DKF_RETURN_IF_ERROR(CheckComparable(a, b));
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a.value(i) - b.value(i)));
+  }
+  return best;
+}
+
+}  // namespace dkf

@@ -1,0 +1,40 @@
+#ifndef DKF_METRICS_METRICS_H_
+#define DKF_METRICS_METRICS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace dkf {
+
+/// Streaming accumulator for the paper's error metrics (§5): average error
+/// value, plus max and RMSE for completeness.
+class ErrorAccumulator {
+ public:
+  void Add(double error);
+
+  int64_t count() const { return count_; }
+  /// Sum(e_k)/n — the paper's "average error value".
+  double mean() const;
+  double max() const { return max_; }
+  double rmse() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean absolute difference between two equal-length scalar series — the
+/// "adherence" measure behind Figure 10 (how closely KF-smoothed data
+/// matches the moving average / the raw stream).
+Result<double> SeriesMeanAbsDiff(const TimeSeries& a, const TimeSeries& b);
+
+/// Largest absolute difference between two equal-length scalar series.
+Result<double> SeriesMaxAbsDiff(const TimeSeries& a, const TimeSeries& b);
+
+}  // namespace dkf
+
+#endif  // DKF_METRICS_METRICS_H_

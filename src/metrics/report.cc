@@ -1,0 +1,72 @@
+#include "metrics/report.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace dkf {
+
+namespace {
+
+const char* const kHeader[] = {"predictor", "delta",     "ticks",
+                               "updates",   "update_percentage",
+                               "avg_error", "max_error", "rmse"};
+constexpr size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
+
+}  // namespace
+
+Status WriteExperimentRowsCsv(const std::vector<ExperimentRow>& rows,
+                              const std::string& path) {
+  auto writer_or = CsvWriter::Open(path);
+  if (!writer_or.ok()) return writer_or.status();
+  CsvWriter writer = std::move(writer_or).value();
+  DKF_RETURN_IF_ERROR(writer.WriteRow(
+      std::vector<std::string>(kHeader, kHeader + kColumns)));
+  for (const ExperimentRow& row : rows) {
+    DKF_RETURN_IF_ERROR(writer.WriteRow(
+        {row.predictor, DoubleToString(row.delta),
+         StrFormat("%lld", static_cast<long long>(row.ticks)),
+         StrFormat("%lld", static_cast<long long>(row.updates)),
+         DoubleToString(row.update_percentage),
+         DoubleToString(row.avg_error), DoubleToString(row.max_error),
+         DoubleToString(row.rmse)}));
+  }
+  return writer.Close();
+}
+
+Result<std::vector<ExperimentRow>> ReadExperimentRowsCsv(
+    const std::string& path) {
+  auto rows_or = ReadCsvFile(path);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& raw = rows_or.value();
+  if (raw.empty() || raw[0].size() != kColumns || raw[0][0] != kHeader[0]) {
+    return Status::InvalidArgument("missing experiment-rows header");
+  }
+  std::vector<ExperimentRow> rows;
+  rows.reserve(raw.size() - 1);
+  for (size_t i = 1; i < raw.size(); ++i) {
+    if (raw[i].size() != kColumns) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu cells, expected %zu", i, raw[i].size(),
+                    kColumns));
+    }
+    ExperimentRow row;
+    row.predictor = raw[i][0];
+    long long ticks = 0;
+    long long updates = 0;
+    if (!ParseDouble(raw[i][1], &row.delta) ||
+        !ParseInt64(raw[i][2], &ticks) || !ParseInt64(raw[i][3], &updates) ||
+        !ParseDouble(raw[i][4], &row.update_percentage) ||
+        !ParseDouble(raw[i][5], &row.avg_error) ||
+        !ParseDouble(raw[i][6], &row.max_error) ||
+        !ParseDouble(raw[i][7], &row.rmse)) {
+      return Status::InvalidArgument(
+          StrFormat("malformed numeric cell in row %zu", i));
+    }
+    row.ticks = ticks;
+    row.updates = updates;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace dkf

@@ -1,0 +1,25 @@
+#ifndef DKF_METRICS_REPORT_H_
+#define DKF_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metrics/experiment.h"
+
+namespace dkf {
+
+/// Persists experiment rows as CSV with the header
+/// `predictor,delta,ticks,updates,update_percentage,avg_error,max_error,
+/// rmse` — the interchange format for plotting the reproduced figures
+/// outside the repo.
+Status WriteExperimentRowsCsv(const std::vector<ExperimentRow>& rows,
+                              const std::string& path);
+
+/// Reads rows written by WriteExperimentRowsCsv.
+Result<std::vector<ExperimentRow>> ReadExperimentRowsCsv(
+    const std::string& path);
+
+}  // namespace dkf
+
+#endif  // DKF_METRICS_REPORT_H_

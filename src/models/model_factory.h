@@ -1,0 +1,65 @@
+#ifndef DKF_MODELS_MODEL_FACTORY_H_
+#define DKF_MODELS_MODEL_FACTORY_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "models/state_model.h"
+
+namespace dkf {
+
+/// Common numeric knobs shared by the model factories. The defaults mirror
+/// the paper's Example 1 setup: diagonal Q and R with value 0.05 (§4.1) and
+/// a diffuse initial covariance so the first few updates dominate.
+struct ModelNoise {
+  double process_variance = 0.05;      ///< diagonal of Q
+  double measurement_variance = 0.05;  ///< diagonal of R
+  double initial_variance = 100.0;     ///< diagonal of P_0
+};
+
+/// Constant model (§4.1 eq. 15): x_k = x_{k-1} per measured attribute. The
+/// state *is* the measurement, so this is conceptually the cached-value
+/// scheme expressed as a filter; the paper uses it as the worst-case model.
+Result<StateModel> MakeConstantModel(size_t dims, const ModelNoise& noise);
+
+/// Linear (constant-velocity) model (§4.1 eq. 13-16): per measured axis the
+/// state holds [position, rate]; positions integrate rates over `dt`. For
+/// axes = 2 this is exactly the paper's 4-state moving-object model with
+/// H = [[1,0,0,0],[0,0,1,0]].
+Result<StateModel> MakeLinearModel(size_t axes, double dt,
+                                   const ModelNoise& noise);
+
+/// Higher-order polynomial model (§4.1 "jerky trajectories"): per axis the
+/// state holds derivatives 0..order, propagated by the Taylor expansion
+/// P_k = P + P'dt + P''dt^2/2 + ... order=1 reduces to the linear model.
+Result<StateModel> MakePolynomialModel(size_t axes, size_t order, double dt,
+                                       const ModelNoise& noise);
+
+/// Sinusoidal model (§4.2 eq. 17-18) for a scalar stream with a known
+/// periodic trend: state [x, s] with time-varying transition
+///   x_k = x_{k-1} + gamma cos(omega k + theta) s_{k-1},  s_k = s_{k-1}.
+Result<StateModel> MakeSinusoidalModel(double omega, double theta,
+                                       double gamma, const ModelNoise& noise);
+
+/// Scalar smoothing model (§4.3): the one-state constant model whose
+/// process-noise variance is the user-facing smoothing factor F. This is
+/// the configuration of the KF_c data-smoothing filter.
+Result<StateModel> MakeSmoothingModel(double smoothing_factor,
+                                      double measurement_variance);
+
+/// Mean-reverting (AR(1)-around-a-learned-mean) model for streams that
+/// fluctuate around a slowly drifting level — queue depths, traffic
+/// volumes, utilization. State [x, mu]:
+///   x_k  = rho x_{k-1} + (1 - rho) mu_{k-1}
+///   mu_k = mu_{k-1}
+/// with reversion rate rho in (0, 1). rho -> 1 degrades to the constant
+/// model; small rho snaps hard toward the learned mean. Still linear, so
+/// the plain KF applies; the win over `constant` is that after a burst
+/// the server's prediction *decays back to the mean by itself*, saving
+/// the come-down updates.
+Result<StateModel> MakeMeanRevertingModel(double rho,
+                                          const ModelNoise& noise);
+
+}  // namespace dkf
+
+#endif  // DKF_MODELS_MODEL_FACTORY_H_

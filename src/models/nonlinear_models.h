@@ -1,0 +1,42 @@
+#ifndef DKF_MODELS_NONLINEAR_MODELS_H_
+#define DKF_MODELS_NONLINEAR_MODELS_H_
+
+#include "common/result.h"
+#include "filter/extended_kalman_filter.h"
+#include "filter/unscented_kalman_filter.h"
+
+namespace dkf {
+
+/// Noise knobs for the nonlinear models.
+struct NonlinearModelNoise {
+  double process_variance = 0.05;
+  double measurement_variance = 0.05;
+  double initial_variance = 100.0;
+};
+
+/// Coordinated-turn model for a platform that can rotate about itself
+/// (§3.2 footnote 1 — the canonical case where linear KF is insufficient
+/// and the extended KF is required).
+///
+/// State: [x, y, speed, heading, turn_rate]; measurement: (x, y).
+///   x'       = x + speed * cos(heading) * dt
+///   y'       = y + speed * sin(heading) * dt
+///   heading' = heading + turn_rate * dt
+/// speed and turn_rate follow random walks.
+Result<ExtendedKalmanFilterOptions> MakeCoordinatedTurnModel(
+    double dt, const NonlinearModelNoise& noise);
+
+/// Same coordinated-turn dynamics as an unscented-filter configuration
+/// (no Jacobians needed; the sigma points sample the nonlinearity).
+///
+/// Keep `process_variance` honest (small) for this model: the UKF's
+/// second-order mean correction prices in the heading uncertainty
+/// (E[cos h] < cos E[h]), so an inflated Q systematically biases the
+/// speed estimate and ruins coasting — measured in the UKF tests; the
+/// Jacobian-based EKF happens to ignore that term.
+Result<UnscentedKalmanFilterOptions> MakeCoordinatedTurnUkf(
+    double dt, const NonlinearModelNoise& noise);
+
+}  // namespace dkf
+
+#endif  // DKF_MODELS_NONLINEAR_MODELS_H_

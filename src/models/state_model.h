@@ -1,0 +1,34 @@
+#ifndef DKF_MODELS_STATE_MODEL_H_
+#define DKF_MODELS_STATE_MODEL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "filter/kalman_filter.h"
+
+namespace dkf {
+
+/// A named, ready-to-instantiate Kalman filter configuration describing how
+/// a stream attribute evolves. The paper's central flexibility claim (§3.1
+/// advantage 6, §4) is that switching applications only means switching
+/// this recipe; everything else in the DKF pipeline stays fixed.
+struct StateModel {
+  /// Human-readable name used in experiment tables ("linear", ...).
+  std::string name;
+
+  /// Width of the measurement vector this model consumes (1 for scalar
+  /// streams, 2 for 2-D positions).
+  size_t measurement_dim = 1;
+
+  /// The filter configuration.
+  KalmanFilterOptions options;
+
+  /// Builds a fresh filter from the recipe.
+  Result<KalmanFilter> MakeFilter() const {
+    return KalmanFilter::Create(options);
+  }
+};
+
+}  // namespace dkf
+
+#endif  // DKF_MODELS_STATE_MODEL_H_

@@ -1,0 +1,113 @@
+#include "query/adaptive_filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+AdaptiveFilterBank::AdaptiveFilterBank(size_t num_sources,
+                                       const AdaptiveFiltersOptions& options)
+    : options_(options), centers_(num_sources, 0.0),
+      widths_(num_sources,
+              options.total_width / static_cast<double>(num_sources)),
+      initialized_(num_sources, false), updates_total_(num_sources, 0),
+      updates_this_period_(num_sources, 0) {}
+
+Result<AdaptiveFilterBank> AdaptiveFilterBank::Create(
+    size_t num_sources, const AdaptiveFiltersOptions& options) {
+  if (num_sources == 0) {
+    return Status::InvalidArgument("need at least one source");
+  }
+  if (options.total_width <= 0.0) {
+    return Status::InvalidArgument("total width must be positive");
+  }
+  if (options.shrink_fraction <= 0.0 || options.shrink_fraction >= 1.0) {
+    return Status::InvalidArgument("shrink fraction must be in (0, 1)");
+  }
+  if (options.period < 1) {
+    return Status::InvalidArgument("period must be >= 1");
+  }
+  if (options.min_width <= 0.0 ||
+      options.min_width * static_cast<double>(num_sources) >
+          options.total_width) {
+    return Status::InvalidArgument(
+        "min_width must be positive and num_sources * min_width must fit "
+        "in the budget");
+  }
+  return AdaptiveFilterBank(num_sources, options);
+}
+
+Result<std::vector<bool>> AdaptiveFilterBank::Step(
+    const std::vector<double>& readings) {
+  if (readings.size() != widths_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu readings for %zu sources", readings.size(),
+                  widths_.size()));
+  }
+  std::vector<bool> sent(readings.size(), false);
+  for (size_t i = 0; i < readings.size(); ++i) {
+    const double half = widths_[i] / 2.0;
+    if (!initialized_[i] ||
+        std::fabs(readings[i] - centers_[i]) > half) {
+      // Violation: transmit and recenter (the paper's §5 description:
+      // H_new = V + W/2, L_new = V - W/2).
+      centers_[i] = readings[i];
+      initialized_[i] = true;
+      sent[i] = true;
+      ++updates_total_[i];
+      ++updates_this_period_[i];
+    }
+  }
+  ++ticks_;
+  if (ticks_ % options_.period == 0) Reallocate();
+  return sent;
+}
+
+void AdaptiveFilterBank::Reallocate() {
+  // Shrink every bound, pooling the reclaimed width.
+  double pool = 0.0;
+  for (double& w : widths_) {
+    const double shrunk =
+        std::max(options_.min_width, w * (1.0 - options_.shrink_fraction));
+    pool += w - shrunk;
+    w = shrunk;
+  }
+  if (pool <= 0.0) return;
+
+  // Burden score: updates in the last period per unit of width — the
+  // marginal benefit of widening this source's bound.
+  std::vector<double> burden(widths_.size());
+  double total_burden = 0.0;
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    burden[i] =
+        static_cast<double>(updates_this_period_[i]) / widths_[i];
+    total_burden += burden[i];
+    updates_this_period_[i] = 0;
+  }
+  if (total_burden <= 0.0) {
+    // Nobody is paying updates: return the pool evenly.
+    const double share = pool / static_cast<double>(widths_.size());
+    for (double& w : widths_) w += share;
+    return;
+  }
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    widths_[i] += pool * burden[i] / total_burden;
+  }
+}
+
+AdaptiveFilterSourceStats AdaptiveFilterBank::stats(size_t i) const {
+  AdaptiveFilterSourceStats stats;
+  stats.updates_sent = updates_total_[i];
+  stats.width = widths_[i];
+  return stats;
+}
+
+double AdaptiveFilterBank::TotalWidth() const {
+  double total = 0.0;
+  for (double w : widths_) total += w;
+  return total;
+}
+
+}  // namespace dkf

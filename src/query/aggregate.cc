@@ -1,0 +1,48 @@
+#include "query/aggregate.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+Result<std::vector<double>> SplitAggregatePrecision(
+    const AggregateQuery& query, const std::vector<double>& weights) {
+  if (query.source_ids.empty()) {
+    return Status::InvalidArgument("aggregate needs at least one source");
+  }
+  if (query.precision <= 0.0) {
+    return Status::InvalidArgument("aggregate precision must be positive");
+  }
+  std::set<int> unique(query.source_ids.begin(), query.source_ids.end());
+  if (unique.size() != query.source_ids.size()) {
+    return Status::InvalidArgument("duplicate source in aggregate");
+  }
+  if (!weights.empty() && weights.size() != query.source_ids.size()) {
+    return Status::InvalidArgument(
+        StrFormat("%zu weights for %zu sources", weights.size(),
+                  query.source_ids.size()));
+  }
+
+  const size_t n = query.source_ids.size();
+  std::vector<double> deltas(n);
+  if (weights.empty()) {
+    for (double& delta : deltas) {
+      delta = query.precision / static_cast<double>(n);
+    }
+    return deltas;
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) {
+      return Status::InvalidArgument("weights must be positive");
+    }
+    total += w;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    deltas[i] = query.precision * weights[i] / total;
+  }
+  return deltas;
+}
+
+}  // namespace dkf

@@ -1,0 +1,34 @@
+#ifndef DKF_QUERY_AGGREGATE_H_
+#define DKF_QUERY_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace dkf {
+
+/// A continuous SUM query over several scalar sources (§6 future-work
+/// item "tuning system parameters for multiple queries with multiple
+/// attributes"): the server must answer sum_i v_i within `precision` of
+/// the true sum at all times.
+struct AggregateQuery {
+  int id = 0;
+  std::vector<int> source_ids;
+  double precision = 1.0;
+};
+
+/// Splits an aggregate precision budget into per-source deltas.
+///
+/// Soundness: per-source suppression guarantees |e_i| <= delta_i on every
+/// tick, so |sum e_i| <= sum delta_i; any split with sum delta_i ==
+/// precision answers the aggregate within its constraint. The split is
+/// proportional to `weights` (volatile sources deserve wider slices —
+/// they would otherwise dominate the update bill); empty weights mean a
+/// uniform split.
+Result<std::vector<double>> SplitAggregatePrecision(
+    const AggregateQuery& query,
+    const std::vector<double>& weights = {});
+
+}  // namespace dkf
+
+#endif  // DKF_QUERY_AGGREGATE_H_

@@ -1,0 +1,63 @@
+#include "query/precision_allocation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+Result<AllocationPlan> AllocatePrecision(
+    const std::vector<SourceLoadEstimate>& estimates,
+    double budget_updates_per_tick) {
+  if (estimates.empty()) {
+    return Status::InvalidArgument("no sources to allocate for");
+  }
+  if (budget_updates_per_tick <= 0.0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  std::set<int> ids;
+  for (const auto& estimate : estimates) {
+    if (!ids.insert(estimate.source_id).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate source id %d", estimate.source_id));
+    }
+    if (estimate.required_precision <= 0.0 ||
+        estimate.reference_precision <= 0.0) {
+      return Status::InvalidArgument("precisions must be positive");
+    }
+    if (estimate.reference_rate < 0.0 || estimate.reference_rate > 1.0) {
+      return Status::InvalidArgument(
+          "reference rate must be a fraction in [0, 1]");
+    }
+  }
+
+  // Predicted rate at the required precision under the ~1/delta law.
+  auto rate_at = [](const SourceLoadEstimate& e, double delta) {
+    // An update per tick is the ceiling regardless of precision.
+    return std::min(1.0, e.reference_rate * e.reference_precision / delta);
+  };
+
+  double total_required = 0.0;
+  for (const auto& estimate : estimates) {
+    total_required += rate_at(estimate, estimate.required_precision);
+  }
+
+  AllocationPlan plan;
+  plan.inflation = std::max(1.0, total_required / budget_updates_per_tick);
+
+  plan.predicted_total_rate = 0.0;
+  for (const auto& estimate : estimates) {
+    PrecisionAllocation allocation;
+    allocation.source_id = estimate.source_id;
+    allocation.allocated_precision =
+        estimate.required_precision * plan.inflation;
+    allocation.predicted_rate =
+        rate_at(estimate, allocation.allocated_precision);
+    plan.predicted_total_rate += allocation.predicted_rate;
+    plan.allocations.push_back(allocation);
+  }
+  return plan;
+}
+
+}  // namespace dkf

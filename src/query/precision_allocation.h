@@ -1,0 +1,61 @@
+#ifndef DKF_QUERY_PRECISION_ALLOCATION_H_
+#define DKF_QUERY_PRECISION_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace dkf {
+
+/// Calibration data for one source: how chatty it is at a reference
+/// precision. Update rates of threshold-suppressed streams scale roughly
+/// inversely with the precision width (halving delta about doubles the
+/// updates), which the allocator exploits as rate(delta) ~
+/// reference_rate * reference_delta / delta.
+struct SourceLoadEstimate {
+  int source_id = 0;
+  /// Tightest precision any query on the source requires (Delta).
+  double required_precision = 1.0;
+  /// Measured update rate (updates per tick, in [0, 1]) at
+  /// `reference_precision`.
+  double reference_rate = 0.1;
+  double reference_precision = 1.0;
+};
+
+/// One source's allocation.
+struct PrecisionAllocation {
+  int source_id = 0;
+  /// Precision width the source should run at. >= required_precision only
+  /// when the bandwidth budget forces degradation.
+  double allocated_precision = 1.0;
+  /// Predicted update rate at the allocated precision.
+  double predicted_rate = 0.0;
+};
+
+/// Result of an allocation round.
+struct AllocationPlan {
+  std::vector<PrecisionAllocation> allocations;
+  /// Uniform inflation factor applied to the required precisions: 1 means
+  /// every query constraint is met; >1 means the budget forced a
+  /// proportional precision degradation (the STREAM trade-off of
+  /// maximizing precision under a bandwidth constraint, inverted into our
+  /// filtering framing).
+  double inflation = 1.0;
+  double predicted_total_rate = 0.0;
+};
+
+/// Picks per-source precision widths under a total update budget
+/// (`budget_updates_per_tick`, summed across sources).
+///
+/// When the budget admits every source at its required precision, the
+/// requirements are returned unchanged. Otherwise all precisions are
+/// inflated by the common factor that brings the predicted total rate
+/// down to the budget — degrading every query proportionally rather than
+/// starving any single one.
+Result<AllocationPlan> AllocatePrecision(
+    const std::vector<SourceLoadEstimate>& estimates,
+    double budget_updates_per_tick);
+
+}  // namespace dkf
+
+#endif  // DKF_QUERY_PRECISION_ALLOCATION_H_

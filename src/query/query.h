@@ -1,0 +1,27 @@
+#ifndef DKF_QUERY_QUERY_H_
+#define DKF_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+
+namespace dkf {
+
+/// A continuous query q_j over one streaming source (Table 2): the user
+/// asks for the source's current attribute value, tolerating answers
+/// within `precision` of the truth, optionally asking for KF_c-smoothed
+/// semantics with sensitivity `smoothing_factor` (F_i).
+struct ContinuousQuery {
+  int id = 0;
+  int source_id = 0;
+  /// Precision width Delta_j: the server answer must stay within this of
+  /// the source value.
+  double precision = 1.0;
+  /// Optional smoothing factor F for noisy streams (§4.3).
+  std::optional<double> smoothing_factor;
+  /// Free-form label for reports.
+  std::string description;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_QUERY_QUERY_H_

@@ -1,0 +1,81 @@
+#include "query/registry.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+Status QueryRegistry::AddQuery(const ContinuousQuery& query) {
+  if (query.precision <= 0.0) {
+    return Status::InvalidArgument("query precision must be positive");
+  }
+  if (query.smoothing_factor.has_value() && *query.smoothing_factor <= 0.0) {
+    return Status::InvalidArgument("smoothing factor must be positive");
+  }
+  if (queries_.contains(query.id)) {
+    return Status::AlreadyExists(
+        StrFormat("query %d already registered", query.id));
+  }
+  queries_[query.id] = query;
+  return Status::OK();
+}
+
+Status QueryRegistry::RemoveQuery(int query_id) {
+  if (queries_.erase(query_id) == 0) {
+    return Status::NotFound(StrFormat("query %d not registered", query_id));
+  }
+  return Status::OK();
+}
+
+Result<double> QueryRegistry::EffectiveDelta(int source_id) const {
+  double best = 0.0;
+  bool found = false;
+  for (const auto& [id, query] : queries_) {
+    if (query.source_id != source_id) continue;
+    best = found ? std::min(best, query.precision) : query.precision;
+    found = true;
+  }
+  if (!found) {
+    return Status::NotFound(
+        StrFormat("no queries on source %d", source_id));
+  }
+  return best;
+}
+
+Result<std::optional<double>> QueryRegistry::EffectiveSmoothing(
+    int source_id) const {
+  std::optional<double> best;
+  bool any_query = false;
+  for (const auto& [id, query] : queries_) {
+    if (query.source_id != source_id) continue;
+    any_query = true;
+    if (query.smoothing_factor.has_value()) {
+      best = best.has_value() ? std::min(*best, *query.smoothing_factor)
+                              : *query.smoothing_factor;
+    }
+  }
+  if (!any_query) {
+    return Status::NotFound(
+        StrFormat("no queries on source %d", source_id));
+  }
+  return best;
+}
+
+std::vector<ContinuousQuery> QueryRegistry::QueriesForSource(
+    int source_id) const {
+  std::vector<ContinuousQuery> out;
+  for (const auto& [id, query] : queries_) {
+    if (query.source_id == source_id) out.push_back(query);
+  }
+  return out;
+}
+
+std::vector<int> QueryRegistry::ActiveSources() const {
+  std::set<int> sources;
+  for (const auto& [id, query] : queries_) sources.insert(query.source_id);
+  return std::vector<int>(sources.begin(), sources.end());
+}
+
+}  // namespace dkf

@@ -1,0 +1,55 @@
+#ifndef DKF_QUERY_REGISTRY_H_
+#define DKF_QUERY_REGISTRY_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace dkf {
+
+/// Tracks the continuous queries registered with the server and derives
+/// the per-source precision width delta_i each source's filter pair must
+/// honor.
+///
+/// The paper assumes one query per source (Delta_j = delta_i, §3.1); this
+/// registry implements the natural multi-query generalization: a source
+/// serving several queries must satisfy the *tightest* one, so
+/// delta_i = min_j Delta_j over the queries on source i. Likewise the
+/// effective smoothing factor is the smallest requested F (least
+/// smoothing-induced lag... smallest F smooths hardest, so the choice is
+/// conservative toward the least sensitive query; queries needing raw
+/// sensitivity should use a separate source binding).
+class QueryRegistry {
+ public:
+  /// Registers a query. Errors when the id already exists or the
+  /// precision is not positive.
+  Status AddQuery(const ContinuousQuery& query);
+
+  /// Removes a query by id.
+  Status RemoveQuery(int query_id);
+
+  /// The tightest precision over the source's active queries.
+  Result<double> EffectiveDelta(int source_id) const;
+
+  /// Smallest requested smoothing factor on the source, if any query asked
+  /// for smoothing.
+  Result<std::optional<double>> EffectiveSmoothing(int source_id) const;
+
+  /// All queries bound to a source.
+  std::vector<ContinuousQuery> QueriesForSource(int source_id) const;
+
+  /// Ids of all sources with at least one active query.
+  std::vector<int> ActiveSources() const;
+
+  size_t size() const { return queries_.size(); }
+
+ private:
+  std::map<int, ContinuousQuery> queries_;  // by query id
+};
+
+}  // namespace dkf
+
+#endif  // DKF_QUERY_REGISTRY_H_

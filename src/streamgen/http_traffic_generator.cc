@@ -1,0 +1,91 @@
+#include "streamgen/http_traffic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dkf {
+
+namespace {
+
+/// Duration of the next on/off period in bins: Pareto with the given mean
+/// and tail index. For shape a > 1 the Pareto mean is xm * a / (a - 1), so
+/// xm = mean * (a - 1) / a.
+double DrawPeriod(Rng* rng, double mean_bins, double shape) {
+  const double xm = mean_bins * (shape - 1.0) / shape;
+  return std::max(1.0, rng->Pareto(xm, shape));
+}
+
+}  // namespace
+
+Result<TimeSeries> GenerateHttpTraffic(const HttpTrafficOptions& options) {
+  if (options.num_points == 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  if (options.num_sources == 0) {
+    return Status::InvalidArgument("num_sources must be positive");
+  }
+  if (options.pareto_shape <= 1.0) {
+    return Status::InvalidArgument(
+        "pareto shape must exceed 1 (finite mean)");
+  }
+  if (options.mean_on_bins <= 0.0 || options.mean_off_bins <= 0.0) {
+    return Status::InvalidArgument("mean on/off periods must be positive");
+  }
+  if (options.spike_probability < 0.0 || options.spike_probability > 1.0) {
+    return Status::InvalidArgument("spike probability must be in [0, 1]");
+  }
+  if (options.diurnal_fraction < 0.0 || options.diurnal_fraction >= 1.0) {
+    return Status::InvalidArgument("diurnal fraction must be in [0, 1)");
+  }
+  if (options.diurnal_fraction > 0.0 && options.bins_per_day <= 0.0) {
+    return Status::InvalidArgument("bins_per_day must be positive");
+  }
+
+  Rng rng(options.seed);
+
+  struct SourceState {
+    bool on = false;
+    double remaining = 0.0;  // bins left in the current period
+  };
+  std::vector<SourceState> sources(options.num_sources);
+  // Desynchronize the sources' initial phases.
+  for (auto& src : sources) {
+    src.on = rng.Bernoulli(options.mean_on_bins /
+                           (options.mean_on_bins + options.mean_off_bins));
+    src.remaining = DrawPeriod(
+        &rng, src.on ? options.mean_on_bins : options.mean_off_bins,
+        options.pareto_shape);
+  }
+
+  TimeSeries series(1);
+  series.Reserve(options.num_points);
+  for (size_t k = 0; k < options.num_points; ++k) {
+    double rate = options.base_rate;
+    for (auto& src : sources) {
+      if (src.remaining <= 0.0) {
+        src.on = !src.on;
+        src.remaining = DrawPeriod(
+            &rng, src.on ? options.mean_on_bins : options.mean_off_bins,
+            options.pareto_shape);
+      }
+      if (src.on) rate += options.on_rate;
+      src.remaining -= 1.0;
+    }
+    if (rng.Bernoulli(options.spike_probability)) {
+      rate += options.spike_scale * options.base_rate;
+    }
+    if (options.diurnal_fraction > 0.0) {
+      rate *= 1.0 + options.diurnal_fraction *
+                        std::sin(2.0 * M_PI * static_cast<double>(k) /
+                                 options.bins_per_day);
+    }
+    const double count = static_cast<double>(rng.Poisson(rate));
+    DKF_RETURN_IF_ERROR(series.Append(static_cast<double>(k), count));
+  }
+  return series;
+}
+
+}  // namespace dkf

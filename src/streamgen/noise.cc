@@ -1,0 +1,35 @@
+#include "streamgen/noise.h"
+
+#include "common/rng.h"
+
+namespace dkf {
+
+Result<TimeSeries> InjectNoise(const TimeSeries& series,
+                               const NoiseInjectionOptions& options) {
+  if (options.gaussian_stddev < 0.0 || options.outlier_stddev < 0.0) {
+    return Status::InvalidArgument("noise stddevs must be >= 0");
+  }
+  if (options.outlier_probability < 0.0 ||
+      options.outlier_probability > 1.0) {
+    return Status::InvalidArgument("outlier probability must be in [0, 1]");
+  }
+  Rng rng(options.seed);
+  TimeSeries out(series.width());
+  out.Reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::vector<double> row = series.Row(i);
+    for (double& v : row) {
+      if (options.gaussian_stddev > 0.0) {
+        v += rng.Gaussian(0.0, options.gaussian_stddev);
+      }
+      if (options.outlier_probability > 0.0 &&
+          rng.Bernoulli(options.outlier_probability)) {
+        v += rng.Gaussian(0.0, options.outlier_stddev);
+      }
+    }
+    DKF_RETURN_IF_ERROR(out.Append(series.timestamp(i), row));
+  }
+  return out;
+}
+
+}  // namespace dkf

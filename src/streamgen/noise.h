@@ -1,0 +1,27 @@
+#ifndef DKF_STREAMGEN_NOISE_H_
+#define DKF_STREAMGEN_NOISE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace dkf {
+
+/// Options for post-hoc corruption of a clean series — used by the
+/// robustness benches (Table 1: graceful degradation under noise).
+struct NoiseInjectionOptions {
+  double gaussian_stddev = 0.0;   ///< additive white noise per value
+  double outlier_probability = 0.0;  ///< chance a sample becomes an outlier
+  double outlier_stddev = 0.0;    ///< extra noise applied to outliers
+  uint64_t seed = 99;
+};
+
+/// Returns a copy of `series` with every value independently corrupted per
+/// `options`. All attributes of a multivariate series are corrupted.
+Result<TimeSeries> InjectNoise(const TimeSeries& series,
+                               const NoiseInjectionOptions& options);
+
+}  // namespace dkf
+
+#endif  // DKF_STREAMGEN_NOISE_H_

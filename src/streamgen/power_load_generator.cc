@@ -1,0 +1,46 @@
+#include "streamgen/power_load_generator.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dkf {
+
+Result<TimeSeries> GeneratePowerLoad(const PowerLoadOptions& options) {
+  if (options.num_points == 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  if (options.noise_stddev < 0.0) {
+    return Status::InvalidArgument("noise stddev must be >= 0");
+  }
+  if (options.ar_coefficient < 0.0 || options.ar_coefficient >= 1.0) {
+    return Status::InvalidArgument("ar coefficient must be in [0, 1)");
+  }
+
+  Rng rng(options.seed);
+  TimeSeries series(1);
+  series.Reserve(options.num_points);
+
+  const double omega = 2.0 * M_PI / 24.0;
+  double ar_noise = 0.0;
+  for (size_t k = 0; k < options.num_points; ++k) {
+    const double hour = static_cast<double>(k);
+    const double hour_of_day = std::fmod(hour, 24.0);
+    const size_t day = k / 24;
+    const bool weekend = (day % 7) >= 5;
+
+    // Daily sinusoid peaking at peak_hour.
+    const double phase = omega * (hour_of_day - options.peak_hour);
+    double load = options.base_load + options.daily_amplitude * std::cos(phase);
+    if (weekend) load *= options.weekend_factor;
+
+    ar_noise = options.ar_coefficient * ar_noise +
+               rng.Gaussian(0.0, options.noise_stddev);
+    load += ar_noise;
+
+    DKF_RETURN_IF_ERROR(series.Append(hour, load));
+  }
+  return series;
+}
+
+}  // namespace dkf

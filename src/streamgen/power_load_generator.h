@@ -1,0 +1,36 @@
+#ifndef DKF_STREAMGEN_POWER_LOAD_GENERATOR_H_
+#define DKF_STREAMGEN_POWER_LOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace dkf {
+
+/// Synthetic substitute for the BGS zonal electric load dataset [22] used
+/// in Example 2 (§5.2). The original site is defunct; the paper exploits
+/// only the *sinusoidal diurnal trend* of the data, which this generator
+/// reproduces: a base load plus a daily sinusoid (peak in working hours),
+/// weekday/weekend modulation, and AR(1) measurement noise.
+struct PowerLoadOptions {
+  size_t num_points = 5831;    ///< hourly samples (paper: 5831)
+  double base_load = 1500.0;   ///< MW
+  double daily_amplitude = 400.0;
+  /// Hour-of-day at which the sinusoid peaks (paper: load peaks during
+  /// working hours).
+  double peak_hour = 15.0;
+  /// Weekend load is scaled by this factor.
+  double weekend_factor = 0.85;
+  /// AR(1) noise: e_k = ar_coefficient * e_{k-1} + N(0, noise_stddev^2).
+  double ar_coefficient = 0.7;
+  double noise_stddev = 25.0;
+  uint64_t seed = 7;
+};
+
+/// Generates a width-1 hourly load series (timestamps in hours).
+Result<TimeSeries> GeneratePowerLoad(const PowerLoadOptions& options);
+
+}  // namespace dkf
+
+#endif  // DKF_STREAMGEN_POWER_LOAD_GENERATOR_H_

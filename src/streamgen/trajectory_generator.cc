@@ -1,0 +1,61 @@
+#include "streamgen/trajectory_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dkf {
+
+Result<TrajectoryData> GenerateTrajectory(const TrajectoryOptions& options) {
+  if (options.num_points == 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  if (options.dt <= 0.0) {
+    return Status::InvalidArgument("dt must be positive");
+  }
+  if (options.min_speed < 0.0 || options.max_speed < options.min_speed) {
+    return Status::InvalidArgument("need 0 <= min_speed <= max_speed");
+  }
+  if (options.min_segment == 0 || options.max_segment < options.min_segment) {
+    return Status::InvalidArgument("need 1 <= min_segment <= max_segment");
+  }
+  if (options.noise_stddev < 0.0) {
+    return Status::InvalidArgument("noise stddev must be >= 0");
+  }
+
+  Rng rng(options.seed);
+  TrajectoryData data;
+  data.observed.Reserve(options.num_points);
+  data.truth.Reserve(options.num_points);
+
+  double x = 0.0;
+  double y = 0.0;
+  double speed = 0.0;
+  double heading = 0.0;
+  size_t remaining = 0;  // samples left on the current linear leg
+
+  for (size_t k = 0; k < options.num_points; ++k) {
+    if (remaining == 0) {
+      // Start a new leg: random speed and heading, held for a random time
+      // (the paper's "randomly change its speed and heading, then continue
+      // on that linear path").
+      speed = std::min(rng.Uniform(options.min_speed, options.max_speed),
+                       options.max_speed_cap);
+      heading = rng.Uniform(0.0, 2.0 * M_PI);
+      remaining = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(options.min_segment),
+                         static_cast<int64_t>(options.max_segment)));
+    }
+    x += speed * std::cos(heading) * options.dt;
+    y += speed * std::sin(heading) * options.dt;
+    --remaining;
+
+    const double t = static_cast<double>(k) * options.dt;
+    DKF_RETURN_IF_ERROR(data.truth.Append(t, {x, y}));
+    const double ox = x + rng.Gaussian(0.0, options.noise_stddev);
+    const double oy = y + rng.Gaussian(0.0, options.noise_stddev);
+    DKF_RETURN_IF_ERROR(data.observed.Append(t, {ox, oy}));
+  }
+  return data;
+}
+
+}  // namespace dkf

@@ -1,0 +1,124 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvParseTest, SimpleLine) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  EXPECT_EQ(ParseCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(ParseCsvLine(""), (std::vector<std::string>{""}));
+}
+
+TEST(CsvParseTest, QuotedFields) {
+  EXPECT_EQ(ParseCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"he said \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST(CsvParseTest, ToleratesCarriageReturn) {
+  EXPECT_EQ(ParseCsvLine("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvWriterTest, WriteAndReadBack) {
+  const std::string path = TempPath("writer_roundtrip.csv");
+  {
+    auto writer_or = CsvWriter::Open(path);
+    ASSERT_TRUE(writer_or.ok());
+    CsvWriter writer = std::move(writer_or).value();
+    ASSERT_TRUE(writer.WriteRow({"h1", "h2"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"with,comma", "with\"quote"}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto rows_or = ReadCsvFile(path);
+  ASSERT_TRUE(rows_or.ok());
+  const auto& rows = rows_or.value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"h1", "h2"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"with,comma", "with\"quote"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, DoubleCloseFails) {
+  const std::string path = TempPath("double_close.csv");
+  auto writer_or = CsvWriter::Open(path);
+  ASSERT_TRUE(writer_or.ok());
+  CsvWriter writer = std::move(writer_or).value();
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_FALSE(writer.Close().ok());
+  EXPECT_FALSE(writer.WriteRow({"x"}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvReadTest, MissingFileErrors) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/really/not/here.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TimeSeriesCsvTest, RoundTripsMultivariate) {
+  TimeSeries series(2);
+  ASSERT_TRUE(series.Append(0.5, {1.25, -3.75}).ok());
+  ASSERT_TRUE(series.Append(1.5, {2.0, 4.0}).ok());
+
+  const std::string path = TempPath("series_roundtrip.csv");
+  ASSERT_TRUE(WriteTimeSeriesCsv(series, path).ok());
+  auto loaded_or = ReadTimeSeriesCsv(path);
+  ASSERT_TRUE(loaded_or.ok());
+  const TimeSeries& loaded = loaded_or.value();
+
+  ASSERT_EQ(loaded.size(), series.size());
+  ASSERT_EQ(loaded.width(), series.width());
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(loaded.timestamp(i), series.timestamp(i));
+    for (size_t d = 0; d < series.width(); ++d) {
+      EXPECT_EQ(loaded.value(i, d), series.value(i, d));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesCsvTest, RejectsMalformedHeader) {
+  const std::string path = TempPath("bad_header.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("time,v0\n1,2\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadTimeSeriesCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesCsvTest, RejectsRowWithWrongArity) {
+  const std::string path = TempPath("bad_row.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("timestamp,v0\n1,2,3\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadTimeSeriesCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesCsvTest, RejectsNonNumericCell) {
+  const std::string path = TempPath("bad_cell.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("timestamp,v0\n1,abc\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadTimeSeriesCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dkf

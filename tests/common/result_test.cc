@@ -1,0 +1,78 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrFallsBackOnError) {
+  Result<int> ok(7);
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::string> result(std::string("a"));
+  result.value() += "b";
+  EXPECT_EQ(result.value(), "ab");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status ConsumeViaAssignOrReturn(int input, int* out) {
+  DKF_ASSIGN_OR_RETURN(const int value, ParsePositive(input));
+  *out = value * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(ConsumeViaAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(ConsumeViaAssignOrReturn(-1, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, CopyableResultCopies) {
+  Result<int> original(9);
+  Result<int> copy = original;
+  EXPECT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value(), 9);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,90 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  const std::string big(1000, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 1000u);
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrStripTest, StripsWhitespace) {
+  EXPECT_EQ(StrStrip("  a b  "), "a b");
+  EXPECT_EQ(StrStrip("\t\nx\r "), "x");
+  EXPECT_EQ(StrStrip("   "), "");
+  EXPECT_EQ(StrStrip(""), "");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(ParseDoubleTest, ParsesValidInput) {
+  double out = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &out));
+  EXPECT_DOUBLE_EQ(out, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &out));
+  EXPECT_DOUBLE_EQ(out, -2000.0);
+  EXPECT_TRUE(ParseDouble("0", &out));
+  EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsBadInput) {
+  double out = 0.0;
+  EXPECT_FALSE(ParseDouble("", &out));
+  EXPECT_FALSE(ParseDouble("abc", &out));
+  EXPECT_FALSE(ParseDouble("1.5x", &out));
+  EXPECT_FALSE(ParseDouble("1e999", &out));  // range error
+}
+
+TEST(ParseInt64Test, ParsesValidInput) {
+  long long out = 0;
+  EXPECT_TRUE(ParseInt64("123", &out));
+  EXPECT_EQ(out, 123);
+  EXPECT_TRUE(ParseInt64("-5", &out));
+  EXPECT_EQ(out, -5);
+}
+
+TEST(ParseInt64Test, RejectsBadInput) {
+  long long out = 0;
+  EXPECT_FALSE(ParseInt64("", &out));
+  EXPECT_FALSE(ParseInt64("12.5", &out));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &out));
+}
+
+TEST(DoubleToStringTest, RoundTripsExactly) {
+  const double cases[] = {0.0,     1.0,        -1.5,       3.141592653589793,
+                          1e-300,  1e300,      0.1,        2.0 / 3.0,
+                          -123.456, 5831.0};
+  for (double value : cases) {
+    double parsed = 0.0;
+    ASSERT_TRUE(ParseDouble(DoubleToString(value), &parsed));
+    EXPECT_EQ(parsed, value) << DoubleToString(value);
+  }
+}
+
+TEST(DoubleToStringTest, PrefersShortForm) {
+  EXPECT_EQ(DoubleToString(1.0), "1");
+  EXPECT_EQ(DoubleToString(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace dkf

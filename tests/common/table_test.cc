@@ -1,0 +1,56 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRule) {
+  AsciiTable table({"col_a", "b"});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("col_a  b"), std::string::npos);
+  EXPECT_NE(text.find("-----  -"), std::string::npos);
+}
+
+TEST(AsciiTableTest, AlignsColumnsToWidestCell) {
+  AsciiTable table({"x", "y"});
+  table.AddRow({"longvalue", "1"});
+  table.AddRow({"a", "22"});
+  const std::string text = table.ToString();
+  // Both rows should place the second column at the same offset.
+  EXPECT_NE(text.find("longvalue  1"), std::string::npos);
+  EXPECT_NE(text.find("a          22"), std::string::npos);
+}
+
+TEST(AsciiTableTest, PadsShortRowsTruncatesLong) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"only"});
+  table.AddRow({"1", "2", "3"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  const std::string text = table.ToString();
+  EXPECT_EQ(text.find("3"), std::string::npos);
+}
+
+TEST(AsciiTableTest, NumericRowFormatting) {
+  AsciiTable table({"delta", "pct"});
+  table.AddNumericRow({3.0, 74.25});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("3"), std::string::npos);
+  EXPECT_NE(text.find("74.25"), std::string::npos);
+}
+
+TEST(AsciiTableTest, NoTrailingSpaces) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"x", "y"});
+  const std::string text = table.ToString();
+  size_t pos = 0;
+  while ((pos = text.find('\n', pos)) != std::string::npos) {
+    if (pos > 0) {
+      EXPECT_NE(text[pos - 1], ' ');
+    }
+    ++pos;
+  }
+}
+
+}  // namespace
+}  // namespace dkf

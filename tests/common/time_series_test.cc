@@ -1,0 +1,128 @@
+#include "common/time_series.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(TimeSeriesTest, StartsEmpty) {
+  TimeSeries series(2);
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_EQ(series.width(), 2u);
+}
+
+TEST(TimeSeriesTest, ZeroWidthCoercedToOne) {
+  TimeSeries series(0);
+  EXPECT_EQ(series.width(), 1u);
+}
+
+TEST(TimeSeriesTest, AppendAndRead) {
+  TimeSeries series(2);
+  ASSERT_TRUE(series.Append(0.0, {1.0, 2.0}).ok());
+  ASSERT_TRUE(series.Append(1.0, {3.0, 4.0}).ok());
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.timestamp(1), 1.0);
+  EXPECT_DOUBLE_EQ(series.value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(series.value(1, 1), 4.0);
+  EXPECT_EQ(series.Row(1), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(series.Column(0), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(TimeSeriesTest, ScalarAppendConvenience) {
+  TimeSeries series(1);
+  ASSERT_TRUE(series.Append(0.0, 5.0).ok());
+  EXPECT_DOUBLE_EQ(series.value(0), 5.0);
+}
+
+TEST(TimeSeriesTest, ScalarAppendRejectedOnWideSeries) {
+  TimeSeries series(2);
+  EXPECT_EQ(series.Append(0.0, 5.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TimeSeriesTest, RejectsWrongWidth) {
+  TimeSeries series(2);
+  EXPECT_EQ(series.Append(0.0, {1.0}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(series.Append(0.0, {1.0, 2.0, 3.0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TimeSeriesTest, RejectsNonIncreasingTimestamps) {
+  TimeSeries series(1);
+  ASSERT_TRUE(series.Append(1.0, 1.0).ok());
+  EXPECT_FALSE(series.Append(1.0, 2.0).ok());
+  EXPECT_FALSE(series.Append(0.5, 2.0).ok());
+  ASSERT_TRUE(series.Append(1.5, 2.0).ok());
+}
+
+TEST(TimeSeriesTest, StatsComputesMoments) {
+  TimeSeries series(1);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(series.Append(i, static_cast<double>(i)).ok());
+  }
+  auto stats_or = series.Stats();
+  ASSERT_TRUE(stats_or.ok());
+  const SeriesStats& stats = stats_or.value();
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(TimeSeriesTest, StatsErrors) {
+  TimeSeries empty(1);
+  EXPECT_EQ(empty.Stats().status().code(), StatusCode::kFailedPrecondition);
+
+  TimeSeries series(1);
+  ASSERT_TRUE(series.Append(0.0, 1.0).ok());
+  EXPECT_EQ(series.Stats(3).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TimeSeriesTest, SliceExtractsRange) {
+  TimeSeries series(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(series.Append(i, static_cast<double>(i * i)).ok());
+  }
+  auto slice_or = series.Slice(2, 5);
+  ASSERT_TRUE(slice_or.ok());
+  const TimeSeries& slice = slice_or.value();
+  EXPECT_EQ(slice.size(), 3u);
+  EXPECT_DOUBLE_EQ(slice.value(0), 4.0);
+  EXPECT_DOUBLE_EQ(slice.value(2), 16.0);
+}
+
+TEST(TimeSeriesTest, SliceBoundsChecked) {
+  TimeSeries series(1);
+  ASSERT_TRUE(series.Append(0.0, 1.0).ok());
+  EXPECT_FALSE(series.Slice(0, 2).ok());
+  EXPECT_FALSE(series.Slice(2, 1).ok());
+  EXPECT_TRUE(series.Slice(0, 0).ok());  // empty slice is fine
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsStride) {
+  TimeSeries series(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(series.Append(i, static_cast<double>(i)).ok());
+  }
+  auto down_or = series.Downsample(3);
+  ASSERT_TRUE(down_or.ok());
+  const TimeSeries& down = down_or.value();
+  EXPECT_EQ(down.size(), 4u);  // indices 0, 3, 6, 9
+  EXPECT_DOUBLE_EQ(down.value(3), 9.0);
+  EXPECT_FALSE(series.Downsample(0).ok());
+}
+
+TEST(TimeSeriesTest, ClearEmpties) {
+  TimeSeries series(1);
+  ASSERT_TRUE(series.Append(0.0, 1.0).ok());
+  series.Clear();
+  EXPECT_TRUE(series.empty());
+  // After clear, any timestamp is accepted again.
+  EXPECT_TRUE(series.Append(-100.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace dkf

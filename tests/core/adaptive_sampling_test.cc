@@ -1,0 +1,162 @@
+#include "core/adaptive_sampling.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+KalmanPredictor LinearPredictor() {
+  auto model_or = MakeLinearModel(1, 1.0, ModelNoise{});
+  EXPECT_TRUE(model_or.ok());
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  EXPECT_TRUE(predictor_or.ok());
+  return std::move(predictor_or).value();
+}
+
+AdaptiveSamplingOptions DefaultOptions(double delta = 2.0) {
+  AdaptiveSamplingOptions options;
+  options.link.delta = delta;
+  options.link.check_mirror_consistency = true;
+  return options;
+}
+
+TEST(AdaptiveSamplingTest, CreateValidatesOptions) {
+  const KalmanPredictor predictor = LinearPredictor();
+  AdaptiveSamplingOptions options = DefaultOptions();
+  options.min_stride = 0;
+  EXPECT_FALSE(AdaptiveSamplingLink::Create(predictor, options).ok());
+  options = DefaultOptions();
+  options.max_stride = 0;
+  EXPECT_FALSE(AdaptiveSamplingLink::Create(predictor, options).ok());
+  options = DefaultOptions();
+  options.quiet_threshold = 0;
+  EXPECT_FALSE(AdaptiveSamplingLink::Create(predictor, options).ok());
+  options = DefaultOptions();
+  options.guard_fraction = 0.0;
+  EXPECT_FALSE(AdaptiveSamplingLink::Create(predictor, options).ok());
+  options = DefaultOptions();
+  options.guard_fraction = 1.5;
+  EXPECT_FALSE(AdaptiveSamplingLink::Create(predictor, options).ok());
+  EXPECT_TRUE(AdaptiveSamplingLink::Create(predictor, DefaultOptions()).ok());
+}
+
+TEST(AdaptiveSamplingTest, BacksOffOnPredictableStream) {
+  const KalmanPredictor predictor = LinearPredictor();
+  auto link_or = AdaptiveSamplingLink::Create(predictor, DefaultOptions());
+  ASSERT_TRUE(link_or.ok());
+  AdaptiveSamplingLink link = std::move(link_or).value();
+  // Perfect ramp: after convergence the sampler should reach max stride.
+  size_t final_stride = 1;
+  for (int i = 0; i < 500; ++i) {
+    auto step_or = link.Step(Vector{1.5 * i});
+    ASSERT_TRUE(step_or.ok());
+    final_stride = step_or.value().stride;
+  }
+  EXPECT_EQ(final_stride, DefaultOptions().max_stride);
+  // Far fewer samples than ticks.
+  EXPECT_LT(link.stats().samples_taken, link.stats().ticks / 3);
+}
+
+TEST(AdaptiveSamplingTest, SnapsBackOnManeuver) {
+  const KalmanPredictor predictor = LinearPredictor();
+  auto link_or = AdaptiveSamplingLink::Create(predictor, DefaultOptions());
+  ASSERT_TRUE(link_or.ok());
+  AdaptiveSamplingLink link = std::move(link_or).value();
+  double value = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    value += 1.0;
+    ASSERT_TRUE(link.Step(Vector{value}).ok());
+  }
+  // Abrupt reversal: the next sampled reading deviates, forcing an update
+  // and a stride reset to 1.
+  bool saw_reset = false;
+  for (int i = 0; i < 100; ++i) {
+    value -= 5.0;
+    auto step_or = link.Step(Vector{value});
+    ASSERT_TRUE(step_or.ok());
+    if (step_or.value().sent) {
+      EXPECT_EQ(step_or.value().stride, 1u);
+      saw_reset = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_reset);
+}
+
+TEST(AdaptiveSamplingTest, FixedStrideWhenMinEqualsMax) {
+  const KalmanPredictor predictor = LinearPredictor();
+  AdaptiveSamplingOptions options = DefaultOptions();
+  options.min_stride = 1;
+  options.max_stride = 1;
+  auto link_or = AdaptiveSamplingLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  AdaptiveSamplingLink link = std::move(link_or).value();
+  for (int i = 0; i < 200; ++i) {
+    auto step_or = link.Step(Vector{0.5 * i});
+    ASSERT_TRUE(step_or.ok());
+    EXPECT_TRUE(step_or.value().sampled);
+  }
+  EXPECT_EQ(link.stats().samples_taken, link.stats().ticks);
+}
+
+TEST(AdaptiveSamplingTest, ServerValueTrackedDuringCoast) {
+  const KalmanPredictor predictor = LinearPredictor();
+  auto link_or = AdaptiveSamplingLink::Create(predictor, DefaultOptions());
+  ASSERT_TRUE(link_or.ok());
+  AdaptiveSamplingLink link = std::move(link_or).value();
+  double worst_err = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    const double truth = 2.0 * i;
+    auto step_or = link.Step(Vector{truth});
+    ASSERT_TRUE(step_or.ok());
+    if (i > 50) {
+      worst_err = std::max(
+          worst_err, std::fabs(step_or.value().server_value[0] - truth));
+    }
+  }
+  // Linear stream, linear model: coasting stays accurate.
+  EXPECT_LT(worst_err, 2.0);
+}
+
+TEST(AdaptiveSamplingTest, SamplingSavesEnergyWithoutLosingUpdates) {
+  // On a piecewise-linear stream the adaptive sampler should take far
+  // fewer readings than a per-tick sampler while sending a comparable
+  // number of updates.
+  Rng rng(9);
+  std::vector<double> values;
+  double value = 0.0;
+  double slope = 1.0;
+  for (int i = 0; i < 3000; ++i) {
+    if (i % 400 == 0) slope = rng.Uniform(-2.0, 2.0);
+    value += slope;
+    values.push_back(value);
+  }
+
+  const KalmanPredictor predictor = LinearPredictor();
+  auto adaptive_or =
+      AdaptiveSamplingLink::Create(predictor, DefaultOptions());
+  ASSERT_TRUE(adaptive_or.ok());
+  AdaptiveSamplingLink adaptive = std::move(adaptive_or).value();
+  AdaptiveSamplingOptions fixed_options = DefaultOptions();
+  fixed_options.max_stride = 1;
+  auto fixed_or = AdaptiveSamplingLink::Create(predictor, fixed_options);
+  ASSERT_TRUE(fixed_or.ok());
+  AdaptiveSamplingLink fixed = std::move(fixed_or).value();
+
+  for (double v : values) {
+    ASSERT_TRUE(adaptive.Step(Vector{v}).ok());
+    ASSERT_TRUE(fixed.Step(Vector{v}).ok());
+  }
+  EXPECT_LT(adaptive.stats().samples_taken,
+            fixed.stats().samples_taken / 2);
+  EXPECT_LT(adaptive.stats().updates_sent,
+            2 * fixed.stats().updates_sent + 20);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,332 @@
+#include "core/dual_link.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+KalmanPredictor MakeConstantPredictor(size_t dims = 1) {
+  auto model_or = MakeConstantModel(dims, ModelNoise{});
+  EXPECT_TRUE(model_or.ok());
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  EXPECT_TRUE(predictor_or.ok());
+  return std::move(predictor_or).value();
+}
+
+KalmanPredictor MakeLinearPredictor(size_t axes = 1, double dt = 1.0) {
+  auto model_or = MakeLinearModel(axes, dt, ModelNoise{});
+  EXPECT_TRUE(model_or.ok());
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  EXPECT_TRUE(predictor_or.ok());
+  return std::move(predictor_or).value();
+}
+
+TEST(DualLinkTest, CreateValidatesDelta) {
+  const KalmanPredictor predictor = MakeConstantPredictor();
+  DualLinkOptions options;
+  options.delta = 0.0;
+  EXPECT_FALSE(DualLink::Create(predictor, options).ok());
+  options.delta = -1.0;
+  EXPECT_FALSE(DualLink::Create(predictor, options).ok());
+  options.delta = 1.0;
+  EXPECT_TRUE(DualLink::Create(predictor, options).ok());
+}
+
+TEST(DualLinkTest, StepValidatesReadingWidth) {
+  const KalmanPredictor predictor = MakeConstantPredictor(2);
+  DualLinkOptions options;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  EXPECT_FALSE(link.Step(Vector{1.0}).ok());
+}
+
+TEST(DualLinkTest, FirstDeviantReadingIsSent) {
+  const KalmanPredictor predictor = MakeConstantPredictor();
+  DualLinkOptions options;
+  options.delta = 1.0;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  auto step_or = link.Step(Vector{50.0});
+  ASSERT_TRUE(step_or.ok());
+  EXPECT_TRUE(step_or.value().sent);
+}
+
+TEST(DualLinkTest, SteadyValueIsSuppressedAfterConvergence) {
+  const KalmanPredictor predictor = MakeConstantPredictor();
+  DualLinkOptions options;
+  options.delta = 0.5;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  int sent_late = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto step_or = link.Step(Vector{10.0});
+    ASSERT_TRUE(step_or.ok());
+    if (i > 5 && step_or.value().sent) ++sent_late;
+  }
+  EXPECT_EQ(sent_late, 0);
+  EXPECT_LT(link.stats().updates_sent, 5);
+}
+
+TEST(DualLinkTest, MirrorConsistencyOnRandomStream) {
+  // THE core invariant of the architecture: with the debug check enabled,
+  // a long random stream must never trip it.
+  const KalmanPredictor predictor = MakeLinearPredictor();
+  DualLinkOptions options;
+  options.delta = 2.0;
+  options.check_mirror_consistency = true;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  Rng rng(77);
+  double value = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    value += rng.Gaussian(0.1, 1.0);
+    ASSERT_TRUE(link.Step(Vector{value}).ok()) << "tick " << i;
+  }
+  EXPECT_TRUE(link.mirror().StateEquals(link.server()));
+}
+
+TEST(DualLinkTest, MirrorConsistencyWithCachingPredictor) {
+  auto predictor_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(predictor_or.ok());
+  DualLinkOptions options;
+  options.delta = 1.0;
+  options.check_mirror_consistency = true;
+  auto link_or = DualLink::Create(predictor_or.value(), options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  Rng rng(78);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(link.Step(Vector{rng.Uniform(-10.0, 10.0)}).ok());
+  }
+}
+
+TEST(DualLinkTest, ServerErrorBoundedByDeltaForCachingPredictor) {
+  // For the caching baseline the protocol enforces a hard guarantee: the
+  // server value never deviates from the reading by more than delta at
+  // the *moment of the tick* (the cached value is refreshed whenever the
+  // bound would be violated).
+  auto predictor_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(predictor_or.ok());
+  DualLinkOptions options;
+  options.delta = 2.0;
+  auto link_or = DualLink::Create(predictor_or.value(), options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  Rng rng(79);
+  double value = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    value += rng.Gaussian(0.0, 0.8);
+    auto step_or = link.Step(Vector{value});
+    ASSERT_TRUE(step_or.ok());
+    EXPECT_LE(std::fabs(step_or.value().server_value[0] - value),
+              options.delta + 1e-12);
+  }
+}
+
+TEST(DualLinkTest, KalmanServerValueWithinDeltaAfterUpdates) {
+  // For the KF predictor, whenever an update IS sent the corrected server
+  // value must land near the reading; when suppressed, the prediction was
+  // within delta by definition. Either way the tick-time error never
+  // exceeds delta.
+  const KalmanPredictor predictor = MakeLinearPredictor();
+  DualLinkOptions options;
+  options.delta = 3.0;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  Rng rng(80);
+  double value = 0.0;
+  double slope = 1.0;
+  for (int i = 0; i < 4000; ++i) {
+    if (i % 500 == 0) slope = rng.Uniform(-3.0, 3.0);
+    value += slope;
+    auto step_or = link.Step(Vector{value});
+    ASSERT_TRUE(step_or.ok());
+    const double err = std::fabs(step_or.value().server_value[0] - value);
+    if (step_or.value().sent) {
+      // Corrected estimate is a blend of prediction and measurement, but
+      // with a converged gain it sits close to the measurement.
+      EXPECT_LE(err, options.delta + 1.0) << "tick " << i;
+    } else {
+      EXPECT_LE(err, options.delta + 1e-9) << "tick " << i;
+    }
+  }
+}
+
+TEST(DualLinkTest, LinearKfSuppressesRampAlmostEntirely) {
+  // A perfectly linear stream: after the filter locks on, it needs at most
+  // an occasional refresh (residual velocity error drifts the coasting
+  // prediction until one resync) — versus caching's send-every-tick.
+  const KalmanPredictor predictor = MakeLinearPredictor();
+  DualLinkOptions options;
+  options.delta = 1.0;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  int sent_after_warmup = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto step_or = link.Step(Vector{2.0 * i});
+    ASSERT_TRUE(step_or.ok());
+    if (i >= 50 && step_or.value().sent) ++sent_after_warmup;
+  }
+  EXPECT_LE(sent_after_warmup, 5);
+}
+
+TEST(DualLinkTest, CachingSendsContinuouslyOnRamp) {
+  // Same ramp through the caching baseline: it must refresh every few
+  // ticks forever (slope 2, delta 1 -> every tick).
+  auto predictor_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(predictor_or.ok());
+  DualLinkOptions options;
+  options.delta = 1.0;
+  auto link_or = DualLink::Create(predictor_or.value(), options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(link.Step(Vector{2.0 * i}).ok());
+  }
+  EXPECT_GT(link.stats().UpdatePercentage(), 90.0);
+}
+
+TEST(DualLinkTest, StatsCountTicksAndSends) {
+  const KalmanPredictor predictor = MakeConstantPredictor();
+  DualLinkOptions options;
+  options.delta = 1000.0;  // nothing will ever be sent... except nothing
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(link.Step(Vector{1.0}).ok());
+  }
+  EXPECT_EQ(link.stats().ticks, 10);
+  EXPECT_EQ(link.stats().updates_sent, 0);
+  EXPECT_DOUBLE_EQ(link.stats().UpdatePercentage(), 0.0);
+}
+
+TEST(DualLinkTest, CoastAdvancesWithoutSending) {
+  const KalmanPredictor predictor = MakeLinearPredictor();
+  DualLinkOptions options;
+  options.delta = 1.0;
+  options.check_mirror_consistency = true;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  // Lock onto a ramp, then coast: the prediction should keep extrapolating.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(link.Step(Vector{3.0 * i}).ok());
+  }
+  const int64_t sent_before = link.stats().updates_sent;
+  auto coast_or = link.Coast();
+  ASSERT_TRUE(coast_or.ok());
+  EXPECT_FALSE(coast_or.value().sent);
+  EXPECT_EQ(link.stats().updates_sent, sent_before);
+  EXPECT_NEAR(coast_or.value().server_value[0], 3.0 * 50, 1.0);
+}
+
+TEST(DualLinkTest, UpdatePercentageMath) {
+  LinkStats stats;
+  stats.ticks = 200;
+  stats.updates_sent = 50;
+  EXPECT_DOUBLE_EQ(stats.UpdatePercentage(), 25.0);
+  LinkStats empty;
+  EXPECT_DOUBLE_EQ(empty.UpdatePercentage(), 0.0);
+}
+
+TEST(DualLinkTest, ComponentDeltasValidated) {
+  const KalmanPredictor predictor = MakeLinearPredictor(2, 0.1);
+  DualLinkOptions options;
+  options.component_deltas = {1.0};  // wrong arity
+  EXPECT_FALSE(DualLink::Create(predictor, options).ok());
+  options.component_deltas = {1.0, -1.0};
+  EXPECT_FALSE(DualLink::Create(predictor, options).ok());
+  options.component_deltas = {1.0, 10.0};
+  EXPECT_TRUE(DualLink::Create(predictor, options).ok());
+}
+
+TEST(DualLinkTest, ComponentDeltasGateEachAttribute) {
+  // X must stay within 1, Y within 1000: a stream whose Y drifts hard but
+  // X is steady should trigger only on X excursions.
+  const KalmanPredictor predictor = MakeConstantPredictor(2);
+  DualLinkOptions options;
+  options.component_deltas = {1.0, 1000.0};
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+
+  // Initial sync.
+  ASSERT_TRUE(link.Step(Vector{0.0, 0.0}).ok());
+  // Y drifts by 20/tick (way below its 1000 width), X constant.
+  int sent = 0;
+  for (int i = 1; i <= 40; ++i) {
+    auto step_or = link.Step(Vector{0.0, 20.0 * i});
+    ASSERT_TRUE(step_or.ok());
+    if (step_or.value().sent) ++sent;
+  }
+  EXPECT_EQ(sent, 0);
+  // Now X jumps past its tight width: must transmit.
+  auto jump_or = link.Step(Vector{5.0, 20.0 * 41});
+  ASSERT_TRUE(jump_or.ok());
+  EXPECT_TRUE(jump_or.value().sent);
+}
+
+TEST(DualLinkTest, UniformComponentDeltasMatchMaxAbs) {
+  // With equal per-component widths the rule coincides with kMaxAbs.
+  const KalmanPredictor a = MakeLinearPredictor(2, 0.1);
+  DualLinkOptions uniform;
+  uniform.component_deltas = {2.0, 2.0};
+  DualLinkOptions maxabs;
+  maxabs.delta = 2.0;
+  maxabs.norm = DeviationNorm::kMaxAbs;
+  auto link_a = DualLink::Create(a, uniform).value();
+  auto link_b = DualLink::Create(a, maxabs).value();
+  Rng rng(55);
+  double x = 0.0;
+  double y = 0.0;
+  for (int i = 0; i < 800; ++i) {
+    x += rng.Gaussian(0.2, 0.6);
+    y += rng.Gaussian(-0.1, 0.6);
+    auto sa = link_a.Step(Vector{x, y});
+    auto sb = link_b.Step(Vector{x, y});
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    ASSERT_EQ(sa.value().sent, sb.value().sent) << "tick " << i;
+  }
+}
+
+class DualLinkNormTest : public ::testing::TestWithParam<DeviationNorm> {};
+
+TEST_P(DualLinkNormTest, MirrorConsistencyHoldsUnderEveryNorm) {
+  const KalmanPredictor predictor = MakeLinearPredictor(2, 0.1);
+  DualLinkOptions options;
+  options.delta = 1.5;
+  options.norm = GetParam();
+  options.check_mirror_consistency = true;
+  auto link_or = DualLink::Create(predictor, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  Rng rng(42);
+  double x = 0.0;
+  double y = 0.0;
+  for (int i = 0; i < 1500; ++i) {
+    x += rng.Gaussian(0.3, 0.5);
+    y += rng.Gaussian(-0.2, 0.5);
+    ASSERT_TRUE(link.Step(Vector{x, y}).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNorms, DualLinkNormTest,
+                         ::testing::Values(DeviationNorm::kMaxAbs,
+                                           DeviationNorm::kL2,
+                                           DeviationNorm::kL1));
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,223 @@
+#include "core/ekf_predictor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dual_link.h"
+#include "models/model_factory.h"
+#include "models/nonlinear_models.h"
+
+namespace dkf {
+namespace {
+
+EkfPredictor TurnPredictor() {
+  auto options_or = MakeCoordinatedTurnModel(0.1, NonlinearModelNoise{});
+  EXPECT_TRUE(options_or.ok());
+  auto predictor_or =
+      EkfPredictor::Create("coordinated-turn", options_or.value(), 2);
+  EXPECT_TRUE(predictor_or.ok());
+  return std::move(predictor_or).value();
+}
+
+/// True circular motion generator.
+struct Circler {
+  double x = 0.0;
+  double y = 0.0;
+  double heading = 0.0;
+  double speed = 10.0;
+  double turn_rate = 0.4;
+  double dt = 0.1;
+  Vector Next() {
+    x += speed * std::cos(heading) * dt;
+    y += speed * std::sin(heading) * dt;
+    heading += turn_rate * dt;
+    return Vector{x, y};
+  }
+};
+
+TEST(EkfPredictorTest, CreateValidates) {
+  auto options_or = MakeCoordinatedTurnModel(0.1, NonlinearModelNoise{});
+  ASSERT_TRUE(options_or.ok());
+  EXPECT_FALSE(EkfPredictor::Create("x", options_or.value(), 0).ok());
+  EXPECT_FALSE(EkfPredictor::Create("x", options_or.value(), 3).ok());
+  EXPECT_TRUE(EkfPredictor::Create("x", options_or.value(), 2).ok());
+}
+
+TEST(EkfPredictorTest, ProtocolRoundTrip) {
+  EkfPredictor predictor = TurnPredictor();
+  EXPECT_EQ(predictor.dim(), 2u);
+  EXPECT_EQ(predictor.name(), "coordinated-turn");
+  ASSERT_TRUE(predictor.Tick().ok());
+  ASSERT_TRUE(predictor.Update(Vector{1.0, 2.0}).ok());
+  const Vector predicted = predictor.Predicted();
+  EXPECT_EQ(predicted.size(), 2u);
+}
+
+TEST(EkfPredictorTest, CloneAndStateEquals) {
+  EkfPredictor predictor = TurnPredictor();
+  std::unique_ptr<Predictor> clone = predictor.Clone();
+  EXPECT_TRUE(clone->StateEquals(predictor));
+  ASSERT_TRUE(clone->Tick().ok());
+  EXPECT_FALSE(clone->StateEquals(predictor));
+}
+
+TEST(EkfPredictorTest, MirrorConsistencyThroughDualLink) {
+  // The nonlinear DKF variant keeps the mirror invariant: both EKFs are
+  // deterministic.
+  DualLinkOptions options;
+  options.delta = 1.0;
+  options.check_mirror_consistency = true;
+  auto link_or = DualLink::Create(TurnPredictor(), options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  Circler circler;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(link.Step(circler.Next()).ok()) << "tick " << i;
+  }
+}
+
+TEST(EkfPredictorTest, EkfSuppressesTurningMotionBetterThanLinear) {
+  // On sustained circular motion the linear (constant-velocity) model
+  // keeps flying off the arc; the coordinated-turn EKF coasts along it.
+  DualLinkOptions options;
+  options.delta = 2.0;
+
+  auto ekf_link = DualLink::Create(TurnPredictor(), options).value();
+  ModelNoise noise;
+  auto linear = KalmanPredictor::Create(
+                    MakeLinearModel(2, 0.1, noise).value())
+                    .value();
+  auto linear_link = DualLink::Create(linear, options).value();
+
+  Circler a;
+  Circler b;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(ekf_link.Step(a.Next()).ok());
+    ASSERT_TRUE(linear_link.Step(b.Next()).ok());
+  }
+  EXPECT_LT(ekf_link.stats().updates_sent,
+            linear_link.stats().updates_sent / 2);
+}
+
+UkfPredictor TurnUkfPredictor() {
+  // Honest (small) process noise — see MakeCoordinatedTurnUkf's note on
+  // the UKF's second-order bias under inflated Q.
+  NonlinearModelNoise noise;
+  noise.process_variance = 1e-4;
+  auto options_or = MakeCoordinatedTurnUkf(0.1, noise);
+  EXPECT_TRUE(options_or.ok());
+  auto predictor_or =
+      UkfPredictor::Create("coordinated-turn-ukf", options_or.value(), 2);
+  EXPECT_TRUE(predictor_or.ok());
+  return std::move(predictor_or).value();
+}
+
+TEST(UkfPredictorTest, CreateValidates) {
+  auto options_or = MakeCoordinatedTurnUkf(0.1, NonlinearModelNoise{});
+  ASSERT_TRUE(options_or.ok());
+  EXPECT_FALSE(UkfPredictor::Create("x", options_or.value(), 0).ok());
+  EXPECT_FALSE(UkfPredictor::Create("x", options_or.value(), 3).ok());
+  EXPECT_TRUE(UkfPredictor::Create("x", options_or.value(), 2).ok());
+}
+
+TEST(UkfPredictorTest, MirrorConsistencyThroughDualLink) {
+  DualLinkOptions options;
+  options.delta = 1.0;
+  options.check_mirror_consistency = true;
+  auto link_or = DualLink::Create(TurnUkfPredictor(), options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+  Circler circler;
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(link.Step(circler.Next()).ok()) << "tick " << i;
+  }
+}
+
+TEST(UkfPredictorTest, SuppressesTurningMotionLikeEkf) {
+  DualLinkOptions options;
+  options.delta = 2.0;
+  auto ukf_link = DualLink::Create(TurnUkfPredictor(), options).value();
+  auto ekf_link = DualLink::Create(TurnPredictor(), options).value();
+  Circler a;
+  Circler b;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(ukf_link.Step(a.Next()).ok());
+    ASSERT_TRUE(ekf_link.Step(b.Next()).ok());
+  }
+  // Both nonlinear variants should land in the same (near-silent)
+  // suppression regime on sustained circular motion — versus the ~20-40%
+  // a linear model pays on the same arc (see the EKF test above).
+  EXPECT_LT(ukf_link.stats().UpdatePercentage(), 5.0);
+  EXPECT_LT(ekf_link.stats().UpdatePercentage(), 5.0);
+}
+
+TEST(SteadyStatePredictorTest, CreateRequiresConstantTransition) {
+  ModelNoise noise;
+  auto sinusoidal = MakeSinusoidalModel(0.3, 0.0, 1.0, noise).value();
+  EXPECT_FALSE(SteadyStatePredictor::Create(sinusoidal).ok());
+  auto linear = MakeLinearModel(1, 1.0, noise).value();
+  EXPECT_TRUE(SteadyStatePredictor::Create(linear).ok());
+}
+
+TEST(SteadyStatePredictorTest, NameAndDim) {
+  ModelNoise noise;
+  auto predictor =
+      SteadyStatePredictor::Create(MakeLinearModel(2, 0.1, noise).value())
+          .value();
+  EXPECT_EQ(predictor.name(), "linear-ss");
+  EXPECT_EQ(predictor.dim(), 2u);
+}
+
+TEST(SteadyStatePredictorTest, MirrorConsistencyThroughDualLink) {
+  ModelNoise noise;
+  auto predictor =
+      SteadyStatePredictor::Create(MakeLinearModel(1, 1.0, noise).value())
+          .value();
+  DualLinkOptions options;
+  options.delta = 2.0;
+  options.check_mirror_consistency = true;
+  auto link = DualLink::Create(predictor, options).value();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(link.Step(Vector{1.3 * i}).ok());
+  }
+}
+
+TEST(SteadyStatePredictorTest, SuppressionCostOfFixedGain) {
+  // The Riccati gain assumes corrections every tick; under suppression
+  // the full filter inflates its covariance during silent runs and
+  // resyncs in one high-gain correction, while the fixed gain resyncs
+  // sluggishly. The steady-state link therefore sends MORE updates than
+  // the full filter — but still massively fewer than the caching
+  // baseline. This test pins down that documented trade-off.
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  const StateModel model = MakeLinearModel(1, 1.0, noise).value();
+  auto full = KalmanPredictor::Create(model).value();
+  auto steady = SteadyStatePredictor::Create(model).value();
+  auto caching = CachedValuePredictor::Create(1).value();
+
+  DualLinkOptions options;
+  options.delta = 2.0;
+  auto full_link = DualLink::Create(full, options).value();
+  auto steady_link = DualLink::Create(steady, options).value();
+  auto caching_link = DualLink::Create(caching, options).value();
+  double value = 0.0;
+  double slope = 1.0;
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 500 == 0) slope = (i / 500 % 2 == 0) ? 1.5 : -1.0;
+    value += slope;
+    ASSERT_TRUE(full_link.Step(Vector{value}).ok());
+    ASSERT_TRUE(steady_link.Step(Vector{value}).ok());
+    ASSERT_TRUE(caching_link.Step(Vector{value}).ok());
+  }
+  const double full_pct = full_link.stats().UpdatePercentage();
+  const double steady_pct = steady_link.stats().UpdatePercentage();
+  const double caching_pct = caching_link.stats().UpdatePercentage();
+  EXPECT_GE(steady_pct, full_pct);
+  EXPECT_LT(steady_pct, 0.5 * caching_pct);
+}
+
+}  // namespace
+}  // namespace dkf

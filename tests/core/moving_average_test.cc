@@ -1,0 +1,74 @@
+#include "core/moving_average.h"
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(MovingAverageTest, CreateValidatesWindow) {
+  EXPECT_FALSE(MovingAverage::Create(0).ok());
+  EXPECT_TRUE(MovingAverage::Create(1).ok());
+}
+
+TEST(MovingAverageTest, PartialWindowAveragesWhatItHas) {
+  auto ma_or = MovingAverage::Create(4);
+  ASSERT_TRUE(ma_or.ok());
+  MovingAverage ma = std::move(ma_or).value();
+  EXPECT_DOUBLE_EQ(ma.Push(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(ma.Push(4.0), 3.0);
+  EXPECT_DOUBLE_EQ(ma.Push(6.0), 4.0);
+}
+
+TEST(MovingAverageTest, FullWindowSlides) {
+  auto ma_or = MovingAverage::Create(2);
+  ASSERT_TRUE(ma_or.ok());
+  MovingAverage ma = std::move(ma_or).value();
+  ma.Push(1.0);
+  ma.Push(3.0);
+  EXPECT_DOUBLE_EQ(ma.Push(5.0), 4.0);   // (3 + 5) / 2
+  EXPECT_DOUBLE_EQ(ma.Push(-5.0), 0.0);  // (5 - 5) / 2
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  auto ma_or = MovingAverage::Create(1);
+  ASSERT_TRUE(ma_or.ok());
+  MovingAverage ma = std::move(ma_or).value();
+  EXPECT_DOUBLE_EQ(ma.Push(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(ma.Push(-2.0), -2.0);
+}
+
+TEST(MovingAverageTest, SpikeBarelyMovesLongAverage) {
+  // The §5.3 criticism of moving averages: "even a series of spikes after
+  // a few steady measurements will not alter the moving average value
+  // significantly."
+  auto ma_or = MovingAverage::Create(100);
+  ASSERT_TRUE(ma_or.ok());
+  MovingAverage ma = std::move(ma_or).value();
+  double value = 0.0;
+  for (int i = 0; i < 100; ++i) value = ma.Push(10.0);
+  value = ma.Push(100.0);  // large spike
+  EXPECT_NEAR(value, 10.9, 1e-9);
+}
+
+TEST(MovingAverageTest, SeriesHelperMatchesManual) {
+  TimeSeries series(1);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(series.Append(i, static_cast<double>(i)).ok());
+  }
+  auto smoothed_or = SmoothSeriesMovingAverage(series, 3);
+  ASSERT_TRUE(smoothed_or.ok());
+  const TimeSeries& smoothed = smoothed_or.value();
+  EXPECT_DOUBLE_EQ(smoothed.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(smoothed.value(1), 0.5);
+  EXPECT_DOUBLE_EQ(smoothed.value(2), 1.0);
+  EXPECT_DOUBLE_EQ(smoothed.value(5), 4.0);  // (3 + 4 + 5) / 3
+}
+
+TEST(MovingAverageTest, SeriesHelperValidatesWidth) {
+  TimeSeries wide(2);
+  ASSERT_TRUE(wide.Append(0.0, {1.0, 2.0}).ok());
+  EXPECT_FALSE(SmoothSeriesMovingAverage(wide, 3).ok());
+}
+
+}  // namespace
+}  // namespace dkf

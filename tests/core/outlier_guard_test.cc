@@ -1,0 +1,151 @@
+#include "core/outlier_guard.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dual_link.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+KalmanPredictor LinearPredictor() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  auto predictor_or =
+      KalmanPredictor::Create(MakeLinearModel(1, 1.0, noise).value());
+  EXPECT_TRUE(predictor_or.ok());
+  return std::move(predictor_or).value();
+}
+
+OutlierGuardOptions DefaultOptions() {
+  OutlierGuardOptions options;
+  options.delta = 2.0;
+  return options;
+}
+
+TEST(OutlierGuardTest, CreateValidates) {
+  const KalmanPredictor predictor = LinearPredictor();
+  OutlierGuardOptions options = DefaultOptions();
+  options.delta = 0.0;
+  EXPECT_FALSE(OutlierFilteredLink::Create(predictor, options).ok());
+  options = DefaultOptions();
+  options.nis_threshold = 0.0;
+  EXPECT_FALSE(OutlierFilteredLink::Create(predictor, options).ok());
+  options = DefaultOptions();
+  options.confirmations = 0;
+  EXPECT_FALSE(OutlierFilteredLink::Create(predictor, options).ok());
+  EXPECT_TRUE(OutlierFilteredLink::Create(predictor, DefaultOptions()).ok());
+}
+
+TEST(OutlierGuardTest, IsolatedSpikeDroppedNotTransmitted) {
+  auto link_or =
+      OutlierFilteredLink::Create(LinearPredictor(), DefaultOptions());
+  ASSERT_TRUE(link_or.ok());
+  OutlierFilteredLink link = std::move(link_or).value();
+  // Converge on a ramp, then inject one massive spike.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(link.Step(Vector{1.0 * i}).ok());
+  }
+  const int64_t sent_before = link.stats().updates_sent;
+  auto spike_or = link.Step(Vector{200.0 + 500.0});
+  ASSERT_TRUE(spike_or.ok());
+  EXPECT_TRUE(spike_or.value().dropped_as_outlier);
+  EXPECT_FALSE(spike_or.value().sent);
+  EXPECT_EQ(link.stats().updates_sent, sent_before);
+  // The server answer stays on the ramp, unpolluted by the spike.
+  EXPECT_NEAR(spike_or.value().server_value[0], 201.0, 2.0);
+}
+
+TEST(OutlierGuardTest, SustainedChangeGetsThroughAfterConfirmation) {
+  OutlierGuardOptions options = DefaultOptions();
+  options.confirmations = 2;
+  auto link_or = OutlierFilteredLink::Create(LinearPredictor(), options);
+  ASSERT_TRUE(link_or.ok());
+  OutlierFilteredLink link = std::move(link_or).value();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(link.Step(Vector{1.0 * i}).ok());
+  }
+  // The stream genuinely jumps and stays at the new level.
+  bool sent_eventually = false;
+  int ticks_until_sent = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto step_or = link.Step(Vector{200.0 + 500.0 + i});
+    ASSERT_TRUE(step_or.ok());
+    ++ticks_until_sent;
+    if (step_or.value().sent) {
+      sent_eventually = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(sent_eventually);
+  EXPECT_LE(ticks_until_sent, 3);  // confirmation delay is short
+}
+
+TEST(OutlierGuardTest, MirrorStaysConsistent) {
+  auto link_or =
+      OutlierFilteredLink::Create(LinearPredictor(), DefaultOptions());
+  ASSERT_TRUE(link_or.ok());
+  OutlierFilteredLink link = std::move(link_or).value();
+  Rng rng(3);
+  double value = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    value += rng.Gaussian(0.5, 1.0);
+    const double reading =
+        rng.Bernoulli(0.02) ? value + 300.0 : value;  // occasional spikes
+    ASSERT_TRUE(link.Step(Vector{reading}).ok());
+    ASSERT_TRUE(link.MirrorConsistent()) << "tick " << i;
+  }
+}
+
+TEST(OutlierGuardTest, GuardReducesUpdatesAndErrorUnderSpikes) {
+  // Versus a plain DualLink on the same spiky stream: the guard should
+  // transmit less AND keep the server closer to the clean signal.
+  Rng rng(4);
+  std::vector<double> clean;
+  std::vector<double> spiky;
+  double value = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    value += 0.5;
+    clean.push_back(value);
+    spiky.push_back(rng.Bernoulli(0.01) ? value + 400.0 : value);
+  }
+
+  auto guarded_or =
+      OutlierFilteredLink::Create(LinearPredictor(), DefaultOptions());
+  ASSERT_TRUE(guarded_or.ok());
+  OutlierFilteredLink guarded = std::move(guarded_or).value();
+  DualLinkOptions plain_options;
+  plain_options.delta = DefaultOptions().delta;
+  auto plain_or = DualLink::Create(LinearPredictor(), plain_options);
+  ASSERT_TRUE(plain_or.ok());
+  DualLink plain = std::move(plain_or).value();
+
+  double guarded_err = 0.0;
+  double plain_err = 0.0;
+  for (size_t i = 0; i < spiky.size(); ++i) {
+    auto g_or = guarded.Step(Vector{spiky[i]});
+    auto p_or = plain.Step(Vector{spiky[i]});
+    ASSERT_TRUE(g_or.ok());
+    ASSERT_TRUE(p_or.ok());
+    guarded_err += std::fabs(g_or.value().server_value[0] - clean[i]);
+    plain_err += std::fabs(p_or.value().server_value[0] - clean[i]);
+  }
+  EXPECT_LT(guarded.stats().updates_sent, plain.stats().updates_sent);
+  EXPECT_LT(guarded_err, plain_err);
+  EXPECT_GT(guarded.stats().outliers_dropped, 10);
+}
+
+TEST(OutlierGuardTest, ReadingWidthValidated) {
+  auto link_or =
+      OutlierFilteredLink::Create(LinearPredictor(), DefaultOptions());
+  ASSERT_TRUE(link_or.ok());
+  OutlierFilteredLink link = std::move(link_or).value();
+  EXPECT_FALSE(link.Step(Vector{1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,94 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+TEST(KalmanPredictorTest, CreatedFromModel) {
+  auto model_or = MakeLinearModel(2, 0.1, ModelNoise{});
+  ASSERT_TRUE(model_or.ok());
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  ASSERT_TRUE(predictor_or.ok());
+  EXPECT_EQ(predictor_or.value().name(), "linear");
+  EXPECT_EQ(predictor_or.value().dim(), 2u);
+}
+
+TEST(KalmanPredictorTest, TickThenUpdateTracksValue) {
+  auto model_or = MakeConstantModel(1, ModelNoise{});
+  ASSERT_TRUE(model_or.ok());
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  ASSERT_TRUE(predictor_or.ok());
+  KalmanPredictor predictor = std::move(predictor_or).value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(predictor.Tick().ok());
+    ASSERT_TRUE(predictor.Update(Vector{8.0}).ok());
+  }
+  EXPECT_NEAR(predictor.Predicted()[0], 8.0, 0.1);
+}
+
+TEST(KalmanPredictorTest, CloneIsIndependentDeepCopy) {
+  auto model_or = MakeConstantModel(1, ModelNoise{});
+  ASSERT_TRUE(model_or.ok());
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  ASSERT_TRUE(predictor_or.ok());
+  KalmanPredictor predictor = std::move(predictor_or).value();
+  std::unique_ptr<Predictor> clone = predictor.Clone();
+  ASSERT_TRUE(clone->StateEquals(predictor));
+  ASSERT_TRUE(clone->Tick().ok());
+  EXPECT_FALSE(clone->StateEquals(predictor));
+  ASSERT_TRUE(predictor.Tick().ok());
+  EXPECT_TRUE(clone->StateEquals(predictor));
+}
+
+TEST(KalmanPredictorTest, StateEqualsRejectsDifferentType) {
+  auto model_or = MakeConstantModel(1, ModelNoise{});
+  ASSERT_TRUE(model_or.ok());
+  auto kalman_or = KalmanPredictor::Create(model_or.value());
+  auto cache_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(kalman_or.ok());
+  ASSERT_TRUE(cache_or.ok());
+  EXPECT_FALSE(kalman_or.value().StateEquals(cache_or.value()));
+  EXPECT_FALSE(cache_or.value().StateEquals(kalman_or.value()));
+}
+
+TEST(CachedValuePredictorTest, PredictsLastUpdate) {
+  auto predictor_or = CachedValuePredictor::Create(2);
+  ASSERT_TRUE(predictor_or.ok());
+  CachedValuePredictor predictor = std::move(predictor_or).value();
+  EXPECT_EQ(predictor.name(), "caching");
+  EXPECT_DOUBLE_EQ(predictor.Predicted()[0], 0.0);
+  ASSERT_TRUE(predictor.Update(Vector{3.0, 4.0}).ok());
+  // Ticks never move the cached value — that is the whole point of the
+  // static caching baseline.
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(predictor.Tick().ok());
+  EXPECT_DOUBLE_EQ(predictor.Predicted()[0], 3.0);
+  EXPECT_DOUBLE_EQ(predictor.Predicted()[1], 4.0);
+}
+
+TEST(CachedValuePredictorTest, UpdateValidatesWidth) {
+  auto predictor_or = CachedValuePredictor::Create(2);
+  ASSERT_TRUE(predictor_or.ok());
+  CachedValuePredictor predictor = std::move(predictor_or).value();
+  EXPECT_FALSE(predictor.Update(Vector{1.0}).ok());
+}
+
+TEST(CachedValuePredictorTest, CreateValidatesDim) {
+  EXPECT_FALSE(CachedValuePredictor::Create(0).ok());
+}
+
+TEST(CachedValuePredictorTest, CloneAndStateEquals) {
+  auto predictor_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(predictor_or.ok());
+  CachedValuePredictor predictor = std::move(predictor_or).value();
+  ASSERT_TRUE(predictor.Update(Vector{2.0}).ok());
+  std::unique_ptr<Predictor> clone = predictor.Clone();
+  EXPECT_TRUE(clone->StateEquals(predictor));
+  ASSERT_TRUE(clone->Update(Vector{3.0}).ok());
+  EXPECT_FALSE(clone->StateEquals(predictor));
+}
+
+}  // namespace
+}  // namespace dkf

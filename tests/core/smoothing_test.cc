@@ -1,0 +1,127 @@
+#include "core/smoothing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/moving_average.h"
+#include "metrics/metrics.h"
+
+namespace dkf {
+namespace {
+
+TimeSeries NoisyConstant(size_t n, double level, double stddev,
+                         uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries series(1);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(series
+                    .Append(static_cast<double>(i),
+                            level + rng.Gaussian(0.0, stddev))
+                    .ok());
+  }
+  return series;
+}
+
+TEST(KalmanSmootherTest, CreateValidates) {
+  EXPECT_FALSE(KalmanSmoother::Create(0.0).ok());
+  EXPECT_FALSE(KalmanSmoother::Create(-1.0).ok());
+  EXPECT_FALSE(KalmanSmoother::Create(1e-7, 0.0).ok());
+  EXPECT_TRUE(KalmanSmoother::Create(1e-7).ok());
+}
+
+TEST(KalmanSmootherTest, SmallFSuppressesNoise) {
+  auto smoother_or = KalmanSmoother::Create(1e-9, 1.0);
+  ASSERT_TRUE(smoother_or.ok());
+  KalmanSmoother smoother = std::move(smoother_or).value();
+  Rng rng(1);
+  double last = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    auto out_or = smoother.Push(10.0 + rng.Gaussian(0.0, 2.0));
+    ASSERT_TRUE(out_or.ok());
+    last = out_or.value();
+  }
+  EXPECT_NEAR(last, 10.0, 0.3);
+}
+
+TEST(KalmanSmootherTest, LargeFTracksRawClosely) {
+  auto smoother_or = KalmanSmoother::Create(100.0, 1e-4);
+  ASSERT_TRUE(smoother_or.ok());
+  KalmanSmoother smoother = std::move(smoother_or).value();
+  for (int i = 0; i < 50; ++i) {
+    const double raw = std::sin(0.3 * i) * 5.0;
+    auto out_or = smoother.Push(raw);
+    ASSERT_TRUE(out_or.ok());
+    if (i > 5) {
+      EXPECT_NEAR(out_or.value(), raw, 0.05);
+    }
+  }
+}
+
+TEST(KalmanSmootherTest, SmoothnessMonotoneInF) {
+  // Smaller F must yield a smoother output (smaller mean step size).
+  const TimeSeries noisy = NoisyConstant(3000, 0.0, 1.0, 2);
+  double prev_roughness = -1.0;
+  for (double f : {1e-9, 1e-5, 1e-1}) {
+    auto smoothed_or = SmoothSeriesKalman(noisy, f, 1.0);
+    ASSERT_TRUE(smoothed_or.ok());
+    const TimeSeries& smoothed = smoothed_or.value();
+    double roughness = 0.0;
+    for (size_t i = 1; i < smoothed.size(); ++i) {
+      roughness += std::fabs(smoothed.value(i) - smoothed.value(i - 1));
+    }
+    roughness /= static_cast<double>(smoothed.size() - 1);
+    if (prev_roughness >= 0.0) {
+      EXPECT_GT(roughness, prev_roughness);
+    }
+    prev_roughness = roughness;
+  }
+}
+
+TEST(KalmanSmootherTest, LowFMatchesMovingAverage) {
+  // Figure 10's claim: with sufficiently low F the KF-smoothed values
+  // match a moving-average smoothing of the same stream.
+  const TimeSeries noisy = NoisyConstant(4000, 5.0, 1.5, 3);
+  auto kf_or = SmoothSeriesKalman(noisy, 1e-9, 1.0);
+  auto ma_or = SmoothSeriesMovingAverage(noisy, 64);
+  ASSERT_TRUE(kf_or.ok());
+  ASSERT_TRUE(ma_or.ok());
+  // Compare after both have warmed up.
+  auto kf_tail_or = kf_or.value().Slice(500, 4000);
+  auto ma_tail_or = ma_or.value().Slice(500, 4000);
+  ASSERT_TRUE(kf_tail_or.ok());
+  ASSERT_TRUE(ma_tail_or.ok());
+  auto mad_or = SeriesMeanAbsDiff(kf_tail_or.value(), ma_tail_or.value());
+  ASSERT_TRUE(mad_or.ok());
+  EXPECT_LT(mad_or.value(), 0.3);
+}
+
+TEST(KalmanSmootherTest, SeriesHelperValidatesWidth) {
+  TimeSeries wide(2);
+  ASSERT_TRUE(wide.Append(0.0, {1.0, 2.0}).ok());
+  EXPECT_FALSE(SmoothSeriesKalman(wide, 1e-7).ok());
+}
+
+TEST(KalmanSmootherTest, SeriesHelperPreservesLengthAndTimestamps) {
+  const TimeSeries noisy = NoisyConstant(100, 0.0, 1.0, 4);
+  auto smoothed_or = SmoothSeriesKalman(noisy, 1e-5);
+  ASSERT_TRUE(smoothed_or.ok());
+  ASSERT_EQ(smoothed_or.value().size(), noisy.size());
+  for (size_t i = 0; i < noisy.size(); i += 13) {
+    EXPECT_EQ(smoothed_or.value().timestamp(i), noisy.timestamp(i));
+  }
+}
+
+TEST(KalmanSmootherTest, CountTracksPushes) {
+  auto smoother_or = KalmanSmoother::Create(1e-5);
+  ASSERT_TRUE(smoother_or.ok());
+  KalmanSmoother smoother = std::move(smoother_or).value();
+  ASSERT_TRUE(smoother.Push(1.0).ok());
+  ASSERT_TRUE(smoother.Push(2.0).ok());
+  EXPECT_EQ(smoother.count(), 2);
+  EXPECT_DOUBLE_EQ(smoother.smoothing_factor(), 1e-5);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,67 @@
+#include "core/suppression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(SuppressionTest, MaxAbsNorm) {
+  const Vector pred{1.0, 5.0};
+  const Vector actual{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(Deviation(pred, actual, DeviationNorm::kMaxAbs), 3.0);
+}
+
+TEST(SuppressionTest, L2Norm) {
+  const Vector pred{0.0, 0.0};
+  const Vector actual{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Deviation(pred, actual, DeviationNorm::kL2), 5.0);
+}
+
+TEST(SuppressionTest, L1Norm) {
+  const Vector pred{1.0, 1.0};
+  const Vector actual{3.0, -2.0};
+  EXPECT_DOUBLE_EQ(Deviation(pred, actual, DeviationNorm::kL1), 5.0);
+}
+
+TEST(SuppressionTest, ZeroDeviationForEqualVectors) {
+  const Vector v{1.5, -2.5};
+  for (auto norm : {DeviationNorm::kMaxAbs, DeviationNorm::kL2,
+                    DeviationNorm::kL1}) {
+    EXPECT_DOUBLE_EQ(Deviation(v, v, norm), 0.0);
+  }
+}
+
+TEST(SuppressionTest, ShouldTransmitStrictlyAboveDelta) {
+  const Vector pred{0.0};
+  EXPECT_FALSE(ShouldTransmit(pred, Vector{1.0}, 1.0,
+                              DeviationNorm::kMaxAbs));  // == delta: keep
+  EXPECT_TRUE(ShouldTransmit(pred, Vector{1.0 + 1e-9}, 1.0,
+                             DeviationNorm::kMaxAbs));
+  EXPECT_FALSE(ShouldTransmit(pred, Vector{0.5}, 1.0,
+                              DeviationNorm::kMaxAbs));
+}
+
+TEST(SuppressionTest, PerComponentTriggerMatchesPaperSemantics) {
+  // "updated to the server if error in either X or Y value is greater
+  // than delta" — one bad component suffices under kMaxAbs.
+  const Vector pred{0.0, 0.0};
+  const Vector one_bad{0.1, 2.0};
+  EXPECT_TRUE(
+      ShouldTransmit(pred, one_bad, 1.0, DeviationNorm::kMaxAbs));
+}
+
+TEST(SuppressionTest, NormsOrderedOnSameInput) {
+  // For any vectors: max-abs <= L2 <= L1.
+  const Vector pred{0.0, 0.0, 0.0};
+  const Vector actual{1.0, -2.0, 2.0};
+  const double max_abs = Deviation(pred, actual, DeviationNorm::kMaxAbs);
+  const double l2 = Deviation(pred, actual, DeviationNorm::kL2);
+  const double l1 = Deviation(pred, actual, DeviationNorm::kL1);
+  EXPECT_LE(max_abs, l2);
+  EXPECT_LE(l2, l1);
+}
+
+}  // namespace
+}  // namespace dkf

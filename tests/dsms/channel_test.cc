@@ -1,0 +1,100 @@
+#include "dsms/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+Message MakeMeasurement(int source_id, size_t payload_width) {
+  Message message;
+  message.type = MessageType::kMeasurement;
+  message.source_id = source_id;
+  message.tick = 5;
+  message.payload = Vector(payload_width);
+  return message;
+}
+
+TEST(MessageTest, MeasurementSizeBytes) {
+  // Header 13 bytes + 8 per payload double.
+  EXPECT_EQ(MakeMeasurement(0, 1).SizeBytes(), 13u + 8u);
+  EXPECT_EQ(MakeMeasurement(0, 2).SizeBytes(), 13u + 16u);
+}
+
+TEST(MessageTest, ModelSwitchCarriesIndex) {
+  Message message = MakeMeasurement(0, 1);
+  message.type = MessageType::kModelSwitch;
+  EXPECT_EQ(message.SizeBytes(), 13u + 8u + 4u);
+}
+
+TEST(ChannelTest, CountsMessagesAndBytes) {
+  Channel channel(nullptr);
+  ASSERT_TRUE(channel.Send(MakeMeasurement(1, 2)).ok());
+  ASSERT_TRUE(channel.Send(MakeMeasurement(1, 2)).ok());
+  ASSERT_TRUE(channel.Send(MakeMeasurement(2, 1)).ok());
+  EXPECT_EQ(channel.total().messages, 3);
+  EXPECT_EQ(channel.total().bytes,
+            static_cast<int64_t>(2 * (13 + 16) + (13 + 8)));
+  EXPECT_EQ(channel.for_source(1).messages, 2);
+  EXPECT_EQ(channel.for_source(2).messages, 1);
+  EXPECT_EQ(channel.for_source(3).messages, 0);
+  EXPECT_EQ(channel.total().dropped, 0);
+}
+
+TEST(ChannelTest, DeliversToSink) {
+  int delivered = 0;
+  Channel channel([&delivered](const Message& message) {
+    ++delivered;
+    EXPECT_EQ(message.source_id, 7);
+    return Status::OK();
+  });
+  auto sent_or = channel.Send(MakeMeasurement(7, 1));
+  ASSERT_TRUE(sent_or.ok());
+  EXPECT_TRUE(sent_or.value());
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(ChannelTest, SinkErrorPropagates) {
+  Channel channel(
+      [](const Message&) { return Status::Internal("server down"); });
+  EXPECT_EQ(channel.Send(MakeMeasurement(1, 1)).status().code(),
+            StatusCode::kInternal);
+  // Traffic is still accounted (the bits were spent on air regardless).
+  EXPECT_EQ(channel.total().messages, 1);
+}
+
+TEST(ChannelTest, DropsAtConfiguredRate) {
+  int delivered = 0;
+  ChannelOptions options;
+  options.drop_probability = 0.3;
+  Channel channel(
+      [&delivered](const Message&) {
+        ++delivered;
+        return Status::OK();
+      },
+      options);
+  int reported_delivered = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    auto sent_or = channel.Send(MakeMeasurement(1, 1));
+    ASSERT_TRUE(sent_or.ok());
+    if (sent_or.value()) ++reported_delivered;
+  }
+  // The sender's view and the sink's view must agree exactly.
+  EXPECT_EQ(reported_delivered, delivered);
+  EXPECT_EQ(channel.total().dropped, n - delivered);
+  EXPECT_NEAR(static_cast<double>(channel.total().dropped) / n, 0.3, 0.02);
+  // All attempted traffic is accounted.
+  EXPECT_EQ(channel.total().messages, n);
+}
+
+TEST(ChannelTest, ZeroDropNeverDrops) {
+  Channel channel([](const Message&) { return Status::OK(); });
+  for (int i = 0; i < 100; ++i) {
+    auto sent_or = channel.Send(MakeMeasurement(1, 1));
+    ASSERT_TRUE(sent_or.ok());
+    EXPECT_TRUE(sent_or.value());
+  }
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,97 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsms/channel.h"
+#include "dsms/server_node.h"
+#include "dsms/source_node.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+StateModel LinearModel() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+TEST(ConfidenceTest, UnknownSourceErrors) {
+  ServerNode server;
+  EXPECT_EQ(server.AnswerWithConfidence(5).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ConfidenceTest, KalmanAnswerCarriesCovariance) {
+  ServerNode server;
+  ASSERT_TRUE(server.RegisterSource(1, LinearModel()).ok());
+  auto answer_or = server.AnswerWithConfidence(1);
+  ASSERT_TRUE(answer_or.ok());
+  ASSERT_TRUE(answer_or.value().covariance.has_value());
+  EXPECT_EQ(answer_or.value().covariance->rows(), 1u);
+}
+
+TEST(ConfidenceTest, UncertaintyGrowsDuringSuppressionRuns) {
+  // The longer the source is silent, the wider the server's confidence
+  // band must get — that is what makes the answer honest.
+  ServerNode server;
+  ASSERT_TRUE(server.RegisterSource(1, LinearModel()).ok());
+  Channel channel(
+      [&server](const Message& message) { return server.OnMessage(message); });
+  SourceNodeOptions options;
+  options.source_id = 1;
+  options.model = LinearModel();
+  options.delta = 5.0;
+  auto node = SourceNode::Create(options).value();
+
+  // Converge on a ramp (updates flowing), then note the variance...
+  double variance_after_update = -1.0;
+  double variance_after_coast = -1.0;
+  int64_t tick = 0;
+  for (; tick < 50; ++tick) {
+    ASSERT_TRUE(server.TickAll().ok());
+    ASSERT_TRUE(node.ProcessReading(tick, Vector{100.0 * tick}, &channel)
+                    .ok());  // slope 100 >> delta: update every tick
+  }
+  variance_after_update =
+      (*server.AnswerWithConfidence(1).value().covariance)(0, 0);
+
+  // ...then feed a perfectly predictable ramp so the source goes silent.
+  double value = 100.0 * (tick - 1);
+  for (int i = 0; i < 100; ++i, ++tick) {
+    value += 1.0;  // gentle slope the filter predicts within delta
+    ASSERT_TRUE(server.TickAll().ok());
+    ASSERT_TRUE(node.ProcessReading(tick, Vector{value}, &channel).ok());
+  }
+  variance_after_coast =
+      (*server.AnswerWithConfidence(1).value().covariance)(0, 0);
+
+  EXPECT_GT(variance_after_coast, variance_after_update);
+}
+
+TEST(ConfidenceTest, UncertaintyCollapsesOnUpdate) {
+  ServerNode server;
+  ASSERT_TRUE(server.RegisterSource(1, LinearModel()).ok());
+  // Coast the server filter for a while: variance inflates with Q.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(server.TickAll().ok());
+  }
+  const double inflated =
+      (*server.AnswerWithConfidence(1).value().covariance)(0, 0);
+  Message message;
+  message.source_id = 1;
+  message.payload = Vector{3.0};
+  ASSERT_TRUE(server.OnMessage(message).ok());
+  const double collapsed =
+      (*server.AnswerWithConfidence(1).value().covariance)(0, 0);
+  EXPECT_LT(collapsed, inflated);
+}
+
+TEST(ConfidenceTest, CachedPredictorHasNoCovariance) {
+  auto caching = CachedValuePredictor::Create(1).value();
+  EXPECT_FALSE(caching.PredictedCovariance().has_value());
+}
+
+}  // namespace
+}  // namespace dkf

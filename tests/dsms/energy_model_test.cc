@@ -1,0 +1,50 @@
+#include "dsms/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(EnergyAccountTest, StartsAtZero) {
+  EnergyAccount account{EnergyModelOptions{}};
+  EXPECT_DOUBLE_EQ(account.total(), 0.0);
+}
+
+TEST(EnergyAccountTest, TransmissionChargedPerBit) {
+  EnergyModelOptions options;
+  options.instructions_per_bit = 100.0;
+  EnergyAccount account(options);
+  account.ChargeTransmission(10);  // 80 bits
+  EXPECT_DOUBLE_EQ(account.transmission(), 8000.0);
+  EXPECT_DOUBLE_EQ(account.total(), 8000.0);
+}
+
+TEST(EnergyAccountTest, ComputeAndSensingCharged) {
+  EnergyModelOptions options;
+  options.instructions_per_filter_step = 400.0;
+  options.instructions_per_reading = 50.0;
+  EnergyAccount account(options);
+  account.ChargeFilterStep();
+  account.ChargeFilterStep();
+  account.ChargeReading();
+  EXPECT_DOUBLE_EQ(account.compute(), 800.0);
+  EXPECT_DOUBLE_EQ(account.sensing(), 50.0);
+  EXPECT_DOUBLE_EQ(account.total(), 850.0);
+}
+
+TEST(EnergyAccountTest, PaperRatioMakesFilteringWorthwhile) {
+  // §1: one transmitted bit costs 220-2900 instructions. Even at the
+  // cheapest ratio, skipping a ~21-byte measurement message pays for many
+  // filter steps.
+  EnergyModelOptions options;
+  options.instructions_per_bit = 220.0;  // the paper's most pessimistic
+  options.instructions_per_filter_step = 400.0;
+  EnergyAccount transmit(options);
+  transmit.ChargeTransmission(21);
+  EnergyAccount filter(options);
+  filter.ChargeFilterStep();
+  EXPECT_GT(transmit.total(), 50.0 * filter.total());
+}
+
+}  // namespace
+}  // namespace dkf

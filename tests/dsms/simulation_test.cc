@@ -1,0 +1,157 @@
+#include "dsms/simulation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+StateModel LinearModel() {
+  auto model_or = MakeLinearModel(1, 1.0, ModelNoise{});
+  EXPECT_TRUE(model_or.ok());
+  return model_or.value();
+}
+
+TimeSeries Ramp(size_t n, double slope) {
+  TimeSeries series(1);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        series.Append(static_cast<double>(i), slope * static_cast<double>(i))
+            .ok());
+  }
+  return series;
+}
+
+SimulationSourceConfig RampSource(int id, size_t n, double slope,
+                                  double delta) {
+  SimulationSourceConfig config;
+  config.id = id;
+  config.data = Ramp(n, slope);
+  config.model = LinearModel();
+  config.delta = delta;
+  return config;
+}
+
+TEST(SimulationTest, CreateValidates) {
+  EXPECT_FALSE(DsmsSimulation::Create({}).ok());
+
+  // Duplicate ids.
+  std::vector<SimulationSourceConfig> dup = {RampSource(1, 10, 1.0, 1.0),
+                                             RampSource(1, 10, 1.0, 1.0)};
+  EXPECT_FALSE(DsmsSimulation::Create(dup).ok());
+
+  // Width mismatch.
+  SimulationSourceConfig bad = RampSource(1, 10, 1.0, 1.0);
+  auto wide_or = MakeLinearModel(2, 1.0, ModelNoise{});
+  ASSERT_TRUE(wide_or.ok());
+  bad.model = wide_or.value();
+  EXPECT_FALSE(DsmsSimulation::Create({bad}).ok());
+
+  // Empty data.
+  SimulationSourceConfig empty = RampSource(1, 10, 1.0, 1.0);
+  empty.data = TimeSeries(1);
+  EXPECT_FALSE(DsmsSimulation::Create({empty}).ok());
+}
+
+TEST(SimulationTest, RunOnlyOnce) {
+  auto sim_or = DsmsSimulation::Create({RampSource(1, 50, 1.0, 2.0)});
+  ASSERT_TRUE(sim_or.ok());
+  DsmsSimulation sim = std::move(sim_or).value();
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(sim.Run().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimulationTest, RampSourceSuppressesAlmostEverything) {
+  auto sim_or = DsmsSimulation::Create({RampSource(1, 1000, 2.0, 2.0)});
+  ASSERT_TRUE(sim_or.ok());
+  auto reports_or = std::move(sim_or).value().Run();
+  ASSERT_TRUE(reports_or.ok());
+  ASSERT_EQ(reports_or.value().size(), 1u);
+  const SourceReport& report = reports_or.value()[0];
+  EXPECT_EQ(report.readings, 1000);
+  EXPECT_LT(report.update_percentage, 2.0);
+  EXPECT_LE(report.avg_error, 2.0);
+  EXPECT_GT(report.bytes_sent, 0);
+}
+
+TEST(SimulationTest, MultipleSourcesIndependentDeltas) {
+  // Same data, different precision widths: the tighter source must send
+  // at least as many updates.
+  Rng rng(41);
+  TimeSeries noisy(1);
+  double value = 0.0;
+  for (size_t i = 0; i < 1500; ++i) {
+    value += rng.Gaussian(0.2, 1.0);
+    ASSERT_TRUE(noisy.Append(static_cast<double>(i), value).ok());
+  }
+  SimulationSourceConfig tight;
+  tight.id = 1;
+  tight.data = noisy;
+  tight.model = LinearModel();
+  tight.delta = 1.0;
+  SimulationSourceConfig loose = tight;
+  loose.id = 2;
+  loose.delta = 8.0;
+
+  auto sim_or = DsmsSimulation::Create({tight, loose});
+  ASSERT_TRUE(sim_or.ok());
+  auto reports_or = std::move(sim_or).value().Run();
+  ASSERT_TRUE(reports_or.ok());
+  const auto& reports = reports_or.value();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_GT(reports[0].updates_sent, reports[1].updates_sent);
+  EXPECT_LT(reports[0].avg_error, reports[1].avg_error + 1.0);
+}
+
+TEST(SimulationTest, EnergySavingsAgainstSendAll) {
+  auto sim_or = DsmsSimulation::Create({RampSource(1, 2000, 2.0, 2.0)});
+  ASSERT_TRUE(sim_or.ok());
+  auto reports_or = std::move(sim_or).value().Run();
+  ASSERT_TRUE(reports_or.ok());
+  const SourceReport& report = reports_or.value()[0];
+  // On a predictable stream the DKF node spends far less than a
+  // send-everything node: the paper's energy argument (§1).
+  EXPECT_LT(report.energy_spent, 0.1 * report.energy_send_all);
+}
+
+TEST(SimulationTest, SmoothingReducesUpdatesOnNoisyStream) {
+  Rng rng(43);
+  TimeSeries noisy(1);
+  for (size_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(noisy.Append(static_cast<double>(i),
+                             50.0 + rng.Gaussian(0.0, 5.0))
+                    .ok());
+  }
+  SimulationSourceConfig raw;
+  raw.id = 1;
+  raw.data = noisy;
+  raw.model = LinearModel();
+  raw.delta = 3.0;
+  SimulationSourceConfig smoothed = raw;
+  smoothed.id = 2;
+  smoothed.smoothing_factor = 1e-7;
+
+  auto sim_or = DsmsSimulation::Create({raw, smoothed});
+  ASSERT_TRUE(sim_or.ok());
+  auto reports_or = std::move(sim_or).value().Run();
+  ASSERT_TRUE(reports_or.ok());
+  const auto& reports = reports_or.value();
+  EXPECT_LT(reports[1].updates_sent, reports[0].updates_sent / 2);
+}
+
+TEST(SimulationTest, UnequalLengthSources) {
+  auto sim_or = DsmsSimulation::Create(
+      {RampSource(1, 100, 1.0, 2.0), RampSource(2, 500, 1.0, 2.0)});
+  ASSERT_TRUE(sim_or.ok());
+  auto reports_or = std::move(sim_or).value().Run();
+  ASSERT_TRUE(reports_or.ok());
+  EXPECT_EQ(reports_or.value()[0].readings, 100);
+  EXPECT_EQ(reports_or.value()[1].readings, 500);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,152 @@
+#include "filter/extended_kalman_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/nonlinear_models.h"
+
+namespace dkf {
+namespace {
+
+/// A trivially linear system expressed through the EKF interface: the EKF
+/// must then behave exactly like a linear KF.
+ExtendedKalmanFilterOptions LinearAsEkf() {
+  ExtendedKalmanFilterOptions options;
+  options.transition = [](const Vector& x, int64_t) {
+    return Vector{x[0] + x[1], x[1]};
+  };
+  options.transition_jacobian = [](const Vector&, int64_t) {
+    return Matrix{{1.0, 1.0}, {0.0, 1.0}};
+  };
+  options.measurement = [](const Vector& x) { return Vector{x[0]}; };
+  options.measurement_jacobian = [](const Vector&) {
+    return Matrix{{1.0, 0.0}};
+  };
+  options.process_noise = Matrix::ScaledIdentity(2, 0.01);
+  options.measurement_noise = Matrix{{0.1}};
+  options.initial_state = Vector(2);
+  options.initial_covariance = Matrix::ScaledIdentity(2, 100.0);
+  return options;
+}
+
+TEST(EkfTest, CreateRequiresAllCallbacks) {
+  ExtendedKalmanFilterOptions options = LinearAsEkf();
+  options.transition = nullptr;
+  EXPECT_FALSE(ExtendedKalmanFilter::Create(options).ok());
+  options = LinearAsEkf();
+  options.measurement_jacobian = nullptr;
+  EXPECT_FALSE(ExtendedKalmanFilter::Create(options).ok());
+}
+
+TEST(EkfTest, CreateValidatesShapes) {
+  ExtendedKalmanFilterOptions options = LinearAsEkf();
+  options.process_noise = Matrix::Identity(3);
+  EXPECT_FALSE(ExtendedKalmanFilter::Create(options).ok());
+  options = LinearAsEkf();
+  options.initial_state = Vector();
+  EXPECT_FALSE(ExtendedKalmanFilter::Create(options).ok());
+}
+
+TEST(EkfTest, TracksLinearTrend) {
+  auto ekf_or = ExtendedKalmanFilter::Create(LinearAsEkf());
+  ASSERT_TRUE(ekf_or.ok());
+  ExtendedKalmanFilter ekf = std::move(ekf_or).value();
+  double pos = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(ekf.Predict().ok());
+    ASSERT_TRUE(ekf.Correct(Vector{pos}).ok());
+    pos += 1.5;
+  }
+  EXPECT_NEAR(ekf.state()[1], 1.5, 0.05);
+}
+
+TEST(EkfTest, CoordinatedTurnTracksCircularMotion) {
+  auto options_or = MakeCoordinatedTurnModel(0.1, NonlinearModelNoise{});
+  ASSERT_TRUE(options_or.ok());
+  auto ekf_or = ExtendedKalmanFilter::Create(options_or.value());
+  ASSERT_TRUE(ekf_or.ok());
+  ExtendedKalmanFilter ekf = std::move(ekf_or).value();
+
+  // Ground truth: speed 10, turn rate 0.5 rad/s, dt 0.1.
+  const double dt = 0.1;
+  const double speed = 10.0;
+  const double turn_rate = 0.5;
+  double x = 0.0;
+  double y = 0.0;
+  double heading = 0.0;
+  Rng rng(5);
+  double last_err = 1e9;
+  for (int i = 0; i < 400; ++i) {
+    x += speed * std::cos(heading) * dt;
+    y += speed * std::sin(heading) * dt;
+    heading += turn_rate * dt;
+    ASSERT_TRUE(ekf.Predict().ok());
+    const Vector z{x + rng.Gaussian(0.0, 0.05),
+                   y + rng.Gaussian(0.0, 0.05)};
+    ASSERT_TRUE(ekf.Correct(z).ok());
+    if (i == 399) {
+      const Vector est = ekf.PredictedMeasurement();
+      last_err = std::hypot(est[0] - x, est[1] - y);
+    }
+  }
+  EXPECT_LT(last_err, 0.5);
+  // The EKF should have recovered the turn rate, not just the positions.
+  EXPECT_NEAR(ekf.state()[4], turn_rate, 0.1);
+  EXPECT_NEAR(ekf.state()[2], speed, 1.0);
+}
+
+TEST(EkfTest, CoordinatedTurnCoastPredictsAlongArc) {
+  auto options_or = MakeCoordinatedTurnModel(0.1, NonlinearModelNoise{});
+  ASSERT_TRUE(options_or.ok());
+  auto ekf_or = ExtendedKalmanFilter::Create(options_or.value());
+  ASSERT_TRUE(ekf_or.ok());
+  ExtendedKalmanFilter ekf = std::move(ekf_or).value();
+
+  const double dt = 0.1;
+  const double speed = 5.0;
+  const double turn_rate = 0.3;
+  double x = 0.0;
+  double y = 0.0;
+  double heading = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    x += speed * std::cos(heading) * dt;
+    y += speed * std::sin(heading) * dt;
+    heading += turn_rate * dt;
+    ASSERT_TRUE(ekf.Predict().ok());
+    ASSERT_TRUE(ekf.Correct(Vector{x, y}).ok());
+  }
+  // Coast 10 steps; the truth keeps turning. A linear extrapolation would
+  // leave the arc; the EKF should stay close.
+  for (int i = 0; i < 10; ++i) {
+    x += speed * std::cos(heading) * dt;
+    y += speed * std::sin(heading) * dt;
+    heading += turn_rate * dt;
+    ASSERT_TRUE(ekf.Predict().ok());
+  }
+  const Vector est = ekf.PredictedMeasurement();
+  EXPECT_LT(std::hypot(est[0] - x, est[1] - y), 0.5);
+}
+
+TEST(EkfTest, CorrectRejectsWrongMeasurementSize) {
+  auto ekf_or = ExtendedKalmanFilter::Create(LinearAsEkf());
+  ASSERT_TRUE(ekf_or.ok());
+  ExtendedKalmanFilter ekf = std::move(ekf_or).value();
+  ASSERT_TRUE(ekf.Predict().ok());
+  EXPECT_FALSE(ekf.Correct(Vector{1.0, 2.0}).ok());
+}
+
+TEST(EkfTest, ResetRestoresInitialState) {
+  auto ekf_or = ExtendedKalmanFilter::Create(LinearAsEkf());
+  ASSERT_TRUE(ekf_or.ok());
+  ExtendedKalmanFilter ekf = std::move(ekf_or).value();
+  ASSERT_TRUE(ekf.Predict().ok());
+  ASSERT_TRUE(ekf.Correct(Vector{5.0}).ok());
+  ekf.Reset();
+  EXPECT_EQ(ekf.step(), 0);
+  EXPECT_DOUBLE_EQ(ekf.state()[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,313 @@
+#include "filter/kalman_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dkf {
+namespace {
+
+/// A 1-D constant-velocity filter used across the tests.
+KalmanFilterOptions CvOptions(double dt = 1.0, double q = 0.01,
+                              double r = 0.1) {
+  KalmanFilterOptions options;
+  options.transition = Matrix{{1.0, dt}, {0.0, 1.0}};
+  options.measurement = Matrix{{1.0, 0.0}};
+  options.process_noise = Matrix::ScaledIdentity(2, q);
+  options.measurement_noise = Matrix{{r}};
+  options.initial_state = Vector(2);
+  options.initial_covariance = Matrix::ScaledIdentity(2, 100.0);
+  return options;
+}
+
+TEST(KalmanFilterTest, CreateValidatesDimensions) {
+  KalmanFilterOptions options = CvOptions();
+  options.measurement = Matrix{{1.0, 0.0, 0.0}};  // wrong cols
+  EXPECT_FALSE(KalmanFilter::Create(options).ok());
+
+  options = CvOptions();
+  options.process_noise = Matrix::Identity(3);
+  EXPECT_FALSE(KalmanFilter::Create(options).ok());
+
+  options = CvOptions();
+  options.measurement_noise = Matrix::Identity(2);
+  EXPECT_FALSE(KalmanFilter::Create(options).ok());
+
+  options = CvOptions();
+  options.initial_state = Vector();
+  EXPECT_FALSE(KalmanFilter::Create(options).ok());
+
+  options = CvOptions();
+  options.initial_covariance = Matrix::Identity(3);
+  EXPECT_FALSE(KalmanFilter::Create(options).ok());
+
+  EXPECT_TRUE(KalmanFilter::Create(CvOptions()).ok());
+}
+
+TEST(KalmanFilterTest, CreateRejectsNonFiniteInit) {
+  KalmanFilterOptions options = CvOptions();
+  options.initial_state = Vector{std::nan(""), 0.0};
+  EXPECT_FALSE(KalmanFilter::Create(options).ok());
+}
+
+TEST(KalmanFilterTest, PredictPropagatesState) {
+  auto filter_or = KalmanFilter::Create(CvOptions(0.5));
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  ASSERT_TRUE(filter.Correct(Vector{0.0}).ok());
+
+  // Force a known state and check phi x.
+  ASSERT_TRUE(filter.Predict().ok());
+  EXPECT_EQ(filter.step(), 1);
+}
+
+TEST(KalmanFilterTest, ConvergesToConstantSignal) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    ASSERT_TRUE(filter.Correct(Vector{5.0}).ok());
+  }
+  EXPECT_NEAR(filter.state()[0], 5.0, 1e-3);
+  EXPECT_NEAR(filter.state()[1], 0.0, 1e-3);
+}
+
+TEST(KalmanFilterTest, LearnsLinearTrendVelocity) {
+  // Positions 0, 2, 4, ...: the filter should learn velocity 2 and then
+  // predict ahead correctly.
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  double pos = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    ASSERT_TRUE(filter.Correct(Vector{pos}).ok());
+    pos += 2.0;
+  }
+  EXPECT_NEAR(filter.state()[1], 2.0, 0.05);
+  // Coast three steps: prediction should track the line within the noise.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(filter.Predict().ok());
+  EXPECT_NEAR(filter.PredictedMeasurement()[0], pos + 2.0 * 2.0, 0.5);
+}
+
+TEST(KalmanFilterTest, CovarianceShrinksWithMeasurements) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  const double initial_var = filter.covariance()(0, 0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    ASSERT_TRUE(filter.Correct(Vector{1.0}).ok());
+  }
+  EXPECT_LT(filter.covariance()(0, 0), initial_var / 100.0);
+}
+
+TEST(KalmanFilterTest, CovarianceGrowsWhileCoasting) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    ASSERT_TRUE(filter.Correct(Vector{1.0}).ok());
+  }
+  const double settled = filter.covariance()(0, 0);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(filter.Predict().ok());
+  EXPECT_GT(filter.covariance()(0, 0), settled);
+}
+
+TEST(KalmanFilterTest, UnbiasedOnNoisyConstant) {
+  // Statistical property 1 (§1.1): the estimate is unbiased. Average the
+  // final estimate over many independent noisy runs.
+  Rng rng(42);
+  double sum = 0.0;
+  const int runs = 200;
+  for (int run = 0; run < runs; ++run) {
+    auto filter_or = KalmanFilter::Create(CvOptions());
+    ASSERT_TRUE(filter_or.ok());
+    KalmanFilter filter = std::move(filter_or).value();
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(filter.Predict().ok());
+      ASSERT_TRUE(filter.Correct(Vector{3.0 + rng.Gaussian(0.0, 0.3)}).ok());
+    }
+    sum += filter.state()[0];
+  }
+  EXPECT_NEAR(sum / runs, 3.0, 0.02);
+}
+
+TEST(KalmanFilterTest, FilterVarianceBelowRawMeasurementVariance) {
+  // Statistical property 2 (§1.1): the filtered estimate has lower error
+  // variance than the raw measurement.
+  Rng rng(43);
+  double raw_sq = 0.0;
+  double filt_sq = 0.0;
+  int count = 0;
+  auto filter_or = KalmanFilter::Create(CvOptions(1.0, 1e-6, 1.0));
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    const double z = 10.0 + rng.Gaussian(0.0, 1.0);
+    ASSERT_TRUE(filter.Correct(Vector{z}).ok());
+    if (i > 100) {  // after convergence
+      raw_sq += (z - 10.0) * (z - 10.0);
+      const double e = filter.state()[0] - 10.0;
+      filt_sq += e * e;
+      ++count;
+    }
+  }
+  EXPECT_LT(filt_sq / count, 0.2 * raw_sq / count);
+}
+
+TEST(KalmanFilterTest, TimeVaryingTransitionFnIsUsed) {
+  KalmanFilterOptions options;
+  // x_{k+1} = (k even ? x : -x): alternating sign flip.
+  options.transition_fn = [](int64_t k) {
+    return Matrix{{k % 2 == 0 ? 1.0 : -1.0}};
+  };
+  options.measurement = Matrix{{1.0}};
+  options.process_noise = Matrix{{0.0}};
+  options.measurement_noise = Matrix{{1.0}};
+  options.initial_state = Vector{2.0};
+  options.initial_covariance = Matrix{{1.0}};
+  auto filter_or = KalmanFilter::Create(options);
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  ASSERT_TRUE(filter.Predict().ok());  // step 0: +1
+  EXPECT_DOUBLE_EQ(filter.state()[0], 2.0);
+  ASSERT_TRUE(filter.Predict().ok());  // step 1: -1
+  EXPECT_DOUBLE_EQ(filter.state()[0], -2.0);
+}
+
+TEST(KalmanFilterTest, TransitionFnShapeChecked) {
+  KalmanFilterOptions options;
+  options.transition_fn = [](int64_t) { return Matrix::Identity(3); };
+  options.measurement = Matrix{{1.0}};
+  options.process_noise = Matrix{{0.0}};
+  options.measurement_noise = Matrix{{1.0}};
+  options.initial_state = Vector{0.0};
+  options.initial_covariance = Matrix{{1.0}};
+  auto filter_or = KalmanFilter::Create(options);
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  EXPECT_EQ(filter.Predict().code(), StatusCode::kInternal);
+}
+
+TEST(KalmanFilterTest, CorrectRejectsWrongMeasurementSize) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  EXPECT_FALSE(filter.Correct(Vector{1.0, 2.0}).ok());
+}
+
+TEST(KalmanFilterTest, InnovationTracked) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  EXPECT_EQ(filter.last_innovation().size(), 0u);
+  ASSERT_TRUE(filter.Predict().ok());
+  ASSERT_TRUE(filter.Correct(Vector{7.0}).ok());
+  ASSERT_EQ(filter.last_innovation().size(), 1u);
+  EXPECT_DOUBLE_EQ(filter.last_innovation()[0], 7.0);  // prior was 0
+}
+
+TEST(KalmanFilterTest, NisIsSmallForConsistentMeasurement) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    ASSERT_TRUE(filter.Correct(Vector{4.0}).ok());
+  }
+  ASSERT_TRUE(filter.Predict().ok());
+  auto nis_near_or = filter.Nis(Vector{4.0});
+  auto nis_far_or = filter.Nis(Vector{40.0});
+  ASSERT_TRUE(nis_near_or.ok());
+  ASSERT_TRUE(nis_far_or.ok());
+  EXPECT_LT(nis_near_or.value(), 1.0);
+  EXPECT_GT(nis_far_or.value(), 100.0);
+}
+
+TEST(KalmanFilterTest, JosephFormKeepsCovarianceSymmetricPsd) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    ASSERT_TRUE(filter.Correct(Vector{rng.Gaussian(0.0, 1.0)}).ok());
+    const Matrix& p = filter.covariance();
+    EXPECT_DOUBLE_EQ(p(0, 1), p(1, 0));
+    EXPECT_GT(p(0, 0), 0.0);
+    EXPECT_GT(p(1, 1), 0.0);
+  }
+}
+
+TEST(KalmanFilterTest, SettersValidateShape) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  EXPECT_TRUE(filter.set_process_noise(Matrix::Identity(2)).ok());
+  EXPECT_FALSE(filter.set_process_noise(Matrix::Identity(3)).ok());
+  EXPECT_TRUE(filter.set_measurement_noise(Matrix{{0.5}}).ok());
+  EXPECT_FALSE(filter.set_measurement_noise(Matrix::Identity(2)).ok());
+}
+
+TEST(KalmanFilterTest, ResetRestoresInitialState) {
+  auto filter_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  ASSERT_TRUE(filter.Predict().ok());
+  ASSERT_TRUE(filter.Correct(Vector{9.0}).ok());
+  filter.Reset();
+  EXPECT_EQ(filter.step(), 0);
+  EXPECT_DOUBLE_EQ(filter.state()[0], 0.0);
+  EXPECT_DOUBLE_EQ(filter.covariance()(0, 0), 100.0);
+}
+
+TEST(KalmanFilterTest, StateEqualsDetectsDivergence) {
+  auto a_or = KalmanFilter::Create(CvOptions());
+  auto b_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  KalmanFilter a = std::move(a_or).value();
+  KalmanFilter b = std::move(b_or).value();
+  EXPECT_TRUE(a.StateEquals(b));
+  ASSERT_TRUE(a.Predict().ok());
+  EXPECT_FALSE(a.StateEquals(b));
+  ASSERT_TRUE(b.Predict().ok());
+  EXPECT_TRUE(a.StateEquals(b));
+  ASSERT_TRUE(a.Correct(Vector{1.0}).ok());
+  ASSERT_TRUE(b.Correct(Vector{1.0}).ok());
+  EXPECT_TRUE(a.StateEquals(b));
+  ASSERT_TRUE(a.Correct(Vector{2.0}).ok());
+  ASSERT_TRUE(b.Correct(Vector{2.0000001}).ok());
+  EXPECT_FALSE(a.StateEquals(b));
+}
+
+TEST(KalmanFilterTest, DeterministicReplay) {
+  // Identical call sequences produce bit-identical trajectories — the
+  // property the whole DKF protocol rests on.
+  auto a_or = KalmanFilter::Create(CvOptions());
+  auto b_or = KalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  KalmanFilter a = std::move(a_or).value();
+  KalmanFilter b = std::move(b_or).value();
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.Predict().ok());
+    ASSERT_TRUE(b.Predict().ok());
+    if (rng.Bernoulli(0.3)) {
+      const Vector z{rng.Gaussian(0.0, 5.0)};
+      ASSERT_TRUE(a.Correct(z).ok());
+      ASSERT_TRUE(b.Correct(z).ok());
+    }
+    ASSERT_TRUE(a.StateEquals(b));
+  }
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,184 @@
+#include "filter/noise_estimation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dkf {
+namespace {
+
+KalmanFilterOptions ScalarConstantOptions(double q, double r) {
+  KalmanFilterOptions options;
+  options.transition = Matrix::Identity(1);
+  options.measurement = Matrix::Identity(1);
+  options.process_noise = Matrix{{q}};
+  options.measurement_noise = Matrix{{r}};
+  options.initial_state = Vector(1);
+  options.initial_covariance = Matrix{{10.0}};
+  return options;
+}
+
+TEST(AdaptiveNoiseTest, CreateValidatesOptions) {
+  AdaptiveNoiseOptions options;
+  options.window = 0;
+  EXPECT_FALSE(AdaptiveNoiseEstimator::Create(options).ok());
+  options.window = 8;
+  options.min_samples = 0;
+  EXPECT_FALSE(AdaptiveNoiseEstimator::Create(options).ok());
+  options.min_samples = 9;
+  EXPECT_FALSE(AdaptiveNoiseEstimator::Create(options).ok());
+  options.min_samples = 4;
+  options.floor = 0.0;
+  EXPECT_FALSE(AdaptiveNoiseEstimator::Create(options).ok());
+  options.floor = 1e-9;
+  EXPECT_TRUE(AdaptiveNoiseEstimator::Create(options).ok());
+}
+
+TEST(AdaptiveNoiseTest, RefusesEstimateBeforeMinSamples) {
+  AdaptiveNoiseOptions options;
+  options.min_samples = 4;
+  auto est_or = AdaptiveNoiseEstimator::Create(options);
+  ASSERT_TRUE(est_or.ok());
+  AdaptiveNoiseEstimator estimator = std::move(est_or).value();
+  estimator.Observe(Vector{1.0}, Matrix{{0.1}});
+  EXPECT_EQ(estimator.EstimateMeasurementNoise().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptiveNoiseTest, WindowEvictsOldInnovations) {
+  AdaptiveNoiseOptions options;
+  options.window = 4;
+  options.min_samples = 2;
+  auto est_or = AdaptiveNoiseEstimator::Create(options);
+  ASSERT_TRUE(est_or.ok());
+  AdaptiveNoiseEstimator estimator = std::move(est_or).value();
+  for (int i = 0; i < 10; ++i) {
+    estimator.Observe(Vector{1.0}, Matrix{{0.0}});
+  }
+  EXPECT_EQ(estimator.samples(), 4u);
+}
+
+TEST(AdaptiveNoiseTest, RecoversTrueMeasurementVariance) {
+  // Run a filter whose assumed R (0.01) is badly wrong for the true noise
+  // (variance 4.0); the estimator should recover ~4.0 from the
+  // innovations.
+  const double true_r = 4.0;
+  auto filter_or = KalmanFilter::Create(ScalarConstantOptions(1e-4, 0.01));
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+
+  AdaptiveNoiseOptions options;
+  options.window = 512;
+  options.min_samples = 64;
+  auto est_or = AdaptiveNoiseEstimator::Create(options);
+  ASSERT_TRUE(est_or.ok());
+  AdaptiveNoiseEstimator estimator = std::move(est_or).value();
+
+  Rng rng(17);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    const Matrix hph =
+        filter.InnovationCovariance() - filter.measurement_noise();
+    const Vector z{7.0 + rng.Gaussian(0.0, std::sqrt(true_r))};
+    const Vector innovation = z - filter.PredictedMeasurement();
+    estimator.Observe(innovation, hph);
+    ASSERT_TRUE(filter.Correct(z).ok());
+  }
+  auto r_or = estimator.EstimateMeasurementNoise();
+  ASSERT_TRUE(r_or.ok());
+  EXPECT_NEAR(r_or.value()(0, 0), true_r, 1.0);
+}
+
+TEST(AdaptiveNoiseTest, ApplyInstallsEstimateIntoFilter) {
+  auto filter_or = KalmanFilter::Create(ScalarConstantOptions(1e-4, 0.01));
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+
+  AdaptiveNoiseOptions options;
+  options.window = 64;
+  options.min_samples = 16;
+  auto est_or = AdaptiveNoiseEstimator::Create(options);
+  ASSERT_TRUE(est_or.ok());
+  AdaptiveNoiseEstimator estimator = std::move(est_or).value();
+
+  Rng rng(18);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    const Matrix hph =
+        filter.InnovationCovariance() - filter.measurement_noise();
+    const Vector z{rng.Gaussian(0.0, 2.0)};
+    estimator.Observe(z - filter.PredictedMeasurement(), hph);
+    ASSERT_TRUE(filter.Correct(z).ok());
+  }
+  const double before = filter.measurement_noise()(0, 0);
+  ASSERT_TRUE(estimator.Apply(&filter).ok());
+  EXPECT_NE(filter.measurement_noise()(0, 0), before);
+  EXPECT_GT(filter.measurement_noise()(0, 0), 1.0);
+}
+
+TEST(AdaptiveNoiseTest, FloorClampsNonPositiveEstimates) {
+  AdaptiveNoiseOptions options;
+  options.min_samples = 2;
+  options.floor = 1e-6;
+  auto est_or = AdaptiveNoiseEstimator::Create(options);
+  ASSERT_TRUE(est_or.ok());
+  AdaptiveNoiseEstimator estimator = std::move(est_or).value();
+  // Tiny innovations but large projected covariance -> raw estimate would
+  // be negative.
+  for (int i = 0; i < 8; ++i) {
+    estimator.Observe(Vector{1e-6}, Matrix{{5.0}});
+  }
+  auto r_or = estimator.EstimateMeasurementNoise();
+  ASSERT_TRUE(r_or.ok());
+  EXPECT_GE(r_or.value()(0, 0), 1e-6);
+}
+
+TEST(AdaptiveNoiseTest, AdaptationImprovesSuppressionQuality) {
+  // End-to-end motivation: a filter with a wildly wrong R either trusts
+  // noise too much or lags; after adaptation its steady-state estimation
+  // error should drop.
+  Rng rng(19);
+  const double true_r = 1.0;
+
+  auto run = [&](bool adapt) {
+    auto filter_or =
+        KalmanFilter::Create(ScalarConstantOptions(1e-4, 1e-4));
+    EXPECT_TRUE(filter_or.ok());
+    KalmanFilter filter = std::move(filter_or).value();
+    AdaptiveNoiseOptions options;
+    options.window = 128;
+    options.min_samples = 64;
+    auto est_or = AdaptiveNoiseEstimator::Create(options);
+    EXPECT_TRUE(est_or.ok());
+    AdaptiveNoiseEstimator estimator = std::move(est_or).value();
+
+    Rng local(20);
+    double err = 0.0;
+    int count = 0;
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_TRUE(filter.Predict().ok());
+      const Matrix hph =
+          filter.InnovationCovariance() - filter.measurement_noise();
+      const Vector z{3.0 + local.Gaussian(0.0, std::sqrt(true_r))};
+      estimator.Observe(z - filter.PredictedMeasurement(), hph);
+      EXPECT_TRUE(filter.Correct(z).ok());
+      if (adapt && i % 64 == 63 && estimator.samples() >= 64) {
+        EXPECT_TRUE(estimator.Apply(&filter).ok());
+      }
+      if (i > 1000) {
+        err += std::fabs(filter.state()[0] - 3.0);
+        ++count;
+      }
+    }
+    return err / count;
+  };
+
+  const double err_fixed = run(false);
+  const double err_adapted = run(true);
+  EXPECT_LT(err_adapted, err_fixed);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,139 @@
+#include "filter/recursive_least_squares.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/decompose.h"
+
+namespace dkf {
+namespace {
+
+TEST(RlsTest, CreateValidatesOptions) {
+  RecursiveLeastSquaresOptions options;
+  options.dim = 0;
+  EXPECT_FALSE(RecursiveLeastSquares::Create(options).ok());
+  options.dim = 2;
+  options.forgetting = 0.0;
+  EXPECT_FALSE(RecursiveLeastSquares::Create(options).ok());
+  options.forgetting = 1.1;
+  EXPECT_FALSE(RecursiveLeastSquares::Create(options).ok());
+  options.forgetting = 1.0;
+  options.initial_gain = -1.0;
+  EXPECT_FALSE(RecursiveLeastSquares::Create(options).ok());
+  options.initial_gain = 1e6;
+  EXPECT_TRUE(RecursiveLeastSquares::Create(options).ok());
+}
+
+TEST(RlsTest, RecoversExactLinearModel) {
+  RecursiveLeastSquaresOptions options;
+  options.dim = 2;
+  auto rls_or = RecursiveLeastSquares::Create(options);
+  ASSERT_TRUE(rls_or.ok());
+  RecursiveLeastSquares rls = std::move(rls_or).value();
+
+  // z = 3 * a - 2 * b, noise-free.
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Vector phi{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    ASSERT_TRUE(rls.Update(phi, 3.0 * phi[0] - 2.0 * phi[1]).ok());
+  }
+  EXPECT_NEAR(rls.parameters()[0], 3.0, 1e-6);
+  EXPECT_NEAR(rls.parameters()[1], -2.0, 1e-6);
+}
+
+TEST(RlsTest, MatchesBatchLeastSquaresOnNoisyData) {
+  // §3.2 case 4: with measurements treated as exact, the recursive filter
+  // reduces to least squares. Verify RLS converges to the batch QR answer.
+  RecursiveLeastSquaresOptions options;
+  options.dim = 2;
+  options.initial_gain = 1e9;  // diffuse prior -> pure least squares
+  auto rls_or = RecursiveLeastSquares::Create(options);
+  ASSERT_TRUE(rls_or.ok());
+  RecursiveLeastSquares rls = std::move(rls_or).value();
+
+  Rng rng(2);
+  const int n = 100;
+  Matrix a(n, 2);
+  Vector b(n);
+  for (int i = 0; i < n; ++i) {
+    const Vector phi{rng.Uniform(-1.0, 1.0), 1.0};
+    const double z = 1.7 * phi[0] + 0.4 + rng.Gaussian(0.0, 0.1);
+    a(i, 0) = phi[0];
+    a(i, 1) = phi[1];
+    b[i] = z;
+    ASSERT_TRUE(rls.Update(phi, z).ok());
+  }
+  auto batch_or = SolveLeastSquares(a, b);
+  ASSERT_TRUE(batch_or.ok());
+  EXPECT_NEAR(rls.parameters()[0], batch_or.value()[0], 1e-4);
+  EXPECT_NEAR(rls.parameters()[1], batch_or.value()[1], 1e-4);
+}
+
+TEST(RlsTest, ForgettingTracksDriftingParameters) {
+  RecursiveLeastSquaresOptions with_forgetting;
+  with_forgetting.dim = 1;
+  with_forgetting.forgetting = 0.95;
+  RecursiveLeastSquaresOptions without;
+  without.dim = 1;
+  without.forgetting = 1.0;
+
+  auto fast_or = RecursiveLeastSquares::Create(with_forgetting);
+  auto slow_or = RecursiveLeastSquares::Create(without);
+  ASSERT_TRUE(fast_or.ok());
+  ASSERT_TRUE(slow_or.ok());
+  RecursiveLeastSquares fast = std::move(fast_or).value();
+  RecursiveLeastSquares slow = std::move(slow_or).value();
+
+  // Parameter jumps from 1 to 5 halfway through.
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double w = i < 200 ? 1.0 : 5.0;
+    const Vector phi{rng.Uniform(0.5, 1.5)};
+    const double z = w * phi[0];
+    ASSERT_TRUE(fast.Update(phi, z).ok());
+    ASSERT_TRUE(slow.Update(phi, z).ok());
+  }
+  EXPECT_NEAR(fast.parameters()[0], 5.0, 0.05);
+  // The non-forgetting estimator is still dragged down by the old regime.
+  EXPECT_LT(slow.parameters()[0], 4.5);
+}
+
+TEST(RlsTest, PredictUsesCurrentParameters) {
+  RecursiveLeastSquaresOptions options;
+  options.dim = 1;
+  auto rls_or = RecursiveLeastSquares::Create(options);
+  ASSERT_TRUE(rls_or.ok());
+  RecursiveLeastSquares rls = std::move(rls_or).value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(rls.Update(Vector{1.0}, 4.0).ok());
+  }
+  auto pred_or = rls.Predict(Vector{2.0});
+  ASSERT_TRUE(pred_or.ok());
+  EXPECT_NEAR(pred_or.value(), 8.0, 1e-6);
+}
+
+TEST(RlsTest, DimensionChecked) {
+  RecursiveLeastSquaresOptions options;
+  options.dim = 2;
+  auto rls_or = RecursiveLeastSquares::Create(options);
+  ASSERT_TRUE(rls_or.ok());
+  RecursiveLeastSquares rls = std::move(rls_or).value();
+  EXPECT_FALSE(rls.Update(Vector{1.0}, 1.0).ok());
+  EXPECT_FALSE(rls.Predict(Vector{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(RlsTest, ObservationCountTracked) {
+  RecursiveLeastSquaresOptions options;
+  options.dim = 1;
+  auto rls_or = RecursiveLeastSquares::Create(options);
+  ASSERT_TRUE(rls_or.ok());
+  RecursiveLeastSquares rls = std::move(rls_or).value();
+  ASSERT_TRUE(rls.Update(Vector{1.0}, 1.0).ok());
+  ASSERT_TRUE(rls.Update(Vector{1.0}, 1.0).ok());
+  EXPECT_EQ(rls.observations(), 2);
+}
+
+}  // namespace
+}  // namespace dkf

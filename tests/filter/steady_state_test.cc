@@ -1,0 +1,135 @@
+#include "filter/steady_state.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/decompose.h"
+
+namespace dkf {
+namespace {
+
+KalmanFilterOptions CvOptions() {
+  KalmanFilterOptions options;
+  options.transition = Matrix{{1.0, 1.0}, {0.0, 1.0}};
+  options.measurement = Matrix{{1.0, 0.0}};
+  options.process_noise = Matrix::ScaledIdentity(2, 0.01);
+  options.measurement_noise = Matrix{{0.5}};
+  options.initial_state = Vector(2);
+  options.initial_covariance = Matrix::ScaledIdentity(2, 100.0);
+  return options;
+}
+
+TEST(RiccatiTest, ConvergesToFixedPoint) {
+  const KalmanFilterOptions options = CvOptions();
+  auto solution_or =
+      SolveRiccati(options.transition, options.measurement,
+                   options.process_noise, options.measurement_noise);
+  ASSERT_TRUE(solution_or.ok());
+  const SteadyStateSolution& solution = solution_or.value();
+  EXPECT_GT(solution.iterations, 1);
+
+  // Verify the fixed point: one more Riccati step must not move P.
+  const Matrix& p = solution.covariance;
+  const Matrix h = options.measurement;
+  const Matrix s = h * p * h.Transpose() + options.measurement_noise;
+  auto s_inv_or = Inverse(s);
+  ASSERT_TRUE(s_inv_or.ok());
+  const Matrix gain = p * h.Transpose() * s_inv_or.value();
+  Matrix next = options.transition * (p - gain * h * p) *
+                    options.transition.Transpose() +
+                options.process_noise;
+  next.Symmetrize();
+  EXPECT_LT(next.MaxAbsDiff(p), 1e-9);
+}
+
+TEST(RiccatiTest, GainMatchesOnlineFilterAfterConvergence) {
+  // The online covariance recursion of a stationary filter converges to
+  // the Riccati solution (§3.2 case 5): compare gains.
+  const KalmanFilterOptions options = CvOptions();
+  auto solution_or =
+      SolveRiccati(options.transition, options.measurement,
+                   options.process_noise, options.measurement_noise);
+  ASSERT_TRUE(solution_or.ok());
+
+  auto filter_or = KalmanFilter::Create(options);
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(filter.Predict().ok());
+    // The a-priori covariance right after Predict is what Riccati solves
+    // for; compare at the last iteration.
+    if (i == 499) {
+      EXPECT_LT(filter.covariance().MaxAbsDiff(solution_or.value().covariance),
+                1e-6);
+    }
+    ASSERT_TRUE(filter.Correct(Vector{1.0}).ok());
+  }
+}
+
+TEST(RiccatiTest, RejectsBadShapes) {
+  EXPECT_FALSE(SolveRiccati(Matrix(2, 3), Matrix(1, 2), Matrix(2, 2),
+                            Matrix(1, 1))
+                   .ok());
+  EXPECT_FALSE(SolveRiccati(Matrix::Identity(2), Matrix(1, 3),
+                            Matrix::Identity(2), Matrix::Identity(1))
+                   .ok());
+}
+
+TEST(SteadyStateFilterTest, RejectsTimeVaryingTransition) {
+  KalmanFilterOptions options = CvOptions();
+  options.transition_fn = [](int64_t) { return Matrix::Identity(2); };
+  EXPECT_FALSE(SteadyStateKalmanFilter::Create(options).ok());
+}
+
+TEST(SteadyStateFilterTest, TracksLikeFullFilter) {
+  const KalmanFilterOptions options = CvOptions();
+  auto ss_or = SteadyStateKalmanFilter::Create(options);
+  auto full_or = KalmanFilter::Create(options);
+  ASSERT_TRUE(ss_or.ok());
+  ASSERT_TRUE(full_or.ok());
+  SteadyStateKalmanFilter ss = std::move(ss_or).value();
+  KalmanFilter full = std::move(full_or).value();
+
+  Rng rng(3);
+  double pos = 0.0;
+  double ss_err = 0.0;
+  double full_err = 0.0;
+  int count = 0;
+  for (int i = 0; i < 1000; ++i) {
+    pos += 0.8;
+    const Vector z{pos + rng.Gaussian(0.0, 0.7)};
+    ss.Predict();
+    ASSERT_TRUE(full.Predict().ok());
+    ASSERT_TRUE(ss.Correct(z).ok());
+    ASSERT_TRUE(full.Correct(z).ok());
+    if (i > 200) {
+      ss_err += std::fabs(ss.state()[0] - pos);
+      full_err += std::fabs(full.state()[0] - pos);
+      ++count;
+    }
+  }
+  // After burn-in, the steady-state filter should be nearly as accurate as
+  // the full filter (the full filter has converged to the same gain).
+  EXPECT_LT(ss_err / count, 1.1 * full_err / count + 0.02);
+}
+
+TEST(SteadyStateFilterTest, CorrectValidatesMeasurementSize) {
+  auto ss_or = SteadyStateKalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(ss_or.ok());
+  SteadyStateKalmanFilter ss = std::move(ss_or).value();
+  EXPECT_FALSE(ss.Correct(Vector{1.0, 2.0}).ok());
+}
+
+TEST(SteadyStateFilterTest, StepCounterAdvances) {
+  auto ss_or = SteadyStateKalmanFilter::Create(CvOptions());
+  ASSERT_TRUE(ss_or.ok());
+  SteadyStateKalmanFilter ss = std::move(ss_or).value();
+  ss.Predict();
+  ss.Predict();
+  EXPECT_EQ(ss.step(), 2);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,154 @@
+#include "filter/unscented_kalman_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "filter/kalman_filter.h"
+#include "models/nonlinear_models.h"
+
+namespace dkf {
+namespace {
+
+/// A linear constant-velocity system expressed through the UKF interface.
+UnscentedKalmanFilterOptions LinearAsUkf(double q = 0.01, double r = 0.1) {
+  UnscentedKalmanFilterOptions options;
+  options.transition = [](const Vector& x, int64_t) {
+    return Vector{x[0] + x[1], x[1]};
+  };
+  options.measurement = [](const Vector& x) { return Vector{x[0]}; };
+  options.process_noise = Matrix::ScaledIdentity(2, q);
+  options.measurement_noise = Matrix{{r}};
+  options.initial_state = Vector(2);
+  options.initial_covariance = Matrix::ScaledIdentity(2, 100.0);
+  return options;
+}
+
+KalmanFilterOptions LinearAsKf(double q = 0.01, double r = 0.1) {
+  KalmanFilterOptions options;
+  options.transition = Matrix{{1.0, 1.0}, {0.0, 1.0}};
+  options.measurement = Matrix{{1.0, 0.0}};
+  options.process_noise = Matrix::ScaledIdentity(2, q);
+  options.measurement_noise = Matrix{{r}};
+  options.initial_state = Vector(2);
+  options.initial_covariance = Matrix::ScaledIdentity(2, 100.0);
+  return options;
+}
+
+TEST(UkfTest, CreateValidates) {
+  UnscentedKalmanFilterOptions options = LinearAsUkf();
+  options.transition = nullptr;
+  EXPECT_FALSE(UnscentedKalmanFilter::Create(options).ok());
+  options = LinearAsUkf();
+  options.measurement = nullptr;
+  EXPECT_FALSE(UnscentedKalmanFilter::Create(options).ok());
+  options = LinearAsUkf();
+  options.alpha = 0.0;
+  EXPECT_FALSE(UnscentedKalmanFilter::Create(options).ok());
+  options = LinearAsUkf();
+  options.alpha = 2.0;
+  EXPECT_FALSE(UnscentedKalmanFilter::Create(options).ok());
+  options = LinearAsUkf();
+  options.process_noise = Matrix::Identity(3);
+  EXPECT_FALSE(UnscentedKalmanFilter::Create(options).ok());
+  EXPECT_TRUE(UnscentedKalmanFilter::Create(LinearAsUkf()).ok());
+}
+
+TEST(UkfTest, ExactOnLinearSystems) {
+  // The unscented transform is exact through affine maps: on a linear
+  // system the UKF must reproduce the ordinary KF's trajectory to
+  // numerical precision.
+  auto ukf = UnscentedKalmanFilter::Create(LinearAsUkf()).value();
+  auto kf = KalmanFilter::Create(LinearAsKf()).value();
+  Rng rng(1);
+  double pos = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    pos += 0.7;
+    const Vector z{pos + rng.Gaussian(0.0, 0.3)};
+    ASSERT_TRUE(ukf.Predict().ok());
+    ASSERT_TRUE(kf.Predict().ok());
+    ASSERT_TRUE(ukf.Correct(z).ok());
+    ASSERT_TRUE(kf.Correct(z).ok());
+    for (size_t s = 0; s < 2; ++s) {
+      ASSERT_NEAR(ukf.state()[s], kf.state()[s], 1e-6) << "tick " << i;
+    }
+    ASSERT_LT(ukf.covariance().MaxAbsDiff(kf.covariance()), 1e-6);
+  }
+}
+
+TEST(UkfTest, TracksCoordinatedTurnWithoutJacobians) {
+  auto options_or = MakeCoordinatedTurnUkf(0.1, NonlinearModelNoise{});
+  ASSERT_TRUE(options_or.ok());
+  auto ukf = UnscentedKalmanFilter::Create(options_or.value()).value();
+
+  const double dt = 0.1;
+  const double speed = 10.0;
+  const double turn_rate = 0.5;
+  double x = 0.0;
+  double y = 0.0;
+  double heading = 0.0;
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    x += speed * std::cos(heading) * dt;
+    y += speed * std::sin(heading) * dt;
+    heading += turn_rate * dt;
+    ASSERT_TRUE(ukf.Predict().ok());
+    ASSERT_TRUE(ukf.Correct(Vector{x + rng.Gaussian(0.0, 0.05),
+                                   y + rng.Gaussian(0.0, 0.05)})
+                    .ok());
+  }
+  const Vector est = ukf.PredictedMeasurement();
+  EXPECT_LT(std::hypot(est[0] - x, est[1] - y), 0.5);
+  EXPECT_NEAR(ukf.state()[4], turn_rate, 0.1);
+}
+
+TEST(UkfTest, CorrectValidatesMeasurementSize) {
+  auto ukf = UnscentedKalmanFilter::Create(LinearAsUkf()).value();
+  ASSERT_TRUE(ukf.Predict().ok());
+  EXPECT_FALSE(ukf.Correct(Vector{1.0, 2.0}).ok());
+}
+
+TEST(UkfTest, DeterministicReplayAndStateEquals) {
+  auto a = UnscentedKalmanFilter::Create(LinearAsUkf()).value();
+  auto b = UnscentedKalmanFilter::Create(LinearAsUkf()).value();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.Predict().ok());
+    ASSERT_TRUE(b.Predict().ok());
+    if (rng.Bernoulli(0.4)) {
+      const Vector z{rng.Gaussian(0.0, 2.0)};
+      ASSERT_TRUE(a.Correct(z).ok());
+      ASSERT_TRUE(b.Correct(z).ok());
+    }
+    ASSERT_TRUE(a.StateEquals(b)) << "tick " << i;
+  }
+  ASSERT_TRUE(a.Predict().ok());
+  EXPECT_FALSE(a.StateEquals(b));
+}
+
+TEST(UkfTest, ResetRestoresInitialState) {
+  auto ukf = UnscentedKalmanFilter::Create(LinearAsUkf()).value();
+  ASSERT_TRUE(ukf.Predict().ok());
+  ASSERT_TRUE(ukf.Correct(Vector{5.0}).ok());
+  ukf.Reset();
+  EXPECT_EQ(ukf.step(), 0);
+  EXPECT_DOUBLE_EQ(ukf.state()[0], 0.0);
+  EXPECT_DOUBLE_EQ(ukf.covariance()(0, 0), 100.0);
+}
+
+TEST(UkfTest, CovarianceStaysSymmetricPositive) {
+  auto ukf = UnscentedKalmanFilter::Create(LinearAsUkf()).value();
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(ukf.Predict().ok());
+    ASSERT_TRUE(ukf.Correct(Vector{rng.Gaussian(0.0, 1.0)}).ok());
+    const Matrix& p = ukf.covariance();
+    EXPECT_DOUBLE_EQ(p(0, 1), p(1, 0));
+    EXPECT_GT(p(0, 0), 0.0);
+    EXPECT_GT(p(1, 1), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/moving_average.h"
+#include "core/predictor.h"
+#include "core/smoothing.h"
+#include "metrics/experiment.h"
+#include "metrics/metrics.h"
+#include "models/model_factory.h"
+#include "streamgen/http_traffic_generator.h"
+
+namespace dkf {
+namespace {
+
+/// Example 3 (§5.3): on noisy, trendless HTTP traffic the KF_c smoothing
+/// stage makes suppression effective, low F approaches the moving
+/// average, and lowering F reduces updates (Figures 10-12).
+class Example3Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HttpTrafficOptions options;
+    options.num_points = 3000;
+    series_ = new TimeSeries(GenerateHttpTraffic(options).value());
+  }
+  static void TearDownTestSuite() {
+    delete series_;
+    series_ = nullptr;
+  }
+
+  /// Model noise for predictors running on the KF_c-smoothed stream
+  /// (nearly noise-free, so measurements are trusted strongly).
+  static ModelNoise TrafficNoise() {
+    ModelNoise noise;
+    noise.process_variance = 1e-4;
+    noise.measurement_variance = 1e-2;
+    return noise;
+  }
+
+  /// Measurement variance assumed by KF_c (the scale the paper's F values
+  /// are read against; see EXPERIMENTS.md).
+  static constexpr double kSmootherR = 0.01;
+
+  static TimeSeries* series_;
+};
+
+TimeSeries* Example3Test::series_ = nullptr;
+
+TEST_F(Example3Test, WindowEquivalentFMatchesMovingAverage) {
+  // Figure 10 made quantitative: the F whose steady-state gain equals the
+  // EWMA coefficient of a 64-sample moving average produces a smoothed
+  // series close to MA(64).
+  const double f = SmoothingFactorForWindow(64, 100.0);
+  auto kf_or = SmoothSeriesKalman(*series_, f, 100.0);
+  auto ma_or = SmoothSeriesMovingAverage(*series_, 64);
+  ASSERT_TRUE(kf_or.ok());
+  ASSERT_TRUE(ma_or.ok());
+  auto kf_tail = kf_or.value().Slice(500, series_->size()).value();
+  auto ma_tail = ma_or.value().Slice(500, series_->size()).value();
+  auto mad_or = SeriesMeanAbsDiff(kf_tail, ma_tail);
+  ASSERT_TRUE(mad_or.ok());
+  const double raw_stddev = series_->Stats().value().stddev;
+  EXPECT_LT(mad_or.value(), 0.2 * raw_stddev);
+}
+
+TEST_F(Example3Test, VeryLowFSmootherThanMovingAverage) {
+  // Pushing F to 1e-9 smooths even harder than MA(64): the output's
+  // variability collapses toward the global mean.
+  auto kf_or = SmoothSeriesKalman(*series_, 1e-9, 100.0);
+  auto ma_or = SmoothSeriesMovingAverage(*series_, 64);
+  ASSERT_TRUE(kf_or.ok());
+  ASSERT_TRUE(ma_or.ok());
+  auto kf_tail = kf_or.value().Slice(500, series_->size()).value();
+  auto ma_tail = ma_or.value().Slice(500, series_->size()).value();
+  EXPECT_LT(kf_tail.Stats().value().stddev,
+            ma_tail.Stats().value().stddev);
+}
+
+TEST_F(Example3Test, HighFTracksRawData) {
+  auto kf_or = SmoothSeriesKalman(*series_, 1e3, 1.0);
+  ASSERT_TRUE(kf_or.ok());
+  auto mad_or = SeriesMeanAbsDiff(kf_or.value(), *series_);
+  ASSERT_TRUE(mad_or.ok());
+  const double raw_stddev = series_->Stats().value().stddev;
+  EXPECT_LT(mad_or.value(), 0.05 * raw_stddev);
+}
+
+TEST_F(Example3Test, SmoothingEnablesSuppression) {
+  // Figure 11's premise: raw traffic defeats prediction, smoothed traffic
+  // doesn't.
+  auto linear_or = KalmanPredictor::Create(
+      MakeLinearModel(1, 1.0, TrafficNoise()).value());
+  ASSERT_TRUE(linear_or.ok());
+  const double delta = 30.0;
+
+  auto raw_row_or =
+      RunSuppressionExperiment(*series_, linear_or.value(), delta);
+  auto smoothed_or = SmoothSeriesKalman(*series_, 1e-7, kSmootherR);
+  ASSERT_TRUE(smoothed_or.ok());
+  auto smooth_row_or =
+      RunSuppressionExperiment(smoothed_or.value(), linear_or.value(), delta);
+  ASSERT_TRUE(raw_row_or.ok());
+  ASSERT_TRUE(smooth_row_or.ok());
+  EXPECT_LT(smooth_row_or.value().update_percentage,
+            0.3 * raw_row_or.value().update_percentage);
+}
+
+TEST_F(Example3Test, LinearKfBestOnSmoothedStream) {
+  // Figure 11's claim: "the reduction in communication overhead is better
+  // using a linear KF model" — the smoothed stream retains the slow
+  // diurnal trend, which the linear model rides and the cache cannot.
+  auto linear_or = KalmanPredictor::Create(
+      MakeLinearModel(1, 1.0, TrafficNoise()).value());
+  auto caching_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(linear_or.ok());
+  ASSERT_TRUE(caching_or.ok());
+  auto smoothed_or = SmoothSeriesKalman(*series_, 1e-7, kSmootherR);
+  ASSERT_TRUE(smoothed_or.ok());
+  for (double delta : {2.0, 5.0, 10.0}) {
+    auto lin_row_or = RunSuppressionExperiment(smoothed_or.value(),
+                                               linear_or.value(), delta);
+    auto cache_row_or = RunSuppressionExperiment(smoothed_or.value(),
+                                                 caching_or.value(), delta);
+    ASSERT_TRUE(lin_row_or.ok());
+    ASSERT_TRUE(cache_row_or.ok());
+    EXPECT_LT(lin_row_or.value().update_percentage,
+              cache_row_or.value().update_percentage)
+        << "delta " << delta;
+  }
+}
+
+TEST_F(Example3Test, LowerFMeansFewerUpdates) {
+  // Figure 12: at fixed delta, lowering F lowers the update rate.
+  auto linear_or = KalmanPredictor::Create(
+      MakeLinearModel(1, 1.0, TrafficNoise()).value());
+  ASSERT_TRUE(linear_or.ok());
+  const double delta = 10.0;  // the figure's operating point
+  double prev = -1.0;
+  for (double f : {1e-9, 1e-5, 1e-1}) {
+    auto smoothed_or = SmoothSeriesKalman(*series_, f, kSmootherR);
+    ASSERT_TRUE(smoothed_or.ok());
+    auto row_or = RunSuppressionExperiment(smoothed_or.value(),
+                                           linear_or.value(), delta);
+    ASSERT_TRUE(row_or.ok());
+    if (prev >= 0.0) {
+      EXPECT_GE(row_or.value().update_percentage, prev - 0.5)
+          << "F " << f;
+    }
+    prev = row_or.value().update_percentage;
+  }
+}
+
+TEST_F(Example3Test, SmoothedAnswersWithinDeltaOfSmoothedStream) {
+  auto linear_or = KalmanPredictor::Create(
+      MakeLinearModel(1, 1.0, TrafficNoise()).value());
+  ASSERT_TRUE(linear_or.ok());
+  auto smoothed_or = SmoothSeriesKalman(*series_, 1e-7, kSmootherR);
+  ASSERT_TRUE(smoothed_or.ok());
+  const double delta = 20.0;
+  auto row_or = RunSuppressionExperiment(smoothed_or.value(),
+                                         linear_or.value(), delta);
+  ASSERT_TRUE(row_or.ok());
+  EXPECT_LE(row_or.value().avg_error, delta);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,105 @@
+// The library offers two implementations of the same protocol: the
+// in-process DualLink (used by the experiment harness) and the
+// message-passing SourceNode/Channel/ServerNode pipeline (used by the
+// DSMS simulation). They must agree *exactly* — same transmissions on the
+// same ticks, same server answers — or the figure reproductions would
+// depend on which path a bench happens to use.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dual_link.h"
+#include "dsms/channel.h"
+#include "dsms/server_node.h"
+#include "dsms/source_node.h"
+#include "dsms/simulation.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+StateModel LinearModel() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+TimeSeries RandomWalk(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries series(1);
+  double value = 0.0;
+  double drift = 0.4;
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 250 == 0) drift = rng.Uniform(-1.5, 1.5);
+    value += drift + rng.Gaussian(0.0, 0.5);
+    EXPECT_TRUE(series.Append(static_cast<double>(i), value).ok());
+  }
+  return series;
+}
+
+TEST(PathEquivalenceTest, DualLinkMatchesNodePipelineTickForTick) {
+  const TimeSeries stream = RandomWalk(3000, 77);
+  const double delta = 2.5;
+
+  // Path 1: DualLink.
+  auto predictor = KalmanPredictor::Create(LinearModel()).value();
+  DualLinkOptions link_options;
+  link_options.delta = delta;
+  DualLink link = DualLink::Create(predictor, link_options).value();
+
+  // Path 2: SourceNode -> Channel -> ServerNode.
+  ServerNode server;
+  ASSERT_TRUE(server.RegisterSource(1, LinearModel()).ok());
+  Channel channel(
+      [&server](const Message& message) { return server.OnMessage(message); });
+  SourceNodeOptions node_options;
+  node_options.source_id = 1;
+  node_options.model = LinearModel();
+  node_options.delta = delta;
+  SourceNode node = SourceNode::Create(node_options).value();
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Vector reading{stream.value(i)};
+    auto link_step = link.Step(reading);
+    ASSERT_TRUE(link_step.ok());
+
+    ASSERT_TRUE(server.TickAll().ok());
+    auto node_step =
+        node.ProcessReading(static_cast<int64_t>(i), reading, &channel);
+    ASSERT_TRUE(node_step.ok());
+
+    ASSERT_EQ(link_step.value().sent, node_step.value().sent)
+        << "tick " << i;
+    const double link_answer = link_step.value().server_value[0];
+    const double node_answer = server.Answer(1).value()[0];
+    ASSERT_EQ(link_answer, node_answer) << "tick " << i;
+  }
+  EXPECT_EQ(link.stats().updates_sent, node.updates_sent());
+}
+
+TEST(PathEquivalenceTest, SimulationMatchesDualLinkTotals) {
+  const TimeSeries stream = RandomWalk(2500, 78);
+  const double delta = 3.0;
+
+  auto predictor = KalmanPredictor::Create(LinearModel()).value();
+  DualLinkOptions link_options;
+  link_options.delta = delta;
+  DualLink link = DualLink::Create(predictor, link_options).value();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(link.Step(Vector{stream.value(i)}).ok());
+  }
+
+  SimulationSourceConfig config;
+  config.id = 1;
+  config.data = stream;
+  config.model = LinearModel();
+  config.delta = delta;
+  auto reports = DsmsSimulation::Create({config}).value().Run().value();
+
+  EXPECT_EQ(reports[0].updates_sent, link.stats().updates_sent);
+  EXPECT_EQ(reports[0].readings, link.stats().ticks);
+}
+
+}  // namespace
+}  // namespace dkf

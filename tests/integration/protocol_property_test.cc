@@ -1,0 +1,164 @@
+// Parameterized protocol property sweep: for every (model, delta, norm)
+// combination, the dual-prediction protocol must uphold its two core
+// guarantees on randomized streams — mirror consistency, and the
+// suppressed-tick precision bound.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dual_link.h"
+#include "core/ekf_predictor.h"
+#include "core/predictor.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+enum class PredictorKind {
+  kCaching,
+  kConstant,
+  kLinear,
+  kPoly2,
+  kSinusoidal,
+  kSteadyStateLinear,
+};
+
+struct ProtocolCase {
+  PredictorKind kind;
+  double delta;
+  DeviationNorm norm;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ProtocolCase>& info) {
+  std::string name;
+  switch (info.param.kind) {
+    case PredictorKind::kCaching:
+      name = "caching";
+      break;
+    case PredictorKind::kConstant:
+      name = "constant";
+      break;
+    case PredictorKind::kLinear:
+      name = "linear";
+      break;
+    case PredictorKind::kPoly2:
+      name = "poly2";
+      break;
+    case PredictorKind::kSinusoidal:
+      name = "sinusoidal";
+      break;
+    case PredictorKind::kSteadyStateLinear:
+      name = "steadystate";
+      break;
+  }
+  name += "_d" + std::to_string(static_cast<int>(info.param.delta * 10));
+  switch (info.param.norm) {
+    case DeviationNorm::kMaxAbs:
+      name += "_maxabs";
+      break;
+    case DeviationNorm::kL2:
+      name += "_l2";
+      break;
+    case DeviationNorm::kL1:
+      name += "_l1";
+      break;
+  }
+  return name;
+}
+
+std::unique_ptr<Predictor> MakePredictor(PredictorKind kind) {
+  ModelNoise noise;
+  noise.process_variance = 0.1;
+  noise.measurement_variance = 0.1;
+  switch (kind) {
+    case PredictorKind::kCaching:
+      return CachedValuePredictor::Create(1).value().Clone();
+    case PredictorKind::kConstant:
+      return KalmanPredictor::Create(MakeConstantModel(1, noise).value())
+          .value()
+          .Clone();
+    case PredictorKind::kLinear:
+      return KalmanPredictor::Create(MakeLinearModel(1, 1.0, noise).value())
+          .value()
+          .Clone();
+    case PredictorKind::kPoly2:
+      return KalmanPredictor::Create(
+                 MakePolynomialModel(1, 2, 1.0, noise).value())
+          .value()
+          .Clone();
+    case PredictorKind::kSinusoidal:
+      return KalmanPredictor::Create(
+                 MakeSinusoidalModel(0.26, 0.4, 1.0, noise).value())
+          .value()
+          .Clone();
+    case PredictorKind::kSteadyStateLinear:
+      return SteadyStatePredictor::Create(
+                 MakeLinearModel(1, 1.0, noise).value())
+          .value()
+          .Clone();
+  }
+  return nullptr;
+}
+
+class ProtocolPropertyTest : public ::testing::TestWithParam<ProtocolCase> {};
+
+TEST_P(ProtocolPropertyTest, GuaranteesHoldOnRandomWalk) {
+  const ProtocolCase& param = GetParam();
+  std::unique_ptr<Predictor> prototype = MakePredictor(param.kind);
+  ASSERT_NE(prototype, nullptr);
+
+  DualLinkOptions options;
+  options.delta = param.delta;
+  options.norm = param.norm;
+  options.check_mirror_consistency = true;  // guarantee 1, checked per tick
+  auto link_or = DualLink::Create(*prototype, options);
+  ASSERT_TRUE(link_or.ok());
+  DualLink link = std::move(link_or).value();
+
+  Rng rng(static_cast<uint64_t>(param.delta * 1000) +
+          static_cast<uint64_t>(param.kind));
+  double value = 0.0;
+  double drift = 0.3;
+  for (int i = 0; i < 1500; ++i) {
+    if (i % 200 == 0) drift = rng.Uniform(-1.0, 1.0);
+    value += drift + rng.Gaussian(0.0, 0.4);
+    auto step_or = link.Step(Vector{value});
+    ASSERT_TRUE(step_or.ok()) << "tick " << i;
+    // Guarantee 2: a suppressed tick means the prediction (== the server
+    // answer on that tick) was within delta of the reading.
+    if (!step_or.value().sent) {
+      EXPECT_LE(
+          Deviation(step_or.value().server_value, Vector{value}, param.norm),
+          param.delta + 1e-9)
+          << "tick " << i;
+    }
+  }
+  // Sanity: the protocol neither sends everything nor (on this drifting
+  // walk with small deltas) nothing.
+  EXPECT_GT(link.stats().updates_sent, 0);
+  EXPECT_LT(link.stats().updates_sent, link.stats().ticks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredictors, ProtocolPropertyTest,
+    ::testing::Values(
+        ProtocolCase{PredictorKind::kCaching, 1.0, DeviationNorm::kMaxAbs},
+        ProtocolCase{PredictorKind::kCaching, 4.0, DeviationNorm::kL2},
+        ProtocolCase{PredictorKind::kConstant, 1.0, DeviationNorm::kMaxAbs},
+        ProtocolCase{PredictorKind::kConstant, 4.0, DeviationNorm::kL1},
+        ProtocolCase{PredictorKind::kLinear, 1.0, DeviationNorm::kMaxAbs},
+        ProtocolCase{PredictorKind::kLinear, 2.0, DeviationNorm::kL2},
+        ProtocolCase{PredictorKind::kLinear, 8.0, DeviationNorm::kL1},
+        ProtocolCase{PredictorKind::kPoly2, 2.0, DeviationNorm::kMaxAbs},
+        ProtocolCase{PredictorKind::kSinusoidal, 2.0,
+                     DeviationNorm::kMaxAbs},
+        ProtocolCase{PredictorKind::kSteadyStateLinear, 2.0,
+                     DeviationNorm::kMaxAbs},
+        ProtocolCase{PredictorKind::kSteadyStateLinear, 6.0,
+                     DeviationNorm::kL2}),
+    CaseName);
+
+}  // namespace
+}  // namespace dkf

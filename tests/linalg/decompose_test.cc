@@ -1,0 +1,181 @@
+#include "linalg/decompose.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(LuTest, SolvesKnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  auto lu_or = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu_or.ok());
+  auto x_or = lu_or.value().Solve(Vector{3.0, 5.0});
+  ASSERT_TRUE(x_or.ok());
+  // Solution of 2x + y = 3, x + 3y = 5 is x = 4/5, y = 7/5.
+  EXPECT_NEAR(x_or.value()[0], 0.8, 1e-12);
+  EXPECT_NEAR(x_or.value()[1], 1.4, 1e-12);
+}
+
+TEST(LuTest, PivotsWhenDiagonalIsZero) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  auto lu_or = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu_or.ok());
+  auto x_or = lu_or.value().Solve(Vector{2.0, 3.0});
+  ASSERT_TRUE(x_or.ok());
+  EXPECT_NEAR(x_or.value()[0], 3.0, 1e-12);
+  EXPECT_NEAR(x_or.value()[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingularMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_EQ(LuDecomposition::Compute(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  const Matrix a(2, 3);
+  EXPECT_EQ(LuDecomposition::Compute(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  auto lu_or = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu_or.ok());
+  auto inv_or = lu_or.value().Inverse();
+  ASSERT_TRUE(inv_or.ok());
+  const Matrix prod = a * inv_or.value();
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(2)), 1e-12);
+}
+
+TEST(LuTest, DeterminantWithPivotSign) {
+  // det = 4*6 - 7*2 = 10.
+  auto lu_or = LuDecomposition::Compute(Matrix{{4.0, 7.0}, {2.0, 6.0}});
+  ASSERT_TRUE(lu_or.ok());
+  EXPECT_NEAR(lu_or.value().Determinant(), 10.0, 1e-12);
+
+  // Swapped rows: det flips sign.
+  auto lu2_or = LuDecomposition::Compute(Matrix{{2.0, 6.0}, {4.0, 7.0}});
+  ASSERT_TRUE(lu2_or.ok());
+  EXPECT_NEAR(lu2_or.value().Determinant(), -10.0, 1e-12);
+}
+
+TEST(LuTest, MatrixRhsSolve) {
+  const Matrix a{{3.0, 0.0}, {0.0, 2.0}};
+  auto lu_or = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu_or.ok());
+  auto x_or = lu_or.value().Solve(Matrix{{3.0, 6.0}, {2.0, 4.0}});
+  ASSERT_TRUE(x_or.ok());
+  EXPECT_NEAR(x_or.value()(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x_or.value()(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x_or.value()(1, 1), 2.0, 1e-12);
+}
+
+TEST(LuTest, RhsSizeChecked) {
+  auto lu_or = LuDecomposition::Compute(Matrix::Identity(2));
+  ASSERT_TRUE(lu_or.ok());
+  EXPECT_FALSE(lu_or.value().Solve(Vector{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  auto chol_or = CholeskyDecomposition::Compute(a);
+  ASSERT_TRUE(chol_or.ok());
+  const Matrix& l = chol_or.value().L();
+  const Matrix reconstructed = l * l.Transpose();
+  EXPECT_LT(reconstructed.MaxAbsDiff(a), 1e-12);
+}
+
+TEST(CholeskyTest, SolveMatchesLu) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Vector b{1.0, 2.0};
+  auto chol_or = CholeskyDecomposition::Compute(a);
+  ASSERT_TRUE(chol_or.ok());
+  auto x_chol_or = chol_or.value().Solve(b);
+  ASSERT_TRUE(x_chol_or.ok());
+  auto x_lu_or = SolveLinear(a, b);
+  ASSERT_TRUE(x_lu_or.ok());
+  EXPECT_NEAR(x_chol_or.value()[0], x_lu_or.value()[0], 1e-12);
+  EXPECT_NEAR(x_chol_or.value()[1], x_lu_or.value()[1], 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_EQ(CholeskyDecomposition::Compute(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_EQ(CholeskyDecomposition::Compute(Matrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, InverseOfSpd) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  auto chol_or = CholeskyDecomposition::Compute(a);
+  ASSERT_TRUE(chol_or.ok());
+  auto inv_or = chol_or.value().Inverse();
+  ASSERT_TRUE(inv_or.ok());
+  EXPECT_NEAR(inv_or.value()(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(inv_or.value()(1, 1), 0.25, 1e-12);
+}
+
+TEST(CholeskyTest, LogDeterminant) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  auto chol_or = CholeskyDecomposition::Compute(a);
+  ASSERT_TRUE(chol_or.ok());
+  EXPECT_NEAR(chol_or.value().LogDeterminant(), std::log(8.0), 1e-12);
+}
+
+TEST(LeastSquaresTest, ExactSystemRecovered) {
+  // Overdetermined but consistent: y = 2x + 1 at x = 0, 1, 2.
+  const Matrix a{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}};
+  const Vector b{1.0, 3.0, 5.0};
+  auto x_or = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x_or.ok());
+  EXPECT_NEAR(x_or.value()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x_or.value()[1], 1.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualOfNoisyFit) {
+  // Classic line fit with one perturbed point: the normal-equation
+  // solution is known in closed form; verify against it.
+  const Matrix a{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}};
+  const Vector b{0.0, 1.2, 1.9, 3.1};
+  auto x_or = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x_or.ok());
+  // Normal equations: A^T A x = A^T b.
+  const Matrix ata = a.Transpose() * a;
+  const Vector atb = a.Transpose() * b;
+  auto expected_or = SolveLinear(ata, atb);
+  ASSERT_TRUE(expected_or.ok());
+  EXPECT_NEAR(x_or.value()[0], expected_or.value()[0], 1e-10);
+  EXPECT_NEAR(x_or.value()[1], expected_or.value()[1], 1e-10);
+}
+
+TEST(LeastSquaresTest, RejectsUnderdetermined) {
+  EXPECT_EQ(SolveLeastSquares(Matrix(1, 2), Vector{1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LeastSquaresTest, RejectsRankDeficient) {
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(SolveLeastSquares(a, Vector{1.0, 1.0, 1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ConvenienceTest, InverseAndSolve) {
+  const Matrix a{{2.0, 0.0}, {0.0, 5.0}};
+  auto inv_or = Inverse(a);
+  ASSERT_TRUE(inv_or.ok());
+  EXPECT_NEAR(inv_or.value()(1, 1), 0.2, 1e-12);
+  auto x_or = SolveLinear(a, Vector{4.0, 10.0});
+  ASSERT_TRUE(x_or.ok());
+  EXPECT_NEAR(x_or.value()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x_or.value()[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dkf

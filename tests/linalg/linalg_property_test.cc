@@ -1,0 +1,147 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/decompose.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+namespace {
+
+Matrix RandomMatrix(Rng* rng, size_t n) {
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) m(r, c) = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+/// Random SPD matrix: A A^T + n * I is symmetric positive definite.
+Matrix RandomSpd(Rng* rng, size_t n) {
+  const Matrix a = RandomMatrix(rng, n);
+  Matrix spd = a * a.Transpose();
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+Vector RandomVector(Rng* rng, size_t n) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng->Uniform(-5.0, 5.0);
+  return v;
+}
+
+class LinalgPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LinalgPropertyTest, LuSolveResidualIsTiny) {
+  const size_t n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random well-conditioned-ish matrix: diagonal dominance added.
+    Matrix a = RandomMatrix(&rng, n);
+    for (size_t i = 0; i < n; ++i) a(i, i) += 4.0;
+    const Vector b = RandomVector(&rng, n);
+    auto lu_or = LuDecomposition::Compute(a);
+    ASSERT_TRUE(lu_or.ok());
+    auto x_or = lu_or.value().Solve(b);
+    ASSERT_TRUE(x_or.ok());
+    const Vector residual = a * x_or.value() - b;
+    EXPECT_LT(residual.MaxAbs(), 1e-9);
+  }
+}
+
+TEST_P(LinalgPropertyTest, LuInverseRoundTrips) {
+  const size_t n = GetParam();
+  Rng rng(2000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = RandomMatrix(&rng, n);
+    for (size_t i = 0; i < n; ++i) a(i, i) += 4.0;
+    auto inv_or = Inverse(a);
+    ASSERT_TRUE(inv_or.ok());
+    EXPECT_LT((a * inv_or.value()).MaxAbsDiff(Matrix::Identity(n)), 1e-9);
+    EXPECT_LT((inv_or.value() * a).MaxAbsDiff(Matrix::Identity(n)), 1e-9);
+  }
+}
+
+TEST_P(LinalgPropertyTest, CholeskyAgreesWithLuOnSpd) {
+  const size_t n = GetParam();
+  Rng rng(3000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix spd = RandomSpd(&rng, n);
+    const Vector b = RandomVector(&rng, n);
+    auto chol_or = CholeskyDecomposition::Compute(spd);
+    ASSERT_TRUE(chol_or.ok());
+    auto x_chol_or = chol_or.value().Solve(b);
+    ASSERT_TRUE(x_chol_or.ok());
+    auto x_lu_or = SolveLinear(spd, b);
+    ASSERT_TRUE(x_lu_or.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x_chol_or.value()[i], x_lu_or.value()[i], 1e-8);
+    }
+  }
+}
+
+TEST_P(LinalgPropertyTest, CholeskyFactorReconstructs) {
+  const size_t n = GetParam();
+  Rng rng(4000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix spd = RandomSpd(&rng, n);
+    auto chol_or = CholeskyDecomposition::Compute(spd);
+    ASSERT_TRUE(chol_or.ok());
+    const Matrix& l = chol_or.value().L();
+    EXPECT_LT((l * l.Transpose()).MaxAbsDiff(spd), 1e-9);
+  }
+}
+
+TEST_P(LinalgPropertyTest, DeterminantMatchesLogDetOnSpd) {
+  const size_t n = GetParam();
+  Rng rng(5000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix spd = RandomSpd(&rng, n);
+    auto lu_or = LuDecomposition::Compute(spd);
+    auto chol_or = CholeskyDecomposition::Compute(spd);
+    ASSERT_TRUE(lu_or.ok());
+    ASSERT_TRUE(chol_or.ok());
+    const double det = lu_or.value().Determinant();
+    ASSERT_GT(det, 0.0);
+    EXPECT_NEAR(std::log(det), chol_or.value().LogDeterminant(),
+                1e-8 * std::fabs(chol_or.value().LogDeterminant()) + 1e-8);
+  }
+}
+
+TEST_P(LinalgPropertyTest, TransposeIsInvolution) {
+  const size_t n = GetParam();
+  Rng rng(6000 + n);
+  const Matrix a = RandomMatrix(&rng, n);
+  EXPECT_LT(a.Transpose().Transpose().MaxAbsDiff(a), 0.0 + 1e-15);
+}
+
+TEST_P(LinalgPropertyTest, MatrixProductAssociativity) {
+  const size_t n = GetParam();
+  Rng rng(7000 + n);
+  const Matrix a = RandomMatrix(&rng, n);
+  const Matrix b = RandomMatrix(&rng, n);
+  const Matrix c = RandomMatrix(&rng, n);
+  EXPECT_LT(((a * b) * c).MaxAbsDiff(a * (b * c)), 1e-10);
+}
+
+TEST_P(LinalgPropertyTest, LeastSquaresSolvesSquareSystemExactly) {
+  const size_t n = GetParam();
+  Rng rng(8000 + n);
+  Matrix a = RandomMatrix(&rng, n);
+  for (size_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  const Vector b = RandomVector(&rng, n);
+  auto qr_or = SolveLeastSquares(a, b);
+  auto lu_or = SolveLinear(a, b);
+  ASSERT_TRUE(qr_or.ok());
+  ASSERT_TRUE(lu_or.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(qr_or.value()[i], lu_or.value()[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinalgPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace dkf

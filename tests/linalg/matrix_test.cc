@@ -1,0 +1,179 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  v[1] = 5.0;
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+}
+
+TEST(VectorTest, ZeroInitialized) {
+  Vector v(4);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, -1.0};
+  const Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  const Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], -2.0);
+  const Vector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+  const Vector scaled2 = 3.0 * a;
+  EXPECT_DOUBLE_EQ(scaled2[0], 3.0);
+}
+
+TEST(VectorTest, CompoundAssignment) {
+  Vector a{1.0, 1.0};
+  a += Vector{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(a[1], 4.0);
+  a -= Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+}
+
+TEST(VectorTest, DotAndNorm) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+}
+
+TEST(VectorTest, Outer) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, 4.0, 5.0};
+  const Matrix outer = a.Outer(b);
+  EXPECT_EQ(outer.rows(), 2u);
+  EXPECT_EQ(outer.cols(), 3u);
+  EXPECT_DOUBLE_EQ(outer(1, 2), 10.0);
+}
+
+TEST(VectorTest, IsFiniteDetectsNan) {
+  Vector v{1.0, std::nan("")};
+  EXPECT_FALSE(v.IsFinite());
+  EXPECT_TRUE((Vector{1.0, 2.0}).IsFinite());
+}
+
+TEST(VectorTest, ToString) {
+  EXPECT_EQ((Vector{1.0, 2.5}).ToString(), "[1, 2.5]");
+}
+
+TEST(MatrixTest, ConstructionFromLists) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, FactoryMatrices) {
+  const Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+
+  const Matrix scaled = Matrix::ScaledIdentity(2, 0.05);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.05);
+
+  const Matrix diag = Matrix::Diagonal(Vector{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(diag(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(diag(0, 2), 0.0);
+}
+
+TEST(MatrixTest, AdditionSubtraction) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+}
+
+TEST(MatrixTest, MatrixProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix ab = a * b;
+  EXPECT_DOUBLE_EQ(ab(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ab(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ab(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(ab(1, 1), 3.0);
+}
+
+TEST(MatrixTest, RectangularProduct) {
+  const Matrix a{{1.0, 2.0, 3.0}};           // 1x3
+  const Matrix b{{1.0}, {2.0}, {3.0}};       // 3x1
+  const Matrix ab = a * b;                   // 1x1
+  EXPECT_EQ(ab.rows(), 1u);
+  EXPECT_EQ(ab.cols(), 1u);
+  EXPECT_DOUBLE_EQ(ab(0, 0), 14.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix m{{1.0, 0.0}, {0.0, 2.0}, {1.0, 1.0}};
+  const Vector v{3.0, 4.0};
+  const Vector mv = m * v;
+  EXPECT_EQ(mv.size(), 3u);
+  EXPECT_DOUBLE_EQ(mv[0], 3.0);
+  EXPECT_DOUBLE_EQ(mv[1], 8.0);
+  EXPECT_DOUBLE_EQ(mv[2], 7.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.Row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.Col(1)[0], 2.0);
+}
+
+TEST(MatrixTest, TraceAndMaxAbs) {
+  const Matrix m{{1.0, -9.0}, {2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(m.Trace(), 4.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 9.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 2.5}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, SymmetrizeAverages) {
+  Matrix m{{1.0, 2.0}, {4.0, 1.0}};
+  m.Symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+}
+
+TEST(MatrixTest, IsFiniteDetectsInf) {
+  Matrix m{{1.0, INFINITY}};
+  EXPECT_FALSE(m.IsFinite());
+}
+
+TEST(MatrixTest, ScalarProductCommutes) {
+  const Matrix m{{2.0}};
+  EXPECT_DOUBLE_EQ((m * 3.0)(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * m)(0, 0), 6.0);
+}
+
+TEST(MatrixTest, ToString) {
+  EXPECT_EQ((Matrix{{1.0, 2.0}, {3.0, 4.0}}).ToString(),
+            "[[1, 2], [3, 4]]");
+}
+
+}  // namespace
+}  // namespace dkf

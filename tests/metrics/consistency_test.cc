@@ -1,0 +1,80 @@
+#include "metrics/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+TimeSeries NoisyConstant(size_t n, double stddev, uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries series(1);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(series
+                    .Append(static_cast<double>(i),
+                            5.0 + rng.Gaussian(0.0, stddev))
+                    .ok());
+  }
+  return series;
+}
+
+KalmanFilter ConstantFilter(double q, double r) {
+  ModelNoise noise;
+  noise.process_variance = q;
+  noise.measurement_variance = r;
+  return MakeConstantModel(1, noise).value().MakeFilter().value();
+}
+
+TEST(ConsistencyTest, Validation) {
+  const TimeSeries series = NoisyConstant(100, 1.0, 1);
+  TimeSeries wide(2);
+  ASSERT_TRUE(wide.Append(0.0, {1.0, 2.0}).ok());
+  EXPECT_FALSE(
+      EvaluateNisConsistency(ConstantFilter(1e-4, 1.0), wide).ok());
+  EXPECT_FALSE(EvaluateNisConsistency(ConstantFilter(1e-4, 1.0), series,
+                                      /*warmup=*/100)
+                   .ok());
+}
+
+TEST(ConsistencyTest, WellSpecifiedFilterIsConsistent) {
+  // True noise variance 1.0, assumed R = 1.0: mean NIS ~ 1 (m = 1) and
+  // ~5% of samples above the 95% quantile.
+  const TimeSeries series = NoisyConstant(5000, 1.0, 2);
+  auto result_or =
+      EvaluateNisConsistency(ConstantFilter(1e-6, 1.0), series);
+  ASSERT_TRUE(result_or.ok());
+  EXPECT_NEAR(result_or.value().mean_nis, 1.0, 0.15);
+  EXPECT_NEAR(result_or.value().exceed_95_fraction, 0.05, 0.02);
+}
+
+TEST(ConsistencyTest, OptimisticRInflatesNis) {
+  // Assumed R 100x too small: innovations look like constant outliers.
+  const TimeSeries series = NoisyConstant(3000, 1.0, 3);
+  auto result_or =
+      EvaluateNisConsistency(ConstantFilter(1e-6, 0.01), series);
+  ASSERT_TRUE(result_or.ok());
+  EXPECT_GT(result_or.value().mean_nis, 5.0);
+  EXPECT_GT(result_or.value().exceed_95_fraction, 0.3);
+}
+
+TEST(ConsistencyTest, PessimisticRDeflatesNis) {
+  const TimeSeries series = NoisyConstant(3000, 1.0, 4);
+  auto result_or =
+      EvaluateNisConsistency(ConstantFilter(1e-6, 100.0), series);
+  ASSERT_TRUE(result_or.ok());
+  EXPECT_LT(result_or.value().mean_nis, 0.3);
+  EXPECT_LT(result_or.value().exceed_95_fraction, 0.01);
+}
+
+TEST(ConsistencyTest, SampleCountExcludesWarmup) {
+  const TimeSeries series = NoisyConstant(120, 1.0, 5);
+  auto result_or = EvaluateNisConsistency(ConstantFilter(1e-6, 1.0), series,
+                                          /*warmup=*/20);
+  ASSERT_TRUE(result_or.ok());
+  EXPECT_EQ(result_or.value().samples, 100);
+}
+
+}  // namespace
+}  // namespace dkf

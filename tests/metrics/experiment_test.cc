@@ -1,0 +1,116 @@
+#include "metrics/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+TimeSeries Ramp(size_t n, double slope) {
+  TimeSeries series(1);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        series.Append(static_cast<double>(i), slope * static_cast<double>(i))
+            .ok());
+  }
+  return series;
+}
+
+KalmanPredictor LinearPredictor() {
+  auto model_or = MakeLinearModel(1, 1.0, ModelNoise{});
+  EXPECT_TRUE(model_or.ok());
+  auto predictor_or = KalmanPredictor::Create(model_or.value());
+  EXPECT_TRUE(predictor_or.ok());
+  return std::move(predictor_or).value();
+}
+
+TEST(ExperimentTest, ValidatesWidth) {
+  TimeSeries wide(2);
+  ASSERT_TRUE(wide.Append(0.0, {1.0, 2.0}).ok());
+  EXPECT_FALSE(
+      RunSuppressionExperiment(wide, LinearPredictor(), 1.0).ok());
+}
+
+TEST(ExperimentTest, RowMetricsConsistent) {
+  const TimeSeries ramp = Ramp(1000, 2.0);
+  auto row_or = RunSuppressionExperiment(ramp, LinearPredictor(), 2.0);
+  ASSERT_TRUE(row_or.ok());
+  const ExperimentRow& row = row_or.value();
+  EXPECT_EQ(row.predictor, "linear");
+  EXPECT_DOUBLE_EQ(row.delta, 2.0);
+  EXPECT_EQ(row.ticks, 1000);
+  EXPECT_NEAR(row.update_percentage,
+              100.0 * static_cast<double>(row.updates) / 1000.0, 1e-9);
+  EXPECT_LE(row.avg_error, row.max_error);
+  EXPECT_GE(row.rmse, row.avg_error - 1e-9);  // RMSE >= mean for any data
+}
+
+TEST(ExperimentTest, LinearPredictorBeatsCachingOnRamp) {
+  const TimeSeries ramp = Ramp(1000, 2.0);
+  auto caching_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(caching_or.ok());
+  auto kf_row_or = RunSuppressionExperiment(ramp, LinearPredictor(), 2.0);
+  auto cache_row_or =
+      RunSuppressionExperiment(ramp, caching_or.value(), 2.0);
+  ASSERT_TRUE(kf_row_or.ok());
+  ASSERT_TRUE(cache_row_or.ok());
+  EXPECT_LT(kf_row_or.value().update_percentage,
+            0.2 * cache_row_or.value().update_percentage);
+}
+
+TEST(ExperimentTest, MirrorCheckOptionRuns) {
+  const TimeSeries ramp = Ramp(300, 1.0);
+  ExperimentOptions options;
+  options.check_mirror_consistency = true;
+  EXPECT_TRUE(
+      RunSuppressionExperiment(ramp, LinearPredictor(), 1.5, options).ok());
+}
+
+TEST(ExperimentTest, SweepOrderingAndSize) {
+  const TimeSeries ramp = Ramp(300, 1.0);
+  const KalmanPredictor linear = LinearPredictor();
+  auto caching_or = CachedValuePredictor::Create(1);
+  ASSERT_TRUE(caching_or.ok());
+  const std::vector<const Predictor*> prototypes = {&linear,
+                                                    &caching_or.value()};
+  auto rows_or = RunSweep(ramp, prototypes, {1.0, 2.0, 4.0});
+  ASSERT_TRUE(rows_or.ok());
+  const auto& rows = rows_or.value();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_DOUBLE_EQ(rows[0].delta, 1.0);
+  EXPECT_EQ(rows[0].predictor, "linear");
+  EXPECT_EQ(rows[1].predictor, "caching");
+  EXPECT_DOUBLE_EQ(rows[4].delta, 4.0);
+}
+
+TEST(ExperimentTest, SweepValidatesEmptyInputs) {
+  const TimeSeries ramp = Ramp(10, 1.0);
+  const KalmanPredictor linear = LinearPredictor();
+  EXPECT_FALSE(RunSweep(ramp, {}, {1.0}).ok());
+  EXPECT_FALSE(RunSweep(ramp, {&linear}, {}).ok());
+}
+
+TEST(ExperimentTest, UpdatesDecreaseWithDelta) {
+  // Monotonicity property of threshold suppression: a wider precision
+  // never needs more updates (on the same data/model).
+  Rng rng(5);
+  TimeSeries noisy(1);
+  double value = 0.0;
+  for (size_t i = 0; i < 1500; ++i) {
+    value += rng.Gaussian(0.3, 1.0);
+    ASSERT_TRUE(noisy.Append(static_cast<double>(i), value).ok());
+  }
+  const KalmanPredictor linear = LinearPredictor();
+  int64_t prev_updates = INT64_MAX;
+  for (double delta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto row_or = RunSuppressionExperiment(noisy, linear, delta);
+    ASSERT_TRUE(row_or.ok());
+    EXPECT_LE(row_or.value().updates, prev_updates) << "delta " << delta;
+    prev_updates = row_or.value().updates;
+  }
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,82 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(ErrorAccumulatorTest, EmptyIsZero) {
+  ErrorAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.rmse(), 0.0);
+}
+
+TEST(ErrorAccumulatorTest, ComputesMoments) {
+  ErrorAccumulator acc;
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(3.0);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_NEAR(acc.rmse(), std::sqrt(14.0 / 3.0), 1e-12);
+}
+
+TEST(ErrorAccumulatorTest, MaxTracksLargest) {
+  ErrorAccumulator acc;
+  acc.Add(5.0);
+  acc.Add(1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TimeSeries MakeSeries(std::initializer_list<double> values) {
+  TimeSeries series(1);
+  double t = 0.0;
+  for (double v : values) {
+    EXPECT_TRUE(series.Append(t, v).ok());
+    t += 1.0;
+  }
+  return series;
+}
+
+TEST(SeriesDiffTest, MeanAbsDiff) {
+  const TimeSeries a = MakeSeries({1.0, 2.0, 3.0});
+  const TimeSeries b = MakeSeries({2.0, 2.0, 1.0});
+  auto mad_or = SeriesMeanAbsDiff(a, b);
+  ASSERT_TRUE(mad_or.ok());
+  EXPECT_DOUBLE_EQ(mad_or.value(), 1.0);
+}
+
+TEST(SeriesDiffTest, MaxAbsDiff) {
+  const TimeSeries a = MakeSeries({1.0, 2.0, 3.0});
+  const TimeSeries b = MakeSeries({2.0, 2.0, -1.0});
+  auto max_or = SeriesMaxAbsDiff(a, b);
+  ASSERT_TRUE(max_or.ok());
+  EXPECT_DOUBLE_EQ(max_or.value(), 4.0);
+}
+
+TEST(SeriesDiffTest, IdenticalSeriesZero) {
+  const TimeSeries a = MakeSeries({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(SeriesMeanAbsDiff(a, a).value(), 0.0);
+  EXPECT_DOUBLE_EQ(SeriesMaxAbsDiff(a, a).value(), 0.0);
+}
+
+TEST(SeriesDiffTest, Validation) {
+  const TimeSeries a = MakeSeries({1.0, 2.0});
+  const TimeSeries b = MakeSeries({1.0});
+  EXPECT_FALSE(SeriesMeanAbsDiff(a, b).ok());
+
+  TimeSeries wide(2);
+  ASSERT_TRUE(wide.Append(0.0, {1.0, 2.0}).ok());
+  EXPECT_FALSE(SeriesMaxAbsDiff(wide, wide).ok());
+
+  const TimeSeries empty(1);
+  EXPECT_FALSE(SeriesMeanAbsDiff(empty, empty).ok());
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,89 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+ExperimentRow MakeRow(const std::string& predictor, double delta) {
+  ExperimentRow row;
+  row.predictor = predictor;
+  row.delta = delta;
+  row.ticks = 4000;
+  row.updates = 301;
+  row.update_percentage = 7.525;
+  row.avg_error = 1.469;
+  row.max_error = 6.25;
+  row.rmse = 1.9;
+  return row;
+}
+
+TEST(ReportTest, RoundTripsRows) {
+  const std::string path = TempPath("rows_roundtrip.csv");
+  const std::vector<ExperimentRow> rows = {MakeRow("linear", 3.0),
+                                           MakeRow("caching", 3.0),
+                                           MakeRow("linear", 5.0)};
+  ASSERT_TRUE(WriteExperimentRowsCsv(rows, path).ok());
+  auto loaded_or = ReadExperimentRowsCsv(path);
+  ASSERT_TRUE(loaded_or.ok());
+  const auto& loaded = loaded_or.value();
+  ASSERT_EQ(loaded.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(loaded[i].predictor, rows[i].predictor);
+    EXPECT_EQ(loaded[i].delta, rows[i].delta);
+    EXPECT_EQ(loaded[i].ticks, rows[i].ticks);
+    EXPECT_EQ(loaded[i].updates, rows[i].updates);
+    EXPECT_EQ(loaded[i].update_percentage, rows[i].update_percentage);
+    EXPECT_EQ(loaded[i].avg_error, rows[i].avg_error);
+    EXPECT_EQ(loaded[i].max_error, rows[i].max_error);
+    EXPECT_EQ(loaded[i].rmse, rows[i].rmse);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, EmptyRowListWritesHeaderOnly) {
+  const std::string path = TempPath("rows_empty.csv");
+  ASSERT_TRUE(WriteExperimentRowsCsv({}, path).ok());
+  auto loaded_or = ReadExperimentRowsCsv(path);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_TRUE(loaded_or.value().empty());
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, RejectsMissingHeader) {
+  const std::string path = TempPath("rows_bad_header.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("model,delta\nlinear,3\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadExperimentRowsCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, RejectsMalformedCells) {
+  const std::string path = TempPath("rows_bad_cell.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(
+      "predictor,delta,ticks,updates,update_percentage,avg_error,"
+      "max_error,rmse\nlinear,3,abc,301,7.5,1.4,6.2,1.9\n",
+      f);
+  std::fclose(f);
+  EXPECT_EQ(ReadExperimentRowsCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, MissingFileErrors) {
+  EXPECT_EQ(ReadExperimentRowsCsv("/nonexistent/rows.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,169 @@
+#include "query/adaptive_filters.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dkf {
+namespace {
+
+AdaptiveFiltersOptions DefaultOptions() {
+  AdaptiveFiltersOptions options;
+  options.total_width = 8.0;
+  options.period = 20;
+  return options;
+}
+
+TEST(AdaptiveFiltersTest, CreateValidates) {
+  EXPECT_FALSE(AdaptiveFilterBank::Create(0, DefaultOptions()).ok());
+  AdaptiveFiltersOptions options = DefaultOptions();
+  options.total_width = 0.0;
+  EXPECT_FALSE(AdaptiveFilterBank::Create(2, options).ok());
+  options = DefaultOptions();
+  options.shrink_fraction = 0.0;
+  EXPECT_FALSE(AdaptiveFilterBank::Create(2, options).ok());
+  options = DefaultOptions();
+  options.shrink_fraction = 1.0;
+  EXPECT_FALSE(AdaptiveFilterBank::Create(2, options).ok());
+  options = DefaultOptions();
+  options.period = 0;
+  EXPECT_FALSE(AdaptiveFilterBank::Create(2, options).ok());
+  options = DefaultOptions();
+  options.min_width = 5.0;  // 2 * 5 > 8
+  EXPECT_FALSE(AdaptiveFilterBank::Create(2, options).ok());
+  EXPECT_TRUE(AdaptiveFilterBank::Create(2, DefaultOptions()).ok());
+}
+
+TEST(AdaptiveFiltersTest, StartsWithEvenSplit) {
+  auto bank_or = AdaptiveFilterBank::Create(4, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(bank_or.value().width(i), 2.0);
+  }
+}
+
+TEST(AdaptiveFiltersTest, FirstReadingAlwaysTransmits) {
+  auto bank_or = AdaptiveFilterBank::Create(2, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  AdaptiveFilterBank bank = std::move(bank_or).value();
+  auto sent_or = bank.Step({0.0, 100.0});
+  ASSERT_TRUE(sent_or.ok());
+  EXPECT_TRUE(sent_or.value()[0]);
+  EXPECT_TRUE(sent_or.value()[1]);
+}
+
+TEST(AdaptiveFiltersTest, ReadingCountValidated) {
+  auto bank_or = AdaptiveFilterBank::Create(2, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  AdaptiveFilterBank bank = std::move(bank_or).value();
+  EXPECT_FALSE(bank.Step({1.0}).ok());
+  EXPECT_FALSE(bank.Step({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(AdaptiveFiltersTest, TransmitsOnlyOnBoundViolation) {
+  auto bank_or = AdaptiveFilterBank::Create(1, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  AdaptiveFilterBank bank = std::move(bank_or).value();
+  ASSERT_TRUE(bank.Step({10.0}).ok());  // initial
+  // Width 8 -> half-width 4: stay inside.
+  auto quiet_or = bank.Step({13.0});
+  ASSERT_TRUE(quiet_or.ok());
+  EXPECT_FALSE(quiet_or.value()[0]);
+  auto violation_or = bank.Step({14.5});
+  ASSERT_TRUE(violation_or.ok());
+  EXPECT_TRUE(violation_or.value()[0]);
+  EXPECT_DOUBLE_EQ(bank.server_value(0), 14.5);  // recentered
+}
+
+TEST(AdaptiveFiltersTest, TotalWidthConservedThroughReallocation) {
+  auto bank_or = AdaptiveFilterBank::Create(3, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  AdaptiveFilterBank bank = std::move(bank_or).value();
+  Rng rng(1);
+  double drifting = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    drifting += rng.Gaussian(0.5, 1.0);
+    ASSERT_TRUE(bank.Step({drifting, 1.0, rng.Uniform(-1.0, 1.0)}).ok());
+    EXPECT_NEAR(bank.TotalWidth(), 8.0, 1e-9) << "tick " << i;
+  }
+}
+
+TEST(AdaptiveFiltersTest, VolatileSourceEarnsWiderBound) {
+  // Source 0 drifts hard (pays updates constantly); source 1 is frozen.
+  // After several reallocation rounds source 0 should hold most of the
+  // width budget.
+  auto bank_or = AdaptiveFilterBank::Create(2, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  AdaptiveFilterBank bank = std::move(bank_or).value();
+  double drifting = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    drifting += 3.0;
+    ASSERT_TRUE(bank.Step({drifting, 5.0}).ok());
+  }
+  EXPECT_GT(bank.width(0), 3.0 * bank.width(1));
+}
+
+TEST(AdaptiveFiltersTest, AdaptiveBeatsStaticOnHeterogeneousSources) {
+  // Versus a static even split of the same total width: adaptivity should
+  // reduce the total number of updates when sources differ in
+  // volatility.
+  Rng rng(2);
+  std::vector<double> fast;
+  std::vector<double> slow;
+  double f = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    f += rng.Gaussian(0.8, 0.8);
+    fast.push_back(f);
+    slow.push_back(3.0 + 0.1 * std::sin(0.01 * i));
+  }
+
+  AdaptiveFiltersOptions adaptive_options = DefaultOptions();
+  auto adaptive = AdaptiveFilterBank::Create(2, adaptive_options).value();
+  // Static: same protocol with a reallocation that never moves width —
+  // emulate by an adaptive bank with an (effectively) infinite period.
+  AdaptiveFiltersOptions static_options = DefaultOptions();
+  static_options.period = 1 << 30;
+  auto fixed = AdaptiveFilterBank::Create(2, static_options).value();
+
+  for (size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_TRUE(adaptive.Step({fast[i], slow[i]}).ok());
+    ASSERT_TRUE(fixed.Step({fast[i], slow[i]}).ok());
+  }
+  const int64_t adaptive_total =
+      adaptive.stats(0).updates_sent + adaptive.stats(1).updates_sent;
+  const int64_t fixed_total =
+      fixed.stats(0).updates_sent + fixed.stats(1).updates_sent;
+  EXPECT_LT(adaptive_total, fixed_total);
+}
+
+TEST(AdaptiveFiltersTest, ServerErrorBoundedByHalfWidth) {
+  auto bank_or = AdaptiveFilterBank::Create(1, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  AdaptiveFilterBank bank = std::move(bank_or).value();
+  Rng rng(3);
+  double value = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    value += rng.Gaussian(0.0, 1.0);
+    ASSERT_TRUE(bank.Step({value}).ok());
+    EXPECT_LE(std::fabs(bank.server_value(0) - value),
+              bank.width(0) / 2.0 + 1e-9);
+  }
+}
+
+TEST(AdaptiveFiltersTest, QuietBankRedistributesEvenly) {
+  // With zero burden everywhere, reallocation must not drain anyone.
+  auto bank_or = AdaptiveFilterBank::Create(2, DefaultOptions());
+  ASSERT_TRUE(bank_or.ok());
+  AdaptiveFilterBank bank = std::move(bank_or).value();
+  ASSERT_TRUE(bank.Step({1.0, 2.0}).ok());  // initial updates
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(bank.Step({1.0, 2.0}).ok());
+  }
+  EXPECT_NEAR(bank.width(0), bank.width(1), 1e-6);
+  EXPECT_NEAR(bank.TotalWidth(), 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dkf

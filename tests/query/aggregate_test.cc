@@ -1,0 +1,54 @@
+#include "query/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+AggregateQuery MakeQuery(std::vector<int> sources, double precision) {
+  AggregateQuery query;
+  query.id = 1;
+  query.source_ids = std::move(sources);
+  query.precision = precision;
+  return query;
+}
+
+TEST(AggregateSplitTest, Validation) {
+  EXPECT_FALSE(SplitAggregatePrecision(MakeQuery({}, 1.0)).ok());
+  EXPECT_FALSE(SplitAggregatePrecision(MakeQuery({1, 2}, 0.0)).ok());
+  EXPECT_FALSE(SplitAggregatePrecision(MakeQuery({1, 1}, 1.0)).ok());
+  EXPECT_FALSE(
+      SplitAggregatePrecision(MakeQuery({1, 2}, 1.0), {1.0}).ok());
+  EXPECT_FALSE(
+      SplitAggregatePrecision(MakeQuery({1, 2}, 1.0), {1.0, 0.0}).ok());
+  EXPECT_TRUE(SplitAggregatePrecision(MakeQuery({1, 2}, 1.0)).ok());
+}
+
+TEST(AggregateSplitTest, UniformSplitSumsToPrecision) {
+  auto deltas_or = SplitAggregatePrecision(MakeQuery({1, 2, 3, 4}, 8.0));
+  ASSERT_TRUE(deltas_or.ok());
+  double total = 0.0;
+  for (double delta : deltas_or.value()) {
+    EXPECT_DOUBLE_EQ(delta, 2.0);
+    total += delta;
+  }
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST(AggregateSplitTest, WeightedSplitProportional) {
+  auto deltas_or =
+      SplitAggregatePrecision(MakeQuery({1, 2}, 9.0), {2.0, 1.0});
+  ASSERT_TRUE(deltas_or.ok());
+  EXPECT_DOUBLE_EQ(deltas_or.value()[0], 6.0);
+  EXPECT_DOUBLE_EQ(deltas_or.value()[1], 3.0);
+}
+
+TEST(AggregateSplitTest, SingleSourceGetsFullBudget) {
+  auto deltas_or = SplitAggregatePrecision(MakeQuery({7}, 5.0));
+  ASSERT_TRUE(deltas_or.ok());
+  ASSERT_EQ(deltas_or.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(deltas_or.value()[0], 5.0);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,81 @@
+#include "query/precision_allocation.h"
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+SourceLoadEstimate MakeEstimate(int id, double required, double rate,
+                                double reference = 1.0) {
+  SourceLoadEstimate estimate;
+  estimate.source_id = id;
+  estimate.required_precision = required;
+  estimate.reference_rate = rate;
+  estimate.reference_precision = reference;
+  return estimate;
+}
+
+TEST(AllocationTest, Validation) {
+  EXPECT_FALSE(AllocatePrecision({}, 1.0).ok());
+  EXPECT_FALSE(
+      AllocatePrecision({MakeEstimate(1, 1.0, 0.5)}, 0.0).ok());
+  EXPECT_FALSE(
+      AllocatePrecision({MakeEstimate(1, 0.0, 0.5)}, 1.0).ok());
+  EXPECT_FALSE(
+      AllocatePrecision({MakeEstimate(1, 1.0, 1.5)}, 1.0).ok());
+  EXPECT_FALSE(AllocatePrecision(
+                   {MakeEstimate(1, 1.0, 0.5), MakeEstimate(1, 1.0, 0.5)},
+                   1.0)
+                   .ok());
+}
+
+TEST(AllocationTest, SufficientBudgetKeepsRequiredPrecision) {
+  auto plan_or = AllocatePrecision(
+      {MakeEstimate(1, 2.0, 0.2), MakeEstimate(2, 4.0, 0.4)}, 10.0);
+  ASSERT_TRUE(plan_or.ok());
+  const AllocationPlan& plan = plan_or.value();
+  EXPECT_DOUBLE_EQ(plan.inflation, 1.0);
+  EXPECT_DOUBLE_EQ(plan.allocations[0].allocated_precision, 2.0);
+  EXPECT_DOUBLE_EQ(plan.allocations[1].allocated_precision, 4.0);
+}
+
+TEST(AllocationTest, TightBudgetInflatesProportionally) {
+  // Both sources predict rate 0.5 at their required precision -> total 1.0.
+  // Budget 0.5 forces inflation 2x.
+  auto plan_or = AllocatePrecision(
+      {MakeEstimate(1, 1.0, 0.5), MakeEstimate(2, 2.0, 0.5, 2.0)}, 0.5);
+  ASSERT_TRUE(plan_or.ok());
+  const AllocationPlan& plan = plan_or.value();
+  EXPECT_NEAR(plan.inflation, 2.0, 1e-12);
+  EXPECT_NEAR(plan.allocations[0].allocated_precision, 2.0, 1e-12);
+  EXPECT_NEAR(plan.allocations[1].allocated_precision, 4.0, 1e-12);
+  EXPECT_LE(plan.predicted_total_rate, 0.5 + 1e-12);
+}
+
+TEST(AllocationTest, RatePredictionFollowsInverseLaw) {
+  auto plan_or =
+      AllocatePrecision({MakeEstimate(1, 4.0, 0.8, 1.0)}, 10.0);
+  ASSERT_TRUE(plan_or.ok());
+  // rate(4.0) = 0.8 * 1.0 / 4.0 = 0.2.
+  EXPECT_NEAR(plan_or.value().allocations[0].predicted_rate, 0.2, 1e-12);
+}
+
+TEST(AllocationTest, RateCappedAtOnePerTick) {
+  auto plan_or =
+      AllocatePrecision({MakeEstimate(1, 0.01, 0.9, 1.0)}, 10.0);
+  ASSERT_TRUE(plan_or.ok());
+  EXPECT_DOUBLE_EQ(plan_or.value().allocations[0].predicted_rate, 1.0);
+}
+
+TEST(AllocationTest, InflationNeverBelowOne) {
+  // Loose requirements and a huge budget: do not tighten beyond the
+  // requirement (that would waste bandwidth for precision nobody asked
+  // for).
+  auto plan_or = AllocatePrecision({MakeEstimate(1, 5.0, 0.1)}, 100.0);
+  ASSERT_TRUE(plan_or.ok());
+  EXPECT_DOUBLE_EQ(plan_or.value().inflation, 1.0);
+  EXPECT_DOUBLE_EQ(plan_or.value().allocations[0].allocated_precision, 5.0);
+}
+
+}  // namespace
+}  // namespace dkf

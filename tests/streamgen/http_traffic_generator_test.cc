@@ -1,0 +1,114 @@
+#include "streamgen/http_traffic_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(HttpTrafficTest, ProducesRequestedLength) {
+  HttpTrafficOptions options;
+  options.num_points = 1000;
+  auto series_or = GenerateHttpTraffic(options);
+  ASSERT_TRUE(series_or.ok());
+  EXPECT_EQ(series_or.value().size(), 1000u);
+}
+
+TEST(HttpTrafficTest, Deterministic) {
+  auto a_or = GenerateHttpTraffic(HttpTrafficOptions{});
+  auto b_or = GenerateHttpTraffic(HttpTrafficOptions{});
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  for (size_t i = 0; i < a_or.value().size(); i += 131) {
+    EXPECT_EQ(a_or.value().value(i), b_or.value().value(i));
+  }
+}
+
+TEST(HttpTrafficTest, CountsAreNonNegativeIntegers) {
+  auto series_or = GenerateHttpTraffic(HttpTrafficOptions{});
+  ASSERT_TRUE(series_or.ok());
+  for (size_t i = 0; i < series_or.value().size(); ++i) {
+    const double v = series_or.value().value(i);
+    EXPECT_GE(v, 0.0);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+  }
+}
+
+TEST(HttpTrafficTest, MeanAboveBaseRate) {
+  // Active on/off sources add on top of the base Poisson rate.
+  HttpTrafficOptions options;
+  options.num_points = 5000;
+  auto series_or = GenerateHttpTraffic(options);
+  ASSERT_TRUE(series_or.ok());
+  auto stats_or = series_or.value().Stats();
+  ASSERT_TRUE(stats_or.ok());
+  EXPECT_GT(stats_or.value().mean, options.base_rate);
+}
+
+TEST(HttpTrafficTest, OverdispersedRelativeToPoisson) {
+  // The defining property of the bursty substitute: the variance is much
+  // larger than the mean (a plain Poisson stream has variance == mean).
+  HttpTrafficOptions options;
+  options.num_points = 5000;
+  auto series_or = GenerateHttpTraffic(options);
+  ASSERT_TRUE(series_or.ok());
+  auto stats_or = series_or.value().Stats();
+  ASSERT_TRUE(stats_or.ok());
+  const double mean = stats_or.value().mean;
+  const double variance =
+      stats_or.value().stddev * stats_or.value().stddev;
+  EXPECT_GT(variance, 5.0 * mean);
+}
+
+TEST(HttpTrafficTest, NoVisibleTrend) {
+  // First-half and second-half means should be close relative to the
+  // stddev ("the data shows little visible trend", §5.3).
+  HttpTrafficOptions options;
+  options.num_points = 6000;
+  auto series_or = GenerateHttpTraffic(options);
+  ASSERT_TRUE(series_or.ok());
+  const TimeSeries& series = series_or.value();
+  auto first_or = series.Slice(0, 3000);
+  auto second_or = series.Slice(3000, 6000);
+  ASSERT_TRUE(first_or.ok());
+  ASSERT_TRUE(second_or.ok());
+  const double m1 = first_or.value().Stats().value().mean;
+  const double m2 = second_or.value().Stats().value().mean;
+  const double sd = series.Stats().value().stddev;
+  EXPECT_LT(std::fabs(m1 - m2), 0.5 * sd);
+}
+
+TEST(HttpTrafficTest, SpikesOccur) {
+  HttpTrafficOptions options;
+  options.num_points = 5000;
+  options.spike_probability = 0.02;
+  options.spike_scale = 10.0;
+  auto series_or = GenerateHttpTraffic(options);
+  ASSERT_TRUE(series_or.ok());
+  auto stats_or = series_or.value().Stats();
+  ASSERT_TRUE(stats_or.ok());
+  // With 10x base-rate spikes the max should dwarf the mean.
+  EXPECT_GT(stats_or.value().max, 3.0 * stats_or.value().mean);
+}
+
+TEST(HttpTrafficTest, Validation) {
+  HttpTrafficOptions options;
+  options.num_points = 0;
+  EXPECT_FALSE(GenerateHttpTraffic(options).ok());
+  options = HttpTrafficOptions{};
+  options.num_sources = 0;
+  EXPECT_FALSE(GenerateHttpTraffic(options).ok());
+  options = HttpTrafficOptions{};
+  options.pareto_shape = 1.0;
+  EXPECT_FALSE(GenerateHttpTraffic(options).ok());
+  options = HttpTrafficOptions{};
+  options.mean_on_bins = 0.0;
+  EXPECT_FALSE(GenerateHttpTraffic(options).ok());
+  options = HttpTrafficOptions{};
+  options.spike_probability = 1.5;
+  EXPECT_FALSE(GenerateHttpTraffic(options).ok());
+}
+
+}  // namespace
+}  // namespace dkf

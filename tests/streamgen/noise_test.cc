@@ -1,0 +1,107 @@
+#include "streamgen/noise.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TimeSeries ConstantSeries(size_t n, double value, size_t width = 1) {
+  TimeSeries series(width);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(width, value);
+    EXPECT_TRUE(series.Append(static_cast<double>(i), row).ok());
+  }
+  return series;
+}
+
+TEST(NoiseTest, NoOptionsIsIdentity) {
+  const TimeSeries clean = ConstantSeries(100, 5.0);
+  auto noisy_or = InjectNoise(clean, NoiseInjectionOptions{});
+  ASSERT_TRUE(noisy_or.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(noisy_or.value().value(i), 5.0);
+  }
+}
+
+TEST(NoiseTest, GaussianNoiseHasConfiguredSpread) {
+  const TimeSeries clean = ConstantSeries(20000, 0.0);
+  NoiseInjectionOptions options;
+  options.gaussian_stddev = 2.0;
+  auto noisy_or = InjectNoise(clean, options);
+  ASSERT_TRUE(noisy_or.ok());
+  auto stats_or = noisy_or.value().Stats();
+  ASSERT_TRUE(stats_or.ok());
+  EXPECT_NEAR(stats_or.value().mean, 0.0, 0.05);
+  EXPECT_NEAR(stats_or.value().stddev, 2.0, 0.05);
+}
+
+TEST(NoiseTest, OutliersAreRareAndLarge) {
+  const TimeSeries clean = ConstantSeries(20000, 0.0);
+  NoiseInjectionOptions options;
+  options.outlier_probability = 0.01;
+  options.outlier_stddev = 100.0;
+  auto noisy_or = InjectNoise(clean, options);
+  ASSERT_TRUE(noisy_or.ok());
+  int outliers = 0;
+  for (size_t i = 0; i < noisy_or.value().size(); ++i) {
+    if (std::fabs(noisy_or.value().value(i)) > 10.0) ++outliers;
+  }
+  EXPECT_GT(outliers, 100);
+  EXPECT_LT(outliers, 300);
+}
+
+TEST(NoiseTest, MultivariateAllComponentsCorrupted) {
+  const TimeSeries clean = ConstantSeries(5000, 1.0, 2);
+  NoiseInjectionOptions options;
+  options.gaussian_stddev = 1.0;
+  auto noisy_or = InjectNoise(clean, options);
+  ASSERT_TRUE(noisy_or.ok());
+  for (size_t d = 0; d < 2; ++d) {
+    auto stats_or = noisy_or.value().Stats(d);
+    ASSERT_TRUE(stats_or.ok());
+    EXPECT_GT(stats_or.value().stddev, 0.9);
+  }
+}
+
+TEST(NoiseTest, DeterministicPerSeed) {
+  const TimeSeries clean = ConstantSeries(100, 0.0);
+  NoiseInjectionOptions options;
+  options.gaussian_stddev = 1.0;
+  auto a_or = InjectNoise(clean, options);
+  auto b_or = InjectNoise(clean, options);
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a_or.value().value(i), b_or.value().value(i));
+  }
+}
+
+TEST(NoiseTest, PreservesTimestamps) {
+  TimeSeries clean(1);
+  ASSERT_TRUE(clean.Append(0.25, 1.0).ok());
+  ASSERT_TRUE(clean.Append(1.5, 2.0).ok());
+  NoiseInjectionOptions options;
+  options.gaussian_stddev = 1.0;
+  auto noisy_or = InjectNoise(clean, options);
+  ASSERT_TRUE(noisy_or.ok());
+  EXPECT_DOUBLE_EQ(noisy_or.value().timestamp(0), 0.25);
+  EXPECT_DOUBLE_EQ(noisy_or.value().timestamp(1), 1.5);
+}
+
+TEST(NoiseTest, Validation) {
+  const TimeSeries clean = ConstantSeries(10, 0.0);
+  NoiseInjectionOptions options;
+  options.gaussian_stddev = -1.0;
+  EXPECT_FALSE(InjectNoise(clean, options).ok());
+  options = NoiseInjectionOptions{};
+  options.outlier_probability = 2.0;
+  EXPECT_FALSE(InjectNoise(clean, options).ok());
+  options = NoiseInjectionOptions{};
+  options.outlier_stddev = -5.0;
+  EXPECT_FALSE(InjectNoise(clean, options).ok());
+}
+
+}  // namespace
+}  // namespace dkf

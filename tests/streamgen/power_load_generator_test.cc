@@ -1,0 +1,123 @@
+#include "streamgen/power_load_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(PowerLoadTest, PaperScaleDefaults) {
+  auto series_or = GeneratePowerLoad(PowerLoadOptions{});
+  ASSERT_TRUE(series_or.ok());
+  EXPECT_EQ(series_or.value().size(), 5831u);  // §5.2: 5831 data points
+  EXPECT_EQ(series_or.value().width(), 1u);
+}
+
+TEST(PowerLoadTest, Deterministic) {
+  auto a_or = GeneratePowerLoad(PowerLoadOptions{});
+  auto b_or = GeneratePowerLoad(PowerLoadOptions{});
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  for (size_t i = 0; i < a_or.value().size(); i += 97) {
+    EXPECT_EQ(a_or.value().value(i), b_or.value().value(i));
+  }
+}
+
+TEST(PowerLoadTest, MeanNearBaseLoad) {
+  PowerLoadOptions options;
+  options.num_points = 24 * 28;  // whole weeks so the weekday cycle averages
+  auto series_or = GeneratePowerLoad(options);
+  ASSERT_TRUE(series_or.ok());
+  auto stats_or = series_or.value().Stats();
+  ASSERT_TRUE(stats_or.ok());
+  // Weekend scaling pulls the mean slightly below base_load.
+  EXPECT_NEAR(stats_or.value().mean, options.base_load, 120.0);
+}
+
+TEST(PowerLoadTest, ExhibitsDiurnalCycle) {
+  // Correlation of the series with a 24h cosine at the peak hour must be
+  // strongly positive — this is the sinusoidal trend the paper's Example 2
+  // model exploits.
+  PowerLoadOptions options;
+  options.num_points = 24 * 30;
+  auto series_or = GeneratePowerLoad(options);
+  ASSERT_TRUE(series_or.ok());
+  const TimeSeries& series = series_or.value();
+  auto stats_or = series.Stats();
+  ASSERT_TRUE(stats_or.ok());
+  const double mean = stats_or.value().mean;
+  double corr = 0.0;
+  for (size_t k = 0; k < series.size(); ++k) {
+    const double hour_of_day = std::fmod(static_cast<double>(k), 24.0);
+    const double reference =
+        std::cos(2.0 * M_PI / 24.0 * (hour_of_day - options.peak_hour));
+    corr += (series.value(k) - mean) * reference;
+  }
+  corr /= static_cast<double>(series.size());
+  EXPECT_GT(corr, 0.5 * options.daily_amplitude / 2.0);
+}
+
+TEST(PowerLoadTest, PeakNearConfiguredHour) {
+  PowerLoadOptions options;
+  options.num_points = 24 * 30;
+  options.noise_stddev = 0.0;
+  auto series_or = GeneratePowerLoad(options);
+  ASSERT_TRUE(series_or.ok());
+  const TimeSeries& series = series_or.value();
+  // Average by hour-of-day; the max must be at peak_hour.
+  double best_value = -1e18;
+  int best_hour = -1;
+  for (int hod = 0; hod < 24; ++hod) {
+    double sum = 0.0;
+    int count = 0;
+    for (size_t k = hod; k < series.size(); k += 24) {
+      sum += series.value(k);
+      ++count;
+    }
+    if (sum / count > best_value) {
+      best_value = sum / count;
+      best_hour = hod;
+    }
+  }
+  EXPECT_EQ(best_hour, static_cast<int>(options.peak_hour));
+}
+
+TEST(PowerLoadTest, WeekendLoadLower) {
+  PowerLoadOptions options;
+  options.num_points = 24 * 70;
+  options.noise_stddev = 0.0;
+  auto series_or = GeneratePowerLoad(options);
+  ASSERT_TRUE(series_or.ok());
+  const TimeSeries& series = series_or.value();
+  double weekday_sum = 0.0;
+  double weekend_sum = 0.0;
+  int weekday_count = 0;
+  int weekend_count = 0;
+  for (size_t k = 0; k < series.size(); ++k) {
+    const size_t day = k / 24;
+    if (day % 7 >= 5) {
+      weekend_sum += series.value(k);
+      ++weekend_count;
+    } else {
+      weekday_sum += series.value(k);
+      ++weekday_count;
+    }
+  }
+  EXPECT_LT(weekend_sum / weekend_count, weekday_sum / weekday_count);
+}
+
+TEST(PowerLoadTest, Validation) {
+  PowerLoadOptions options;
+  options.num_points = 0;
+  EXPECT_FALSE(GeneratePowerLoad(options).ok());
+  options = PowerLoadOptions{};
+  options.noise_stddev = -1.0;
+  EXPECT_FALSE(GeneratePowerLoad(options).ok());
+  options = PowerLoadOptions{};
+  options.ar_coefficient = 1.0;
+  EXPECT_FALSE(GeneratePowerLoad(options).ok());
+}
+
+}  // namespace
+}  // namespace dkf

@@ -1,0 +1,155 @@
+#include "streamgen/trajectory_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(TrajectoryTest, ProducesRequestedLength) {
+  TrajectoryOptions options;
+  options.num_points = 500;
+  auto data_or = GenerateTrajectory(options);
+  ASSERT_TRUE(data_or.ok());
+  EXPECT_EQ(data_or.value().observed.size(), 500u);
+  EXPECT_EQ(data_or.value().truth.size(), 500u);
+  EXPECT_EQ(data_or.value().observed.width(), 2u);
+}
+
+TEST(TrajectoryTest, DeterministicPerSeed) {
+  TrajectoryOptions options;
+  options.num_points = 200;
+  auto a_or = GenerateTrajectory(options);
+  auto b_or = GenerateTrajectory(options);
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a_or.value().observed.value(i, 0),
+              b_or.value().observed.value(i, 0));
+    EXPECT_EQ(a_or.value().observed.value(i, 1),
+              b_or.value().observed.value(i, 1));
+  }
+}
+
+TEST(TrajectoryTest, DifferentSeedsDiffer) {
+  TrajectoryOptions a;
+  a.num_points = 100;
+  TrajectoryOptions b = a;
+  b.seed = a.seed + 1;
+  auto da_or = GenerateTrajectory(a);
+  auto db_or = GenerateTrajectory(b);
+  ASSERT_TRUE(da_or.ok());
+  ASSERT_TRUE(db_or.ok());
+  EXPECT_NE(da_or.value().truth.value(50, 0), db_or.value().truth.value(50, 0));
+}
+
+TEST(TrajectoryTest, SpeedNeverExceedsConfiguredBounds) {
+  TrajectoryOptions options;
+  options.num_points = 2000;
+  options.min_speed = 5.0;
+  options.max_speed = 50.0;
+  auto data_or = GenerateTrajectory(options);
+  ASSERT_TRUE(data_or.ok());
+  const TimeSeries& truth = data_or.value().truth;
+  for (size_t i = 1; i < truth.size(); ++i) {
+    const double dx = truth.value(i, 0) - truth.value(i - 1, 0);
+    const double dy = truth.value(i, 1) - truth.value(i - 1, 1);
+    const double speed = std::hypot(dx, dy) / options.dt;
+    EXPECT_LE(speed, options.max_speed + 1e-9);
+    EXPECT_GE(speed, options.min_speed - 1e-9);
+  }
+}
+
+TEST(TrajectoryTest, HardCapAppliesWhenRangeExceedsIt) {
+  TrajectoryOptions options;
+  options.num_points = 2000;
+  options.min_speed = 100.0;
+  options.max_speed = 2000.0;
+  options.max_speed_cap = 500.0;  // the paper's cap
+  auto data_or = GenerateTrajectory(options);
+  ASSERT_TRUE(data_or.ok());
+  const TimeSeries& truth = data_or.value().truth;
+  for (size_t i = 1; i < truth.size(); ++i) {
+    const double dx = truth.value(i, 0) - truth.value(i - 1, 0);
+    const double dy = truth.value(i, 1) - truth.value(i - 1, 1);
+    EXPECT_LE(std::hypot(dx, dy) / options.dt, 500.0 + 1e-9);
+  }
+}
+
+TEST(TrajectoryTest, MovesOnStraightSegments) {
+  // Within a segment consecutive displacement vectors are identical; count
+  // direction changes — they should be far fewer than the sample count and
+  // at least one should occur over a long run.
+  TrajectoryOptions options;
+  options.num_points = 3000;
+  options.noise_stddev = 0.0;
+  auto data_or = GenerateTrajectory(options);
+  ASSERT_TRUE(data_or.ok());
+  const TimeSeries& truth = data_or.value().truth;
+  int direction_changes = 0;
+  double prev_dx = 0.0;
+  double prev_dy = 0.0;
+  for (size_t i = 1; i < truth.size(); ++i) {
+    const double dx = truth.value(i, 0) - truth.value(i - 1, 0);
+    const double dy = truth.value(i, 1) - truth.value(i - 1, 1);
+    if (i > 1 && (std::fabs(dx - prev_dx) > 1e-9 ||
+                  std::fabs(dy - prev_dy) > 1e-9)) {
+      ++direction_changes;
+    }
+    prev_dx = dx;
+    prev_dy = dy;
+  }
+  EXPECT_GT(direction_changes, 3);
+  EXPECT_LT(direction_changes,
+            static_cast<int>(options.num_points / options.min_segment));
+}
+
+TEST(TrajectoryTest, ObservationNoiseMatchesConfig) {
+  TrajectoryOptions options;
+  options.num_points = 5000;
+  options.noise_stddev = 0.5;
+  auto data_or = GenerateTrajectory(options);
+  ASSERT_TRUE(data_or.ok());
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < 5000; ++i) {
+    const double dx =
+        data_or.value().observed.value(i, 0) - data_or.value().truth.value(i, 0);
+    sum_sq += dx * dx;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / 5000), 0.5, 0.05);
+}
+
+TEST(TrajectoryTest, Validation) {
+  TrajectoryOptions options;
+  options.num_points = 0;
+  EXPECT_FALSE(GenerateTrajectory(options).ok());
+  options = TrajectoryOptions{};
+  options.dt = 0.0;
+  EXPECT_FALSE(GenerateTrajectory(options).ok());
+  options = TrajectoryOptions{};
+  options.min_speed = 10.0;
+  options.max_speed = 5.0;
+  EXPECT_FALSE(GenerateTrajectory(options).ok());
+  options = TrajectoryOptions{};
+  options.min_segment = 10;
+  options.max_segment = 5;
+  EXPECT_FALSE(GenerateTrajectory(options).ok());
+  options = TrajectoryOptions{};
+  options.noise_stddev = -0.1;
+  EXPECT_FALSE(GenerateTrajectory(options).ok());
+}
+
+TEST(TrajectoryTest, PaperScaleDataset) {
+  // The paper's Figure 3 configuration: 4000 points at 100 ms.
+  TrajectoryOptions options;
+  auto data_or = GenerateTrajectory(options);
+  ASSERT_TRUE(data_or.ok());
+  EXPECT_EQ(data_or.value().observed.size(), 4000u);
+  EXPECT_NEAR(data_or.value().observed.timestamp(1) -
+                  data_or.value().observed.timestamp(0),
+              0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace dkf
