@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_adaptive_filters.dir/bench_abl_adaptive_filters.cc.o"
+  "CMakeFiles/bench_abl_adaptive_filters.dir/bench_abl_adaptive_filters.cc.o.d"
+  "bench_abl_adaptive_filters"
+  "bench_abl_adaptive_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_adaptive_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_adaptive_sampling.dir/bench_abl_adaptive_sampling.cc.o"
+  "CMakeFiles/bench_abl_adaptive_sampling.dir/bench_abl_adaptive_sampling.cc.o.d"
+  "bench_abl_adaptive_sampling"
+  "bench_abl_adaptive_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_adaptive_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

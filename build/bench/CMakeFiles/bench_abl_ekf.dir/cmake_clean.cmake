@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ekf.dir/bench_abl_ekf.cc.o"
+  "CMakeFiles/bench_abl_ekf.dir/bench_abl_ekf.cc.o.d"
+  "bench_abl_ekf"
+  "bench_abl_ekf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ekf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

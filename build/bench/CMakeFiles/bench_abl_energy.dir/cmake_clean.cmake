@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_energy.dir/bench_abl_energy.cc.o"
+  "CMakeFiles/bench_abl_energy.dir/bench_abl_energy.cc.o.d"
+  "bench_abl_energy"
+  "bench_abl_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

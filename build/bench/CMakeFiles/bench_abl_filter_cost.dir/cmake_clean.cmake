@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_filter_cost.dir/bench_abl_filter_cost.cc.o"
+  "CMakeFiles/bench_abl_filter_cost.dir/bench_abl_filter_cost.cc.o.d"
+  "bench_abl_filter_cost"
+  "bench_abl_filter_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_filter_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

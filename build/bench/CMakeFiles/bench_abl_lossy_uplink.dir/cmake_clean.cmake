@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_lossy_uplink.dir/bench_abl_lossy_uplink.cc.o"
+  "CMakeFiles/bench_abl_lossy_uplink.dir/bench_abl_lossy_uplink.cc.o.d"
+  "bench_abl_lossy_uplink"
+  "bench_abl_lossy_uplink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lossy_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

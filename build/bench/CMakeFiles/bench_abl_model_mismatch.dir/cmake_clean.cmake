@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_model_mismatch.dir/bench_abl_model_mismatch.cc.o"
+  "CMakeFiles/bench_abl_model_mismatch.dir/bench_abl_model_mismatch.cc.o.d"
+  "bench_abl_model_mismatch"
+  "bench_abl_model_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_model_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

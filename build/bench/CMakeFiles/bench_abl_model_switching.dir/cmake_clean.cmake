@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_model_switching.dir/bench_abl_model_switching.cc.o"
+  "CMakeFiles/bench_abl_model_switching.dir/bench_abl_model_switching.cc.o.d"
+  "bench_abl_model_switching"
+  "bench_abl_model_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_model_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_multiquery.dir/bench_abl_multiquery.cc.o"
+  "CMakeFiles/bench_abl_multiquery.dir/bench_abl_multiquery.cc.o.d"
+  "bench_abl_multiquery"
+  "bench_abl_multiquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_multiquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_outlier_guard.dir/bench_abl_outlier_guard.cc.o"
+  "CMakeFiles/bench_abl_outlier_guard.dir/bench_abl_outlier_guard.cc.o.d"
+  "bench_abl_outlier_guard"
+  "bench_abl_outlier_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_outlier_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

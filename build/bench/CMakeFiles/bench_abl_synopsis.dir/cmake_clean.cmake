@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_synopsis.dir/bench_abl_synopsis.cc.o"
+  "CMakeFiles/bench_abl_synopsis.dir/bench_abl_synopsis.cc.o.d"
+  "bench_abl_synopsis"
+  "bench_abl_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

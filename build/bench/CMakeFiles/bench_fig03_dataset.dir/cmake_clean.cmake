@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_dataset.dir/bench_fig03_dataset.cc.o"
+  "CMakeFiles/bench_fig03_dataset.dir/bench_fig03_dataset.cc.o.d"
+  "bench_fig03_dataset"
+  "bench_fig03_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

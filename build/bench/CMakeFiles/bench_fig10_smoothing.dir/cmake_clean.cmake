@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_smoothing.dir/bench_fig10_smoothing.cc.o"
+  "CMakeFiles/bench_fig10_smoothing.dir/bench_fig10_smoothing.cc.o.d"
+  "bench_fig10_smoothing"
+  "bench_fig10_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_smoothed_dkf.dir/bench_fig11_smoothed_dkf.cc.o"
+  "CMakeFiles/bench_fig11_smoothed_dkf.dir/bench_fig11_smoothed_dkf.cc.o.d"
+  "bench_fig11_smoothed_dkf"
+  "bench_fig11_smoothed_dkf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_smoothed_dkf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dkf_bench_util.dir/bench_util.cc.o.d"
+  "libdkf_bench_util.a"
+  "libdkf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

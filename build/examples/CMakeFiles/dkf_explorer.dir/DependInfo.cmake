@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dkf_explorer.cpp" "examples/CMakeFiles/dkf_explorer.dir/dkf_explorer.cpp.o" "gcc" "examples/CMakeFiles/dkf_explorer.dir/dkf_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/streamgen/CMakeFiles/dkf_streamgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsms/CMakeFiles/dkf_dsms.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dkf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dkf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dkf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dkf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/dkf_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dkf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_explorer.dir/dkf_explorer.cpp.o"
+  "CMakeFiles/dkf_explorer.dir/dkf_explorer.cpp.o.d"
+  "dkf_explorer"
+  "dkf_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_grid_monitor.dir/power_grid_monitor.cpp.o"
+  "CMakeFiles/power_grid_monitor.dir/power_grid_monitor.cpp.o.d"
+  "power_grid_monitor"
+  "power_grid_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_grid_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

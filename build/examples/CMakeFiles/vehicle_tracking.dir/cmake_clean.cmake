@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_tracking.dir/vehicle_tracking.cpp.o"
+  "CMakeFiles/vehicle_tracking.dir/vehicle_tracking.cpp.o.d"
+  "vehicle_tracking"
+  "vehicle_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

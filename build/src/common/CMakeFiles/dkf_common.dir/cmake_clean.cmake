@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_common.dir/csv.cc.o"
+  "CMakeFiles/dkf_common.dir/csv.cc.o.d"
+  "CMakeFiles/dkf_common.dir/logging.cc.o"
+  "CMakeFiles/dkf_common.dir/logging.cc.o.d"
+  "CMakeFiles/dkf_common.dir/rng.cc.o"
+  "CMakeFiles/dkf_common.dir/rng.cc.o.d"
+  "CMakeFiles/dkf_common.dir/status.cc.o"
+  "CMakeFiles/dkf_common.dir/status.cc.o.d"
+  "CMakeFiles/dkf_common.dir/string_util.cc.o"
+  "CMakeFiles/dkf_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dkf_common.dir/table.cc.o"
+  "CMakeFiles/dkf_common.dir/table.cc.o.d"
+  "CMakeFiles/dkf_common.dir/time_series.cc.o"
+  "CMakeFiles/dkf_common.dir/time_series.cc.o.d"
+  "libdkf_common.a"
+  "libdkf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdkf_common.a"
+)

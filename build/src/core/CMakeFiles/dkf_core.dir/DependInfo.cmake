@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_sampling.cc" "src/core/CMakeFiles/dkf_core.dir/adaptive_sampling.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/adaptive_sampling.cc.o.d"
+  "/root/repo/src/core/dual_link.cc" "src/core/CMakeFiles/dkf_core.dir/dual_link.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/dual_link.cc.o.d"
+  "/root/repo/src/core/ekf_predictor.cc" "src/core/CMakeFiles/dkf_core.dir/ekf_predictor.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/ekf_predictor.cc.o.d"
+  "/root/repo/src/core/model_switching.cc" "src/core/CMakeFiles/dkf_core.dir/model_switching.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/model_switching.cc.o.d"
+  "/root/repo/src/core/moving_average.cc" "src/core/CMakeFiles/dkf_core.dir/moving_average.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/moving_average.cc.o.d"
+  "/root/repo/src/core/outlier_guard.cc" "src/core/CMakeFiles/dkf_core.dir/outlier_guard.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/outlier_guard.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/dkf_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/smoothing.cc" "src/core/CMakeFiles/dkf_core.dir/smoothing.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/smoothing.cc.o.d"
+  "/root/repo/src/core/suppression.cc" "src/core/CMakeFiles/dkf_core.dir/suppression.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/suppression.cc.o.d"
+  "/root/repo/src/core/synopsis.cc" "src/core/CMakeFiles/dkf_core.dir/synopsis.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/synopsis.cc.o.d"
+  "/root/repo/src/core/synopsis_io.cc" "src/core/CMakeFiles/dkf_core.dir/synopsis_io.cc.o" "gcc" "src/core/CMakeFiles/dkf_core.dir/synopsis_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/dkf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/dkf_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dkf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dkf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

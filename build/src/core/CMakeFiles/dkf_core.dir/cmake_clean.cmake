@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_core.dir/adaptive_sampling.cc.o"
+  "CMakeFiles/dkf_core.dir/adaptive_sampling.cc.o.d"
+  "CMakeFiles/dkf_core.dir/dual_link.cc.o"
+  "CMakeFiles/dkf_core.dir/dual_link.cc.o.d"
+  "CMakeFiles/dkf_core.dir/ekf_predictor.cc.o"
+  "CMakeFiles/dkf_core.dir/ekf_predictor.cc.o.d"
+  "CMakeFiles/dkf_core.dir/model_switching.cc.o"
+  "CMakeFiles/dkf_core.dir/model_switching.cc.o.d"
+  "CMakeFiles/dkf_core.dir/moving_average.cc.o"
+  "CMakeFiles/dkf_core.dir/moving_average.cc.o.d"
+  "CMakeFiles/dkf_core.dir/outlier_guard.cc.o"
+  "CMakeFiles/dkf_core.dir/outlier_guard.cc.o.d"
+  "CMakeFiles/dkf_core.dir/predictor.cc.o"
+  "CMakeFiles/dkf_core.dir/predictor.cc.o.d"
+  "CMakeFiles/dkf_core.dir/smoothing.cc.o"
+  "CMakeFiles/dkf_core.dir/smoothing.cc.o.d"
+  "CMakeFiles/dkf_core.dir/suppression.cc.o"
+  "CMakeFiles/dkf_core.dir/suppression.cc.o.d"
+  "CMakeFiles/dkf_core.dir/synopsis.cc.o"
+  "CMakeFiles/dkf_core.dir/synopsis.cc.o.d"
+  "CMakeFiles/dkf_core.dir/synopsis_io.cc.o"
+  "CMakeFiles/dkf_core.dir/synopsis_io.cc.o.d"
+  "libdkf_core.a"
+  "libdkf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

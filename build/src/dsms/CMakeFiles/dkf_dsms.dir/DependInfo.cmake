@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsms/channel.cc" "src/dsms/CMakeFiles/dkf_dsms.dir/channel.cc.o" "gcc" "src/dsms/CMakeFiles/dkf_dsms.dir/channel.cc.o.d"
+  "/root/repo/src/dsms/server_node.cc" "src/dsms/CMakeFiles/dkf_dsms.dir/server_node.cc.o" "gcc" "src/dsms/CMakeFiles/dkf_dsms.dir/server_node.cc.o.d"
+  "/root/repo/src/dsms/simulation.cc" "src/dsms/CMakeFiles/dkf_dsms.dir/simulation.cc.o" "gcc" "src/dsms/CMakeFiles/dkf_dsms.dir/simulation.cc.o.d"
+  "/root/repo/src/dsms/source_node.cc" "src/dsms/CMakeFiles/dkf_dsms.dir/source_node.cc.o" "gcc" "src/dsms/CMakeFiles/dkf_dsms.dir/source_node.cc.o.d"
+  "/root/repo/src/dsms/stream_manager.cc" "src/dsms/CMakeFiles/dkf_dsms.dir/stream_manager.cc.o" "gcc" "src/dsms/CMakeFiles/dkf_dsms.dir/stream_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dkf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dkf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dkf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dkf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/dkf_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dkf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

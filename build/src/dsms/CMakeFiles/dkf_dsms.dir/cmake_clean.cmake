@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_dsms.dir/channel.cc.o"
+  "CMakeFiles/dkf_dsms.dir/channel.cc.o.d"
+  "CMakeFiles/dkf_dsms.dir/server_node.cc.o"
+  "CMakeFiles/dkf_dsms.dir/server_node.cc.o.d"
+  "CMakeFiles/dkf_dsms.dir/simulation.cc.o"
+  "CMakeFiles/dkf_dsms.dir/simulation.cc.o.d"
+  "CMakeFiles/dkf_dsms.dir/source_node.cc.o"
+  "CMakeFiles/dkf_dsms.dir/source_node.cc.o.d"
+  "CMakeFiles/dkf_dsms.dir/stream_manager.cc.o"
+  "CMakeFiles/dkf_dsms.dir/stream_manager.cc.o.d"
+  "libdkf_dsms.a"
+  "libdkf_dsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_dsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dkf_dsms.
+# This may be replaced when dependencies are built.

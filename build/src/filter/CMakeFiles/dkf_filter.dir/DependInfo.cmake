@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/extended_kalman_filter.cc" "src/filter/CMakeFiles/dkf_filter.dir/extended_kalman_filter.cc.o" "gcc" "src/filter/CMakeFiles/dkf_filter.dir/extended_kalman_filter.cc.o.d"
+  "/root/repo/src/filter/kalman_filter.cc" "src/filter/CMakeFiles/dkf_filter.dir/kalman_filter.cc.o" "gcc" "src/filter/CMakeFiles/dkf_filter.dir/kalman_filter.cc.o.d"
+  "/root/repo/src/filter/noise_estimation.cc" "src/filter/CMakeFiles/dkf_filter.dir/noise_estimation.cc.o" "gcc" "src/filter/CMakeFiles/dkf_filter.dir/noise_estimation.cc.o.d"
+  "/root/repo/src/filter/recursive_least_squares.cc" "src/filter/CMakeFiles/dkf_filter.dir/recursive_least_squares.cc.o" "gcc" "src/filter/CMakeFiles/dkf_filter.dir/recursive_least_squares.cc.o.d"
+  "/root/repo/src/filter/rts_smoother.cc" "src/filter/CMakeFiles/dkf_filter.dir/rts_smoother.cc.o" "gcc" "src/filter/CMakeFiles/dkf_filter.dir/rts_smoother.cc.o.d"
+  "/root/repo/src/filter/steady_state.cc" "src/filter/CMakeFiles/dkf_filter.dir/steady_state.cc.o" "gcc" "src/filter/CMakeFiles/dkf_filter.dir/steady_state.cc.o.d"
+  "/root/repo/src/filter/unscented_kalman_filter.cc" "src/filter/CMakeFiles/dkf_filter.dir/unscented_kalman_filter.cc.o" "gcc" "src/filter/CMakeFiles/dkf_filter.dir/unscented_kalman_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/dkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dkf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_filter.dir/extended_kalman_filter.cc.o"
+  "CMakeFiles/dkf_filter.dir/extended_kalman_filter.cc.o.d"
+  "CMakeFiles/dkf_filter.dir/kalman_filter.cc.o"
+  "CMakeFiles/dkf_filter.dir/kalman_filter.cc.o.d"
+  "CMakeFiles/dkf_filter.dir/noise_estimation.cc.o"
+  "CMakeFiles/dkf_filter.dir/noise_estimation.cc.o.d"
+  "CMakeFiles/dkf_filter.dir/recursive_least_squares.cc.o"
+  "CMakeFiles/dkf_filter.dir/recursive_least_squares.cc.o.d"
+  "CMakeFiles/dkf_filter.dir/rts_smoother.cc.o"
+  "CMakeFiles/dkf_filter.dir/rts_smoother.cc.o.d"
+  "CMakeFiles/dkf_filter.dir/steady_state.cc.o"
+  "CMakeFiles/dkf_filter.dir/steady_state.cc.o.d"
+  "CMakeFiles/dkf_filter.dir/unscented_kalman_filter.cc.o"
+  "CMakeFiles/dkf_filter.dir/unscented_kalman_filter.cc.o.d"
+  "libdkf_filter.a"
+  "libdkf_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

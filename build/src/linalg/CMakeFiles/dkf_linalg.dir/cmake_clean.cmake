@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_linalg.dir/decompose.cc.o"
+  "CMakeFiles/dkf_linalg.dir/decompose.cc.o.d"
+  "CMakeFiles/dkf_linalg.dir/matrix.cc.o"
+  "CMakeFiles/dkf_linalg.dir/matrix.cc.o.d"
+  "libdkf_linalg.a"
+  "libdkf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

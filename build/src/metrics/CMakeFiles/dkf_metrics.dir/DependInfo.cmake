@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/consistency.cc" "src/metrics/CMakeFiles/dkf_metrics.dir/consistency.cc.o" "gcc" "src/metrics/CMakeFiles/dkf_metrics.dir/consistency.cc.o.d"
+  "/root/repo/src/metrics/experiment.cc" "src/metrics/CMakeFiles/dkf_metrics.dir/experiment.cc.o" "gcc" "src/metrics/CMakeFiles/dkf_metrics.dir/experiment.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/metrics/CMakeFiles/dkf_metrics.dir/metrics.cc.o" "gcc" "src/metrics/CMakeFiles/dkf_metrics.dir/metrics.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/dkf_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/dkf_metrics.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dkf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dkf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dkf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/dkf_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dkf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_metrics.dir/consistency.cc.o"
+  "CMakeFiles/dkf_metrics.dir/consistency.cc.o.d"
+  "CMakeFiles/dkf_metrics.dir/experiment.cc.o"
+  "CMakeFiles/dkf_metrics.dir/experiment.cc.o.d"
+  "CMakeFiles/dkf_metrics.dir/metrics.cc.o"
+  "CMakeFiles/dkf_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/dkf_metrics.dir/report.cc.o"
+  "CMakeFiles/dkf_metrics.dir/report.cc.o.d"
+  "libdkf_metrics.a"
+  "libdkf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

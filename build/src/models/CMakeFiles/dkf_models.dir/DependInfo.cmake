@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/model_factory.cc" "src/models/CMakeFiles/dkf_models.dir/model_factory.cc.o" "gcc" "src/models/CMakeFiles/dkf_models.dir/model_factory.cc.o.d"
+  "/root/repo/src/models/nonlinear_models.cc" "src/models/CMakeFiles/dkf_models.dir/nonlinear_models.cc.o" "gcc" "src/models/CMakeFiles/dkf_models.dir/nonlinear_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/filter/CMakeFiles/dkf_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dkf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

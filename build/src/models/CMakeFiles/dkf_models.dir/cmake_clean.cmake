@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_models.dir/model_factory.cc.o"
+  "CMakeFiles/dkf_models.dir/model_factory.cc.o.d"
+  "CMakeFiles/dkf_models.dir/nonlinear_models.cc.o"
+  "CMakeFiles/dkf_models.dir/nonlinear_models.cc.o.d"
+  "libdkf_models.a"
+  "libdkf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

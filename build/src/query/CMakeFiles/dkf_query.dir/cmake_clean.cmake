@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_query.dir/adaptive_filters.cc.o"
+  "CMakeFiles/dkf_query.dir/adaptive_filters.cc.o.d"
+  "CMakeFiles/dkf_query.dir/aggregate.cc.o"
+  "CMakeFiles/dkf_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/dkf_query.dir/precision_allocation.cc.o"
+  "CMakeFiles/dkf_query.dir/precision_allocation.cc.o.d"
+  "CMakeFiles/dkf_query.dir/registry.cc.o"
+  "CMakeFiles/dkf_query.dir/registry.cc.o.d"
+  "libdkf_query.a"
+  "libdkf_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

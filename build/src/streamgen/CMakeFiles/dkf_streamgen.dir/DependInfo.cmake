@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streamgen/http_traffic_generator.cc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/http_traffic_generator.cc.o" "gcc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/http_traffic_generator.cc.o.d"
+  "/root/repo/src/streamgen/noise.cc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/noise.cc.o" "gcc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/noise.cc.o.d"
+  "/root/repo/src/streamgen/power_load_generator.cc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/power_load_generator.cc.o" "gcc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/power_load_generator.cc.o.d"
+  "/root/repo/src/streamgen/trajectory_generator.cc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/trajectory_generator.cc.o" "gcc" "src/streamgen/CMakeFiles/dkf_streamgen.dir/trajectory_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dkf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkf_streamgen.dir/http_traffic_generator.cc.o"
+  "CMakeFiles/dkf_streamgen.dir/http_traffic_generator.cc.o.d"
+  "CMakeFiles/dkf_streamgen.dir/noise.cc.o"
+  "CMakeFiles/dkf_streamgen.dir/noise.cc.o.d"
+  "CMakeFiles/dkf_streamgen.dir/power_load_generator.cc.o"
+  "CMakeFiles/dkf_streamgen.dir/power_load_generator.cc.o.d"
+  "CMakeFiles/dkf_streamgen.dir/trajectory_generator.cc.o"
+  "CMakeFiles/dkf_streamgen.dir/trajectory_generator.cc.o.d"
+  "libdkf_streamgen.a"
+  "libdkf_streamgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkf_streamgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dkf_streamgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_filters_test.dir/query/adaptive_filters_test.cc.o"
+  "CMakeFiles/adaptive_filters_test.dir/query/adaptive_filters_test.cc.o.d"
+  "adaptive_filters_test"
+  "adaptive_filters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

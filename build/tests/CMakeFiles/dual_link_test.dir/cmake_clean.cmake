@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_link_test.dir/core/dual_link_test.cc.o"
+  "CMakeFiles/dual_link_test.dir/core/dual_link_test.cc.o.d"
+  "dual_link_test"
+  "dual_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekf_predictor_test.dir/core/ekf_predictor_test.cc.o"
+  "CMakeFiles/ekf_predictor_test.dir/core/ekf_predictor_test.cc.o.d"
+  "ekf_predictor_test"
+  "ekf_predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekf_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

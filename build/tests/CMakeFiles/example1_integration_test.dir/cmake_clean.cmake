@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example1_integration_test.dir/integration/example1_integration_test.cc.o"
+  "CMakeFiles/example1_integration_test.dir/integration/example1_integration_test.cc.o.d"
+  "example1_integration_test"
+  "example1_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example1_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example3_integration_test.dir/integration/example3_integration_test.cc.o"
+  "CMakeFiles/example3_integration_test.dir/integration/example3_integration_test.cc.o.d"
+  "example3_integration_test"
+  "example3_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example3_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

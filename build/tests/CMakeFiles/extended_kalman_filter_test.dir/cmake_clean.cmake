@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_kalman_filter_test.dir/filter/extended_kalman_filter_test.cc.o"
+  "CMakeFiles/extended_kalman_filter_test.dir/filter/extended_kalman_filter_test.cc.o.d"
+  "extended_kalman_filter_test"
+  "extended_kalman_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_kalman_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_traffic_generator_test.dir/streamgen/http_traffic_generator_test.cc.o"
+  "CMakeFiles/http_traffic_generator_test.dir/streamgen/http_traffic_generator_test.cc.o.d"
+  "http_traffic_generator_test"
+  "http_traffic_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_traffic_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

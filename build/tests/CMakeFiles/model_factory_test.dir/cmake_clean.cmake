@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_factory_test.dir/models/model_factory_test.cc.o"
+  "CMakeFiles/model_factory_test.dir/models/model_factory_test.cc.o.d"
+  "model_factory_test"
+  "model_factory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

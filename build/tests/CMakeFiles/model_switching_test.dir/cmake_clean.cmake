@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_switching_test.dir/core/model_switching_test.cc.o"
+  "CMakeFiles/model_switching_test.dir/core/model_switching_test.cc.o.d"
+  "model_switching_test"
+  "model_switching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_switching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

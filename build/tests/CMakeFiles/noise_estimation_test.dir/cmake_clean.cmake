@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_estimation_test.dir/filter/noise_estimation_test.cc.o"
+  "CMakeFiles/noise_estimation_test.dir/filter/noise_estimation_test.cc.o.d"
+  "noise_estimation_test"
+  "noise_estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

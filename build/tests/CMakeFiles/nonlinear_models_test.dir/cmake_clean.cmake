@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonlinear_models_test.dir/models/nonlinear_models_test.cc.o"
+  "CMakeFiles/nonlinear_models_test.dir/models/nonlinear_models_test.cc.o.d"
+  "nonlinear_models_test"
+  "nonlinear_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonlinear_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

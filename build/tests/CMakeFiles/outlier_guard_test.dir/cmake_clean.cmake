@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_guard_test.dir/core/outlier_guard_test.cc.o"
+  "CMakeFiles/outlier_guard_test.dir/core/outlier_guard_test.cc.o.d"
+  "outlier_guard_test"
+  "outlier_guard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

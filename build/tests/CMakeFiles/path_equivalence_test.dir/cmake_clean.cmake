@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_equivalence_test.dir/integration/path_equivalence_test.cc.o"
+  "CMakeFiles/path_equivalence_test.dir/integration/path_equivalence_test.cc.o.d"
+  "path_equivalence_test"
+  "path_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_load_generator_test.dir/streamgen/power_load_generator_test.cc.o"
+  "CMakeFiles/power_load_generator_test.dir/streamgen/power_load_generator_test.cc.o.d"
+  "power_load_generator_test"
+  "power_load_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_load_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

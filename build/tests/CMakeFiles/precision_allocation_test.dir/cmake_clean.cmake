@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_allocation_test.dir/query/precision_allocation_test.cc.o"
+  "CMakeFiles/precision_allocation_test.dir/query/precision_allocation_test.cc.o.d"
+  "precision_allocation_test"
+  "precision_allocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_property_test.dir/integration/protocol_property_test.cc.o"
+  "CMakeFiles/protocol_property_test.dir/integration/protocol_property_test.cc.o.d"
+  "protocol_property_test"
+  "protocol_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_least_squares_test.dir/filter/recursive_least_squares_test.cc.o"
+  "CMakeFiles/recursive_least_squares_test.dir/filter/recursive_least_squares_test.cc.o.d"
+  "recursive_least_squares_test"
+  "recursive_least_squares_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_least_squares_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_smoother_test.dir/filter/rts_smoother_test.cc.o"
+  "CMakeFiles/rts_smoother_test.dir/filter/rts_smoother_test.cc.o.d"
+  "rts_smoother_test"
+  "rts_smoother_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_smoother_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_server_test.dir/dsms/source_server_test.cc.o"
+  "CMakeFiles/source_server_test.dir/dsms/source_server_test.cc.o.d"
+  "source_server_test"
+  "source_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

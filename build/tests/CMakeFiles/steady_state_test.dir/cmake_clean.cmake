@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steady_state_test.dir/filter/steady_state_test.cc.o"
+  "CMakeFiles/steady_state_test.dir/filter/steady_state_test.cc.o.d"
+  "steady_state_test"
+  "steady_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steady_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suppression_test.dir/core/suppression_test.cc.o"
+  "CMakeFiles/suppression_test.dir/core/suppression_test.cc.o.d"
+  "suppression_test"
+  "suppression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suppression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

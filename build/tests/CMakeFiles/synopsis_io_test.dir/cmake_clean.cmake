@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synopsis_io_test.dir/core/synopsis_io_test.cc.o"
+  "CMakeFiles/synopsis_io_test.dir/core/synopsis_io_test.cc.o.d"
+  "synopsis_io_test"
+  "synopsis_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synopsis_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

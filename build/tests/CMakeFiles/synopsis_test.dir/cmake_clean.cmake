@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synopsis_test.dir/core/synopsis_test.cc.o"
+  "CMakeFiles/synopsis_test.dir/core/synopsis_test.cc.o.d"
+  "synopsis_test"
+  "synopsis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synopsis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_generator_test.dir/streamgen/trajectory_generator_test.cc.o"
+  "CMakeFiles/trajectory_generator_test.dir/streamgen/trajectory_generator_test.cc.o.d"
+  "trajectory_generator_test"
+  "trajectory_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

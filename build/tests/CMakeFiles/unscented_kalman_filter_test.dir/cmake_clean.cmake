@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unscented_kalman_filter_test.dir/filter/unscented_kalman_filter_test.cc.o"
+  "CMakeFiles/unscented_kalman_filter_test.dir/filter/unscented_kalman_filter_test.cc.o.d"
+  "unscented_kalman_filter_test"
+  "unscented_kalman_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unscented_kalman_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
