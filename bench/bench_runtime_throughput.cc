@@ -1,0 +1,187 @@
+// Throughput of the sharded runtime vs the sequential StreamManager.
+//
+// Sweeps shard count x fleet size, driving identical workloads through
+// both systems, and reports ticks/sec plus speedup as machine-readable
+// JSON on stdout (one object; see docs/runtime.md for the schema) so
+// the perf trajectory can be tracked across PRs.
+//
+// Flags: --sources=1000,10000 --shards=1,2,4,8,16 --ticks=200
+//        --delta=2.0
+// Each run also cross-checks a sample of per-source answers against the
+// sequential baseline (the runtime's determinism contract), so a perf
+// win can never silently come from diverging behavior.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "dsms/stream_manager.h"
+#include "models/model_factory.h"
+#include "runtime/sharded_engine.h"
+
+namespace dkf::bench {
+namespace {
+
+struct Config {
+  std::vector<int> fleet_sizes = {1000, 10000};
+  std::vector<int> shard_counts = {1, 2, 4, 8, 16};
+  int ticks = 200;
+  double delta = 2.0;
+};
+
+std::vector<int> ParseIntList(const char* text) {
+  std::vector<int> values;
+  for (const char* p = text; *p != '\0';) {
+    values.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return values;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sources=", 0) == 0) {
+      config.fleet_sizes = ParseIntList(arg.c_str() + 10);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      config.shard_counts = ParseIntList(arg.c_str() + 9);
+    } else if (arg.rfind("--ticks=", 0) == 0) {
+      // Clamp to >= 1: zero ticks would make every rate 0/0 -> NaN,
+      // which is not valid JSON.
+      config.ticks = std::max(1, std::atoi(arg.c_str() + 8));
+    } else if (arg.rfind("--delta=", 0) == 0) {
+      config.delta = std::atof(arg.c_str() + 8);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+StateModel FleetModel() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+/// Deterministic per-source signal: a drifting sinusoid whose phase and
+/// rate vary by source, so each tick produces a realistic mix of
+/// suppressed and transmitted readings.
+double SourceValue(int source_id, int tick) {
+  const double phase = 0.37 * source_id;
+  const double rate = 0.02 + 0.00001 * (source_id % 97);
+  return 25.0 * std::sin(rate * tick + phase) + 0.01 * tick;
+}
+
+/// Registers `fleet` sources with one point query each and returns the
+/// reusable readings map (values rewritten in place every tick).
+template <typename System>
+std::map<int, Vector> SetUpFleet(System& system, int fleet, double delta) {
+  std::map<int, Vector> readings;
+  const StateModel model = FleetModel();
+  for (int id = 0; id < fleet; ++id) {
+    if (!system.RegisterSource(id, model).ok()) std::abort();
+    ContinuousQuery query;
+    query.id = id + 1;
+    query.source_id = id;
+    query.precision = delta;
+    if (!system.SubmitQuery(query).ok()) std::abort();
+    readings[id] = Vector{SourceValue(id, 0)};
+  }
+  return readings;
+}
+
+template <typename System>
+double TimeTicks(System& system, std::map<int, Vector>& readings,
+                 int ticks) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < ticks; ++t) {
+    for (auto& [id, value] : readings) value[0] = SourceValue(id, t);
+    if (!system.ProcessTick(readings).ok()) std::abort();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  /// Sampled per-source answers for the equivalence cross-check.
+  std::vector<double> sample_answers;
+  int64_t uplink_messages = 0;
+};
+
+template <typename System>
+RunResult RunWorkload(System& system, int fleet, int ticks, double delta) {
+  std::map<int, Vector> readings = SetUpFleet(system, fleet, delta);
+  RunResult result;
+  result.seconds = TimeTicks(system, readings, ticks);
+  for (int id = 0; id < fleet; id += std::max(1, fleet / 64)) {
+    result.sample_answers.push_back(system.Answer(id).value()[0]);
+  }
+  result.uplink_messages = system.uplink_traffic().messages;
+  return result;
+}
+
+}  // namespace
+}  // namespace dkf::bench
+
+int main(int argc, char** argv) {
+  using namespace dkf;
+  using namespace dkf::bench;
+  const Config config = ParseArgs(argc, argv);
+
+  std::printf("{\n  \"benchmark\": \"runtime_throughput\",\n");
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"ticks\": %d,\n  \"delta\": %g,\n  \"results\": [",
+              config.ticks, config.delta);
+
+  bool first = true;
+  for (int fleet : config.fleet_sizes) {
+    // Sequential baseline for this fleet size.
+    StreamManagerOptions seq_options;
+    StreamManager manager(seq_options);
+    const RunResult baseline =
+        RunWorkload(manager, fleet, config.ticks, config.delta);
+    const double seq_tps = config.ticks / baseline.seconds;
+
+    for (int shards : config.shard_counts) {
+      ShardedStreamEngineOptions options;
+      options.num_shards = shards;
+      ShardedStreamEngine engine(options);
+      const RunResult run =
+          RunWorkload(engine, fleet, config.ticks, config.delta);
+
+      bool equivalent = run.uplink_messages == baseline.uplink_messages;
+      for (size_t i = 0; i < run.sample_answers.size(); ++i) {
+        if (run.sample_answers[i] != baseline.sample_answers[i]) {
+          equivalent = false;
+        }
+      }
+      const double tps = config.ticks / run.seconds;
+      std::printf(
+          "%s\n    {\"sources\": %d, \"shards\": %d, \"seconds\": %.6f, "
+          "\"ticks_per_sec\": %.2f, \"source_ticks_per_sec\": %.0f, "
+          "\"sequential_ticks_per_sec\": %.2f, "
+          "\"speedup_vs_sequential\": %.3f, \"equivalent\": %s}",
+          first ? "" : ",", fleet, engine.num_shards(), run.seconds, tps,
+          tps * fleet, seq_tps, tps / seq_tps, equivalent ? "true" : "false");
+      first = false;
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-command verify: tier-1 build + full test suite, then the sharded
+# runtime's test binaries under ThreadSanitizer (race detection for the
+# worker pool / shard tick path). See docs/runtime.md.
+#
+# Env knobs:
+#   JOBS          parallel build jobs (default: nproc)
+#   DKF_TSAN=0    skip the sanitizer stage
+#   DKF_SANITIZE  sanitizer list for the second stage (default: thread)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+SANITIZE="${DKF_SANITIZE:-thread}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${DKF_TSAN:-1}" == "0" ]]; then
+  echo "== sanitizer stage skipped (DKF_TSAN=0) =="
+  exit 0
+fi
+
+echo "== sanitizer (${SANITIZE}): runtime tests =="
+cmake -B "build-${SANITIZE//,/-}" -S . -DDKF_SANITIZE="$SANITIZE" >/dev/null
+cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
+  --target worker_pool_test sharded_engine_test
+"./build-${SANITIZE//,/-}/tests/worker_pool_test"
+"./build-${SANITIZE//,/-}/tests/sharded_engine_test"
+
+echo "== all checks passed =="

@@ -7,11 +7,15 @@ namespace dkf {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Minimal leveled logger writing to stderr. Not thread-safe beyond the
-/// atomicity of a single fprintf; the simulator is single-threaded.
+/// Minimal leveled logger writing to stderr. Thread-safe: the level
+/// check is a lock-free atomic load (so suppressed messages cost
+/// nothing extra on the sharded runtime's hot path) and the sink write
+/// is serialized under a mutex, so concurrent messages never interleave
+/// within a line.
 void Log(LogLevel level, const std::string& message);
 
-/// Messages below this level are dropped. Default: kInfo.
+/// Messages below this level are dropped. Default: kInfo. Safe to call
+/// concurrently with Log.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

@@ -2,6 +2,20 @@
 
 namespace dkf {
 
+Rng& Channel::DropRng(int source_id) {
+  if (!options_.per_source_rng) return rng_;
+  auto it = per_source_rng_.find(source_id);
+  if (it == per_source_rng_.end()) {
+    // Decorrelate the per-source streams: Rng's own constructor runs the
+    // seed through SplitMix64, so a simple odd-multiplier mix suffices.
+    const uint64_t mixed =
+        options_.seed ^
+        (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(source_id) + 1));
+    it = per_source_rng_.emplace(source_id, Rng(mixed)).first;
+  }
+  return it->second;
+}
+
 Result<bool> Channel::Send(const Message& message) {
   const size_t bytes = message.SizeBytes();
   ++total_.messages;
@@ -11,7 +25,7 @@ Result<bool> Channel::Send(const Message& message) {
   stats.bytes += static_cast<int64_t>(bytes);
 
   if (options_.drop_probability > 0.0 &&
-      rng_.Bernoulli(options_.drop_probability)) {
+      DropRng(message.source_id).Bernoulli(options_.drop_probability)) {
     ++total_.dropped;
     ++stats.dropped;
     return false;

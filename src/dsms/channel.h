@@ -27,6 +27,13 @@ struct ChannelStats {
 struct ChannelOptions {
   double drop_probability = 0.0;
   uint64_t seed = 13;
+  /// When true, each source's drop decisions come from an independent
+  /// RNG stream derived from (seed, source_id) instead of one shared
+  /// stream, so a source's drop sequence depends only on its own send
+  /// history — not on how sends from other sources interleave. The
+  /// sharded runtime forces this on: it is what makes lossy-channel
+  /// results invariant under the shard count.
+  bool per_source_rng = false;
 };
 
 /// The simulated uplink from the sensor field to the central server.
@@ -55,11 +62,15 @@ class Channel {
   }
 
  private:
+  /// The drop-decision RNG for a message from `source_id`.
+  Rng& DropRng(int source_id);
+
   Sink sink_;
   ChannelOptions options_;
   Rng rng_;
   ChannelStats total_;
   std::map<int, ChannelStats> per_source_;
+  std::map<int, Rng> per_source_rng_;
 };
 
 }  // namespace dkf

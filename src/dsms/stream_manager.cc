@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "dsms/tick_step.h"
 
 namespace dkf {
 
@@ -36,15 +37,6 @@ Status StreamManager::RegisterSource(int source_id, const StateModel& model) {
       std::make_unique<SourceNode>(std::move(node_or).value());
   return Status::OK();
 }
-
-namespace {
-
-/// Synthetic query-id space for aggregate members; user queries must stay
-/// below it and RemoveQuery refuses to touch it (aggregate members are
-/// managed through RemoveAggregateQuery).
-constexpr int kReservedQueryIdBase = 1 << 24;
-
-}  // namespace
 
 Status StreamManager::SubmitQuery(const ContinuousQuery& query) {
   if (query.id >= kReservedQueryIdBase) {
@@ -159,28 +151,11 @@ Result<double> StreamManager::AnswerAggregate(int aggregate_id) const {
 }
 
 Status StreamManager::ReconfigureSource(int source_id) {
-  SourceNode& node = *sources_.at(source_id);
-  auto delta_or = registry_.EffectiveDelta(source_id);
-  const double new_delta =
-      delta_or.ok() ? delta_or.value() : options_.default_delta;
-
-  std::optional<double> new_smoothing;
-  auto smoothing_or = registry_.EffectiveSmoothing(source_id);
-  if (smoothing_or.ok()) new_smoothing = smoothing_or.value();
-
-  bool changed = false;
-  if (node.delta() != new_delta) {
-    DKF_RETURN_IF_ERROR(node.set_delta(new_delta));
-    changed = true;
-  }
-  // Only touch (and thereby restart) the KF_c smoother when the factor
-  // actually changed.
-  if (installed_smoothing_[source_id] != new_smoothing) {
-    DKF_RETURN_IF_ERROR(node.set_smoothing(new_smoothing));
-    installed_smoothing_[source_id] = new_smoothing;
-    changed = true;
-  }
-  if (changed) ++control_messages_;
+  auto changed_or = InstallEffectiveConfig(
+      registry_, options_.default_delta, source_id, *sources_.at(source_id),
+      installed_smoothing_[source_id]);
+  if (!changed_or.ok()) return changed_or.status();
+  if (changed_or.value()) ++control_messages_;
   return Status::OK();
 }
 
@@ -190,18 +165,8 @@ Status StreamManager::ProcessTick(const std::map<int, Vector>& readings) {
         StrFormat("got %zu readings for %zu sources", readings.size(),
                   sources_.size()));
   }
-  for (const auto& [id, node] : sources_) {
-    if (!readings.contains(id)) {
-      return Status::InvalidArgument(
-          StrFormat("missing reading for source %d", id));
-    }
-  }
-  // Server-side prediction step for every stream, then the sources.
-  DKF_RETURN_IF_ERROR(server_.TickAll());
-  for (auto& [id, node] : sources_) {
-    auto step_or = node->ProcessReading(ticks_, readings.at(id), &channel_);
-    if (!step_or.ok()) return step_or.status();
-  }
+  DKF_RETURN_IF_ERROR(
+      RunSourceTick(ticks_, server_, sources_, readings, channel_));
   ++ticks_;
   return Status::OK();
 }

@@ -1,0 +1,58 @@
+#include "dsms/tick_step.h"
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+Status RunSourceTick(int64_t tick, ServerNode& server,
+                     std::map<int, std::unique_ptr<SourceNode>>& sources,
+                     const std::map<int, Vector>& readings,
+                     Channel& channel) {
+  // Resolve every reading up front so a malformed batch is rejected
+  // before any filter state moves (a half-ticked link set would break
+  // mirror consistency).
+  std::vector<std::pair<SourceNode*, const Vector*>> steps;
+  steps.reserve(sources.size());
+  for (auto& [id, node] : sources) {
+    auto it = readings.find(id);
+    if (it == readings.end()) {
+      return Status::InvalidArgument(
+          StrFormat("missing reading for source %d", id));
+    }
+    steps.emplace_back(node.get(), &it->second);
+  }
+  // Server-side prediction step for every stream, then the sources.
+  DKF_RETURN_IF_ERROR(server.TickAll());
+  for (auto& [node, reading] : steps) {
+    auto step_or = node->ProcessReading(tick, *reading, &channel);
+    if (!step_or.ok()) return step_or.status();
+  }
+  return Status::OK();
+}
+
+Result<bool> InstallEffectiveConfig(
+    const QueryRegistry& registry, double default_delta, int source_id,
+    SourceNode& node, std::optional<double>& installed_smoothing) {
+  auto delta_or = registry.EffectiveDelta(source_id);
+  const double new_delta = delta_or.ok() ? delta_or.value() : default_delta;
+
+  std::optional<double> new_smoothing;
+  auto smoothing_or = registry.EffectiveSmoothing(source_id);
+  if (smoothing_or.ok()) new_smoothing = smoothing_or.value();
+
+  bool changed = false;
+  if (node.delta() != new_delta) {
+    DKF_RETURN_IF_ERROR(node.set_delta(new_delta));
+    changed = true;
+  }
+  // Only touch (and thereby restart) the KF_c smoother when the factor
+  // actually changed.
+  if (installed_smoothing != new_smoothing) {
+    DKF_RETURN_IF_ERROR(node.set_smoothing(new_smoothing));
+    installed_smoothing = new_smoothing;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace dkf

@@ -1,0 +1,50 @@
+#ifndef DKF_DSMS_TICK_STEP_H_
+#define DKF_DSMS_TICK_STEP_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dsms/channel.h"
+#include "dsms/server_node.h"
+#include "dsms/source_node.h"
+#include "query/registry.h"
+
+namespace dkf {
+
+/// The protocol tick over one set of dual links, factored out of
+/// StreamManager so the sequential manager and each shard of the
+/// parallel runtime (src/runtime/) drive sources through the *same*
+/// code path: the server side predicts every stream, then each source
+/// (in ascending id order) processes its reading, suppressing or
+/// transmitting through `channel`.
+///
+/// `readings` may contain entries for sources outside `sources` (the
+/// sharded runtime hands every shard the full tick batch); entries are
+/// looked up by id and extras are ignored. A missing reading for an
+/// owned source is an error. Count-level validation ("exactly one
+/// reading per registered source") is the caller's job.
+Status RunSourceTick(int64_t tick, ServerNode& server,
+                     std::map<int, std::unique_ptr<SourceNode>>& sources,
+                     const std::map<int, Vector>& readings,
+                     Channel& channel);
+
+/// Pushes the registry's current effective delta/smoothing for
+/// `source_id` down to its node — the body of a reconfiguration control
+/// message, shared by StreamManager and the sharded runtime.
+///
+/// `installed_smoothing` is the caller-tracked smoothing factor last
+/// installed at the node; it is compared and updated here so an
+/// unrelated reconfiguration does not restart the KF_c smoother.
+/// Returns true when something actually changed (i.e. a control
+/// message went on the downlink).
+Result<bool> InstallEffectiveConfig(
+    const QueryRegistry& registry, double default_delta, int source_id,
+    SourceNode& node, std::optional<double>& installed_smoothing);
+
+}  // namespace dkf
+
+#endif  // DKF_DSMS_TICK_STEP_H_

@@ -6,6 +6,14 @@
 
 namespace dkf {
 
+/// Query ids at or above this value are reserved for the synthetic
+/// per-source members an aggregate query is split into; user queries
+/// must stay below it, and the single-query removal path refuses to
+/// touch the reserved range (members are managed through their
+/// aggregate). Shared by StreamManager and the sharded runtime so both
+/// carve up the id space identically.
+inline constexpr int kReservedQueryIdBase = 1 << 24;
+
 /// A continuous query q_j over one streaming source (Table 2): the user
 /// asks for the source's current attribute value, tolerating answers
 /// within `precision` of the truth, optionally asking for KF_c-smoothed

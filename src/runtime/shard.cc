@@ -1,0 +1,114 @@
+#include "runtime/shard.h"
+
+#include "common/string_util.h"
+#include "dsms/tick_step.h"
+
+namespace dkf {
+
+StreamShard::StreamShard(const ChannelOptions& channel,
+                         EnergyModelOptions energy, double default_delta)
+    : channel_([this](const Message& message) {
+        return server_.OnMessage(message);
+      }, channel),
+      energy_(energy),
+      default_delta_(default_delta) {}
+
+Status StreamShard::AddSource(int source_id, const StateModel& model) {
+  if (sources_.contains(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("source %d already registered", source_id));
+  }
+  DKF_RETURN_IF_ERROR(server_.RegisterSource(source_id, model));
+
+  SourceNodeOptions node_options;
+  node_options.source_id = source_id;
+  node_options.model = model;
+  node_options.delta = default_delta_;
+  node_options.energy = energy_;
+  auto node_or = SourceNode::Create(node_options);
+  if (!node_or.ok()) {
+    // Keep server and source sets consistent on failure.
+    (void)server_.UnregisterSource(source_id);
+    return node_or.status();
+  }
+  sources_[source_id] =
+      std::make_unique<SourceNode>(std::move(node_or).value());
+  return Status::OK();
+}
+
+Status StreamShard::Reconfigure(int source_id,
+                                const QueryRegistry& registry) {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not on shard", source_id));
+  }
+  auto changed_or =
+      InstallEffectiveConfig(registry, default_delta_, source_id,
+                             *it->second, installed_smoothing_[source_id]);
+  if (!changed_or.ok()) return changed_or.status();
+  if (changed_or.value()) ++control_messages_;
+  return Status::OK();
+}
+
+Status StreamShard::ProcessTick(int64_t tick,
+                                const std::map<int, Vector>& readings) {
+  return RunSourceTick(tick, server_, sources_, readings, channel_);
+}
+
+Result<Vector> StreamShard::Answer(int source_id) const {
+  return server_.Answer(source_id);
+}
+
+Result<ServerNode::ConfidentAnswer> StreamShard::AnswerWithConfidence(
+    int source_id) const {
+  return server_.AnswerWithConfidence(source_id);
+}
+
+Result<double> StreamShard::PartialSum(
+    const std::vector<int>& source_ids) const {
+  double sum = 0.0;
+  for (int source_id : source_ids) {
+    auto answer_or = server_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    sum += answer_or.value()[0];
+  }
+  return sum;
+}
+
+Status StreamShard::VerifyMirrorConsistency() const {
+  for (const auto& [id, node] : sources_) {
+    auto predictor_or = server_.predictor(id);
+    if (!predictor_or.ok()) return predictor_or.status();
+    if (!node->mirror().StateEquals(*predictor_or.value())) {
+      return Status::Internal(
+          StrFormat("mirror-consistency violated for source %d", id));
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> StreamShard::source_delta(int source_id) const {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->delta();
+}
+
+Result<int64_t> StreamShard::updates_sent(int source_id) const {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->updates_sent();
+}
+
+Result<size_t> StreamShard::source_dim(int source_id) const {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->mirror().dim();
+}
+
+}  // namespace dkf

@@ -1,0 +1,87 @@
+#ifndef DKF_RUNTIME_SHARD_H_
+#define DKF_RUNTIME_SHARD_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "dsms/channel.h"
+#include "dsms/energy_model.h"
+#include "dsms/server_node.h"
+#include "dsms/source_node.h"
+#include "models/state_model.h"
+#include "query/registry.h"
+
+namespace dkf {
+
+/// One partition of a ShardedStreamEngine's fleet. A shard owns the
+/// complete dual-link state for its sources — the source-side
+/// SourceNodes (mirror KF_m, optional KF_c), the server-side predictors
+/// (its own ServerNode), and its own uplink Channel — so the per-tick
+/// hot path touches nothing shared with other shards. All cross-shard
+/// coordination (query registry, aggregate bindings, stats merging)
+/// lives at the engine.
+///
+/// Thread contract: ProcessTick is called from a worker thread, one
+/// call per shard per engine tick, never concurrently with any other
+/// method of the same shard. Every other method runs on the engine's
+/// driver thread between ticks.
+class StreamShard {
+ public:
+  /// `channel` should have per_source_rng set (the engine forces it) so
+  /// drop sequences do not depend on which shard a source landed in.
+  StreamShard(const ChannelOptions& channel, EnergyModelOptions energy,
+              double default_delta);
+
+  /// Installs a source and its dual filters on this shard.
+  Status AddSource(int source_id, const StateModel& model);
+
+  /// Re-derives the source's effective delta/smoothing from `registry`
+  /// and pushes it to the node, counting a control message on change.
+  Status Reconfigure(int source_id, const QueryRegistry& registry);
+
+  /// Runs one protocol tick over this shard's sources. `readings` is
+  /// the engine's full batch; entries for other shards' sources are
+  /// ignored.
+  Status ProcessTick(int64_t tick, const std::map<int, Vector>& readings);
+
+  Result<Vector> Answer(int source_id) const;
+  Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
+      int source_id) const;
+
+  /// Sum of the current answers for `source_ids` (all owned by this
+  /// shard), in the given order — the shard's contribution to an
+  /// aggregate query.
+  Result<double> PartialSum(const std::vector<int>& source_ids) const;
+
+  /// Mirror-consistency invariant over this shard's links.
+  Status VerifyMirrorConsistency() const;
+
+  Result<double> source_delta(int source_id) const;
+  Result<int64_t> updates_sent(int source_id) const;
+
+  /// Measurement width of a source's stream (for aggregate-eligibility
+  /// checks at the engine).
+  Result<size_t> source_dim(int source_id) const;
+
+  const ChannelStats& uplink_traffic() const { return channel_.total(); }
+  int64_t control_messages() const { return control_messages_; }
+  size_t num_sources() const { return sources_.size(); }
+
+ private:
+  ServerNode server_;
+  Channel channel_;
+  EnergyModelOptions energy_;
+  double default_delta_;
+  std::map<int, std::unique_ptr<SourceNode>> sources_;
+  /// Smoothing factor currently installed at each node (tracked so an
+  /// unrelated reconfiguration does not restart KF_c).
+  std::map<int, std::optional<double>> installed_smoothing_;
+  int64_t control_messages_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_RUNTIME_SHARD_H_

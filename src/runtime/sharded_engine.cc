@@ -1,0 +1,247 @@
+#include "runtime/sharded_engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+namespace {
+
+int ClampShards(int num_shards) { return std::max(1, num_shards); }
+
+}  // namespace
+
+ShardedStreamEngine::ShardedStreamEngine(
+    const ShardedStreamEngineOptions& options)
+    : options_(options),
+      pool_(static_cast<size_t>(ClampShards(options.num_shards) - 1)) {
+  options_.num_shards = ClampShards(options.num_shards);
+  // Per-source drop streams are the determinism contract: a source's
+  // channel behavior must not depend on which shard it landed in.
+  ChannelOptions channel = options_.channel;
+  channel.per_source_rng = true;
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<StreamShard>(
+        channel, options_.energy, options_.default_delta));
+  }
+}
+
+int ShardedStreamEngine::ShardIndexFor(int source_id) const {
+  const int n = static_cast<int>(shards_.size());
+  return ((source_id % n) + n) % n;
+}
+
+Status ShardedStreamEngine::RegisterSource(int source_id,
+                                           const StateModel& model) {
+  if (HasSource(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("source %d already registered", source_id));
+  }
+  const int shard = ShardIndexFor(source_id);
+  DKF_RETURN_IF_ERROR(shards_[static_cast<size_t>(shard)]->AddSource(
+      source_id, model));
+  registered_[source_id] = shard;
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::SubmitQuery(const ContinuousQuery& query) {
+  if (query.id >= kReservedQueryIdBase) {
+    return Status::InvalidArgument(
+        StrFormat("query ids >= %d are reserved for aggregate members",
+                  kReservedQueryIdBase));
+  }
+  if (!HasSource(query.source_id)) {
+    return Status::NotFound(
+        StrFormat("query %d targets unregistered source %d", query.id,
+                  query.source_id));
+  }
+  DKF_RETURN_IF_ERROR(registry_.AddQuery(query));
+  return OwningShard(query.source_id).Reconfigure(query.source_id, registry_);
+}
+
+Status ShardedStreamEngine::RemoveQuery(int query_id) {
+  if (query_id >= kReservedQueryIdBase) {
+    return Status::InvalidArgument(
+        "aggregate members are removed via RemoveAggregateQuery");
+  }
+  // Find the query's source before removal so we can relax it after.
+  int source_id = -1;
+  for (int candidate : registry_.ActiveSources()) {
+    for (const ContinuousQuery& query :
+         registry_.QueriesForSource(candidate)) {
+      if (query.id == query_id) source_id = candidate;
+    }
+  }
+  DKF_RETURN_IF_ERROR(registry_.RemoveQuery(query_id));
+  if (source_id >= 0) {
+    return OwningShard(source_id).Reconfigure(source_id, registry_);
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::SubmitAggregateQuery(
+    const AggregateQuery& query, const std::vector<double>& weights) {
+  if (aggregates_.contains(query.id)) {
+    return Status::AlreadyExists(
+        StrFormat("aggregate %d already registered", query.id));
+  }
+  for (int source_id : query.source_ids) {
+    if (!HasSource(source_id)) {
+      return Status::NotFound(
+          StrFormat("aggregate %d targets unregistered source %d", query.id,
+                    source_id));
+    }
+    auto dim_or = OwningShard(source_id).source_dim(source_id);
+    if (!dim_or.ok()) return dim_or.status();
+    if (dim_or.value() != 1) {
+      return Status::InvalidArgument(
+          "aggregate queries support scalar sources only");
+    }
+  }
+  auto deltas_or = SplitAggregatePrecision(query, weights);
+  if (!deltas_or.ok()) return deltas_or.status();
+  const std::vector<double>& deltas = deltas_or.value();
+
+  AggregateBinding binding;
+  binding.source_ids = query.source_ids;
+  for (size_t i = 0; i < query.source_ids.size(); ++i) {
+    // Same synthetic-member id scheme as StreamManager, so workloads
+    // replayed on either system bind identically.
+    ContinuousQuery member;
+    member.id = kReservedQueryIdBase + query.id * 1024 +
+                static_cast<int>(i);
+    member.source_id = query.source_ids[i];
+    member.precision = deltas[i];
+    member.description = StrFormat("aggregate %d member", query.id);
+    Status status = registry_.AddQuery(member);
+    if (!status.ok()) {
+      // Roll back the members installed so far.
+      for (int installed : binding.synthetic_query_ids) {
+        (void)registry_.RemoveQuery(installed);
+      }
+      return status;
+    }
+    binding.synthetic_query_ids.push_back(member.id);
+  }
+  for (int source_id : query.source_ids) {
+    DKF_RETURN_IF_ERROR(
+        OwningShard(source_id).Reconfigure(source_id, registry_));
+  }
+  // Group members by owning shard (shard order, member order preserved
+  // within a shard) for partial-sum answering.
+  std::map<int, std::vector<int>> grouped;
+  for (int source_id : query.source_ids) {
+    grouped[ShardIndexFor(source_id)].push_back(source_id);
+  }
+  binding.members_by_shard.assign(grouped.begin(), grouped.end());
+  aggregates_[query.id] = std::move(binding);
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::RemoveAggregateQuery(int aggregate_id) {
+  auto it = aggregates_.find(aggregate_id);
+  if (it == aggregates_.end()) {
+    return Status::NotFound(
+        StrFormat("aggregate %d not registered", aggregate_id));
+  }
+  for (int query_id : it->second.synthetic_query_ids) {
+    DKF_RETURN_IF_ERROR(registry_.RemoveQuery(query_id));
+  }
+  for (int source_id : it->second.source_ids) {
+    DKF_RETURN_IF_ERROR(
+        OwningShard(source_id).Reconfigure(source_id, registry_));
+  }
+  aggregates_.erase(it);
+  return Status::OK();
+}
+
+Result<double> ShardedStreamEngine::AnswerAggregate(int aggregate_id) const {
+  auto it = aggregates_.find(aggregate_id);
+  if (it == aggregates_.end()) {
+    return Status::NotFound(
+        StrFormat("aggregate %d not registered", aggregate_id));
+  }
+  double sum = 0.0;
+  for (const auto& [shard, members] : it->second.members_by_shard) {
+    auto partial_or = shards_[static_cast<size_t>(shard)]->PartialSum(members);
+    if (!partial_or.ok()) return partial_or.status();
+    sum += partial_or.value();
+  }
+  return sum;
+}
+
+Status ShardedStreamEngine::ProcessTick(const std::map<int, Vector>& readings) {
+  if (readings.size() != registered_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu readings for %zu sources", readings.size(),
+                  registered_.size()));
+  }
+  tick_tasks_.clear();
+  tick_tasks_.reserve(shards_.size());
+  const int64_t tick = ticks_;
+  for (auto& shard : shards_) {
+    StreamShard* raw = shard.get();
+    tick_tasks_.push_back(
+        [raw, tick, &readings] { return raw->ProcessTick(tick, readings); });
+  }
+  DKF_RETURN_IF_ERROR(pool_.RunAll(tick_tasks_));
+  ++ticks_;
+  return Status::OK();
+}
+
+Result<Vector> ShardedStreamEngine::Answer(int source_id) const {
+  return OwningShard(source_id).Answer(source_id);
+}
+
+Result<ServerNode::ConfidentAnswer> ShardedStreamEngine::AnswerWithConfidence(
+    int source_id) const {
+  return OwningShard(source_id).AnswerWithConfidence(source_id);
+}
+
+Status ShardedStreamEngine::VerifyMirrorConsistency() const {
+  for (const auto& shard : shards_) {
+    DKF_RETURN_IF_ERROR(shard->VerifyMirrorConsistency());
+  }
+  return Status::OK();
+}
+
+ChannelStats ShardedStreamEngine::uplink_traffic() const {
+  std::vector<const ChannelStats*> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    per_shard.push_back(&shard->uplink_traffic());
+  }
+  return MergeChannelStats(per_shard);
+}
+
+MergedRuntimeStats ShardedStreamEngine::stats() const {
+  MergedRuntimeStats merged;
+  merged.uplink = uplink_traffic();
+  merged.control_messages = control_messages();
+  merged.sources = static_cast<int64_t>(registered_.size());
+  return merged;
+}
+
+int64_t ShardedStreamEngine::control_messages() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->control_messages();
+  return total;
+}
+
+Result<double> ShardedStreamEngine::source_delta(int source_id) const {
+  if (!HasSource(source_id)) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return OwningShard(source_id).source_delta(source_id);
+}
+
+Result<int64_t> ShardedStreamEngine::updates_sent(int source_id) const {
+  if (!HasSource(source_id)) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return OwningShard(source_id).updates_sent(source_id);
+}
+
+}  // namespace dkf

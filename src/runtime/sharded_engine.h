@@ -1,0 +1,153 @@
+#ifndef DKF_RUNTIME_SHARDED_ENGINE_H_
+#define DKF_RUNTIME_SHARDED_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "dsms/channel.h"
+#include "dsms/energy_model.h"
+#include "dsms/server_node.h"
+#include "models/state_model.h"
+#include "query/aggregate.h"
+#include "query/query.h"
+#include "query/registry.h"
+#include "runtime/shard.h"
+#include "runtime/stats_merge.h"
+#include "runtime/worker_pool.h"
+
+namespace dkf {
+
+/// Configuration of the sharded runtime.
+struct ShardedStreamEngineOptions {
+  /// Worker shards the fleet is partitioned across (clamped to >= 1).
+  /// The engine keeps num_shards - 1 background threads; the driver
+  /// thread works one shard itself during each tick.
+  int num_shards = 4;
+  EnergyModelOptions energy;
+  /// Per-shard uplink configuration. per_source_rng is forced on so a
+  /// source's drop sequence is independent of the shard layout (the
+  /// determinism contract — see docs/runtime.md).
+  ChannelOptions channel;
+  /// Delta a source runs at before any query binds to it.
+  double default_delta = 1e6;
+};
+
+/// The sharded, multi-threaded counterpart of StreamManager for large
+/// fleets: sources are partitioned across N share-nothing shards (each
+/// owning its sources' mirrors, server predictors, and uplink channel),
+/// ticks run in parallel on a persistent worker pool, and this
+/// coordinator merges per-shard stats and answers while preserving the
+/// StreamManager API surface.
+///
+/// Aggregate (SUM) queries spanning shards use the same per-source
+/// delta split as StreamManager and are answered by combining per-shard
+/// partial sums, so the precision guarantee
+/// |answer - true sum| <= precision is unchanged by sharding. (The
+/// floating-point summation *order* does follow the shard layout; see
+/// docs/runtime.md.)
+///
+/// Thread contract: like StreamManager, the engine is driven from one
+/// thread; all parallelism is internal to ProcessTick, which returns
+/// only after every worker has finished its shard (so reads between
+/// ticks need no locks).
+class ShardedStreamEngine {
+ public:
+  explicit ShardedStreamEngine(const ShardedStreamEngineOptions& options);
+
+  ShardedStreamEngine(ShardedStreamEngine&&) = delete;
+  ShardedStreamEngine& operator=(ShardedStreamEngine&&) = delete;
+
+  /// Installs a source and its dual filters on the shard that owns it.
+  Status RegisterSource(int source_id, const StateModel& model);
+
+  /// Registers a continuous query and reconfigures its source's shard.
+  Status SubmitQuery(const ContinuousQuery& query);
+
+  /// Removes a query and relaxes its source's configuration.
+  Status RemoveQuery(int query_id);
+
+  /// Registers a continuous SUM query over scalar sources; the
+  /// precision budget is split per source exactly as StreamManager
+  /// splits it, regardless of how the members land on shards.
+  Status SubmitAggregateQuery(const AggregateQuery& query,
+                              const std::vector<double>& weights = {});
+
+  /// Removes an aggregate query and its synthetic per-source queries.
+  Status RemoveAggregateQuery(int aggregate_id);
+
+  /// The current aggregate answer: the sum of per-shard partial sums.
+  Result<double> AnswerAggregate(int aggregate_id) const;
+
+  /// Advances one tick across all shards in parallel. `readings` must
+  /// contain exactly one entry per registered source.
+  Status ProcessTick(const std::map<int, Vector>& readings);
+
+  /// The server-side answer for a source's stream.
+  Result<Vector> Answer(int source_id) const;
+
+  /// Answer plus confidence (projected state covariance).
+  Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
+      int source_id) const;
+
+  /// Verifies the mirror-consistency invariant on every shard.
+  Status VerifyMirrorConsistency() const;
+
+  /// Uplink totals merged across shards.
+  ChannelStats uplink_traffic() const;
+
+  /// All merged engine counters in one call.
+  MergedRuntimeStats stats() const;
+
+  /// Control messages merged across shards.
+  int64_t control_messages() const;
+
+  int64_t ticks() const { return ticks_; }
+  const QueryRegistry& registry() const { return registry_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Per-source effective delta currently installed.
+  Result<double> source_delta(int source_id) const;
+
+  /// Per-source update totals.
+  Result<int64_t> updates_sent(int source_id) const;
+
+  /// The shard index a source id maps to (stable hash partition).
+  int ShardIndexFor(int source_id) const;
+
+ private:
+  StreamShard& OwningShard(int source_id) {
+    return *shards_[static_cast<size_t>(ShardIndexFor(source_id))];
+  }
+  const StreamShard& OwningShard(int source_id) const {
+    return *shards_[static_cast<size_t>(ShardIndexFor(source_id))];
+  }
+  bool HasSource(int source_id) const {
+    return registered_.contains(source_id);
+  }
+
+  ShardedStreamEngineOptions options_;
+  std::vector<std::unique_ptr<StreamShard>> shards_;
+  /// Registered source ids (membership; the shard index is derived).
+  std::map<int, int> registered_;  // source id -> shard index
+
+  /// Aggregate id -> member sources, their synthetic queries, and the
+  /// members grouped by shard (in shard order) for partial-sum answers.
+  struct AggregateBinding {
+    std::vector<int> source_ids;
+    std::vector<int> synthetic_query_ids;
+    std::vector<std::pair<int, std::vector<int>>> members_by_shard;
+  };
+  std::map<int, AggregateBinding> aggregates_;
+
+  QueryRegistry registry_;
+  WorkerPool pool_;
+  /// Reused every tick (one task per shard) to avoid reallocation.
+  std::vector<WorkerPool::Task> tick_tasks_;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_RUNTIME_SHARDED_ENGINE_H_

@@ -1,0 +1,16 @@
+#include "runtime/stats_merge.h"
+
+namespace dkf {
+
+ChannelStats MergeChannelStats(
+    const std::vector<const ChannelStats*>& stats) {
+  ChannelStats merged;
+  for (const ChannelStats* shard_stats : stats) {
+    merged.messages += shard_stats->messages;
+    merged.bytes += shard_stats->bytes;
+    merged.dropped += shard_stats->dropped;
+  }
+  return merged;
+}
+
+}  // namespace dkf

@@ -1,0 +1,25 @@
+#ifndef DKF_RUNTIME_STATS_MERGE_H_
+#define DKF_RUNTIME_STATS_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dsms/channel.h"
+
+namespace dkf {
+
+/// Engine-wide counters folded from the per-shard copies after the
+/// shards' tick barrier (so no shard counter is ever read while a
+/// worker might be writing it).
+struct MergedRuntimeStats {
+  ChannelStats uplink;
+  int64_t control_messages = 0;
+  int64_t sources = 0;
+};
+
+/// Sums `stats` field-wise.
+ChannelStats MergeChannelStats(const std::vector<const ChannelStats*>& stats);
+
+}  // namespace dkf
+
+#endif  // DKF_RUNTIME_STATS_MERGE_H_

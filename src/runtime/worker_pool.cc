@@ -1,0 +1,85 @@
+#include "runtime/worker_pool.h"
+
+namespace dkf {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::DrainBatch(const std::vector<Task>& tasks) {
+  for (;;) {
+    const size_t index = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= tasks.size()) return;
+    Status status = tasks[index]();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      statuses_[index] = std::move(status);
+      ++completed_;
+    }
+    batch_done_.notify_one();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::vector<Task>* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ ||
+               (batch_ != nullptr && generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      batch = batch_;
+      ++draining_;
+    }
+    DrainBatch(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --draining_;
+    }
+    // The coordinator may be waiting for the last straggler to leave
+    // the batch before it can free the task vector.
+    batch_done_.notify_one();
+  }
+}
+
+Status WorkerPool::RunAll(const std::vector<Task>& tasks) {
+  if (tasks.empty()) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &tasks;
+    statuses_.assign(tasks.size(), Status::OK());
+    next_task_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The calling thread works the batch too (see class comment).
+  DrainBatch(tasks);
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [&] {
+    return completed_ == tasks.size() && draining_ == 0;
+  });
+  batch_ = nullptr;
+  for (const Status& status : statuses_) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace dkf

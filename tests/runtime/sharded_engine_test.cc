@@ -1,0 +1,318 @@
+#include "runtime/sharded_engine.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsms/stream_manager.h"
+#include "models/model_factory.h"
+
+namespace dkf {
+namespace {
+
+StateModel ScalarModel(double process_variance) {
+  ModelNoise noise;
+  noise.process_variance = process_variance;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+StateModel PlanarModel() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(2, 1.0, noise).value();
+}
+
+ContinuousQuery MakeQuery(int id, int source, double precision) {
+  ContinuousQuery query;
+  query.id = id;
+  query.source_id = source;
+  query.precision = precision;
+  return query;
+}
+
+constexpr int kNumScalarSources = 12;
+constexpr int kPlanarSourceId = 100;
+
+/// Installs the shared multi-source, multi-query workload on any system
+/// exposing the StreamManager API surface: 12 scalar sources with
+/// varied dynamics, point queries of different precisions, a smoothing
+/// query, an aggregate over a shard-spanning subset, plus one 2-D
+/// source outside the aggregate.
+template <typename System>
+void InstallWorkload(System& system) {
+  for (int id = 1; id <= kNumScalarSources; ++id) {
+    ASSERT_TRUE(
+        system.RegisterSource(id, ScalarModel(0.02 + 0.01 * (id % 4))).ok());
+  }
+  ASSERT_TRUE(system.RegisterSource(kPlanarSourceId, PlanarModel()).ok());
+
+  for (int id = 1; id <= kNumScalarSources; ++id) {
+    ASSERT_TRUE(
+        system.SubmitQuery(MakeQuery(id, id, 1.0 + 0.5 * (id % 5))).ok());
+  }
+  ContinuousQuery smoothing = MakeQuery(50, 3, 4.0);
+  smoothing.smoothing_factor = 1e-3;
+  ASSERT_TRUE(system.SubmitQuery(smoothing).ok());
+  ASSERT_TRUE(system.SubmitQuery(MakeQuery(51, kPlanarSourceId, 2.0)).ok());
+
+  AggregateQuery aggregate;
+  aggregate.id = 7;
+  aggregate.source_ids = {2, 5, 8, 11};  // spans shards for any count > 1
+  aggregate.precision = 8.0;
+  ASSERT_TRUE(system.SubmitAggregateQuery(aggregate, {1.0, 2.0, 1.0, 2.0})
+                  .ok());
+}
+
+/// One deterministic tick batch: drifting random walks for the scalars,
+/// a slow circle for the planar source.
+std::map<int, Vector> TickReadings(Rng& rng, int tick,
+                                   std::vector<double>& values) {
+  std::map<int, Vector> readings;
+  for (int id = 1; id <= kNumScalarSources; ++id) {
+    values[static_cast<size_t>(id)] += rng.Gaussian(0.05 * (id % 3), 0.8);
+    readings[id] = Vector{values[static_cast<size_t>(id)]};
+  }
+  const double angle = 0.01 * tick;
+  readings[kPlanarSourceId] =
+      Vector{40.0 * std::cos(angle), 40.0 * std::sin(angle)};
+  return readings;
+}
+
+/// Drives `system` through `ticks` deterministic ticks (seed-pinned
+/// readings, query churn mid-stream) and returns nothing; observers
+/// inspect the system afterwards or via `on_tick`.
+template <typename System, typename OnTick>
+void DriveWorkload(System& system, int ticks, OnTick on_tick) {
+  Rng rng(42);
+  std::vector<double> values(kNumScalarSources + 1, 0.0);
+  for (int t = 0; t < ticks; ++t) {
+    // Query churn mid-stream exercises reconfiguration on every system.
+    if (t == 120) {
+      ASSERT_TRUE(system.SubmitQuery(MakeQuery(60, 6, 0.5)).ok());
+    }
+    if (t == 240) {
+      ASSERT_TRUE(system.RemoveQuery(60).ok());
+    }
+    ASSERT_TRUE(system.ProcessTick(TickReadings(rng, t, values)).ok());
+    on_tick(t);
+  }
+}
+
+TEST(ShardedStreamEngineTest, BitExactEquivalenceWithStreamManager) {
+  for (int shards : {1, 2, 4, 8}) {
+    StreamManagerOptions seq_options;
+    StreamManager manager(seq_options);
+    InstallWorkload(manager);
+
+    ShardedStreamEngineOptions options;
+    options.num_shards = shards;
+    ShardedStreamEngine engine(options);
+    InstallWorkload(engine);
+    EXPECT_EQ(engine.num_shards(), shards);
+
+    // Drive both systems in lockstep on identical readings and churn.
+    Rng rng(42);
+    std::vector<double> values(kNumScalarSources + 1, 0.0);
+    for (int t = 0; t < 400; ++t) {
+      if (t == 120) {
+        ASSERT_TRUE(manager.SubmitQuery(MakeQuery(60, 6, 0.5)).ok());
+        ASSERT_TRUE(engine.SubmitQuery(MakeQuery(60, 6, 0.5)).ok());
+      }
+      if (t == 240) {
+        ASSERT_TRUE(manager.RemoveQuery(60).ok());
+        ASSERT_TRUE(engine.RemoveQuery(60).ok());
+      }
+      const std::map<int, Vector> readings = TickReadings(rng, t, values);
+      ASSERT_TRUE(manager.ProcessTick(readings).ok());
+      ASSERT_TRUE(engine.ProcessTick(readings).ok());
+      if (t % 37 != 0 && t != 399) continue;
+      for (int id = 1; id <= kNumScalarSources; ++id) {
+        auto seq = manager.Answer(id);
+        auto par = engine.Answer(id);
+        ASSERT_TRUE(seq.ok() && par.ok());
+        // Bit-exact: identical per-source filter call sequences.
+        ASSERT_EQ(seq.value()[0], par.value()[0])
+            << "shards=" << shards << " source=" << id << " tick=" << t;
+      }
+      auto planar_seq = manager.Answer(kPlanarSourceId).value();
+      auto planar_par = engine.Answer(kPlanarSourceId).value();
+      ASSERT_EQ(planar_seq[0], planar_par[0]);
+      ASSERT_EQ(planar_seq[1], planar_par[1]);
+      // Aggregate answers combine per-shard partial sums; only the FP
+      // summation order differs from the sequential manager.
+      ASSERT_NEAR(manager.AnswerAggregate(7).value(),
+                  engine.AnswerAggregate(7).value(), 1e-9);
+    }
+
+    // Update/traffic accounting matches exactly.
+    for (int id = 1; id <= kNumScalarSources; ++id) {
+      EXPECT_EQ(manager.updates_sent(id).value(),
+                engine.updates_sent(id).value());
+      EXPECT_EQ(manager.source_delta(id).value(),
+                engine.source_delta(id).value());
+    }
+    EXPECT_EQ(manager.uplink_traffic().messages,
+              engine.uplink_traffic().messages);
+    EXPECT_EQ(manager.uplink_traffic().bytes, engine.uplink_traffic().bytes);
+    EXPECT_EQ(manager.control_messages(), engine.control_messages());
+    EXPECT_EQ(manager.ticks(), engine.ticks());
+    EXPECT_TRUE(engine.VerifyMirrorConsistency().ok());
+  }
+}
+
+TEST(ShardedStreamEngineTest, ShardCountInvarianceUnderLossyChannel) {
+  // Under loss the drop decisions come from per-source RNG streams, so
+  // any shard count must produce identical per-source results.
+  auto run = [](int shards) {
+    ShardedStreamEngineOptions options;
+    options.num_shards = shards;
+    options.channel.drop_probability = 0.3;
+    options.channel.seed = 77;
+    auto engine = std::make_unique<ShardedStreamEngine>(options);
+    InstallWorkload(*engine);
+    DriveWorkload(*engine, 300, [](int) {});
+    return engine;
+  };
+  auto reference = run(1);
+  for (int shards : {2, 4, 8}) {
+    auto engine = run(shards);
+    for (int id = 1; id <= kNumScalarSources; ++id) {
+      EXPECT_EQ(reference->Answer(id).value()[0],
+                engine->Answer(id).value()[0])
+          << "shards=" << shards << " source=" << id;
+      EXPECT_EQ(reference->updates_sent(id).value(),
+                engine->updates_sent(id).value())
+          << "shards=" << shards << " source=" << id;
+    }
+    EXPECT_EQ(reference->uplink_traffic().messages,
+              engine->uplink_traffic().messages);
+    EXPECT_EQ(reference->uplink_traffic().dropped,
+              engine->uplink_traffic().dropped);
+  }
+}
+
+TEST(ShardedStreamEngineTest, MirrorConsistencyAcrossShardsUnderLoss) {
+  ShardedStreamEngineOptions options;
+  options.num_shards = 4;
+  options.channel.drop_probability = 0.4;
+  ShardedStreamEngine engine(options);
+  InstallWorkload(engine);
+  DriveWorkload(engine, 300, [&](int t) {
+    ASSERT_TRUE(engine.VerifyMirrorConsistency().ok()) << "tick " << t;
+  });
+  // Loss must actually have occurred for this test to mean anything.
+  EXPECT_GT(engine.uplink_traffic().dropped, 0);
+}
+
+TEST(ShardedStreamEngineTest, PreservesStreamManagerErrorSurface) {
+  ShardedStreamEngineOptions options;
+  options.num_shards = 3;
+  ShardedStreamEngine engine(options);
+  ASSERT_TRUE(engine.RegisterSource(1, ScalarModel(0.05)).ok());
+  EXPECT_EQ(engine.RegisterSource(1, ScalarModel(0.05)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.SubmitQuery(MakeQuery(1, 9, 2.0)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.SubmitQuery(MakeQuery(1 << 24, 1, 2.0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.RemoveQuery(1 << 24).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Answer(2).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.AnswerAggregate(9).status().code(), StatusCode::kNotFound);
+
+  // Readings batch validation mirrors StreamManager.
+  ASSERT_TRUE(engine.RegisterSource(2, ScalarModel(0.05)).ok());
+  EXPECT_FALSE(engine.ProcessTick({{1, Vector{1.0}}}).ok());
+  EXPECT_FALSE(
+      engine.ProcessTick({{1, Vector{1.0}}, {3, Vector{1.0}}}).ok());
+  EXPECT_TRUE(
+      engine.ProcessTick({{1, Vector{1.0}}, {2, Vector{2.0}}}).ok());
+  EXPECT_EQ(engine.ticks(), 1);
+
+  // Aggregates reject non-scalar members, like StreamManager.
+  ASSERT_TRUE(engine.RegisterSource(5, PlanarModel()).ok());
+  AggregateQuery bad;
+  bad.id = 1;
+  bad.source_ids = {1, 5};
+  bad.precision = 2.0;
+  EXPECT_EQ(engine.SubmitAggregateQuery(bad).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedStreamEngineTest, AggregateLifecycleAndPartialSums) {
+  ShardedStreamEngineOptions options;
+  options.num_shards = 4;
+  ShardedStreamEngine engine(options);
+  for (int id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(engine.RegisterSource(id, ScalarModel(0.05)).ok());
+  }
+  AggregateQuery aggregate;
+  aggregate.id = 3;
+  aggregate.source_ids = {1, 2, 3, 4, 5, 6, 7, 8};
+  aggregate.precision = 16.0;
+  ASSERT_TRUE(engine.SubmitAggregateQuery(aggregate).ok());
+  // Uniform split: every member runs at delta = 2, regardless of shard.
+  for (int id = 1; id <= 8; ++id) {
+    EXPECT_DOUBLE_EQ(engine.source_delta(id).value(), 2.0);
+  }
+
+  Rng rng(5);
+  std::vector<double> values(9, 10.0);
+  int violations = 0;
+  for (int t = 0; t < 500; ++t) {
+    std::map<int, Vector> readings;
+    double truth = 0.0;
+    for (int id = 1; id <= 8; ++id) {
+      values[static_cast<size_t>(id)] += rng.Gaussian(0.1, 0.6);
+      truth += values[static_cast<size_t>(id)];
+      readings[id] = Vector{values[static_cast<size_t>(id)]};
+    }
+    ASSERT_TRUE(engine.ProcessTick(readings).ok());
+    // Update ticks correct toward (not onto) the reading; tolerate the
+    // small overshoot as the sequential aggregate test does.
+    if (std::fabs(engine.AnswerAggregate(3).value() - truth) > 16.0 + 0.5) {
+      ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+
+  ASSERT_TRUE(engine.RemoveAggregateQuery(3).ok());
+  EXPECT_EQ(engine.RemoveAggregateQuery(3).code(), StatusCode::kNotFound);
+  EXPECT_GT(engine.source_delta(1).value(), 1e5);  // relaxed to default
+}
+
+TEST(ShardedStreamEngineTest, MergedStatsCoverAllShards) {
+  ShardedStreamEngineOptions options;
+  options.num_shards = 4;
+  ShardedStreamEngine engine(options);
+  for (int id = 0; id < 8; ++id) {
+    ASSERT_TRUE(engine.RegisterSource(id, ScalarModel(0.05)).ok());
+    ASSERT_TRUE(engine.SubmitQuery(MakeQuery(id + 1, id, 0.5)).ok());
+  }
+  Rng rng(11);
+  for (int t = 0; t < 50; ++t) {
+    std::map<int, Vector> readings;
+    for (int id = 0; id < 8; ++id) {
+      readings[id] = Vector{rng.Gaussian(0.0, 5.0)};
+    }
+    ASSERT_TRUE(engine.ProcessTick(readings).ok());
+  }
+  MergedRuntimeStats stats = engine.stats();
+  EXPECT_EQ(stats.sources, 8);
+  EXPECT_EQ(stats.control_messages, 8);
+  // Every source deviates hard at delta 0.5: traffic from all shards.
+  int64_t per_source_total = 0;
+  for (int id = 0; id < 8; ++id) {
+    EXPECT_GT(engine.updates_sent(id).value(), 0);
+    per_source_total += engine.updates_sent(id).value();
+  }
+  EXPECT_EQ(stats.uplink.messages, per_source_total);
+  EXPECT_GT(stats.uplink.bytes, 0);
+}
+
+}  // namespace
+}  // namespace dkf
