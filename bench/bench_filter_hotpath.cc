@@ -1,0 +1,253 @@
+// Per-tick cost of the Kalman filter hot loop (Predict + Correct).
+//
+// Measures, for each standard model at state dims 1-6:
+//   - ns/tick of the current allocation-free kernel + steady-state
+//     fast-path implementation (after the fast path has armed),
+//   - ns/tick of a reference implementation replicating the pre-kernel
+//     operator-chain arithmetic (temporaries per product, explicit
+//     Inverse(S)) — the "before" of the optimization,
+//   - heap allocations per steady-state Predict+Correct cycle, counted by
+//     global operator new/delete hooks (must be 0 for dims <= 6).
+//
+// Prints one machine-readable JSON object on stdout (see docs/perf.md for
+// the schema); scripts/check.sh writes it to BENCH_filter_hotpath.json and
+// scripts/bench_compare.py gates regressions across PRs.
+//
+// Flags: --ticks=100000 --warmup=2000
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "filter/kalman_filter.h"
+#include "linalg/decompose.h"
+#include "linalg/matrix.h"
+#include "models/model_factory.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counting. Every heap allocation in the process passes
+// through these hooks, so a zero delta across the measured loop is a hard
+// proof the hot path never touches the allocator.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dkf::bench {
+namespace {
+
+struct Config {
+  int ticks = 100000;
+  int warmup = 2000;
+};
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ticks=", 0) == 0) {
+      config.ticks = std::max(1, std::atoi(arg.c_str() + 8));
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      config.warmup = std::max(0, std::atoi(arg.c_str() + 9));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+/// The pre-optimization filter arithmetic, kept verbatim as the benchmark
+/// baseline: one temporary per operator, transposes materialized, and the
+/// gain via an explicit S^{-1}. Numerically equivalent to KalmanFilter but
+/// allocation- and copy-heavy.
+class ReferenceFilter {
+ public:
+  explicit ReferenceFilter(const KalmanFilterOptions& options)
+      : options_(options),
+        x_(options.initial_state),
+        p_(options.initial_covariance) {}
+
+  void Predict() {
+    const Matrix& phi = options_.transition;
+    x_ = phi * x_;
+    p_ = phi * p_ * phi.Transpose() + options_.process_noise;
+    p_.Symmetrize();
+  }
+
+  bool Correct(const Vector& z) {
+    const Matrix& h = options_.measurement;
+    const Matrix h_t = h.Transpose();
+    const Matrix s = h * p_ * h_t + options_.measurement_noise;
+    auto s_inv_or = Inverse(s);
+    if (!s_inv_or.ok()) return false;
+    const Matrix gain = p_ * h_t * s_inv_or.value();
+    const Vector innovation = z - h * x_;
+    x_ = x_ + gain * innovation;
+    const Matrix identity = Matrix::Identity(x_.size());
+    const Matrix i_kh = identity - gain * h;
+    p_ = i_kh * p_ * i_kh.Transpose() +
+         gain * options_.measurement_noise * gain.Transpose();
+    p_.Symmetrize();
+    return true;
+  }
+
+  const Vector& state() const { return x_; }
+
+ private:
+  KalmanFilterOptions options_;
+  Vector x_;
+  Matrix p_;
+};
+
+double MeasurementValue(int tick, size_t axis) {
+  return 20.0 * std::sin(0.1 * tick + static_cast<double>(axis));
+}
+
+struct CaseResult {
+  std::string model;
+  size_t state_dim = 0;
+  size_t measurement_dim = 0;
+  double ns_per_tick = 0.0;
+  double ref_ns_per_tick = 0.0;
+  double allocs_per_tick = 0.0;
+  bool armed = false;
+  double checksum = 0.0;  // defeats dead-code elimination; also a canary
+};
+
+CaseResult RunCase(const std::string& name, const KalmanFilterOptions& options,
+                   size_t measurement_dim, const Config& config) {
+  CaseResult result;
+  result.model = name;
+  result.state_dim = options.initial_state.size();
+  result.measurement_dim = measurement_dim;
+
+  auto filter_or = KalmanFilter::Create(options);
+  if (!filter_or.ok()) std::abort();
+  KalmanFilter filter = std::move(filter_or).value();
+  Vector z(measurement_dim);
+
+  // Warmup: converge the covariance and arm the steady-state fast path.
+  for (int t = 0; t < config.warmup; ++t) {
+    for (size_t i = 0; i < measurement_dim; ++i) z[i] = MeasurementValue(t, i);
+    if (!filter.Predict().ok() || !filter.Correct(z).ok()) std::abort();
+  }
+  result.armed = filter.steady_state_armed();
+
+  // Allocation count across a steady-state window.
+  constexpr int kAllocWindow = 1000;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (int t = 0; t < kAllocWindow; ++t) {
+    for (size_t i = 0; i < measurement_dim; ++i) z[i] = MeasurementValue(t, i);
+    if (!filter.Predict().ok() || !filter.Correct(z).ok()) std::abort();
+  }
+  const std::uint64_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+  result.allocs_per_tick =
+      static_cast<double>(allocs_after - allocs_before) / kAllocWindow;
+
+  // Timed loop, current implementation.
+  double checksum = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < config.ticks; ++t) {
+    for (size_t i = 0; i < measurement_dim; ++i) z[i] = MeasurementValue(t, i);
+    if (!filter.Predict().ok() || !filter.Correct(z).ok()) std::abort();
+    checksum += filter.state()[0];
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.ns_per_tick =
+      std::chrono::duration<double, std::nano>(end - start).count() /
+      config.ticks;
+
+  // Timed loop, reference (pre-optimization) implementation. It is several
+  // times slower, so run a quarter of the ticks.
+  ReferenceFilter reference(options);
+  const int ref_ticks = std::max(1, config.ticks / 4);
+  for (int t = 0; t < std::min(config.warmup, 200); ++t) {
+    for (size_t i = 0; i < measurement_dim; ++i) z[i] = MeasurementValue(t, i);
+    reference.Predict();
+    if (!reference.Correct(z)) std::abort();
+  }
+  const auto ref_start = std::chrono::steady_clock::now();
+  for (int t = 0; t < ref_ticks; ++t) {
+    for (size_t i = 0; i < measurement_dim; ++i) z[i] = MeasurementValue(t, i);
+    reference.Predict();
+    if (!reference.Correct(z)) std::abort();
+    checksum += reference.state()[0];
+  }
+  const auto ref_end = std::chrono::steady_clock::now();
+  result.ref_ns_per_tick =
+      std::chrono::duration<double, std::nano>(ref_end - ref_start).count() /
+      ref_ticks;
+  result.checksum = checksum;
+  return result;
+}
+
+}  // namespace
+}  // namespace dkf::bench
+
+int main(int argc, char** argv) {
+  using namespace dkf;
+  using namespace dkf::bench;
+  const Config config = ParseArgs(argc, argv);
+
+  // Standard models covering every inline state dimension 1-6: constant
+  // models (n = m = d) and constant-velocity linear models (n = 2a,
+  // m = a).
+  ModelNoise noise;
+  std::vector<CaseResult> results;
+  for (size_t d = 1; d <= 6; ++d) {
+    auto model = MakeConstantModel(d, noise).value();
+    results.push_back(RunCase("constant", model.options, model.measurement_dim,
+                              config));
+  }
+  for (size_t axes = 1; axes <= 3; ++axes) {
+    auto model = MakeLinearModel(axes, 1.0, noise).value();
+    results.push_back(RunCase("linear", model.options, model.measurement_dim,
+                              config));
+  }
+
+  std::printf("{\n  \"benchmark\": \"filter_hotpath\",\n");
+  std::printf("  \"ticks\": %d,\n  \"warmup\": %d,\n  \"results\": [",
+              config.ticks, config.warmup);
+  bool first = true;
+  for (const CaseResult& r : results) {
+    std::printf(
+        "%s\n    {\"model\": \"%s\", \"state_dim\": %zu, "
+        "\"measurement_dim\": %zu, \"ns_per_tick\": %.1f, "
+        "\"ref_ns_per_tick\": %.1f, \"speedup_vs_reference\": %.2f, "
+        "\"allocs_per_tick\": %.4f, \"steady_state_armed\": %s}",
+        first ? "" : ",", r.model.c_str(), r.state_dim, r.measurement_dim,
+        r.ns_per_tick, r.ref_ns_per_tick, r.ref_ns_per_tick / r.ns_per_tick,
+        r.allocs_per_tick, r.armed ? "true" : "false");
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

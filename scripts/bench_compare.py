@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare two bench_filter_hotpath JSON reports and gate regressions.
+
+Usage: bench_compare.py OLD.json NEW.json [--threshold=0.10]
+
+Matches result rows by (model, state_dim) and exits nonzero when any
+row's ns_per_tick regressed by more than the threshold (default 10%),
+when a row present in OLD disappeared from NEW, or when NEW reports
+nonzero allocs_per_tick / a disarmed fast path for an inline-size model
+(state_dim <= 6). Intended for CI and for eyeballing a PR's perf delta:
+
+    ./build-release/bench/bench_filter_hotpath > /tmp/new.json
+    scripts/bench_compare.py BENCH_filter_hotpath.json /tmp/new.json
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("benchmark") != "filter_hotpath":
+        sys.exit(f"{path}: not a filter_hotpath report")
+    return {(r["model"], r["state_dim"]): r for r in report["results"]}
+
+
+def main(argv):
+    threshold = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__.strip())
+
+    old, new = load(paths[0]), load(paths[1])
+    failures = []
+    for key, old_row in sorted(old.items()):
+        name = f"{key[0]} n={key[1]}"
+        new_row = new.get(key)
+        if new_row is None:
+            failures.append(f"{name}: present in old report, missing in new")
+            continue
+        old_ns, new_ns = old_row["ns_per_tick"], new_row["ns_per_tick"]
+        ratio = new_ns / old_ns if old_ns > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: ns/tick regressed {old_ns:.1f} -> {new_ns:.1f} "
+                f"({(ratio - 1) * 100:+.1f}%, threshold {threshold:.0%})")
+            marker = "  <-- REGRESSION"
+        if key[1] <= 6 and new_row.get("allocs_per_tick", 0) != 0:
+            failures.append(
+                f"{name}: {new_row['allocs_per_tick']} allocs/tick "
+                "(inline sizes must be allocation-free)")
+            marker = "  <-- ALLOCATES"
+        if key[1] <= 6 and not new_row.get("steady_state_armed", False):
+            failures.append(f"{name}: steady-state fast path did not arm")
+            marker = "  <-- NOT ARMED"
+        print(f"{name:16s} {old_ns:8.1f} -> {new_ns:8.1f} ns/tick "
+              f"({(ratio - 1) * 100:+6.1f}%){marker}")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

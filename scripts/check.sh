@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # One-command verify: tier-1 build + full test suite, then the sharded
 # runtime's test binaries under ThreadSanitizer (race detection for the
-# worker pool / shard tick path). See docs/runtime.md.
+# worker pool / shard tick path), then a Release-mode build of the filter
+# hot-loop benchmark, refreshing BENCH_filter_hotpath.json at the repo
+# root. See docs/runtime.md and docs/perf.md.
 #
 # Env knobs:
 #   JOBS          parallel build jobs (default: nproc)
 #   DKF_TSAN=0    skip the sanitizer stage
 #   DKF_SANITIZE  sanitizer list for the second stage (default: thread)
+#   DKF_BENCH=0   skip the Release benchmark stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,14 +23,26 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "${DKF_TSAN:-1}" == "0" ]]; then
   echo "== sanitizer stage skipped (DKF_TSAN=0) =="
-  exit 0
+else
+  echo "== sanitizer (${SANITIZE}): runtime tests =="
+  cmake -B "build-${SANITIZE//,/-}" -S . -DDKF_SANITIZE="$SANITIZE" >/dev/null
+  cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
+    --target worker_pool_test sharded_engine_test
+  "./build-${SANITIZE//,/-}/tests/worker_pool_test"
+  "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
 fi
 
-echo "== sanitizer (${SANITIZE}): runtime tests =="
-cmake -B "build-${SANITIZE//,/-}" -S . -DDKF_SANITIZE="$SANITIZE" >/dev/null
-cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
-  --target worker_pool_test sharded_engine_test
-"./build-${SANITIZE//,/-}/tests/worker_pool_test"
-"./build-${SANITIZE//,/-}/tests/sharded_engine_test"
+if [[ "${DKF_BENCH:-1}" == "0" ]]; then
+  echo "== benchmark stage skipped (DKF_BENCH=0) =="
+else
+  echo "== release bench: filter hot path =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-release -j "$JOBS" --target bench_filter_hotpath
+  ./build-release/bench/bench_filter_hotpath > BENCH_filter_hotpath.json
+  # Surface the numbers; compare against the committed snapshot with
+  #   git stash -- BENCH_filter_hotpath.json  (or git show HEAD:...)
+  #   scripts/bench_compare.py <old> BENCH_filter_hotpath.json
+  cat BENCH_filter_hotpath.json
+fi
 
 echo "== all checks passed =="

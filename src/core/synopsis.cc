@@ -96,7 +96,7 @@ Result<TimeSeries> KfSynopsis::Reconstruct() const {
       ++next_entry;
     }
     const Vector value = predictor->Predicted();
-    DKF_RETURN_IF_ERROR(out.Append(timestamps_[i], value.data()));
+    DKF_RETURN_IF_ERROR(out.Append(timestamps_[i], value.ToStdVector()));
   }
   return out;
 }
@@ -114,7 +114,7 @@ Result<TimeSeries> KfSynopsis::ReconstructSmoothed() const {
   out.Reserve(timestamps_.size());
   for (size_t i = 0; i < timestamps_.size(); ++i) {
     DKF_RETURN_IF_ERROR(
-        out.Append(timestamps_[i], rts.measurements[i].data()));
+        out.Append(timestamps_[i], rts.measurements[i].ToStdVector()));
   }
   return out;
 }

@@ -184,7 +184,7 @@ Result<KfSynopsis> LoadSynopsis(const std::string& path) {
     } else if (tag == "timestamps") {
       auto ts_or = ParseVectorRow(row);
       if (!ts_or.ok()) return ts_or.status();
-      timestamps = ts_or.value().data();
+      timestamps = ts_or.value().ToStdVector();
     } else if (tag == "entry") {
       if (row.size() < 2) return Status::InvalidArgument("bad entry row");
       long long index = 0;

@@ -10,8 +10,11 @@ Status RunSourceTick(int64_t tick, ServerNode& server,
                      Channel& channel) {
   // Resolve every reading up front so a malformed batch is rejected
   // before any filter state moves (a half-ticked link set would break
-  // mirror consistency).
-  std::vector<std::pair<SourceNode*, const Vector*>> steps;
+  // mirror consistency). The staging vector is thread-local so the per-tick
+  // hot loop reuses its capacity instead of reallocating every call (each
+  // shard worker drives its own sources on its own thread).
+  static thread_local std::vector<std::pair<SourceNode*, const Vector*>> steps;
+  steps.clear();
   steps.reserve(sources.size());
   for (auto& [id, node] : sources) {
     auto it = readings.find(id);

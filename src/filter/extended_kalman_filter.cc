@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "linalg/decompose.h"
+#include "linalg/kernels.h"
 
 namespace dkf {
 
@@ -35,7 +36,22 @@ ExtendedKalmanFilter::ExtendedKalmanFilter(
     ExtendedKalmanFilterOptions options)
     : options_(std::move(options)),
       x_(options_.initial_state),
-      p_(options_.initial_covariance) {}
+      p_(options_.initial_covariance),
+      identity_(Matrix::Identity(options_.initial_state.size())) {
+  const size_t n = x_.size();
+  const size_t m = options_.measurement_noise.rows();
+  scratch_.nn1.AssignZero(n, n);
+  scratch_.nn2.AssignZero(n, n);
+  scratch_.nn3.AssignZero(n, n);
+  scratch_.nm1.AssignZero(n, m);
+  scratch_.nm2.AssignZero(n, m);
+  scratch_.k.AssignZero(n, m);
+  scratch_.mm.AssignZero(m, m);
+  scratch_.mv1.AssignZero(m);
+  scratch_.mv2.AssignZero(m);
+  scratch_.nv1.AssignZero(n);
+  scratch_.pivots.reserve(m);
+}
 
 Result<ExtendedKalmanFilter> ExtendedKalmanFilter::Create(
     const ExtendedKalmanFilterOptions& options) {
@@ -44,7 +60,8 @@ Result<ExtendedKalmanFilter> ExtendedKalmanFilter::Create(
 }
 
 Status ExtendedKalmanFilter::Predict() {
-  const Matrix jacobian = options_.transition_jacobian(x_, step_);
+  scratch_.jac = options_.transition_jacobian(x_, step_);
+  const Matrix& jacobian = scratch_.jac;
   if (jacobian.rows() != x_.size() || jacobian.cols() != x_.size()) {
     return Status::Internal("transition Jacobian has wrong shape");
   }
@@ -52,7 +69,10 @@ Status ExtendedKalmanFilter::Predict() {
   if (x_.size() != jacobian.rows()) {
     return Status::Internal("transition changed the state dimension");
   }
-  p_ = jacobian * p_ * jacobian.Transpose() + options_.process_noise;
+  // P <- F P F^T + Q, all in scratch.
+  MultiplyInto(jacobian, p_, &scratch_.nn1);
+  MultiplyTransposedInto(scratch_.nn1, jacobian, &scratch_.nn2);
+  AddScaledInto(scratch_.nn2, options_.process_noise, 1.0, &p_);
   p_.Symmetrize();
   ++step_;
   if (!x_.IsFinite() || !p_.IsFinite()) {
@@ -66,7 +86,8 @@ Vector ExtendedKalmanFilter::PredictedMeasurement() const {
 }
 
 Status ExtendedKalmanFilter::Correct(const Vector& z) {
-  const Matrix h = options_.measurement_jacobian(x_);
+  scratch_.jac = options_.measurement_jacobian(x_);
+  const Matrix& h = scratch_.jac;
   if (h.cols() != x_.size()) {
     return Status::Internal("measurement Jacobian has wrong shape");
   }
@@ -74,19 +95,46 @@ Status ExtendedKalmanFilter::Correct(const Vector& z) {
     return Status::InvalidArgument(
         StrFormat("measurement size %zu, expected %zu", z.size(), h.rows()));
   }
-  const Matrix s = h * p_ * h.Transpose() + options_.measurement_noise;
-  auto s_inv_or = Inverse(s);
-  if (!s_inv_or.ok()) {
+  const size_t n = x_.size();
+  const size_t m = h.rows();
+
+  // S = H (P H^T) + R in scratch (P is exactly symmetric).
+  MultiplyTransposedInto(p_, h, &scratch_.nm1);
+  MultiplyInto(h, scratch_.nm1, &scratch_.mm);
+  AddScaledInto(scratch_.mm, options_.measurement_noise, 1.0, &scratch_.mm);
+
+  // K = P H^T S^{-1} by factor-and-solve (S K^T = H P), as in
+  // KalmanFilter::Correct.
+  Status factored = LuFactorInPlace(&scratch_.mm, &scratch_.pivots);
+  if (!factored.ok()) {
     return Status::FailedPrecondition(
-        "innovation covariance not invertible: " +
-        s_inv_or.status().message());
+        "innovation covariance not invertible: " + factored.message());
   }
-  const Matrix k = p_ * h.Transpose() * s_inv_or.value();
-  const Vector innovation = z - options_.measurement(x_);
-  x_ += k * innovation;
-  const Matrix i_kh = Matrix::Identity(x_.size()) - k * h;
-  p_ = i_kh * p_ * i_kh.Transpose() +
-       k * options_.measurement_noise * k.Transpose();
+  scratch_.k.AssignZero(n, m);
+  for (size_t j = 0; j < n; ++j) {
+    scratch_.mv2.AssignZero(m);
+    const double* pht_row = scratch_.nm1.RowData(j);
+    for (size_t i = 0; i < m; ++i) scratch_.mv2[i] = pht_row[i];
+    DKF_RETURN_IF_ERROR(
+        LuSolveInto(scratch_.mm, scratch_.pivots, scratch_.mv2,
+                    &scratch_.mv1));
+    for (size_t i = 0; i < m; ++i) scratch_.k(j, i) = scratch_.mv1[i];
+  }
+
+  // x <- x + K (z - h(x)).
+  scratch_.mv1 = options_.measurement(x_);
+  AddScaledInto(z, scratch_.mv1, -1.0, &scratch_.mv2);
+  MultiplyInto(scratch_.k, scratch_.mv2, &scratch_.nv1);
+  x_ += scratch_.nv1;
+
+  // Joseph-form covariance update: (I-KH) P (I-KH)^T + K R K^T.
+  MultiplyInto(scratch_.k, h, &scratch_.nn1);
+  AddScaledInto(identity_, scratch_.nn1, -1.0, &scratch_.nn2);
+  MultiplyInto(scratch_.nn2, p_, &scratch_.nn1);
+  MultiplyTransposedInto(scratch_.nn1, scratch_.nn2, &scratch_.nn3);
+  MultiplyInto(scratch_.k, options_.measurement_noise, &scratch_.nm2);
+  MultiplyTransposedInto(scratch_.nm2, scratch_.k, &scratch_.nn1);
+  AddScaledInto(scratch_.nn3, scratch_.nn1, 1.0, &p_);
   p_.Symmetrize();
   if (!x_.IsFinite() || !p_.IsFinite()) {
     return Status::Internal("EKF state diverged to non-finite values");

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -36,6 +37,12 @@ struct ExtendedKalmanFilterOptions {
 
 /// Extended Kalman filter. Mirrors the KalmanFilter tick discipline:
 /// Predict() once per step, Correct(z) only when a measurement arrives.
+///
+/// Like KalmanFilter, the per-tick arithmetic runs against a preallocated
+/// scratch workspace (linalg/kernels.h), so small-dimension ticks are
+/// allocation-free. There is no steady-state fast path: the Jacobians are
+/// re-linearized at every estimate, so the covariance recursion is never
+/// stationary.
 class ExtendedKalmanFilter {
  public:
   static Result<ExtendedKalmanFilter> Create(
@@ -65,10 +72,28 @@ class ExtendedKalmanFilter {
  private:
   explicit ExtendedKalmanFilter(ExtendedKalmanFilterOptions options);
 
+  /// Preallocated workspace for the in-place kernels (see KalmanFilter).
+  struct Scratch {
+    Matrix jac;      // transition/measurement Jacobian of the current step
+    Matrix nn1;      // n x n temporaries
+    Matrix nn2;
+    Matrix nn3;
+    Matrix nm1;      // P H^T
+    Matrix nm2;      // K R
+    Matrix k;        // gain (n x m)
+    Matrix mm;       // S, LU-factored in place
+    Vector mv1;
+    Vector mv2;
+    Vector nv1;
+    std::vector<size_t> pivots;
+  };
+
   ExtendedKalmanFilterOptions options_;
   Vector x_;
   Matrix p_;
   int64_t step_ = 0;
+  Matrix identity_;  // I_n, hoisted out of the Joseph update
+  Scratch scratch_;
 };
 
 }  // namespace dkf

@@ -2,10 +2,17 @@
 
 #include "common/string_util.h"
 #include "linalg/decompose.h"
+#include "linalg/kernels.h"
 
 namespace dkf {
 
 namespace {
+
+// Consecutive converged Corrects (under an unbroken Predict/Correct
+// cadence) required before the steady-state fast path arms. Two in a row
+// rules out a coincidental single match. Period-2 cycles require twice as
+// many hits so each phase of the cycle is confirmed twice.
+constexpr int kArmStreak = 2;
 
 Status ValidateOptions(const KalmanFilterOptions& options) {
   const size_t n = options.initial_state.size();
@@ -46,29 +53,106 @@ Status ValidateOptions(const KalmanFilterOptions& options) {
 KalmanFilter::KalmanFilter(KalmanFilterOptions options)
     : options_(std::move(options)),
       x_(options_.initial_state),
-      p_(options_.initial_covariance) {}
+      p_(options_.initial_covariance),
+      identity_(Matrix::Identity(options_.initial_state.size())) {
+  // Pre-size the workspace so the hot loop never grows anything. For
+  // n <= 6 the matrices are inline-stored and this is free; for larger
+  // states it front-loads the heap allocations into construction.
+  const size_t n = x_.size();
+  const size_t m = options_.measurement.rows();
+  scratch_.nn1.AssignZero(n, n);
+  scratch_.nn2.AssignZero(n, n);
+  scratch_.nn3.AssignZero(n, n);
+  scratch_.nm1.AssignZero(n, m);
+  scratch_.nm2.AssignZero(n, m);
+  scratch_.k.AssignZero(n, m);
+  scratch_.mm.AssignZero(m, m);
+  scratch_.mv1.AssignZero(m);
+  scratch_.mv2.AssignZero(m);
+  scratch_.mv3.AssignZero(m);
+  scratch_.nv1.AssignZero(n);
+  scratch_.pivots.reserve(m);
+  for (int i = 0; i < 2; ++i) {
+    ss_prev_post_[i].AssignZero(n, n);
+    ss_gain_[i].AssignZero(n, m);
+    ss_prior_p_[i].AssignZero(n, n);
+    ss_post_p_[i].AssignZero(n, n);
+  }
+  ss_prev_gain_.AssignZero(n, m);
+}
 
 Result<KalmanFilter> KalmanFilter::Create(const KalmanFilterOptions& options) {
   DKF_RETURN_IF_ERROR(ValidateOptions(options));
   return KalmanFilter(options);
 }
 
-Matrix KalmanFilter::TransitionAt(int64_t step) const {
-  return options_.transition_fn ? options_.transition_fn(step)
-                                : options_.transition;
+const Matrix& KalmanFilter::TransitionAt(int64_t step) {
+  if (!options_.transition_fn) return options_.transition;
+  scratch_.phi = options_.transition_fn(step);
+  return scratch_.phi;
+}
+
+void KalmanFilter::DisarmSteadyState() {
+  ss_mode_ = SsMode::kTracking;
+  ss_streak1_ = 0;
+  ss_streak2_ = 0;
+  ss_have_prev_ = 0;
 }
 
 Status KalmanFilter::Predict() {
-  const Matrix phi = TransitionAt(step_);
+  if (ss_mode_ == SsMode::kArmed) {
+    if (phase_ == Phase::kCorrected) {
+      // Fast path: x <- phi x with the frozen covariance cycle. The frozen
+      // matrices are a floating-point fixed cycle of the slow-path
+      // recursion, so assigning them is bit-identical to recomputing.
+      MultiplyInto(options_.transition, x_, &scratch_.nv1);
+      x_ = scratch_.nv1;
+      ss_idx_ = (ss_idx_ + 1) % ss_period_;
+      p_ = ss_prior_p_[ss_idx_];
+      ++step_;
+      ++predicts_since_correct_;
+      phase_ = Phase::kPredicted;
+      if (!x_.IsFinite()) {
+        return Status::Internal("filter state diverged to non-finite values");
+      }
+      return Status::OK();
+    }
+    // A second Predict without an intervening Correct (a coasting tick)
+    // moves the covariance off the frozen cycle: resume the full update.
+    DisarmSteadyState();
+  }
+  const Matrix& phi = TransitionAt(step_);
   if (phi.rows() != x_.size() || phi.cols() != x_.size()) {
     return Status::Internal(
         StrFormat("transition_fn returned %zux%zu for state dim %zu",
                   phi.rows(), phi.cols(), x_.size()));
   }
-  x_ = phi * x_;
-  p_ = phi * p_ * phi.Transpose() + options_.process_noise;
+  // x <- phi x, P <- phi P phi^T + Q, all in scratch.
+  MultiplyInto(phi, x_, &scratch_.nv1);
+  x_ = scratch_.nv1;
+  MultiplyInto(phi, p_, &scratch_.nn1);
+  MultiplyTransposedInto(scratch_.nn1, phi, &scratch_.nn2);
+  AddScaledInto(scratch_.nn2, options_.process_noise, 1.0, &p_);
   p_.Symmetrize();
   ++step_;
+  ++predicts_since_correct_;
+  if (ss_mode_ == SsMode::kArmPending) {
+    if (phase_ == Phase::kCorrected && predicts_since_correct_ == 1) {
+      // Predict after an arming/pending Correct: this a-priori covariance
+      // is one phase of the frozen cycle. Arm once all phases are
+      // captured (one Predict for period 1, two for period 2).
+      ss_prior_p_[ss_capture_idx_] = p_;
+      if (--ss_pending_priors_ == 0) {
+        ss_mode_ = SsMode::kArmed;
+        ss_idx_ = ss_capture_idx_;  // phase of the upcoming Correct
+      } else {
+        ss_capture_idx_ = (ss_capture_idx_ + 1) % ss_period_;
+      }
+    } else {
+      DisarmSteadyState();
+    }
+  }
+  phase_ = Phase::kPredicted;
   if (!x_.IsFinite() || !p_.IsFinite()) {
     return Status::Internal("filter state diverged to non-finite values");
   }
@@ -81,7 +165,11 @@ Vector KalmanFilter::PredictedMeasurement() const {
 
 Matrix KalmanFilter::InnovationCovariance() const {
   const Matrix& h = options_.measurement;
-  return h * p_ * h.Transpose() + options_.measurement_noise;
+  MultiplyTransposedInto(p_, h, &scratch_.nm1);
+  Matrix s;
+  MultiplyInto(h, scratch_.nm1, &s);
+  AddScaledInto(s, options_.measurement_noise, 1.0, &s);
+  return s;
 }
 
 Status KalmanFilter::Correct(const Vector& z) {
@@ -90,28 +178,126 @@ Status KalmanFilter::Correct(const Vector& z) {
     return Status::InvalidArgument(
         StrFormat("measurement size %zu, expected %zu", z.size(), h.rows()));
   }
-  const Matrix s = InnovationCovariance();
-  // K = P H^T S^{-1}, computed by solving S K^T = H P (S is symmetric).
-  auto s_inv_or = Inverse(s);
-  if (!s_inv_or.ok()) {
-    return Status::FailedPrecondition(
-        "innovation covariance not invertible: " +
-        s_inv_or.status().message());
+  if (ss_mode_ == SsMode::kArmed) {
+    if (phase_ == Phase::kPredicted && predicts_since_correct_ == 1) {
+      // Fast path: x <- x + K (z - H x) with the frozen gain for this
+      // cycle phase; the covariance snaps to the frozen a-posteriori
+      // value.
+      MultiplyInto(h, x_, &scratch_.mv1);
+      AddScaledInto(z, scratch_.mv1, -1.0, &scratch_.mv2);
+      MultiplyInto(ss_gain_[ss_idx_], scratch_.mv2, &scratch_.nv1);
+      x_ += scratch_.nv1;
+      p_ = ss_post_p_[ss_idx_];
+      last_innovation_ = scratch_.mv2;
+      predicts_since_correct_ = 0;
+      phase_ = Phase::kCorrected;
+      if (!x_.IsFinite()) {
+        return Status::Internal("filter state diverged to non-finite values");
+      }
+      return Status::OK();
+    }
+    DisarmSteadyState();
   }
-  const Matrix k = p_ * h.Transpose() * s_inv_or.value();
+  const size_t n = x_.size();
+  const size_t m = h.rows();
 
-  const Vector innovation = z - h * x_;
-  x_ += k * innovation;
+  // S = H (P H^T) + R, built in scratch. P is kept exactly symmetric by
+  // Symmetrize, so P H^T is the transpose of H P entry-for-entry.
+  MultiplyTransposedInto(p_, h, &scratch_.nm1);
+  MultiplyInto(h, scratch_.nm1, &scratch_.mm);
+  AddScaledInto(scratch_.mm, options_.measurement_noise, 1.0, &scratch_.mm);
+
+  // K = P H^T S^{-1}, computed by LU-factoring S once and solving
+  // S K^T = H P column-by-column (column j of H P is row j of P H^T) —
+  // faster and better conditioned than forming S^{-1} explicitly.
+  Status factored = LuFactorInPlace(&scratch_.mm, &scratch_.pivots);
+  if (!factored.ok()) {
+    return Status::FailedPrecondition(
+        "innovation covariance not invertible: " + factored.message());
+  }
+  scratch_.k.AssignZero(n, m);
+  for (size_t j = 0; j < n; ++j) {
+    scratch_.mv3.AssignZero(m);
+    const double* pht_row = scratch_.nm1.RowData(j);
+    for (size_t i = 0; i < m; ++i) scratch_.mv3[i] = pht_row[i];
+    DKF_RETURN_IF_ERROR(
+        LuSolveInto(scratch_.mm, scratch_.pivots, scratch_.mv3,
+                    &scratch_.mv1));
+    for (size_t i = 0; i < m; ++i) scratch_.k(j, i) = scratch_.mv1[i];
+  }
+
+  // x <- x + K (z - H x).
+  MultiplyInto(h, x_, &scratch_.mv1);
+  AddScaledInto(z, scratch_.mv1, -1.0, &scratch_.mv2);  // innovation
+  MultiplyInto(scratch_.k, scratch_.mv2, &scratch_.nv1);
+  x_ += scratch_.nv1;
 
   // Joseph-form covariance update: (I-KH) P (I-KH)^T + K R K^T. Stable
   // against the loss of symmetry/positivity the textbook form suffers.
-  const Matrix i_kh = Matrix::Identity(x_.size()) - k * h;
-  p_ = i_kh * p_ * i_kh.Transpose() +
-       k * options_.measurement_noise * k.Transpose();
+  MultiplyInto(scratch_.k, h, &scratch_.nn1);
+  AddScaledInto(identity_, scratch_.nn1, -1.0, &scratch_.nn2);  // I - K H
+  MultiplyInto(scratch_.nn2, p_, &scratch_.nn1);
+  MultiplyTransposedInto(scratch_.nn1, scratch_.nn2, &scratch_.nn3);
+  MultiplyInto(scratch_.k, options_.measurement_noise, &scratch_.nm2);
+  MultiplyTransposedInto(scratch_.nm2, scratch_.k, &scratch_.nn1);
+  AddScaledInto(scratch_.nn3, scratch_.nn1, 1.0, &p_);
   p_.Symmetrize();
-  last_innovation_ = innovation;
+  last_innovation_ = scratch_.mv2;
+
+  const bool cadence_ok =
+      phase_ == Phase::kPredicted && predicts_since_correct_ == 1;
+  predicts_since_correct_ = 0;
+  phase_ = Phase::kCorrected;
   if (!x_.IsFinite() || !p_.IsFinite()) {
     return Status::Internal("filter state diverged to non-finite values");
+  }
+
+  // Steady-state convergence tracking: arm once the post-Correct
+  // covariance repeats (to within the configured tolerance; exactly, by
+  // default) under an unbroken Predict/Correct cadence. Two repeat
+  // patterns arm: a true fixed point (P equals the previous post-Correct
+  // P) and the period-2 limit cycle multi-axis models settle into, where
+  // P oscillates by an ulp forever but P(t) == P(t-2) exactly.
+  if (options_.steady_state_fast_path && !options_.transition_fn &&
+      options_.steady_state_tolerance >= 0.0) {
+    const double tol = options_.steady_state_tolerance;
+    const bool hit1 = cadence_ok && ss_have_prev_ >= 1 &&
+                      p_.MaxAbsDiff(ss_prev_post_[0]) <= tol;
+    const bool hit2 = cadence_ok && ss_have_prev_ >= 2 &&
+                      p_.MaxAbsDiff(ss_prev_post_[1]) <= tol;
+    ss_streak1_ = hit1 ? ss_streak1_ + 1 : 0;
+    ss_streak2_ = hit2 ? ss_streak2_ + 1 : 0;
+    // A pending capture is only valid while its own cycle keeps repeating.
+    if (ss_mode_ == SsMode::kArmPending &&
+        ((ss_period_ == 1 && !hit1) || (ss_period_ == 2 && !hit2))) {
+      ss_mode_ = SsMode::kTracking;
+    }
+    if (ss_mode_ == SsMode::kTracking) {
+      if (ss_streak1_ >= kArmStreak) {
+        // Fixed point: a single-phase cycle.
+        ss_period_ = 1;
+        ss_gain_[0] = scratch_.k;
+        ss_post_p_[0] = p_;
+        ss_pending_priors_ = 1;
+        ss_capture_idx_ = 0;
+        ss_mode_ = SsMode::kArmPending;
+      } else if (ss_streak2_ >= 2 * kArmStreak) {
+        // Period-2 cycle: this Correct is phase 1, the previous one was
+        // phase 0 (its post-P and gain are still in the history ring).
+        ss_period_ = 2;
+        ss_gain_[0] = ss_prev_gain_;
+        ss_post_p_[0] = ss_prev_post_[0];
+        ss_gain_[1] = scratch_.k;
+        ss_post_p_[1] = p_;
+        ss_pending_priors_ = 2;
+        ss_capture_idx_ = 0;
+        ss_mode_ = SsMode::kArmPending;
+      }
+    }
+    ss_prev_post_[1] = ss_prev_post_[0];
+    ss_prev_post_[0] = p_;
+    ss_prev_gain_ = scratch_.k;
+    if (ss_have_prev_ < 2) ++ss_have_prev_;
   }
   return Status::OK();
 }
@@ -122,10 +308,17 @@ Result<double> KalmanFilter::Nis(const Vector& z) const {
     return Status::InvalidArgument(
         StrFormat("measurement size %zu, expected %zu", z.size(), h.rows()));
   }
-  const Vector innovation = z - h * x_;
-  auto solved = SolveLinear(InnovationCovariance(), innovation);
-  if (!solved.ok()) return solved.status();
-  return innovation.Dot(solved.value());
+  // y^T S^{-1} y by factor-and-solve against scratch — no inverse, no
+  // allocation.
+  MultiplyTransposedInto(p_, h, &scratch_.nm1);
+  MultiplyInto(h, scratch_.nm1, &scratch_.mm);
+  AddScaledInto(scratch_.mm, options_.measurement_noise, 1.0, &scratch_.mm);
+  MultiplyInto(h, x_, &scratch_.mv1);
+  AddScaledInto(z, scratch_.mv1, -1.0, &scratch_.mv2);
+  DKF_RETURN_IF_ERROR(LuFactorInPlace(&scratch_.mm, &scratch_.pivots));
+  DKF_RETURN_IF_ERROR(
+      LuSolveInto(scratch_.mm, scratch_.pivots, scratch_.mv2, &scratch_.mv1));
+  return scratch_.mv2.Dot(scratch_.mv1);
 }
 
 Status KalmanFilter::set_process_noise(const Matrix& q) {
@@ -133,6 +326,8 @@ Status KalmanFilter::set_process_noise(const Matrix& q) {
     return Status::InvalidArgument("process noise must be n x n");
   }
   options_.process_noise = q;
+  // The Riccati fixed point moved: leave the fast path and re-track.
+  DisarmSteadyState();
   return Status::OK();
 }
 
@@ -142,6 +337,7 @@ Status KalmanFilter::set_measurement_noise(const Matrix& r) {
     return Status::InvalidArgument("measurement noise must be m x m");
   }
   options_.measurement_noise = r;
+  DisarmSteadyState();
   return Status::OK();
 }
 
@@ -150,6 +346,9 @@ void KalmanFilter::Reset() {
   p_ = options_.initial_covariance;
   step_ = 0;
   last_innovation_ = Vector();
+  phase_ = Phase::kInitial;
+  predicts_since_correct_ = 0;
+  DisarmSteadyState();
 }
 
 bool KalmanFilter::StateEquals(const KalmanFilter& other) const {

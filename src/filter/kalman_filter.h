@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -41,6 +42,31 @@ struct KalmanFilterOptions {
 
   /// Initial error covariance P_0 (n x n).
   Matrix initial_covariance;
+
+  /// Enables the steady-state fast path: once the post-Correct covariance
+  /// settles into a repeating cycle under the regular Predict/Correct
+  /// cadence (a time-invariant model driven at every tick reaches the
+  /// Riccati fixed point — or an exact 1-ulp limit cycle of period 2 —
+  /// after a few dozen corrections), the filter freezes the gain and
+  /// covariance cycle and skips the Riccati/Joseph arithmetic entirely.
+  /// With the default exact tolerance this is *bit-identical* to the slow
+  /// path — the frozen values are a floating-point fixed cycle, so
+  /// recomputing them would reproduce them exactly — which preserves the
+  /// dual-link mirror contract. Disarmed automatically by coasting ticks,
+  /// noise reconfiguration, and Reset; never armed for time-varying
+  /// transitions. See docs/perf.md.
+  bool steady_state_fast_path = true;
+
+  /// Covariance convergence tolerance for arming the fast path, compared
+  /// against the max-abs elementwise delta of post-Correct covariances one
+  /// (period-1) or two (period-2) corrections apart. The default 0.0
+  /// requires an exact floating-point fixed cycle (bit-exactness guarantee
+  /// above). A small positive value arms earlier — and on models whose
+  /// covariance never repeats exactly (high-order polynomial models) — at
+  /// the cost of freezing a gain that differs from the converging one in
+  /// the last bits; both ends of a dual link still stay in lock-step
+  /// because they run identical code on identical inputs.
+  double steady_state_tolerance = 0.0;
 };
 
 /// Discrete Kalman filter over double-valued states.
@@ -50,6 +76,11 @@ struct KalmanFilterOptions {
 /// and call Correct(z) only when a measurement is available. Skipping
 /// Correct leaves the filter coasting on the model — exactly the behaviour
 /// the DKF protocol exploits when an update is suppressed.
+///
+/// The per-tick arithmetic runs against a preallocated per-filter scratch
+/// workspace via the in-place kernels in linalg/kernels.h, so for state
+/// dimensions <= 6 a Predict+Correct cycle performs zero heap allocations
+/// (see docs/perf.md and bench/bench_filter_hotpath.cc).
 class KalmanFilter {
  public:
   /// Validates dimensions and builds the filter. Errors with
@@ -66,7 +97,9 @@ class KalmanFilter {
 
   /// Measurement update with observation z (the correction step, eq. 8-12;
   /// the covariance update uses the Joseph form for numerical robustness).
-  /// Errors when the innovation covariance is not invertible.
+  /// The gain K = P H^T S^{-1} is computed by LU-factoring S once and
+  /// solving S K^T = H P — no explicit inverse. Errors when the innovation
+  /// covariance is not invertible.
   Status Correct(const Vector& z);
 
   /// Current state estimate (a-priori right after Predict, a-posteriori
@@ -91,20 +124,27 @@ class KalmanFilter {
 
   /// Normalized innovation squared y^T S^{-1} y for measurement z — the
   /// chi-squared consistency statistic used by outlier detection, model
-  /// switching, and adaptive sampling.
+  /// switching, and adaptive sampling. Factor-and-solve, no inverse.
   Result<double> Nis(const Vector& z) const;
 
   /// Replaces Q (used by the adaptive noise estimator and the smoothing
-  /// factor F knob). Must keep the (n x n) shape.
+  /// factor F knob). Must keep the (n x n) shape. Disarms the steady-state
+  /// fast path.
   Status set_process_noise(const Matrix& q);
 
-  /// Replaces R. Must keep the (m x m) shape.
+  /// Replaces R. Must keep the (m x m) shape. Disarms the steady-state
+  /// fast path.
   Status set_measurement_noise(const Matrix& r);
 
   const Matrix& process_noise() const { return options_.process_noise; }
   const Matrix& measurement_noise() const {
     return options_.measurement_noise;
   }
+
+  /// True while the steady-state fast path is engaged: the covariance has
+  /// converged and Predict/Correct run with the frozen gain and covariance
+  /// cycle, skipping the Riccati/Joseph arithmetic.
+  bool steady_state_armed() const { return ss_mode_ == SsMode::kArmed; }
 
   /// Resets state, covariance, and step counter to the initial values.
   void Reset();
@@ -116,13 +156,72 @@ class KalmanFilter {
  private:
   explicit KalmanFilter(KalmanFilterOptions options);
 
-  Matrix TransitionAt(int64_t step) const;
+  /// The transition for `step`. Returns a reference to the constant matrix
+  /// when no transition_fn is set (no copy); otherwise evaluates the
+  /// callback into scratch and returns a reference to it.
+  const Matrix& TransitionAt(int64_t step);
+
+  /// Where the filter sits in the Predict/Correct cadence — the guard the
+  /// steady-state fast path uses to detect coasting (Predict,Predict) and
+  /// other cadence breaks that move the covariance off its fixed cycle.
+  enum class Phase { kInitial, kPredicted, kCorrected };
+
+  /// Steady-state fast-path mode: tracking convergence, waiting for the
+  /// next Predict(s) to capture the a-priori covariance cycle, or armed.
+  enum class SsMode { kTracking, kArmPending, kArmed };
+
+  /// Leaves the fast path and restarts convergence tracking.
+  void DisarmSteadyState();
+
+  /// Preallocated per-filter workspace for the in-place kernels. Sized at
+  /// construction; kernels reshape entries via AssignZero, which reuses
+  /// capacity, so nothing here allocates after construction (and for
+  /// n <= 6 nothing allocates at all — the storage is inline).
+  struct Scratch {
+    Matrix phi;      // transition_fn result (time-varying models only)
+    Matrix nn1;      // n x n temporaries
+    Matrix nn2;
+    Matrix nn3;
+    Matrix nm1;      // P H^T
+    Matrix nm2;      // K R
+    Matrix k;        // gain (n x m)
+    Matrix mm;       // S, LU-factored in place
+    Vector mv1;      // H x / LU solve output
+    Vector mv2;      // innovation
+    Vector mv3;      // LU rhs
+    Vector nv1;      // phi x / K y
+    std::vector<size_t> pivots;
+  };
 
   KalmanFilterOptions options_;
   Vector x_;
   Matrix p_;
   int64_t step_ = 0;
   Vector last_innovation_;
+  Matrix identity_;  // I_n, hoisted out of the Joseph update
+
+  // InnovationCovariance() and Nis() are logically const but share the
+  // workspace; filters are single-threaded objects (one per source/shard).
+  mutable Scratch scratch_;
+
+  // Steady-state fast-path bookkeeping. The frozen cycle has period 1
+  // (true Riccati fixed point) or 2 (the common exact 1-ulp limit cycle);
+  // arrays are indexed by phase within the cycle.
+  Phase phase_ = Phase::kInitial;
+  SsMode ss_mode_ = SsMode::kTracking;
+  int ss_streak1_ = 0;               // consecutive Corrects with P == P(-1)
+  int ss_streak2_ = 0;               // consecutive Corrects with P == P(-2)
+  int64_t predicts_since_correct_ = 0;
+  int ss_have_prev_ = 0;             // how many previous post-P are valid
+  Matrix ss_prev_post_[2];           // post-Correct P one/two Corrects ago
+  Matrix ss_prev_gain_;              // gain of the previous Correct
+  int ss_period_ = 1;                // cycle length while pending/armed
+  int ss_pending_priors_ = 0;        // priors still to capture while pending
+  int ss_capture_idx_ = 0;           // next prior slot to capture
+  int ss_idx_ = 0;                   // cycle phase of the next Correct
+  Matrix ss_gain_[2];                // frozen gains while armed
+  Matrix ss_prior_p_[2];             // frozen a-priori covariance cycle
+  Matrix ss_post_p_[2];              // frozen a-posteriori covariance cycle
 };
 
 }  // namespace dkf

@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "linalg/decompose.h"
+#include "linalg/kernels.h"
 
 namespace dkf {
 
@@ -76,7 +77,8 @@ Result<SteadyStateKalmanFilter> SteadyStateKalmanFilter::Create(
 }
 
 void SteadyStateKalmanFilter::Predict() {
-  x_ = transition_ * x_;
+  MultiplyInto(transition_, x_, &scratch_n_);
+  x_ = scratch_n_;
   ++step_;
 }
 
@@ -99,7 +101,11 @@ Status SteadyStateKalmanFilter::Correct(const Vector& z) {
         StrFormat("measurement size %zu, expected %zu", z.size(),
                   measurement_.rows()));
   }
-  x_ += gain_ * (z - measurement_ * x_);
+  // x <- x + K (z - H x), all in scratch.
+  MultiplyInto(measurement_, x_, &scratch_m_);
+  AddScaledInto(z, scratch_m_, -1.0, &scratch_m_);
+  MultiplyInto(gain_, scratch_m_, &scratch_n_);
+  x_ += scratch_n_;
   return Status::OK();
 }
 

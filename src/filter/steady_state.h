@@ -68,6 +68,10 @@ class SteadyStateKalmanFilter {
   Matrix gain_;
   Vector x_;
   int64_t step_ = 0;
+  // Scratch for the in-place kernels: the whole per-tick cycle is three
+  // matrix-vector products against these, with zero allocations.
+  Vector scratch_n_;
+  Vector scratch_m_;
 };
 
 }  // namespace dkf

@@ -15,16 +15,17 @@ constexpr double kSingularTolerance = 1e-13;
 
 }  // namespace
 
-Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
-  if (a.rows() != a.cols()) {
+Status LuFactorInPlace(Matrix* a, std::vector<size_t>* pivots,
+                       int* pivot_sign) {
+  if (a->rows() != a->cols()) {
     return Status::InvalidArgument(
-        StrFormat("LU of non-square %zux%zu matrix", a.rows(), a.cols()));
+        StrFormat("LU of non-square %zux%zu matrix", a->rows(), a->cols()));
   }
-  const size_t n = a.rows();
-  Matrix lu = a;
-  std::vector<size_t> pivots(n);
-  int pivot_sign = 1;
-  for (size_t i = 0; i < n; ++i) pivots[i] = i;
+  Matrix& lu = *a;
+  const size_t n = lu.rows();
+  pivots->resize(n);
+  int sign = 1;
+  for (size_t i = 0; i < n; ++i) (*pivots)[i] = i;
 
   for (size_t col = 0; col < n; ++col) {
     // Partial pivot: largest magnitude entry on/below the diagonal.
@@ -44,8 +45,8 @@ Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
       for (size_t c = 0; c < n; ++c) {
         std::swap(lu(pivot_row, c), lu(col, c));
       }
-      std::swap(pivots[pivot_row], pivots[col]);
-      pivot_sign = -pivot_sign;
+      std::swap((*pivots)[pivot_row], (*pivots)[col]);
+      sign = -sign;
     }
     const double pivot = lu(col, col);
     for (size_t r = col + 1; r < n; ++r) {
@@ -56,29 +57,45 @@ Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
       }
     }
   }
-  return LuDecomposition(std::move(lu), std::move(pivots), pivot_sign);
+  if (pivot_sign != nullptr) *pivot_sign = sign;
+  return Status::OK();
 }
 
-Result<Vector> LuDecomposition::Solve(const Vector& b) const {
-  const size_t n = lu_.rows();
+Status LuSolveInto(const Matrix& lu, const std::vector<size_t>& pivots,
+                   const Vector& b, Vector* x) {
+  const size_t n = lu.rows();
   if (b.size() != n) {
     return Status::InvalidArgument(
         StrFormat("rhs size %zu, matrix order %zu", b.size(), n));
   }
   // Apply permutation, then forward/back substitution.
-  Vector x(n);
-  for (size_t i = 0; i < n; ++i) x[i] = b[pivots_[i]];
+  x->AssignZero(n);
+  for (size_t i = 0; i < n; ++i) (*x)[i] = b[pivots[i]];
   for (size_t i = 1; i < n; ++i) {
-    double sum = x[i];
-    for (size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
-    x[i] = sum;
+    double sum = (*x)[i];
+    for (size_t j = 0; j < i; ++j) sum -= lu(i, j) * (*x)[j];
+    (*x)[i] = sum;
   }
   for (size_t ii = n; ii > 0; --ii) {
     const size_t i = ii - 1;
-    double sum = x[i];
-    for (size_t j = i + 1; j < n; ++j) sum -= lu_(i, j) * x[j];
-    x[i] = sum / lu_(i, i);
+    double sum = (*x)[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= lu(i, j) * (*x)[j];
+    (*x)[i] = sum / lu(i, i);
   }
+  return Status::OK();
+}
+
+Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
+  Matrix lu = a;
+  std::vector<size_t> pivots;
+  int pivot_sign = 1;
+  DKF_RETURN_IF_ERROR(LuFactorInPlace(&lu, &pivots, &pivot_sign));
+  return LuDecomposition(std::move(lu), std::move(pivots), pivot_sign);
+}
+
+Result<Vector> LuDecomposition::Solve(const Vector& b) const {
+  Vector x;
+  DKF_RETURN_IF_ERROR(LuSolveInto(lu_, pivots_, b, &x));
   return x;
 }
 

@@ -62,6 +62,25 @@ class CholeskyDecomposition {
   Matrix l_;
 };
 
+/// Workspace-based LU primitives for allocation-free hot paths. These are
+/// the kernels LuDecomposition is built on; filters call them directly
+/// against preallocated scratch so a factor-and-solve costs zero heap
+/// allocations once the workspace is warm (see docs/perf.md).
+///
+/// Factors `a` in place into packed LU form (unit-diagonal L below, U on
+/// and above the diagonal) with partial pivoting, recording the row
+/// permutation in `pivots` (resized to n, reusing capacity) and the
+/// permutation sign in `pivot_sign` when non-null. Bit-identical to
+/// LuDecomposition::Compute. Errors leave `a` in an unspecified state.
+Status LuFactorInPlace(Matrix* a, std::vector<size_t>* pivots,
+                       int* pivot_sign = nullptr);
+
+/// Solves A x = b from the packed factor produced by LuFactorInPlace,
+/// writing the solution into `x` (reshaped, capacity reused). `x` must not
+/// alias `b`. Bit-identical to LuDecomposition::Solve.
+Status LuSolveInto(const Matrix& lu, const std::vector<size_t>& pivots,
+                   const Vector& b, Vector* x);
+
 /// Solves the linear least-squares problem min ||A x - b||_2 via Householder
 /// QR. Requires rows >= cols and full column rank.
 Result<Vector> SolveLeastSquares(const Matrix& a, const Vector& b);

@@ -1,0 +1,89 @@
+#include "linalg/kernels.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace dkf {
+
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(out != &a && out != &b);
+  assert(a.cols() == b.rows());
+  out->AssignZero(a.rows(), b.cols());
+  const size_t inner = a.cols();
+  const size_t cols = b.cols();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* a_row = a.RowData(r);
+    double* out_row = out->MutableRowData(r);
+    for (size_t k = 0; k < inner; ++k) {
+      const double av = a_row[k];
+      if (av == 0.0) continue;
+      const double* b_row = b.RowData(k);
+      for (size_t c = 0; c < cols; ++c) out_row[c] += av * b_row[c];
+    }
+  }
+}
+
+void MultiplyInto(const Matrix& a, const Vector& v, Vector* out) {
+  assert(out != &v);
+  assert(a.cols() == v.size());
+  out->AssignZero(a.rows());
+  const size_t cols = a.cols();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* a_row = a.RowData(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < cols; ++c) sum += a_row[c] * v[c];
+    (*out)[r] = sum;
+  }
+}
+
+void MultiplyTransposedInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(out != &a && out != &b);
+  assert(a.cols() == b.cols());
+  out->AssignZero(a.rows(), b.rows());
+  const size_t inner = a.cols();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* a_row = a.RowData(r);
+    double* out_row = out->MutableRowData(r);
+    for (size_t c = 0; c < b.rows(); ++c) {
+      const double* b_row = b.RowData(c);
+      // Same accumulation order (and zero-skip) as `a * b.Transpose()`.
+      double sum = 0.0;
+      for (size_t k = 0; k < inner; ++k) {
+        const double av = a_row[k];
+        if (av == 0.0) continue;
+        sum += av * b_row[k];
+      }
+      out_row[c] = sum;
+    }
+  }
+}
+
+void AddScaledInto(const Matrix& a, const Matrix& b, double scale,
+                   Matrix* out) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  if (out != &a && out != &b) out->AssignZero(a.rows(), a.cols());
+  const size_t n = a.rows() * a.cols();
+  const double* pa = a.RowData(0);
+  const double* pb = b.RowData(0);
+  double* po = out->MutableRowData(0);
+  for (size_t i = 0; i < n; ++i) po[i] = pa[i] + scale * pb[i];
+}
+
+void AddScaledInto(const Vector& a, const Vector& b, double scale,
+                   Vector* out) {
+  assert(a.size() == b.size());
+  if (out != &a && out != &b) out->AssignZero(a.size());
+  const size_t n = a.size();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out->data();
+  for (size_t i = 0; i < n; ++i) po[i] = pa[i] + scale * pb[i];
+}
+
+void SymmetrizeInto(const Matrix& a, Matrix* out) {
+  assert(a.rows() == a.cols());
+  if (out != &a) *out = a;
+  out->Symmetrize();
+}
+
+}  // namespace dkf

@@ -1,0 +1,53 @@
+#ifndef DKF_LINALG_KERNELS_H_
+#define DKF_LINALG_KERNELS_H_
+
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// In-place fused kernels for the per-tick filter hot loop.
+///
+/// Each kernel writes its result into a caller-owned output object,
+/// reshaping it with AssignZero (which reuses capacity), so a scratch
+/// Vector/Matrix recycled across ticks never touches the allocator once
+/// warm — and for the library's small dimensions (n <= 6) never touches
+/// it at all thanks to the inline storage in Vector/Matrix.
+///
+/// Determinism contract: every kernel performs the exact same
+/// floating-point operations in the exact same order as the operator
+/// expression it replaces (including the zero-skip in matrix multiply),
+/// so `MultiplyInto(a, b, &out)` produces bit-identical entries to
+/// `out = a * b`, etc. The golden tests in tests/linalg/kernels_test.cc
+/// pin this with exact `==` comparisons for all dims 1-6.
+///
+/// Aliasing: the multiply kernels require `out` to be distinct from both
+/// inputs (checked by assert). The elementwise kernels (AddScaledInto,
+/// SymmetrizeInto) allow `out` to alias either input.
+
+/// out = a * b. Bit-identical to `a * b`.
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * v. Bit-identical to `a * v`.
+void MultiplyInto(const Matrix& a, const Vector& v, Vector* out);
+
+/// out = a * b^T without materializing the transpose. Bit-identical to
+/// `a * b.Transpose()`.
+void MultiplyTransposedInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a + scale * b, elementwise. With scale +1/-1 this is
+/// bit-identical to `a + b` / `a - b` (negation is exact in IEEE-754).
+/// `out` may alias `a` or `b`.
+void AddScaledInto(const Matrix& a, const Matrix& b, double scale,
+                   Matrix* out);
+
+/// Vector overload of AddScaledInto; `out` may alias `a` or `b`.
+void AddScaledInto(const Vector& a, const Vector& b, double scale,
+                   Vector* out);
+
+/// out = (a + a^T) / 2. Bit-identical to `{ out = a; out.Symmetrize(); }`.
+/// `out` may alias `a`.
+void SymmetrizeInto(const Matrix& a, Matrix* out);
+
+}  // namespace dkf
+
+#endif  // DKF_LINALG_KERNELS_H_

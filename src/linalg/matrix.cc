@@ -86,10 +86,11 @@ Vector operator*(double scalar, const Vector& v) { return v * scalar; }
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
   cols_ = rows_ == 0 ? 0 : rows.begin()->size();
-  data_.reserve(rows_ * cols_);
+  data_.Assign(rows_ * cols_, 0.0);
+  size_t i = 0;
   for (const auto& row : rows) {
     assert(row.size() == cols_);
-    data_.insert(data_.end(), row.begin(), row.end());
+    for (double v : row) data_[i++] = v;
   }
 }
 

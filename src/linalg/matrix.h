@@ -2,34 +2,150 @@
 #define DKF_LINALG_MATRIX_H_
 
 #include <cstddef>
+#include <cstring>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dkf {
 
+namespace internal {
+
+/// Small-buffer storage for the linalg types: entries live in a fixed
+/// inline array until the element count exceeds `InlineCapacity`, after
+/// which they move to a heap block. Kalman-filter state dimensions in this
+/// library are tiny (n <= 6), so in practice vectors and matrices never
+/// touch the allocator — which is what makes the per-tick filter hot loop
+/// allocation-free (see docs/perf.md). Capacity never shrinks: once a
+/// buffer has grown (inline or heap), re-assigning a smaller size reuses
+/// the existing storage, so scratch objects can be recycled across ticks.
+template <size_t InlineCapacity>
+class InlineBuffer {
+ public:
+  InlineBuffer() = default;
+  InlineBuffer(size_t n, double value) { Assign(n, value); }
+  InlineBuffer(const InlineBuffer& other) { *this = other; }
+  InlineBuffer(InlineBuffer&& other) noexcept { *this = std::move(other); }
+  ~InlineBuffer() { delete[] heap_; }
+
+  InlineBuffer& operator=(const InlineBuffer& other) {
+    if (this == &other) return *this;
+    GrowDiscard(other.size_);
+    size_ = other.size_;
+    if (size_ > 0) std::memcpy(data(), other.data(), size_ * sizeof(double));
+    return *this;
+  }
+
+  InlineBuffer& operator=(InlineBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    if (other.heap_ != nullptr) {
+      delete[] heap_;
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = InlineCapacity;
+      other.size_ = 0;
+    } else {
+      // Inline contents cannot be stolen; copy them (size <= InlineCapacity,
+      // so this never allocates).
+      GrowDiscard(other.size_);
+      size_ = other.size_;
+      if (size_ > 0) {
+        std::memcpy(data(), other.inline_, size_ * sizeof(double));
+      }
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  double* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const double* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  double operator[](size_t i) const { return data()[i]; }
+  double& operator[](size_t i) { return data()[i]; }
+
+  double* begin() { return data(); }
+  double* end() { return data() + size_; }
+  const double* begin() const { return data(); }
+  const double* end() const { return data() + size_; }
+
+  /// Resizes to `n` entries, all set to `value`, reusing capacity.
+  void Assign(size_t n, double value) {
+    GrowDiscard(n);
+    size_ = n;
+    for (size_t i = 0; i < n; ++i) data()[i] = value;
+  }
+
+  /// Resizes to `n` entries copied from `src` (must not alias this
+  /// buffer's storage), reusing capacity.
+  void AssignCopy(size_t n, const double* src) {
+    GrowDiscard(n);
+    size_ = n;
+    if (n > 0) std::memcpy(data(), src, n * sizeof(double));
+  }
+
+ private:
+  /// Ensures capacity for `n` entries; contents are unspecified afterwards.
+  void GrowDiscard(size_t n) {
+    if (n <= capacity_) return;
+    delete[] heap_;
+    heap_ = new double[n];
+    capacity_ = n;
+  }
+
+  double inline_[InlineCapacity];
+  double* heap_ = nullptr;
+  size_t capacity_ = InlineCapacity;
+  size_t size_ = 0;
+};
+
+}  // namespace internal
+
+/// Inline capacities sized for the library's regime (state dim n <= 6,
+/// measurement dim m <= n): a vector holds up to a 6-state, a matrix up to
+/// a 6x6 block, before falling back to the heap.
+inline constexpr size_t kVectorInlineCapacity = 6;
+inline constexpr size_t kMatrixInlineCapacity = 36;
+
 class Matrix;
 
-/// A dense column vector of doubles. Kalman-filter state dimensions in this
-/// library are tiny (n <= 6), so all storage is heap-backed row-major dense
-/// with no blocking — the same regime the paper's JAMA-based implementation
-/// operated in.
+/// A dense column vector of doubles with inline small-size storage
+/// (n <= 6 never allocates; larger sizes fall back to the heap).
 class Vector {
  public:
   Vector() = default;
   /// A vector of `n` zeros.
   explicit Vector(size_t n) : data_(n, 0.0) {}
   /// From explicit entries, e.g. Vector({1.0, 2.0}).
-  Vector(std::initializer_list<double> entries) : data_(entries) {}
-  /// From a std::vector.
-  explicit Vector(std::vector<double> entries) : data_(std::move(entries)) {}
+  Vector(std::initializer_list<double> entries) {
+    data_.AssignCopy(entries.size(), entries.begin());
+  }
+  /// From a std::vector (copies the entries).
+  explicit Vector(const std::vector<double>& entries) {
+    data_.AssignCopy(entries.size(), entries.data());
+  }
 
   size_t size() const { return data_.size(); }
 
   double operator[](size_t i) const { return data_[i]; }
   double& operator[](size_t i) { return data_[i]; }
 
-  const std::vector<double>& data() const { return data_; }
+  /// Contiguous entry storage.
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  /// The entries copied into a std::vector (allocates; not for hot paths).
+  std::vector<double> ToStdVector() const {
+    return std::vector<double>(data_.begin(), data_.end());
+  }
+
+  /// Resizes to `n` entries, all zero, reusing existing capacity (the
+  /// scratch-recycling primitive used by the in-place kernels).
+  void AssignZero(size_t n) { data_.Assign(n, 0.0); }
 
   Vector operator+(const Vector& other) const;
   Vector operator-(const Vector& other) const;
@@ -56,12 +172,13 @@ class Vector {
   std::string ToString() const;
 
  private:
-  std::vector<double> data_;
+  internal::InlineBuffer<kVectorInlineCapacity> data_;
 };
 
 Vector operator*(double scalar, const Vector& v);
 
-/// A dense row-major matrix of doubles.
+/// A dense row-major matrix of doubles with inline small-size storage
+/// (up to 6x6 never allocates; larger shapes fall back to the heap).
 class Matrix {
  public:
   Matrix() = default;
@@ -85,6 +202,19 @@ class Matrix {
 
   double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
   double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  /// Row `r` as a contiguous span of cols() doubles (row-major storage).
+  const double* RowData(size_t r) const { return data_.data() + r * cols_; }
+  double* MutableRowData(size_t r) { return data_.data() + r * cols_; }
+
+  /// Reshapes to (rows x cols) with every entry zero, reusing existing
+  /// capacity (the scratch-recycling primitive used by the in-place
+  /// kernels).
+  void AssignZero(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.Assign(rows * cols, 0.0);
+  }
 
   Matrix operator+(const Matrix& other) const;
   Matrix operator-(const Matrix& other) const;
@@ -121,9 +251,13 @@ class Matrix {
   std::string ToString() const;
 
  private:
+  friend void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* out);
+  friend void MultiplyTransposedInto(const Matrix& a, const Matrix& b,
+                                     Matrix* out);
+
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  internal::InlineBuffer<kMatrixInlineCapacity> data_;
 };
 
 Matrix operator*(double scalar, const Matrix& m);
