@@ -6,10 +6,16 @@
 // the perf trajectory can be tracked across PRs.
 //
 // Flags: --sources=1000,10000 --shards=1,2,4,8,16 --ticks=200
-//        --delta=2.0
+//        --delta=2.0 --faults
 // Each run also cross-checks a sample of per-source answers against the
 // sequential baseline (the runtime's determinism contract), so a perf
 // win can never silently come from diverging behavior.
+//
+// --faults injects the deterministic chaos cocktail (bursty loss, ACK
+// loss, delay, corruption) through the hardened protocol; per-source
+// fault schedules keep the equivalence check bit-exact even then. Every
+// row reports the protocol fault/recovery counters so bench_compare.py
+// can gate on resync storms as well as on throughput.
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +41,7 @@ struct Config {
   std::vector<int> shard_counts = {1, 2, 4, 8, 16};
   int ticks = 200;
   double delta = 2.0;
+  bool faults = false;
 };
 
 std::vector<int> ParseIntList(const char* text) {
@@ -62,12 +69,37 @@ Config ParseArgs(int argc, char** argv) {
       config.ticks = std::max(1, std::atoi(arg.c_str() + 8));
     } else if (arg.rfind("--delta=", 0) == 0) {
       config.delta = std::atof(arg.c_str() + 8);
+    } else if (arg == "--faults") {
+      config.faults = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
     }
   }
   return config;
+}
+
+/// The deterministic chaos cocktail for --faults runs: bursty loss, ACK
+/// loss, one-tick delays, and corruption, drawn from per-source RNG
+/// streams so the sequential/sharded equivalence check stays bit-exact.
+ChannelOptions FaultChannel() {
+  ChannelOptions channel;
+  channel.seed = 77;
+  channel.per_source_rng = true;
+  channel.fault.gilbert_elliott = GilbertElliottLoss{
+      /*p_good_to_bad=*/0.05, /*p_bad_to_good=*/0.3,
+      /*good_loss=*/0.0, /*bad_loss=*/1.0};
+  channel.fault.delay = DelayModel{/*min_ticks=*/0, /*max_ticks=*/1};
+  channel.fault.ack_loss_probability = 0.05;
+  channel.fault.corruption_probability = 0.02;
+  return channel;
+}
+
+ProtocolOptions FaultProtocol() {
+  ProtocolOptions protocol;
+  protocol.heartbeat_interval = 8;
+  protocol.staleness_budget = 16;
+  return protocol;
 }
 
 StateModel FleetModel() {
@@ -121,6 +153,7 @@ struct RunResult {
   /// Sampled per-source answers for the equivalence cross-check.
   std::vector<double> sample_answers;
   int64_t uplink_messages = 0;
+  ProtocolFaultStats faults;
 };
 
 template <typename System>
@@ -132,6 +165,7 @@ RunResult RunWorkload(System& system, int fleet, int ticks, double delta) {
     result.sample_answers.push_back(system.Answer(id).value()[0]);
   }
   result.uplink_messages = system.uplink_traffic().messages;
+  result.faults = system.fault_stats();
   return result;
 }
 
@@ -146,13 +180,18 @@ int main(int argc, char** argv) {
   std::printf("{\n  \"benchmark\": \"runtime_throughput\",\n");
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
-  std::printf("  \"ticks\": %d,\n  \"delta\": %g,\n  \"results\": [",
-              config.ticks, config.delta);
+  std::printf("  \"ticks\": %d,\n  \"delta\": %g,\n  \"faults\": %s,\n"
+              "  \"results\": [",
+              config.ticks, config.delta, config.faults ? "true" : "false");
 
   bool first = true;
   for (int fleet : config.fleet_sizes) {
     // Sequential baseline for this fleet size.
     StreamManagerOptions seq_options;
+    if (config.faults) {
+      seq_options.channel = FaultChannel();
+      seq_options.protocol = FaultProtocol();
+    }
     StreamManager manager(seq_options);
     const RunResult baseline =
         RunWorkload(manager, fleet, config.ticks, config.delta);
@@ -161,11 +200,19 @@ int main(int argc, char** argv) {
     for (int shards : config.shard_counts) {
       ShardedStreamEngineOptions options;
       options.num_shards = shards;
+      if (config.faults) {
+        options.channel = FaultChannel();
+        options.protocol = FaultProtocol();
+      }
       ShardedStreamEngine engine(options);
       const RunResult run =
           RunWorkload(engine, fleet, config.ticks, config.delta);
 
-      bool equivalent = run.uplink_messages == baseline.uplink_messages;
+      bool equivalent = run.uplink_messages == baseline.uplink_messages &&
+                        run.faults.resyncs_sent ==
+                            baseline.faults.resyncs_sent &&
+                        run.faults.resyncs_applied ==
+                            baseline.faults.resyncs_applied;
       for (size_t i = 0; i < run.sample_answers.size(); ++i) {
         if (run.sample_answers[i] != baseline.sample_answers[i]) {
           equivalent = false;
@@ -176,9 +223,18 @@ int main(int argc, char** argv) {
           "%s\n    {\"sources\": %d, \"shards\": %d, \"seconds\": %.6f, "
           "\"ticks_per_sec\": %.2f, \"source_ticks_per_sec\": %.0f, "
           "\"sequential_ticks_per_sec\": %.2f, "
-          "\"speedup_vs_sequential\": %.3f, \"equivalent\": %s}",
+          "\"speedup_vs_sequential\": %.3f, \"equivalent\": %s, "
+          "\"divergence_events\": %lld, \"resyncs_sent\": %lld, "
+          "\"resyncs_applied\": %lld, \"degraded_ticks\": %lld, "
+          "\"max_recovery_ticks\": %lld, \"rejected_corrupt\": %lld}",
           first ? "" : ",", fleet, engine.num_shards(), run.seconds, tps,
-          tps * fleet, seq_tps, tps / seq_tps, equivalent ? "true" : "false");
+          tps * fleet, seq_tps, tps / seq_tps, equivalent ? "true" : "false",
+          static_cast<long long>(run.faults.divergence_events),
+          static_cast<long long>(run.faults.resyncs_sent),
+          static_cast<long long>(run.faults.resyncs_applied),
+          static_cast<long long>(run.faults.degraded_ticks),
+          static_cast<long long>(run.faults.max_recovery_ticks),
+          static_cast<long long>(run.faults.rejected_corrupt));
       first = false;
     }
   }

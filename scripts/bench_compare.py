@@ -1,13 +1,25 @@
 #!/usr/bin/env python3
-"""Compare two bench_filter_hotpath JSON reports and gate regressions.
+"""Compare two bench JSON reports and gate regressions.
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold=0.10]
 
-Matches result rows by (model, state_dim) and exits nonzero when any
-row's ns_per_tick regressed by more than the threshold (default 10%),
-when a row present in OLD disappeared from NEW, or when NEW reports
-nonzero allocs_per_tick / a disarmed fast path for an inline-size model
-(state_dim <= 6). Intended for CI and for eyeballing a PR's perf delta:
+Supports two report kinds (both files must be the same kind):
+
+filter_hotpath — rows keyed by (model, state_dim). Fails when any row's
+ns_per_tick regressed by more than the threshold (default 10%), when a
+row present in OLD disappeared from NEW, or when NEW reports nonzero
+allocs_per_tick / a disarmed fast path for an inline-size model
+(state_dim <= 6).
+
+runtime_throughput — rows keyed by (sources, shards). Fails when any
+row's ticks_per_sec regressed by more than the threshold, when a row
+disappeared, when the sequential-equivalence cross-check failed, or on
+a resync storm: resyncs_sent growing past the old report's count by
+more than the threshold (plus a small absolute slack), or divergence
+episodes that never healed (divergence_events > 0 with
+resyncs_applied == 0).
+
+Intended for CI and for eyeballing a PR's perf delta:
 
     ./build-release/bench/bench_filter_hotpath > /tmp/new.json
     scripts/bench_compare.py BENCH_filter_hotpath.json /tmp/new.json
@@ -16,31 +28,25 @@ nonzero allocs_per_tick / a disarmed fast path for an inline-size model
 import json
 import sys
 
+KNOWN_KINDS = ("filter_hotpath", "runtime_throughput")
+
 
 def load(path):
     with open(path) as f:
         report = json.load(f)
-    if report.get("benchmark") != "filter_hotpath":
-        sys.exit(f"{path}: not a filter_hotpath report")
-    return {(r["model"], r["state_dim"]): r for r in report["results"]}
+    kind = report.get("benchmark")
+    if kind not in KNOWN_KINDS:
+        sys.exit(f"{path}: not one of {', '.join(KNOWN_KINDS)}")
+    return kind, report
 
 
-def main(argv):
-    threshold = 0.10
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--threshold="):
-            threshold = float(arg.split("=", 1)[1])
-        else:
-            paths.append(arg)
-    if len(paths) != 2:
-        sys.exit(__doc__.strip())
-
-    old, new = load(paths[0]), load(paths[1])
+def compare_filter_hotpath(old, new, threshold):
     failures = []
-    for key, old_row in sorted(old.items()):
+    old_rows = {(r["model"], r["state_dim"]): r for r in old["results"]}
+    new_rows = {(r["model"], r["state_dim"]): r for r in new["results"]}
+    for key, old_row in sorted(old_rows.items()):
         name = f"{key[0]} n={key[1]}"
-        new_row = new.get(key)
+        new_row = new_rows.get(key)
         if new_row is None:
             failures.append(f"{name}: present in old report, missing in new")
             continue
@@ -62,6 +68,74 @@ def main(argv):
             marker = "  <-- NOT ARMED"
         print(f"{name:16s} {old_ns:8.1f} -> {new_ns:8.1f} ns/tick "
               f"({(ratio - 1) * 100:+6.1f}%){marker}")
+    return failures
+
+
+# Absolute slack on the resync-storm gate, so a near-zero old count does
+# not turn ordinary run-to-run jitter into a failure.
+RESYNC_SLACK = 10
+
+
+def compare_runtime_throughput(old, new, threshold):
+    failures = []
+    old_rows = {(r["sources"], r["shards"]): r for r in old["results"]}
+    new_rows = {(r["sources"], r["shards"]): r for r in new["results"]}
+    for key, old_row in sorted(old_rows.items()):
+        name = f"sources={key[0]} shards={key[1]}"
+        new_row = new_rows.get(key)
+        if new_row is None:
+            failures.append(f"{name}: present in old report, missing in new")
+            continue
+        old_tps, new_tps = old_row["ticks_per_sec"], new_row["ticks_per_sec"]
+        ratio = old_tps / new_tps if new_tps > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: ticks/sec regressed {old_tps:.1f} -> {new_tps:.1f} "
+                f"({(1 - new_tps / old_tps) * 100:+.1f}%, "
+                f"threshold {threshold:.0%})")
+            marker = "  <-- REGRESSION"
+        if not new_row.get("equivalent", True):
+            failures.append(
+                f"{name}: sharded run diverged from the sequential baseline")
+            marker = "  <-- DIVERGED"
+        old_resyncs = old_row.get("resyncs_sent", 0)
+        new_resyncs = new_row.get("resyncs_sent", 0)
+        if new_resyncs > old_resyncs * (1.0 + threshold) + RESYNC_SLACK:
+            failures.append(
+                f"{name}: resync storm — resyncs_sent "
+                f"{old_resyncs} -> {new_resyncs}")
+            marker = "  <-- RESYNC STORM"
+        if (new_row.get("divergence_events", 0) > 0
+                and new_row.get("resyncs_applied", 0) == 0):
+            failures.append(
+                f"{name}: {new_row['divergence_events']} divergence "
+                "event(s) but no resync was ever applied")
+            marker = "  <-- NEVER HEALED"
+        print(f"{name:28s} {old_tps:9.1f} -> {new_tps:9.1f} ticks/sec "
+              f"({(new_tps / old_tps - 1) * 100:+6.1f}%) "
+              f"resyncs {old_resyncs} -> {new_resyncs}{marker}")
+    return failures
+
+
+def main(argv):
+    threshold = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__.strip())
+
+    (old_kind, old), (new_kind, new) = load(paths[0]), load(paths[1])
+    if old_kind != new_kind:
+        sys.exit(f"report kinds differ: {old_kind} vs {new_kind}")
+    if old_kind == "filter_hotpath":
+        failures = compare_filter_hotpath(old, new, threshold)
+    else:
+        failures = compare_runtime_throughput(old, new, threshold)
 
     if failures:
         print(f"\n{len(failures)} failure(s):", file=sys.stderr)

@@ -7,8 +7,9 @@
 #
 # Env knobs:
 #   JOBS          parallel build jobs (default: nproc)
-#   DKF_TSAN=0    skip the sanitizer stage
-#   DKF_SANITIZE  sanitizer list for the second stage (default: thread)
+#   DKF_TSAN=0    skip the thread-sanitizer stage
+#   DKF_SANITIZE  sanitizer list for the TSan stage (default: thread)
+#   DKF_ASAN=0    skip the address+UB sanitizer stage
 #   DKF_BENCH=0   skip the Release benchmark stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +31,23 @@ else
     --target worker_pool_test sharded_engine_test
   "./build-${SANITIZE//,/-}/tests/worker_pool_test"
   "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
+fi
+
+if [[ "${DKF_ASAN:-1}" == "0" ]]; then
+  echo "== asan/ubsan stage skipped (DKF_ASAN=0) =="
+else
+  echo "== asan+ubsan: fault-injection / protocol tests =="
+  # The chaos harness drives the fault-injected channel, the resync
+  # state machine, and the sharded runtime end to end — exactly the new
+  # allocation patterns (in-flight queue, deferred ACKs, resync
+  # snapshots) ASan+UBSan should chew on.
+  cmake -B build-asan -S . -DDKF_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$JOBS" \
+    --target chaos_test channel_test stream_manager_test source_server_test
+  ./build-asan/tests/chaos_test
+  ./build-asan/tests/channel_test
+  ./build-asan/tests/stream_manager_test
+  ./build-asan/tests/source_server_test
 fi
 
 if [[ "${DKF_BENCH:-1}" == "0" ]]; then

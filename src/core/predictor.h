@@ -52,6 +52,28 @@ class Predictor {
     return std::nullopt;
   }
 
+  /// A full snapshot of the predictor's internal state — the payload of a
+  /// dual-link resync message.
+  struct Snapshot {
+    Vector state;
+    Matrix covariance;
+    int64_t step = 0;
+  };
+
+  /// Exports the internal state for a resync. Unimplemented by default;
+  /// schemes that support the hardened protocol override both ends.
+  virtual Result<Snapshot> ExportState() const {
+    return Status::Unimplemented("predictor does not support state export");
+  }
+
+  /// Overwrites the internal state with a peer's snapshot, bit-exact —
+  /// applying the mirror's export re-locks the two filters by
+  /// construction.
+  virtual Status ImportState(const Snapshot& snapshot) {
+    (void)snapshot;
+    return Status::Unimplemented("predictor does not support state import");
+  }
+
   /// Deep copy. A link clones its prototype once for the server filter and
   /// once for the source-side mirror.
   virtual std::unique_ptr<Predictor> Clone() const = 0;
@@ -77,6 +99,13 @@ class KalmanPredictor : public Predictor {
     return filter_.Correct(value);
   }
   std::optional<Matrix> PredictedCovariance() const override;
+  Result<Snapshot> ExportState() const override {
+    return Snapshot{filter_.state(), filter_.covariance(), filter_.step()};
+  }
+  Status ImportState(const Snapshot& snapshot) override {
+    return filter_.ImportState(snapshot.state, snapshot.covariance,
+                               snapshot.step);
+  }
   std::unique_ptr<Predictor> Clone() const override {
     return std::make_unique<KalmanPredictor>(*this);
   }

@@ -1,5 +1,8 @@
 #include "dsms/channel.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace dkf {
 
 Rng& Channel::DropRng(int source_id) {
@@ -16,24 +19,177 @@ Rng& Channel::DropRng(int source_id) {
   return it->second;
 }
 
-Result<bool> Channel::Send(const Message& message) {
-  const size_t bytes = message.SizeBytes();
-  ++total_.messages;
-  total_.bytes += static_cast<int64_t>(bytes);
-  ChannelStats& stats = per_source_[message.source_id];
-  ++stats.messages;
-  stats.bytes += static_cast<int64_t>(bytes);
+const ChannelStats& Channel::for_source(int source_id) const {
+  static const ChannelStats kEmpty;
+  auto it = per_source_.find(source_id);
+  return it == per_source_.end() ? kEmpty : it->second;
+}
 
-  if (options_.drop_probability > 0.0 &&
-      DropRng(message.source_id).Bernoulli(options_.drop_probability)) {
-    ++total_.dropped;
-    ++stats.dropped;
-    return false;
+void Channel::Corrupt(Message* framed, Rng& rng) {
+  // Flip a mantissa bit in one payload double; for payload-free types,
+  // damage the header (checksum) instead. Either way the receiver's
+  // recomputed checksum no longer matches the stamped one.
+  Vector* target = nullptr;
+  if (framed->payload.size() > 0) {
+    target = &framed->payload;
+  } else if (framed->resync_state.size() > 0) {
+    target = &framed->resync_state;
   }
+  if (target == nullptr) {
+    framed->checksum ^= 0xA5A5A5A5u;
+    return;
+  }
+  const size_t index = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(target->size()) - 1));
+  double value = (*target)[index];
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits ^= (1ULL << 20);
+  std::memcpy(&value, &bits, sizeof(value));
+  (*target)[index] = value;
+}
+
+Status Channel::Deliver(const Message& message) {
   if (sink_) {
     DKF_RETURN_IF_ERROR(sink_(message));
   }
-  return true;
+  return Status::OK();
+}
+
+Result<SendAck> Channel::Send(const Message& message) {
+  // Link-layer framing: stamp the wire checksum before any fault can
+  // touch the bits.
+  Message framed = message;
+  framed.checksum = framed.ComputeChecksum();
+
+  const size_t bytes = framed.SizeBytes();
+  ++total_.messages;
+  total_.bytes += static_cast<int64_t>(bytes);
+  ChannelStats& stats = per_source_[framed.source_id];
+  ++stats.messages;
+  stats.bytes += static_cast<int64_t>(bytes);
+
+  Rng& rng = DropRng(framed.source_id);
+  const FaultModel& fault = options_.fault;
+  const bool fault_active = fault.ActiveAt(framed.tick);
+  // Any fault feature that hides a loss from the sender makes even a
+  // "clean" drop ambiguous: the ACK path itself is unreliable.
+  const bool reliable_ack = fault.ack_loss_probability <= 0.0;
+
+  // 1. Legacy independent Bernoulli drop. Drawn first so a fault-free
+  //    channel's RNG sequence is bit-identical to the pre-fault code.
+  if (options_.drop_probability > 0.0 &&
+      rng.Bernoulli(options_.drop_probability)) {
+    ++total_.dropped;
+    ++stats.dropped;
+    return (fault_active && !reliable_ack) ? SendAck::kNoAck
+                                           : SendAck::kDropped;
+  }
+  if (!fault_active) {
+    DKF_RETURN_IF_ERROR(Deliver(framed));
+    return SendAck::kAcked;
+  }
+
+  // 2. Scheduled outage: everything sent in the window vanishes, ACK
+  //    included (deterministic, no RNG draw).
+  if (fault.InOutage(framed.tick)) {
+    ++total_.dropped;
+    ++stats.dropped;
+    ++total_.outage_dropped;
+    ++stats.outage_dropped;
+    return SendAck::kNoAck;
+  }
+
+  // 3. Gilbert–Elliott bursty loss: advance the per-source chain, then
+  //    draw against the current state's loss rate (two draws per send,
+  //    unconditionally, to keep the stream layout fixed).
+  if (fault.gilbert_elliott.has_value()) {
+    const GilbertElliottLoss& ge = *fault.gilbert_elliott;
+    bool& bad = ge_bad_[framed.source_id];
+    if (rng.Bernoulli(bad ? ge.p_bad_to_good : ge.p_good_to_bad)) bad = !bad;
+    if (rng.Bernoulli(bad ? ge.bad_loss : ge.good_loss)) {
+      ++total_.dropped;
+      ++stats.dropped;
+      return reliable_ack ? SendAck::kDropped : SendAck::kNoAck;
+    }
+  }
+
+  // 4. In-flight corruption: the message still arrives, but the server's
+  //    checksum will reject it — and no ACK comes back.
+  bool corrupted = false;
+  if (fault.corruption_probability > 0.0 &&
+      rng.Bernoulli(fault.corruption_probability)) {
+    Corrupt(&framed, rng);
+    corrupted = true;
+    ++total_.corrupted;
+    ++stats.corrupted;
+  }
+
+  // 5. Delivery delay: a nonzero draw parks the message in the in-flight
+  //    queue until BeginTick(send tick + delay).
+  int64_t delay = 0;
+  if (fault.delay.has_value()) {
+    delay = rng.UniformInt(fault.delay->min_ticks, fault.delay->max_ticks);
+  }
+
+  // 6. ACK loss (drawn now, even for delayed messages, so the draw
+  //    order per source is independent of queue timing).
+  bool ack_lost = false;
+  if (fault.ack_loss_probability > 0.0 &&
+      rng.Bernoulli(fault.ack_loss_probability)) {
+    ack_lost = true;
+    ++total_.ack_lost;
+    ++stats.ack_lost;
+  }
+
+  if (delay > 0) {
+    ++total_.delayed;
+    ++stats.delayed;
+    in_flight_.push_back(
+        InFlight{framed.tick + delay, ack_lost, corrupted, std::move(framed)});
+    return SendAck::kNoAck;
+  }
+
+  DKF_RETURN_IF_ERROR(Deliver(framed));
+  if (corrupted || ack_lost) return SendAck::kNoAck;
+  return SendAck::kAcked;
+}
+
+Status Channel::BeginTick(int64_t tick) {
+  if (in_flight_.empty()) return Status::OK();
+  // Deliver in insertion (send) order; reordering across sends emerges
+  // from differing delays, not from the drain.
+  size_t kept = 0;
+  Status failure = Status::OK();
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    InFlight& entry = in_flight_[i];
+    if (failure.ok() && entry.due <= tick) {
+      Status delivered = Deliver(entry.message);
+      if (!delivered.ok()) {
+        failure = delivered;
+        in_flight_[kept++] = std::move(entry);
+        continue;
+      }
+      // A corrupted frame triggers no receiver ACK; a lost ACK never
+      // arrives. Everything else reaches the sender on its next tick.
+      if (!entry.ack_lost && !entry.corrupted) {
+        deferred_acks_[entry.message.source_id].push_back(
+            entry.message.sequence);
+      }
+      continue;
+    }
+    in_flight_[kept++] = std::move(entry);
+  }
+  in_flight_.resize(kept);
+  return failure;
+}
+
+std::vector<uint32_t> Channel::TakeAcks(int source_id) {
+  auto it = deferred_acks_.find(source_id);
+  if (it == deferred_acks_.end()) return {};
+  std::vector<uint32_t> acks = std::move(it->second);
+  deferred_acks_.erase(it);
+  return acks;
 }
 
 }  // namespace dkf

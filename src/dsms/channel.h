@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "dsms/fault_model.h"
 #include "dsms/message.h"
 
 namespace dkf {
@@ -17,13 +19,26 @@ struct ChannelStats {
   int64_t messages = 0;
   int64_t bytes = 0;
   int64_t dropped = 0;
+  /// Messages whose payload was corrupted in flight (delivered, but the
+  /// server's checksum rejects them).
+  int64_t corrupted = 0;
+  /// Messages that entered the in-flight queue (delivery delayed by at
+  /// least one tick).
+  int64_t delayed = 0;
+  /// Delivered messages whose ACK was lost on the way back.
+  int64_t ack_lost = 0;
+  /// Messages lost to a scheduled outage window (also counted in
+  /// `dropped`).
+  int64_t outage_dropped = 0;
 };
 
 /// Lossiness configuration. The paper's testbed was a reliable LAN; the
 /// drop knob models a flaky wireless uplink with link-layer delivery
 /// feedback (802.15.4-style ACKs): the sender always learns whether the
 /// frame got through, which is what lets the mirror filter stay
-/// consistent with the server under loss.
+/// consistent with the server under loss. The `fault` model layers the
+/// imperfect-link effects that break that guarantee — bursty loss,
+/// delay/reordering, outages, lost ACKs, corruption — on top.
 struct ChannelOptions {
   double drop_probability = 0.0;
   uint64_t seed = 13;
@@ -34,11 +49,33 @@ struct ChannelOptions {
   /// sharded runtime forces this on: it is what makes lossy-channel
   /// results invariant under the shard count.
   bool per_source_rng = false;
+  /// Fault injection. Default-constructed = no faults, and the channel's
+  /// behavior (including its RNG draw sequence) is identical to the
+  /// pre-fault-layer code.
+  FaultModel fault;
+};
+
+/// What the sender learns from a Send — the link-layer ACK the source
+/// acts on.
+enum class SendAck {
+  /// Delivered, ACK received: the server saw the message.
+  kAcked,
+  /// Definitely lost (reliable-ACK loss, the legacy semantics): the
+  /// server did NOT see the message, and the sender knows it.
+  kDropped,
+  /// Ambiguous: the message may or may not have reached (or may still
+  /// reach) the server — lost ACK, in-flight delay, outage, or
+  /// corruption. The sender must assume the mirror may have diverged.
+  kNoAck,
 };
 
 /// The simulated uplink from the sensor field to the central server.
-/// Delivery is instantaneous; a Send either reaches the sink or is
-/// dropped (per `drop_probability`), and the caller is told which.
+/// Without a fault model, delivery is instantaneous and a Send either
+/// reaches the sink or is dropped (per `drop_probability`), with the
+/// caller told which. With one, messages can additionally be delayed
+/// (the tick loop drains the in-flight queue via BeginTick), lost in
+/// outage windows or loss bursts, corrupted, or delivered without an
+/// ACK.
 class Channel {
  public:
   using Sink = std::function<Status(const Message&)>;
@@ -48,22 +85,49 @@ class Channel {
   explicit Channel(Sink sink, const ChannelOptions& options = ChannelOptions())
       : sink_(std::move(sink)), options_(options), rng_(options.seed) {}
 
-  /// Accounts for and attempts delivery of a message. Returns true when
-  /// the message reached the sink, false when the channel dropped it —
-  /// the link-layer ACK the source acts on. Transmission energy/bytes are
-  /// charged either way (the bits went on air).
-  Result<bool> Send(const Message& message);
+  /// Accounts for and attempts delivery of a message, stamping the wire
+  /// checksum first. Transmission energy/bytes are charged in every case
+  /// (the bits went on air).
+  Result<SendAck> Send(const Message& message);
+
+  /// Delivers every in-flight message due at or before `tick`. The tick
+  /// loop calls this once per tick, after the server has ticked and
+  /// before the sources process their readings.
+  Status BeginTick(int64_t tick);
+
+  /// True when a delayed delivery has produced ACKs no sender has
+  /// collected yet — the cheap guard before TakeAcks.
+  bool has_deferred_acks() const { return !deferred_acks_.empty(); }
+
+  /// Drains the ACKs (by sequence number) that arrived for `source_id`
+  /// through delayed deliveries since the last call.
+  std::vector<uint32_t> TakeAcks(int source_id);
 
   const ChannelStats& total() const { return total_; }
 
-  /// Per-source counters (zero-initialized on first touch).
-  const ChannelStats& for_source(int source_id) {
-    return per_source_[source_id];
-  }
+  /// Per-source counters. Never inserts: unknown ids observe zeros.
+  const ChannelStats& for_source(int source_id) const;
+
+  /// Messages currently sitting in the in-flight (delay) queue.
+  size_t in_flight() const { return in_flight_.size(); }
 
  private:
-  /// The drop-decision RNG for a message from `source_id`.
+  /// One delayed message waiting for its delivery tick.
+  struct InFlight {
+    int64_t due = 0;
+    bool ack_lost = false;
+    bool corrupted = false;
+    Message message;
+  };
+
+  /// The fault-decision RNG for a message from `source_id`.
   Rng& DropRng(int source_id);
+
+  /// Flips bits in the framed message so the stamped checksum no longer
+  /// matches (in-flight payload corruption).
+  void Corrupt(Message* framed, Rng& rng);
+
+  Status Deliver(const Message& message);
 
   Sink sink_;
   ChannelOptions options_;
@@ -71,6 +135,10 @@ class Channel {
   ChannelStats total_;
   std::map<int, ChannelStats> per_source_;
   std::map<int, Rng> per_source_rng_;
+  /// Gilbert–Elliott chain state per source (true = bad/bursty state).
+  std::map<int, bool> ge_bad_;
+  std::vector<InFlight> in_flight_;
+  std::map<int, std::vector<uint32_t>> deferred_acks_;
 };
 
 }  // namespace dkf

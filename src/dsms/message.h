@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "linalg/matrix.h"
 
@@ -16,6 +17,13 @@ enum class MessageType {
   /// A model-switch notification (extension): tells the server to swap in
   /// bank model `model_index`, primed with `payload`.
   kModelSwitch,
+  /// A full-state resync: the mirror's state vector, covariance, and step
+  /// counter. Sent after an ambiguous ACK; applying it re-locks KF_s to
+  /// KF_m by construction (docs/protocol.md §6).
+  kResync,
+  /// A liveness beacon from a silent-but-healthy source, letting the
+  /// server tell suppression apart from link death.
+  kHeartbeat,
 };
 
 /// One unit of network traffic. The byte accounting mirrors a compact wire
@@ -28,12 +36,82 @@ struct Message {
   Vector payload;
   size_t model_index = 0;  ///< only meaningful for kModelSwitch
 
-  /// Serialized size: type/source/tick header (13 bytes) + payload, + the
-  /// model index for switch messages.
+  /// Per-source sequence number, strictly increasing over every send
+  /// attempt (including retries and heartbeats). 0 means "unsequenced":
+  /// a locally delivered message that bypasses the server's
+  /// stale/duplicate rejection — the legacy direct-OnMessage path.
+  uint32_t sequence = 0;
+
+  /// FNV-1a checksum over every other field, stamped by the channel at
+  /// send time (link-layer framing). 0 means "unframed" and skips
+  /// verification at the server.
+  uint32_t checksum = 0;
+
+  /// kResync payload: the mirror filter's full internal state.
+  Vector resync_state;
+  Matrix resync_covariance;
+  int64_t resync_step = 0;
+
+  /// Serialized size: type/source/tick/sequence/checksum header
+  /// (21 bytes) + the per-type payload: 8 bytes per payload double, + the
+  /// model index for switch messages, + the full state dump for resyncs.
+  /// Heartbeats are header-only.
   size_t SizeBytes() const {
-    size_t bytes = 1 + 4 + 8 + payload.size() * sizeof(double);
-    if (type == MessageType::kModelSwitch) bytes += 4;
+    size_t bytes = 1 + 4 + 8 + 4 + 4;
+    switch (type) {
+      case MessageType::kMeasurement:
+        bytes += payload.size() * sizeof(double);
+        break;
+      case MessageType::kModelSwitch:
+        bytes += payload.size() * sizeof(double) + 4;
+        break;
+      case MessageType::kResync:
+        bytes += resync_state.size() * sizeof(double) +
+                 resync_covariance.rows() * resync_covariance.cols() *
+                     sizeof(double) +
+                 8;  // the step counter
+        break;
+      case MessageType::kHeartbeat:
+        break;
+    }
     return bytes;
+  }
+
+  /// FNV-1a (32-bit) over every field except `checksum` itself. Used as
+  /// the wire checksum: the channel stamps it before transmission and the
+  /// server recomputes it, so fault-injected payload corruption is caught
+  /// at the door instead of entering a filter.
+  uint32_t ComputeChecksum() const {
+    uint32_t hash = 2166136261u;
+    auto mix_bytes = [&hash](const void* data, size_t size) {
+      const unsigned char* bytes = static_cast<const unsigned char*>(data);
+      for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 16777619u;
+      }
+    };
+    auto mix_double = [&mix_bytes](double value) {
+      uint64_t bits;
+      std::memcpy(&bits, &value, sizeof(bits));
+      mix_bytes(&bits, sizeof(bits));
+    };
+    const unsigned char type_byte = static_cast<unsigned char>(type);
+    mix_bytes(&type_byte, 1);
+    mix_bytes(&source_id, sizeof(source_id));
+    mix_bytes(&tick, sizeof(tick));
+    mix_bytes(&sequence, sizeof(sequence));
+    mix_bytes(&model_index, sizeof(model_index));
+    for (size_t i = 0; i < payload.size(); ++i) mix_double(payload[i]);
+    mix_bytes(&resync_step, sizeof(resync_step));
+    for (size_t i = 0; i < resync_state.size(); ++i) {
+      mix_double(resync_state[i]);
+    }
+    for (size_t r = 0; r < resync_covariance.rows(); ++r) {
+      for (size_t c = 0; c < resync_covariance.cols(); ++c) {
+        mix_double(resync_covariance(r, c));
+      }
+    }
+    return hash;
   }
 };
 

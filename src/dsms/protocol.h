@@ -1,0 +1,47 @@
+#ifndef DKF_DSMS_PROTOCOL_H_
+#define DKF_DSMS_PROTOCOL_H_
+
+#include <cstdint>
+
+namespace dkf {
+
+/// Tunables of the hardened dual-link protocol (divergence detection,
+/// resync, heartbeats, degraded answers). The defaults keep legacy
+/// behavior on a fault-free or plain-Bernoulli channel: no heartbeats,
+/// no staleness-based degradation, and the resync machinery only
+/// engages when a send's ACK is ambiguous — which a reliable-ACK
+/// channel never produces. See docs/protocol.md §6 for the state
+/// machine these knobs drive.
+struct ProtocolOptions {
+  /// When > 0, a healthy source that has not transmitted anything for
+  /// this many ticks sends a heartbeat so the server can distinguish
+  /// "suppressed (prediction is fine)" from "link dead". This bounds
+  /// the worst-case time an undetected outage can leave the server
+  /// serving unflagged answers. 0 disables heartbeats (legacy).
+  int64_t heartbeat_interval = 0;
+
+  /// On entering the pending-resync state a source retransmits its
+  /// full-state resync every tick for this many attempts...
+  int resync_burst_retries = 8;
+
+  /// ...then falls back to one attempt every `resync_retry_backoff`
+  /// ticks until an ACK heals the episode, so a long outage costs
+  /// bounded bandwidth but recovery is still guaranteed once the link
+  /// returns.
+  int64_t resync_retry_backoff = 8;
+
+  /// When > 0, the server flags a source degraded once it has heard
+  /// nothing valid for `staleness_budget` ticks (with heartbeats on,
+  /// silence means loss, not suppression). 1 is the strictest setting:
+  /// any tick without a validated arrival is flagged. 0 disables
+  /// staleness-based degradation (legacy).
+  int64_t staleness_budget = 0;
+
+  /// Covariance inflation applied to degraded answers, per tick overdue:
+  /// the reported covariance is scaled by (1 + inflation * overdue).
+  double degraded_inflation = 0.25;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_DSMS_PROTOCOL_H_

@@ -1,5 +1,7 @@
 #include "dsms/server_node.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace dkf {
@@ -12,6 +14,10 @@ Status ServerNode::RegisterSource(int source_id, const StateModel& model) {
   auto predictor_or = KalmanPredictor::Create(model);
   if (!predictor_or.ok()) return predictor_or.status();
   predictors_[source_id] = predictor_or.value().Clone();
+  LinkState link;
+  // The staleness clock starts at registration, not at tick 0.
+  link.last_valid_tick = ticks_done_ - 1;
+  links_[source_id] = link;
   return Status::OK();
 }
 
@@ -19,13 +25,24 @@ Status ServerNode::UnregisterSource(int source_id) {
   if (predictors_.erase(source_id) == 0) {
     return Status::NotFound(StrFormat("source %d not registered", source_id));
   }
+  links_.erase(source_id);
   return Status::OK();
 }
 
 Status ServerNode::TickAll() {
+  // Account degraded service for the tick that just completed (its
+  // final message state is now known). Skipped entirely in legacy
+  // configurations so the fault-free hot path pays nothing.
+  if (ticks_done_ > 0 &&
+      (protocol_.staleness_budget > 0 || faults_.resyncs_applied > 0)) {
+    for (const auto& [id, link] : links_) {
+      if (IsDegraded(link)) ++faults_.degraded_ticks;
+    }
+  }
   for (auto& [id, predictor] : predictors_) {
     DKF_RETURN_IF_ERROR(predictor->Tick());
   }
+  ++ticks_done_;
   return Status::OK();
 }
 
@@ -35,15 +52,111 @@ Status ServerNode::OnMessage(const Message& message) {
     return Status::NotFound(
         StrFormat("message for unregistered source %d", message.source_id));
   }
+  LinkState& link = links_[message.source_id];
+  const int64_t now = ticks_done_ - 1;
+
+  // Ingress validation. Rejections are protocol events, not errors: the
+  // message is counted and dropped, the tick loop continues.
+  if (message.checksum != 0 &&
+      message.ComputeChecksum() != message.checksum) {
+    ++faults_.rejected_corrupt;
+    return Status::OK();
+  }
+  const bool sequenced = message.sequence != 0;
+  if (sequenced && message.sequence <= link.last_sequence) {
+    ++faults_.rejected_stale;  // duplicate or out-of-order
+    return Status::OK();
+  }
+  auto accept_sequenced = [&]() {
+    if (!sequenced) return;
+    faults_.sequence_gaps +=
+        static_cast<int64_t>(message.sequence) -
+        static_cast<int64_t>(link.last_sequence) - 1;
+    link.last_sequence = message.sequence;
+    link.last_valid_tick = now;
+  };
+
   switch (message.type) {
     case MessageType::kMeasurement:
+      // A late measurement must not be applied: the mirror was never
+      // corrected for it (no ACK made it back in time), so applying it
+      // here would *create* the divergence the protocol guards against.
+      if (sequenced && message.tick != now) {
+        ++faults_.rejected_stale;
+        return Status::OK();
+      }
+      accept_sequenced();
+      link.last_update_tick = now;
       return it->second->Update(message.payload);
+
+    case MessageType::kResync: {
+      // Overwrite with the mirror's snapshot, then replay the ticks the
+      // snapshot spent in flight: the pair is bit-exact afterwards no
+      // matter how stale the snapshot is. Sequence ordering (above)
+      // guarantees a late resync can never clobber a newer correction.
+      const int64_t in_flight_ticks = now - message.tick;
+      if (in_flight_ticks < 0) {
+        return Status::Internal(
+            StrFormat("resync from future tick %lld at server tick %lld",
+                      static_cast<long long>(message.tick),
+                      static_cast<long long>(now)));
+      }
+      Predictor::Snapshot snapshot;
+      snapshot.state = message.resync_state;
+      snapshot.covariance = message.resync_covariance;
+      snapshot.step = message.resync_step;
+      DKF_RETURN_IF_ERROR(it->second->ImportState(snapshot));
+      for (int64_t i = 0; i < in_flight_ticks; ++i) {
+        DKF_RETURN_IF_ERROR(it->second->Tick());
+      }
+      accept_sequenced();
+      ++faults_.resyncs_applied;
+      link.last_resync_tick = now;
+      link.last_update_tick = now;
+      return Status::OK();
+    }
+
+    case MessageType::kHeartbeat:
+      // A delayed heartbeat proves nothing about the present; only a
+      // fresh one refreshes liveness.
+      if (sequenced && message.tick != now) {
+        ++faults_.rejected_stale;
+        return Status::OK();
+      }
+      accept_sequenced();
+      ++faults_.heartbeats_received;
+      return Status::OK();
+
     case MessageType::kModelSwitch:
       return Status::Unimplemented(
           "model switching runs through ModelSwitchingLink; the plain "
           "server node does not carry a model bank");
   }
   return Status::Internal("unknown message type");
+}
+
+bool ServerNode::IsDegraded(const LinkState& link) const {
+  if (ticks_done_ <= 0) return false;
+  const int64_t now = ticks_done_ - 1;
+  // The resync landed this tick: the pair is re-locked, but this tick's
+  // answer is the coasted snapshot — no delta test backed it.
+  if (link.last_resync_tick == now) return true;
+  if (protocol_.staleness_budget > 0 &&
+      now - link.last_valid_tick >= protocol_.staleness_budget) {
+    return true;
+  }
+  return false;
+}
+
+int64_t ServerNode::OverdueTicks(const LinkState& link) const {
+  if (ticks_done_ <= 0) return 0;
+  const int64_t now = ticks_done_ - 1;
+  int64_t overdue = 0;
+  if (protocol_.staleness_budget > 0) {
+    overdue = now - link.last_valid_tick - protocol_.staleness_budget + 1;
+  }
+  if (link.last_resync_tick == now) overdue = std::max<int64_t>(overdue, 1);
+  return std::max<int64_t>(overdue, 0);
 }
 
 Result<Vector> ServerNode::Answer(int source_id) const {
@@ -63,7 +176,38 @@ Result<ServerNode::ConfidentAnswer> ServerNode::AnswerWithConfidence(
   ConfidentAnswer answer;
   answer.value = it->second->Predicted();
   answer.covariance = it->second->PredictedCovariance();
+  auto link_it = links_.find(source_id);
+  if (link_it != links_.end() && IsDegraded(link_it->second)) {
+    answer.degraded = true;
+    if (answer.covariance.has_value()) {
+      const double scale =
+          1.0 + protocol_.degraded_inflation *
+                    static_cast<double>(OverdueTicks(link_it->second));
+      Matrix& covariance = *answer.covariance;
+      for (size_t r = 0; r < covariance.rows(); ++r) {
+        for (size_t c = 0; c < covariance.cols(); ++c) {
+          covariance(r, c) *= scale;
+        }
+      }
+    }
+  }
   return answer;
+}
+
+Result<bool> ServerNode::degraded(int source_id) const {
+  auto it = links_.find(source_id);
+  if (it == links_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return IsDegraded(it->second);
+}
+
+Result<int64_t> ServerNode::last_update_tick(int source_id) const {
+  auto it = links_.find(source_id);
+  if (it == links_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second.last_update_tick;
 }
 
 Result<const Predictor*> ServerNode::predictor(int source_id) const {

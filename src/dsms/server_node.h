@@ -8,6 +8,8 @@
 #include "common/result.h"
 #include "core/predictor.h"
 #include "dsms/message.h"
+#include "dsms/protocol.h"
+#include "metrics/fault_stats.h"
 #include "models/state_model.h"
 
 namespace dkf {
@@ -15,9 +17,21 @@ namespace dkf {
 /// The central server: one predictor KF_s per registered source, advanced
 /// every tick and corrected only when an update message arrives. Continuous
 /// queries are answered from the predictors without contacting the sources.
+///
+/// The hardened ingress (docs/protocol.md §6) validates every sequenced
+/// message before it can touch a filter: the wire checksum catches
+/// corruption, per-source sequence numbers catch duplicates and reorderings,
+/// and a freshness check rejects late measurements (the mirror was never
+/// corrected for those, so applying them would *cause* divergence).
+/// Rejections are protocol events, not errors — they are counted and the
+/// message is discarded. A kResync message overwrites the predictor with
+/// the mirror's snapshot and replays the ticks the snapshot missed in
+/// flight, re-locking the pair bit-exactly by construction.
 class ServerNode {
  public:
   ServerNode() = default;
+  explicit ServerNode(const ProtocolOptions& protocol)
+      : protocol_(protocol) {}
   ServerNode(ServerNode&&) = default;
   ServerNode& operator=(ServerNode&&) = default;
 
@@ -32,7 +46,7 @@ class ServerNode {
   /// simulation tick, before delivering that tick's messages.
   Status TickAll();
 
-  /// Applies an update or model-switch message.
+  /// Applies an update, resync, heartbeat, or model-switch message.
   Status OnMessage(const Message& message);
 
   /// The server's current answer for `source_id`'s stream value.
@@ -42,12 +56,31 @@ class ServerNode {
   /// state covariance projected through the measurement map; it grows
   /// during suppression runs (the longer the source stays silent, the
   /// wider the confidence band) and collapses on each update. Empty for
-  /// point predictors.
+  /// point predictors. `degraded` is set — and the covariance further
+  /// inflated — when the link is overdue (nothing valid heard within the
+  /// staleness budget) or recovering from a resync this very tick; a
+  /// degraded answer carries no delta guarantee.
   struct ConfidentAnswer {
     Vector value;
     std::optional<Matrix> covariance;
+    bool degraded = false;
   };
   Result<ConfidentAnswer> AnswerWithConfidence(int source_id) const;
+
+  /// Whether answers for `source_id` are currently served degraded.
+  Result<bool> degraded(int source_id) const;
+
+  /// Tick index (0-based) of the last applied correction — measurement or
+  /// resync — for `source_id`; -1 before the first. Lets harnesses tell
+  /// corrected answers apart from pure predictions.
+  Result<int64_t> last_update_tick(int source_id) const;
+
+  /// Server-side protocol fault counters (rejections, resyncs applied,
+  /// degraded ticks).
+  const ProtocolFaultStats& fault_stats() const { return faults_; }
+
+  /// Number of TickAll calls so far.
+  int64_t ticks() const { return ticks_done_; }
 
   /// The predictor backing a source (for tests).
   Result<const Predictor*> predictor(int source_id) const;
@@ -55,7 +88,28 @@ class ServerNode {
   size_t num_sources() const { return predictors_.size(); }
 
  private:
+  /// Per-link ingress state for the hardened protocol.
+  struct LinkState {
+    uint32_t last_sequence = 0;
+    /// Tick of the last validated arrival (measurement, resync, or
+    /// heartbeat); -1 before the first.
+    int64_t last_valid_tick = -1;
+    /// Tick at which the last resync was applied; -2 = never.
+    int64_t last_resync_tick = -2;
+    /// Tick of the last applied correction; -1 = never.
+    int64_t last_update_tick = -1;
+  };
+
+  bool IsDegraded(const LinkState& link) const;
+  /// How many ticks past the staleness budget the link is (>= 1 when
+  /// degraded; drives the covariance inflation).
+  int64_t OverdueTicks(const LinkState& link) const;
+
+  ProtocolOptions protocol_;
   std::map<int, std::unique_ptr<Predictor>> predictors_;
+  std::map<int, LinkState> links_;
+  ProtocolFaultStats faults_;
+  int64_t ticks_done_ = 0;
 };
 
 }  // namespace dkf

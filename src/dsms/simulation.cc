@@ -87,6 +87,7 @@ Result<std::vector<SourceReport>> DsmsSimulation::Run() {
     //    Sources whose data is exhausted have stopped streaming, but the
     //    server keeps extrapolating their filters, so tick everything.
     DKF_RETURN_IF_ERROR(server.TickAll());
+    DKF_RETURN_IF_ERROR(channel.BeginTick(static_cast<int64_t>(tick)));
 
     // 2. Each live source processes its reading and possibly transmits;
     //    deliveries correct KF_s through the channel sink.

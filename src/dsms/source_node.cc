@@ -1,5 +1,7 @@
 #include "dsms/source_node.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace dkf {
@@ -19,6 +21,12 @@ Result<SourceNode> SourceNode::Create(const SourceNodeOptions& options) {
     }
   } else if (options.delta <= 0.0) {
     return Status::InvalidArgument("delta must be positive");
+  }
+  if (options.protocol.resync_burst_retries < 1) {
+    return Status::InvalidArgument("resync_burst_retries must be >= 1");
+  }
+  if (options.protocol.resync_retry_backoff < 1) {
+    return Status::InvalidArgument("resync_retry_backoff must be >= 1");
   }
   auto predictor_or = KalmanPredictor::Create(options.model);
   if (!predictor_or.ok()) return predictor_or.status();
@@ -65,6 +73,66 @@ Status SourceNode::set_smoothing(std::optional<double> smoothing_factor) {
   return Status::OK();
 }
 
+void SourceNode::HandleAck(uint32_t sequence, int64_t tick) {
+  // Only a resync from the current episode proves the pair re-locked: a
+  // late-ACKed *measurement* was delivered after its tick and therefore
+  // stale-rejected by the server (the mirror was never corrected for it
+  // either — rejecting it is what keeps the pair consistent).
+  if (pending_ && first_resync_sequence_ != 0 &&
+      sequence >= first_resync_sequence_) {
+    Heal(tick);
+  }
+}
+
+void SourceNode::Heal(int64_t tick) {
+  faults_.max_recovery_ticks =
+      std::max(faults_.max_recovery_ticks, tick - pending_since_);
+  pending_ = false;
+  first_resync_sequence_ = 0;
+  resync_attempts_ = 0;
+}
+
+Status SourceNode::MaybeSendResync(int64_t tick, Channel* channel,
+                                   SourceStepResult* result) {
+  const bool due =
+      resync_attempts_ < options_.protocol.resync_burst_retries ||
+      tick - last_resync_tick_ >= options_.protocol.resync_retry_backoff;
+  if (!due) return Status::OK();
+
+  auto snapshot_or = mirror_->ExportState();
+  if (!snapshot_or.ok()) return snapshot_or.status();
+  Predictor::Snapshot snapshot = std::move(snapshot_or).value();
+
+  Message message;
+  message.type = MessageType::kResync;
+  message.source_id = options_.source_id;
+  message.tick = tick;
+  message.sequence = next_sequence_++;
+  message.resync_state = std::move(snapshot.state);
+  message.resync_covariance = std::move(snapshot.covariance);
+  message.resync_step = snapshot.step;
+  if (first_resync_sequence_ == 0) first_resync_sequence_ = message.sequence;
+
+  energy_.ChargeTransmission(message.SizeBytes());
+  ++faults_.resyncs_sent;
+  ++resync_attempts_;
+  last_resync_tick_ = tick;
+  last_send_tick_ = tick;
+  result->resync_sent = true;
+
+  if (channel == nullptr) {
+    // No channel means no server to diverge from; treat as healed.
+    Heal(tick);
+    return Status::OK();
+  }
+  auto ack_or = channel->Send(message);
+  if (!ack_or.ok()) return ack_or.status();
+  if (ack_or.value() == SendAck::kAcked) Heal(tick);
+  // kDropped: definitely lost, retry per policy. kNoAck: may yet be
+  // delivered (delay) — a deferred ACK heals the episode when it lands.
+  return Status::OK();
+}
+
 Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
                                                     const Vector& raw,
                                                     Channel* channel) {
@@ -73,6 +141,15 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
         StrFormat("reading width %zu, model expects %zu", raw.size(),
                   mirror_->dim()));
   }
+  // Deferred ACKs from delayed deliveries surface at the start of the
+  // tick (the tick loop drained the in-flight queue before the sources
+  // run).
+  if (channel != nullptr && channel->has_deferred_acks()) {
+    for (uint32_t sequence : channel->TakeAcks(options_.source_id)) {
+      HandleAck(sequence, tick);
+    }
+  }
+
   energy_.ChargeReading();
   ++readings_;
 
@@ -89,37 +166,92 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
   // entirely at the source.
   DKF_RETURN_IF_ERROR(mirror_->Tick());
   energy_.ChargeFilterStep();
-  const Vector predicted = mirror_->Predicted();
-  if (options_.component_deltas.empty()) {
-    result.sent = ShouldTransmit(predicted, result.protocol_value,
-                                 options_.delta, options_.norm);
-  } else {
-    result.sent = ShouldTransmitPerComponent(
-        predicted, result.protocol_value, Vector(options_.component_deltas));
+
+  // Pending resync: suppression is frozen (correcting the mirror while
+  // the server's state is unknown would make the divergence permanent);
+  // the mirror coasts and the node retransmits its snapshot until one is
+  // ACKed. An immediate ACK re-enters the healthy path this same tick.
+  if (pending_) {
+    DKF_RETURN_IF_ERROR(MaybeSendResync(tick, channel, &result));
   }
 
-  if (result.sent) {
-    Message message;
-    message.type = MessageType::kMeasurement;
-    message.source_id = options_.source_id;
-    message.tick = tick;
-    message.payload = result.protocol_value;
-    energy_.ChargeTransmission(message.SizeBytes());
-    ++updates_sent_;
-
-    result.delivered = true;
-    if (channel != nullptr) {
-      auto delivered_or = channel->Send(message);
-      if (!delivered_or.ok()) return delivered_or.status();
-      result.delivered = delivered_or.value();
+  if (!pending_) {
+    const Vector predicted = mirror_->Predicted();
+    if (options_.component_deltas.empty()) {
+      result.sent = ShouldTransmit(predicted, result.protocol_value,
+                                   options_.delta, options_.norm);
+    } else {
+      result.sent = ShouldTransmitPerComponent(
+          predicted, result.protocol_value, Vector(options_.component_deltas));
     }
-    // Correct the mirror only on confirmed delivery: the mirror must
-    // track the *server's* state, and the server never saw a dropped
-    // message. The next tick's deviation test retries automatically.
-    if (result.delivered) {
-      DKF_RETURN_IF_ERROR(mirror_->Update(result.protocol_value));
+
+    if (result.sent) {
+      Message message;
+      message.type = MessageType::kMeasurement;
+      message.source_id = options_.source_id;
+      message.tick = tick;
+      message.payload = result.protocol_value;
+      message.sequence = next_sequence_++;
+      energy_.ChargeTransmission(message.SizeBytes());
+      ++updates_sent_;
+      last_send_tick_ = tick;
+
+      SendAck ack = SendAck::kAcked;
+      if (channel != nullptr) {
+        auto ack_or = channel->Send(message);
+        if (!ack_or.ok()) return ack_or.status();
+        ack = ack_or.value();
+      }
+      switch (ack) {
+        case SendAck::kAcked:
+          // Correct the mirror only on confirmed delivery: the mirror
+          // must track the *server's* state.
+          result.delivered = true;
+          DKF_RETURN_IF_ERROR(mirror_->Update(result.protocol_value));
+          break;
+        case SendAck::kDropped:
+          // Reliable-ACK loss (legacy): the server never saw it, the
+          // mirror stays uncorrected, the next tick's deviation test
+          // retries automatically.
+          break;
+        case SendAck::kNoAck:
+          // The divergence-inducing case: the server may or may not have
+          // applied the measurement. Freeze suppression and start the
+          // resync episode — the first snapshot goes out right now.
+          result.ack_ambiguous = true;
+          ++faults_.ambiguous_acks;
+          ++faults_.divergence_events;
+          pending_ = true;
+          pending_since_ = tick;
+          first_resync_sequence_ = 0;
+          resync_attempts_ = 0;
+          DKF_RETURN_IF_ERROR(MaybeSendResync(tick, channel, &result));
+          break;
+      }
+    } else if (options_.protocol.heartbeat_interval > 0 &&
+               tick - last_send_tick_ >=
+                   options_.protocol.heartbeat_interval) {
+      // Healthy but silent: tell the server the prediction still holds.
+      // Heartbeats correct nothing, so their ACK (or its loss) carries no
+      // divergence risk and is ignored.
+      Message beacon;
+      beacon.type = MessageType::kHeartbeat;
+      beacon.source_id = options_.source_id;
+      beacon.tick = tick;
+      beacon.sequence = next_sequence_++;
+      energy_.ChargeTransmission(beacon.SizeBytes());
+      ++faults_.heartbeats_sent;
+      last_send_tick_ = tick;
+      result.heartbeat_sent = true;
+      if (channel != nullptr) {
+        auto ack_or = channel->Send(beacon);
+        if (!ack_or.ok()) return ack_or.status();
+      }
     }
   }
+
+  if (pending_) ++faults_.ticks_diverged;
+  result.pending_resync = pending_;
   return result;
 }
 

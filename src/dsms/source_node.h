@@ -1,6 +1,7 @@
 #ifndef DKF_DSMS_SOURCE_NODE_H_
 #define DKF_DSMS_SOURCE_NODE_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "core/suppression.h"
 #include "dsms/channel.h"
 #include "dsms/energy_model.h"
+#include "dsms/protocol.h"
+#include "metrics/fault_stats.h"
 #include "models/state_model.h"
 
 namespace dkf {
@@ -39,17 +42,32 @@ struct SourceNodeOptions {
   double smoothing_measurement_variance = 1.0;
 
   EnergyModelOptions energy;
+
+  /// Hardened-protocol knobs (heartbeats, resync retry policy). The
+  /// defaults keep legacy behavior on reliable-ACK channels.
+  ProtocolOptions protocol;
 };
 
 /// Result of processing one reading at the source.
 struct SourceStepResult {
-  /// A transmission was attempted.
+  /// A measurement transmission was attempted.
   bool sent = false;
-  /// The transmission reached the server (always equals `sent` on a
-  /// loss-free channel). On a drop the mirror is NOT corrected — keeping
-  /// it consistent with the server — and the suppression rule naturally
-  /// retries on the next tick while the deviation persists.
+  /// The transmission reached the server AND its ACK came back (always
+  /// equals `sent` on a loss-free channel). On a definite drop the mirror
+  /// is NOT corrected — keeping it consistent with the server — and the
+  /// suppression rule naturally retries on the next tick while the
+  /// deviation persists.
   bool delivered = false;
+  /// The measurement's ACK was ambiguous (lost ACK, delay, outage, or
+  /// corruption): the node entered the pending-resync state this tick.
+  bool ack_ambiguous = false;
+  /// A full-state resync was transmitted this tick.
+  bool resync_sent = false;
+  /// A heartbeat was transmitted this tick.
+  bool heartbeat_sent = false;
+  /// The node ended the tick still pending resync (suppression frozen,
+  /// the mirror coasting).
+  bool pending_resync = false;
   /// The value that entered the protocol (smoothed if KF_c is active).
   Vector protocol_value;
 };
@@ -58,6 +76,13 @@ struct SourceStepResult {
 /// the smoothing filter KF_c), evaluates the suppression rule locally, and
 /// transmits a measurement message only when the server-side prediction
 /// would violate the precision constraint.
+///
+/// Under the hardened protocol the node also runs the source half of the
+/// divergence state machine (docs/protocol.md §6): every send carries a
+/// sequence number; an ambiguous ACK on a measurement freezes suppression
+/// and switches the node to retransmitting a full-state resync (burst,
+/// then backoff) until one is ACKed; while healthy but silent it emits
+/// heartbeats so the server can bound undetected divergence time.
 class SourceNode {
  public:
   static Result<SourceNode> Create(const SourceNodeOptions& options);
@@ -66,7 +91,8 @@ class SourceNode {
   SourceNode& operator=(SourceNode&&) = default;
 
   /// Processes the reading for tick `tick`, possibly transmitting through
-  /// `channel`. Must be called once per tick, after the server has ticked.
+  /// `channel`. Must be called once per tick, after the server has ticked
+  /// and the channel's in-flight queue was drained (Channel::BeginTick).
   Result<SourceStepResult> ProcessReading(int64_t tick, const Vector& raw,
                                           Channel* channel);
 
@@ -89,6 +115,13 @@ class SourceNode {
   int64_t updates_sent() const { return updates_sent_; }
   int source_id() const { return options_.source_id; }
 
+  /// True while the node is in the pending-resync state (the mirror may
+  /// have diverged from KF_s; suppression is frozen).
+  bool resync_pending() const { return pending_; }
+
+  /// Source-side protocol fault counters.
+  const ProtocolFaultStats& fault_stats() const { return faults_; }
+
   /// The mirror predictor (for the mirror-consistency tests).
   const Predictor& mirror() const { return *mirror_; }
 
@@ -99,12 +132,36 @@ class SourceNode {
       : options_(options), mirror_(std::move(mirror)),
         smoother_(std::move(smoother)), energy_(options.energy) {}
 
+  /// Processes a deferred ACK (delayed delivery) for sequence `sequence`.
+  void HandleAck(uint32_t sequence, int64_t tick);
+
+  /// Leaves the pending state, recording the episode length.
+  void Heal(int64_t tick);
+
+  /// Transmits a full-state resync if the retry policy says one is due.
+  Status MaybeSendResync(int64_t tick, Channel* channel,
+                         SourceStepResult* result);
+
   SourceNodeOptions options_;
   std::unique_ptr<Predictor> mirror_;
   std::optional<KalmanSmoother> smoother_;
   EnergyAccount energy_;
   int64_t readings_ = 0;
   int64_t updates_sent_ = 0;
+
+  /// Next wire sequence number (0 is reserved for "unsequenced").
+  uint32_t next_sequence_ = 1;
+  /// Divergence state machine (see docs/protocol.md §6).
+  bool pending_ = false;
+  int64_t pending_since_ = 0;
+  /// First sequence number used for a resync in the current episode; any
+  /// ACKed sequence >= this proves a resync got through.
+  uint32_t first_resync_sequence_ = 0;
+  int resync_attempts_ = 0;
+  int64_t last_resync_tick_ = -1;
+  /// Tick of the last transmission attempt of any kind (heartbeat pacing).
+  int64_t last_send_tick_ = -1;
+  ProtocolFaultStats faults_;
 };
 
 }  // namespace dkf

@@ -9,6 +9,7 @@ namespace dkf {
 
 StreamManager::StreamManager(const StreamManagerOptions& options)
     : options_(options),
+      server_(options.protocol),
       channel_(
           [this](const Message& message) {
             return server_.OnMessage(message);
@@ -27,6 +28,7 @@ Status StreamManager::RegisterSource(int source_id, const StateModel& model) {
   node_options.model = model;
   node_options.delta = options_.default_delta;
   node_options.energy = options_.energy;
+  node_options.protocol = options_.protocol;
   auto node_or = SourceNode::Create(node_options);
   if (!node_or.ok()) {
     // Keep server and source sets consistent on failure.
@@ -150,6 +152,25 @@ Result<double> StreamManager::AnswerAggregate(int aggregate_id) const {
   return sum;
 }
 
+Result<StreamManager::AggregateAnswer> StreamManager::AnswerAggregateWithStatus(
+    int aggregate_id) const {
+  auto it = aggregates_.find(aggregate_id);
+  if (it == aggregates_.end()) {
+    return Status::NotFound(
+        StrFormat("aggregate %d not registered", aggregate_id));
+  }
+  AggregateAnswer aggregate;
+  for (int source_id : it->second.source_ids) {
+    auto answer_or = server_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    aggregate.value += answer_or.value()[0];
+    auto degraded_or = server_.degraded(source_id);
+    if (!degraded_or.ok()) return degraded_or.status();
+    if (degraded_or.value()) ++aggregate.degraded_members;
+  }
+  return aggregate;
+}
+
 Status StreamManager::ReconfigureSource(int source_id) {
   auto changed_or = InstallEffectiveConfig(
       registry_, options_.default_delta, source_id, *sources_.at(source_id),
@@ -187,6 +208,39 @@ Status StreamManager::VerifyMirrorConsistency() const {
     if (!node->mirror().StateEquals(*predictor_or.value())) {
       return Status::Internal(
           StrFormat("mirror-consistency violated for source %d", id));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> StreamManager::answer_degraded(int source_id) const {
+  return server_.degraded(source_id);
+}
+
+Result<bool> StreamManager::resync_pending(int source_id) const {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->resync_pending();
+}
+
+ProtocolFaultStats StreamManager::fault_stats() const {
+  ProtocolFaultStats merged = server_.fault_stats();
+  for (const auto& [id, node] : sources_) {
+    merged.MergeFrom(node->fault_stats());
+  }
+  return merged;
+}
+
+Status StreamManager::VerifyLinkConsistency() const {
+  for (const auto& [id, node] : sources_) {
+    if (node->resync_pending()) continue;
+    auto predictor_or = server_.predictor(id);
+    if (!predictor_or.ok()) return predictor_or.status();
+    if (!node->mirror().StateEquals(*predictor_or.value())) {
+      return Status::Internal(
+          StrFormat("link-consistency violated for healthy source %d", id));
     }
   }
   return Status::OK();

@@ -7,8 +7,10 @@
 #include "common/result.h"
 #include "dsms/channel.h"
 #include "dsms/energy_model.h"
+#include "dsms/protocol.h"
 #include "dsms/server_node.h"
 #include "dsms/source_node.h"
+#include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "query/aggregate.h"
 #include "query/query.h"
@@ -23,6 +25,9 @@ struct StreamManagerOptions {
   /// Delta a source runs at before any query binds to it (a registered
   /// source with no query still streams, at this loose precision).
   double default_delta = 1e6;
+  /// Hardened-protocol knobs shared by the server and every source
+  /// (heartbeats, resync retry policy, degraded-answer thresholds).
+  ProtocolOptions protocol;
 };
 
 /// The paper's Figure-1 system as one object (§6 first future-work item:
@@ -68,6 +73,17 @@ class StreamManager {
   /// The server's current answer for an aggregate query's sum.
   Result<double> AnswerAggregate(int aggregate_id) const;
 
+  /// An aggregate answer plus its degradation status: how many member
+  /// sources are currently served degraded. A nonzero count voids the
+  /// aggregate's precision guarantee for this tick (see
+  /// docs/protocol.md §6).
+  struct AggregateAnswer {
+    double value = 0.0;
+    int degraded_members = 0;
+    bool degraded() const { return degraded_members > 0; }
+  };
+  Result<AggregateAnswer> AnswerAggregateWithStatus(int aggregate_id) const;
+
   /// Advances one tick: the server propagates every filter, then each
   /// source processes its reading (suppressing or transmitting).
   /// `readings` must contain exactly one entry per registered source.
@@ -80,8 +96,24 @@ class StreamManager {
   Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
       int source_id) const;
 
+  /// Whether answers for a source are currently served degraded.
+  Result<bool> answer_degraded(int source_id) const;
+
+  /// Whether a source is in the pending-resync state.
+  Result<bool> resync_pending(int source_id) const;
+
+  /// Fleet-wide protocol fault counters: the server's ingress counters
+  /// merged with every source's divergence/resync counters.
+  ProtocolFaultStats fault_stats() const;
+
   /// Verifies the mirror-consistency invariant across every source.
   Status VerifyMirrorConsistency() const;
+
+  /// The relaxed invariant that holds even under divergence-inducing
+  /// faults: every source that is NOT pending resync has a mirror
+  /// bit-identical to its server predictor. (VerifyMirrorConsistency is
+  /// this with zero sources pending.)
+  Status VerifyLinkConsistency() const;
 
   const ChannelStats& uplink_traffic() const { return channel_.total(); }
   int64_t control_messages() const { return control_messages_; }

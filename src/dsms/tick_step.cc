@@ -24,8 +24,13 @@ Status RunSourceTick(int64_t tick, ServerNode& server,
     }
     steps.emplace_back(node.get(), &it->second);
   }
-  // Server-side prediction step for every stream, then the sources.
+  // Server-side prediction step for every stream, then the channel's
+  // in-flight (delayed) messages due this tick, then the sources — so a
+  // message delayed d ticks reaches the server after it has ticked past
+  // the send tick, and its deferred ACK is visible to the sender when it
+  // processes this tick's reading.
   DKF_RETURN_IF_ERROR(server.TickAll());
+  DKF_RETURN_IF_ERROR(channel.BeginTick(tick));
   for (auto& [node, reading] : steps) {
     auto step_or = node->ProcessReading(tick, *reading, &channel);
     if (!step_or.ok()) return step_or.status();

@@ -351,6 +351,25 @@ void KalmanFilter::Reset() {
   DisarmSteadyState();
 }
 
+Status KalmanFilter::ImportState(const Vector& x, const Matrix& p,
+                                 int64_t step) {
+  if (x.size() != x_.size()) {
+    return Status::InvalidArgument("imported state has the wrong dimension");
+  }
+  if (p.rows() != p_.rows() || p.cols() != p_.cols()) {
+    return Status::InvalidArgument(
+        "imported covariance has the wrong dimensions");
+  }
+  x_ = x;
+  p_ = p;
+  step_ = step;
+  last_innovation_ = Vector();
+  phase_ = Phase::kPredicted;
+  predicts_since_correct_ = 1;
+  DisarmSteadyState();
+  return Status::OK();
+}
+
 bool KalmanFilter::StateEquals(const KalmanFilter& other) const {
   if (step_ != other.step_ || x_.size() != other.x_.size()) return false;
   for (size_t i = 0; i < x_.size(); ++i) {

@@ -149,6 +149,14 @@ class KalmanFilter {
   /// Resets state, covariance, and step counter to the initial values.
   void Reset();
 
+  /// Overwrites state, covariance, and step counter with an externally
+  /// supplied snapshot — the receiving half of the dual-link full-state
+  /// resync. The snapshot is taken bit-exact (no arithmetic touches it),
+  /// the filter is placed in the post-Predict phase (a resync carries the
+  /// peer's a-priori state), and the steady-state fast path is disarmed.
+  /// Errors when the dimensions do not match this filter's model.
+  Status ImportState(const Vector& x, const Matrix& p, int64_t step);
+
   /// True when the two filters have bit-identical state, covariance, and
   /// step counter — the mirror-consistency predicate of the DKF protocol.
   bool StateEquals(const KalmanFilter& other) const;

@@ -1,0 +1,28 @@
+#include "metrics/fault_stats.h"
+
+#include <algorithm>
+
+namespace dkf {
+
+void ProtocolFaultStats::MergeFrom(const ProtocolFaultStats& other) {
+  divergence_events += other.divergence_events;
+  resyncs_sent += other.resyncs_sent;
+  heartbeats_sent += other.heartbeats_sent;
+  ambiguous_acks += other.ambiguous_acks;
+  ticks_diverged += other.ticks_diverged;
+  max_recovery_ticks = std::max(max_recovery_ticks, other.max_recovery_ticks);
+  resyncs_applied += other.resyncs_applied;
+  heartbeats_received += other.heartbeats_received;
+  rejected_stale += other.rejected_stale;
+  rejected_corrupt += other.rejected_corrupt;
+  sequence_gaps += other.sequence_gaps;
+  degraded_ticks += other.degraded_ticks;
+}
+
+double ProtocolFaultStats::MeanRecoveryTicks() const {
+  if (divergence_events == 0) return 0.0;
+  return static_cast<double>(ticks_diverged) /
+         static_cast<double>(divergence_events);
+}
+
+}  // namespace dkf

@@ -6,12 +6,15 @@
 namespace dkf {
 
 StreamShard::StreamShard(const ChannelOptions& channel,
-                         EnergyModelOptions energy, double default_delta)
-    : channel_([this](const Message& message) {
+                         EnergyModelOptions energy, double default_delta,
+                         const ProtocolOptions& protocol)
+    : server_(protocol),
+      channel_([this](const Message& message) {
         return server_.OnMessage(message);
       }, channel),
       energy_(energy),
-      default_delta_(default_delta) {}
+      default_delta_(default_delta),
+      protocol_(protocol) {}
 
 Status StreamShard::AddSource(int source_id, const StateModel& model) {
   if (sources_.contains(source_id)) {
@@ -25,6 +28,7 @@ Status StreamShard::AddSource(int source_id, const StateModel& model) {
   node_options.model = model;
   node_options.delta = default_delta_;
   node_options.energy = energy_;
+  node_options.protocol = protocol_;
   auto node_or = SourceNode::Create(node_options);
   if (!node_or.ok()) {
     // Keep server and source sets consistent on failure.
@@ -73,6 +77,54 @@ Result<double> StreamShard::PartialSum(
     sum += answer_or.value()[0];
   }
   return sum;
+}
+
+Result<std::pair<double, int>> StreamShard::PartialSumWithStatus(
+    const std::vector<int>& source_ids) const {
+  double sum = 0.0;
+  int degraded_members = 0;
+  for (int source_id : source_ids) {
+    auto answer_or = server_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    sum += answer_or.value()[0];
+    auto degraded_or = server_.degraded(source_id);
+    if (!degraded_or.ok()) return degraded_or.status();
+    if (degraded_or.value()) ++degraded_members;
+  }
+  return std::make_pair(sum, degraded_members);
+}
+
+Status StreamShard::VerifyLinkConsistency() const {
+  for (const auto& [id, node] : sources_) {
+    if (node->resync_pending()) continue;
+    auto predictor_or = server_.predictor(id);
+    if (!predictor_or.ok()) return predictor_or.status();
+    if (!node->mirror().StateEquals(*predictor_or.value())) {
+      return Status::Internal(
+          StrFormat("link-consistency violated for healthy source %d", id));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> StreamShard::answer_degraded(int source_id) const {
+  return server_.degraded(source_id);
+}
+
+Result<bool> StreamShard::resync_pending(int source_id) const {
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->resync_pending();
+}
+
+ProtocolFaultStats StreamShard::fault_stats() const {
+  ProtocolFaultStats merged = server_.fault_stats();
+  for (const auto& [id, node] : sources_) {
+    merged.MergeFrom(node->fault_stats());
+  }
+  return merged;
 }
 
 Status StreamShard::VerifyMirrorConsistency() const {

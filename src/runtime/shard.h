@@ -4,13 +4,16 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "dsms/channel.h"
 #include "dsms/energy_model.h"
+#include "dsms/protocol.h"
 #include "dsms/server_node.h"
 #include "dsms/source_node.h"
+#include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "query/registry.h"
 
@@ -33,7 +36,8 @@ class StreamShard {
   /// `channel` should have per_source_rng set (the engine forces it) so
   /// drop sequences do not depend on which shard a source landed in.
   StreamShard(const ChannelOptions& channel, EnergyModelOptions energy,
-              double default_delta);
+              double default_delta,
+              const ProtocolOptions& protocol = ProtocolOptions());
 
   /// Installs a source and its dual filters on this shard.
   Status AddSource(int source_id, const StateModel& model);
@@ -56,8 +60,27 @@ class StreamShard {
   /// aggregate query.
   Result<double> PartialSum(const std::vector<int>& source_ids) const;
 
+  /// Sum of the current answers for `source_ids` plus the number of
+  /// members currently served degraded.
+  Result<std::pair<double, int>> PartialSumWithStatus(
+      const std::vector<int>& source_ids) const;
+
   /// Mirror-consistency invariant over this shard's links.
   Status VerifyMirrorConsistency() const;
+
+  /// The fault-tolerant variant: every source NOT pending resync must
+  /// have a mirror bit-identical to its server predictor.
+  Status VerifyLinkConsistency() const;
+
+  /// Whether a source's answers are currently served degraded.
+  Result<bool> answer_degraded(int source_id) const;
+
+  /// Whether a source is in the pending-resync state.
+  Result<bool> resync_pending(int source_id) const;
+
+  /// This shard's merged protocol fault counters (server ingress +
+  /// per-source divergence).
+  ProtocolFaultStats fault_stats() const;
 
   Result<double> source_delta(int source_id) const;
   Result<int64_t> updates_sent(int source_id) const;
@@ -75,6 +98,7 @@ class StreamShard {
   Channel channel_;
   EnergyModelOptions energy_;
   double default_delta_;
+  ProtocolOptions protocol_;
   std::map<int, std::unique_ptr<SourceNode>> sources_;
   /// Smoothing factor currently installed at each node (tracked so an
   /// unrelated reconfiguration does not restart KF_c).

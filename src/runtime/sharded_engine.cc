@@ -24,7 +24,8 @@ ShardedStreamEngine::ShardedStreamEngine(
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<StreamShard>(
-        channel, options_.energy, options_.default_delta));
+        channel, options_.energy, options_.default_delta,
+        options_.protocol));
   }
 }
 
@@ -172,6 +173,24 @@ Result<double> ShardedStreamEngine::AnswerAggregate(int aggregate_id) const {
   return sum;
 }
 
+Result<ShardedStreamEngine::AggregateAnswer>
+ShardedStreamEngine::AnswerAggregateWithStatus(int aggregate_id) const {
+  auto it = aggregates_.find(aggregate_id);
+  if (it == aggregates_.end()) {
+    return Status::NotFound(
+        StrFormat("aggregate %d not registered", aggregate_id));
+  }
+  AggregateAnswer aggregate;
+  for (const auto& [shard, members] : it->second.members_by_shard) {
+    auto partial_or =
+        shards_[static_cast<size_t>(shard)]->PartialSumWithStatus(members);
+    if (!partial_or.ok()) return partial_or.status();
+    aggregate.value += partial_or.value().first;
+    aggregate.degraded_members += partial_or.value().second;
+  }
+  return aggregate;
+}
+
 Status ShardedStreamEngine::ProcessTick(const std::map<int, Vector>& readings) {
   if (readings.size() != registered_.size()) {
     return Status::InvalidArgument(
@@ -216,11 +235,41 @@ ChannelStats ShardedStreamEngine::uplink_traffic() const {
   return MergeChannelStats(per_shard);
 }
 
+Status ShardedStreamEngine::VerifyLinkConsistency() const {
+  for (const auto& shard : shards_) {
+    DKF_RETURN_IF_ERROR(shard->VerifyLinkConsistency());
+  }
+  return Status::OK();
+}
+
+Result<bool> ShardedStreamEngine::answer_degraded(int source_id) const {
+  if (!HasSource(source_id)) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return OwningShard(source_id).answer_degraded(source_id);
+}
+
+Result<bool> ShardedStreamEngine::resync_pending(int source_id) const {
+  if (!HasSource(source_id)) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return OwningShard(source_id).resync_pending(source_id);
+}
+
+ProtocolFaultStats ShardedStreamEngine::fault_stats() const {
+  ProtocolFaultStats merged;
+  for (const auto& shard : shards_) {
+    merged.MergeFrom(shard->fault_stats());
+  }
+  return merged;
+}
+
 MergedRuntimeStats ShardedStreamEngine::stats() const {
   MergedRuntimeStats merged;
   merged.uplink = uplink_traffic();
   merged.control_messages = control_messages();
   merged.sources = static_cast<int64_t>(registered_.size());
+  merged.faults = fault_stats();
   return merged;
 }
 

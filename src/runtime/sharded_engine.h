@@ -8,7 +8,9 @@
 #include "common/result.h"
 #include "dsms/channel.h"
 #include "dsms/energy_model.h"
+#include "dsms/protocol.h"
 #include "dsms/server_node.h"
+#include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "query/aggregate.h"
 #include "query/query.h"
@@ -32,6 +34,8 @@ struct ShardedStreamEngineOptions {
   ChannelOptions channel;
   /// Delta a source runs at before any query binds to it.
   double default_delta = 1e6;
+  /// Hardened-protocol knobs shared by every shard's server and sources.
+  ProtocolOptions protocol;
 };
 
 /// The sharded, multi-threaded counterpart of StreamManager for large
@@ -80,6 +84,16 @@ class ShardedStreamEngine {
   /// The current aggregate answer: the sum of per-shard partial sums.
   Result<double> AnswerAggregate(int aggregate_id) const;
 
+  /// Aggregate answer plus degradation status (count of member sources
+  /// currently served degraded) — mirrors
+  /// StreamManager::AnswerAggregateWithStatus.
+  struct AggregateAnswer {
+    double value = 0.0;
+    int degraded_members = 0;
+    bool degraded() const { return degraded_members > 0; }
+  };
+  Result<AggregateAnswer> AnswerAggregateWithStatus(int aggregate_id) const;
+
   /// Advances one tick across all shards in parallel. `readings` must
   /// contain exactly one entry per registered source.
   Status ProcessTick(const std::map<int, Vector>& readings);
@@ -93,6 +107,19 @@ class ShardedStreamEngine {
 
   /// Verifies the mirror-consistency invariant on every shard.
   Status VerifyMirrorConsistency() const;
+
+  /// The fault-tolerant variant: every non-pending source's mirror must
+  /// be bit-identical to its server predictor.
+  Status VerifyLinkConsistency() const;
+
+  /// Whether a source's answers are currently served degraded.
+  Result<bool> answer_degraded(int source_id) const;
+
+  /// Whether a source is in the pending-resync state.
+  Result<bool> resync_pending(int source_id) const;
+
+  /// Protocol fault counters merged across shards.
+  ProtocolFaultStats fault_stats() const;
 
   /// Uplink totals merged across shards.
   ChannelStats uplink_traffic() const;

@@ -9,6 +9,10 @@ ChannelStats MergeChannelStats(
     merged.messages += shard_stats->messages;
     merged.bytes += shard_stats->bytes;
     merged.dropped += shard_stats->dropped;
+    merged.corrupted += shard_stats->corrupted;
+    merged.delayed += shard_stats->delayed;
+    merged.ack_lost += shard_stats->ack_lost;
+    merged.outage_dropped += shard_stats->outage_dropped;
   }
   return merged;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dsms/channel.h"
+#include "metrics/fault_stats.h"
 
 namespace dkf {
 
@@ -15,6 +16,10 @@ struct MergedRuntimeStats {
   ChannelStats uplink;
   int64_t control_messages = 0;
   int64_t sources = 0;
+  /// Protocol fault/recovery counters merged across shards (each shard
+  /// contributes its ServerNode's ingress counters plus its sources'
+  /// divergence counters).
+  ProtocolFaultStats faults;
 };
 
 /// Sums `stats` field-wise.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace dkf {
 namespace {
 
@@ -14,17 +16,60 @@ Message MakeMeasurement(int source_id, size_t payload_width) {
   return message;
 }
 
+Message MakeSequenced(int source_id, int64_t tick, uint32_t sequence) {
+  Message message = MakeMeasurement(source_id, 1);
+  message.tick = tick;
+  message.sequence = sequence;
+  return message;
+}
+
+// --- Wire-format pins (the header is 21 bytes: 1 type + 4 source +
+// --- 8 tick + 4 sequence + 4 checksum).
+
 TEST(MessageTest, MeasurementSizeBytes) {
-  // Header 13 bytes + 8 per payload double.
-  EXPECT_EQ(MakeMeasurement(0, 1).SizeBytes(), 13u + 8u);
-  EXPECT_EQ(MakeMeasurement(0, 2).SizeBytes(), 13u + 16u);
+  EXPECT_EQ(MakeMeasurement(0, 1).SizeBytes(), 21u + 8u);
+  EXPECT_EQ(MakeMeasurement(0, 2).SizeBytes(), 21u + 16u);
 }
 
 TEST(MessageTest, ModelSwitchCarriesIndex) {
   Message message = MakeMeasurement(0, 1);
   message.type = MessageType::kModelSwitch;
-  EXPECT_EQ(message.SizeBytes(), 13u + 8u + 4u);
+  EXPECT_EQ(message.SizeBytes(), 21u + 8u + 4u);
 }
+
+TEST(MessageTest, ResyncCarriesFullState) {
+  Message message;
+  message.type = MessageType::kResync;
+  message.source_id = 1;
+  message.resync_state = Vector(2);
+  message.resync_covariance = Matrix(2, 2);
+  message.resync_step = 40;
+  // Header + state (2 doubles) + covariance (4 doubles) + step counter.
+  EXPECT_EQ(message.SizeBytes(), 21u + 2u * 8u + 4u * 8u + 8u);
+}
+
+TEST(MessageTest, HeartbeatIsHeaderOnly) {
+  Message message;
+  message.type = MessageType::kHeartbeat;
+  EXPECT_EQ(message.SizeBytes(), 21u);
+}
+
+TEST(MessageTest, ChecksumCoversPayloadAndSequence) {
+  Message message = MakeMeasurement(1, 2);
+  message.sequence = 7;
+  const uint32_t base = message.ComputeChecksum();
+  // The checksum field itself is excluded.
+  message.checksum = 0xDEADBEEFu;
+  EXPECT_EQ(message.ComputeChecksum(), base);
+  // Every covered field perturbs it.
+  message.payload[0] = 1.0;
+  EXPECT_NE(message.ComputeChecksum(), base);
+  message = MakeMeasurement(1, 2);
+  message.sequence = 8;
+  EXPECT_NE(message.ComputeChecksum(), base);
+}
+
+// --- Legacy reliable-link behavior (must be unchanged).
 
 TEST(ChannelTest, CountsMessagesAndBytes) {
   Channel channel(nullptr);
@@ -33,23 +78,39 @@ TEST(ChannelTest, CountsMessagesAndBytes) {
   ASSERT_TRUE(channel.Send(MakeMeasurement(2, 1)).ok());
   EXPECT_EQ(channel.total().messages, 3);
   EXPECT_EQ(channel.total().bytes,
-            static_cast<int64_t>(2 * (13 + 16) + (13 + 8)));
+            static_cast<int64_t>(2 * (21 + 16) + (21 + 8)));
   EXPECT_EQ(channel.for_source(1).messages, 2);
   EXPECT_EQ(channel.for_source(2).messages, 1);
   EXPECT_EQ(channel.for_source(3).messages, 0);
   EXPECT_EQ(channel.total().dropped, 0);
 }
 
-TEST(ChannelTest, DeliversToSink) {
+TEST(ChannelTest, ForSourceIsConstAndNeverInserts) {
+  Channel channel(nullptr);
+  ASSERT_TRUE(channel.Send(MakeMeasurement(1, 1)).ok());
+  // Callable through a const reference, and probing unknown ids
+  // observes zeros without creating per-source entries.
+  const Channel& read_only = channel;
+  for (int id = 100; id < 110; ++id) {
+    EXPECT_EQ(read_only.for_source(id).messages, 0);
+    EXPECT_EQ(read_only.for_source(id).bytes, 0);
+  }
+  EXPECT_EQ(read_only.for_source(1).messages, 1);
+}
+
+TEST(ChannelTest, DeliversToSinkWithStampedChecksum) {
   int delivered = 0;
   Channel channel([&delivered](const Message& message) {
     ++delivered;
     EXPECT_EQ(message.source_id, 7);
+    // The channel frames outgoing messages: the stamped checksum must
+    // verify on arrival.
+    EXPECT_EQ(message.checksum, message.ComputeChecksum());
     return Status::OK();
   });
   auto sent_or = channel.Send(MakeMeasurement(7, 1));
   ASSERT_TRUE(sent_or.ok());
-  EXPECT_TRUE(sent_or.value());
+  EXPECT_EQ(sent_or.value(), SendAck::kAcked);
   EXPECT_EQ(delivered, 1);
 }
 
@@ -77,7 +138,9 @@ TEST(ChannelTest, DropsAtConfiguredRate) {
   for (int i = 0; i < n; ++i) {
     auto sent_or = channel.Send(MakeMeasurement(1, 1));
     ASSERT_TRUE(sent_or.ok());
-    if (sent_or.value()) ++reported_delivered;
+    // Without a fault model the ACK is reliable: never ambiguous.
+    EXPECT_NE(sent_or.value(), SendAck::kNoAck);
+    if (sent_or.value() == SendAck::kAcked) ++reported_delivered;
   }
   // The sender's view and the sink's view must agree exactly.
   EXPECT_EQ(reported_delivered, delivered);
@@ -92,8 +155,189 @@ TEST(ChannelTest, ZeroDropNeverDrops) {
   for (int i = 0; i < 100; ++i) {
     auto sent_or = channel.Send(MakeMeasurement(1, 1));
     ASSERT_TRUE(sent_or.ok());
-    EXPECT_TRUE(sent_or.value());
+    EXPECT_EQ(sent_or.value(), SendAck::kAcked);
   }
+}
+
+// --- Fault model: Gilbert–Elliott bursty loss.
+
+TEST(ChannelFaultTest, GilbertElliottAllBadDropsEverything) {
+  ChannelOptions options;
+  options.fault.gilbert_elliott = GilbertElliottLoss{
+      /*p_good_to_bad=*/1.0, /*p_bad_to_good=*/0.0,
+      /*good_loss=*/0.0, /*bad_loss=*/1.0};
+  int delivered = 0;
+  Channel channel(
+      [&delivered](const Message&) {
+        ++delivered;
+        return Status::OK();
+      },
+      options);
+  for (int i = 0; i < 50; ++i) {
+    auto sent_or = channel.Send(MakeMeasurement(1, 1));
+    ASSERT_TRUE(sent_or.ok());
+    // GE loss keeps the reliable link-layer ACK unless ACK loss is also
+    // configured: the sender knows the message is gone.
+    EXPECT_EQ(sent_or.value(), SendAck::kDropped);
+  }
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(channel.total().dropped, 50);
+}
+
+TEST(ChannelFaultTest, GilbertElliottStationaryLossRate) {
+  ChannelOptions options;
+  options.fault.gilbert_elliott = GilbertElliottLoss{
+      /*p_good_to_bad=*/0.1, /*p_bad_to_good=*/0.4,
+      /*good_loss=*/0.0, /*bad_loss=*/1.0};
+  Channel channel([](const Message&) { return Status::OK(); }, options);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(channel.Send(MakeMeasurement(1, 1)).ok());
+  }
+  // Stationary bad-state probability = p_gb / (p_gb + p_bg) = 0.2.
+  EXPECT_NEAR(static_cast<double>(channel.total().dropped) / n, 0.2, 0.03);
+}
+
+// --- Fault model: delivery delay, the in-flight queue, and deferred
+// --- ACKs.
+
+TEST(ChannelFaultTest, DelayedMessageDeliversOnDrainTick) {
+  ChannelOptions options;
+  options.fault.delay = DelayModel{/*min_ticks=*/2, /*max_ticks=*/2};
+  std::vector<int64_t> delivered_ticks;
+  Channel channel(
+      [&delivered_ticks](const Message& message) {
+        delivered_ticks.push_back(message.tick);
+        return Status::OK();
+      },
+      options);
+  auto sent_or = channel.Send(MakeSequenced(1, /*tick=*/5, /*sequence=*/9));
+  ASSERT_TRUE(sent_or.ok());
+  // In flight: the sender cannot know when (or whether) it lands.
+  EXPECT_EQ(sent_or.value(), SendAck::kNoAck);
+  EXPECT_EQ(channel.in_flight(), 1u);
+  EXPECT_EQ(channel.total().delayed, 1);
+
+  ASSERT_TRUE(channel.BeginTick(6).ok());
+  EXPECT_TRUE(delivered_ticks.empty());
+  EXPECT_FALSE(channel.has_deferred_acks());
+
+  ASSERT_TRUE(channel.BeginTick(7).ok());
+  ASSERT_EQ(delivered_ticks.size(), 1u);
+  EXPECT_EQ(delivered_ticks[0], 5);
+  EXPECT_EQ(channel.in_flight(), 0u);
+  // The delayed delivery's ACK surfaces through TakeAcks.
+  ASSERT_TRUE(channel.has_deferred_acks());
+  EXPECT_EQ(channel.TakeAcks(1), std::vector<uint32_t>{9u});
+  EXPECT_FALSE(channel.has_deferred_acks());
+  EXPECT_TRUE(channel.TakeAcks(1).empty());
+}
+
+TEST(ChannelFaultTest, MixedDelaysReorderDeliveries) {
+  ChannelOptions options;
+  options.fault.delay = DelayModel{/*min_ticks=*/0, /*max_ticks=*/3};
+  std::vector<uint32_t> arrival_order;
+  Channel channel(
+      [&arrival_order](const Message& message) {
+        arrival_order.push_back(message.sequence);
+        return Status::OK();
+      },
+      options);
+  for (int tick = 0; tick < 40; ++tick) {
+    ASSERT_TRUE(channel.BeginTick(tick).ok());
+    ASSERT_TRUE(
+        channel.Send(MakeSequenced(1, tick, static_cast<uint32_t>(tick + 1)))
+            .ok());
+  }
+  ASSERT_TRUE(channel.BeginTick(43).ok());
+  ASSERT_EQ(arrival_order.size(), 40u);
+  // Per-message uniform delays must have inverted at least one pair.
+  bool reordered = false;
+  for (size_t i = 1; i < arrival_order.size(); ++i) {
+    if (arrival_order[i] < arrival_order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+// --- Fault model: scheduled outage windows.
+
+TEST(ChannelFaultTest, OutageWindowSwallowsMessagesSilently) {
+  ChannelOptions options;
+  options.fault.outages.push_back(OutageWindow{/*start=*/10, /*end=*/12});
+  int delivered = 0;
+  Channel channel(
+      [&delivered](const Message&) {
+        ++delivered;
+        return Status::OK();
+      },
+      options);
+  auto send_at = [&channel](int64_t tick) {
+    Message message = MakeMeasurement(1, 1);
+    message.tick = tick;
+    return channel.Send(message);
+  };
+  EXPECT_EQ(send_at(9).value(), SendAck::kAcked);
+  EXPECT_EQ(send_at(10).value(), SendAck::kNoAck);
+  EXPECT_EQ(send_at(11).value(), SendAck::kNoAck);
+  EXPECT_EQ(send_at(12).value(), SendAck::kAcked);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(channel.total().outage_dropped, 2);
+  EXPECT_EQ(channel.total().dropped, 2);
+}
+
+// --- Fault model: ACK loss and corruption (the divergence inducers).
+
+TEST(ChannelFaultTest, LostAckDeliversButReportsAmbiguous) {
+  ChannelOptions options;
+  options.fault.ack_loss_probability = 1.0;
+  int delivered = 0;
+  Channel channel(
+      [&delivered](const Message&) {
+        ++delivered;
+        return Status::OK();
+      },
+      options);
+  auto sent_or = channel.Send(MakeMeasurement(1, 1));
+  ASSERT_TRUE(sent_or.ok());
+  EXPECT_EQ(sent_or.value(), SendAck::kNoAck);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(channel.total().ack_lost, 1);
+  EXPECT_EQ(channel.total().dropped, 0);
+}
+
+TEST(ChannelFaultTest, CorruptionBreaksChecksumAndAck) {
+  ChannelOptions options;
+  options.fault.corruption_probability = 1.0;
+  int mismatches = 0;
+  Channel channel(
+      [&mismatches](const Message& message) {
+        if (message.checksum != message.ComputeChecksum()) ++mismatches;
+        return Status::OK();
+      },
+      options);
+  for (int i = 0; i < 10; ++i) {
+    auto sent_or = channel.Send(MakeMeasurement(1, 1));
+    ASSERT_TRUE(sent_or.ok());
+    EXPECT_EQ(sent_or.value(), SendAck::kNoAck);
+  }
+  // Every corrupted frame arrives, and every one fails verification.
+  EXPECT_EQ(mismatches, 10);
+  EXPECT_EQ(channel.total().corrupted, 10);
+}
+
+// --- Fault model: the active_until clean tail.
+
+TEST(ChannelFaultTest, FaultsStopAtActiveUntil) {
+  ChannelOptions options;
+  options.fault.outages.push_back(OutageWindow{/*start=*/0, /*end=*/100});
+  options.fault.active_until = 50;
+  Channel channel([](const Message&) { return Status::OK(); }, options);
+  Message message = MakeMeasurement(1, 1);
+  message.tick = 49;
+  EXPECT_EQ(channel.Send(message).value(), SendAck::kNoAck);
+  message.tick = 50;
+  // Past active_until the link is clean even inside the outage window.
+  EXPECT_EQ(channel.Send(message).value(), SendAck::kAcked);
 }
 
 }  // namespace

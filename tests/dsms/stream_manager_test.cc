@@ -247,6 +247,90 @@ TEST(StreamManagerTest, WeightedAggregateSplit) {
   EXPECT_DOUBLE_EQ(manager.source_delta(2).value(), 3.0);
 }
 
+TEST(StreamManagerTest, ReconfigurationUnderLossyChannel) {
+  // Mid-stream set_delta / set_smoothing with a legacy lossy (but
+  // reliable-ACK) uplink: reconfiguration rides the out-of-band
+  // downlink, so strict mirror consistency must survive every change.
+  StreamManagerOptions options;
+  options.channel.drop_probability = 0.35;
+  options.channel.seed = 21;
+  StreamManager manager(options);
+  ASSERT_TRUE(manager.RegisterSource(1, LinearModel()).ok());
+  ASSERT_TRUE(manager.SubmitQuery(MakeQuery(1, 1, 6.0)).ok());
+
+  Rng rng(17);
+  double value = 0.0;
+  for (int i = 0; i < 900; ++i) {
+    // A calm phase makes tick 300's tightening land inside a
+    // suppression run (no update in flight for many ticks).
+    value += (i < 300) ? 0.001 : rng.Gaussian(0.3, 1.0);
+    ASSERT_TRUE(manager.ProcessTick({{1, Vector{value}}}).ok());
+    ASSERT_TRUE(manager.VerifyMirrorConsistency().ok()) << "tick " << i;
+    if (i == 300) {
+      ASSERT_TRUE(manager.SubmitQuery(MakeQuery(2, 1, 0.8)).ok());
+      EXPECT_DOUBLE_EQ(manager.source_delta(1).value(), 0.8);
+    }
+    if (i == 500) {
+      ContinuousQuery smoothing = MakeQuery(3, 1, 0.8);
+      smoothing.smoothing_factor = 1e-3;
+      ASSERT_TRUE(manager.SubmitQuery(smoothing).ok());
+    }
+    if (i == 700) {
+      ASSERT_TRUE(manager.RemoveQuery(3).ok());
+    }
+  }
+  // Loss must actually have occurred, and updates kept flowing after
+  // every reconfiguration.
+  EXPECT_GT(manager.uplink_traffic().dropped, 0);
+  EXPECT_GT(manager.updates_sent(1).value(), 0);
+}
+
+TEST(StreamManagerTest, ReconfigurationDuringPendingResyncEpisode) {
+  // ACK loss on every delivery until tick 60: the first transmission
+  // starts a divergence episode that cannot heal while the fault is
+  // active. Reconfiguring in the middle of that episode must neither
+  // crash nor corrupt the link once it heals.
+  StreamManagerOptions options;
+  options.channel.seed = 5;
+  options.channel.fault.ack_loss_probability = 1.0;
+  options.channel.fault.active_until = 60;
+  options.protocol.resync_burst_retries = 4;
+  options.protocol.resync_retry_backoff = 6;
+  StreamManager manager(options);
+  ASSERT_TRUE(manager.RegisterSource(1, LinearModel()).ok());
+  ASSERT_TRUE(manager.SubmitQuery(MakeQuery(1, 1, 3.0)).ok());
+
+  Rng rng(23);
+  double value = 0.0;
+  bool reconfigured_while_pending = false;
+  for (int i = 0; i < 200; ++i) {
+    value += rng.Gaussian(0.5, 1.0);
+    ASSERT_TRUE(manager.ProcessTick({{1, Vector{value}}}).ok());
+    ASSERT_TRUE(manager.VerifyLinkConsistency().ok()) << "tick " << i;
+    if (!reconfigured_while_pending && manager.resync_pending(1).value()) {
+      // Mid-episode: tighten the delta AND install smoothing. Both only
+      // touch pre-protocol state, so the frozen episode is unaffected.
+      ASSERT_TRUE(manager.SubmitQuery(MakeQuery(2, 1, 0.5)).ok());
+      ContinuousQuery smoothing = MakeQuery(3, 1, 0.5);
+      smoothing.smoothing_factor = 1e-4;
+      ASSERT_TRUE(manager.SubmitQuery(smoothing).ok());
+      EXPECT_DOUBLE_EQ(manager.source_delta(1).value(), 0.5);
+      reconfigured_while_pending = true;
+    }
+    if (i >= 80) {
+      // Fault window + retry backoff long past: healed for good.
+      ASSERT_FALSE(manager.resync_pending(1).value()) << "tick " << i;
+      ASSERT_TRUE(manager.VerifyMirrorConsistency().ok()) << "tick " << i;
+    }
+  }
+  ASSERT_TRUE(reconfigured_while_pending);
+  EXPECT_GT(manager.fault_stats().divergence_events, 0);
+  EXPECT_GT(manager.fault_stats().resyncs_applied, 0);
+  // The tightened delta drives updates after the link heals.
+  EXPECT_DOUBLE_EQ(manager.source_delta(1).value(), 0.5);
+  EXPECT_GT(manager.updates_sent(1).value(), 0);
+}
+
 TEST(StreamManagerTest, RedundantQueryCausesNoControlMessage) {
   StreamManager manager{StreamManagerOptions{}};
   ASSERT_TRUE(manager.RegisterSource(1, LinearModel()).ok());
