@@ -6,7 +6,7 @@
 // the perf trajectory can be tracked across PRs.
 //
 // Flags: --sources=1000,10000 --shards=1,2,4,8,16 --ticks=200
-//        --delta=2.0 --faults
+//        --delta=2.0 --faults --trace
 // Each run also cross-checks a sample of per-source answers against the
 // sequential baseline (the runtime's determinism contract), so a perf
 // win can never silently come from diverging behavior.
@@ -16,6 +16,11 @@
 // fault schedules keep the equivalence check bit-exact even then. Every
 // row reports the protocol fault/recovery counters so bench_compare.py
 // can gate on resync storms as well as on throughput.
+//
+// --trace re-runs every workload with the observability sinks enabled
+// (including wall-clock tick-latency timing) and reports the overhead
+// plus a metrics digest per row; bench_compare.py gates the overhead at
+// 5%. The primary throughput numbers always come from the untraced run.
 
 #include <algorithm>
 #include <chrono>
@@ -23,6 +28,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <limits>
 #include <map>
 #include <string>
 #include <thread>
@@ -31,6 +38,8 @@
 #include "common/rng.h"
 #include "dsms/stream_manager.h"
 #include "models/model_factory.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_sink.h"
 #include "runtime/sharded_engine.h"
 
 namespace dkf::bench {
@@ -42,6 +51,7 @@ struct Config {
   int ticks = 200;
   double delta = 2.0;
   bool faults = false;
+  bool trace = false;
 };
 
 std::vector<int> ParseIntList(const char* text) {
@@ -71,6 +81,8 @@ Config ParseArgs(int argc, char** argv) {
       config.delta = std::atof(arg.c_str() + 8);
     } else if (arg == "--faults") {
       config.faults = true;
+    } else if (arg == "--trace") {
+      config.trace = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -136,20 +148,34 @@ std::map<int, Vector> SetUpFleet(System& system, int fleet, double delta) {
   return readings;
 }
 
+/// CPU time consumed by the whole process, in seconds. Does not advance
+/// while threads are descheduled, so traced-vs-untraced overhead ratios
+/// stay meaningful on a contended shared machine where wall-clock
+/// comparisons of two back-to-back runs are mostly scheduler noise.
+double ProcessCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
 template <typename System>
 double TimeTicks(System& system, std::map<int, Vector>& readings,
-                 int ticks) {
+                 int ticks, double* cpu_seconds) {
+  const double cpu_start = ProcessCpuSeconds();
   const auto start = std::chrono::steady_clock::now();
   for (int t = 0; t < ticks; ++t) {
     for (auto& [id, value] : readings) value[0] = SourceValue(id, t);
     if (!system.ProcessTick(readings).ok()) std::abort();
   }
   const auto end = std::chrono::steady_clock::now();
+  *cpu_seconds = ProcessCpuSeconds() - cpu_start;
   return std::chrono::duration<double>(end - start).count();
 }
 
 struct RunResult {
   double seconds = 0.0;
+  double cpu_seconds = 0.0;
   /// Sampled per-source answers for the equivalence cross-check.
   std::vector<double> sample_answers;
   int64_t uplink_messages = 0;
@@ -160,13 +186,88 @@ template <typename System>
 RunResult RunWorkload(System& system, int fleet, int ticks, double delta) {
   std::map<int, Vector> readings = SetUpFleet(system, fleet, delta);
   RunResult result;
-  result.seconds = TimeTicks(system, readings, ticks);
+  result.seconds = TimeTicks(system, readings, ticks, &result.cpu_seconds);
   for (int id = 0; id < fleet; id += std::max(1, fleet / 64)) {
     result.sample_answers.push_back(system.Answer(id).value()[0]);
   }
   result.uplink_messages = system.uplink_traffic().messages;
   result.faults = system.fault_stats();
   return result;
+}
+
+/// The --trace digest: one extra run of the same workload with sinks
+/// (and wall-clock timing) enabled, summarized via the merged metrics
+/// snapshot. The ring is kept small — the per-kind counters behind the
+/// digest stay exact no matter how often it wraps.
+struct TraceDigest {
+  double seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double suppression_ratio = 0.0;
+  int64_t suppress = 0;
+  int64_t transmit = 0;
+};
+
+/// Sink configuration for --trace runs: timing on, and a small ring —
+/// the digest reads only the (always-exact) counters, and a ring that
+/// fits in L1 keeps the event writes from fighting the filter state for
+/// cache on small machines.
+ObsOptions BenchObsOptions() {
+  ObsOptions obs;
+  obs.ring_capacity = 1 << 8;
+  obs.record_timing = true;
+  return obs;
+}
+
+template <typename System>
+TraceDigest RunTracedWorkload(System& system, int fleet, int ticks,
+                              double delta) {
+  if (!system.EnableTracing(BenchObsOptions()).ok()) std::abort();
+  TraceDigest digest;
+  const RunResult run = RunWorkload(system, fleet, ticks, delta);
+  digest.seconds = run.seconds;
+  digest.cpu_seconds = run.cpu_seconds;
+  const MetricsRegistry metrics = system.MetricsSnapshot();
+  digest.suppression_ratio = metrics.gauge("suppression_ratio");
+  digest.suppress = metrics.counter("trace.suppress");
+  digest.transmit = metrics.counter("trace.transmit");
+  return digest;
+}
+
+/// Measures tracing overhead by interleaving untraced and traced chunks
+/// of one continuous run on one system and comparing each variant's
+/// fastest chunk on the process-CPU clock. Same process, same warmed
+/// fleet, same caches — the only difference between chunks is whether
+/// the sinks are wired, which isolates the instrumentation cost from
+/// the scheduler and cache luck that dominates comparisons of whole
+/// back-to-back runs on a shared machine (contention only ever adds
+/// time, so each variant's minimum is its robust estimate). Chunks run
+/// in ABBA order, not strict alternation: periodic contention can
+/// phase-lock with a period-2 schedule and starve one variant of every
+/// quiet slot.
+template <typename System>
+double MeasureObsOverheadPct(System& system, int fleet, int ticks,
+                             double delta) {
+  std::map<int, Vector> readings = SetUpFleet(system, fleet, delta);
+  constexpr int kChunksPerVariant = 16;
+  const int chunk_ticks = std::max(1, ticks / (2 * kChunksPerVariant));
+  double cpu = 0.0;
+  // Warmup: converge the filters and arm fast paths before measuring.
+  TimeTicks(system, readings, chunk_ticks, &cpu);
+  double plain_cpu = std::numeric_limits<double>::infinity();
+  double traced_cpu = std::numeric_limits<double>::infinity();
+  for (int chunk = 0; chunk < 2 * kChunksPerVariant; ++chunk) {
+    const bool traced = chunk % 4 == 1 || chunk % 4 == 2;
+    if (traced) {
+      if (!system.EnableTracing(BenchObsOptions()).ok()) std::abort();
+    } else {
+      system.DisableTracing();
+    }
+    TimeTicks(system, readings, chunk_ticks, &cpu);
+    double& best = traced ? traced_cpu : plain_cpu;
+    best = std::min(best, cpu);
+  }
+  system.DisableTracing();
+  return (traced_cpu / plain_cpu - 1.0) * 100.0;
 }
 
 }  // namespace
@@ -181,8 +282,10 @@ int main(int argc, char** argv) {
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
   std::printf("  \"ticks\": %d,\n  \"delta\": %g,\n  \"faults\": %s,\n"
-              "  \"results\": [",
-              config.ticks, config.delta, config.faults ? "true" : "false");
+              "  \"trace\": %s,\n  \"obs_enabled\": %s,\n  \"results\": [",
+              config.ticks, config.delta, config.faults ? "true" : "false",
+              config.trace ? "true" : "false",
+              DKF_OBS_ENABLED ? "true" : "false");
 
   bool first = true;
   for (int fleet : config.fleet_sizes) {
@@ -208,6 +311,19 @@ int main(int argc, char** argv) {
       const RunResult run =
           RunWorkload(engine, fleet, config.ticks, config.delta);
 
+      TraceDigest traced;
+      double obs_overhead_pct = 0.0;
+      if (config.trace) {
+        // One full traced run for the metrics digest, then the chunked
+        // within-run overhead measurement on a fresh engine.
+        ShardedStreamEngine traced_engine(options);
+        traced = RunTracedWorkload(traced_engine, fleet, config.ticks,
+                                   config.delta);
+        ShardedStreamEngine chunk_engine(options);
+        obs_overhead_pct = MeasureObsOverheadPct(chunk_engine, fleet,
+                                                 config.ticks, config.delta);
+      }
+
       bool equivalent = run.uplink_messages == baseline.uplink_messages &&
                         run.faults.resyncs_sent ==
                             baseline.faults.resyncs_sent &&
@@ -226,7 +342,7 @@ int main(int argc, char** argv) {
           "\"speedup_vs_sequential\": %.3f, \"equivalent\": %s, "
           "\"divergence_events\": %lld, \"resyncs_sent\": %lld, "
           "\"resyncs_applied\": %lld, \"degraded_ticks\": %lld, "
-          "\"max_recovery_ticks\": %lld, \"rejected_corrupt\": %lld}",
+          "\"max_recovery_ticks\": %lld, \"rejected_corrupt\": %lld",
           first ? "" : ",", fleet, engine.num_shards(), run.seconds, tps,
           tps * fleet, seq_tps, tps / seq_tps, equivalent ? "true" : "false",
           static_cast<long long>(run.faults.divergence_events),
@@ -235,6 +351,16 @@ int main(int argc, char** argv) {
           static_cast<long long>(run.faults.degraded_ticks),
           static_cast<long long>(run.faults.max_recovery_ticks),
           static_cast<long long>(run.faults.rejected_corrupt));
+      if (config.trace) {
+        std::printf(
+            ",\n     \"traced_seconds\": %.6f, \"obs_overhead_pct\": %.2f, "
+            "\"suppression_ratio\": %.4f, \"trace_suppress\": %lld, "
+            "\"trace_transmit\": %lld",
+            traced.seconds, obs_overhead_pct, traced.suppression_ratio,
+            static_cast<long long>(traced.suppress),
+            static_cast<long long>(traced.transmit));
+      }
+      std::printf("}");
       first = false;
     }
   }

@@ -1,20 +1,24 @@
 // Quickstart: suppress transmissions of a drifting scalar stream with a
-// dual Kalman filter link.
+// dual Kalman filter link, and watch it happen through the
+// observability layer.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 //
 // The program streams a noisy ramp through the DKF protocol with a
-// precision constraint of 2.0, and prints how many readings actually had
-// to cross the (simulated) network.
+// precision constraint of 2.0, reads the suppression ratio back out of
+// the metrics snapshot, and prints the same numbers in Prometheus
+// exposition format. Exits nonzero if the protocol failed to suppress
+// anything — the ctest smoke test leans on that.
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/rng.h"
-#include "core/dual_link.h"
-#include "core/predictor.h"
+#include "dsms/stream_manager.h"
 #include "models/model_factory.h"
+#include "obs/metrics_registry.h"
 
 int main() {
   using namespace dkf;
@@ -31,23 +35,25 @@ int main() {
     return 1;
   }
 
-  // 2. Build the predictor and the dual link with the user's precision
-  //    constraint. The link owns the server filter KF_s and the source
-  //    mirror KF_m.
-  auto predictor_or = KalmanPredictor::Create(model_or.value());
-  if (!predictor_or.ok()) {
-    std::fprintf(stderr, "predictor: %s\n",
-                 predictor_or.status().ToString().c_str());
+  // 2. Stand up the full source/channel/server pipeline and turn on
+  //    tracing before any data flows, so the trace covers the whole run.
+  StreamManager manager{StreamManagerOptions{}};
+  if (!manager.EnableTracing().ok()) {
+    std::fprintf(stderr, "tracing failed to enable\n");
     return 1;
   }
-  DualLinkOptions options;
-  options.delta = 2.0;  // server answers stay within 2 units
-  auto link_or = DualLink::Create(predictor_or.value(), options);
-  if (!link_or.ok()) {
-    std::fprintf(stderr, "link: %s\n", link_or.status().ToString().c_str());
+  if (!manager.RegisterSource(/*source_id=*/1, model_or.value()).ok()) {
+    std::fprintf(stderr, "source registration failed\n");
     return 1;
   }
-  DualLink link = std::move(link_or).value();
+  ContinuousQuery query;
+  query.id = 1;
+  query.source_id = 1;
+  query.precision = 2.0;  // server answers stay within 2 units
+  if (!manager.SubmitQuery(query).ok()) {
+    std::fprintf(stderr, "query submission failed\n");
+    return 1;
+  }
 
   // 3. Stream 1000 readings of a noisy ramp through the protocol.
   Rng rng(7);
@@ -55,26 +61,55 @@ int main() {
   double worst_error = 0.0;
   for (int tick = 0; tick < 1000; ++tick) {
     value += 0.8 + rng.Gaussian(0.0, 0.1);
-    auto step_or = link.Step(Vector{value});
-    if (!step_or.ok()) {
-      std::fprintf(stderr, "step: %s\n",
-                   step_or.status().ToString().c_str());
+    if (!manager.ProcessTick({{1, Vector{value}}}).ok()) {
+      std::fprintf(stderr, "tick %d failed\n", tick);
       return 1;
     }
-    const double err = step_or.value().server_value[0] - value;
-    worst_error = std::max(worst_error, err < 0 ? -err : err);
+    auto answer_or = manager.Answer(1);
+    if (!answer_or.ok()) {
+      std::fprintf(stderr, "answer: %s\n",
+                   answer_or.status().ToString().c_str());
+      return 1;
+    }
+    worst_error =
+        std::max(worst_error, std::fabs(answer_or.value()[0] - value));
   }
 
+  // 4. Read the run back out of the metrics snapshot. Every number here
+  //    is derived from the same trace events the tests pin golden.
+  const MetricsRegistry metrics = manager.MetricsSnapshot();
+  const long long suppressed =
+      static_cast<long long>(metrics.counter("trace.suppress"));
+  const long long transmitted =
+      static_cast<long long>(metrics.counter("trace.transmit"));
+  const double suppression_ratio = metrics.gauge("suppression_ratio");
+
   std::printf("readings:            %lld\n",
-              static_cast<long long>(link.stats().ticks));
-  std::printf("updates transmitted: %lld (%.1f%%)\n",
-              static_cast<long long>(link.stats().updates_sent),
-              link.stats().UpdatePercentage());
+              static_cast<long long>(manager.ticks()));
+  std::printf("updates transmitted: %lld\n", transmitted);
+  std::printf("updates suppressed:  %lld (ratio %.3f)\n", suppressed,
+              suppression_ratio);
   std::printf("worst server error:  %.3f (precision constraint %.1f)\n",
-              worst_error, options.delta);
+              worst_error, query.precision);
+  std::printf("\nPrometheus exposition of the same run:\n%s",
+              metrics.ToPrometheus().c_str());
   std::printf(
       "\nThe linear model learned the ramp's slope from the first few "
       "updates; afterwards the server extrapolated on its own and the "
       "source stayed silent.\n");
+
+#if DKF_OBS_ENABLED
+  // Smoke-test contract: the protocol must actually have suppressed
+  // most of the stream, and the counters must account for every tick.
+  if (suppression_ratio <= 0.0 || suppressed == 0 ||
+      suppressed + transmitted != manager.ticks()) {
+    std::fprintf(stderr,
+                 "suppression did not happen: ratio %.3f, %lld + %lld "
+                 "events over %lld ticks\n",
+                 suppression_ratio, suppressed, transmitted,
+                 static_cast<long long>(manager.ticks()));
+    return 1;
+  }
+#endif
   return 0;
 }

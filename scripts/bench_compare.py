@@ -19,6 +19,12 @@ more than the threshold (plus a small absolute slack), or divergence
 episodes that never healed (divergence_events > 0 with
 resyncs_applied == 0).
 
+Both kinds additionally gate observability overhead: when NEW's rows
+carry an obs_overhead_pct field (bench run with tracing measured —
+always for filter_hotpath, --trace for runtime_throughput), any row
+whose traced run costs more than OBS_OVERHEAD_LIMIT_PCT over the
+untraced run fails.
+
 Intended for CI and for eyeballing a PR's perf delta:
 
     ./build-release/bench/bench_filter_hotpath > /tmp/new.json
@@ -29,6 +35,22 @@ import json
 import sys
 
 KNOWN_KINDS = ("filter_hotpath", "runtime_throughput")
+
+# Ceiling on the cost of running with trace sinks wired, as a percent of
+# the untraced run. The sinks are designed to be an array increment plus
+# a ring write per event; anything past this is an instrumentation bug.
+OBS_OVERHEAD_LIMIT_PCT = 5.0
+
+
+def check_obs_overhead(name, new_row, failures):
+    """Gates new_row's obs_overhead_pct, if measured. Returns a marker."""
+    overhead = new_row.get("obs_overhead_pct")
+    if overhead is None or overhead <= OBS_OVERHEAD_LIMIT_PCT:
+        return ""
+    failures.append(
+        f"{name}: tracing overhead {overhead:.1f}% "
+        f"(limit {OBS_OVERHEAD_LIMIT_PCT:.0f}%)")
+    return "  <-- OBS OVERHEAD"
 
 
 def load(path):
@@ -66,6 +88,7 @@ def compare_filter_hotpath(old, new, threshold):
         if key[1] <= 6 and not new_row.get("steady_state_armed", False):
             failures.append(f"{name}: steady-state fast path did not arm")
             marker = "  <-- NOT ARMED"
+        marker = check_obs_overhead(name, new_row, failures) or marker
         print(f"{name:16s} {old_ns:8.1f} -> {new_ns:8.1f} ns/tick "
               f"({(ratio - 1) * 100:+6.1f}%){marker}")
     return failures
@@ -112,6 +135,7 @@ def compare_runtime_throughput(old, new, threshold):
                 f"{name}: {new_row['divergence_events']} divergence "
                 "event(s) but no resync was ever applied")
             marker = "  <-- NEVER HEALED"
+        marker = check_obs_overhead(name, new_row, failures) or marker
         print(f"{name:28s} {old_tps:9.1f} -> {new_tps:9.1f} ticks/sec "
               f"({(new_tps / old_tps - 1) * 100:+6.1f}%) "
               f"resyncs {old_resyncs} -> {new_resyncs}{marker}")

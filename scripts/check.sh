@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # One-command verify: tier-1 build + full test suite, then the sharded
 # runtime's test binaries under ThreadSanitizer (race detection for the
-# worker pool / shard tick path), then a Release-mode build of the filter
-# hot-loop benchmark, refreshing BENCH_filter_hotpath.json at the repo
-# root. See docs/runtime.md and docs/perf.md.
+# worker pool / shard tick path / per-shard trace sinks), then the
+# protocol + observability tests under ASan+UBSan, then a gcov coverage
+# build gating line coverage of src/obs/ and src/dsms/, then a
+# Release-mode build of the filter hot-loop benchmark, refreshing
+# BENCH_filter_hotpath.json at the repo root. See docs/runtime.md,
+# docs/perf.md, and docs/observability.md.
 #
 # Env knobs:
-#   JOBS          parallel build jobs (default: nproc)
-#   DKF_TSAN=0    skip the thread-sanitizer stage
-#   DKF_SANITIZE  sanitizer list for the TSan stage (default: thread)
-#   DKF_ASAN=0    skip the address+UB sanitizer stage
-#   DKF_BENCH=0   skip the Release benchmark stage
+#   JOBS            parallel build jobs (default: nproc)
+#   DKF_TSAN=0      skip the thread-sanitizer stage
+#   DKF_SANITIZE    sanitizer list for the TSan stage (default: thread)
+#   DKF_ASAN=0      skip the address+UB sanitizer stage
+#   DKF_COVERAGE=0  skip the coverage-gate stage
+#   DKF_BENCH=0     skip the Release benchmark stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,10 +31,13 @@ if [[ "${DKF_TSAN:-1}" == "0" ]]; then
 else
   echo "== sanitizer (${SANITIZE}): runtime tests =="
   cmake -B "build-${SANITIZE//,/-}" -S . -DDKF_SANITIZE="$SANITIZE" >/dev/null
+  # golden_trace_test drives the per-shard trace sinks through the
+  # worker pool, so it races exactly the code the obs layer added.
   cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
-    --target worker_pool_test sharded_engine_test
+    --target worker_pool_test sharded_engine_test golden_trace_test
   "./build-${SANITIZE//,/-}/tests/worker_pool_test"
   "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
+  "./build-${SANITIZE//,/-}/tests/golden_trace_test"
 fi
 
 if [[ "${DKF_ASAN:-1}" == "0" ]]; then
@@ -43,11 +50,40 @@ else
   # snapshots) ASan+UBSan should chew on.
   cmake -B build-asan -S . -DDKF_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS" \
-    --target chaos_test channel_test stream_manager_test source_server_test
+    --target chaos_test channel_test stream_manager_test source_server_test \
+             metrics_registry_test trace_sink_test golden_trace_test \
+             obs_property_test corruption_fuzz_test
   ./build-asan/tests/chaos_test
   ./build-asan/tests/channel_test
   ./build-asan/tests/stream_manager_test
   ./build-asan/tests/source_server_test
+  ./build-asan/tests/metrics_registry_test
+  ./build-asan/tests/trace_sink_test
+  ./build-asan/tests/golden_trace_test
+  ./build-asan/tests/obs_property_test
+  ./build-asan/tests/corruption_fuzz_test
+fi
+
+if [[ "${DKF_COVERAGE:-1}" == "0" ]]; then
+  echo "== coverage stage skipped (DKF_COVERAGE=0) =="
+else
+  echo "== coverage: src/obs + src/dsms line-coverage floors =="
+  cmake -B build-coverage -S . -DDKF_COVERAGE=ON >/dev/null
+  cmake --build build-coverage -j "$JOBS" \
+    --target metrics_registry_test trace_sink_test golden_trace_test \
+             obs_property_test corruption_fuzz_test chaos_test channel_test \
+             stream_manager_test source_server_test simulation_test \
+             confidence_test energy_model_test
+  # Fresh counters each run: .gcda files accumulate across executions.
+  find build-coverage -name '*.gcda' -delete
+  for t in metrics_registry_test trace_sink_test golden_trace_test \
+           obs_property_test corruption_fuzz_test chaos_test channel_test \
+           stream_manager_test source_server_test simulation_test \
+           confidence_test energy_model_test; do
+    "./build-coverage/tests/$t" > /dev/null
+  done
+  python3 scripts/coverage_gate.py build-coverage --root=. \
+    --gate=src/obs=0.90 --gate=src/dsms=0.80
 fi
 
 if [[ "${DKF_BENCH:-1}" == "0" ]]; then

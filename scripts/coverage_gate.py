@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage and gate directories against a floor.
+
+Usage:
+    coverage_gate.py BUILD_DIR --root=REPO_ROOT \
+        --gate=src/obs=0.85 --gate=src/dsms=0.80
+
+Walks BUILD_DIR for .gcda counter files (written by binaries built with
+DKF_COVERAGE=ON when they run), invokes `gcov --json-format` on each,
+and merges the per-line execution counts by source file: a line counts
+as covered when any object file saw it execute. Prints a per-file table
+for every gated directory and exits nonzero if a directory's line
+coverage falls below its floor.
+
+Stdlib-only on purpose — the CI image carries gcov but not gcovr/lcov.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for dirpath, _, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                yield os.path.join(dirpath, name)
+
+
+def run_gcov(gcda_paths):
+    """Runs gcov over the counter files; yields parsed JSON reports."""
+    # One invocation per counter file: --stdout emits the JSON document
+    # directly, so no scratch files and no basename collisions between
+    # objects compiled from same-named sources.
+    for path in gcda_paths:
+        result = subprocess.run(
+            ["gcov", "--json-format", "--stdout", os.path.abspath(path)],
+            check=True, capture_output=True)
+        for line in result.stdout.splitlines():
+            if line.strip():
+                yield json.loads(line)
+
+
+def merge_coverage(reports, repo_root):
+    """Returns {relative source path: {line_number: total count}}."""
+    coverage = {}
+    for report in reports:
+        for file_entry in report.get("files", []):
+            path = file_entry["file"]
+            if not os.path.isabs(path):
+                path = os.path.join(repo_root, path)
+            path = os.path.realpath(path)
+            rel = os.path.relpath(path, repo_root)
+            if rel.startswith(".."):
+                continue  # system or third-party header
+            lines = coverage.setdefault(rel, {})
+            for line in file_entry.get("lines", []):
+                number = line["line_number"]
+                lines[number] = lines.get(number, 0) + line["count"]
+    return coverage
+
+
+def gate_directory(coverage, directory, floor):
+    """Prints the directory's table; returns (covered, total, failures)."""
+    prefix = directory.rstrip("/") + "/"
+    total = covered = 0
+    rows = []
+    for path in sorted(coverage):
+        if not path.startswith(prefix):
+            continue
+        lines = coverage[path]
+        file_total = len(lines)
+        file_covered = sum(1 for count in lines.values() if count > 0)
+        total += file_total
+        covered += file_covered
+        rows.append((path, file_covered, file_total))
+    print(f"\n{directory}: ", end="")
+    if total == 0:
+        print("NO COVERAGE DATA")
+        return [f"{directory}: no instrumented lines found "
+                "(coverage build did not run these sources?)"]
+    ratio = covered / total
+    print(f"{covered}/{total} lines = {ratio:.1%} (floor {floor:.0%})")
+    for path, file_covered, file_total in rows:
+        pct = file_covered / file_total if file_total else 1.0
+        print(f"  {path:52s} {file_covered:5d}/{file_total:<5d} {pct:7.1%}")
+    if ratio < floor:
+        return [f"{directory}: line coverage {ratio:.1%} "
+                f"below the {floor:.0%} floor"]
+    return []
+
+
+def main(argv):
+    build_dir = None
+    repo_root = os.getcwd()
+    gates = []
+    for arg in argv[1:]:
+        if arg.startswith("--root="):
+            repo_root = arg.split("=", 1)[1]
+        elif arg.startswith("--gate="):
+            spec = arg.split("=", 1)[1]
+            directory, _, floor = spec.partition("=")
+            gates.append((directory, float(floor)))
+        elif build_dir is None:
+            build_dir = arg
+        else:
+            sys.exit(__doc__.strip())
+    if build_dir is None or not gates:
+        sys.exit(__doc__.strip())
+    repo_root = os.path.realpath(repo_root)
+
+    gcda_paths = sorted(find_gcda(build_dir))
+    if not gcda_paths:
+        sys.exit(f"{build_dir}: no .gcda files — build with "
+                 "-DDKF_COVERAGE=ON and run the test binaries first")
+    coverage = merge_coverage(run_gcov(gcda_paths), repo_root)
+
+    failures = []
+    for directory, floor in gates:
+        failures += gate_directory(coverage, directory, floor)
+    if failures:
+        print(f"\n{len(failures)} coverage failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\ncoverage floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (stdlib unittest; wired into ctest).
+
+Covers every gate on crafted fixtures — throughput/latency regression,
+missing rows, allocation and fast-path invariants, sequential-equivalence
+failures, resync storms, never-healed divergence, and the observability
+overhead ceiling — plus an end-to-end self-compare of the committed
+BENCH_filter_hotpath.json, which must always be regression-free against
+itself.
+"""
+
+import contextlib
+import copy
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def hotpath_report(**overrides):
+    row = {
+        "model": "constant",
+        "state_dim": 2,
+        "measurement_dim": 2,
+        "ns_per_tick": 100.0,
+        "ref_ns_per_tick": 500.0,
+        "traced_ns_per_tick": 101.0,
+        "obs_overhead_pct": 1.0,
+        "allocs_per_tick": 0.0,
+        "steady_state_armed": True,
+    }
+    row.update(overrides)
+    return {"benchmark": "filter_hotpath", "results": [row]}
+
+
+def runtime_report(**overrides):
+    row = {
+        "sources": 1000,
+        "shards": 4,
+        "seconds": 0.5,
+        "ticks_per_sec": 400.0,
+        "equivalent": True,
+        "divergence_events": 5,
+        "resyncs_sent": 8,
+        "resyncs_applied": 6,
+        "obs_overhead_pct": 1.0,
+    }
+    row.update(overrides)
+    return {"benchmark": "runtime_throughput", "results": [row]}
+
+
+def compare(old, new, threshold=0.10):
+    """Runs the right comparison quietly and returns the failure list."""
+    kind = old["benchmark"]
+    with contextlib.redirect_stdout(io.StringIO()):
+        if kind == "filter_hotpath":
+            return bench_compare.compare_filter_hotpath(old, new, threshold)
+        return bench_compare.compare_runtime_throughput(old, new, threshold)
+
+
+class FilterHotpathGates(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = hotpath_report()
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+
+    def test_regression_beyond_threshold_fails(self):
+        failures = compare(hotpath_report(), hotpath_report(ns_per_tick=115.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("regressed", failures[0])
+
+    def test_regression_within_threshold_passes(self):
+        self.assertEqual(
+            compare(hotpath_report(), hotpath_report(ns_per_tick=105.0)), [])
+
+    def test_improvement_passes(self):
+        self.assertEqual(
+            compare(hotpath_report(), hotpath_report(ns_per_tick=50.0)), [])
+
+    def test_missing_row_fails(self):
+        new = hotpath_report()
+        new["results"][0]["state_dim"] = 3  # old (constant, 2) vanished
+        failures = compare(hotpath_report(), new)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("missing in new", failures[0])
+
+    def test_inline_allocation_fails(self):
+        failures = compare(hotpath_report(), hotpath_report(allocs_per_tick=2))
+        self.assertTrue(any("allocation-free" in f for f in failures))
+
+    def test_large_dim_allocation_tolerated(self):
+        old = hotpath_report(state_dim=8)
+        new = hotpath_report(state_dim=8, allocs_per_tick=3,
+                             steady_state_armed=False)
+        self.assertEqual(compare(old, new), [])
+
+    def test_disarmed_fast_path_fails(self):
+        failures = compare(hotpath_report(),
+                           hotpath_report(steady_state_armed=False))
+        self.assertTrue(any("did not arm" in f for f in failures))
+
+    def test_obs_overhead_over_limit_fails(self):
+        failures = compare(
+            hotpath_report(),
+            hotpath_report(obs_overhead_pct=
+                           bench_compare.OBS_OVERHEAD_LIMIT_PCT + 0.1))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("tracing overhead", failures[0])
+
+    def test_obs_overhead_at_limit_passes(self):
+        self.assertEqual(
+            compare(hotpath_report(),
+                    hotpath_report(
+                        obs_overhead_pct=bench_compare.OBS_OVERHEAD_LIMIT_PCT)),
+            [])
+
+    def test_missing_obs_field_passes(self):
+        # Pre-observability reports carry no overhead field; not a failure.
+        new = hotpath_report()
+        del new["results"][0]["obs_overhead_pct"]
+        self.assertEqual(compare(hotpath_report(), new), [])
+
+
+class RuntimeThroughputGates(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = runtime_report()
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+
+    def test_throughput_regression_fails(self):
+        failures = compare(runtime_report(),
+                           runtime_report(ticks_per_sec=300.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("regressed", failures[0])
+
+    def test_missing_row_fails(self):
+        new = runtime_report(shards=8)
+        failures = compare(runtime_report(), new)
+        self.assertTrue(any("missing in new" in f for f in failures))
+
+    def test_divergence_from_baseline_fails(self):
+        failures = compare(runtime_report(), runtime_report(equivalent=False))
+        self.assertTrue(any("diverged" in f for f in failures))
+
+    def test_resync_storm_fails(self):
+        # Past old * (1 + threshold) + slack.
+        new_resyncs = int(8 * 1.1 + bench_compare.RESYNC_SLACK) + 1
+        failures = compare(runtime_report(),
+                           runtime_report(resyncs_sent=new_resyncs))
+        self.assertTrue(any("resync storm" in f for f in failures))
+
+    def test_resync_growth_within_slack_passes(self):
+        self.assertEqual(
+            compare(runtime_report(), runtime_report(resyncs_sent=17)), [])
+
+    def test_never_healed_divergence_fails(self):
+        failures = compare(
+            runtime_report(),
+            runtime_report(divergence_events=3, resyncs_applied=0))
+        self.assertTrue(any("no resync was ever applied" in f
+                            for f in failures))
+
+    def test_quiet_run_without_divergence_passes(self):
+        new = runtime_report(divergence_events=0, resyncs_applied=0,
+                             resyncs_sent=0)
+        self.assertEqual(compare(runtime_report(), new), [])
+
+    def test_obs_overhead_over_limit_fails(self):
+        failures = compare(runtime_report(),
+                           runtime_report(obs_overhead_pct=7.5))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("tracing overhead", failures[0])
+
+    def test_untraced_report_passes(self):
+        new = runtime_report()
+        del new["results"][0]["obs_overhead_pct"]
+        self.assertEqual(compare(runtime_report(), new), [])
+
+
+class MainEndToEnd(unittest.TestCase):
+    def run_main(self, old, new, extra_args=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            old_path = os.path.join(tmp, "old.json")
+            new_path = os.path.join(tmp, "new.json")
+            with open(old_path, "w") as f:
+                json.dump(old, f)
+            with open(new_path, "w") as f:
+                json.dump(new, f)
+            argv = ["bench_compare.py", *extra_args, old_path, new_path]
+            with contextlib.redirect_stdout(io.StringIO()), \
+                    contextlib.redirect_stderr(io.StringIO()):
+                return bench_compare.main(argv)
+
+    def test_clean_compare_exits_zero(self):
+        self.assertEqual(self.run_main(hotpath_report(), hotpath_report()), 0)
+
+    def test_failing_compare_exits_nonzero(self):
+        self.assertEqual(
+            self.run_main(runtime_report(),
+                          runtime_report(equivalent=False)), 1)
+
+    def test_threshold_flag_is_honored(self):
+        old, new = hotpath_report(), hotpath_report(ns_per_tick=115.0)
+        self.assertEqual(self.run_main(old, new), 1)
+        self.assertEqual(
+            self.run_main(old, new, extra_args=("--threshold=0.25",)), 0)
+
+    def test_mismatched_kinds_rejected(self):
+        with self.assertRaises(SystemExit):
+            self.run_main(hotpath_report(), runtime_report())
+
+    def test_unknown_kind_rejected(self):
+        with self.assertRaises(SystemExit):
+            self.run_main({"benchmark": "nonsense", "results": []},
+                          hotpath_report())
+
+    def test_committed_snapshot_self_compare_is_clean(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_filter_hotpath.json")
+        self.assertTrue(os.path.exists(path),
+                        "committed benchmark snapshot missing")
+        with open(path) as f:
+            report = json.load(f)
+        self.assertEqual(self.run_main(report, copy.deepcopy(report)), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

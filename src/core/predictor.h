@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "models/state_model.h"
+#include "obs/trace_sink.h"
 
 namespace dkf {
 
@@ -81,6 +82,16 @@ class Predictor {
   /// True when `other` is the same concrete type with bit-identical
   /// internal state — the mirror-consistency predicate.
   virtual bool StateEquals(const Predictor& other) const = 0;
+
+  /// Wires an observability sink into the scheme's internals, stamping
+  /// emitted events with (source_id, actor). Observation only — must not
+  /// change any prediction. Default: nothing to observe.
+  virtual void SetTrace(TraceSink* sink, int32_t source_id,
+                        TraceActor actor) {
+    (void)sink;
+    (void)source_id;
+    (void)actor;
+  }
 };
 
 /// Kalman-filter predictor (the paper's proposal): wraps a KalmanFilter
@@ -110,6 +121,10 @@ class KalmanPredictor : public Predictor {
     return std::make_unique<KalmanPredictor>(*this);
   }
   bool StateEquals(const Predictor& other) const override;
+  void SetTrace(TraceSink* sink, int32_t source_id,
+                TraceActor actor) override {
+    filter_.set_trace(sink, source_id, actor);
+  }
 
   /// Access to the underlying filter (innovation statistics, covariance).
   const KalmanFilter& filter() const { return filter_; }

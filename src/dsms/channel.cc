@@ -82,6 +82,9 @@ Result<SendAck> Channel::Send(const Message& message) {
       rng.Bernoulli(options_.drop_probability)) {
     ++total_.dropped;
     ++stats.dropped;
+    DKF_TRACE(obs_sink_, framed.tick, framed.source_id,
+              TraceEventKind::kChannelDrop, TraceActor::kChannel, 0.0, 0.0,
+              framed.sequence);
     return (fault_active && !reliable_ack) ? SendAck::kNoAck
                                            : SendAck::kDropped;
   }
@@ -97,6 +100,9 @@ Result<SendAck> Channel::Send(const Message& message) {
     ++stats.dropped;
     ++total_.outage_dropped;
     ++stats.outage_dropped;
+    DKF_TRACE(obs_sink_, framed.tick, framed.source_id,
+              TraceEventKind::kChannelOutage, TraceActor::kChannel, 0.0, 0.0,
+              framed.sequence);
     return SendAck::kNoAck;
   }
 
@@ -110,6 +116,9 @@ Result<SendAck> Channel::Send(const Message& message) {
     if (rng.Bernoulli(bad ? ge.bad_loss : ge.good_loss)) {
       ++total_.dropped;
       ++stats.dropped;
+      DKF_TRACE(obs_sink_, framed.tick, framed.source_id,
+                TraceEventKind::kChannelDrop, TraceActor::kChannel, 1.0, 0.0,
+                framed.sequence);
       return reliable_ack ? SendAck::kDropped : SendAck::kNoAck;
     }
   }
@@ -123,6 +132,9 @@ Result<SendAck> Channel::Send(const Message& message) {
     corrupted = true;
     ++total_.corrupted;
     ++stats.corrupted;
+    DKF_TRACE(obs_sink_, framed.tick, framed.source_id,
+              TraceEventKind::kChannelCorrupt, TraceActor::kChannel, 0.0, 0.0,
+              framed.sequence);
   }
 
   // 5. Delivery delay: a nonzero draw parks the message in the in-flight
@@ -140,11 +152,17 @@ Result<SendAck> Channel::Send(const Message& message) {
     ack_lost = true;
     ++total_.ack_lost;
     ++stats.ack_lost;
+    DKF_TRACE(obs_sink_, framed.tick, framed.source_id,
+              TraceEventKind::kChannelAckLoss, TraceActor::kChannel, 0.0, 0.0,
+              framed.sequence);
   }
 
   if (delay > 0) {
     ++total_.delayed;
     ++stats.delayed;
+    DKF_TRACE(obs_sink_, framed.tick, framed.source_id,
+              TraceEventKind::kChannelDelay, TraceActor::kChannel,
+              static_cast<double>(delay), 0.0, framed.sequence);
     in_flight_.push_back(
         InFlight{framed.tick + delay, ack_lost, corrupted, std::move(framed)});
     return SendAck::kNoAck;

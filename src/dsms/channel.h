@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "dsms/fault_model.h"
 #include "dsms/message.h"
+#include "obs/trace_sink.h"
 
 namespace dkf {
 
@@ -111,6 +112,12 @@ class Channel {
   /// Messages currently sitting in the in-flight (delay) queue.
   size_t in_flight() const { return in_flight_.size(); }
 
+  /// Wires an observability sink: every fault the channel injects (drop,
+  /// outage, corruption, delay, ACK loss) is emitted as a trace event
+  /// stamped with the message's send tick and source. Pass nullptr to
+  /// unwire.
+  void set_trace_sink(TraceSink* sink) { obs_sink_ = sink; }
+
  private:
   /// One delayed message waiting for its delivery tick.
   struct InFlight {
@@ -131,6 +138,7 @@ class Channel {
 
   Sink sink_;
   ChannelOptions options_;
+  TraceSink* obs_sink_ = nullptr;
   Rng rng_;
   ChannelStats total_;
   std::map<int, ChannelStats> per_source_;

@@ -14,6 +14,8 @@ Status ServerNode::RegisterSource(int source_id, const StateModel& model) {
   auto predictor_or = KalmanPredictor::Create(model);
   if (!predictor_or.ok()) return predictor_or.status();
   predictors_[source_id] = predictor_or.value().Clone();
+  predictors_[source_id]->SetTrace(obs_sink_, source_id,
+                                   TraceActor::kServerFilter);
   LinkState link;
   // The staleness clock starts at registration, not at tick 0.
   link.last_valid_tick = ticks_done_ - 1;
@@ -29,6 +31,13 @@ Status ServerNode::UnregisterSource(int source_id) {
   return Status::OK();
 }
 
+void ServerNode::set_trace_sink(TraceSink* sink) {
+  obs_sink_ = sink;
+  for (auto& [id, predictor] : predictors_) {
+    predictor->SetTrace(sink, id, TraceActor::kServerFilter);
+  }
+}
+
 Status ServerNode::TickAll() {
   // Account degraded service for the tick that just completed (its
   // final message state is now known). Skipped entirely in legacy
@@ -36,7 +45,12 @@ Status ServerNode::TickAll() {
   if (ticks_done_ > 0 &&
       (protocol_.staleness_budget > 0 || faults_.resyncs_applied > 0)) {
     for (const auto& [id, link] : links_) {
-      if (IsDegraded(link)) ++faults_.degraded_ticks;
+      if (IsDegraded(link)) {
+        ++faults_.degraded_ticks;
+        DKF_TRACE(obs_sink_, ticks_done_ - 1, id,
+                  TraceEventKind::kDegradedTick, TraceActor::kServer,
+                  static_cast<double>(OverdueTicks(link)));
+      }
     }
   }
   for (auto& [id, predictor] : predictors_) {
@@ -60,11 +74,17 @@ Status ServerNode::OnMessage(const Message& message) {
   if (message.checksum != 0 &&
       message.ComputeChecksum() != message.checksum) {
     ++faults_.rejected_corrupt;
+    DKF_TRACE(obs_sink_, now, message.source_id,
+              TraceEventKind::kCorruptReject, TraceActor::kServer, 0.0, 0.0,
+              message.sequence);
     return Status::OK();
   }
   const bool sequenced = message.sequence != 0;
   if (sequenced && message.sequence <= link.last_sequence) {
     ++faults_.rejected_stale;  // duplicate or out-of-order
+    DKF_TRACE(obs_sink_, now, message.source_id,
+              TraceEventKind::kStaleReject, TraceActor::kServer, 0.0, 0.0,
+              message.sequence);
     return Status::OK();
   }
   auto accept_sequenced = [&]() {
@@ -83,10 +103,16 @@ Status ServerNode::OnMessage(const Message& message) {
       // here would *create* the divergence the protocol guards against.
       if (sequenced && message.tick != now) {
         ++faults_.rejected_stale;
+        DKF_TRACE(obs_sink_, now, message.source_id,
+                  TraceEventKind::kStaleReject, TraceActor::kServer, 0.0,
+                  0.0, message.sequence);
         return Status::OK();
       }
       accept_sequenced();
       link.last_update_tick = now;
+      DKF_TRACE(obs_sink_, now, message.source_id,
+                TraceEventKind::kUpdateApplied, TraceActor::kServer, 0.0,
+                0.0, message.sequence);
       return it->second->Update(message.payload);
 
     case MessageType::kResync: {
@@ -113,6 +139,9 @@ Status ServerNode::OnMessage(const Message& message) {
       ++faults_.resyncs_applied;
       link.last_resync_tick = now;
       link.last_update_tick = now;
+      DKF_TRACE(obs_sink_, now, message.source_id,
+                TraceEventKind::kResyncApplied, TraceActor::kServer,
+                static_cast<double>(in_flight_ticks), 0.0, message.sequence);
       return Status::OK();
     }
 
@@ -121,10 +150,16 @@ Status ServerNode::OnMessage(const Message& message) {
       // fresh one refreshes liveness.
       if (sequenced && message.tick != now) {
         ++faults_.rejected_stale;
+        DKF_TRACE(obs_sink_, now, message.source_id,
+                  TraceEventKind::kStaleReject, TraceActor::kServer, 0.0,
+                  0.0, message.sequence);
         return Status::OK();
       }
       accept_sequenced();
       ++faults_.heartbeats_received;
+      DKF_TRACE(obs_sink_, now, message.source_id,
+                TraceEventKind::kHeartbeatReceived, TraceActor::kServer, 0.0,
+                0.0, message.sequence);
       return Status::OK();
 
     case MessageType::kModelSwitch:

@@ -11,6 +11,7 @@
 #include "dsms/protocol.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
+#include "obs/trace_sink.h"
 
 namespace dkf {
 
@@ -87,6 +88,14 @@ class ServerNode {
 
   size_t num_sources() const { return predictors_.size(); }
 
+  /// Wires an observability sink: every ingress outcome (update applied,
+  /// resync applied, heartbeat, corrupt/stale rejection) and every tick
+  /// served degraded becomes a trace event; server-side filters forward
+  /// their fast-path transitions as server_filter events. Applies to
+  /// already-registered sources and to later registrations. Pass nullptr
+  /// to unwire.
+  void set_trace_sink(TraceSink* sink);
+
  private:
   /// Per-link ingress state for the hardened protocol.
   struct LinkState {
@@ -110,6 +119,7 @@ class ServerNode {
   std::map<int, LinkState> links_;
   ProtocolFaultStats faults_;
   int64_t ticks_done_ = 0;
+  TraceSink* obs_sink_ = nullptr;
 };
 
 }  // namespace dkf

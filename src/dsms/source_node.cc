@@ -1,6 +1,7 @@
 #include "dsms/source_node.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 
@@ -87,6 +88,8 @@ void SourceNode::HandleAck(uint32_t sequence, int64_t tick) {
 void SourceNode::Heal(int64_t tick) {
   faults_.max_recovery_ticks =
       std::max(faults_.max_recovery_ticks, tick - pending_since_);
+  DKF_TRACE(obs_sink_, tick, options_.source_id, TraceEventKind::kHeal,
+            TraceActor::kSource, static_cast<double>(tick - pending_since_));
   pending_ = false;
   first_resync_sequence_ = 0;
   resync_attempts_ = 0;
@@ -119,6 +122,9 @@ Status SourceNode::MaybeSendResync(int64_t tick, Channel* channel,
   last_resync_tick_ = tick;
   last_send_tick_ = tick;
   result->resync_sent = true;
+  DKF_TRACE(obs_sink_, tick, options_.source_id, TraceEventKind::kResyncSent,
+            TraceActor::kSource, static_cast<double>(resync_attempts_), 0.0,
+            message.sequence);
 
   if (channel == nullptr) {
     // No channel means no server to diverge from; treat as healed.
@@ -177,12 +183,29 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
 
   if (!pending_) {
     const Vector predicted = mirror_->Predicted();
+    // The deviation is computed once and reused for both the decision and
+    // the trace event, so instrumentation can never change the decision:
+    // `deviation > bound` is exactly ShouldTransmit's test. In the
+    // per-component case the decision stays with the dedicated rule and
+    // the event reports the max delta-normalized component ratio (whose
+    // `> 1` test agrees with the rule), computed only when wired.
+    double deviation = 0.0;
+    double bound = 1.0;
     if (options_.component_deltas.empty()) {
-      result.sent = ShouldTransmit(predicted, result.protocol_value,
-                                   options_.delta, options_.norm);
+      deviation =
+          Deviation(predicted, result.protocol_value, options_.norm);
+      bound = options_.delta;
+      result.sent = deviation > bound;
     } else {
       result.sent = ShouldTransmitPerComponent(
           predicted, result.protocol_value, Vector(options_.component_deltas));
+      if (obs_sink_ != nullptr) {
+        for (size_t i = 0; i < options_.component_deltas.size(); ++i) {
+          deviation = std::max(
+              deviation, std::abs(predicted[i] - result.protocol_value[i]) /
+                             options_.component_deltas[i]);
+        }
+      }
     }
 
     if (result.sent) {
@@ -195,6 +218,9 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
       energy_.ChargeTransmission(message.SizeBytes());
       ++updates_sent_;
       last_send_tick_ = tick;
+      DKF_TRACE(obs_sink_, tick, options_.source_id,
+                TraceEventKind::kTransmit, TraceActor::kSource, deviation,
+                bound, message.sequence);
 
       SendAck ack = SendAck::kAcked;
       if (channel != nullptr) {
@@ -213,6 +239,9 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
           // Reliable-ACK loss (legacy): the server never saw it, the
           // mirror stays uncorrected, the next tick's deviation test
           // retries automatically.
+          DKF_TRACE(obs_sink_, tick, options_.source_id,
+                    TraceEventKind::kSendDropped, TraceActor::kSource, 0.0,
+                    0.0, message.sequence);
           break;
         case SendAck::kNoAck:
           // The divergence-inducing case: the server may or may not have
@@ -221,6 +250,9 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
           result.ack_ambiguous = true;
           ++faults_.ambiguous_acks;
           ++faults_.divergence_events;
+          DKF_TRACE(obs_sink_, tick, options_.source_id,
+                    TraceEventKind::kDivergence, TraceActor::kSource, 0.0,
+                    0.0, message.sequence);
           pending_ = true;
           pending_since_ = tick;
           first_resync_sequence_ = 0;
@@ -228,24 +260,34 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
           DKF_RETURN_IF_ERROR(MaybeSendResync(tick, channel, &result));
           break;
       }
-    } else if (options_.protocol.heartbeat_interval > 0 &&
-               tick - last_send_tick_ >=
-                   options_.protocol.heartbeat_interval) {
-      // Healthy but silent: tell the server the prediction still holds.
-      // Heartbeats correct nothing, so their ACK (or its loss) carries no
-      // divergence risk and is ignored.
-      Message beacon;
-      beacon.type = MessageType::kHeartbeat;
-      beacon.source_id = options_.source_id;
-      beacon.tick = tick;
-      beacon.sequence = next_sequence_++;
-      energy_.ChargeTransmission(beacon.SizeBytes());
-      ++faults_.heartbeats_sent;
-      last_send_tick_ = tick;
-      result.heartbeat_sent = true;
-      if (channel != nullptr) {
-        auto ack_or = channel->Send(beacon);
-        if (!ack_or.ok()) return ack_or.status();
+    } else {
+      // Suppressed: the mirror's prediction still satisfies the precision
+      // constraint. Heartbeat ticks are suppressed ticks too — the beacon
+      // carries no measurement.
+      DKF_TRACE(obs_sink_, tick, options_.source_id,
+                TraceEventKind::kSuppress, TraceActor::kSource, deviation,
+                bound);
+      if (options_.protocol.heartbeat_interval > 0 &&
+          tick - last_send_tick_ >= options_.protocol.heartbeat_interval) {
+        // Healthy but silent: tell the server the prediction still holds.
+        // Heartbeats correct nothing, so their ACK (or its loss) carries
+        // no divergence risk and is ignored.
+        Message beacon;
+        beacon.type = MessageType::kHeartbeat;
+        beacon.source_id = options_.source_id;
+        beacon.tick = tick;
+        beacon.sequence = next_sequence_++;
+        energy_.ChargeTransmission(beacon.SizeBytes());
+        ++faults_.heartbeats_sent;
+        last_send_tick_ = tick;
+        result.heartbeat_sent = true;
+        DKF_TRACE(obs_sink_, tick, options_.source_id,
+                  TraceEventKind::kHeartbeatSent, TraceActor::kSource, 0.0,
+                  0.0, beacon.sequence);
+        if (channel != nullptr) {
+          auto ack_or = channel->Send(beacon);
+          if (!ack_or.ok()) return ack_or.status();
+        }
       }
     }
   }

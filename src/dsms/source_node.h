@@ -15,6 +15,7 @@
 #include "dsms/protocol.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
+#include "obs/trace_sink.h"
 
 namespace dkf {
 
@@ -125,6 +126,16 @@ class SourceNode {
   /// The mirror predictor (for the mirror-consistency tests).
   const Predictor& mirror() const { return *mirror_; }
 
+  /// Wires an observability sink: every protocol decision this node makes
+  /// (suppress/transmit with the measured deviation, resync, heal,
+  /// heartbeat) becomes a trace event, and the mirror filter's fast-path
+  /// transitions are forwarded as source_filter events. Pass nullptr to
+  /// unwire.
+  void set_trace_sink(TraceSink* sink) {
+    obs_sink_ = sink;
+    mirror_->SetTrace(sink, options_.source_id, TraceActor::kSourceFilter);
+  }
+
  private:
   SourceNode(const SourceNodeOptions& options,
              std::unique_ptr<Predictor> mirror,
@@ -162,6 +173,7 @@ class SourceNode {
   /// Tick of the last transmission attempt of any kind (heartbeat pacing).
   int64_t last_send_tick_ = -1;
   ProtocolFaultStats faults_;
+  TraceSink* obs_sink_ = nullptr;
 };
 
 }  // namespace dkf

@@ -1,5 +1,6 @@
 #include "dsms/stream_manager.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/string_util.h"
@@ -37,7 +38,34 @@ Status StreamManager::RegisterSource(int source_id, const StateModel& model) {
   }
   sources_[source_id] =
       std::make_unique<SourceNode>(std::move(node_or).value());
+  if (sink_ != nullptr) sources_[source_id]->set_trace_sink(sink_.get());
   return Status::OK();
+}
+
+Status StreamManager::EnableTracing(const ObsOptions& obs) {
+  sink_ = std::make_unique<TraceSink>(obs);
+  channel_.set_trace_sink(sink_.get());
+  server_.set_trace_sink(sink_.get());
+  for (auto& [id, node] : sources_) node->set_trace_sink(sink_.get());
+  return Status::OK();
+}
+
+void StreamManager::DisableTracing() {
+  channel_.set_trace_sink(nullptr);
+  server_.set_trace_sink(nullptr);
+  for (auto& [id, node] : sources_) node->set_trace_sink(nullptr);
+  sink_.reset();
+}
+
+std::vector<TraceEvent> StreamManager::Trace() const {
+  if (sink_ == nullptr) return {};
+  return sink_->Events();
+}
+
+MetricsRegistry StreamManager::MetricsSnapshot() const {
+  MetricsRegistry registry;
+  if (sink_ != nullptr) sink_->SnapshotInto(&registry);
+  return registry;
 }
 
 Status StreamManager::SubmitQuery(const ContinuousQuery& query) {
@@ -186,9 +214,21 @@ Status StreamManager::ProcessTick(const std::map<int, Vector>& readings) {
         StrFormat("got %zu readings for %zu sources", readings.size(),
                   sources_.size()));
   }
+  const bool timed = sink_ != nullptr && sink_->options().record_timing;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
   DKF_RETURN_IF_ERROR(
       RunSourceTick(ticks_, server_, sources_, readings, channel_));
   ++ticks_;
+  if (sink_ != nullptr) {
+    if (timed) {
+      sink_->RecordTickLatencyNs(std::chrono::duration<double, std::nano>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count());
+    }
+    sink_->SetGauge("channel.in_flight",
+                    static_cast<double>(channel_.in_flight()));
+  }
   return Status::OK();
 }
 

@@ -12,6 +12,8 @@
 #include "dsms/source_node.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
+#include "obs/trace_merge.h"
+#include "obs/trace_sink.h"
 #include "query/aggregate.h"
 #include "query/query.h"
 #include "query/registry.h"
@@ -120,6 +122,26 @@ class StreamManager {
   int64_t ticks() const { return ticks_; }
   const QueryRegistry& registry() const { return registry_; }
 
+  /// Turns on observability: creates the trace sink and wires it into
+  /// the channel, the server (and its filters), and every source node —
+  /// including ones registered later. Idempotent reconfiguration: calling
+  /// again replaces the sink (events so far are discarded).
+  Status EnableTracing(const ObsOptions& obs = ObsOptions());
+
+  /// Unwires and destroys the sink; every component reverts to the
+  /// zero-cost untraced path. Safe between ticks.
+  void DisableTracing();
+
+  /// The trace sink, or nullptr while tracing is off.
+  const TraceSink* trace_sink() const { return sink_.get(); }
+
+  /// A copy of the retained trace events (oldest first).
+  std::vector<TraceEvent> Trace() const;
+
+  /// Snapshot of the event-derived counters, sampled gauges, and
+  /// (when ObsOptions::record_timing) latency histograms.
+  MetricsRegistry MetricsSnapshot() const;
+
   /// Per-source effective delta currently installed.
   Result<double> source_delta(int source_id) const;
 
@@ -147,6 +169,9 @@ class StreamManager {
   QueryRegistry registry_;
   int64_t control_messages_ = 0;
   int64_t ticks_ = 0;
+  /// Observability sink (null while tracing is off). Owned here; the
+  /// channel/server/source nodes hold raw pointers into it.
+  std::unique_ptr<TraceSink> sink_;
 };
 
 }  // namespace dkf

@@ -93,6 +93,10 @@ const Matrix& KalmanFilter::TransitionAt(int64_t step) {
 }
 
 void KalmanFilter::DisarmSteadyState() {
+  if (ss_mode_ == SsMode::kArmed) {
+    DKF_TRACE(obs_sink_, step_, obs_source_, TraceEventKind::kFastPathDisarm,
+              obs_actor_, static_cast<double>(ss_period_));
+  }
   ss_mode_ = SsMode::kTracking;
   ss_streak1_ = 0;
   ss_streak2_ = 0;
@@ -145,6 +149,9 @@ Status KalmanFilter::Predict() {
       if (--ss_pending_priors_ == 0) {
         ss_mode_ = SsMode::kArmed;
         ss_idx_ = ss_capture_idx_;  // phase of the upcoming Correct
+        DKF_TRACE(obs_sink_, step_, obs_source_,
+                  TraceEventKind::kFastPathFreeze, obs_actor_,
+                  static_cast<double>(ss_period_));
       } else {
         ss_capture_idx_ = (ss_capture_idx_ + 1) % ss_period_;
       }

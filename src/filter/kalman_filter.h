@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "obs/trace_sink.h"
 
 namespace dkf {
 
@@ -161,6 +162,15 @@ class KalmanFilter {
   /// step counter — the mirror-consistency predicate of the DKF protocol.
   bool StateEquals(const KalmanFilter& other) const;
 
+  /// Wires an observability sink: fast-path freeze/disarm transitions are
+  /// emitted as trace events tagged (source_id, actor). Pass nullptr to
+  /// unwire. Observation only — never alters filter arithmetic.
+  void set_trace(TraceSink* sink, int32_t source_id, TraceActor actor) {
+    obs_sink_ = sink;
+    obs_source_ = source_id;
+    obs_actor_ = actor;
+  }
+
  private:
   explicit KalmanFilter(KalmanFilterOptions options);
 
@@ -205,6 +215,13 @@ class KalmanFilter {
   Vector x_;
   Matrix p_;
   int64_t step_ = 0;
+
+  // Observability (docs/observability.md): nullable sink + the identity
+  // stamped on emitted events. Copied with the filter; owners re-wire
+  // clones explicitly.
+  TraceSink* obs_sink_ = nullptr;
+  int32_t obs_source_ = 0;
+  TraceActor obs_actor_ = TraceActor::kSourceFilter;
   Vector last_innovation_;
   Matrix identity_;  // I_n, hoisted out of the Joseph update
 

@@ -1,0 +1,176 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+void HistogramSnapshot::Record(double sample) {
+  if (counts.size() != boundaries.size() + 1) {
+    counts.assign(boundaries.size() + 1, 0);
+  }
+  size_t bucket = boundaries.size();  // +Inf bucket by default
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    if (sample <= boundaries[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts[bucket];
+  ++count;
+  sum += sample;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::AddToGauge(const std::string& name, double delta) {
+  gauges_[name] += delta;
+}
+
+void MetricsRegistry::RecordHistogram(const std::string& name,
+                                      const std::vector<double>& boundaries,
+                                      double sample) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramSnapshot histogram;
+    histogram.boundaries = boundaries;
+    histogram.counts.assign(boundaries.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(histogram)).first;
+  }
+  it->second.Record(sample);
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const HistogramSnapshot* MetricsRegistry::histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::MergeHistogram(const std::string& name,
+                                     const HistogramSnapshot& histogram) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_[name] = histogram;
+    return;
+  }
+  HistogramSnapshot& mine = it->second;
+  if (mine.boundaries != histogram.boundaries ||
+      mine.counts.size() != histogram.counts.size()) {
+    return;  // incompatible shapes: keep the first
+  }
+  for (size_t i = 0; i < mine.counts.size(); ++i) {
+    mine.counts[i] += histogram.counts[i];
+  }
+  mine.count += histogram.count;
+  mine.sum += histogram.sum;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] += value;
+  for (const auto& [name, histogram] : other.histograms_) {
+    MergeHistogram(name, histogram);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+                     static_cast<long long>(value));
+    first = false;
+  }
+  out += first ? "},\n  \"gauges\": {" : "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",", name.c_str(),
+                     DoubleToString(value).c_str());
+    first = false;
+  }
+  out += first ? "},\n  \"histograms\": {" : "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    std::string boundaries, counts;
+    for (size_t i = 0; i < histogram.boundaries.size(); ++i) {
+      boundaries += StrFormat(
+          "%s%s", i == 0 ? "" : ", ",
+          DoubleToString(histogram.boundaries[i]).c_str());
+    }
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      counts += StrFormat("%s%lld", i == 0 ? "" : ", ",
+                          static_cast<long long>(histogram.counts[i]));
+    }
+    out += StrFormat(
+        "%s\n    \"%s\": {\"boundaries\": [%s], \"counts\": [%s], "
+        "\"count\": %lld, \"sum\": %s}",
+        first ? "" : ",", name.c_str(), boundaries.c_str(), counts.c_str(),
+        static_cast<long long>(histogram.count),
+        DoubleToString(histogram.sum).c_str());
+    first = false;
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+namespace {
+
+/// "trace.suppress" -> "dkf_trace_suppress".
+std::string PromName(const std::string& prefix, const std::string& name) {
+  std::string out = prefix.empty() ? name : prefix + "_" + name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  std::replace(out.begin(), out.end(), '-', '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus(const std::string& prefix) const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    const std::string metric = PromName(prefix, name) + "_total";
+    out += StrFormat("# TYPE %s counter\n%s %lld\n", metric.c_str(),
+                     metric.c_str(), static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : gauges_) {
+    const std::string metric = PromName(prefix, name);
+    out += StrFormat("# TYPE %s gauge\n%s %s\n", metric.c_str(),
+                     metric.c_str(), DoubleToString(value).c_str());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string metric = PromName(prefix, name);
+    out += StrFormat("# TYPE %s histogram\n", metric.c_str());
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.boundaries.size(); ++i) {
+      cumulative += i < histogram.counts.size() ? histogram.counts[i] : 0;
+      out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", metric.c_str(),
+                       DoubleToString(histogram.boundaries[i]).c_str(),
+                       static_cast<long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", metric.c_str(),
+                     static_cast<long long>(histogram.count));
+    out += StrFormat("%s_sum %s\n%s_count %lld\n", metric.c_str(),
+                     DoubleToString(histogram.sum).c_str(), metric.c_str(),
+                     static_cast<long long>(histogram.count));
+  }
+  return out;
+}
+
+}  // namespace dkf

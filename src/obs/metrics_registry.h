@@ -1,0 +1,106 @@
+#ifndef DKF_OBS_METRICS_REGISTRY_H_
+#define DKF_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dkf {
+
+/// A fixed-bucket histogram: `boundaries` are the inclusive upper edges
+/// of the first N buckets, with an implicit +Inf bucket after the last
+/// (Prometheus "le" semantics). Bucket counts, total count, and sum are
+/// tracked; no per-sample storage.
+struct HistogramSnapshot {
+  std::vector<double> boundaries;
+  std::vector<int64_t> counts;  // boundaries.size() + 1 entries
+  int64_t count = 0;
+  double sum = 0.0;
+
+  void Record(double sample);
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// A snapshot/merge/export container of named metrics: monotonic
+/// counters, point-in-time gauges, and fixed-bucket histograms, all keyed
+/// by dotted lowercase names ("trace.suppress", "channel.in_flight").
+///
+/// This is NOT the hot-path recorder — TraceSink counts events in a flat
+/// array and materializes a registry on demand (SnapshotInto). The
+/// registry's job is everything after the hot path: merging per-shard
+/// snapshots, equality checks in golden tests, and exporting to JSON or
+/// Prometheus text format. Deterministic by construction: sorted maps,
+/// no timestamps.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to a counter, creating it at zero first.
+  void AddCounter(const std::string& name, int64_t delta);
+
+  /// Sets a gauge to `value`, creating it if needed.
+  void SetGauge(const std::string& name, double value);
+
+  /// Adds `delta` to a gauge (the cross-shard merge semantics for
+  /// additive gauges like queue depths), creating it at zero first.
+  void AddToGauge(const std::string& name, double delta);
+
+  /// Records `sample` into a histogram, creating it with `boundaries` on
+  /// first use. Later calls ignore `boundaries` (the first shape wins).
+  void RecordHistogram(const std::string& name,
+                       const std::vector<double>& boundaries, double sample);
+
+  /// Folds a whole histogram in at once (bucket counts, count, sum) —
+  /// inserting it, or bucket-merging when one with the same boundaries
+  /// already exists. Mismatched boundary shapes keep the existing one.
+  void MergeHistogram(const std::string& name,
+                      const HistogramSnapshot& histogram);
+
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  bool has_gauge(const std::string& name) const {
+    return gauges_.contains(name);
+  }
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, HistogramSnapshot>& histograms() const {
+    return histograms_;
+  }
+
+  /// Folds another registry into this one: counters sum, gauges sum
+  /// (shard gauges are additive partial values), histograms with equal
+  /// boundaries merge bucket-wise (mismatched shapes keep the first).
+  void MergeFrom(const MetricsRegistry& other);
+
+  /// True when every counter, gauge, and histogram matches exactly — the
+  /// snapshot-equality predicate the shard-invariance tests use.
+  friend bool operator==(const MetricsRegistry&,
+                         const MetricsRegistry&) = default;
+
+  /// True when the counter maps match exactly. Replaying a trace can
+  /// reproduce every event-derived counter but not gauges sampled from
+  /// live component state; golden tests compare this subset.
+  bool SameCounters(const MetricsRegistry& other) const {
+    return counters_ == other.counters_;
+  }
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with keys in sorted order.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format. Metric names are prefixed with
+  /// `prefix` and dots become underscores; counters get a _total suffix.
+  std::string ToPrometheus(const std::string& prefix = "dkf") const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramSnapshot> histograms_;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+namespace {
+
+constexpr const char* kKindNames[kNumTraceEventKinds] = {
+    "suppress",
+    "transmit",
+    "send_dropped",
+    "divergence",
+    "resync_sent",
+    "heal",
+    "heartbeat_sent",
+    "update_applied",
+    "resync_applied",
+    "heartbeat_received",
+    "corrupt_reject",
+    "stale_reject",
+    "degraded_tick",
+    "channel_drop",
+    "channel_outage",
+    "channel_corrupt",
+    "channel_delay",
+    "channel_ack_loss",
+    "fast_path_freeze",
+    "fast_path_disarm",
+};
+
+constexpr const char* kActorNames[static_cast<int>(TraceActor::kCount)] = {
+    "source", "server", "channel", "source_filter", "server_filter",
+};
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  const int index = static_cast<int>(kind);
+  if (index < 0 || index >= kNumTraceEventKinds) return "unknown";
+  return kKindNames[index];
+}
+
+const char* TraceActorName(TraceActor actor) {
+  const int index = static_cast<int>(actor);
+  if (index < 0 || index >= static_cast<int>(TraceActor::kCount)) {
+    return "unknown";
+  }
+  return kActorNames[index];
+}
+
+std::string FormatTraceEvent(const TraceEvent& event) {
+  return StrFormat("%lld %d %s %s %s %s %lld",
+                   static_cast<long long>(event.step), event.source_id,
+                   TraceEventKindName(event.kind), TraceActorName(event.actor),
+                   DoubleToString(event.value).c_str(),
+                   DoubleToString(event.aux).c_str(),
+                   static_cast<long long>(event.detail));
+}
+
+std::string TraceToJson(const std::vector<TraceEvent>& events) {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += StrFormat(
+        "%s\n  {\"step\": %lld, \"source\": %d, \"kind\": \"%s\", "
+        "\"actor\": \"%s\", \"value\": %s, \"aux\": %s, \"detail\": %lld}",
+        i == 0 ? "" : ",", static_cast<long long>(e.step), e.source_id,
+        TraceEventKindName(e.kind), TraceActorName(e.actor),
+        DoubleToString(e.value).c_str(), DoubleToString(e.aux).c_str(),
+        static_cast<long long>(e.detail));
+  }
+  out += events.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace dkf

@@ -1,0 +1,112 @@
+#ifndef DKF_OBS_TRACE_H_
+#define DKF_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dkf {
+
+// Compile-out switch for the observability layer. The sink interface and
+// the registry are always compiled (so wiring code never needs #ifdefs),
+// but with -DDKF_OBS_DISABLED (CMake option DKF_OBS=OFF) every emission
+// site collapses to a no-op and tracing has zero cost.
+#if defined(DKF_OBS_DISABLED)
+#define DKF_OBS_ENABLED 0
+#else
+#define DKF_OBS_ENABLED 1
+#endif
+
+/// Everything the protocol can do that is worth observing. One enumerator
+/// per event keeps the hot-path recorder a single array increment; the
+/// string names live in TraceEventKindName (exporters only).
+///
+/// The enumerator order is part of the trace format (golden tests pin
+/// event sequences by name, counters are exported by name) — append new
+/// kinds at the end.
+enum class TraceEventKind : uint8_t {
+  // Source-side protocol decisions.
+  kSuppress = 0,        // deviation within delta; nothing sent
+  kTransmit,            // measurement sent (deviation exceeded delta)
+  kSendDropped,         // measurement definitely lost (reliable-ACK drop)
+  kDivergence,          // ambiguous ACK; node entered pending-resync
+  kResyncSent,          // full-state snapshot transmitted
+  kHeal,                // resync ACKed; node left the pending state
+  kHeartbeatSent,       // liveness beacon transmitted
+
+  // Server-side ingress outcomes.
+  kUpdateApplied,       // measurement passed validation, corrected KF_s
+  kResyncApplied,       // snapshot imported + in-flight ticks replayed
+  kHeartbeatReceived,   // fresh heartbeat refreshed liveness
+  kCorruptReject,       // wire checksum mismatch
+  kStaleReject,         // duplicate / out-of-order / late message
+  kDegradedTick,        // a tick served degraded (no delta guarantee)
+
+  // Channel fault injections.
+  kChannelDrop,         // Bernoulli or Gilbert-Elliott loss
+  kChannelOutage,       // lost to a scheduled outage window
+  kChannelCorrupt,      // payload corrupted in flight
+  kChannelDelay,        // parked in the in-flight queue
+  kChannelAckLoss,      // delivered but the ACK was lost
+
+  // Filter fast-path transitions.
+  kFastPathFreeze,      // steady-state detected; gain/covariance frozen
+  kFastPathDisarm,      // cadence break / reconfig left the fast path
+
+  kCount,  // sentinel, not a real event
+};
+
+inline constexpr int kNumTraceEventKinds =
+    static_cast<int>(TraceEventKind::kCount);
+
+/// Which component emitted the event. Disambiguates e.g. the mirror
+/// filter's freeze from the server filter's freeze at the same step.
+enum class TraceActor : uint8_t {
+  kSource = 0,
+  kServer,
+  kChannel,
+  kSourceFilter,
+  kServerFilter,
+  kCount,  // sentinel
+};
+
+/// One observed protocol event. 32 bytes, trivially copyable — the shape
+/// the per-shard ring buffers store millions of.
+///
+/// `value` and `detail` are kind-specific:
+///   suppress/transmit: value = measured deviation, aux = the threshold
+///     it was tested against (delta, or 1.0 for per-component ratios);
+///   resync_applied: value = in-flight ticks replayed;
+///   channel_delay: value = delay in ticks;
+///   heal: value = episode length in ticks;
+///   fast_path_freeze: value = frozen cycle period;
+///   sends/rejects: detail = wire sequence number.
+struct TraceEvent {
+  int64_t step = 0;
+  int32_t source_id = 0;
+  TraceEventKind kind = TraceEventKind::kSuppress;
+  TraceActor actor = TraceActor::kSource;
+  double value = 0.0;
+  double aux = 0.0;
+  int64_t detail = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Stable lower_snake name of an event kind ("suppress", "transmit", ...).
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// Stable name of an actor ("source", "server", "channel", ...).
+const char* TraceActorName(TraceActor actor);
+
+/// One-line canonical rendering of an event — the format golden tests pin:
+///   "<step> <source_id> <kind> <actor> <value> <aux> <detail>"
+/// with doubles in shortest round-trip form.
+std::string FormatTraceEvent(const TraceEvent& event);
+
+/// Renders a trace as a JSON array of event objects.
+std::string TraceToJson(const std::vector<TraceEvent>& events);
+
+}  // namespace dkf
+
+#endif  // DKF_OBS_TRACE_H_

@@ -1,0 +1,45 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/trace_sink.h"
+
+namespace dkf {
+
+std::vector<TraceEvent> MergeTraces(
+    const std::vector<std::vector<TraceEvent>>& per_shard) {
+  size_t total = 0;
+  for (const auto& shard : per_shard) total += shard.size();
+  std::vector<TraceEvent> merged;
+  merged.reserve(total);
+  for (const auto& shard : per_shard) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.step != b.step) return a.step < b.step;
+                     return a.source_id < b.source_id;
+                   });
+  return merged;
+}
+
+void ReplayTrace(const std::vector<TraceEvent>& events,
+                 MetricsRegistry* registry) {
+  for (const TraceEvent& event : events) {
+    registry->AddCounter(
+        std::string("trace.") + TraceEventKindName(event.kind), 1);
+  }
+  // Touch every kind so a replayed registry has the same (possibly zero)
+  // counter set as a live snapshot.
+  for (int i = 0; i < kNumTraceEventKinds; ++i) {
+    registry->AddCounter(
+        std::string("trace.") +
+            TraceEventKindName(static_cast<TraceEventKind>(i)),
+        0);
+  }
+  registry->AddCounter("trace.dropped_events", 0);
+  DeriveRates(registry);
+}
+
+}  // namespace dkf

@@ -1,0 +1,41 @@
+#ifndef DKF_OBS_TRACE_MERGE_H_
+#define DKF_OBS_TRACE_MERGE_H_
+
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace dkf {
+
+/// Merges per-shard traces into one deterministic stream, stably sorted
+/// by (step, source_id).
+///
+/// Why this is enough for bit-identical merges at any shard count: each
+/// source lives on exactly one shard, every event names its source, and
+/// the runtime's determinism contract (per-source RNG streams, fixed
+/// per-tick order inside a shard) makes the *per-source* event sequence
+/// invariant under the shard layout. Sorting by (step, source_id) groups
+/// each source's events per tick; the stable sort preserves their
+/// shard-local emission order inside the group — which is exactly the
+/// per-source order. Events of different sources at the same step end up
+/// in source-id order regardless of which shards emitted them.
+///
+/// Caveat: a wrapped ring buffer drops the *oldest* events of its own
+/// shard, and different layouts wrap differently — size ObsOptions::
+/// ring_capacity above the run's event count when merged traces must be
+/// compared exactly (the dropped_events counter says when this bit).
+std::vector<TraceEvent> MergeTraces(
+    const std::vector<std::vector<TraceEvent>>& per_shard);
+
+/// Rebuilds the event-derived metrics from a trace: one "trace.<kind>"
+/// counter increment per event plus the derived rate gauges. A complete
+/// trace (no ring overflow) replays into a registry whose counters match
+/// the live sinks' merged snapshot exactly — the golden-trace tests pin
+/// this round trip.
+void ReplayTrace(const std::vector<TraceEvent>& events,
+                 MetricsRegistry* registry);
+
+}  // namespace dkf
+
+#endif  // DKF_OBS_TRACE_MERGE_H_

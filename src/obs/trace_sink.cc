@@ -1,0 +1,103 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+
+namespace dkf {
+
+namespace {
+
+/// Fixed bucket edges for the per-tick latency histogram, in
+/// nanoseconds: 1us .. 100ms in decades. Fixed (rather than adaptive)
+/// buckets keep merged histograms well-defined across shards.
+const std::vector<double>& LatencyBoundariesNs() {
+  static const std::vector<double> kBoundaries = {1e3, 1e4, 1e5, 1e6,
+                                                  1e7, 1e8};
+  return kBoundaries;
+}
+
+}  // namespace
+
+TraceSink::TraceSink(const ObsOptions& options) : options_(options) {
+  ring_.resize(std::max<size_t>(options_.ring_capacity, 1));
+  tick_latency_.boundaries = LatencyBoundariesNs();
+  tick_latency_.counts.assign(tick_latency_.boundaries.size() + 1, 0);
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  // Oldest first: when the ring wrapped, the oldest slot is `next_`.
+  const size_t start = size_ < ring_.size() ? 0 : next_;
+  for (size_t i = 0; i < size_; ++i) {
+    events.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return events;
+}
+
+void TraceSink::SetGauge(const std::string& name, double value) {
+#if DKF_OBS_ENABLED
+  gauges_[name] = value;
+#else
+  (void)name, (void)value;
+#endif
+}
+
+void TraceSink::RecordTickLatencyNs(double nanoseconds) {
+#if DKF_OBS_ENABLED
+  if (options_.record_timing) tick_latency_.Record(nanoseconds);
+#else
+  (void)nanoseconds;
+#endif
+}
+
+void TraceSink::SnapshotInto(MetricsRegistry* registry) const {
+  for (int i = 0; i < kNumTraceEventKinds; ++i) {
+    registry->AddCounter(
+        std::string("trace.") +
+            TraceEventKindName(static_cast<TraceEventKind>(i)),
+        kind_counts_[static_cast<size_t>(i)]);
+  }
+  registry->AddCounter("trace.dropped_events", dropped_);
+  for (const auto& [name, value] : gauges_) {
+    registry->AddToGauge(name, value);
+  }
+  if (tick_latency_.count > 0) {
+    registry->MergeHistogram("tick_latency_ns", tick_latency_);
+  }
+  DeriveRates(registry);
+}
+
+MetricsRegistry TraceSink::Snapshot() const {
+  MetricsRegistry registry;
+  SnapshotInto(&registry);
+  return registry;
+}
+
+void TraceSink::Reset() {
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  kind_counts_.fill(0);
+  gauges_.clear();
+  tick_latency_.counts.assign(tick_latency_.boundaries.size() + 1, 0);
+  tick_latency_.count = 0;
+  tick_latency_.sum = 0.0;
+}
+
+void DeriveRates(MetricsRegistry* registry) {
+  const int64_t suppressed = registry->counter("trace.suppress");
+  const int64_t transmitted = registry->counter("trace.transmit");
+  if (suppressed + transmitted > 0) {
+    registry->SetGauge("suppression_ratio",
+                       static_cast<double>(suppressed) /
+                           static_cast<double>(suppressed + transmitted));
+  }
+  const int64_t degraded = registry->counter("trace.degraded_tick");
+  if (suppressed + transmitted > 0) {
+    registry->SetGauge("degraded_tick_rate",
+                       static_cast<double>(degraded) /
+                           static_cast<double>(suppressed + transmitted));
+  }
+}
+
+}  // namespace dkf

@@ -1,5 +1,7 @@
 #include "runtime/shard.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
 #include "dsms/tick_step.h"
 
@@ -37,7 +39,15 @@ Status StreamShard::AddSource(int source_id, const StateModel& model) {
   }
   sources_[source_id] =
       std::make_unique<SourceNode>(std::move(node_or).value());
+  if (obs_sink_ != nullptr) sources_[source_id]->set_trace_sink(obs_sink_);
   return Status::OK();
+}
+
+void StreamShard::set_trace_sink(TraceSink* sink) {
+  obs_sink_ = sink;
+  channel_.set_trace_sink(sink);
+  server_.set_trace_sink(sink);
+  for (auto& [id, node] : sources_) node->set_trace_sink(sink);
 }
 
 Status StreamShard::Reconfigure(int source_id,
@@ -56,7 +66,22 @@ Status StreamShard::Reconfigure(int source_id,
 
 Status StreamShard::ProcessTick(int64_t tick,
                                 const std::map<int, Vector>& readings) {
-  return RunSourceTick(tick, server_, sources_, readings, channel_);
+  const bool timed = obs_sink_ != nullptr && obs_sink_->options().record_timing;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
+  DKF_RETURN_IF_ERROR(
+      RunSourceTick(tick, server_, sources_, readings, channel_));
+  if (obs_sink_ != nullptr) {
+    if (timed) {
+      obs_sink_->RecordTickLatencyNs(std::chrono::duration<double, std::nano>(
+                                         std::chrono::steady_clock::now() -
+                                         start)
+                                         .count());
+    }
+    obs_sink_->SetGauge("channel.in_flight",
+                        static_cast<double>(channel_.in_flight()));
+  }
+  return Status::OK();
 }
 
 Result<Vector> StreamShard::Answer(int source_id) const {

@@ -15,6 +15,7 @@
 #include "dsms/source_node.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
+#include "obs/trace_sink.h"
 #include "query/registry.h"
 
 namespace dkf {
@@ -93,6 +94,13 @@ class StreamShard {
   int64_t control_messages() const { return control_messages_; }
   size_t num_sources() const { return sources_.size(); }
 
+  /// Wires this shard's channel, server, and source nodes (present and
+  /// future) into an observability sink. The engine hands each shard its
+  /// own sink so emission stays lock-free under the thread contract;
+  /// traces are merged deterministically afterwards. Pass nullptr to
+  /// unwire.
+  void set_trace_sink(TraceSink* sink);
+
  private:
   ServerNode server_;
   Channel channel_;
@@ -104,6 +112,9 @@ class StreamShard {
   /// unrelated reconfiguration does not restart KF_c).
   std::map<int, std::optional<double>> installed_smoothing_;
   int64_t control_messages_ = 0;
+  /// Per-shard observability sink (owned by the engine; null while
+  /// tracing is off).
+  TraceSink* obs_sink_ = nullptr;
 };
 
 }  // namespace dkf

@@ -286,6 +286,37 @@ Result<double> ShardedStreamEngine::source_delta(int source_id) const {
   return OwningShard(source_id).source_delta(source_id);
 }
 
+Status ShardedStreamEngine::EnableTracing(const ObsOptions& obs) {
+  sinks_.clear();
+  sinks_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    sinks_.push_back(std::make_unique<TraceSink>(obs));
+    shard->set_trace_sink(sinks_.back().get());
+  }
+  return Status::OK();
+}
+
+void ShardedStreamEngine::DisableTracing() {
+  for (auto& shard : shards_) shard->set_trace_sink(nullptr);
+  sinks_.clear();
+}
+
+std::vector<TraceEvent> ShardedStreamEngine::MergedTrace() const {
+  std::vector<std::vector<TraceEvent>> per_shard;
+  per_shard.reserve(sinks_.size());
+  for (const auto& sink : sinks_) per_shard.push_back(sink->Events());
+  return MergeTraces(per_shard);
+}
+
+MetricsRegistry ShardedStreamEngine::MetricsSnapshot() const {
+  MetricsRegistry registry;
+  for (const auto& sink : sinks_) sink->SnapshotInto(&registry);
+  // Re-derive the ratio gauges over the *merged* counters (each fold's
+  // own derivation only saw a prefix of the shards).
+  DeriveRates(&registry);
+  return registry;
+}
+
 Result<int64_t> ShardedStreamEngine::updates_sent(int source_id) const {
   if (!HasSource(source_id)) {
     return Status::NotFound(StrFormat("source %d not registered", source_id));

@@ -12,6 +12,8 @@
 #include "dsms/server_node.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
+#include "obs/trace_merge.h"
+#include "obs/trace_sink.h"
 #include "query/aggregate.h"
 #include "query/query.h"
 #include "query/registry.h"
@@ -143,6 +145,32 @@ class ShardedStreamEngine {
   /// The shard index a source id maps to (stable hash partition).
   int ShardIndexFor(int source_id) const;
 
+  /// Turns on observability with one sink per shard (lock-free emission
+  /// under the thread contract). Calling again replaces every sink.
+  Status EnableTracing(const ObsOptions& obs = ObsOptions());
+
+  /// Unwires and destroys every shard sink; the shards revert to the
+  /// zero-cost untraced path. Safe between ticks.
+  void DisableTracing();
+
+  /// The per-shard trace streams merged into one deterministic order
+  /// (see MergeTraces): with sufficient ring capacity the result is
+  /// bit-identical for any shard count.
+  std::vector<TraceEvent> MergedTrace() const;
+
+  /// Event counters, gauges, and latency histograms folded across every
+  /// shard sink into one registry. Counter/histogram values are sums;
+  /// gauges (queue depths) add across shards too, so e.g.
+  /// "channel.in_flight" is the fleet-wide depth.
+  MetricsRegistry MetricsSnapshot() const;
+
+  /// The sink attached to a shard (nullptr while tracing is off; for
+  /// tests).
+  const TraceSink* shard_sink(int shard) const {
+    if (sinks_.empty()) return nullptr;
+    return sinks_[static_cast<size_t>(shard)].get();
+  }
+
  private:
   StreamShard& OwningShard(int source_id) {
     return *shards_[static_cast<size_t>(ShardIndexFor(source_id))];
@@ -173,6 +201,9 @@ class ShardedStreamEngine {
   /// Reused every tick (one task per shard) to avoid reallocation.
   std::vector<WorkerPool::Task> tick_tasks_;
   int64_t ticks_ = 0;
+  /// One observability sink per shard (empty while tracing is off).
+  /// Owned here; shards hold raw pointers.
+  std::vector<std::unique_ptr<TraceSink>> sinks_;
 };
 
 }  // namespace dkf

@@ -29,6 +29,9 @@
 #include "dsms/stream_manager.h"
 #include "metrics/fault_stats.h"
 #include "models/model_factory.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "runtime/sharded_engine.h"
 
 namespace dkf {
@@ -201,6 +204,9 @@ ProtocolOptions FleetProtocol() {
 
 template <typename System>
 void InstallChaosWorkload(System& system) {
+  // Tracing on from the start: the shard-invariance contract must cover
+  // the observability stream too.
+  ASSERT_TRUE(system.EnableTracing().ok());
   for (int id = 1; id <= kNumSources; ++id) {
     ASSERT_TRUE(
         system.RegisterSource(id, ScalarModel(0.02 + 0.01 * (id % 4))).ok());
@@ -363,6 +369,36 @@ TEST(ChaosTest, ShardCountInvarianceUnderFullFaultCocktail) {
     // The merged runtime stats surface the fault counters too.
     EXPECT_EQ(engine->stats().faults.resyncs_applied,
               manager_faults.resyncs_applied);
+  }
+
+  // The observability stream obeys the same invariance: the merged
+  // trace and the metrics snapshot are bit-identical across the
+  // sequential manager and every shard count, under the full cocktail.
+  const std::vector<TraceEvent> reference_trace =
+      MergeTraces({manager.Trace()});
+  const MetricsRegistry reference_metrics = manager.MetricsSnapshot();
+  ASSERT_EQ(manager.trace_sink()->dropped_events(), 0)
+      << "ring too small for an exact trace comparison";
+#if DKF_OBS_ENABLED
+  // Every protocol path left its mark in the trace.
+  ASSERT_FALSE(reference_trace.empty());
+  EXPECT_GT(reference_metrics.counter("trace.divergence"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.resync_sent"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.resync_applied"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.heal"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.corrupt_reject"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.stale_reject"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.degraded_tick"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.channel_outage"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.channel_corrupt"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.channel_delay"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.channel_ack_loss"), 0);
+#endif
+  for (auto& engine : engines) {
+    EXPECT_TRUE(engine->MergedTrace() == reference_trace)
+        << "merged trace differs, shards=" << engine->num_shards();
+    EXPECT_TRUE(engine->MetricsSnapshot() == reference_metrics)
+        << "metrics snapshot differs, shards=" << engine->num_shards();
   }
 }
 

@@ -1,0 +1,221 @@
+// Golden-trace tests for the observability layer: a canonical small run
+// pins the exact event sequence (the trace format is an API — any
+// change to emission order or event fields must show up here as a
+// reviewed golden update), the sharded runtime's merged trace is
+// bit-identical to the sequential manager's at every shard count, and a
+// trace replays into the same counters the live sinks report.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsms/stream_manager.h"
+#include "models/model_factory.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
+#include "obs/trace_sink.h"
+#include "runtime/sharded_engine.h"
+
+namespace dkf {
+namespace {
+
+StateModel ScalarModel(double process_variance = 0.05) {
+  ModelNoise noise;
+  noise.process_variance = process_variance;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+std::string Render(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += FormatTraceEvent(event);
+    out += '\n';
+  }
+  return out;
+}
+
+// --- 1. The pinned canonical run: one scalar source, perfect channel,
+// --- heartbeats every 3 silent ticks, a step change at tick 4.
+
+TEST(GoldenTraceTest, CanonicalRunEmitsPinnedEventSequence) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  StreamManagerOptions options;
+  options.protocol.heartbeat_interval = 3;
+  StreamManager manager(options);
+  ASSERT_TRUE(manager.EnableTracing().ok());
+  ASSERT_TRUE(manager.RegisterSource(1, ScalarModel()).ok());
+  ContinuousQuery query;
+  query.id = 1;
+  query.source_id = 1;
+  query.precision = 0.8;
+  ASSERT_TRUE(manager.SubmitQuery(query).ok());
+
+  const double readings[] = {0.0, 0.0, 0.0, 0.0, 2.5,
+                             2.5, 2.5, 2.5, 2.5, 2.5};
+  for (int64_t t = 0; t < 10; ++t) {
+    ASSERT_TRUE(
+        manager.ProcessTick({{1, Vector{readings[t]}}}).ok());
+  }
+
+  // The full event stream, one "<step> <source> <kind> <actor> <value>
+  // <aux> <detail>" line per event. Deviations are shortest-round-trip
+  // doubles, so this pins the filter arithmetic bit-for-bit too: four
+  // quiet ticks (heartbeat after 3 silent ones), the step change at
+  // tick 4 transmitting the full 2.5 deviation, one follow-up transmit
+  // while the filter converges, then suppression with the residual
+  // deviation shrinking tick over tick until the next heartbeat.
+  const std::string kGolden =
+      "0 1 suppress source 0 0.8 0\n"
+      "1 1 suppress source 0 0.8 0\n"
+      "2 1 suppress source 0 0.8 0\n"
+      "2 1 heartbeat_sent source 0 0 1\n"
+      "2 1 heartbeat_received server 0 0 1\n"
+      "3 1 suppress source 0 0.8 0\n"
+      "4 1 transmit source 2.5 0.8 2\n"
+      "4 1 update_applied server 0 0 2\n"
+      "5 1 suppress source 0.4808690137597047 0.8 0\n"
+      "6 1 transmit source 0.9617860711814896 0.8 3\n"
+      "6 1 update_applied server 0 0 3\n"
+      "7 1 suppress source 0.0080310001955608 0.8 0\n"
+      "8 1 suppress source 0.013088034558436767 0.8 0\n"
+      "9 1 suppress source 0.018145068921312735 0.8 0\n"
+      "9 1 heartbeat_sent source 0 0 4\n"
+      "9 1 heartbeat_received server 0 0 4\n";
+  EXPECT_EQ(Render(manager.Trace()), kGolden);
+
+  // The same run replays into the snapshot's counters.
+  MetricsRegistry replayed;
+  ReplayTrace(manager.Trace(), &replayed);
+  EXPECT_TRUE(replayed.SameCounters(manager.MetricsSnapshot()));
+  EXPECT_EQ(replayed.counter("trace.suppress"), 8);
+  EXPECT_EQ(replayed.counter("trace.transmit"), 2);
+  EXPECT_DOUBLE_EQ(replayed.gauge("suppression_ratio"), 0.8);
+}
+
+// --- 2 + 3. Shard invariance and replay, under a lossy channel.
+
+constexpr int kNumSources = 9;
+
+ChannelOptions LossyChannel() {
+  ChannelOptions options;
+  options.seed = 77;
+  options.drop_probability = 0.25;
+  // The manager must draw per-source fault schedules exactly like every
+  // sharded layout (the engine forces this flag on).
+  options.per_source_rng = true;
+  return options;
+}
+
+ProtocolOptions TracedProtocol() {
+  ProtocolOptions protocol;
+  protocol.heartbeat_interval = 4;
+  protocol.staleness_budget = 6;
+  return protocol;
+}
+
+template <typename System>
+void InstallWorkload(System& system) {
+  ASSERT_TRUE(system.EnableTracing().ok());
+  for (int id = 1; id <= kNumSources; ++id) {
+    ASSERT_TRUE(
+        system.RegisterSource(id, ScalarModel(0.02 + 0.01 * (id % 3))).ok());
+    ContinuousQuery query;
+    query.id = id;
+    query.source_id = id;
+    query.precision = 1.0 + 0.5 * (id % 4);
+    ASSERT_TRUE(system.SubmitQuery(query).ok());
+  }
+}
+
+template <typename System>
+void Drive(System& system, int ticks) {
+  Rng rng(19);
+  std::vector<double> values(kNumSources + 1, 0.0);
+  for (int t = 0; t < ticks; ++t) {
+    std::map<int, Vector> readings;
+    for (int id = 1; id <= kNumSources; ++id) {
+      values[static_cast<size_t>(id)] += rng.Gaussian(0.04 * (id % 3), 0.7);
+      readings[id] = Vector{values[static_cast<size_t>(id)]};
+    }
+    ASSERT_TRUE(system.ProcessTick(readings).ok()) << "tick " << t;
+  }
+}
+
+TEST(GoldenTraceTest, MergedTraceIsBitIdenticalAcrossShardCounts) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  constexpr int kTicks = 250;
+
+  // Reference: the sequential manager's trace, normalized through the
+  // same deterministic merge order.
+  StreamManagerOptions manager_options;
+  manager_options.channel = LossyChannel();
+  manager_options.protocol = TracedProtocol();
+  StreamManager manager(manager_options);
+  InstallWorkload(manager);
+  Drive(manager, kTicks);
+  const std::vector<TraceEvent> reference = MergeTraces({manager.Trace()});
+  ASSERT_FALSE(reference.empty());
+  ASSERT_EQ(manager.trace_sink()->dropped_events(), 0)
+      << "ring too small for an exact comparison";
+  const MetricsRegistry reference_metrics = manager.MetricsSnapshot();
+  EXPECT_GT(reference_metrics.counter("trace.suppress"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.transmit"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.channel_drop"), 0);
+  EXPECT_GT(reference_metrics.counter("trace.heartbeat_sent"), 0);
+
+  for (int shards : {1, 2, 4, 8}) {
+    ShardedStreamEngineOptions options;
+    options.num_shards = shards;
+    options.channel = LossyChannel();
+    options.protocol = TracedProtocol();
+    ShardedStreamEngine engine(options);
+    InstallWorkload(engine);
+    Drive(engine, kTicks);
+
+    const std::vector<TraceEvent> merged = engine.MergedTrace();
+    ASSERT_EQ(merged.size(), reference.size()) << "shards=" << shards;
+    // Bit-identical: every field of every event, in one deterministic
+    // order, regardless of how sources landed on shards.
+    EXPECT_TRUE(merged == reference) << "shards=" << shards;
+
+    // The merged metrics snapshot matches exactly too (counters, the
+    // additive in-flight gauge, derived rates).
+    EXPECT_TRUE(engine.MetricsSnapshot() == reference_metrics)
+        << "shards=" << shards;
+  }
+}
+
+TEST(GoldenTraceTest, TraceReplaysIntoIdenticalCounters) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  ShardedStreamEngineOptions options;
+  options.num_shards = 4;
+  options.channel = LossyChannel();
+  options.protocol = TracedProtocol();
+  ShardedStreamEngine engine(options);
+  InstallWorkload(engine);
+  Drive(engine, 200);
+
+  const MetricsRegistry live = engine.MetricsSnapshot();
+  MetricsRegistry replayed;
+  ReplayTrace(engine.MergedTrace(), &replayed);
+  // A complete trace carries every event-derived counter; only sampled
+  // gauges (live component state) are beyond replay.
+  EXPECT_TRUE(replayed.SameCounters(live));
+  EXPECT_DOUBLE_EQ(replayed.gauge("suppression_ratio"),
+                   live.gauge("suppression_ratio"));
+  EXPECT_GT(live.counter("trace.suppress"), 0);
+}
+
+}  // namespace
+}  // namespace dkf

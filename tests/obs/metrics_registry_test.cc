@@ -1,0 +1,156 @@
+#include "obs/metrics_registry.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("missing"), 0);
+  registry.AddCounter("trace.suppress", 3);
+  registry.AddCounter("trace.suppress", 4);
+  registry.AddCounter("trace.transmit", 1);
+  EXPECT_EQ(registry.counter("trace.suppress"), 7);
+  EXPECT_EQ(registry.counter("trace.transmit"), 1);
+  EXPECT_EQ(registry.counters().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugesSetAndAdd) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.has_gauge("depth"));
+  EXPECT_EQ(registry.gauge("depth"), 0.0);
+  registry.SetGauge("depth", 4.0);
+  EXPECT_TRUE(registry.has_gauge("depth"));
+  EXPECT_EQ(registry.gauge("depth"), 4.0);
+  registry.AddToGauge("depth", 2.5);  // cross-shard additive merge
+  EXPECT_EQ(registry.gauge("depth"), 6.5);
+  registry.SetGauge("depth", 1.0);  // set overwrites
+  EXPECT_EQ(registry.gauge("depth"), 1.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsFollowLeSemantics) {
+  MetricsRegistry registry;
+  const std::vector<double> boundaries = {1.0, 10.0, 100.0};
+  registry.RecordHistogram("lat", boundaries, 0.5);    // bucket 0
+  registry.RecordHistogram("lat", boundaries, 1.0);    // le is inclusive
+  registry.RecordHistogram("lat", boundaries, 50.0);   // bucket 2
+  registry.RecordHistogram("lat", boundaries, 1000.0); // +Inf overflow
+  const HistogramSnapshot* histogram = registry.histogram("lat");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->counts, (std::vector<int64_t>{2, 0, 1, 1}));
+  EXPECT_EQ(histogram->count, 4);
+  EXPECT_DOUBLE_EQ(histogram->sum, 1051.5);
+  EXPECT_EQ(registry.histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, MergeHistogramInsertsThenMergesBucketwise) {
+  HistogramSnapshot h;
+  h.boundaries = {1.0, 2.0};
+  h.counts = {1, 2, 3};
+  h.count = 6;
+  h.sum = 10.0;
+
+  MetricsRegistry registry;
+  registry.MergeHistogram("lat", h);
+  ASSERT_NE(registry.histogram("lat"), nullptr);
+  EXPECT_EQ(*registry.histogram("lat"), h);
+
+  registry.MergeHistogram("lat", h);
+  EXPECT_EQ(registry.histogram("lat")->counts,
+            (std::vector<int64_t>{2, 4, 6}));
+  EXPECT_EQ(registry.histogram("lat")->count, 12);
+  EXPECT_DOUBLE_EQ(registry.histogram("lat")->sum, 20.0);
+
+  // Mismatched boundary shapes keep the existing histogram untouched.
+  HistogramSnapshot other;
+  other.boundaries = {5.0};
+  other.counts = {1, 1};
+  other.count = 2;
+  other.sum = 6.0;
+  registry.MergeHistogram("lat", other);
+  EXPECT_EQ(registry.histogram("lat")->count, 12);
+}
+
+TEST(MetricsRegistryTest, MergeFromSumsEverything) {
+  MetricsRegistry a;
+  a.AddCounter("c", 2);
+  a.SetGauge("g", 1.5);
+  a.RecordHistogram("h", {1.0}, 0.5);
+
+  MetricsRegistry b;
+  b.AddCounter("c", 3);
+  b.AddCounter("only_b", 1);
+  b.SetGauge("g", 2.5);
+  b.RecordHistogram("h", {1.0}, 2.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("c"), 5);
+  EXPECT_EQ(a.counter("only_b"), 1);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 4.0);  // gauges are additive partials
+  EXPECT_EQ(a.histogram("h")->count, 2);
+  EXPECT_EQ(a.histogram("h")->counts, (std::vector<int64_t>{1, 1}));
+}
+
+TEST(MetricsRegistryTest, EqualityAndSameCounters) {
+  MetricsRegistry a;
+  a.AddCounter("c", 1);
+  a.SetGauge("g", 2.0);
+  MetricsRegistry b;
+  b.AddCounter("c", 1);
+  b.SetGauge("g", 2.0);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.SameCounters(b));
+  b.SetGauge("g", 3.0);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.SameCounters(b));  // counters-only comparison
+  b.AddCounter("c", 1);
+  EXPECT_FALSE(a.SameCounters(b));
+}
+
+TEST(MetricsRegistryTest, JsonExportIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.AddCounter("b.counter", 2);
+  registry.AddCounter("a.counter", 1);
+  registry.SetGauge("ratio", 0.5);
+  registry.RecordHistogram("lat", {1.0}, 0.5);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.counter\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.counter\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\": 0.5"), std::string::npos);
+  // std::map keys come out sorted, so the export is deterministic.
+  EXPECT_LT(json.find("a.counter"), json.find("b.counter"));
+  // Exporting twice yields the identical string.
+  EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsRegistryTest, PrometheusExportFormat) {
+  MetricsRegistry registry;
+  registry.AddCounter("trace.suppress", 9);
+  registry.SetGauge("suppression_ratio", 0.75);
+  registry.RecordHistogram("tick_latency_ns", {10.0, 100.0}, 5.0);
+  registry.RecordHistogram("tick_latency_ns", {10.0, 100.0}, 50.0);
+  const std::string text = registry.ToPrometheus("dkf");
+  // Counters: dots become underscores, _total suffix, TYPE line.
+  EXPECT_NE(text.find("# TYPE dkf_trace_suppress_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dkf_trace_suppress_total 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dkf_suppression_ratio gauge"),
+            std::string::npos);
+  // Histograms: cumulative le buckets plus +Inf, _sum, _count.
+  EXPECT_NE(text.find("dkf_tick_latency_ns_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dkf_tick_latency_ns_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dkf_tick_latency_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dkf_tick_latency_ns_count 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dkf

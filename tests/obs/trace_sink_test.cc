@@ -1,0 +1,241 @@
+#include "obs/trace_sink.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "filter/kalman_filter.h"
+#include "models/model_factory.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
+
+namespace dkf {
+namespace {
+
+TraceEvent MakeEvent(int64_t step, int32_t source, TraceEventKind kind) {
+  TraceEvent event;
+  event.step = step;
+  event.source_id = source;
+  event.kind = kind;
+  event.actor = TraceActor::kSource;
+  return event;
+}
+
+TEST(TraceSinkTest, EmitCountsAndRetainsInOrder) {
+  TraceSink sink;
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  sink.Emit(0, 1, TraceEventKind::kSuppress, TraceActor::kSource, 0.4, 1.0);
+  sink.Emit(1, 1, TraceEventKind::kTransmit, TraceActor::kSource, 1.7, 1.0,
+            42);
+  sink.Emit(1, 2, TraceEventKind::kSuppress, TraceActor::kSource, 0.1, 1.0);
+  EXPECT_EQ(sink.count(TraceEventKind::kSuppress), 2);
+  EXPECT_EQ(sink.count(TraceEventKind::kTransmit), 1);
+  EXPECT_EQ(sink.count(TraceEventKind::kHeal), 0);
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped_events(), 0);
+
+  const std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kSuppress);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kTransmit);
+  EXPECT_EQ(events[1].detail, 42);
+  EXPECT_DOUBLE_EQ(events[1].value, 1.7);
+  EXPECT_EQ(events[2].source_id, 2);
+}
+
+TEST(TraceSinkTest, RingOverflowKeepsNewestAndCountsDrops) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  ObsOptions options;
+  options.ring_capacity = 4;
+  TraceSink sink(options);
+  for (int64_t step = 0; step < 10; ++step) {
+    sink.Emit(step, 1, TraceEventKind::kSuppress, TraceActor::kSource);
+  }
+  // The ring keeps the newest 4; the exact per-kind counter is unharmed.
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped_events(), 6);
+  EXPECT_EQ(sink.count(TraceEventKind::kSuppress), 10);
+  const std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().step, 6);  // oldest retained
+  EXPECT_EQ(events.back().step, 9);   // newest
+}
+
+TEST(TraceSinkTest, DkfTraceMacroIsNullSafe) {
+  TraceSink* null_sink = nullptr;
+  // Must not crash, with or without the layer compiled in.
+  DKF_TRACE(null_sink, 0, 1, TraceEventKind::kSuppress, TraceActor::kSource);
+  TraceSink sink;
+  DKF_TRACE(&sink, 3, 7, TraceEventKind::kHeal, TraceActor::kSource, 2.0);
+#if DKF_OBS_ENABLED
+  EXPECT_EQ(sink.count(TraceEventKind::kHeal), 1);
+  EXPECT_EQ(sink.Events().at(0).step, 3);
+#else
+  EXPECT_EQ(sink.count(TraceEventKind::kHeal), 0);
+#endif
+}
+
+TEST(TraceSinkTest, SnapshotDerivesSuppressionRatio) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  TraceSink sink;
+  for (int i = 0; i < 3; ++i) {
+    sink.Emit(i, 1, TraceEventKind::kSuppress, TraceActor::kSource);
+  }
+  sink.Emit(3, 1, TraceEventKind::kTransmit, TraceActor::kSource);
+  sink.SetGauge("channel.in_flight", 2.0);
+
+  MetricsRegistry registry = sink.Snapshot();
+  EXPECT_EQ(registry.counter("trace.suppress"), 3);
+  EXPECT_EQ(registry.counter("trace.transmit"), 1);
+  EXPECT_EQ(registry.counter("trace.heal"), 0);  // all kinds present
+  EXPECT_EQ(registry.counter("trace.dropped_events"), 0);
+  EXPECT_DOUBLE_EQ(registry.gauge("suppression_ratio"), 0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("channel.in_flight"), 2.0);
+
+  // Folding two sinks into one registry adds, and the ratio is
+  // re-derived over the merged counters.
+  TraceSink other;
+  other.Emit(0, 2, TraceEventKind::kTransmit, TraceActor::kSource);
+  MetricsRegistry merged;
+  sink.SnapshotInto(&merged);
+  other.SnapshotInto(&merged);
+  EXPECT_EQ(merged.counter("trace.suppress"), 3);
+  EXPECT_EQ(merged.counter("trace.transmit"), 2);
+  EXPECT_DOUBLE_EQ(merged.gauge("suppression_ratio"), 0.6);
+}
+
+TEST(TraceSinkTest, TimingHistogramGatedByOption) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  TraceSink silent;  // record_timing defaults off: determinism
+  silent.RecordTickLatencyNs(500.0);
+  EXPECT_EQ(silent.Snapshot().histogram("tick_latency_ns"), nullptr);
+
+  ObsOptions options;
+  options.record_timing = true;
+  TraceSink timed(options);
+  timed.RecordTickLatencyNs(500.0);
+  timed.RecordTickLatencyNs(5e6);
+  const MetricsRegistry snapshot = timed.Snapshot();
+  const HistogramSnapshot* histogram = snapshot.histogram("tick_latency_ns");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 2);
+  EXPECT_DOUBLE_EQ(histogram->sum, 500.0 + 5e6);
+}
+
+TEST(TraceSinkTest, ResetClearsEverything) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  ObsOptions options;
+  options.ring_capacity = 2;
+  TraceSink sink(options);
+  for (int i = 0; i < 5; ++i) {
+    sink.Emit(i, 1, TraceEventKind::kSuppress, TraceActor::kSource);
+  }
+  sink.SetGauge("g", 1.0);
+  sink.Reset();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped_events(), 0);
+  EXPECT_EQ(sink.count(TraceEventKind::kSuppress), 0);
+  EXPECT_FALSE(sink.Snapshot().has_gauge("g"));
+  sink.Emit(7, 1, TraceEventKind::kHeal, TraceActor::kSource);
+  EXPECT_EQ(sink.Events().at(0).step, 7);
+}
+
+TEST(TraceSinkTest, FormatAndNamesAreStable) {
+  TraceEvent event;
+  event.step = 12;
+  event.source_id = 3;
+  event.kind = TraceEventKind::kTransmit;
+  event.actor = TraceActor::kSource;
+  event.value = 2.5;
+  event.aux = 1.0;
+  event.detail = 9;
+  EXPECT_EQ(FormatTraceEvent(event), "12 3 transmit source 2.5 1 9");
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kFastPathFreeze),
+               "fast_path_freeze");
+  EXPECT_STREQ(TraceActorName(TraceActor::kServerFilter), "server_filter");
+  const std::string json = TraceToJson({event});
+  EXPECT_NE(json.find("\"kind\": \"transmit\""), std::string::npos);
+  EXPECT_NE(json.find("\"step\": 12"), std::string::npos);
+}
+
+TEST(TraceSinkTest, MergeTracesSortsByStepThenSourceStably) {
+  // Shard A holds sources 1 and 3; shard B holds source 2. Per-source
+  // order within a shard must survive, and sources interleave by id.
+  std::vector<TraceEvent> shard_a = {
+      MakeEvent(0, 1, TraceEventKind::kSuppress),
+      MakeEvent(0, 3, TraceEventKind::kTransmit),
+      MakeEvent(1, 1, TraceEventKind::kSuppress),
+      MakeEvent(1, 1, TraceEventKind::kHeartbeatSent),
+  };
+  std::vector<TraceEvent> shard_b = {
+      MakeEvent(0, 2, TraceEventKind::kTransmit),
+      MakeEvent(1, 2, TraceEventKind::kSuppress),
+  };
+  const std::vector<TraceEvent> merged = MergeTraces({shard_a, shard_b});
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_EQ(merged[0].source_id, 1);
+  EXPECT_EQ(merged[1].source_id, 2);
+  EXPECT_EQ(merged[2].source_id, 3);
+  EXPECT_EQ(merged[3].source_id, 1);
+  EXPECT_EQ(merged[3].kind, TraceEventKind::kSuppress);
+  EXPECT_EQ(merged[4].kind, TraceEventKind::kHeartbeatSent);
+  EXPECT_EQ(merged[5].source_id, 2);
+  // Merging the single concatenated stream is idempotent.
+  EXPECT_EQ(MergeTraces({merged}), merged);
+}
+
+TEST(TraceSinkTest, KalmanFilterEmitsFreezeAndDisarmEvents) {
+#if !DKF_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (DKF_OBS=OFF)";
+#endif
+  // A constant model converges to a steady-state covariance, arming the
+  // fast path; a coasting (predict-only) stretch breaks the cadence and
+  // disarms it.
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  auto filter_or =
+      KalmanFilter::Create(MakeConstantModel(1, noise).value().options);
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter filter = std::move(filter_or).value();
+  TraceSink sink;
+  filter.set_trace(&sink, 5, TraceActor::kSourceFilter);
+
+  bool armed = false;
+  for (int t = 0; t < 400 && !armed; ++t) {
+    ASSERT_TRUE(filter.Predict().ok());
+    ASSERT_TRUE(filter.Correct(Vector{1.0}).ok());
+    armed = filter.steady_state_armed();
+  }
+  ASSERT_TRUE(armed);
+  EXPECT_EQ(sink.count(TraceEventKind::kFastPathFreeze), 1);
+  EXPECT_EQ(sink.count(TraceEventKind::kFastPathDisarm), 0);
+
+  // Coasting breaks the Predict/Correct cadence.
+  ASSERT_TRUE(filter.Predict().ok());
+  ASSERT_TRUE(filter.Predict().ok());
+  EXPECT_FALSE(filter.steady_state_armed());
+  EXPECT_EQ(sink.count(TraceEventKind::kFastPathDisarm), 1);
+
+  const std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kFastPathFreeze);
+  EXPECT_EQ(events[0].source_id, 5);
+  EXPECT_EQ(events[0].actor, TraceActor::kSourceFilter);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kFastPathDisarm);
+  EXPECT_LE(events[0].step, events[1].step);
+}
+
+}  // namespace
+}  // namespace dkf
