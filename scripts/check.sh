@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# One-command verify: tier-1 build + full test suite, then the sharded
+# One-command verify: docs link/coverage check, tier-1 build + full
+# test suite, then the sharded
 # runtime's test binaries under ThreadSanitizer (race detection for the
 # worker pool / shard tick path / per-shard trace sinks), then the
 # protocol + observability tests under ASan+UBSan, then a gcov coverage
@@ -20,6 +21,9 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 SANITIZE="${DKF_SANITIZE:-thread}"
+
+echo "== docs: intra-repo links + architecture coverage =="
+python3 scripts/check_docs.py
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null

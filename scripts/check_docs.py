@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Documentation hygiene checks (stdlib only).
+
+1. Every intra-repo markdown link in every tracked .md file must
+   resolve to an existing file or directory (anchors are stripped;
+   external http(s)/mailto links are ignored).
+2. docs/architecture.md must mention every direct subdirectory of
+   src/ — the architecture page is the map, and a subsystem missing
+   from the map is drift.
+
+Run from anywhere: paths are resolved relative to the repo root
+(the parent of this script's directory). Exits nonzero with a report
+when anything is broken; prints a one-line summary when clean.
+
+Wired into ctest (check_docs_test) and scripts/check.sh.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target up to the first closing paren or whitespace.
+# Good enough for this repo's docs; fenced code blocks are excluded
+# separately below.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIR_NAMES = {".git", "third_party"}
+SKIP_DIR_PREFIXES = ("build",)
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIR_NAMES and not d.startswith(SKIP_DIR_PREFIXES)
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_fenced_code(text):
+    """Remove ``` blocks so example links / ASCII art are not checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(root):
+    errors = []
+    for md in markdown_files(root):
+        text = strip_fenced_code(open(md, encoding="utf-8").read())
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(md, root)
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def check_architecture_mentions(root):
+    arch_path = os.path.join(root, "docs", "architecture.md")
+    if not os.path.isfile(arch_path):
+        return ["docs/architecture.md is missing"]
+    text = open(arch_path, encoding="utf-8").read()
+    errors = []
+    src = os.path.join(root, "src")
+    for name in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, name)):
+            continue
+        # Accept "src/name/", "name/", or a bare mention of the dir.
+        if not re.search(rf"\b{re.escape(name)}/", text):
+            errors.append(
+                f"docs/architecture.md: src/{name}/ is not mentioned")
+    return errors
+
+
+def main():
+    root = repo_root()
+    errors = check_links(root) + check_architecture_mentions(root)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    count = sum(1 for _ in markdown_files(root))
+    print(f"check_docs: OK ({count} markdown files, all links resolve, "
+          "architecture.md covers all src/ subsystems)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

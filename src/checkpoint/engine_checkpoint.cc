@@ -1,0 +1,360 @@
+/// Save/Restore for StreamManager and ShardedStreamEngine
+/// (docs/checkpoint.md). This file is the only code with checkpoint
+/// access to the engines' internals: CheckpointAccess is the friend
+/// class the engine headers declare, so the snapshot plumbing stays out
+/// of the hot-path translation units entirely.
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checkpoint/snapshot.h"
+#include "checkpoint/snapshot_io.h"
+#include "common/string_util.h"
+#include "dsms/stream_manager.h"
+#include "obs/trace_merge.h"
+#include "runtime/shard.h"
+#include "runtime/sharded_engine.h"
+
+namespace dkf {
+
+namespace {
+
+/// Canonical in-flight gauge name (the one gauge that is re-derived per
+/// shard on restore instead of copied, because its per-shard split
+/// follows the target layout).
+constexpr char kInFlightGauge[] = "channel.in_flight";
+
+std::array<int64_t, kNumTraceEventKinds> CountKinds(
+    const std::vector<TraceEvent>& events) {
+  std::array<int64_t, kNumTraceEventKinds> counts{};
+  for (const TraceEvent& event : events) {
+    ++counts[static_cast<size_t>(event.kind)];
+  }
+  return counts;
+}
+
+/// All registered queries, ascending id — synthetic aggregate members
+/// included, so a restore replays the registry verbatim.
+std::vector<ContinuousQuery> CollectQueries(const QueryRegistry& registry) {
+  std::vector<ContinuousQuery> queries;
+  for (int source_id : registry.ActiveSources()) {
+    for (const ContinuousQuery& query : registry.QueriesForSource(source_id)) {
+      queries.push_back(query);
+    }
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const ContinuousQuery& a, const ContinuousQuery& b) {
+              return a.id < b.id;
+            });
+  return queries;
+}
+
+}  // namespace
+
+/// The one class befriended by StreamManager, StreamShard, and
+/// ShardedStreamEngine. Stateless; every method is a static pass over
+/// one engine's internals.
+class CheckpointAccess {
+ public:
+  static Result<EngineSnapshot> Capture(const StreamManager& manager) {
+    EngineSnapshot snapshot;
+    snapshot.energy = manager.options_.energy;
+    snapshot.channel = manager.options_.channel;
+    snapshot.default_delta = manager.options_.default_delta;
+    snapshot.protocol = manager.options_.protocol;
+    snapshot.num_shards = 1;
+    snapshot.ticks = manager.ticks_;
+    snapshot.control_messages = manager.control_messages_;
+
+    for (const auto& [source_id, node] : manager.sources_) {
+      SourceSnapshot source;
+      source.source_id = source_id;
+      source.model = manager.models_.at(source_id);
+      DKF_ASSIGN_OR_RETURN(source.node, node->ExportCheckpoint());
+      DKF_ASSIGN_OR_RETURN(source.link, manager.server_.ExportLink(source_id));
+      source.channel = manager.channel_.ExportSourceCheckpoint(source_id);
+      snapshot.sources.push_back(std::move(source));
+    }
+
+    snapshot.server_faults = manager.server_.fault_stats();
+    snapshot.has_shared_rng = true;
+    snapshot.shared_rng = manager.channel_.ExportSharedRng();
+
+    snapshot.queries = CollectQueries(manager.registry_);
+    for (const auto& [id, binding] : manager.aggregates_) {
+      AggregateSnapshot aggregate;
+      aggregate.id = id;
+      aggregate.source_ids = binding.source_ids;
+      aggregate.synthetic_query_ids = binding.synthetic_query_ids;
+      snapshot.aggregates.push_back(std::move(aggregate));
+    }
+
+    if (manager.sink_ != nullptr) {
+      snapshot.obs.enabled = true;
+      snapshot.obs.options = manager.sink_->options();
+      // Canonical merged order — the order the determinism contract is
+      // stated in, and the order that fans onto any shard layout.
+      snapshot.obs.events = MergeTraces({manager.sink_->Events()});
+      for (int k = 0; k < kNumTraceEventKinds; ++k) {
+        snapshot.obs.kind_counts[static_cast<size_t>(k)] =
+            manager.sink_->count(static_cast<TraceEventKind>(k));
+      }
+      snapshot.obs.dropped = manager.sink_->dropped_events();
+      snapshot.obs.gauges = manager.sink_->gauges();
+    }
+    return snapshot;
+  }
+
+  static Result<EngineSnapshot> Capture(const ShardedStreamEngine& engine) {
+    EngineSnapshot snapshot;
+    snapshot.energy = engine.options_.energy;
+    snapshot.channel = engine.options_.channel;
+    // The shards run with per-source fault streams regardless of what the
+    // original options said (the engine forces it); the snapshot records
+    // the effective value so any restore target reproduces the streams.
+    snapshot.channel.per_source_rng = true;
+    snapshot.default_delta = engine.options_.default_delta;
+    snapshot.protocol = engine.options_.protocol;
+    snapshot.num_shards = static_cast<int>(engine.shards_.size());
+    snapshot.ticks = engine.ticks_;
+    snapshot.control_messages = engine.control_messages();
+
+    for (const auto& [source_id, shard_index] : engine.registered_) {
+      const StreamShard& shard =
+          *engine.shards_[static_cast<size_t>(shard_index)];
+      SourceSnapshot source;
+      source.source_id = source_id;
+      source.model = engine.models_.at(source_id);
+      DKF_ASSIGN_OR_RETURN(source.node,
+                           shard.sources_.at(source_id)->ExportCheckpoint());
+      DKF_ASSIGN_OR_RETURN(source.link, shard.server_.ExportLink(source_id));
+      source.channel = shard.channel_.ExportSourceCheckpoint(source_id);
+      snapshot.sources.push_back(std::move(source));
+    }
+
+    for (const auto& shard : engine.shards_) {
+      snapshot.server_faults.MergeFrom(shard->server_.fault_stats());
+    }
+    snapshot.has_shared_rng = false;
+
+    snapshot.queries = CollectQueries(engine.registry_);
+    for (const auto& [id, binding] : engine.aggregates_) {
+      AggregateSnapshot aggregate;
+      aggregate.id = id;
+      aggregate.source_ids = binding.source_ids;
+      aggregate.synthetic_query_ids = binding.synthetic_query_ids;
+      snapshot.aggregates.push_back(std::move(aggregate));
+    }
+
+    if (!engine.sinks_.empty()) {
+      snapshot.obs.enabled = true;
+      snapshot.obs.options = engine.sinks_[0]->options();
+      snapshot.obs.events = engine.MergedTrace();
+      for (const auto& sink : engine.sinks_) {
+        for (int k = 0; k < kNumTraceEventKinds; ++k) {
+          snapshot.obs.kind_counts[static_cast<size_t>(k)] +=
+              sink->count(static_cast<TraceEventKind>(k));
+        }
+        snapshot.obs.dropped += sink->dropped_events();
+        for (const auto& [name, value] : sink->gauges()) {
+          snapshot.obs.gauges[name] += value;
+        }
+      }
+    }
+    return snapshot;
+  }
+
+  static Status Restore(StreamManager& manager,
+                        const EngineSnapshot& snapshot) {
+    manager.ticks_ = snapshot.ticks;
+    manager.control_messages_ = snapshot.control_messages;
+    manager.server_.RestoreClock(snapshot.ticks);
+
+    for (const SourceSnapshot& source : snapshot.sources) {
+      DKF_RETURN_IF_ERROR(
+          manager.RegisterSource(source.source_id, source.model));
+      DKF_RETURN_IF_ERROR(
+          manager.sources_.at(source.source_id)->ImportCheckpoint(
+              source.node));
+      DKF_RETURN_IF_ERROR(
+          manager.server_.RestoreLink(source.source_id, source.link));
+      manager.channel_.ImportSourceCheckpoint(source.source_id,
+                                              source.channel);
+      manager.installed_smoothing_[source.source_id] =
+          source.node.smoothing_factor;
+    }
+    manager.channel_.FinalizeRestore();
+    if (snapshot.has_shared_rng) {
+      manager.channel_.ImportSharedRng(snapshot.shared_rng);
+    }
+    manager.server_.RestoreFaultStats(snapshot.server_faults);
+
+    // Replay the registry verbatim. No reconfiguration runs: the node
+    // state restored above is already the post-reconfiguration state.
+    for (const ContinuousQuery& query : snapshot.queries) {
+      DKF_RETURN_IF_ERROR(manager.registry_.AddQuery(query));
+    }
+    for (const AggregateSnapshot& aggregate : snapshot.aggregates) {
+      StreamManager::AggregateBinding binding;
+      binding.source_ids = aggregate.source_ids;
+      binding.synthetic_query_ids = aggregate.synthetic_query_ids;
+      manager.aggregates_[aggregate.id] = std::move(binding);
+    }
+
+    if (snapshot.obs.enabled) {
+      DKF_RETURN_IF_ERROR(manager.EnableTracing(snapshot.obs.options));
+      manager.sink_->RestoreForCheckpoint(snapshot.obs.events,
+                                          snapshot.obs.kind_counts,
+                                          snapshot.obs.dropped,
+                                          snapshot.obs.gauges);
+    }
+    return Status::OK();
+  }
+
+  static Status Restore(ShardedStreamEngine& engine,
+                        const EngineSnapshot& snapshot) {
+    engine.ticks_ = snapshot.ticks;
+    for (auto& shard : engine.shards_) {
+      shard->server_.RestoreClock(snapshot.ticks);
+    }
+
+    for (const SourceSnapshot& source : snapshot.sources) {
+      DKF_RETURN_IF_ERROR(
+          engine.RegisterSource(source.source_id, source.model));
+      StreamShard& shard = engine.OwningShard(source.source_id);
+      DKF_RETURN_IF_ERROR(
+          shard.sources_.at(source.source_id)->ImportCheckpoint(source.node));
+      DKF_RETURN_IF_ERROR(
+          shard.server_.RestoreLink(source.source_id, source.link));
+      shard.channel_.ImportSourceCheckpoint(source.source_id, source.channel);
+      shard.installed_smoothing_[source.source_id] =
+          source.node.smoothing_factor;
+    }
+    for (auto& shard : engine.shards_) {
+      shard->channel_.FinalizeRestore();
+    }
+    // The snapshot's fleet-wide aggregates land on shard 0; only merged
+    // views are part of the determinism contract (docs/checkpoint.md).
+    engine.shards_[0]->server_.RestoreFaultStats(snapshot.server_faults);
+    engine.shards_[0]->control_messages_ = snapshot.control_messages;
+
+    for (const ContinuousQuery& query : snapshot.queries) {
+      DKF_RETURN_IF_ERROR(engine.registry_.AddQuery(query));
+    }
+    for (const AggregateSnapshot& aggregate : snapshot.aggregates) {
+      ShardedStreamEngine::AggregateBinding binding;
+      binding.source_ids = aggregate.source_ids;
+      binding.synthetic_query_ids = aggregate.synthetic_query_ids;
+      std::map<int, std::vector<int>> grouped;
+      for (int source_id : aggregate.source_ids) {
+        grouped[engine.ShardIndexFor(source_id)].push_back(source_id);
+      }
+      binding.members_by_shard.assign(grouped.begin(), grouped.end());
+      engine.aggregates_[aggregate.id] = std::move(binding);
+    }
+
+    if (snapshot.obs.enabled) {
+      DKF_RETURN_IF_ERROR(engine.EnableTracing(snapshot.obs.options));
+      const size_t num_shards = engine.shards_.size();
+      // Fan the canonical trace back onto the target layout. The events
+      // are stably ordered by (step, source_id), so each shard's
+      // subsequence preserves the original relative order of its own
+      // events — which is exactly what makes the re-merged trace
+      // bit-identical to the uninterrupted run's.
+      std::vector<std::vector<TraceEvent>> buckets(num_shards);
+      for (const TraceEvent& event : snapshot.obs.events) {
+        buckets[static_cast<size_t>(engine.ShardIndexFor(event.source_id))]
+            .push_back(event);
+      }
+      std::array<int64_t, kNumTraceEventKinds> represented{};
+      std::vector<std::array<int64_t, kNumTraceEventKinds>> shard_counts;
+      shard_counts.reserve(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        shard_counts.push_back(CountKinds(buckets[s]));
+        for (int k = 0; k < kNumTraceEventKinds; ++k) {
+          represented[static_cast<size_t>(k)] +=
+              shard_counts[s][static_cast<size_t>(k)];
+        }
+      }
+      // Totals beyond the retained events (the ring wrapped before the
+      // snapshot) cannot be attributed to a shard; credit shard 0 so the
+      // merged counters still sum to the snapshot's exact totals.
+      for (int k = 0; k < kNumTraceEventKinds; ++k) {
+        shard_counts[0][static_cast<size_t>(k)] +=
+            snapshot.obs.kind_counts[static_cast<size_t>(k)] -
+            represented[static_cast<size_t>(k)];
+      }
+      const bool had_in_flight_gauge =
+          snapshot.obs.gauges.contains(kInFlightGauge);
+      for (size_t s = 0; s < num_shards; ++s) {
+        std::map<std::string, double> gauges;
+        if (s == 0) {
+          gauges = snapshot.obs.gauges;
+          gauges.erase(kInFlightGauge);
+        }
+        if (had_in_flight_gauge) {
+          gauges[kInFlightGauge] = static_cast<double>(
+              engine.shards_[s]->channel_.in_flight());
+        }
+        engine.sinks_[s]->RestoreForCheckpoint(
+            buckets[s], shard_counts[s],
+            s == 0 ? snapshot.obs.dropped : 0, gauges);
+      }
+    }
+    return Status::OK();
+  }
+};
+
+Status StreamManager::Save(const std::string& path) const {
+  DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot,
+                       CheckpointAccess::Capture(*this));
+  return SaveSnapshotFile(snapshot, path);
+}
+
+Result<std::unique_ptr<StreamManager>> StreamManager::Restore(
+    const std::string& path) {
+  DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot, LoadSnapshotFile(path));
+  StreamManagerOptions options;
+  options.energy = snapshot.energy;
+  options.channel = snapshot.channel;
+  options.default_delta = snapshot.default_delta;
+  options.protocol = snapshot.protocol;
+  auto manager = std::make_unique<StreamManager>(options);
+  DKF_RETURN_IF_ERROR(CheckpointAccess::Restore(*manager, snapshot));
+  return manager;
+}
+
+Status ShardedStreamEngine::Save(const std::string& path) const {
+  DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot,
+                       CheckpointAccess::Capture(*this));
+  return SaveSnapshotFile(snapshot, path);
+}
+
+Result<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Restore(
+    const std::string& path, int num_shards) {
+  DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot, LoadSnapshotFile(path));
+  if (!snapshot.channel.per_source_rng &&
+      (snapshot.channel.drop_probability > 0.0 ||
+       snapshot.channel.fault.any())) {
+    return Status::InvalidArgument(
+        "snapshot uses a shared channel RNG stream; a sharded restore "
+        "would change the fault sequence — restore with "
+        "StreamManager::Restore");
+  }
+  ShardedStreamEngineOptions options;
+  options.num_shards = num_shards > 0 ? num_shards : snapshot.num_shards;
+  options.energy = snapshot.energy;
+  options.channel = snapshot.channel;
+  options.default_delta = snapshot.default_delta;
+  options.protocol = snapshot.protocol;
+  auto engine = std::make_unique<ShardedStreamEngine>(options);
+  DKF_RETURN_IF_ERROR(CheckpointAccess::Restore(*engine, snapshot));
+  return engine;
+}
+
+}  // namespace dkf

@@ -1,0 +1,109 @@
+#ifndef DKF_CHECKPOINT_SNAPSHOT_H_
+#define DKF_CHECKPOINT_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dsms/channel.h"
+#include "dsms/energy_model.h"
+#include "dsms/protocol.h"
+#include "dsms/server_node.h"
+#include "dsms/source_node.h"
+#include "metrics/fault_stats.h"
+#include "models/state_model.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
+#include "query/query.h"
+
+namespace dkf {
+
+/// Everything the checkpoint keeps for one registered source: the model
+/// recipe it was created from plus the three per-link state bundles —
+/// the source node (KF_m, optional KF_c, the divergence state machine),
+/// the server link (KF_s, ingress bookkeeping), and the channel lane
+/// (fault RNG, Gilbert–Elliott chain, in-flight messages, deferred
+/// ACKs). Keyed by source id, never by shard: the snapshot is
+/// shard-layout-free, which is what makes elastic re-sharding possible
+/// (docs/checkpoint.md).
+struct SourceSnapshot {
+  int source_id = 0;
+  StateModel model;
+  SourceNode::CheckpointState node;
+  ServerNode::LinkSnapshot link;
+  Channel::SourceCheckpoint channel;
+};
+
+/// One aggregate query binding. The per-shard member grouping is NOT
+/// stored — it is recomputed on restore for the target shard count.
+struct AggregateSnapshot {
+  int id = 0;
+  std::vector<int> source_ids;
+  std::vector<int> synthetic_query_ids;
+};
+
+/// Observability state: the retained trace (in canonical merged order),
+/// the exact per-kind totals, and the sampled gauges. Timing histograms
+/// are excluded — they are nondeterministic by design.
+struct ObsSnapshot {
+  bool enabled = false;
+  ObsOptions options;
+  /// Retained events, stably sorted by (step, source_id) — the same
+  /// canonical order MergeTraces produces, so the events fan back onto
+  /// any shard layout without disturbing the merged trace.
+  std::vector<TraceEvent> events;
+  /// Exact per-kind totals (exact even where the ring wrapped).
+  std::array<int64_t, kNumTraceEventKinds> kind_counts{};
+  int64_t dropped = 0;
+  std::map<std::string, double> gauges;
+};
+
+/// The complete persisted state of a StreamManager or a
+/// ShardedStreamEngine between two ticks. A snapshot captured from
+/// either system restores into either system, at any shard count, and
+/// the restored run continues bit-identically: same answers, same fault
+/// sequence, same merged trace (docs/checkpoint.md).
+struct EngineSnapshot {
+  // ---- configuration (reconstructs the constructor options) ---------
+  EnergyModelOptions energy;
+  ChannelOptions channel;
+  double default_delta = 1e6;
+  ProtocolOptions protocol;
+  /// Shard count at save time — the default for a restore that does not
+  /// override it. 1 for StreamManager snapshots.
+  int num_shards = 1;
+
+  // ---- progress -----------------------------------------------------
+  int64_t ticks = 0;
+  int64_t control_messages = 0;
+
+  /// Per-source state, ascending source id.
+  std::vector<SourceSnapshot> sources;
+
+  /// Server-side ingress counters, aggregated fleet-wide. Restored into
+  /// one server (shard 0) — only the merged view is part of the
+  /// determinism contract.
+  ProtocolFaultStats server_faults;
+
+  /// The shared channel fault stream. Only meaningful when
+  /// channel.per_source_rng is false (StreamManager configurations); a
+  /// sharded engine's fault streams are all per-source.
+  bool has_shared_rng = false;
+  Rng::State shared_rng;
+
+  /// Every registered query verbatim, including the synthetic
+  /// per-source members of aggregates. Restored directly into the
+  /// registry — no reconfiguration runs, because the node state in
+  /// `sources` is already exact.
+  std::vector<ContinuousQuery> queries;
+  std::vector<AggregateSnapshot> aggregates;
+
+  ObsSnapshot obs;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_CHECKPOINT_SNAPSHOT_H_

@@ -1,0 +1,798 @@
+#include "checkpoint/snapshot_io.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/string_util.h"
+#include "core/synopsis_io.h"
+
+namespace dkf {
+
+namespace {
+
+constexpr size_t kMagicBytes = 8;
+
+/// Guards a decoded element count against the bytes actually left, so a
+/// corrupted count fails cleanly instead of attempting a huge allocation.
+Status CheckCount(const BinaryReader& reader, uint64_t count,
+                  size_t elem_bytes, const char* what) {
+  const size_t divisor = elem_bytes == 0 ? 1 : elem_bytes;
+  if (count > reader.remaining() / divisor) {
+    return Status::OutOfRange(StrFormat(
+        "truncated snapshot: %s count %llu exceeds the remaining payload",
+        what, static_cast<unsigned long long>(count)));
+  }
+  return Status::OK();
+}
+
+void EncodeVector(BinaryWriter& writer, const Vector& v) {
+  writer.WriteU64(v.size());
+  for (size_t i = 0; i < v.size(); ++i) writer.WriteF64(v[i]);
+}
+
+Result<Vector> DecodeVector(BinaryReader& reader) {
+  DKF_ASSIGN_OR_RETURN(uint64_t size, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, size, 8, "vector"));
+  Vector v(static_cast<size_t>(size));
+  for (size_t i = 0; i < v.size(); ++i) {
+    DKF_ASSIGN_OR_RETURN(v[i], reader.ReadF64());
+  }
+  return v;
+}
+
+void EncodeMatrix(BinaryWriter& writer, const Matrix& m) {
+  writer.WriteU64(m.rows());
+  writer.WriteU64(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) writer.WriteF64(m(r, c));
+  }
+}
+
+Result<Matrix> DecodeMatrix(BinaryReader& reader) {
+  DKF_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  DKF_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, rows, 8, "matrix rows"));
+  if (cols > 0) {
+    DKF_RETURN_IF_ERROR(CheckCount(reader, rows * cols, 8, "matrix cells"));
+  }
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      DKF_ASSIGN_OR_RETURN(m(r, c), reader.ReadF64());
+    }
+  }
+  return m;
+}
+
+void EncodeRngState(BinaryWriter& writer, const Rng::State& state) {
+  for (uint64_t word : state.words) writer.WriteU64(word);
+  writer.WriteBool(state.has_cached_gaussian);
+  writer.WriteF64(state.cached_gaussian);
+}
+
+Result<Rng::State> DecodeRngState(BinaryReader& reader) {
+  Rng::State state;
+  for (uint64_t& word : state.words) {
+    DKF_ASSIGN_OR_RETURN(word, reader.ReadU64());
+  }
+  DKF_ASSIGN_OR_RETURN(state.has_cached_gaussian, reader.ReadBool());
+  DKF_ASSIGN_OR_RETURN(state.cached_gaussian, reader.ReadF64());
+  return state;
+}
+
+void EncodeFaultStats(BinaryWriter& writer, const ProtocolFaultStats& s) {
+  writer.WriteI64(s.divergence_events);
+  writer.WriteI64(s.resyncs_sent);
+  writer.WriteI64(s.heartbeats_sent);
+  writer.WriteI64(s.ambiguous_acks);
+  writer.WriteI64(s.ticks_diverged);
+  writer.WriteI64(s.max_recovery_ticks);
+  writer.WriteI64(s.resyncs_applied);
+  writer.WriteI64(s.heartbeats_received);
+  writer.WriteI64(s.rejected_stale);
+  writer.WriteI64(s.rejected_corrupt);
+  writer.WriteI64(s.sequence_gaps);
+  writer.WriteI64(s.degraded_ticks);
+}
+
+Result<ProtocolFaultStats> DecodeFaultStats(BinaryReader& reader) {
+  ProtocolFaultStats s;
+  DKF_ASSIGN_OR_RETURN(s.divergence_events, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.resyncs_sent, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.heartbeats_sent, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.ambiguous_acks, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.ticks_diverged, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.max_recovery_ticks, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.resyncs_applied, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.heartbeats_received, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.rejected_stale, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.rejected_corrupt, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.sequence_gaps, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.degraded_ticks, reader.ReadI64());
+  return s;
+}
+
+void EncodeChannelStats(BinaryWriter& writer, const ChannelStats& s) {
+  writer.WriteI64(s.messages);
+  writer.WriteI64(s.bytes);
+  writer.WriteI64(s.dropped);
+  writer.WriteI64(s.corrupted);
+  writer.WriteI64(s.delayed);
+  writer.WriteI64(s.ack_lost);
+  writer.WriteI64(s.outage_dropped);
+}
+
+Result<ChannelStats> DecodeChannelStats(BinaryReader& reader) {
+  ChannelStats s;
+  DKF_ASSIGN_OR_RETURN(s.messages, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.bytes, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.dropped, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.corrupted, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.delayed, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.ack_lost, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(s.outage_dropped, reader.ReadI64());
+  return s;
+}
+
+void EncodeFullState(BinaryWriter& writer, const KalmanFilter::FullState& f) {
+  EncodeVector(writer, f.x);
+  EncodeMatrix(writer, f.p);
+  writer.WriteI64(f.step);
+  EncodeVector(writer, f.last_innovation);
+  EncodeMatrix(writer, f.process_noise);
+  EncodeMatrix(writer, f.measurement_noise);
+  writer.WriteU8(f.phase);
+  writer.WriteU8(f.ss_mode);
+  writer.WriteI64(f.ss_streak1);
+  writer.WriteI64(f.ss_streak2);
+  writer.WriteI64(f.predicts_since_correct);
+  writer.WriteI64(f.ss_have_prev);
+  EncodeMatrix(writer, f.ss_prev_post[0]);
+  EncodeMatrix(writer, f.ss_prev_post[1]);
+  EncodeMatrix(writer, f.ss_prev_gain);
+  writer.WriteI64(f.ss_period);
+  writer.WriteI64(f.ss_pending_priors);
+  writer.WriteI64(f.ss_capture_idx);
+  writer.WriteI64(f.ss_idx);
+  EncodeMatrix(writer, f.ss_gain[0]);
+  EncodeMatrix(writer, f.ss_gain[1]);
+  EncodeMatrix(writer, f.ss_prior_p[0]);
+  EncodeMatrix(writer, f.ss_prior_p[1]);
+  EncodeMatrix(writer, f.ss_post_p[0]);
+  EncodeMatrix(writer, f.ss_post_p[1]);
+}
+
+Result<int32_t> DecodeI32(BinaryReader& reader, const char* what) {
+  DKF_ASSIGN_OR_RETURN(int64_t wide, reader.ReadI64());
+  if (wide < INT32_MIN || wide > INT32_MAX) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot field %s out of 32-bit range", what));
+  }
+  return static_cast<int32_t>(wide);
+}
+
+Result<KalmanFilter::FullState> DecodeFullState(BinaryReader& reader) {
+  KalmanFilter::FullState f;
+  DKF_ASSIGN_OR_RETURN(f.x, DecodeVector(reader));
+  DKF_ASSIGN_OR_RETURN(f.p, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.step, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(f.last_innovation, DecodeVector(reader));
+  DKF_ASSIGN_OR_RETURN(f.process_noise, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.measurement_noise, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.phase, reader.ReadU8());
+  DKF_ASSIGN_OR_RETURN(f.ss_mode, reader.ReadU8());
+  DKF_ASSIGN_OR_RETURN(f.ss_streak1, DecodeI32(reader, "ss_streak1"));
+  DKF_ASSIGN_OR_RETURN(f.ss_streak2, DecodeI32(reader, "ss_streak2"));
+  DKF_ASSIGN_OR_RETURN(f.predicts_since_correct, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(f.ss_have_prev, DecodeI32(reader, "ss_have_prev"));
+  DKF_ASSIGN_OR_RETURN(f.ss_prev_post[0], DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_prev_post[1], DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_prev_gain, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_period, DecodeI32(reader, "ss_period"));
+  DKF_ASSIGN_OR_RETURN(f.ss_pending_priors,
+                       DecodeI32(reader, "ss_pending_priors"));
+  DKF_ASSIGN_OR_RETURN(f.ss_capture_idx, DecodeI32(reader, "ss_capture_idx"));
+  DKF_ASSIGN_OR_RETURN(f.ss_idx, DecodeI32(reader, "ss_idx"));
+  DKF_ASSIGN_OR_RETURN(f.ss_gain[0], DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_gain[1], DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_prior_p[0], DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_prior_p[1], DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_post_p[0], DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(f.ss_post_p[1], DecodeMatrix(reader));
+  return f;
+}
+
+void EncodeMessage(BinaryWriter& writer, const Message& message) {
+  writer.WriteU8(static_cast<uint8_t>(message.type));
+  writer.WriteI64(message.source_id);
+  writer.WriteI64(message.tick);
+  EncodeVector(writer, message.payload);
+  writer.WriteU64(message.model_index);
+  writer.WriteU32(message.sequence);
+  writer.WriteU32(message.checksum);
+  EncodeVector(writer, message.resync_state);
+  EncodeMatrix(writer, message.resync_covariance);
+  writer.WriteI64(message.resync_step);
+}
+
+Result<Message> DecodeMessage(BinaryReader& reader) {
+  Message message;
+  DKF_ASSIGN_OR_RETURN(uint8_t type, reader.ReadU8());
+  if (type > static_cast<uint8_t>(MessageType::kHeartbeat)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid message type %u in snapshot", type));
+  }
+  message.type = static_cast<MessageType>(type);
+  DKF_ASSIGN_OR_RETURN(int32_t source_id, DecodeI32(reader, "source_id"));
+  message.source_id = source_id;
+  DKF_ASSIGN_OR_RETURN(message.tick, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(message.payload, DecodeVector(reader));
+  DKF_ASSIGN_OR_RETURN(uint64_t model_index, reader.ReadU64());
+  message.model_index = static_cast<size_t>(model_index);
+  DKF_ASSIGN_OR_RETURN(message.sequence, reader.ReadU32());
+  DKF_ASSIGN_OR_RETURN(message.checksum, reader.ReadU32());
+  DKF_ASSIGN_OR_RETURN(message.resync_state, DecodeVector(reader));
+  DKF_ASSIGN_OR_RETURN(message.resync_covariance, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(message.resync_step, reader.ReadI64());
+  return message;
+}
+
+/// The finiteness contract for a serialized model recipe, applied on
+/// both paths (same rule as the synopsis codec).
+Status RequireFiniteModel(const StateModel& model) {
+  DKF_RETURN_IF_ERROR(RequireFinite(model.options.transition, "transition"));
+  DKF_RETURN_IF_ERROR(RequireFinite(model.options.measurement, "measurement"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.process_noise, "process_noise"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.measurement_noise, "measurement_noise"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.initial_state, "initial_state"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.initial_covariance, "initial_covariance"));
+  return Status::OK();
+}
+
+Status EncodeModel(BinaryWriter& writer, const StateModel& model) {
+  if (model.options.transition_fn) {
+    return Status::Unimplemented(
+        "time-varying transitions are not serializable");
+  }
+  DKF_RETURN_IF_ERROR(RequireFiniteModel(model));
+  writer.WriteString(model.name);
+  writer.WriteU64(model.measurement_dim);
+  EncodeMatrix(writer, model.options.transition);
+  EncodeMatrix(writer, model.options.measurement);
+  EncodeMatrix(writer, model.options.process_noise);
+  EncodeMatrix(writer, model.options.measurement_noise);
+  EncodeVector(writer, model.options.initial_state);
+  EncodeMatrix(writer, model.options.initial_covariance);
+  writer.WriteBool(model.options.steady_state_fast_path);
+  writer.WriteF64(model.options.steady_state_tolerance);
+  return Status::OK();
+}
+
+Result<StateModel> DecodeModel(BinaryReader& reader) {
+  StateModel model;
+  DKF_ASSIGN_OR_RETURN(model.name, reader.ReadString());
+  DKF_ASSIGN_OR_RETURN(uint64_t dim, reader.ReadU64());
+  model.measurement_dim = static_cast<size_t>(dim);
+  DKF_ASSIGN_OR_RETURN(model.options.transition, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(model.options.measurement, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(model.options.process_noise, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(model.options.measurement_noise, DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(model.options.initial_state, DecodeVector(reader));
+  DKF_ASSIGN_OR_RETURN(model.options.initial_covariance,
+                       DecodeMatrix(reader));
+  DKF_ASSIGN_OR_RETURN(model.options.steady_state_fast_path,
+                       reader.ReadBool());
+  DKF_ASSIGN_OR_RETURN(model.options.steady_state_tolerance,
+                       reader.ReadF64());
+  if (!std::isfinite(model.options.steady_state_tolerance)) {
+    return Status::InvalidArgument(
+        "steady_state_tolerance contains a non-finite value");
+  }
+  DKF_RETURN_IF_ERROR(RequireFiniteModel(model));
+  return model;
+}
+
+void EncodeOptionalDouble(BinaryWriter& writer,
+                          const std::optional<double>& value) {
+  writer.WriteBool(value.has_value());
+  if (value.has_value()) writer.WriteF64(*value);
+}
+
+Result<std::optional<double>> DecodeOptionalDouble(BinaryReader& reader) {
+  DKF_ASSIGN_OR_RETURN(bool present, reader.ReadBool());
+  std::optional<double> value;
+  if (present) {
+    DKF_ASSIGN_OR_RETURN(double raw, reader.ReadF64());
+    value = raw;
+  }
+  return value;
+}
+
+void EncodeNodeState(BinaryWriter& writer,
+                     const SourceNode::CheckpointState& node) {
+  writer.WriteF64(node.delta);
+  EncodeOptionalDouble(writer, node.smoothing_factor);
+  writer.WriteF64(node.smoothing_measurement_variance);
+  EncodeFullState(writer, node.mirror);
+  if (node.smoothing_factor.has_value()) {
+    EncodeFullState(writer, node.smoother_filter);
+    writer.WriteI64(node.smoother_count);
+  }
+  writer.WriteF64(node.energy_transmission);
+  writer.WriteF64(node.energy_compute);
+  writer.WriteF64(node.energy_sensing);
+  writer.WriteI64(node.readings);
+  writer.WriteI64(node.updates_sent);
+  writer.WriteU32(node.next_sequence);
+  writer.WriteBool(node.pending);
+  writer.WriteI64(node.pending_since);
+  writer.WriteU32(node.first_resync_sequence);
+  writer.WriteI64(node.resync_attempts);
+  writer.WriteI64(node.last_resync_tick);
+  writer.WriteI64(node.last_send_tick);
+  EncodeFaultStats(writer, node.faults);
+}
+
+Result<SourceNode::CheckpointState> DecodeNodeState(BinaryReader& reader) {
+  SourceNode::CheckpointState node;
+  DKF_ASSIGN_OR_RETURN(node.delta, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(node.smoothing_factor, DecodeOptionalDouble(reader));
+  DKF_ASSIGN_OR_RETURN(node.smoothing_measurement_variance, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(node.mirror, DecodeFullState(reader));
+  if (node.smoothing_factor.has_value()) {
+    DKF_ASSIGN_OR_RETURN(node.smoother_filter, DecodeFullState(reader));
+    DKF_ASSIGN_OR_RETURN(node.smoother_count, reader.ReadI64());
+  }
+  DKF_ASSIGN_OR_RETURN(node.energy_transmission, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(node.energy_compute, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(node.energy_sensing, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(node.readings, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(node.updates_sent, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(node.next_sequence, reader.ReadU32());
+  DKF_ASSIGN_OR_RETURN(node.pending, reader.ReadBool());
+  DKF_ASSIGN_OR_RETURN(node.pending_since, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(node.first_resync_sequence, reader.ReadU32());
+  DKF_ASSIGN_OR_RETURN(node.resync_attempts,
+                       DecodeI32(reader, "resync_attempts"));
+  DKF_ASSIGN_OR_RETURN(node.last_resync_tick, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(node.last_send_tick, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(node.faults, DecodeFaultStats(reader));
+  return node;
+}
+
+void EncodeLink(BinaryWriter& writer, const ServerNode::LinkSnapshot& link) {
+  writer.WriteU32(link.last_sequence);
+  writer.WriteI64(link.last_valid_tick);
+  writer.WriteI64(link.last_resync_tick);
+  writer.WriteI64(link.last_update_tick);
+  EncodeFullState(writer, link.predictor);
+}
+
+Result<ServerNode::LinkSnapshot> DecodeLink(BinaryReader& reader) {
+  ServerNode::LinkSnapshot link;
+  DKF_ASSIGN_OR_RETURN(link.last_sequence, reader.ReadU32());
+  DKF_ASSIGN_OR_RETURN(link.last_valid_tick, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(link.last_resync_tick, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(link.last_update_tick, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(link.predictor, DecodeFullState(reader));
+  return link;
+}
+
+void EncodeChannelLane(BinaryWriter& writer,
+                       const Channel::SourceCheckpoint& lane) {
+  EncodeChannelStats(writer, lane.stats);
+  writer.WriteBool(lane.has_rng);
+  if (lane.has_rng) EncodeRngState(writer, lane.rng);
+  writer.WriteBool(lane.has_ge_state);
+  if (lane.has_ge_state) writer.WriteBool(lane.ge_bad);
+  writer.WriteU64(lane.in_flight.size());
+  for (const Channel::InFlightEntry& entry : lane.in_flight) {
+    writer.WriteI64(entry.due);
+    writer.WriteBool(entry.ack_lost);
+    writer.WriteBool(entry.corrupted);
+    EncodeMessage(writer, entry.message);
+  }
+  writer.WriteU64(lane.deferred_acks.size());
+  for (uint32_t ack : lane.deferred_acks) writer.WriteU32(ack);
+}
+
+Result<Channel::SourceCheckpoint> DecodeChannelLane(BinaryReader& reader) {
+  Channel::SourceCheckpoint lane;
+  DKF_ASSIGN_OR_RETURN(lane.stats, DecodeChannelStats(reader));
+  DKF_ASSIGN_OR_RETURN(lane.has_rng, reader.ReadBool());
+  if (lane.has_rng) {
+    DKF_ASSIGN_OR_RETURN(lane.rng, DecodeRngState(reader));
+  }
+  DKF_ASSIGN_OR_RETURN(lane.has_ge_state, reader.ReadBool());
+  if (lane.has_ge_state) {
+    DKF_ASSIGN_OR_RETURN(lane.ge_bad, reader.ReadBool());
+  }
+  DKF_ASSIGN_OR_RETURN(uint64_t in_flight, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, in_flight, 8, "in-flight"));
+  lane.in_flight.reserve(static_cast<size_t>(in_flight));
+  for (uint64_t i = 0; i < in_flight; ++i) {
+    Channel::InFlightEntry entry;
+    DKF_ASSIGN_OR_RETURN(entry.due, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(entry.ack_lost, reader.ReadBool());
+    DKF_ASSIGN_OR_RETURN(entry.corrupted, reader.ReadBool());
+    DKF_ASSIGN_OR_RETURN(entry.message, DecodeMessage(reader));
+    lane.in_flight.push_back(std::move(entry));
+  }
+  DKF_ASSIGN_OR_RETURN(uint64_t acks, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, acks, 4, "deferred-ack"));
+  lane.deferred_acks.reserve(static_cast<size_t>(acks));
+  for (uint64_t i = 0; i < acks; ++i) {
+    DKF_ASSIGN_OR_RETURN(uint32_t ack, reader.ReadU32());
+    lane.deferred_acks.push_back(ack);
+  }
+  return lane;
+}
+
+void EncodeFaultModel(BinaryWriter& writer, const FaultModel& fault) {
+  writer.WriteBool(fault.gilbert_elliott.has_value());
+  if (fault.gilbert_elliott.has_value()) {
+    writer.WriteF64(fault.gilbert_elliott->p_good_to_bad);
+    writer.WriteF64(fault.gilbert_elliott->p_bad_to_good);
+    writer.WriteF64(fault.gilbert_elliott->good_loss);
+    writer.WriteF64(fault.gilbert_elliott->bad_loss);
+  }
+  writer.WriteBool(fault.delay.has_value());
+  if (fault.delay.has_value()) {
+    writer.WriteI64(fault.delay->min_ticks);
+    writer.WriteI64(fault.delay->max_ticks);
+  }
+  writer.WriteU64(fault.outages.size());
+  for (const OutageWindow& window : fault.outages) {
+    writer.WriteI64(window.start);
+    writer.WriteI64(window.end);
+  }
+  writer.WriteF64(fault.ack_loss_probability);
+  writer.WriteF64(fault.corruption_probability);
+  writer.WriteI64(fault.active_until);
+}
+
+Result<FaultModel> DecodeFaultModel(BinaryReader& reader) {
+  FaultModel fault;
+  DKF_ASSIGN_OR_RETURN(bool has_ge, reader.ReadBool());
+  if (has_ge) {
+    GilbertElliottLoss ge;
+    DKF_ASSIGN_OR_RETURN(ge.p_good_to_bad, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(ge.p_bad_to_good, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(ge.good_loss, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(ge.bad_loss, reader.ReadF64());
+    fault.gilbert_elliott = ge;
+  }
+  DKF_ASSIGN_OR_RETURN(bool has_delay, reader.ReadBool());
+  if (has_delay) {
+    DelayModel delay;
+    DKF_ASSIGN_OR_RETURN(delay.min_ticks, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(delay.max_ticks, reader.ReadI64());
+    fault.delay = delay;
+  }
+  DKF_ASSIGN_OR_RETURN(uint64_t outages, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, outages, 16, "outage"));
+  fault.outages.reserve(static_cast<size_t>(outages));
+  for (uint64_t i = 0; i < outages; ++i) {
+    OutageWindow window;
+    DKF_ASSIGN_OR_RETURN(window.start, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(window.end, reader.ReadI64());
+    fault.outages.push_back(window);
+  }
+  DKF_ASSIGN_OR_RETURN(fault.ack_loss_probability, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(fault.corruption_probability, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(fault.active_until, reader.ReadI64());
+  return fault;
+}
+
+void EncodeTraceEvent(BinaryWriter& writer, const TraceEvent& event) {
+  writer.WriteI64(event.step);
+  writer.WriteI64(event.source_id);
+  writer.WriteU8(static_cast<uint8_t>(event.kind));
+  writer.WriteU8(static_cast<uint8_t>(event.actor));
+  writer.WriteF64(event.value);
+  writer.WriteF64(event.aux);
+  writer.WriteI64(event.detail);
+}
+
+Result<TraceEvent> DecodeTraceEvent(BinaryReader& reader) {
+  TraceEvent event;
+  DKF_ASSIGN_OR_RETURN(event.step, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(event.source_id, DecodeI32(reader, "event source"));
+  DKF_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  if (kind >= static_cast<uint8_t>(TraceEventKind::kCount)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid trace event kind %u in snapshot", kind));
+  }
+  event.kind = static_cast<TraceEventKind>(kind);
+  DKF_ASSIGN_OR_RETURN(uint8_t actor, reader.ReadU8());
+  if (actor >= static_cast<uint8_t>(TraceActor::kCount)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid trace actor %u in snapshot", actor));
+  }
+  event.actor = static_cast<TraceActor>(actor);
+  DKF_ASSIGN_OR_RETURN(event.value, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(event.aux, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(event.detail, reader.ReadI64());
+  return event;
+}
+
+Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
+  // Configuration.
+  writer.WriteF64(snapshot.energy.instructions_per_bit);
+  writer.WriteF64(snapshot.energy.instructions_per_filter_step);
+  writer.WriteF64(snapshot.energy.instructions_per_reading);
+  writer.WriteF64(snapshot.channel.drop_probability);
+  writer.WriteU64(snapshot.channel.seed);
+  writer.WriteBool(snapshot.channel.per_source_rng);
+  EncodeFaultModel(writer, snapshot.channel.fault);
+  writer.WriteF64(snapshot.default_delta);
+  writer.WriteI64(snapshot.protocol.heartbeat_interval);
+  writer.WriteI64(snapshot.protocol.resync_burst_retries);
+  writer.WriteI64(snapshot.protocol.resync_retry_backoff);
+  writer.WriteI64(snapshot.protocol.staleness_budget);
+  writer.WriteF64(snapshot.protocol.degraded_inflation);
+  writer.WriteI64(snapshot.num_shards);
+
+  // Progress.
+  writer.WriteI64(snapshot.ticks);
+  writer.WriteI64(snapshot.control_messages);
+
+  // Per-source state.
+  writer.WriteU64(snapshot.sources.size());
+  for (const SourceSnapshot& source : snapshot.sources) {
+    writer.WriteI64(source.source_id);
+    DKF_RETURN_IF_ERROR(EncodeModel(writer, source.model));
+    EncodeNodeState(writer, source.node);
+    EncodeLink(writer, source.link);
+    EncodeChannelLane(writer, source.channel);
+  }
+
+  EncodeFaultStats(writer, snapshot.server_faults);
+  writer.WriteBool(snapshot.has_shared_rng);
+  if (snapshot.has_shared_rng) EncodeRngState(writer, snapshot.shared_rng);
+
+  // Queries and aggregates.
+  writer.WriteU64(snapshot.queries.size());
+  for (const ContinuousQuery& query : snapshot.queries) {
+    writer.WriteI64(query.id);
+    writer.WriteI64(query.source_id);
+    writer.WriteF64(query.precision);
+    EncodeOptionalDouble(writer, query.smoothing_factor);
+    writer.WriteString(query.description);
+  }
+  writer.WriteU64(snapshot.aggregates.size());
+  for (const AggregateSnapshot& aggregate : snapshot.aggregates) {
+    writer.WriteI64(aggregate.id);
+    writer.WriteU64(aggregate.source_ids.size());
+    for (int source_id : aggregate.source_ids) writer.WriteI64(source_id);
+    writer.WriteU64(aggregate.synthetic_query_ids.size());
+    for (int query_id : aggregate.synthetic_query_ids) {
+      writer.WriteI64(query_id);
+    }
+  }
+
+  // Observability.
+  writer.WriteBool(snapshot.obs.enabled);
+  if (snapshot.obs.enabled) {
+    writer.WriteU64(snapshot.obs.options.ring_capacity);
+    writer.WriteBool(snapshot.obs.options.record_timing);
+    writer.WriteU64(snapshot.obs.events.size());
+    for (const TraceEvent& event : snapshot.obs.events) {
+      EncodeTraceEvent(writer, event);
+    }
+    writer.WriteU64(static_cast<uint64_t>(kNumTraceEventKinds));
+    for (int64_t count : snapshot.obs.kind_counts) writer.WriteI64(count);
+    writer.WriteI64(snapshot.obs.dropped);
+    writer.WriteU64(snapshot.obs.gauges.size());
+    for (const auto& [name, value] : snapshot.obs.gauges) {
+      writer.WriteString(name);
+      writer.WriteF64(value);
+    }
+  }
+  return Status::OK();
+}
+
+Result<EngineSnapshot> DecodePayload(BinaryReader& reader) {
+  EngineSnapshot snapshot;
+  DKF_ASSIGN_OR_RETURN(snapshot.energy.instructions_per_bit,
+                       reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(snapshot.energy.instructions_per_filter_step,
+                       reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(snapshot.energy.instructions_per_reading,
+                       reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(snapshot.channel.drop_probability, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(snapshot.channel.seed, reader.ReadU64());
+  DKF_ASSIGN_OR_RETURN(snapshot.channel.per_source_rng, reader.ReadBool());
+  DKF_ASSIGN_OR_RETURN(snapshot.channel.fault, DecodeFaultModel(reader));
+  DKF_ASSIGN_OR_RETURN(snapshot.default_delta, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(snapshot.protocol.heartbeat_interval,
+                       reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(snapshot.protocol.resync_burst_retries,
+                       DecodeI32(reader, "resync_burst_retries"));
+  DKF_ASSIGN_OR_RETURN(snapshot.protocol.resync_retry_backoff,
+                       reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(snapshot.protocol.staleness_budget, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(snapshot.protocol.degraded_inflation,
+                       reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(snapshot.num_shards, DecodeI32(reader, "num_shards"));
+  if (snapshot.num_shards < 1) {
+    return Status::InvalidArgument("snapshot shard count must be >= 1");
+  }
+
+  DKF_ASSIGN_OR_RETURN(snapshot.ticks, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(snapshot.control_messages, reader.ReadI64());
+
+  DKF_ASSIGN_OR_RETURN(uint64_t num_sources, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, num_sources, 8, "source"));
+  snapshot.sources.reserve(static_cast<size_t>(num_sources));
+  int previous_id = INT32_MIN;
+  for (uint64_t i = 0; i < num_sources; ++i) {
+    SourceSnapshot source;
+    DKF_ASSIGN_OR_RETURN(source.source_id, DecodeI32(reader, "source id"));
+    if (source.source_id <= previous_id) {
+      return Status::InvalidArgument(
+          "snapshot sources must have strictly ascending ids");
+    }
+    previous_id = source.source_id;
+    DKF_ASSIGN_OR_RETURN(source.model, DecodeModel(reader));
+    DKF_ASSIGN_OR_RETURN(source.node, DecodeNodeState(reader));
+    DKF_ASSIGN_OR_RETURN(source.link, DecodeLink(reader));
+    DKF_ASSIGN_OR_RETURN(source.channel, DecodeChannelLane(reader));
+    snapshot.sources.push_back(std::move(source));
+  }
+
+  DKF_ASSIGN_OR_RETURN(snapshot.server_faults, DecodeFaultStats(reader));
+  DKF_ASSIGN_OR_RETURN(snapshot.has_shared_rng, reader.ReadBool());
+  if (snapshot.has_shared_rng) {
+    DKF_ASSIGN_OR_RETURN(snapshot.shared_rng, DecodeRngState(reader));
+  }
+
+  DKF_ASSIGN_OR_RETURN(uint64_t num_queries, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, num_queries, 8, "query"));
+  snapshot.queries.reserve(static_cast<size_t>(num_queries));
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    ContinuousQuery query;
+    DKF_ASSIGN_OR_RETURN(query.id, DecodeI32(reader, "query id"));
+    DKF_ASSIGN_OR_RETURN(query.source_id, DecodeI32(reader, "query source"));
+    DKF_ASSIGN_OR_RETURN(query.precision, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(query.smoothing_factor, DecodeOptionalDouble(reader));
+    DKF_ASSIGN_OR_RETURN(query.description, reader.ReadString());
+    snapshot.queries.push_back(std::move(query));
+  }
+
+  DKF_ASSIGN_OR_RETURN(uint64_t num_aggregates, reader.ReadU64());
+  DKF_RETURN_IF_ERROR(CheckCount(reader, num_aggregates, 8, "aggregate"));
+  snapshot.aggregates.reserve(static_cast<size_t>(num_aggregates));
+  for (uint64_t i = 0; i < num_aggregates; ++i) {
+    AggregateSnapshot aggregate;
+    DKF_ASSIGN_OR_RETURN(aggregate.id, DecodeI32(reader, "aggregate id"));
+    DKF_ASSIGN_OR_RETURN(uint64_t members, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(CheckCount(reader, members, 8, "aggregate member"));
+    aggregate.source_ids.reserve(static_cast<size_t>(members));
+    for (uint64_t m = 0; m < members; ++m) {
+      DKF_ASSIGN_OR_RETURN(int member, DecodeI32(reader, "member id"));
+      aggregate.source_ids.push_back(member);
+    }
+    DKF_ASSIGN_OR_RETURN(uint64_t synthetics, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(
+        CheckCount(reader, synthetics, 8, "synthetic query"));
+    aggregate.synthetic_query_ids.reserve(static_cast<size_t>(synthetics));
+    for (uint64_t s = 0; s < synthetics; ++s) {
+      DKF_ASSIGN_OR_RETURN(int query_id, DecodeI32(reader, "synthetic id"));
+      aggregate.synthetic_query_ids.push_back(query_id);
+    }
+    snapshot.aggregates.push_back(std::move(aggregate));
+  }
+
+  DKF_ASSIGN_OR_RETURN(snapshot.obs.enabled, reader.ReadBool());
+  if (snapshot.obs.enabled) {
+    DKF_ASSIGN_OR_RETURN(uint64_t capacity, reader.ReadU64());
+    snapshot.obs.options.ring_capacity = static_cast<size_t>(capacity);
+    DKF_ASSIGN_OR_RETURN(snapshot.obs.options.record_timing,
+                         reader.ReadBool());
+    DKF_ASSIGN_OR_RETURN(uint64_t num_events, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(CheckCount(reader, num_events, 34, "trace event"));
+    snapshot.obs.events.reserve(static_cast<size_t>(num_events));
+    for (uint64_t i = 0; i < num_events; ++i) {
+      DKF_ASSIGN_OR_RETURN(TraceEvent event, DecodeTraceEvent(reader));
+      snapshot.obs.events.push_back(event);
+    }
+    DKF_ASSIGN_OR_RETURN(uint64_t num_kinds, reader.ReadU64());
+    if (num_kinds != static_cast<uint64_t>(kNumTraceEventKinds)) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot has %llu trace event kinds, this build knows %d",
+          static_cast<unsigned long long>(num_kinds), kNumTraceEventKinds));
+    }
+    for (int64_t& count : snapshot.obs.kind_counts) {
+      DKF_ASSIGN_OR_RETURN(count, reader.ReadI64());
+    }
+    DKF_ASSIGN_OR_RETURN(snapshot.obs.dropped, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(uint64_t num_gauges, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(CheckCount(reader, num_gauges, 16, "gauge"));
+    for (uint64_t i = 0; i < num_gauges; ++i) {
+      DKF_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+      DKF_ASSIGN_OR_RETURN(double value, reader.ReadF64());
+      snapshot.obs.gauges[std::move(name)] = value;
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+Result<std::string> EncodeSnapshot(const EngineSnapshot& snapshot) {
+  BinaryWriter payload;
+  DKF_RETURN_IF_ERROR(EncodePayload(payload, snapshot));
+  const std::string& body = payload.bytes();
+
+  BinaryWriter file;
+  for (size_t i = 0; i < kMagicBytes; ++i) {
+    file.WriteU8(static_cast<uint8_t>(kSnapshotMagic[i]));
+  }
+  file.WriteU32(kSnapshotVersion);
+  file.WriteU64(
+      Fnv1a64(reinterpret_cast<const uint8_t*>(body.data()), body.size()));
+  file.WriteU64(body.size());
+  std::string bytes = file.TakeBytes();
+  bytes.append(body);
+  return bytes;
+}
+
+Result<EngineSnapshot> DecodeSnapshot(const std::string& bytes) {
+  BinaryReader header(bytes);
+  for (size_t i = 0; i < kMagicBytes; ++i) {
+    auto byte_or = header.ReadU8();
+    if (!byte_or.ok() ||
+        byte_or.value() != static_cast<uint8_t>(kSnapshotMagic[i])) {
+      return Status::InvalidArgument("not a dkf snapshot file");
+    }
+  }
+  DKF_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported snapshot version %u (expected %u)", version,
+                  kSnapshotVersion));
+  }
+  DKF_ASSIGN_OR_RETURN(uint64_t checksum, header.ReadU64());
+  DKF_ASSIGN_OR_RETURN(uint64_t payload_len, header.ReadU64());
+  if (payload_len != header.remaining()) {
+    return Status::OutOfRange(StrFormat(
+        "snapshot payload length %llu does not match the %llu bytes present",
+        static_cast<unsigned long long>(payload_len),
+        static_cast<unsigned long long>(header.remaining())));
+  }
+  const std::string payload = bytes.substr(header.offset());
+  const uint64_t actual = Fnv1a64(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  if (actual != checksum) {
+    return Status::InvalidArgument(
+        "snapshot payload checksum mismatch (file corrupted)");
+  }
+  BinaryReader reader(payload);
+  DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot, DecodePayload(reader));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot has %llu bytes of trailing garbage",
+        static_cast<unsigned long long>(reader.remaining())));
+  }
+  return snapshot;
+}
+
+Status SaveSnapshotFile(const EngineSnapshot& snapshot,
+                        const std::string& path) {
+  DKF_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshot(snapshot));
+  return WriteFileBytes(path, bytes);
+}
+
+Result<EngineSnapshot> LoadSnapshotFile(const std::string& path) {
+  DKF_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return DecodeSnapshot(bytes);
+}
+
+}  // namespace dkf

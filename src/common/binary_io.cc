@@ -1,0 +1,156 @@
+#include "common/binary_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void BinaryWriter::WriteU8(uint8_t value) {
+  bytes_.push_back(static_cast<char>(value));
+}
+
+void BinaryWriter::WriteU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void BinaryWriter::WriteU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void BinaryWriter::WriteI64(int64_t value) {
+  WriteU64(static_cast<uint64_t>(value));
+}
+
+void BinaryWriter::WriteF64(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  bytes_.append(value);
+}
+
+Status BinaryReader::Require(size_t count) const {
+  if (offset_ + count > bytes_.size() || offset_ + count < offset_) {
+    return Status::OutOfRange(
+        StrFormat("truncated snapshot: need %zu bytes at offset %zu of %zu",
+                  count, offset_, bytes_.size()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  DKF_RETURN_IF_ERROR(Require(1));
+  return static_cast<uint8_t>(bytes_[offset_++]);
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  DKF_RETURN_IF_ERROR(Require(4));
+  uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[offset_++]))
+             << shift;
+  }
+  return value;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  DKF_RETURN_IF_ERROR(Require(8));
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[offset_++]))
+             << shift;
+  }
+  return value;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  DKF_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  return static_cast<int64_t>(bits);
+}
+
+Result<double> BinaryReader::ReadF64() {
+  DKF_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<bool> BinaryReader::ReadBool() {
+  DKF_ASSIGN_OR_RETURN(uint8_t byte, ReadU8());
+  if (byte > 1) {
+    return Status::InvalidArgument(
+        StrFormat("invalid bool byte %u in snapshot", byte));
+  }
+  return byte == 1;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  DKF_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  DKF_RETURN_IF_ERROR(Require(static_cast<size_t>(size)));
+  std::string value = bytes_.substr(offset_, static_cast<size_t>(size));
+  offset_ += static_cast<size_t>(size);
+  return value;
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal(StrFormat("cannot open %s for writing", tmp.c_str()));
+  }
+  const size_t written = bytes.empty()
+                             ? 0
+                             : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal(StrFormat("short write to %s", tmp.c_str()));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal(StrFormat("cannot rename %s to %s", tmp.c_str(), path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::Internal(StrFormat("error reading %s", path.c_str()));
+  }
+  return bytes;
+}
+
+}  // namespace dkf

@@ -1,0 +1,90 @@
+#ifndef DKF_COMMON_BINARY_IO_H_
+#define DKF_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dkf {
+
+/// Byte-level little-endian codec underpinning the checkpoint snapshot
+/// format (docs/checkpoint.md). Doubles travel as their raw IEEE-754 bit
+/// pattern, so every value — including the corrupted payloads a snapshot
+/// may carry in its in-flight queue — round-trips bit-exactly. The layer
+/// above (src/checkpoint/) decides *what* to write; this file only
+/// guarantees that bytes written on one host read back identically on
+/// another, independent of native endianness.
+
+/// FNV-1a 64-bit hash — the snapshot payload checksum. Same construction
+/// as the 32-bit wire checksum in dsms/message.h, widened for file-sized
+/// payloads.
+uint64_t Fnv1a64(const uint8_t* data, size_t size);
+
+/// Appends fixed-width little-endian primitives to a growing byte buffer.
+/// Never fails; the buffer is a std::string so it can be handed to file
+/// I/O and checksummed without a copy.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  /// Raw IEEE-754 bits; NaN/Inf pass through unchanged.
+  void WriteF64(double value);
+  void WriteBool(bool value);
+  /// u64 byte length followed by the bytes.
+  void WriteString(const std::string& value);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked reader over a byte buffer. Every read errors with
+/// OutOfRange instead of walking past the end, so a truncated or
+/// corrupted snapshot surfaces as a clean Status, never undefined
+/// behavior.
+class BinaryReader {
+ public:
+  /// The reader borrows `bytes`; the buffer must outlive it.
+  explicit BinaryReader(const std::string& bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+
+  /// True when every byte has been consumed — snapshot loads require
+  /// this, so trailing garbage is rejected rather than ignored.
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+  size_t offset() const { return offset_; }
+  /// Bytes not yet consumed — lets decoders sanity-check an element count
+  /// against the payload before allocating for it.
+  size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  Status Require(size_t count) const;
+
+  const std::string& bytes_;
+  size_t offset_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically enough for checkpointing: the
+/// content goes to `path + ".tmp"` first and is renamed over `path`, so
+/// a crash mid-write never leaves a half-written snapshot at the
+/// canonical name.
+Status WriteFileBytes(const std::string& path, const std::string& bytes);
+
+/// Reads the whole file at `path`. NotFound when it does not exist.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace dkf
+
+#endif  // DKF_COMMON_BINARY_IO_H_

@@ -134,4 +134,18 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::LoadState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace dkf

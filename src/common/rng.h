@@ -61,6 +61,19 @@ class Rng {
   /// one's current state (for giving each stream source its own RNG).
   Rng Fork();
 
+  /// The complete generator state: the xoshiro256++ words plus the cached
+  /// Box-Muller deviate. Capturing and restoring it mid-stream continues
+  /// the draw sequence bit-identically — the checkpoint subsystem relies
+  /// on this to replay fault cocktails across a save/restore boundary.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State SaveState() const;
+  void LoadState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -75,6 +75,21 @@ class Predictor {
     return Status::Unimplemented("predictor does not support state import");
   }
 
+  /// The *complete* running state, including the steady-state fast-path
+  /// freeze cycle that the resync-oriented ExportState deliberately omits.
+  /// Checkpoint/restore uses this pair so a restored predictor continues
+  /// bit-identically (docs/checkpoint.md). Unimplemented by default.
+  virtual Result<KalmanFilter::FullState> ExportFullState() const {
+    return Status::Unimplemented(
+        "predictor does not support full-state export");
+  }
+
+  virtual Status ImportFullState(const KalmanFilter::FullState& full) {
+    (void)full;
+    return Status::Unimplemented(
+        "predictor does not support full-state import");
+  }
+
   /// Deep copy. A link clones its prototype once for the server filter and
   /// once for the source-side mirror.
   virtual std::unique_ptr<Predictor> Clone() const = 0;
@@ -116,6 +131,12 @@ class KalmanPredictor : public Predictor {
   Status ImportState(const Snapshot& snapshot) override {
     return filter_.ImportState(snapshot.state, snapshot.covariance,
                                snapshot.step);
+  }
+  Result<KalmanFilter::FullState> ExportFullState() const override {
+    return filter_.ExportFullState();
+  }
+  Status ImportFullState(const KalmanFilter::FullState& full) override {
+    return filter_.ImportFullState(full);
   }
   std::unique_ptr<Predictor> Clone() const override {
     return std::make_unique<KalmanPredictor>(*this);

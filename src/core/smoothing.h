@@ -30,6 +30,12 @@ class KalmanSmoother {
   double smoothing_factor() const { return smoothing_factor_; }
   int64_t count() const { return count_; }
 
+  /// Checkpoint hooks: the smoother is a KalmanFilter plus a push counter,
+  /// so exposing both restores it exactly (src/checkpoint/).
+  const KalmanFilter& filter() const { return filter_; }
+  KalmanFilter& mutable_filter() { return filter_; }
+  void set_count(int64_t count) { count_ = count; }
+
  private:
   KalmanSmoother(double smoothing_factor, KalmanFilter filter)
       : smoothing_factor_(smoothing_factor), filter_(std::move(filter)) {}

@@ -75,7 +75,37 @@ Result<Vector> ParseVectorRow(const std::vector<std::string>& row) {
   return v;
 }
 
+/// The finiteness contract for one model recipe, applied on both the
+/// save and the load path.
+Status RequireFiniteModel(const StateModel& model) {
+  DKF_RETURN_IF_ERROR(RequireFinite(model.options.transition, "transition"));
+  DKF_RETURN_IF_ERROR(RequireFinite(model.options.measurement, "measurement"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.process_noise, "process_noise"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.measurement_noise, "measurement_noise"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.initial_state, "initial_state"));
+  DKF_RETURN_IF_ERROR(
+      RequireFinite(model.options.initial_covariance, "initial_covariance"));
+  return Status::OK();
+}
+
 }  // namespace
+
+Status RequireFinite(const Vector& v, const std::string& what) {
+  if (!v.IsFinite()) {
+    return Status::InvalidArgument(what + " contains a non-finite value");
+  }
+  return Status::OK();
+}
+
+Status RequireFinite(const Matrix& m, const std::string& what) {
+  if (!m.IsFinite()) {
+    return Status::InvalidArgument(what + " contains a non-finite value");
+  }
+  return Status::OK();
+}
 
 Status SaveSynopsis(const KfSynopsis& synopsis, const std::string& path) {
   const StateModel& model = synopsis.model();
@@ -83,6 +113,7 @@ Status SaveSynopsis(const KfSynopsis& synopsis, const std::string& path) {
     return Status::Unimplemented(
         "time-varying transitions are not serializable");
   }
+  DKF_RETURN_IF_ERROR(RequireFiniteModel(model));
   auto writer_or = CsvWriter::Open(path);
   if (!writer_or.ok()) return writer_or.status();
   CsvWriter writer = std::move(writer_or).value();
@@ -131,9 +162,13 @@ Result<KfSynopsis> LoadSynopsis(const std::string& path) {
   auto rows_or = ReadCsvFile(path);
   if (!rows_or.ok()) return rows_or.status();
   const auto& rows = rows_or.value();
-  if (rows.empty() || rows[0].size() < 2 || rows[0][0] != kMagic ||
-      rows[0][1] != kVersion) {
+  if (rows.empty() || rows[0].size() < 2 || rows[0][0] != kMagic) {
     return Status::InvalidArgument("not a dkf synopsis file");
+  }
+  if (rows[0][1] != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported synopsis version %s (expected %s)",
+                  rows[0][1].c_str(), kVersion));
   }
 
   StateModel model;
@@ -208,6 +243,10 @@ Result<KfSynopsis> LoadSynopsis(const std::string& path) {
     }
   }
   model.measurement_dim = measurement_dim;
+  DKF_RETURN_IF_ERROR(RequireFiniteModel(model));
+  for (const SynopsisEntry& entry : entries) {
+    DKF_RETURN_IF_ERROR(RequireFinite(entry.value, "entry value"));
+  }
   return KfSynopsis::FromParts(std::move(model), options,
                                std::move(timestamps), std::move(entries));
 }

@@ -21,6 +21,15 @@ Status SaveSynopsis(const KfSynopsis& synopsis, const std::string& path);
 /// replays identically to the original (same model, same entries).
 Result<KfSynopsis> LoadSynopsis(const std::string& path);
 
+/// InvalidArgument (naming `what`) when any element of the container is
+/// NaN or infinite, OK otherwise. Shared validation between the synopsis
+/// codec and the checkpoint snapshot codec (src/checkpoint/): model
+/// recipes and filter states must be finite on both the save and the
+/// load path, so a corrupted file can never smuggle a non-finite value
+/// into a running filter.
+Status RequireFinite(const Vector& v, const std::string& what);
+Status RequireFinite(const Matrix& m, const std::string& what);
+
 }  // namespace dkf
 
 #endif  // DKF_CORE_SYNOPSIS_IO_H_

@@ -118,6 +118,45 @@ class Channel {
   /// unwire.
   void set_trace_sink(TraceSink* sink) { obs_sink_ = sink; }
 
+  /// Checkpoint hooks (src/checkpoint/, docs/checkpoint.md). The channel's
+  /// state is per-source except for the shared RNG used when
+  /// per_source_rng is off; both halves have export/import pairs so a
+  /// snapshot can be fanned across any shard count.
+  struct InFlightEntry {
+    int64_t due = 0;
+    bool ack_lost = false;
+    bool corrupted = false;
+    Message message;
+  };
+
+  struct SourceCheckpoint {
+    ChannelStats stats;
+    /// The (seed, source_id)-derived fault stream, present once the source
+    /// has sent under per_source_rng.
+    bool has_rng = false;
+    Rng::State rng;
+    /// Gilbert–Elliott chain state, present once the chain has stepped.
+    bool has_ge_state = false;
+    bool ge_bad = false;
+    std::vector<InFlightEntry> in_flight;
+    std::vector<uint32_t> deferred_acks;
+  };
+
+  SourceCheckpoint ExportSourceCheckpoint(int source_id) const;
+
+  /// Stages one source's checkpoint into this channel. In-flight entries
+  /// accumulate unsorted; call FinalizeRestore once after the last source.
+  void ImportSourceCheckpoint(int source_id, const SourceCheckpoint& state);
+
+  /// The shared fault stream (per_source_rng == false configurations).
+  Rng::State ExportSharedRng() const { return rng_.SaveState(); }
+  void ImportSharedRng(const Rng::State& state) { rng_.LoadState(state); }
+
+  /// Orders the staged in-flight queue canonically — ascending (send tick,
+  /// source id, sequence), which reproduces the original append order —
+  /// and rebuilds the aggregate counters from the per-source ones.
+  void FinalizeRestore();
+
  private:
   /// One delayed message waiting for its delivery tick.
   struct InFlight {

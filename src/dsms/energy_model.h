@@ -45,6 +45,14 @@ class EnergyAccount {
 
   const EnergyModelOptions& options() const { return options_; }
 
+  /// Overwrites the accumulated totals — the restore half of a checkpoint.
+  /// Charging rules stay whatever this account was constructed with.
+  void RestoreTotals(double transmission, double compute, double sensing) {
+    transmission_ = transmission;
+    compute_ = compute;
+    sensing_ = sensing;
+  }
+
  private:
   EnergyModelOptions options_;
   double transmission_ = 0.0;

@@ -170,6 +170,37 @@ Status ServerNode::OnMessage(const Message& message) {
   return Status::Internal("unknown message type");
 }
 
+Result<ServerNode::LinkSnapshot> ServerNode::ExportLink(int source_id) const {
+  auto it = predictors_.find(source_id);
+  auto link_it = links_.find(source_id);
+  if (it == predictors_.end() || link_it == links_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  LinkSnapshot snapshot;
+  snapshot.last_sequence = link_it->second.last_sequence;
+  snapshot.last_valid_tick = link_it->second.last_valid_tick;
+  snapshot.last_resync_tick = link_it->second.last_resync_tick;
+  snapshot.last_update_tick = link_it->second.last_update_tick;
+  auto full_or = it->second->ExportFullState();
+  if (!full_or.ok()) return full_or.status();
+  snapshot.predictor = std::move(full_or).value();
+  return snapshot;
+}
+
+Status ServerNode::RestoreLink(int source_id, const LinkSnapshot& snapshot) {
+  auto it = predictors_.find(source_id);
+  auto link_it = links_.find(source_id);
+  if (it == predictors_.end() || link_it == links_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  DKF_RETURN_IF_ERROR(it->second->ImportFullState(snapshot.predictor));
+  link_it->second.last_sequence = snapshot.last_sequence;
+  link_it->second.last_valid_tick = snapshot.last_valid_tick;
+  link_it->second.last_resync_tick = snapshot.last_resync_tick;
+  link_it->second.last_update_tick = snapshot.last_update_tick;
+  return Status::OK();
+}
+
 bool ServerNode::IsDegraded(const LinkState& link) const {
   if (ticks_done_ <= 0) return false;
   const int64_t now = ticks_done_ - 1;

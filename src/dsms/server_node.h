@@ -96,6 +96,33 @@ class ServerNode {
   /// to unwire.
   void set_trace_sink(TraceSink* sink);
 
+  /// Checkpoint hooks (src/checkpoint/, docs/checkpoint.md): one source's
+  /// KF_s full state plus its link ingress bookkeeping.
+  struct LinkSnapshot {
+    uint32_t last_sequence = 0;
+    int64_t last_valid_tick = -1;
+    int64_t last_resync_tick = -2;
+    int64_t last_update_tick = -1;
+    KalmanFilter::FullState predictor;
+  };
+
+  Result<LinkSnapshot> ExportLink(int source_id) const;
+
+  /// Restores a source registered with the same model. Errors when the
+  /// source is unknown or dimensions disagree.
+  Status RestoreLink(int source_id, const LinkSnapshot& snapshot);
+
+  /// Rewinds/advances the tick counter to a checkpoint's value. Call
+  /// before RegisterSource so the per-link staleness clocks initialize
+  /// consistently.
+  void RestoreClock(int64_t ticks_done) { ticks_done_ = ticks_done; }
+
+  /// Overwrites the server-wide fault counters with a checkpoint's
+  /// aggregate.
+  void RestoreFaultStats(const ProtocolFaultStats& faults) {
+    faults_ = faults;
+  }
+
  private:
   /// Per-link ingress state for the hardened protocol.
   struct LinkState {

@@ -74,6 +74,61 @@ Status SourceNode::set_smoothing(std::optional<double> smoothing_factor) {
   return Status::OK();
 }
 
+Result<SourceNode::CheckpointState> SourceNode::ExportCheckpoint() const {
+  CheckpointState state;
+  state.delta = options_.delta;
+  state.smoothing_factor = options_.smoothing_factor;
+  state.smoothing_measurement_variance =
+      options_.smoothing_measurement_variance;
+  auto mirror_or = mirror_->ExportFullState();
+  if (!mirror_or.ok()) return mirror_or.status();
+  state.mirror = std::move(mirror_or).value();
+  if (smoother_.has_value()) {
+    state.smoother_filter = smoother_->filter().ExportFullState();
+    state.smoother_count = smoother_->count();
+  }
+  state.energy_transmission = energy_.transmission();
+  state.energy_compute = energy_.compute();
+  state.energy_sensing = energy_.sensing();
+  state.readings = readings_;
+  state.updates_sent = updates_sent_;
+  state.next_sequence = next_sequence_;
+  state.pending = pending_;
+  state.pending_since = pending_since_;
+  state.first_resync_sequence = first_resync_sequence_;
+  state.resync_attempts = resync_attempts_;
+  state.last_resync_tick = last_resync_tick_;
+  state.last_send_tick = last_send_tick_;
+  state.faults = faults_;
+  return state;
+}
+
+Status SourceNode::ImportCheckpoint(const CheckpointState& state) {
+  DKF_RETURN_IF_ERROR(set_delta(state.delta));
+  options_.smoothing_measurement_variance =
+      state.smoothing_measurement_variance;
+  DKF_RETURN_IF_ERROR(set_smoothing(state.smoothing_factor));
+  DKF_RETURN_IF_ERROR(mirror_->ImportFullState(state.mirror));
+  if (smoother_.has_value()) {
+    DKF_RETURN_IF_ERROR(
+        smoother_->mutable_filter().ImportFullState(state.smoother_filter));
+    smoother_->set_count(state.smoother_count);
+  }
+  energy_.RestoreTotals(state.energy_transmission, state.energy_compute,
+                        state.energy_sensing);
+  readings_ = state.readings;
+  updates_sent_ = state.updates_sent;
+  next_sequence_ = state.next_sequence;
+  pending_ = state.pending;
+  pending_since_ = state.pending_since;
+  first_resync_sequence_ = state.first_resync_sequence;
+  resync_attempts_ = state.resync_attempts;
+  last_resync_tick_ = state.last_resync_tick;
+  last_send_tick_ = state.last_send_tick;
+  faults_ = state.faults;
+  return Status::OK();
+}
+
 void SourceNode::HandleAck(uint32_t sequence, int64_t tick) {
   // Only a resync from the current episode proves the pair re-locked: a
   // late-ACKed *measurement* was delivered after its tick and therefore

@@ -126,6 +126,39 @@ class SourceNode {
   /// The mirror predictor (for the mirror-consistency tests).
   const Predictor& mirror() const { return *mirror_; }
 
+  /// Everything that distinguishes this node from a freshly created one
+  /// with the same model: filters (KF_m and, when active, KF_c), installed
+  /// reconfig state, energy totals, wire sequence counter, the divergence
+  /// state machine, and the fault counters. Export/Import round-trips the
+  /// node bit-exactly across a checkpoint (docs/checkpoint.md).
+  struct CheckpointState {
+    double delta = 1.0;
+    std::optional<double> smoothing_factor;
+    double smoothing_measurement_variance = 1.0;
+    KalmanFilter::FullState mirror;
+    KalmanFilter::FullState smoother_filter;  // valid iff smoothing_factor
+    int64_t smoother_count = 0;
+    double energy_transmission = 0.0;
+    double energy_compute = 0.0;
+    double energy_sensing = 0.0;
+    int64_t readings = 0;
+    int64_t updates_sent = 0;
+    uint32_t next_sequence = 1;
+    bool pending = false;
+    int64_t pending_since = 0;
+    uint32_t first_resync_sequence = 0;
+    int32_t resync_attempts = 0;
+    int64_t last_resync_tick = -1;
+    int64_t last_send_tick = -1;
+    ProtocolFaultStats faults;
+  };
+
+  Result<CheckpointState> ExportCheckpoint() const;
+
+  /// Restores a checkpoint into a node freshly created from the same
+  /// model/protocol options. Errors when dimensions disagree.
+  Status ImportCheckpoint(const CheckpointState& state);
+
   /// Wires an observability sink: every protocol decision this node makes
   /// (suppress/transmit with the measured deviation, resync, heal,
   /// heartbeat) becomes a trace event, and the mirror filter's fast-path

@@ -38,6 +38,7 @@ Status StreamManager::RegisterSource(int source_id, const StateModel& model) {
   }
   sources_[source_id] =
       std::make_unique<SourceNode>(std::move(node_or).value());
+  models_[source_id] = model;
   if (sink_ != nullptr) sources_[source_id]->set_trace_sink(sink_.get());
   return Status::OK();
 }

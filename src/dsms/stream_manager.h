@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "common/result.h"
 #include "dsms/channel.h"
@@ -19,6 +20,8 @@
 #include "query/registry.h"
 
 namespace dkf {
+
+class CheckpointAccess;  // src/checkpoint/: snapshot save/restore plumbing
 
 /// Configuration of the end-to-end stream manager.
 struct StreamManagerOptions {
@@ -148,7 +151,23 @@ class StreamManager {
   /// Per-source update totals.
   Result<int64_t> updates_sent(int source_id) const;
 
+  /// Writes a deterministic snapshot of the entire engine — every dual
+  /// link's filter states, protocol state machines, channel fault/RNG
+  /// state, queries, and observability counters — to `path` (see
+  /// docs/checkpoint.md for the wire format). Call between ticks.
+  /// Defined in src/checkpoint/engine_checkpoint.cc.
+  Status Save(const std::string& path) const;
+
+  /// Reconstructs a manager from a snapshot written by either
+  /// StreamManager::Save or ShardedStreamEngine::Save. The restored
+  /// manager continues bit-identically to the uninterrupted run: same
+  /// answers, same fault sequence, same trace.
+  static Result<std::unique_ptr<StreamManager>> Restore(
+      const std::string& path);
+
  private:
+  friend class CheckpointAccess;
+
   /// Pushes the registry's current effective delta/smoothing to a source
   /// (one control message when something actually changed).
   Status ReconfigureSource(int source_id);
@@ -166,6 +185,9 @@ class StreamManager {
     std::vector<int> synthetic_query_ids;
   };
   std::map<int, AggregateBinding> aggregates_;
+  /// The model recipe each source was registered with, retained so a
+  /// checkpoint can re-create the source on restore.
+  std::map<int, StateModel> models_;
   QueryRegistry registry_;
   int64_t control_messages_ = 0;
   int64_t ticks_ = 0;

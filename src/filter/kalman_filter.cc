@@ -377,6 +377,100 @@ Status KalmanFilter::ImportState(const Vector& x, const Matrix& p,
   return Status::OK();
 }
 
+KalmanFilter::FullState KalmanFilter::ExportFullState() const {
+  FullState full;
+  full.x = x_;
+  full.p = p_;
+  full.step = step_;
+  full.last_innovation = last_innovation_;
+  full.process_noise = options_.process_noise;
+  full.measurement_noise = options_.measurement_noise;
+  full.phase = static_cast<uint8_t>(phase_);
+  full.ss_mode = static_cast<uint8_t>(ss_mode_);
+  full.ss_streak1 = ss_streak1_;
+  full.ss_streak2 = ss_streak2_;
+  full.predicts_since_correct = predicts_since_correct_;
+  full.ss_have_prev = ss_have_prev_;
+  for (int i = 0; i < 2; ++i) {
+    full.ss_prev_post[i] = ss_prev_post_[i];
+    full.ss_gain[i] = ss_gain_[i];
+    full.ss_prior_p[i] = ss_prior_p_[i];
+    full.ss_post_p[i] = ss_post_p_[i];
+  }
+  full.ss_prev_gain = ss_prev_gain_;
+  full.ss_period = ss_period_;
+  full.ss_pending_priors = ss_pending_priors_;
+  full.ss_capture_idx = ss_capture_idx_;
+  full.ss_idx = ss_idx_;
+  return full;
+}
+
+Status KalmanFilter::ImportFullState(const FullState& full) {
+  const size_t n = x_.size();
+  const size_t m = options_.measurement.rows();
+  if (full.x.size() != n || full.p.rows() != n || full.p.cols() != n) {
+    return Status::InvalidArgument(
+        "full state has the wrong state/covariance dimensions");
+  }
+  if (full.process_noise.rows() != n || full.process_noise.cols() != n ||
+      full.measurement_noise.rows() != m ||
+      full.measurement_noise.cols() != m) {
+    return Status::InvalidArgument("full state has the wrong noise shapes");
+  }
+  if (full.last_innovation.size() != 0 && full.last_innovation.size() != m) {
+    return Status::InvalidArgument(
+        "full state has the wrong innovation dimension");
+  }
+  if (full.phase > static_cast<uint8_t>(Phase::kCorrected) ||
+      full.ss_mode > static_cast<uint8_t>(SsMode::kArmed) ||
+      full.ss_period < 1 || full.ss_period > 2) {
+    return Status::InvalidArgument("full state has out-of-range mode fields");
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (full.ss_prev_post[i].rows() != n || full.ss_prev_post[i].cols() != n ||
+        full.ss_prior_p[i].rows() != n || full.ss_prior_p[i].cols() != n ||
+        full.ss_post_p[i].rows() != n || full.ss_post_p[i].cols() != n ||
+        full.ss_gain[i].rows() != n || full.ss_gain[i].cols() != m) {
+      return Status::InvalidArgument(
+          "full state has the wrong fast-path matrix shapes");
+    }
+  }
+  if (full.ss_prev_gain.rows() != n || full.ss_prev_gain.cols() != m) {
+    return Status::InvalidArgument(
+        "full state has the wrong fast-path gain shape");
+  }
+  if (!full.x.IsFinite() || !full.p.IsFinite()) {
+    return Status::InvalidArgument(
+        "full state carries non-finite estimate or covariance");
+  }
+  x_ = full.x;
+  p_ = full.p;
+  step_ = full.step;
+  last_innovation_ = full.last_innovation;
+  // Direct assignment on purpose: set_process_noise/set_measurement_noise
+  // would disarm the fast path, which must survive a checkpoint intact.
+  options_.process_noise = full.process_noise;
+  options_.measurement_noise = full.measurement_noise;
+  phase_ = static_cast<Phase>(full.phase);
+  ss_mode_ = static_cast<SsMode>(full.ss_mode);
+  ss_streak1_ = full.ss_streak1;
+  ss_streak2_ = full.ss_streak2;
+  predicts_since_correct_ = full.predicts_since_correct;
+  ss_have_prev_ = full.ss_have_prev;
+  for (int i = 0; i < 2; ++i) {
+    ss_prev_post_[i] = full.ss_prev_post[i];
+    ss_gain_[i] = full.ss_gain[i];
+    ss_prior_p_[i] = full.ss_prior_p[i];
+    ss_post_p_[i] = full.ss_post_p[i];
+  }
+  ss_prev_gain_ = full.ss_prev_gain;
+  ss_period_ = full.ss_period;
+  ss_pending_priors_ = full.ss_pending_priors;
+  ss_capture_idx_ = full.ss_capture_idx;
+  ss_idx_ = full.ss_idx;
+  return Status::OK();
+}
+
 bool KalmanFilter::StateEquals(const KalmanFilter& other) const {
   if (step_ != other.step_ || x_.size() != other.x_.size()) return false;
   for (size_t i = 0; i < x_.size(); ++i) {

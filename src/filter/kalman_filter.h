@@ -162,6 +162,47 @@ class KalmanFilter {
   /// step counter — the mirror-consistency predicate of the DKF protocol.
   bool StateEquals(const KalmanFilter& other) const;
 
+  /// Everything that distinguishes a running filter from a freshly
+  /// constructed one with the same model recipe: estimate, covariance,
+  /// step/phase counters, the current (possibly reconfigured) Q and R, and
+  /// the complete steady-state fast-path bookkeeping including the frozen
+  /// gain/covariance cycle. Restoring it via ImportFullState continues the
+  /// filter bit-identically — unlike the resync-oriented ImportState, which
+  /// deliberately disarms the fast path. Scratch is excluded: it never
+  /// carries state across calls. Used by src/checkpoint/.
+  struct FullState {
+    Vector x;
+    Matrix p;
+    int64_t step = 0;
+    Vector last_innovation;
+    Matrix process_noise;
+    Matrix measurement_noise;
+    uint8_t phase = 0;    // Phase enum value
+    uint8_t ss_mode = 0;  // SsMode enum value
+    int32_t ss_streak1 = 0;
+    int32_t ss_streak2 = 0;
+    int64_t predicts_since_correct = 0;
+    int32_t ss_have_prev = 0;
+    Matrix ss_prev_post[2];
+    Matrix ss_prev_gain;
+    int32_t ss_period = 1;
+    int32_t ss_pending_priors = 0;
+    int32_t ss_capture_idx = 0;
+    int32_t ss_idx = 0;
+    Matrix ss_gain[2];
+    Matrix ss_prior_p[2];
+    Matrix ss_post_p[2];
+  };
+
+  FullState ExportFullState() const;
+
+  /// Overwrites the full running state. Errors (leaving the filter
+  /// untouched) when any dimension disagrees with this filter's model or
+  /// an enum value is out of range. Q/R are assigned directly — this is a
+  /// state restore, not a reconfiguration, so the fast path is *not*
+  /// disarmed.
+  Status ImportFullState(const FullState& full);
+
   /// Wires an observability sink: fast-path freeze/disarm transitions are
   /// emitted as trace events tagged (source_id, actor). Pass nullptr to
   /// unwire. Observation only — never alters filter arithmetic.

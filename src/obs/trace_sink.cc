@@ -84,6 +84,25 @@ void TraceSink::Reset() {
   tick_latency_.sum = 0.0;
 }
 
+void TraceSink::RestoreForCheckpoint(
+    const std::vector<TraceEvent>& events,
+    const std::array<int64_t, kNumTraceEventKinds>& kind_counts,
+    int64_t dropped, const std::map<std::string, double>& gauges) {
+  Reset();
+  const size_t capacity = ring_.size();
+  const size_t spill = events.size() > capacity ? events.size() - capacity : 0;
+  for (size_t i = spill; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    TraceEvent& slot = ring_[next_];
+    slot = event;
+    next_ = next_ + 1 == capacity ? 0 : next_ + 1;
+    if (size_ < capacity) ++size_;
+  }
+  kind_counts_ = kind_counts;
+  dropped_ = dropped + static_cast<int64_t>(spill);
+  gauges_ = gauges;
+}
+
 void DeriveRates(MetricsRegistry* registry) {
   const int64_t suppressed = registry->counter("trace.suppress");
   const int64_t transmitted = registry->counter("trace.transmit");

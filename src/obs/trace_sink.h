@@ -104,6 +104,22 @@ class TraceSink {
   /// Clears events, counts, gauges, and histograms (options stay).
   void Reset();
 
+  /// Current gauge values (for checkpointing; the hot path never reads
+  /// them).
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  /// Overwrites this sink with checkpointed observability state: `events`
+  /// fill the ring oldest-first (only the newest ring_capacity are kept,
+  /// the spill counted as dropped on top of `dropped`), `kind_counts`
+  /// restore the exact per-kind totals, and `gauges` replace the gauge
+  /// map. Timing histograms are not restored — they are nondeterministic
+  /// by design and excluded from snapshots.
+  void RestoreForCheckpoint(const std::vector<TraceEvent>& events,
+                            const std::array<int64_t, kNumTraceEventKinds>&
+                                kind_counts,
+                            int64_t dropped,
+                            const std::map<std::string, double>& gauges);
+
  private:
   ObsOptions options_;
   std::vector<TraceEvent> ring_;

@@ -20,6 +20,8 @@
 
 namespace dkf {
 
+class CheckpointAccess;  // src/checkpoint/: snapshot save/restore plumbing
+
 /// One partition of a ShardedStreamEngine's fleet. A shard owns the
 /// complete dual-link state for its sources — the source-side
 /// SourceNodes (mirror KF_m, optional KF_c), the server-side predictors
@@ -102,6 +104,8 @@ class StreamShard {
   void set_trace_sink(TraceSink* sink);
 
  private:
+  friend class CheckpointAccess;
+
   ServerNode server_;
   Channel channel_;
   EnergyModelOptions energy_;

@@ -44,6 +44,7 @@ Status ShardedStreamEngine::RegisterSource(int source_id,
   DKF_RETURN_IF_ERROR(shards_[static_cast<size_t>(shard)]->AddSource(
       source_id, model));
   registered_[source_id] = shard;
+  models_[source_id] = model;
   return Status::OK();
 }
 

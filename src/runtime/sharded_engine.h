@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -22,6 +23,8 @@
 #include "runtime/worker_pool.h"
 
 namespace dkf {
+
+class CheckpointAccess;  // src/checkpoint/: snapshot save/restore plumbing
 
 /// Configuration of the sharded runtime.
 struct ShardedStreamEngineOptions {
@@ -171,7 +174,24 @@ class ShardedStreamEngine {
     return sinks_[static_cast<size_t>(shard)].get();
   }
 
+  /// Writes a deterministic snapshot of the entire engine to `path`
+  /// (docs/checkpoint.md). The snapshot is shard-layout-free: per-source
+  /// state is stored by source id, in-flight messages canonically
+  /// ordered. Call between ticks (ProcessTick has returned).
+  /// Defined in src/checkpoint/engine_checkpoint.cc.
+  Status Save(const std::string& path) const;
+
+  /// Reconstructs an engine from a snapshot written by either
+  /// ShardedStreamEngine::Save or StreamManager::Save, at any shard
+  /// count: `num_shards` overrides the saved count when > 0 (elastic
+  /// re-sharding). The restored engine's merged trace, answers, and
+  /// fault sequence continue bit-identically to the uninterrupted run.
+  static Result<std::unique_ptr<ShardedStreamEngine>> Restore(
+      const std::string& path, int num_shards = 0);
+
  private:
+  friend class CheckpointAccess;
+
   StreamShard& OwningShard(int source_id) {
     return *shards_[static_cast<size_t>(ShardIndexFor(source_id))];
   }
@@ -195,6 +215,10 @@ class ShardedStreamEngine {
     std::vector<std::pair<int, std::vector<int>>> members_by_shard;
   };
   std::map<int, AggregateBinding> aggregates_;
+
+  /// The model recipe each source was registered with, retained so a
+  /// checkpoint can re-create the source on restore.
+  std::map<int, StateModel> models_;
 
   QueryRegistry registry_;
   WorkerPool pool_;

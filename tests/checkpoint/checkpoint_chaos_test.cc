@@ -1,0 +1,430 @@
+// Crash-recovery chaos harness for the checkpoint subsystem
+// (docs/checkpoint.md): the fleet workload from dsms/chaos_test.cc —
+// Bernoulli + Gilbert–Elliott loss, delay with reordering, an outage
+// window, ACK loss, and payload corruption, all at once — is
+// interrupted mid-outage by Save, restored (into either engine, at any
+// shard count), and driven to the end. The restored run must be
+// bit-identical to the uninterrupted one on every tick: same answers,
+// same degraded flags, same fault counters, same uplink accounting,
+// same merged trace, same metrics snapshot.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsms/stream_manager.h"
+#include "metrics/fault_stats.h"
+#include "models/model_factory.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
+#include "runtime/sharded_engine.h"
+
+namespace dkf {
+namespace {
+
+constexpr int kNumSources = 10;
+constexpr int kAggregateId = 7;
+constexpr int64_t kFleetFaultEnd = 280;
+constexpr int64_t kFleetTicks = 420;
+/// Snapshot tick — inside the 100..115 outage window, so the checkpoint
+/// catches pending-resync episodes, staged in-flight messages, and
+/// degraded links mid-flight.
+constexpr int64_t kSnapTick = 110;
+
+StateModel ScalarModel(double process_variance = 0.05) {
+  ModelNoise noise;
+  noise.process_variance = process_variance;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+ChannelOptions FleetChannel() {
+  ChannelOptions options;
+  options.seed = 77;
+  options.drop_probability = 0.1;
+  options.per_source_rng = true;
+  FaultModel fault;
+  fault.gilbert_elliott = GilbertElliottLoss{
+      /*p_good_to_bad=*/0.05, /*p_bad_to_good=*/0.3,
+      /*good_loss=*/0.0, /*bad_loss=*/1.0};
+  fault.delay = DelayModel{/*min_ticks=*/0, /*max_ticks=*/1};
+  fault.outages.push_back(OutageWindow{/*start=*/100, /*end=*/115});
+  fault.ack_loss_probability = 0.05;
+  fault.corruption_probability = 0.03;
+  fault.active_until = kFleetFaultEnd;
+  options.fault = fault;
+  return options;
+}
+
+ProtocolOptions FleetProtocol() {
+  ProtocolOptions protocol;
+  protocol.heartbeat_interval = 3;
+  protocol.staleness_budget = 5;
+  protocol.resync_burst_retries = 4;
+  protocol.resync_retry_backoff = 6;
+  return protocol;
+}
+
+template <typename System>
+void InstallChaosWorkload(System& system) {
+  ASSERT_TRUE(system.EnableTracing().ok());
+  for (int id = 1; id <= kNumSources; ++id) {
+    ASSERT_TRUE(
+        system.RegisterSource(id, ScalarModel(0.02 + 0.01 * (id % 4))).ok());
+    ContinuousQuery query;
+    query.id = id;
+    query.source_id = id;
+    query.precision = 1.0 + 0.5 * (id % 3);
+    ASSERT_TRUE(system.SubmitQuery(query).ok());
+  }
+  // One source also asks for smoothing, so KF_c state rides through the
+  // checkpoint too.
+  ContinuousQuery smoothed;
+  smoothed.id = 100;
+  smoothed.source_id = 3;
+  smoothed.precision = 2.0;
+  smoothed.smoothing_factor = 0.5;
+  ASSERT_TRUE(system.SubmitQuery(smoothed).ok());
+  AggregateQuery aggregate;
+  aggregate.id = kAggregateId;
+  aggregate.source_ids = {2, 5, 8, 9};
+  aggregate.precision = 8.0;
+  ASSERT_TRUE(system.SubmitAggregateQuery(aggregate).ok());
+}
+
+std::vector<TraceEvent> CanonicalTrace(const StreamManager& manager) {
+  return MergeTraces({manager.Trace()});
+}
+
+std::vector<TraceEvent> CanonicalTrace(const ShardedStreamEngine& engine) {
+  return engine.MergedTrace();
+}
+
+/// The uninterrupted run every restored run is measured against:
+/// the full reading schedule plus the manager's per-tick answers and
+/// final accounting.
+struct Reference {
+  std::vector<std::map<int, Vector>> readings;  // [tick]
+  /// Bit-exact per-tick scalar answers and degraded flags, [tick][id].
+  std::vector<std::array<double, kNumSources + 1>> answers;
+  std::vector<std::array<bool, kNumSources + 1>> degraded;
+  ProtocolFaultStats faults;
+  ChannelStats uplink;
+  std::array<int64_t, kNumSources + 1> updates{};
+  double aggregate_value = 0.0;
+  int aggregate_degraded = 0;
+  std::vector<TraceEvent> trace;
+  MetricsRegistry metrics;
+};
+
+const Reference& GetReference() {
+  static const Reference* const reference = [] {
+    auto* ref = new Reference();
+    Rng rng(91);
+    std::vector<double> values(kNumSources + 1, 0.0);
+    for (int64_t t = 0; t < kFleetTicks; ++t) {
+      std::map<int, Vector> readings;
+      for (int id = 1; id <= kNumSources; ++id) {
+        values[static_cast<size_t>(id)] += rng.Gaussian(0.05 * (id % 3), 0.7);
+        readings[id] = Vector{values[static_cast<size_t>(id)]};
+      }
+      ref->readings.push_back(std::move(readings));
+    }
+
+    StreamManagerOptions options;
+    options.channel = FleetChannel();
+    options.protocol = FleetProtocol();
+    StreamManager manager(options);
+    InstallChaosWorkload(manager);
+    for (int64_t t = 0; t < kFleetTicks; ++t) {
+      EXPECT_TRUE(
+          manager.ProcessTick(ref->readings[static_cast<size_t>(t)]).ok())
+          << "tick " << t;
+      std::array<double, kNumSources + 1> answers{};
+      std::array<bool, kNumSources + 1> degraded{};
+      for (int id = 1; id <= kNumSources; ++id) {
+        answers[static_cast<size_t>(id)] = manager.Answer(id).value()[0];
+        degraded[static_cast<size_t>(id)] =
+            manager.answer_degraded(id).value();
+      }
+      ref->answers.push_back(answers);
+      ref->degraded.push_back(degraded);
+    }
+    ref->faults = manager.fault_stats();
+    ref->uplink = manager.uplink_traffic();
+    for (int id = 1; id <= kNumSources; ++id) {
+      ref->updates[static_cast<size_t>(id)] =
+          manager.updates_sent(id).value();
+    }
+    const auto aggregate = manager.AnswerAggregateWithStatus(kAggregateId);
+    EXPECT_TRUE(aggregate.ok());
+    ref->aggregate_value = aggregate.value().value;
+    ref->aggregate_degraded = aggregate.value().degraded_members;
+    ref->trace = CanonicalTrace(manager);
+    ref->metrics = manager.MetricsSnapshot();
+    EXPECT_EQ(manager.trace_sink()->dropped_events(), 0)
+        << "ring too small for exact trace comparisons";
+    return ref;
+  }();
+  return *reference;
+}
+
+/// Drives `system` over ticks [from, to) with the reference readings.
+template <typename System>
+void RunTicks(System& system, int64_t from, int64_t to) {
+  const Reference& ref = GetReference();
+  for (int64_t t = from; t < to; ++t) {
+    ASSERT_TRUE(system.ProcessTick(ref.readings[static_cast<size_t>(t)]).ok())
+        << "tick " << t;
+  }
+}
+
+/// Drives a restored system from `from` to the end, asserting bit-equal
+/// answers on every tick and bit-equal accounting at the end.
+template <typename System>
+void FinishAndExpectIdentical(System& system, int64_t from,
+                              const std::string& label) {
+  const Reference& ref = GetReference();
+  ASSERT_EQ(system.ticks(), from) << label;
+  for (int64_t t = from; t < kFleetTicks; ++t) {
+    ASSERT_TRUE(system.ProcessTick(ref.readings[static_cast<size_t>(t)]).ok())
+        << label << " tick " << t;
+    const auto& answers = ref.answers[static_cast<size_t>(t)];
+    const auto& degraded = ref.degraded[static_cast<size_t>(t)];
+    for (int id = 1; id <= kNumSources; ++id) {
+      ASSERT_EQ(system.Answer(id).value()[0], answers[static_cast<size_t>(id)])
+          << label << " tick " << t << " source " << id;
+      ASSERT_EQ(system.answer_degraded(id).value(),
+                degraded[static_cast<size_t>(id)])
+          << label << " tick " << t << " source " << id;
+    }
+    if (t % 50 == 0 || t == kFleetTicks - 1) {
+      ASSERT_TRUE(system.VerifyLinkConsistency().ok())
+          << label << " tick " << t;
+    }
+  }
+
+  const ProtocolFaultStats faults = system.fault_stats();
+  EXPECT_EQ(faults.divergence_events, ref.faults.divergence_events) << label;
+  EXPECT_EQ(faults.resyncs_sent, ref.faults.resyncs_sent) << label;
+  EXPECT_EQ(faults.heartbeats_sent, ref.faults.heartbeats_sent) << label;
+  EXPECT_EQ(faults.ambiguous_acks, ref.faults.ambiguous_acks) << label;
+  EXPECT_EQ(faults.ticks_diverged, ref.faults.ticks_diverged) << label;
+  EXPECT_EQ(faults.max_recovery_ticks, ref.faults.max_recovery_ticks)
+      << label;
+  EXPECT_EQ(faults.resyncs_applied, ref.faults.resyncs_applied) << label;
+  EXPECT_EQ(faults.heartbeats_received, ref.faults.heartbeats_received)
+      << label;
+  EXPECT_EQ(faults.rejected_stale, ref.faults.rejected_stale) << label;
+  EXPECT_EQ(faults.rejected_corrupt, ref.faults.rejected_corrupt) << label;
+  EXPECT_EQ(faults.sequence_gaps, ref.faults.sequence_gaps) << label;
+  EXPECT_EQ(faults.degraded_ticks, ref.faults.degraded_ticks) << label;
+
+  const ChannelStats uplink = system.uplink_traffic();
+  EXPECT_EQ(uplink.messages, ref.uplink.messages) << label;
+  EXPECT_EQ(uplink.bytes, ref.uplink.bytes) << label;
+  EXPECT_EQ(uplink.dropped, ref.uplink.dropped) << label;
+  EXPECT_EQ(uplink.corrupted, ref.uplink.corrupted) << label;
+  EXPECT_EQ(uplink.delayed, ref.uplink.delayed) << label;
+  EXPECT_EQ(uplink.ack_lost, ref.uplink.ack_lost) << label;
+  EXPECT_EQ(uplink.outage_dropped, ref.uplink.outage_dropped) << label;
+
+  for (int id = 1; id <= kNumSources; ++id) {
+    EXPECT_EQ(system.updates_sent(id).value(),
+              ref.updates[static_cast<size_t>(id)])
+        << label << " source " << id;
+  }
+
+  const auto aggregate = system.AnswerAggregateWithStatus(kAggregateId);
+  ASSERT_TRUE(aggregate.ok()) << label;
+  // Summation order follows the shard layout; the value is equal to
+  // within reordering, the degradation count exactly.
+  EXPECT_NEAR(aggregate.value().value, ref.aggregate_value, 1e-9) << label;
+  EXPECT_EQ(aggregate.value().degraded_members, ref.aggregate_degraded)
+      << label;
+
+  EXPECT_TRUE(CanonicalTrace(system) == ref.trace)
+      << label << ": merged trace differs";
+  EXPECT_TRUE(system.MetricsSnapshot() == ref.metrics)
+      << label << ": metrics snapshot differs";
+  EXPECT_TRUE(system.VerifyMirrorConsistency().ok()) << label;
+}
+
+std::string SnapshotPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// A manager snapshot taken mid-outage, shared by the tests below.
+const std::string& ManagerSnapshotFile() {
+  static const std::string* const path = [] {
+    auto* p = new std::string(SnapshotPath("manager_chaos.dkfsnap"));
+    StreamManagerOptions options;
+    options.channel = FleetChannel();
+    options.protocol = FleetProtocol();
+    StreamManager manager(options);
+    InstallChaosWorkload(manager);
+    RunTicks(manager, 0, kSnapTick);
+    EXPECT_TRUE(manager.Save(*p).ok());
+    return p;
+  }();
+  return *path;
+}
+
+/// An engine snapshot (3 shards — deliberately a count the restores
+/// below never reuse) taken at the same tick.
+const std::string& EngineSnapshotFile() {
+  static const std::string* const path = [] {
+    auto* p = new std::string(SnapshotPath("engine_chaos.dkfsnap"));
+    ShardedStreamEngineOptions options;
+    options.num_shards = 3;
+    options.channel = FleetChannel();
+    options.protocol = FleetProtocol();
+    ShardedStreamEngine engine(options);
+    InstallChaosWorkload(engine);
+    RunTicks(engine, 0, kSnapTick);
+    EXPECT_TRUE(engine.Save(*p).ok());
+    return p;
+  }();
+  return *path;
+}
+
+TEST(CheckpointChaosTest, ManagerRestoresBitIdentically) {
+  auto restored_or = StreamManager::Restore(ManagerSnapshotFile());
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+  FinishAndExpectIdentical(*restored_or.value(), kSnapTick,
+                           "manager->manager");
+}
+
+TEST(CheckpointChaosTest, ManagerSnapshotRestoresIntoShardedEngine) {
+  for (int shards : {2, 4}) {
+    auto restored_or =
+        ShardedStreamEngine::Restore(ManagerSnapshotFile(), shards);
+    ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+    ASSERT_EQ(restored_or.value()->num_shards(), shards);
+    FinishAndExpectIdentical(*restored_or.value(), kSnapTick,
+                             "manager->engine(" + std::to_string(shards) +
+                                 ")");
+  }
+}
+
+TEST(CheckpointChaosTest, EngineSnapshotReshardsElastically) {
+  for (int shards : {1, 2, 8}) {
+    auto restored_or =
+        ShardedStreamEngine::Restore(EngineSnapshotFile(), shards);
+    ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+    ASSERT_EQ(restored_or.value()->num_shards(), shards);
+    FinishAndExpectIdentical(*restored_or.value(), kSnapTick,
+                             "engine(3)->engine(" + std::to_string(shards) +
+                                 ")");
+  }
+  // num_shards = 0 keeps the snapshot's own count.
+  auto restored_or = ShardedStreamEngine::Restore(EngineSnapshotFile());
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+  ASSERT_EQ(restored_or.value()->num_shards(), 3);
+  FinishAndExpectIdentical(*restored_or.value(), kSnapTick,
+                           "engine(3)->engine(3)");
+}
+
+TEST(CheckpointChaosTest, EngineSnapshotRestoresIntoManager) {
+  auto restored_or = StreamManager::Restore(EngineSnapshotFile());
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+  FinishAndExpectIdentical(*restored_or.value(), kSnapTick,
+                           "engine(3)->manager");
+}
+
+TEST(CheckpointChaosTest, QueriesSurviveRestoreAndStayReconfigurable) {
+  auto restored_or = StreamManager::Restore(ManagerSnapshotFile());
+  ASSERT_TRUE(restored_or.ok());
+  StreamManager& manager = *restored_or.value();
+  // The registry came back verbatim: per-source deltas match the
+  // installed workload, including the aggregate's synthetic members.
+  EXPECT_EQ(manager.registry().size(),
+            static_cast<size_t>(kNumSources + 1 + 4));
+  EXPECT_EQ(manager.source_delta(1).value(), 1.5);  // precision 1.0+0.5*1
+  // Query churn still works after a restore: removing the aggregate
+  // relaxes its members back to their point-query deltas.
+  ASSERT_TRUE(manager.RemoveAggregateQuery(kAggregateId).ok());
+  EXPECT_EQ(manager.AnswerAggregate(kAggregateId).ok(), false);
+  ContinuousQuery tight;
+  tight.id = 200;
+  tight.source_id = 1;
+  tight.precision = 0.25;
+  ASSERT_TRUE(manager.SubmitQuery(tight).ok());
+  EXPECT_EQ(manager.source_delta(1).value(), 0.25);
+}
+
+TEST(CheckpointChaosTest, SharedRngSnapshotRejectedByShardedRestore) {
+  // A lossy shared-RNG channel cannot fan out to shards without
+  // changing the fault sequence; the sharded restore must refuse.
+  const std::string path = SnapshotPath("shared_rng.dkfsnap");
+  StreamManagerOptions options;
+  options.channel.seed = 5;
+  options.channel.drop_probability = 0.2;
+  options.channel.per_source_rng = false;
+  StreamManager manager(options);
+  ASSERT_TRUE(manager.RegisterSource(1, ScalarModel()).ok());
+  std::map<int, Vector> reading;
+  Rng rng(3);
+  double value = 0.0;
+  for (int64_t t = 0; t < 25; ++t) {
+    value += rng.Gaussian(0.0, 1.0);
+    reading[1] = Vector{value};
+    ASSERT_TRUE(manager.ProcessTick(reading).ok());
+  }
+  ASSERT_TRUE(manager.Save(path).ok());
+
+  auto engine_or = ShardedStreamEngine::Restore(path, 2);
+  ASSERT_FALSE(engine_or.ok());
+  EXPECT_EQ(engine_or.status().code(), StatusCode::kInvalidArgument);
+
+  // The manager restore preserves the shared stream bit-exactly: the
+  // remaining ticks drop exactly the same sends as the uninterrupted run.
+  auto restored_or = StreamManager::Restore(path);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+  StreamManager& restored = *restored_or.value();
+  Rng rng2(3);
+  double value2 = 0.0;
+  StreamManager uninterrupted(options);
+  ASSERT_TRUE(uninterrupted.RegisterSource(1, ScalarModel()).ok());
+  for (int64_t t = 0; t < 50; ++t) {
+    value2 += rng2.Gaussian(0.0, 1.0);
+    reading[1] = Vector{value2};
+    ASSERT_TRUE(uninterrupted.ProcessTick(reading).ok());
+    if (t >= 25) {
+      ASSERT_TRUE(restored.ProcessTick(reading).ok());
+      ASSERT_EQ(restored.Answer(1).value()[0],
+                uninterrupted.Answer(1).value()[0])
+          << "tick " << t;
+    }
+  }
+  EXPECT_EQ(restored.uplink_traffic().dropped,
+            uninterrupted.uplink_traffic().dropped);
+}
+
+TEST(CheckpointChaosTest, UntracedSystemRoundTripsWithTracingOff) {
+  const std::string path = SnapshotPath("untraced.dkfsnap");
+  StreamManagerOptions options;
+  options.channel = FleetChannel();
+  options.protocol = FleetProtocol();
+  StreamManager manager(options);
+  // Workload without EnableTracing.
+  for (int id = 1; id <= kNumSources; ++id) {
+    ASSERT_TRUE(manager.RegisterSource(id, ScalarModel()).ok());
+  }
+  RunTicks(manager, 0, 40);
+  ASSERT_TRUE(manager.Save(path).ok());
+  auto restored_or = StreamManager::Restore(path);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+  EXPECT_EQ(restored_or.value()->trace_sink(), nullptr);
+  EXPECT_EQ(restored_or.value()->ticks(), 40);
+}
+
+}  // namespace
+}  // namespace dkf

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -14,6 +17,18 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteWholeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
 }
 
 TimeSeries DriftingStream(size_t n, uint64_t seed) {
@@ -102,6 +117,89 @@ TEST(SynopsisIoTest, LoadRejectsCorruptedEntryIndex) {
   std::fputs("entry,999999,1.5\n", f);
   std::fclose(f);
   EXPECT_FALSE(LoadSynopsis(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SynopsisIoTest, SaveRejectsNonFiniteModel) {
+  // FromParts only checks that the model is instantiable (filter
+  // creation validates the initial state, not Q), so a NaN process
+  // noise reaches the save path — which must refuse to persist it.
+  ModelNoise noise;
+  StateModel model = MakeLinearModel(1, 1.0, noise).value();
+  model.options.process_noise(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  SynopsisOptions options;
+  options.tolerance = 1.0;
+  auto synopsis_or =
+      KfSynopsis::FromParts(model, options, {0.0, 1.0}, {{0, Vector{1.0}}});
+  ASSERT_TRUE(synopsis_or.ok()) << synopsis_or.status().message();
+  const Status status = SaveSynopsis(synopsis_or.value(),
+                                     TempPath("synopsis_nan_model.csv"));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+      << status.message();
+}
+
+TEST(SynopsisIoTest, LoadRejectsNonFiniteModelValue) {
+  const std::string path = TempPath("synopsis_nan_load.csv");
+  ASSERT_TRUE(SaveSynopsis(BuildSample(3), path).ok());
+  // Later rows win for repeated tags, so appending a poisoned
+  // process_noise overrides the good one — as a hand-edited or
+  // corrupted file would. strtod happily parses "nan"; the codec's
+  // finiteness contract must not.
+  FILE* f = std::fopen(path.c_str(), "a");
+  std::fputs("process_noise,1,1,nan\n", f);
+  std::fclose(f);
+  const Status status = LoadSynopsis(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SynopsisIoTest, LoadRejectsInfiniteEntryValue) {
+  const std::string path = TempPath("synopsis_inf_entry.csv");
+  ASSERT_TRUE(SaveSynopsis(BuildSample(4), path).ok());
+  FILE* f = std::fopen(path.c_str(), "a");
+  std::fputs("entry,1,inf\n", f);
+  std::fclose(f);
+  const Status status = LoadSynopsis(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SynopsisIoTest, LoadRejectsTruncatedFile) {
+  const std::string path = TempPath("synopsis_truncated.csv");
+  ASSERT_TRUE(SaveSynopsis(BuildSample(5), path).ok());
+  const std::string full = ReadWholeFile(path);
+  // Sever the timestamps row mid-way: its declared element count then
+  // exceeds the cells present, which must fail cleanly rather than
+  // load a shorter stream.
+  const size_t ts = full.find("\ntimestamps,");
+  ASSERT_NE(ts, std::string::npos);
+  WriteWholeFile(path, full.substr(0, ts + 30));
+  EXPECT_FALSE(LoadSynopsis(path).ok());
+  // Truncation inside the header row must read as "not a synopsis".
+  WriteWholeFile(path, full.substr(0, 8));
+  EXPECT_EQ(LoadSynopsis(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SynopsisIoTest, LoadRejectsVersionMismatch) {
+  const std::string path = TempPath("synopsis_version.csv");
+  ASSERT_TRUE(SaveSynopsis(BuildSample(6), path).ok());
+  std::string contents = ReadWholeFile(path);
+  const std::string header = "dkf_synopsis,1";
+  ASSERT_EQ(contents.compare(0, header.size(), header), 0);
+  contents.replace(0, header.size(), "dkf_synopsis,99");
+  WriteWholeFile(path, contents);
+  const Status status = LoadSynopsis(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unsupported synopsis version"),
+            std::string::npos)
+      << status.message();
   std::remove(path.c_str());
 }
 
