@@ -1,0 +1,258 @@
+// Serving-layer fan-out throughput: how many standing queries the
+// subscription engine sustains on a suppression-heavy fleet, and what
+// one tick's delivery costs as the registration count grows 1k -> 1M.
+//
+// The fleet is deliberately quiet (wide precision bands, so most ticks
+// suppress and answers move only on transmitted updates): the point of
+// the query index is that per-tick work tracks the *affected*
+// subscription count, not the registered count, so the sweep's
+// p99 batch latency should stay near-flat while registrations grow
+// three orders of magnitude. Every row reports the engine's touched /
+// affected counters so scripts/bench_compare.py can gate exactly that
+// proportionality, plus notifications/sec as the delivery-throughput
+// floor.
+//
+// Flags: --subs=1000,10000,100000,1000000 --sources=256 --shards=4
+//        --ticks=120
+// Output: one JSON object on stdout (kind "serve_fanout"); the
+// committed reference lives at BENCH_serve_fanout.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/model_factory.h"
+#include "runtime/sharded_engine.h"
+
+namespace dkf::bench {
+namespace {
+
+struct Config {
+  std::vector<int> subscription_counts = {1000, 10000, 100000, 1000000};
+  int sources = 256;
+  int shards = 4;
+  int ticks = 120;
+};
+
+std::vector<int> ParseIntList(const char* text) {
+  std::vector<int> values;
+  for (const char* p = text; *p != '\0';) {
+    values.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return values;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--subs=", 0) == 0) {
+      config.subscription_counts = ParseIntList(arg.c_str() + 7);
+    } else if (arg.rfind("--sources=", 0) == 0) {
+      config.sources = std::max(1, std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      config.shards = std::max(1, std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--ticks=", 0) == 0) {
+      config.ticks = std::max(1, std::atoi(arg.c_str() + 8));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+StateModel FleetModel() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+/// Deterministic per-source signal: a drifting sinusoid, same family as
+/// bench_runtime_throughput, spanning roughly [-26, 26].
+double SourceValue(int source_id, int tick) {
+  const double phase = 0.37 * source_id;
+  const double rate = 0.02 + 0.00001 * (source_id % 97);
+  return 25.0 * std::sin(rate * tick + phase) + 0.01 * tick;
+}
+
+/// Wide precision: the suppression-heavy regime. Most ticks transmit
+/// nothing, so a source's served answer is frozen except on the
+/// occasional update — the workload where indexed fan-out must beat
+/// scanning every registration.
+constexpr double kDelta = 4.0;
+
+std::map<int, Vector> SetUpFleet(ShardedStreamEngine& engine, int sources) {
+  std::map<int, Vector> readings;
+  const StateModel model = FleetModel();
+  for (int id = 0; id < sources; ++id) {
+    if (!engine.RegisterSource(id, model).ok()) std::abort();
+    ContinuousQuery query;
+    query.id = id + 1;
+    query.source_id = id;
+    query.precision = kDelta;
+    if (!engine.SubmitQuery(query).ok()) std::abort();
+    readings[id] = Vector{SourceValue(id, 0)};
+  }
+  return readings;
+}
+
+/// Registers `count` standing queries: overwhelmingly band alerts
+/// (uniform centers over the signal range, one in 64 with an
+/// uncertainty ceiling), a sprinkle of range predicates, a handful of
+/// point subscriptions, and one aggregate watcher — the shape of an
+/// alerting fleet, where almost every subscriber is quiet almost
+/// always.
+void InstallSubscriptions(ShardedStreamEngine& engine, int count,
+                          int sources) {
+  Rng rng(4242);
+  AggregateQuery aggregate;
+  aggregate.id = 1;
+  for (int id = 0; id < std::min(8, sources); ++id) {
+    aggregate.source_ids.push_back(id);
+  }
+  aggregate.precision = 8.0;
+  if (!engine.SubmitAggregateQuery(aggregate).ok()) std::abort();
+
+  for (int64_t id = 0; id < count; ++id) {
+    Subscription sub;
+    sub.id = id;
+    const int roll = static_cast<int>(id % 256);
+    if (roll == 0) {
+      sub.kind = SubscriptionKind::kPoint;
+      sub.source_id = static_cast<int>(id / 256) % sources;
+    } else if (roll == 1) {
+      sub.kind = SubscriptionKind::kAggregate;
+      sub.aggregate_id = 1;
+    } else if (roll < 16) {
+      sub.kind = SubscriptionKind::kRangePredicate;
+      sub.source_id = static_cast<int>(rng.Uniform() * sources) % sources;
+      const double center = -26.0 + 52.0 * rng.Uniform();
+      const double half = 0.1 + 0.9 * rng.Uniform();
+      sub.lo = center - half;
+      sub.hi = center + half;
+    } else {
+      sub.kind = SubscriptionKind::kBandAlert;
+      sub.source_id = static_cast<int>(rng.Uniform() * sources) % sources;
+      const double center = -26.0 + 52.0 * rng.Uniform();
+      const double half = 0.1 + 0.9 * rng.Uniform();
+      sub.lo = center - half;
+      sub.hi = center + half;
+      if (id % 64 == 0) sub.uncertainty_ceiling = 0.5 + rng.Uniform();
+    }
+    if (!engine.Subscribe(sub).ok()) std::abort();
+  }
+}
+
+struct RunRow {
+  int subscriptions = 0;
+  double seconds = 0.0;
+  double p99_batch_latency_us = 0.0;
+  int64_t notifications = 0;
+  ServeStats stats;
+};
+
+RunRow RunSweep(const Config& config, int subscriptions) {
+  ShardedStreamEngineOptions options;
+  options.num_shards = config.shards;
+  ShardedStreamEngine engine(options);
+  std::map<int, Vector> readings = SetUpFleet(engine, config.sources);
+  InstallSubscriptions(engine, subscriptions, config.sources);
+  // The attach-time initial notifications are subscriber-bound setup
+  // traffic, not steady-state delivery: drain them before timing.
+  (void)engine.DrainNotifications();
+
+  RunRow row;
+  row.subscriptions = subscriptions;
+  // Warmup: converge the filters so the timed window is steady-state
+  // suppression, the regime the fan-out claim is about.
+  for (int t = 0; t < 8; ++t) {
+    for (auto& [id, value] : readings) value[0] = SourceValue(id, t);
+    if (!engine.ProcessTick(readings).ok()) std::abort();
+  }
+  (void)engine.DrainNotifications();
+  const ServeStats before = engine.serve_stats();
+
+  // The timed loop models a subscriber draining every tick: per-tick
+  // latency covers the protocol tick, the serve fan-out, and the batch
+  // handoff — the full path from reading to notification-in-hand.
+  std::vector<double> tick_seconds;
+  tick_seconds.reserve(static_cast<size_t>(config.ticks));
+  const auto sweep_start = std::chrono::steady_clock::now();
+  for (int t = 8; t < 8 + config.ticks; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& [id, value] : readings) value[0] = SourceValue(id, t);
+    if (!engine.ProcessTick(readings).ok()) std::abort();
+    for (const NotificationBatch& batch : engine.DrainNotifications()) {
+      row.notifications += static_cast<int64_t>(batch.notifications.size());
+    }
+    const auto end = std::chrono::steady_clock::now();
+    tick_seconds.push_back(
+        std::chrono::duration<double>(end - start).count());
+  }
+  row.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sweep_start)
+                    .count();
+
+  std::sort(tick_seconds.begin(), tick_seconds.end());
+  const size_t p99_index =
+      (tick_seconds.size() * 99 + 99) / 100 - 1;  // ceil(0.99 n) - 1
+  row.p99_batch_latency_us =
+      tick_seconds[std::min(p99_index, tick_seconds.size() - 1)] * 1e6;
+
+  // Counters for the timed window only (attach + warmup subtracted).
+  const ServeStats after = engine.serve_stats();
+  row.stats.subscriptions = after.subscriptions;
+  row.stats.notifications = after.notifications - before.notifications;
+  row.stats.dropped = after.dropped - before.dropped;
+  row.stats.touched = after.touched - before.touched;
+  row.stats.affected = after.affected - before.affected;
+  return row;
+}
+
+}  // namespace
+}  // namespace dkf::bench
+
+int main(int argc, char** argv) {
+  using namespace dkf;
+  using namespace dkf::bench;
+  const Config config = ParseArgs(argc, argv);
+
+  std::printf("{\n  \"benchmark\": \"serve_fanout\",\n");
+  std::printf("  \"sources\": %d,\n  \"shards\": %d,\n  \"ticks\": %d,\n"
+              "  \"delta\": %g,\n  \"results\": [",
+              config.sources, config.shards, config.ticks, kDelta);
+  bool first = true;
+  for (int subscriptions : config.subscription_counts) {
+    const RunRow row = RunSweep(config, subscriptions);
+    const double notifications_per_sec =
+        row.seconds > 0.0 ? static_cast<double>(row.notifications) /
+                                row.seconds
+                          : 0.0;
+    std::printf(
+        "%s\n    {\"subscriptions\": %d, \"sources\": %d, \"shards\": %d, "
+        "\"ticks\": %d, \"seconds\": %.6f, \"notifications\": %lld, "
+        "\"notifications_per_sec\": %.1f, \"p99_batch_latency_us\": %.1f, "
+        "\"touched\": %lld, \"affected\": %lld, \"dropped\": %lld}",
+        first ? "" : ",", row.subscriptions, config.sources, config.shards,
+        config.ticks, row.seconds, static_cast<long long>(row.notifications),
+        notifications_per_sec, row.p99_batch_latency_us,
+        static_cast<long long>(row.stats.touched),
+        static_cast<long long>(row.stats.affected),
+        static_cast<long long>(row.stats.dropped));
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

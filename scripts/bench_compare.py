@@ -3,7 +3,7 @@
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold=0.10]
 
-Supports two report kinds (both files must be the same kind):
+Supports three report kinds (both files must be the same kind):
 
 filter_hotpath — rows keyed by (model, state_dim). Fails when any row's
 ns_per_tick regressed by more than the threshold (default 10%), when a
@@ -19,7 +19,16 @@ more than the threshold (plus a small absolute slack), or divergence
 episodes that never healed (divergence_events > 0 with
 resyncs_applied == 0).
 
-Both kinds additionally gate observability overhead: when NEW's rows
+serve_fanout — rows keyed by (subscriptions, shards). Fails when any
+row's notifications_per_sec regressed by more than the threshold, when
+a row disappeared, when backpressure dropped notifications (the bench
+drains every tick, so any drop is a delivery bug), or when the fan-out
+index stopped being proportional: touched must stay within
+FANOUT_TOUCH_FACTOR x affected (plus a small absolute slack) — the
+whole point of the query index is that per-tick work tracks the
+affected subscription count, not the registered count.
+
+All kinds additionally gate observability overhead: when NEW's rows
 carry an obs_overhead_pct field (bench run with tracing measured —
 always for filter_hotpath, --trace for runtime_throughput), any row
 whose traced run costs more than OBS_OVERHEAD_LIMIT_PCT over the
@@ -34,7 +43,7 @@ Intended for CI and for eyeballing a PR's perf delta:
 import json
 import sys
 
-KNOWN_KINDS = ("filter_hotpath", "runtime_throughput")
+KNOWN_KINDS = ("filter_hotpath", "runtime_throughput", "serve_fanout")
 
 # Ceiling on the cost of running with trace sinks wired, as a percent of
 # the untraced run. The sinks are designed to be an array increment plus
@@ -142,6 +151,55 @@ def compare_runtime_throughput(old, new, threshold):
     return failures
 
 
+# Fan-out proportionality gate: the index may scan a few candidates per
+# affected subscription (endpoint neighbors that did not flip), but
+# touched growing past this multiple of affected means the index has
+# degraded toward scanning registrations.
+FANOUT_TOUCH_FACTOR = 4.0
+FANOUT_TOUCH_SLACK = 1000
+
+
+def compare_serve_fanout(old, new, threshold):
+    failures = []
+    old_rows = {(r["subscriptions"], r["shards"]): r for r in old["results"]}
+    new_rows = {(r["subscriptions"], r["shards"]): r for r in new["results"]}
+    for key, old_row in sorted(old_rows.items()):
+        name = f"subs={key[0]} shards={key[1]}"
+        new_row = new_rows.get(key)
+        if new_row is None:
+            failures.append(f"{name}: present in old report, missing in new")
+            continue
+        old_nps = old_row["notifications_per_sec"]
+        new_nps = new_row["notifications_per_sec"]
+        ratio = old_nps / new_nps if new_nps > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: notifications/sec regressed "
+                f"{old_nps:.0f} -> {new_nps:.0f} "
+                f"({(1 - new_nps / old_nps) * 100:+.1f}%, "
+                f"threshold {threshold:.0%})")
+            marker = "  <-- REGRESSION"
+        touched = new_row.get("touched", 0)
+        affected = new_row.get("affected", 0)
+        if touched > affected * FANOUT_TOUCH_FACTOR + FANOUT_TOUCH_SLACK:
+            failures.append(
+                f"{name}: fan-out touched {touched} subscriptions for "
+                f"{affected} affected (limit {FANOUT_TOUCH_FACTOR:.0f}x + "
+                f"{FANOUT_TOUCH_SLACK}) — index no longer proportional")
+            marker = "  <-- FAN-OUT BLOWUP"
+        if new_row.get("dropped", 0) != 0:
+            failures.append(
+                f"{name}: {new_row['dropped']} notifications dropped by "
+                "backpressure in a drain-every-tick run")
+            marker = "  <-- DROPPED"
+        marker = check_obs_overhead(name, new_row, failures) or marker
+        print(f"{name:24s} {old_nps:10.0f} -> {new_nps:10.0f} notif/sec "
+              f"({(new_nps / old_nps - 1) * 100:+6.1f}%) "
+              f"touched/affected {touched}/{affected}{marker}")
+    return failures
+
+
 def main(argv):
     threshold = 0.10
     paths = []
@@ -158,6 +216,8 @@ def main(argv):
         sys.exit(f"report kinds differ: {old_kind} vs {new_kind}")
     if old_kind == "filter_hotpath":
         failures = compare_filter_hotpath(old, new, threshold)
+    elif old_kind == "serve_fanout":
+        failures = compare_serve_fanout(old, new, threshold)
     else:
         failures = compare_runtime_throughput(old, new, threshold)
 

@@ -3,8 +3,9 @@
 # test suite, then the sharded
 # runtime's test binaries under ThreadSanitizer (race detection for the
 # worker pool / shard tick path / per-shard trace sinks), then the
-# protocol + observability tests under ASan+UBSan, then a gcov coverage
-# build gating line coverage of src/obs/ and src/dsms/, then a
+# protocol + observability + serving tests under ASan+UBSan, then a
+# gcov coverage build gating line coverage of src/obs/, src/dsms/, and
+# src/serve/, then a
 # Release-mode build of the filter hot-loop benchmark, refreshing
 # BENCH_filter_hotpath.json at the repo root. See docs/runtime.md,
 # docs/perf.md, and docs/observability.md.
@@ -36,12 +37,17 @@ else
   echo "== sanitizer (${SANITIZE}): runtime tests =="
   cmake -B "build-${SANITIZE//,/-}" -S . -DDKF_SANITIZE="$SANITIZE" >/dev/null
   # golden_trace_test drives the per-shard trace sinks through the
-  # worker pool, so it races exactly the code the obs layer added.
+  # worker pool, so it races exactly the code the obs layer added;
+  # serve_golden_test does the same for the per-shard subscription
+  # engines (EndTick runs on shard workers, Drain on the driver).
   cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
-    --target worker_pool_test sharded_engine_test golden_trace_test
+    --target worker_pool_test sharded_engine_test golden_trace_test \
+             subscription_engine_test serve_golden_test
   "./build-${SANITIZE//,/-}/tests/worker_pool_test"
   "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
   "./build-${SANITIZE//,/-}/tests/golden_trace_test"
+  "./build-${SANITIZE//,/-}/tests/subscription_engine_test"
+  "./build-${SANITIZE//,/-}/tests/serve_golden_test"
 fi
 
 if [[ "${DKF_ASAN:-1}" == "0" ]]; then
@@ -56,7 +62,8 @@ else
   cmake --build build-asan -j "$JOBS" \
     --target chaos_test channel_test stream_manager_test source_server_test \
              metrics_registry_test trace_sink_test golden_trace_test \
-             obs_property_test corruption_fuzz_test
+             obs_property_test corruption_fuzz_test \
+             subscription_engine_test serve_golden_test
   ./build-asan/tests/chaos_test
   ./build-asan/tests/channel_test
   ./build-asan/tests/stream_manager_test
@@ -66,28 +73,32 @@ else
   ./build-asan/tests/golden_trace_test
   ./build-asan/tests/obs_property_test
   ./build-asan/tests/corruption_fuzz_test
+  ./build-asan/tests/subscription_engine_test
+  ./build-asan/tests/serve_golden_test
 fi
 
 if [[ "${DKF_COVERAGE:-1}" == "0" ]]; then
   echo "== coverage stage skipped (DKF_COVERAGE=0) =="
 else
-  echo "== coverage: src/obs + src/dsms line-coverage floors =="
+  echo "== coverage: src/obs + src/dsms + src/serve line-coverage floors =="
   cmake -B build-coverage -S . -DDKF_COVERAGE=ON >/dev/null
   cmake --build build-coverage -j "$JOBS" \
     --target metrics_registry_test trace_sink_test golden_trace_test \
              obs_property_test corruption_fuzz_test chaos_test channel_test \
              stream_manager_test source_server_test simulation_test \
-             confidence_test energy_model_test
+             confidence_test energy_model_test \
+             subscription_engine_test serve_golden_test
   # Fresh counters each run: .gcda files accumulate across executions.
   find build-coverage -name '*.gcda' -delete
   for t in metrics_registry_test trace_sink_test golden_trace_test \
            obs_property_test corruption_fuzz_test chaos_test channel_test \
            stream_manager_test source_server_test simulation_test \
-           confidence_test energy_model_test; do
+           confidence_test energy_model_test \
+           subscription_engine_test serve_golden_test; do
     "./build-coverage/tests/$t" > /dev/null
   done
   python3 scripts/coverage_gate.py build-coverage --root=. \
-    --gate=src/obs=0.90 --gate=src/dsms=0.80
+    --gate=src/obs=0.90 --gate=src/dsms=0.80 --gate=src/serve=0.85
 fi
 
 if [[ "${DKF_BENCH:-1}" == "0" ]]; then

@@ -54,12 +54,32 @@ def runtime_report(**overrides):
     return {"benchmark": "runtime_throughput", "results": [row]}
 
 
+def serve_report(**overrides):
+    row = {
+        "subscriptions": 100000,
+        "sources": 256,
+        "shards": 4,
+        "ticks": 120,
+        "seconds": 0.2,
+        "notifications": 240000,
+        "notifications_per_sec": 1200000.0,
+        "p99_batch_latency_us": 2000.0,
+        "touched": 280000,
+        "affected": 240000,
+        "dropped": 0,
+    }
+    row.update(overrides)
+    return {"benchmark": "serve_fanout", "results": [row]}
+
+
 def compare(old, new, threshold=0.10):
     """Runs the right comparison quietly and returns the failure list."""
     kind = old["benchmark"]
     with contextlib.redirect_stdout(io.StringIO()):
         if kind == "filter_hotpath":
             return bench_compare.compare_filter_hotpath(old, new, threshold)
+        if kind == "serve_fanout":
+            return bench_compare.compare_serve_fanout(old, new, threshold)
         return bench_compare.compare_runtime_throughput(old, new, threshold)
 
 
@@ -178,6 +198,62 @@ class RuntimeThroughputGates(unittest.TestCase):
         new = runtime_report()
         del new["results"][0]["obs_overhead_pct"]
         self.assertEqual(compare(runtime_report(), new), [])
+
+
+class ServeFanoutGates(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = serve_report()
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+
+    def test_throughput_regression_fails(self):
+        failures = compare(serve_report(),
+                           serve_report(notifications_per_sec=900000.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("notifications/sec regressed", failures[0])
+
+    def test_regression_within_threshold_passes(self):
+        self.assertEqual(
+            compare(serve_report(),
+                    serve_report(notifications_per_sec=1150000.0)), [])
+
+    def test_missing_row_fails(self):
+        failures = compare(serve_report(), serve_report(subscriptions=1000))
+        self.assertTrue(any("missing in new" in f for f in failures))
+
+    def test_fanout_blowup_fails(self):
+        # touched far beyond FANOUT_TOUCH_FACTOR x affected: the index
+        # has degraded toward scanning every registration.
+        failures = compare(serve_report(),
+                           serve_report(touched=2000000, affected=240000))
+        self.assertTrue(any("no longer proportional" in f for f in failures))
+
+    def test_fanout_within_factor_passes(self):
+        self.assertEqual(
+            compare(serve_report(),
+                    serve_report(touched=900000, affected=240000)), [])
+
+    def test_dropped_notifications_fail(self):
+        failures = compare(serve_report(), serve_report(dropped=12))
+        self.assertTrue(any("dropped by" in f for f in failures))
+
+    def test_obs_overhead_over_limit_fails(self):
+        failures = compare(serve_report(),
+                           serve_report(obs_overhead_pct=9.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("tracing overhead", failures[0])
+
+    def test_committed_snapshot_self_compare_is_clean(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_serve_fanout.json")
+        self.assertTrue(os.path.exists(path),
+                        "committed serve fan-out snapshot missing")
+        with open(path) as f:
+            report = json.load(f)
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+        # The committed run itself must satisfy the proportionality and
+        # no-drop invariants, and hold the 1M-subscription row.
+        subs = [row["subscriptions"] for row in report["results"]]
+        self.assertIn(1000000, subs)
 
 
 class MainEndToEnd(unittest.TestCase):

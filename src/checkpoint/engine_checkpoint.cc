@@ -19,6 +19,8 @@
 #include "obs/trace_merge.h"
 #include "runtime/shard.h"
 #include "runtime/sharded_engine.h"
+#include "serve/subscription.h"
+#include "serve/subscription_engine.h"
 
 namespace dkf {
 
@@ -53,6 +55,123 @@ std::vector<ContinuousQuery> CollectQueries(const QueryRegistry& registry) {
             });
   return queries;
 }
+
+/// Folds one serving engine's registrations, undrained buffer, cursor,
+/// and counters into the snapshot accumulators. The caller merges the
+/// collected streams and sorts the subscriptions once every engine has
+/// been folded.
+void FoldServe(const SubscriptionEngine& serve, ServeSnapshot* out,
+               std::vector<std::vector<NotificationBatch>>* streams) {
+  for (const SubscriptionState& state : serve.ExportSubscriptions()) {
+    ServeSubscriptionSnapshot sub;
+    sub.spec = state.spec;
+    sub.inside = state.inside;
+    sub.fired = state.fired;
+    out->subscriptions.push_back(std::move(sub));
+  }
+  streams->push_back(std::vector<NotificationBatch>(serve.pending().begin(),
+                                                    serve.pending().end()));
+  out->drained_through_step =
+      std::max(out->drained_through_step, serve.drained_through_step());
+  const ServeStats stats = serve.stats();
+  out->notifications += stats.notifications;
+  out->dropped += stats.dropped;
+  out->touched += stats.touched;
+  out->affected += stats.affected;
+}
+
+ServeStats ServeCounters(const ServeSnapshot& serve) {
+  ServeStats stats;
+  stats.notifications = serve.notifications;
+  stats.dropped = serve.dropped;
+  stats.touched = serve.touched;
+  stats.affected = serve.affected;
+  return stats;
+}
+
+/// Serving-layer read adapters over the public engine APIs, used to
+/// re-prime the serve value caches once the filters are restored (the
+/// caches are pure functions of engine state, so nothing about them is
+/// serialized — see SubscriptionEngine::RefreshCaches).
+class ManagerAnswerReader final : public ServeAnswerSource {
+ public:
+  explicit ManagerAnswerReader(const StreamManager& manager)
+      : manager_(manager) {}
+
+  Result<double> SourceValue(int source_id) const override {
+    auto answer_or = manager_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> SourceUncertainty(int source_id) const override {
+    auto answer_or = manager_.AnswerWithConfidence(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    if (!answer_or.value().covariance.has_value()) return 0.0;
+    return (*answer_or.value().covariance)(0, 0);
+  }
+
+  Result<double> AggregateValue(int aggregate_id) const override {
+    return manager_.AnswerAggregate(aggregate_id);
+  }
+
+ private:
+  const StreamManager& manager_;
+};
+
+class ShardAnswerReader final : public ServeAnswerSource {
+ public:
+  explicit ShardAnswerReader(const StreamShard& shard) : shard_(shard) {}
+
+  Result<double> SourceValue(int source_id) const override {
+    auto answer_or = shard_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> SourceUncertainty(int source_id) const override {
+    auto answer_or = shard_.AnswerWithConfidence(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    if (!answer_or.value().covariance.has_value()) return 0.0;
+    return (*answer_or.value().covariance)(0, 0);
+  }
+
+  Result<double> AggregateValue(int aggregate_id) const override {
+    return Status::InvalidArgument(
+        StrFormat("aggregate %d is not served at shard level", aggregate_id));
+  }
+
+ private:
+  const StreamShard& shard_;
+};
+
+class EngineAnswerReader final : public ServeAnswerSource {
+ public:
+  explicit EngineAnswerReader(const ShardedStreamEngine& engine)
+      : engine_(engine) {}
+
+  Result<double> SourceValue(int source_id) const override {
+    auto answer_or = engine_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> SourceUncertainty(int source_id) const override {
+    auto answer_or = engine_.AnswerWithConfidence(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    if (!answer_or.value().covariance.has_value()) return 0.0;
+    return (*answer_or.value().covariance)(0, 0);
+  }
+
+  Result<double> AggregateValue(int aggregate_id) const override {
+    // Member order, not shard order — matches the serving layer's
+    // layout-invariant delivery values.
+    return engine_.AnswerAggregateCanonical(aggregate_id);
+  }
+
+ private:
+  const ShardedStreamEngine& engine_;
+};
 
 }  // namespace
 
@@ -107,6 +226,11 @@ class CheckpointAccess {
       snapshot.obs.dropped = manager.sink_->dropped_events();
       snapshot.obs.gauges = manager.sink_->gauges();
     }
+
+    snapshot.serve.options = manager.options_.serve;
+    std::vector<std::vector<NotificationBatch>> serve_streams;
+    FoldServe(manager.serve_, &snapshot.serve, &serve_streams);
+    snapshot.serve.pending = MergeNotificationBatches(serve_streams);
     return snapshot;
   }
 
@@ -166,6 +290,24 @@ class CheckpointAccess {
         }
       }
     }
+
+    // Serving front-end: every engine's registrations collected in one
+    // shard-layout-free list, the per-engine undrained buffers merged
+    // into the canonical stream (the order DrainNotifications would
+    // hand out).
+    snapshot.serve.options = engine.options_.serve;
+    std::vector<std::vector<NotificationBatch>> serve_streams;
+    FoldServe(engine.aggregate_serve_, &snapshot.serve, &serve_streams);
+    for (const auto& shard : engine.shards_) {
+      FoldServe(shard->serve_, &snapshot.serve, &serve_streams);
+    }
+    std::sort(snapshot.serve.subscriptions.begin(),
+              snapshot.serve.subscriptions.end(),
+              [](const ServeSubscriptionSnapshot& a,
+                 const ServeSubscriptionSnapshot& b) {
+                return a.spec.id < b.spec.id;
+              });
+    snapshot.serve.pending = MergeNotificationBatches(serve_streams);
     return snapshot;
   }
 
@@ -213,6 +355,35 @@ class CheckpointAccess {
                                           snapshot.obs.dropped,
                                           snapshot.obs.gauges);
     }
+
+    // Serving front-end: re-attach every registration with its saved
+    // delivery state (no fresh initial notifications), hand back the
+    // undrained buffer, then re-prime the value caches from the
+    // restored filters.
+    for (const ServeSubscriptionSnapshot& sub :
+         snapshot.serve.subscriptions) {
+      SubscriptionState state;
+      state.spec = sub.spec;
+      state.inside = sub.inside;
+      state.fired = sub.fired;
+      std::vector<int> members;
+      if (sub.spec.kind == SubscriptionKind::kAggregate) {
+        auto it = manager.aggregates_.find(sub.spec.aggregate_id);
+        if (it == manager.aggregates_.end()) {
+          return Status::InvalidArgument(StrFormat(
+              "subscription %lld targets aggregate %d, which the snapshot "
+              "does not register",
+              static_cast<long long>(sub.spec.id), sub.spec.aggregate_id));
+        }
+        members = it->second.source_ids;
+      }
+      DKF_RETURN_IF_ERROR(manager.serve_.ImportSubscription(state, members));
+    }
+    manager.serve_.RestorePending(snapshot.serve.pending,
+                                  snapshot.serve.drained_through_step);
+    manager.serve_.RestoreStats(ServeCounters(snapshot.serve));
+    DKF_RETURN_IF_ERROR(
+        manager.serve_.RefreshCaches(ManagerAnswerReader(manager)));
     return Status::OK();
   }
 
@@ -306,6 +477,87 @@ class CheckpointAccess {
             s == 0 ? snapshot.obs.dropped : 0, gauges);
       }
     }
+
+    // Serving front-end: registrations land on the engine that owns
+    // them under the target layout (aggregate subscriptions at the
+    // engine level, the rest on the shard owning their source), with
+    // their saved delivery state — no fresh initial notifications.
+    for (const ServeSubscriptionSnapshot& sub :
+         snapshot.serve.subscriptions) {
+      SubscriptionState state;
+      state.spec = sub.spec;
+      state.inside = sub.inside;
+      state.fired = sub.fired;
+      if (sub.spec.kind == SubscriptionKind::kAggregate) {
+        auto it = engine.aggregates_.find(sub.spec.aggregate_id);
+        if (it == engine.aggregates_.end()) {
+          return Status::InvalidArgument(StrFormat(
+              "subscription %lld targets aggregate %d, which the snapshot "
+              "does not register",
+              static_cast<long long>(sub.spec.id), sub.spec.aggregate_id));
+        }
+        DKF_RETURN_IF_ERROR(engine.aggregate_serve_.ImportSubscription(
+            state, it->second.source_ids));
+      } else {
+        if (!engine.HasSource(sub.spec.source_id)) {
+          return Status::InvalidArgument(StrFormat(
+              "subscription %lld targets source %d, which the snapshot "
+              "does not register",
+              static_cast<long long>(sub.spec.id), sub.spec.source_id));
+        }
+        DKF_RETURN_IF_ERROR(engine.OwningShard(sub.spec.source_id)
+                                .serve_.ImportSubscription(state));
+      }
+    }
+    // Fan the canonical undrained buffer back by notification key:
+    // negative keys are engine-level aggregate notifications, the rest
+    // go to the shard owning the source. Each engine's subsequence
+    // preserves canonical order, so a later DrainNotifications
+    // re-merges bit-identically to the uninterrupted run's stream.
+    const size_t serve_shards = engine.shards_.size();
+    std::vector<std::vector<NotificationBatch>> shard_pending(serve_shards);
+    std::vector<NotificationBatch> aggregate_pending;
+    for (const NotificationBatch& batch : snapshot.serve.pending) {
+      std::vector<std::vector<Notification>> per_shard(serve_shards);
+      std::vector<Notification> engine_level;
+      for (const Notification& notification : batch.notifications) {
+        if (notification.source_id < 0) {
+          engine_level.push_back(notification);
+        } else {
+          per_shard[static_cast<size_t>(
+                        engine.ShardIndexFor(notification.source_id))]
+              .push_back(notification);
+        }
+      }
+      for (size_t s = 0; s < serve_shards; ++s) {
+        if (per_shard[s].empty()) continue;
+        NotificationBatch shard_batch;
+        shard_batch.step = batch.step;
+        shard_batch.notifications = std::move(per_shard[s]);
+        shard_pending[s].push_back(std::move(shard_batch));
+      }
+      if (!engine_level.empty()) {
+        NotificationBatch aggregate_batch;
+        aggregate_batch.step = batch.step;
+        aggregate_batch.notifications = std::move(engine_level);
+        aggregate_pending.push_back(std::move(aggregate_batch));
+      }
+    }
+    for (size_t s = 0; s < serve_shards; ++s) {
+      engine.shards_[s]->serve_.RestorePending(
+          std::move(shard_pending[s]), snapshot.serve.drained_through_step);
+    }
+    engine.aggregate_serve_.RestorePending(
+        std::move(aggregate_pending), snapshot.serve.drained_through_step);
+    // The fleet-wide lifetime counters land on shard 0, like the server
+    // fault stats: only the merged view is part of the contract.
+    engine.shards_[0]->serve_.RestoreStats(ServeCounters(snapshot.serve));
+    for (auto& shard : engine.shards_) {
+      DKF_RETURN_IF_ERROR(
+          shard->serve_.RefreshCaches(ShardAnswerReader(*shard)));
+    }
+    DKF_RETURN_IF_ERROR(
+        engine.aggregate_serve_.RefreshCaches(EngineAnswerReader(engine)));
     return Status::OK();
   }
 };
@@ -324,6 +576,7 @@ Result<std::unique_ptr<StreamManager>> StreamManager::Restore(
   options.channel = snapshot.channel;
   options.default_delta = snapshot.default_delta;
   options.protocol = snapshot.protocol;
+  options.serve = snapshot.serve.options;
   auto manager = std::make_unique<StreamManager>(options);
   DKF_RETURN_IF_ERROR(CheckpointAccess::Restore(*manager, snapshot));
   return manager;
@@ -352,6 +605,7 @@ Result<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Restore(
   options.channel = snapshot.channel;
   options.default_delta = snapshot.default_delta;
   options.protocol = snapshot.protocol;
+  options.serve = snapshot.serve.options;
   auto engine = std::make_unique<ShardedStreamEngine>(options);
   DKF_RETURN_IF_ERROR(CheckpointAccess::Restore(*engine, snapshot));
   return engine;

@@ -18,6 +18,8 @@
 #include "obs/trace.h"
 #include "obs/trace_sink.h"
 #include "query/query.h"
+#include "serve/subscription.h"
+#include "serve/subscription_engine.h"
 
 namespace dkf {
 
@@ -61,6 +63,41 @@ struct ObsSnapshot {
   std::map<std::string, double> gauges;
 };
 
+/// One standing subscription plus its delivery state — everything the
+/// SubscriptionEngine needs to re-attach it with ImportSubscription:
+/// the band/range membership and the uncertainty latch travel with the
+/// spec so the restored engine emits no fresh initial notification and
+/// re-derives nothing.
+struct ServeSubscriptionSnapshot {
+  Subscription spec;
+  bool inside = false;
+  bool fired = false;
+};
+
+/// Serving front-end state (src/serve/, snapshot v2): the standing
+/// registrations, the undrained notification buffer, the delivery
+/// cursor, and the lifetime counters. Shard-layout-free like the rest
+/// of the snapshot: subscriptions and buffered notifications fan back
+/// onto the target layout by source ownership on restore
+/// (docs/checkpoint.md).
+struct ServeSnapshot {
+  ServeOptions options;
+  /// Every registration, strictly ascending subscription id.
+  std::vector<ServeSubscriptionSnapshot> subscriptions;
+  /// Undrained batches in canonical merged order: coalesced per step
+  /// and sorted by (step, source_id, subscription_id) — exactly the
+  /// order DrainNotifications hands out on any layout.
+  std::vector<NotificationBatch> pending;
+  int64_t drained_through_step = -1;
+  // Lifetime counters (ServeStats minus the derived registration
+  // count), fleet-wide. Restored into one engine; only the merged view
+  // is part of the determinism contract.
+  int64_t notifications = 0;
+  int64_t dropped = 0;
+  int64_t touched = 0;
+  int64_t affected = 0;
+};
+
 /// The complete persisted state of a StreamManager or a
 /// ShardedStreamEngine between two ticks. A snapshot captured from
 /// either system restores into either system, at any shard count, and
@@ -102,6 +139,10 @@ struct EngineSnapshot {
   std::vector<AggregateSnapshot> aggregates;
 
   ObsSnapshot obs;
+
+  /// Serving front-end (empty when decoded from a v1 file, which
+  /// predates src/serve/).
+  ServeSnapshot serve;
 };
 
 }  // namespace dkf

@@ -522,6 +522,64 @@ Result<TraceEvent> DecodeTraceEvent(BinaryReader& reader) {
   return event;
 }
 
+void EncodeSubscription(BinaryWriter& writer, const Subscription& spec) {
+  writer.WriteI64(spec.id);
+  writer.WriteU8(static_cast<uint8_t>(spec.kind));
+  writer.WriteI64(spec.source_id);
+  writer.WriteI64(spec.aggregate_id);
+  writer.WriteF64(spec.lo);
+  writer.WriteF64(spec.hi);
+  writer.WriteF64(spec.uncertainty_ceiling);
+  writer.WriteString(spec.description);
+}
+
+Result<Subscription> DecodeSubscription(BinaryReader& reader) {
+  Subscription spec;
+  DKF_ASSIGN_OR_RETURN(spec.id, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  if (kind >= static_cast<uint8_t>(SubscriptionKind::kCount)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid subscription kind %u in snapshot", kind));
+  }
+  spec.kind = static_cast<SubscriptionKind>(kind);
+  DKF_ASSIGN_OR_RETURN(spec.source_id,
+                       DecodeI32(reader, "subscription source"));
+  DKF_ASSIGN_OR_RETURN(spec.aggregate_id,
+                       DecodeI32(reader, "subscription aggregate"));
+  DKF_ASSIGN_OR_RETURN(spec.lo, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(spec.hi, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(spec.uncertainty_ceiling, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(spec.description, reader.ReadString());
+  return spec;
+}
+
+void EncodeNotification(BinaryWriter& writer,
+                        const Notification& notification) {
+  writer.WriteI64(notification.step);
+  writer.WriteI64(notification.source_id);
+  writer.WriteI64(notification.subscription_id);
+  writer.WriteU8(static_cast<uint8_t>(notification.kind));
+  writer.WriteF64(notification.value);
+  writer.WriteF64(notification.aux);
+}
+
+Result<Notification> DecodeNotification(BinaryReader& reader) {
+  Notification notification;
+  DKF_ASSIGN_OR_RETURN(notification.step, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(notification.source_id,
+                       DecodeI32(reader, "notification source"));
+  DKF_ASSIGN_OR_RETURN(notification.subscription_id, reader.ReadI64());
+  DKF_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  if (kind >= static_cast<uint8_t>(NotificationKind::kCount)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid notification kind %u in snapshot", kind));
+  }
+  notification.kind = static_cast<NotificationKind>(kind);
+  DKF_ASSIGN_OR_RETURN(notification.value, reader.ReadF64());
+  DKF_ASSIGN_OR_RETURN(notification.aux, reader.ReadF64());
+  return notification;
+}
+
 Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
   // Configuration.
   writer.WriteF64(snapshot.energy.instructions_per_bit);
@@ -595,10 +653,33 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
       writer.WriteF64(value);
     }
   }
+
+  // Serving front-end (snapshot v2).
+  writer.WriteU64(snapshot.serve.options.max_buffered_notifications);
+  writer.WriteU64(snapshot.serve.subscriptions.size());
+  for (const ServeSubscriptionSnapshot& sub : snapshot.serve.subscriptions) {
+    EncodeSubscription(writer, sub.spec);
+    writer.WriteBool(sub.inside);
+    writer.WriteBool(sub.fired);
+  }
+  writer.WriteU64(snapshot.serve.pending.size());
+  for (const NotificationBatch& batch : snapshot.serve.pending) {
+    writer.WriteI64(batch.step);
+    writer.WriteU64(batch.notifications.size());
+    for (const Notification& notification : batch.notifications) {
+      EncodeNotification(writer, notification);
+    }
+  }
+  writer.WriteI64(snapshot.serve.drained_through_step);
+  writer.WriteI64(snapshot.serve.notifications);
+  writer.WriteI64(snapshot.serve.dropped);
+  writer.WriteI64(snapshot.serve.touched);
+  writer.WriteI64(snapshot.serve.affected);
   return Status::OK();
 }
 
-Result<EngineSnapshot> DecodePayload(BinaryReader& reader) {
+Result<EngineSnapshot> DecodePayload(BinaryReader& reader,
+                                     uint32_t version) {
   EngineSnapshot snapshot;
   DKF_ASSIGN_OR_RETURN(snapshot.energy.instructions_per_bit,
                        reader.ReadF64());
@@ -704,13 +785,17 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader) {
       snapshot.obs.events.push_back(event);
     }
     DKF_ASSIGN_OR_RETURN(uint64_t num_kinds, reader.ReadU64());
-    if (num_kinds != static_cast<uint64_t>(kNumTraceEventKinds)) {
+    // Kinds are append-only, so an older file carries a prefix of this
+    // build's enumerators (v1 predates the serving-layer kinds); more
+    // kinds than the build knows means a file from a newer build.
+    if (num_kinds > static_cast<uint64_t>(kNumTraceEventKinds)) {
       return Status::InvalidArgument(StrFormat(
           "snapshot has %llu trace event kinds, this build knows %d",
           static_cast<unsigned long long>(num_kinds), kNumTraceEventKinds));
     }
-    for (int64_t& count : snapshot.obs.kind_counts) {
-      DKF_ASSIGN_OR_RETURN(count, reader.ReadI64());
+    for (uint64_t k = 0; k < num_kinds; ++k) {
+      DKF_ASSIGN_OR_RETURN(snapshot.obs.kind_counts[static_cast<size_t>(k)],
+                           reader.ReadI64());
     }
     DKF_ASSIGN_OR_RETURN(snapshot.obs.dropped, reader.ReadI64());
     DKF_ASSIGN_OR_RETURN(uint64_t num_gauges, reader.ReadU64());
@@ -720,6 +805,61 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader) {
       DKF_ASSIGN_OR_RETURN(double value, reader.ReadF64());
       snapshot.obs.gauges[std::move(name)] = value;
     }
+  }
+
+  // Serving front-end — absent from v1 files (ServeSnapshot defaults).
+  if (version >= 2) {
+    DKF_ASSIGN_OR_RETURN(snapshot.serve.options.max_buffered_notifications,
+                         reader.ReadU64());
+    DKF_ASSIGN_OR_RETURN(uint64_t num_subscriptions, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(
+        CheckCount(reader, num_subscriptions, 59, "subscription"));
+    snapshot.serve.subscriptions.reserve(
+        static_cast<size_t>(num_subscriptions));
+    int64_t previous_sub = -1;
+    for (uint64_t i = 0; i < num_subscriptions; ++i) {
+      ServeSubscriptionSnapshot sub;
+      DKF_ASSIGN_OR_RETURN(sub.spec, DecodeSubscription(reader));
+      if (sub.spec.id <= previous_sub) {
+        return Status::InvalidArgument(
+            "snapshot subscriptions must have strictly ascending ids");
+      }
+      previous_sub = sub.spec.id;
+      DKF_ASSIGN_OR_RETURN(sub.inside, reader.ReadBool());
+      DKF_ASSIGN_OR_RETURN(sub.fired, reader.ReadBool());
+      snapshot.serve.subscriptions.push_back(std::move(sub));
+    }
+    DKF_ASSIGN_OR_RETURN(uint64_t num_batches, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(
+        CheckCount(reader, num_batches, 16, "notification batch"));
+    snapshot.serve.pending.reserve(static_cast<size_t>(num_batches));
+    int64_t previous_step = INT64_MIN;
+    for (uint64_t i = 0; i < num_batches; ++i) {
+      NotificationBatch batch;
+      DKF_ASSIGN_OR_RETURN(batch.step, reader.ReadI64());
+      if (batch.step <= previous_step) {
+        return Status::InvalidArgument(
+            "snapshot notification batches must have strictly ascending "
+            "steps");
+      }
+      previous_step = batch.step;
+      DKF_ASSIGN_OR_RETURN(uint64_t num_notifications, reader.ReadU64());
+      DKF_RETURN_IF_ERROR(
+          CheckCount(reader, num_notifications, 41, "notification"));
+      batch.notifications.reserve(static_cast<size_t>(num_notifications));
+      for (uint64_t n = 0; n < num_notifications; ++n) {
+        DKF_ASSIGN_OR_RETURN(Notification notification,
+                             DecodeNotification(reader));
+        batch.notifications.push_back(std::move(notification));
+      }
+      snapshot.serve.pending.push_back(std::move(batch));
+    }
+    DKF_ASSIGN_OR_RETURN(snapshot.serve.drained_through_step,
+                         reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(snapshot.serve.notifications, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(snapshot.serve.dropped, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(snapshot.serve.touched, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(snapshot.serve.affected, reader.ReadI64());
   }
   return snapshot;
 }
@@ -754,10 +894,10 @@ Result<EngineSnapshot> DecodeSnapshot(const std::string& bytes) {
     }
   }
   DKF_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
-  if (version != kSnapshotVersion) {
+  if (version < kSnapshotMinVersion || version > kSnapshotVersion) {
     return Status::InvalidArgument(
-        StrFormat("unsupported snapshot version %u (expected %u)", version,
-                  kSnapshotVersion));
+        StrFormat("unsupported snapshot version %u (this build reads %u..%u)",
+                  version, kSnapshotMinVersion, kSnapshotVersion));
   }
   DKF_ASSIGN_OR_RETURN(uint64_t checksum, header.ReadU64());
   DKF_ASSIGN_OR_RETURN(uint64_t payload_len, header.ReadU64());
@@ -775,7 +915,8 @@ Result<EngineSnapshot> DecodeSnapshot(const std::string& bytes) {
         "snapshot payload checksum mismatch (file corrupted)");
   }
   BinaryReader reader(payload);
-  DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot, DecodePayload(reader));
+  DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot,
+                       DecodePayload(reader, version));
   if (!reader.AtEnd()) {
     return Status::InvalidArgument(StrFormat(
         "snapshot has %llu bytes of trailing garbage",

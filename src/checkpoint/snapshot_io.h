@@ -19,13 +19,18 @@ namespace dkf {
 /// core/synopsis_io.h) so a damaged file can never smuggle a non-finite
 /// value into a running filter.
 ///
-/// Error taxonomy: wrong magic / version / checksum / trailing garbage
-/// -> InvalidArgument; truncation -> OutOfRange; missing file ->
-/// NotFound; a model with a time-varying transition_fn -> Unimplemented
-/// (arbitrary functions do not serialize — same rule as SaveSynopsis).
+/// Error taxonomy: wrong magic / out-of-range version / checksum /
+/// trailing garbage -> InvalidArgument; truncation -> OutOfRange;
+/// missing file -> NotFound; a model with a time-varying transition_fn
+/// -> Unimplemented (arbitrary functions do not serialize — same rule
+/// as SaveSynopsis).
 
 inline constexpr char kSnapshotMagic[] = "DKFSNAP1";  // 8 bytes on the wire
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// v2 appended the serving-layer section (src/serve/) to the payload.
+inline constexpr uint32_t kSnapshotVersion = 2;
+/// Oldest version this build still reads. v1 files predate the serving
+/// layer; they decode with an empty ServeSnapshot.
+inline constexpr uint32_t kSnapshotMinVersion = 1;
 
 /// Serializes a snapshot to the full file image (header + payload).
 Result<std::string> EncodeSnapshot(const EngineSnapshot& snapshot);

@@ -8,6 +8,38 @@
 
 namespace dkf {
 
+namespace {
+
+/// The serving layer's view of a StreamManager: component 0 of the
+/// server-side answers, the projected state variance, and aggregate
+/// sums.
+class ManagerAnswers final : public ServeAnswerSource {
+ public:
+  explicit ManagerAnswers(const StreamManager& manager) : manager_(manager) {}
+
+  Result<double> SourceValue(int source_id) const override {
+    auto answer_or = manager_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> SourceUncertainty(int source_id) const override {
+    auto answer_or = manager_.AnswerWithConfidence(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    if (!answer_or.value().covariance.has_value()) return 0.0;
+    return (*answer_or.value().covariance)(0, 0);
+  }
+
+  Result<double> AggregateValue(int aggregate_id) const override {
+    return manager_.AnswerAggregate(aggregate_id);
+  }
+
+ private:
+  const StreamManager& manager_;
+};
+
+}  // namespace
+
 StreamManager::StreamManager(const StreamManagerOptions& options)
     : options_(options),
       server_(options.protocol),
@@ -15,7 +47,8 @@ StreamManager::StreamManager(const StreamManagerOptions& options)
           [this](const Message& message) {
             return server_.OnMessage(message);
           },
-          options.channel) {}
+          options.channel),
+      serve_(options.serve) {}
 
 Status StreamManager::RegisterSource(int source_id, const StateModel& model) {
   if (sources_.contains(source_id)) {
@@ -47,6 +80,7 @@ Status StreamManager::EnableTracing(const ObsOptions& obs) {
   sink_ = std::make_unique<TraceSink>(obs);
   channel_.set_trace_sink(sink_.get());
   server_.set_trace_sink(sink_.get());
+  serve_.set_trace_sink(sink_.get());
   for (auto& [id, node] : sources_) node->set_trace_sink(sink_.get());
   return Status::OK();
 }
@@ -54,8 +88,38 @@ Status StreamManager::EnableTracing(const ObsOptions& obs) {
 void StreamManager::DisableTracing() {
   channel_.set_trace_sink(nullptr);
   server_.set_trace_sink(nullptr);
+  serve_.set_trace_sink(nullptr);
   for (auto& [id, node] : sources_) node->set_trace_sink(nullptr);
   sink_.reset();
+}
+
+Status StreamManager::Subscribe(const Subscription& subscription) {
+  if (subscription.kind == SubscriptionKind::kAggregate) {
+    auto it = aggregates_.find(subscription.aggregate_id);
+    if (it == aggregates_.end()) {
+      return Status::NotFound(
+          StrFormat("subscription %lld targets unregistered aggregate %d",
+                    static_cast<long long>(subscription.id),
+                    subscription.aggregate_id));
+    }
+    return serve_.Subscribe(subscription, ticks_, ManagerAnswers(*this),
+                            it->second.source_ids);
+  }
+  if (!sources_.contains(subscription.source_id)) {
+    return Status::NotFound(
+        StrFormat("subscription %lld targets unregistered source %d",
+                  static_cast<long long>(subscription.id),
+                  subscription.source_id));
+  }
+  return serve_.Subscribe(subscription, ticks_, ManagerAnswers(*this));
+}
+
+Status StreamManager::Unsubscribe(int64_t subscription_id) {
+  return serve_.Unsubscribe(subscription_id);
+}
+
+std::vector<NotificationBatch> StreamManager::DrainNotifications() {
+  return MergeNotificationBatches({serve_.Drain()});
 }
 
 std::vector<TraceEvent> StreamManager::Trace() const {
@@ -156,6 +220,11 @@ Status StreamManager::RemoveAggregateQuery(int aggregate_id) {
     return Status::NotFound(
         StrFormat("aggregate %d not registered", aggregate_id));
   }
+  if (serve_.has_aggregate_subscriptions(aggregate_id)) {
+    return Status::FailedPrecondition(
+        StrFormat("aggregate %d still has standing subscriptions",
+                  aggregate_id));
+  }
   for (int query_id : it->second.synthetic_query_ids) {
     DKF_RETURN_IF_ERROR(registry_.RemoveQuery(query_id));
   }
@@ -220,6 +289,7 @@ Status StreamManager::ProcessTick(const std::map<int, Vector>& readings) {
                            : std::chrono::steady_clock::time_point();
   DKF_RETURN_IF_ERROR(
       RunSourceTick(ticks_, server_, sources_, readings, channel_));
+  DKF_RETURN_IF_ERROR(serve_.EndTick(ticks_, ManagerAnswers(*this)));
   ++ticks_;
   if (sink_ != nullptr) {
     if (timed) {

@@ -18,6 +18,8 @@
 #include "query/aggregate.h"
 #include "query/query.h"
 #include "query/registry.h"
+#include "serve/subscription.h"
+#include "serve/subscription_engine.h"
 
 namespace dkf {
 
@@ -33,6 +35,8 @@ struct StreamManagerOptions {
   /// Hardened-protocol knobs shared by the server and every source
   /// (heartbeats, resync retry policy, degraded-answer thresholds).
   ProtocolOptions protocol;
+  /// Serving front-end knobs (standing-query notification delivery).
+  ServeOptions serve;
 };
 
 /// The paper's Figure-1 system as one object (§6 first future-work item:
@@ -100,6 +104,24 @@ class StreamManager {
   /// Answer plus confidence (projected state covariance).
   Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
       int source_id) const;
+
+  /// Attaches a standing query to the serving front-end (src/serve/).
+  /// The subscription's source (or aggregate) must be registered; the
+  /// subscriber's initial answer is evaluated against the current
+  /// between-ticks state and delivered in the next drained batch.
+  Status Subscribe(const Subscription& subscription);
+
+  /// Detaches a standing query.
+  Status Unsubscribe(int64_t subscription_id);
+
+  /// Removes and returns every undrained notification batch in
+  /// canonical (step, source_id, subscription_id) order.
+  std::vector<NotificationBatch> DrainNotifications();
+
+  /// Serving-layer counters plus the live subscription count.
+  ServeStats serve_stats() const { return serve_.stats(); }
+
+  size_t num_subscriptions() const { return serve_.num_subscriptions(); }
 
   /// Whether answers for a source are currently served degraded.
   Result<bool> answer_degraded(int source_id) const;
@@ -189,6 +211,9 @@ class StreamManager {
   /// checkpoint can re-create the source on restore.
   std::map<int, StateModel> models_;
   QueryRegistry registry_;
+  /// The serving front-end: standing queries and their notification
+  /// buffer, driven at the end of every ProcessTick.
+  SubscriptionEngine serve_;
   int64_t control_messages_ = 0;
   int64_t ticks_ = 0;
   /// Observability sink (null while tracing is off). Owned here; the

@@ -27,10 +27,13 @@ constexpr const char* kKindNames[kNumTraceEventKinds] = {
     "channel_ack_loss",
     "fast_path_freeze",
     "fast_path_disarm",
+    "subscribe",
+    "notify",
+    "notify_drop",
 };
 
 constexpr const char* kActorNames[static_cast<int>(TraceActor::kCount)] = {
-    "source", "server", "channel", "source_filter", "server_filter",
+    "source", "server", "channel", "source_filter", "server_filter", "serve",
 };
 
 }  // namespace

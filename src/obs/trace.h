@@ -53,6 +53,11 @@ enum class TraceEventKind : uint8_t {
   kFastPathFreeze,      // steady-state detected; gain/covariance frozen
   kFastPathDisarm,      // cadence break / reconfig left the fast path
 
+  // Serving layer (src/serve/) lifecycle + delivery.
+  kSubscribe,           // a standing subscription attached
+  kNotify,              // one notification entered a batch
+  kNotifyDrop,          // backpressure evicted an undrained batch
+
   kCount,  // sentinel, not a real event
 };
 
@@ -67,6 +72,7 @@ enum class TraceActor : uint8_t {
   kChannel,
   kSourceFilter,
   kServerFilter,
+  kServe,
   kCount,  // sentinel
 };
 

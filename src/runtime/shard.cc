@@ -7,16 +7,52 @@
 
 namespace dkf {
 
+namespace {
+
+/// The serving layer's view of one shard: component 0 of the shard's
+/// server-side answers plus the projected variance. Aggregates span
+/// shards and are served at the engine, never here.
+class ShardAnswers final : public ServeAnswerSource {
+ public:
+  explicit ShardAnswers(const StreamShard& shard) : shard_(shard) {}
+
+  Result<double> SourceValue(int source_id) const override {
+    auto answer_or = shard_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> SourceUncertainty(int source_id) const override {
+    auto answer_or = shard_.AnswerWithConfidence(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    if (!answer_or.value().covariance.has_value()) return 0.0;
+    return (*answer_or.value().covariance)(0, 0);
+  }
+
+  Result<double> AggregateValue(int aggregate_id) const override {
+    return Status::InvalidArgument(
+        StrFormat("aggregate %d is not served at shard level",
+                  aggregate_id));
+  }
+
+ private:
+  const StreamShard& shard_;
+};
+
+}  // namespace
+
 StreamShard::StreamShard(const ChannelOptions& channel,
                          EnergyModelOptions energy, double default_delta,
-                         const ProtocolOptions& protocol)
+                         const ProtocolOptions& protocol,
+                         const ServeOptions& serve)
     : server_(protocol),
       channel_([this](const Message& message) {
         return server_.OnMessage(message);
       }, channel),
       energy_(energy),
       default_delta_(default_delta),
-      protocol_(protocol) {}
+      protocol_(protocol),
+      serve_(serve) {}
 
 Status StreamShard::AddSource(int source_id, const StateModel& model) {
   if (sources_.contains(source_id)) {
@@ -47,7 +83,17 @@ void StreamShard::set_trace_sink(TraceSink* sink) {
   obs_sink_ = sink;
   channel_.set_trace_sink(sink);
   server_.set_trace_sink(sink);
+  serve_.set_trace_sink(sink);
   for (auto& [id, node] : sources_) node->set_trace_sink(sink);
+}
+
+Status StreamShard::Subscribe(const Subscription& subscription,
+                              int64_t attach_step) {
+  return serve_.Subscribe(subscription, attach_step, ShardAnswers(*this));
+}
+
+Status StreamShard::Unsubscribe(int64_t subscription_id) {
+  return serve_.Unsubscribe(subscription_id);
 }
 
 Status StreamShard::Reconfigure(int source_id,
@@ -71,6 +117,10 @@ Status StreamShard::ProcessTick(int64_t tick,
                            : std::chrono::steady_clock::time_point();
   DKF_RETURN_IF_ERROR(
       RunSourceTick(tick, server_, sources_, readings, channel_));
+  // Serve this shard's subscriptions while still on the worker thread:
+  // the per-shard index makes notification fan-out scale with shards
+  // exactly like the protocol work does.
+  DKF_RETURN_IF_ERROR(serve_.EndTick(tick, ShardAnswers(*this)));
   if (obs_sink_ != nullptr) {
     if (timed) {
       obs_sink_->RecordTickLatencyNs(std::chrono::duration<double, std::nano>(

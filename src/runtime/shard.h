@@ -17,6 +17,8 @@
 #include "models/state_model.h"
 #include "obs/trace_sink.h"
 #include "query/registry.h"
+#include "serve/subscription.h"
+#include "serve/subscription_engine.h"
 
 namespace dkf {
 
@@ -40,7 +42,8 @@ class StreamShard {
   /// drop sequences do not depend on which shard a source landed in.
   StreamShard(const ChannelOptions& channel, EnergyModelOptions energy,
               double default_delta,
-              const ProtocolOptions& protocol = ProtocolOptions());
+              const ProtocolOptions& protocol = ProtocolOptions(),
+              const ServeOptions& serve = ServeOptions());
 
   /// Installs a source and its dual filters on this shard.
   Status AddSource(int source_id, const StateModel& model);
@@ -96,6 +99,27 @@ class StreamShard {
   int64_t control_messages() const { return control_messages_; }
   size_t num_sources() const { return sources_.size(); }
 
+  /// Attaches a standing query against one of this shard's sources
+  /// (aggregate subscriptions live at the engine). `attach_step` is the
+  /// engine's current tick count.
+  Status Subscribe(const Subscription& subscription, int64_t attach_step);
+
+  /// Detaches a standing query owned by this shard.
+  Status Unsubscribe(int64_t subscription_id);
+
+  bool has_subscription(int64_t subscription_id) const {
+    return serve_.has_subscription(subscription_id);
+  }
+  size_t num_subscriptions() const { return serve_.num_subscriptions(); }
+
+  /// This shard's undrained notification batches (already in canonical
+  /// per-shard order; the engine merges across shards).
+  std::vector<NotificationBatch> DrainNotifications() {
+    return serve_.Drain();
+  }
+
+  ServeStats serve_stats() const { return serve_.stats(); }
+
   /// Wires this shard's channel, server, and source nodes (present and
   /// future) into an observability sink. The engine hands each shard its
   /// own sink so emission stays lock-free under the thread contract;
@@ -115,6 +139,10 @@ class StreamShard {
   /// Smoothing factor currently installed at each node (tracked so an
   /// unrelated reconfiguration does not restart KF_c).
   std::map<int, std::optional<double>> installed_smoothing_;
+  /// This shard's slice of the serving front-end: subscriptions against
+  /// owned sources, evaluated at the tail of ProcessTick (still on the
+  /// worker thread — the per-shard index is what scales the fan-out).
+  SubscriptionEngine serve_;
   int64_t control_messages_ = 0;
   /// Per-shard observability sink (owned by the engine; null while
   /// tracing is off).

@@ -10,11 +10,44 @@ namespace {
 
 int ClampShards(int num_shards) { return std::max(1, num_shards); }
 
+/// The serving layer's view of the whole engine, used by the
+/// engine-level aggregate subscriptions: member values are read from
+/// their owning shards, aggregate sums via the usual partial-sum merge.
+/// Driver-thread only, between ticks / after the tick joins.
+class EngineAnswers final : public ServeAnswerSource {
+ public:
+  explicit EngineAnswers(const ShardedStreamEngine& engine)
+      : engine_(engine) {}
+
+  Result<double> SourceValue(int source_id) const override {
+    auto answer_or = engine_.Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> SourceUncertainty(int source_id) const override {
+    auto answer_or = engine_.AnswerWithConfidence(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    if (!answer_or.value().covariance.has_value()) return 0.0;
+    return (*answer_or.value().covariance)(0, 0);
+  }
+
+  Result<double> AggregateValue(int aggregate_id) const override {
+    // Member order, not shard order: the delivered value must be
+    // bit-identical at any shard count.
+    return engine_.AnswerAggregateCanonical(aggregate_id);
+  }
+
+ private:
+  const ShardedStreamEngine& engine_;
+};
+
 }  // namespace
 
 ShardedStreamEngine::ShardedStreamEngine(
     const ShardedStreamEngineOptions& options)
     : options_(options),
+      aggregate_serve_(options.serve),
       pool_(static_cast<size_t>(ClampShards(options.num_shards) - 1)) {
   options_.num_shards = ClampShards(options.num_shards);
   // Per-source drop streams are the determinism contract: a source's
@@ -25,7 +58,7 @@ ShardedStreamEngine::ShardedStreamEngine(
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<StreamShard>(
         channel, options_.energy, options_.default_delta,
-        options_.protocol));
+        options_.protocol, options_.serve));
   }
 }
 
@@ -148,6 +181,11 @@ Status ShardedStreamEngine::RemoveAggregateQuery(int aggregate_id) {
     return Status::NotFound(
         StrFormat("aggregate %d not registered", aggregate_id));
   }
+  if (aggregate_serve_.has_aggregate_subscriptions(aggregate_id)) {
+    return Status::FailedPrecondition(
+        StrFormat("aggregate %d still has standing subscriptions",
+                  aggregate_id));
+  }
   for (int query_id : it->second.synthetic_query_ids) {
     DKF_RETURN_IF_ERROR(registry_.RemoveQuery(query_id));
   }
@@ -170,6 +208,22 @@ Result<double> ShardedStreamEngine::AnswerAggregate(int aggregate_id) const {
     auto partial_or = shards_[static_cast<size_t>(shard)]->PartialSum(members);
     if (!partial_or.ok()) return partial_or.status();
     sum += partial_or.value();
+  }
+  return sum;
+}
+
+Result<double> ShardedStreamEngine::AnswerAggregateCanonical(
+    int aggregate_id) const {
+  auto it = aggregates_.find(aggregate_id);
+  if (it == aggregates_.end()) {
+    return Status::NotFound(
+        StrFormat("aggregate %d not registered", aggregate_id));
+  }
+  double sum = 0.0;
+  for (int source_id : it->second.source_ids) {
+    auto answer_or = Answer(source_id);
+    if (!answer_or.ok()) return answer_or.status();
+    sum += answer_or.value()[0];
   }
   return sum;
 }
@@ -207,8 +261,84 @@ Status ShardedStreamEngine::ProcessTick(const std::map<int, Vector>& readings) {
         [raw, tick, &readings] { return raw->ProcessTick(tick, readings); });
   }
   DKF_RETURN_IF_ERROR(pool_.RunAll(tick_tasks_));
+  // Aggregate subscriptions need every shard's partial sums, so their
+  // serve pass runs on the driver after the tick joins.
+  DKF_RETURN_IF_ERROR(aggregate_serve_.EndTick(tick, EngineAnswers(*this)));
   ++ticks_;
   return Status::OK();
+}
+
+Status ShardedStreamEngine::Subscribe(const Subscription& subscription) {
+  // Ids order the merged notification stream, so they must be unique
+  // across every shard slice and the aggregate slice.
+  if (aggregate_serve_.has_subscription(subscription.id)) {
+    return Status::AlreadyExists(
+        StrFormat("subscription %lld already registered",
+                  static_cast<long long>(subscription.id)));
+  }
+  for (const auto& shard : shards_) {
+    if (shard->has_subscription(subscription.id)) {
+      return Status::AlreadyExists(
+          StrFormat("subscription %lld already registered",
+                    static_cast<long long>(subscription.id)));
+    }
+  }
+  if (subscription.kind == SubscriptionKind::kAggregate) {
+    auto it = aggregates_.find(subscription.aggregate_id);
+    if (it == aggregates_.end()) {
+      return Status::NotFound(
+          StrFormat("subscription %lld targets unregistered aggregate %d",
+                    static_cast<long long>(subscription.id),
+                    subscription.aggregate_id));
+    }
+    return aggregate_serve_.Subscribe(subscription, ticks_,
+                                      EngineAnswers(*this),
+                                      it->second.source_ids);
+  }
+  if (!HasSource(subscription.source_id)) {
+    return Status::NotFound(
+        StrFormat("subscription %lld targets unregistered source %d",
+                  static_cast<long long>(subscription.id),
+                  subscription.source_id));
+  }
+  return OwningShard(subscription.source_id)
+      .Subscribe(subscription, ticks_);
+}
+
+Status ShardedStreamEngine::Unsubscribe(int64_t subscription_id) {
+  if (aggregate_serve_.has_subscription(subscription_id)) {
+    return aggregate_serve_.Unsubscribe(subscription_id);
+  }
+  for (const auto& shard : shards_) {
+    if (shard->has_subscription(subscription_id)) {
+      return shard->Unsubscribe(subscription_id);
+    }
+  }
+  return Status::NotFound(
+      StrFormat("subscription %lld not registered",
+                static_cast<long long>(subscription_id)));
+}
+
+std::vector<NotificationBatch> ShardedStreamEngine::DrainNotifications() {
+  std::vector<std::vector<NotificationBatch>> streams;
+  streams.reserve(shards_.size() + 1);
+  for (const auto& shard : shards_) {
+    streams.push_back(shard->DrainNotifications());
+  }
+  streams.push_back(aggregate_serve_.Drain());
+  return MergeNotificationBatches(streams);
+}
+
+ServeStats ShardedStreamEngine::serve_stats() const {
+  ServeStats merged = aggregate_serve_.stats();
+  for (const auto& shard : shards_) merged.MergeFrom(shard->serve_stats());
+  return merged;
+}
+
+size_t ShardedStreamEngine::num_subscriptions() const {
+  size_t total = aggregate_serve_.num_subscriptions();
+  for (const auto& shard : shards_) total += shard->num_subscriptions();
+  return total;
 }
 
 Result<Vector> ShardedStreamEngine::Answer(int source_id) const {
@@ -294,11 +424,15 @@ Status ShardedStreamEngine::EnableTracing(const ObsOptions& obs) {
     sinks_.push_back(std::make_unique<TraceSink>(obs));
     shard->set_trace_sink(sinks_.back().get());
   }
+  // Aggregate-serve events carry negative source keys, so parking them
+  // in shard 0's sink keeps the merged trace layout-invariant.
+  aggregate_serve_.set_trace_sink(sinks_.front().get());
   return Status::OK();
 }
 
 void ShardedStreamEngine::DisableTracing() {
   for (auto& shard : shards_) shard->set_trace_sink(nullptr);
+  aggregate_serve_.set_trace_sink(nullptr);
   sinks_.clear();
 }
 

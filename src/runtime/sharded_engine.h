@@ -41,6 +41,9 @@ struct ShardedStreamEngineOptions {
   double default_delta = 1e6;
   /// Hardened-protocol knobs shared by every shard's server and sources.
   ProtocolOptions protocol;
+  /// Serving front-end knobs. The backpressure bound applies per shard
+  /// (each shard buffers its own subscriptions' notifications).
+  ServeOptions serve;
 };
 
 /// The sharded, multi-threaded counterpart of StreamManager for large
@@ -89,6 +92,14 @@ class ShardedStreamEngine {
   /// The current aggregate answer: the sum of per-shard partial sums.
   Result<double> AnswerAggregate(int aggregate_id) const;
 
+  /// The aggregate answer summed in the aggregate's declared member
+  /// order instead of shard order — a layout-invariant float summation,
+  /// bit-identical to StreamManager's answer at any shard count. This
+  /// is the value the serving layer delivers (the notification stream
+  /// is pinned bit-exactly across layouts; AnswerAggregate's partial
+  /// sums are only equal up to reordering).
+  Result<double> AnswerAggregateCanonical(int aggregate_id) const;
+
   /// Aggregate answer plus degradation status (count of member sources
   /// currently served degraded) — mirrors
   /// StreamManager::AnswerAggregateWithStatus.
@@ -109,6 +120,27 @@ class ShardedStreamEngine {
   /// Answer plus confidence (projected state covariance).
   Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
       int source_id) const;
+
+  /// Attaches a standing query (src/serve/). Point / band / range
+  /// subscriptions are indexed on the shard owning their source and
+  /// evaluated there, in parallel, at the tail of each shard tick;
+  /// aggregate subscriptions span shards and are evaluated at the
+  /// engine after the tick joins. Ids must be unique engine-wide.
+  Status Subscribe(const Subscription& subscription);
+
+  /// Detaches a standing query, wherever it lives.
+  Status Unsubscribe(int64_t subscription_id);
+
+  /// Per-shard batch streams plus the engine-level aggregate stream,
+  /// merged into canonical (step, source_id, subscription_id) order —
+  /// bit-identical to a StreamManager's drained stream for the same
+  /// workload, at any shard count.
+  std::vector<NotificationBatch> DrainNotifications();
+
+  /// Serving-layer counters merged across shards.
+  ServeStats serve_stats() const;
+
+  size_t num_subscriptions() const;
 
   /// Verifies the mirror-consistency invariant on every shard.
   Status VerifyMirrorConsistency() const;
@@ -221,6 +253,11 @@ class ShardedStreamEngine {
   std::map<int, StateModel> models_;
 
   QueryRegistry registry_;
+  /// Engine-level slice of the serving front-end: aggregate
+  /// subscriptions only (they need cross-shard sums), evaluated on the
+  /// driver thread after every tick joins. Per-source subscriptions
+  /// live on the owning shard's own engine.
+  SubscriptionEngine aggregate_serve_;
   WorkerPool pool_;
   /// Reused every tick (one task per shard) to avoid reallocation.
   std::vector<WorkerPool::Task> tick_tasks_;

@@ -1,0 +1,65 @@
+#include "serve/interval_index.h"
+
+#include <algorithm>
+
+namespace dkf {
+
+void IntervalIndex::Insert(int64_t id, double lo, double hi) {
+  entries_.push_back({lo, hi, id});
+  dirty_ = true;
+}
+
+void IntervalIndex::Erase(int64_t id) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_[i] = entries_.back();
+      entries_.pop_back();
+      dirty_ = true;
+      return;
+    }
+  }
+}
+
+void IntervalIndex::Rebuild() {
+  by_lo_ = entries_;
+  std::sort(by_lo_.begin(), by_lo_.end(), [](const Entry& a, const Entry& b) {
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.id < b.id;
+  });
+  by_hi_ = entries_;
+  std::sort(by_hi_.begin(), by_hi_.end(), [](const Entry& a, const Entry& b) {
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.id < b.id;
+  });
+  dirty_ = false;
+}
+
+size_t IntervalIndex::Changed(double v0, double v1,
+                              std::vector<int64_t>* out) {
+  if (entries_.empty() || v0 == v1) return 0;
+  if (dirty_) Rebuild();
+  const double a = std::min(v0, v1);
+  const double b = std::max(v0, v1);
+  size_t scanned = 0;
+
+  // Intervals that contained a but not b: hi in [a, b), lo <= a.
+  auto hi_begin = std::lower_bound(
+      by_hi_.begin(), by_hi_.end(), a,
+      [](const Entry& e, double v) { return e.hi < v; });
+  for (auto it = hi_begin; it != by_hi_.end() && it->hi < b; ++it) {
+    ++scanned;
+    if (it->lo <= a) out->push_back(it->id);
+  }
+
+  // Intervals that contain b but not a: lo in (a, b], hi >= b.
+  auto lo_begin = std::upper_bound(
+      by_lo_.begin(), by_lo_.end(), a,
+      [](double v, const Entry& e) { return v < e.lo; });
+  for (auto it = lo_begin; it != by_lo_.end() && it->lo <= b; ++it) {
+    ++scanned;
+    if (it->hi >= b) out->push_back(it->id);
+  }
+  return scanned;
+}
+
+}  // namespace dkf

@@ -1,0 +1,64 @@
+#ifndef DKF_SERVE_INTERVAL_INDEX_H_
+#define DKF_SERVE_INTERVAL_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dkf {
+
+/// An index over the band/range intervals registered against one
+/// source, answering the only question the serving hot path asks: when
+/// the estimate moved from v0 to v1, which subscriptions' membership
+/// changed?
+///
+/// An interval [lo, hi] changes membership across the move exactly when
+/// one endpoint falls inside the swept range — with a = min(v0, v1),
+/// b = max(v0, v1):
+///   lost  the value: hi in [a, b) and lo <= a
+///   gained the value: lo in (a, b] and hi >= b
+/// Both are endpoint range scans, so two endpoint-sorted arrays answer
+/// the query in O(log n + endpoints inside the sweep): a correction
+/// touches only subscriptions near the moved value, never the full
+/// registration set. (Intervals strictly inside the sweep are scanned
+/// and filtered out — the value passed clean through them; membership
+/// is sampled at tick boundaries, not along the path.)
+///
+/// Mutations mark the index dirty; the sorted arrays are rebuilt lazily
+/// on the next query, so a bulk registration phase costs one sort.
+class IntervalIndex {
+ public:
+  /// Registers interval [lo, hi] under `id`. Ids are unique (enforced
+  /// by the engine).
+  void Insert(int64_t id, double lo, double hi);
+
+  /// Removes an id; no-op if absent.
+  void Erase(int64_t id);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Appends to `out` the ids whose membership of v1 differs from their
+  /// membership of v0 (exactly — the endpoint filters above are tight).
+  /// Returns the number of entries *scanned*, i.e. the fan-out work
+  /// actually done, which callers report as "touched".
+  size_t Changed(double v0, double v1, std::vector<int64_t>* out);
+
+ private:
+  struct Entry {
+    double lo = 0.0;
+    double hi = 0.0;
+    int64_t id = 0;
+  };
+
+  void Rebuild();
+
+  std::vector<Entry> entries_;  // registration order (compacted on erase)
+  std::vector<Entry> by_lo_;    // sorted by (lo, id)
+  std::vector<Entry> by_hi_;    // sorted by (hi, id)
+  bool dirty_ = false;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_SERVE_INTERVAL_INDEX_H_

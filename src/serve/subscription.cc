@@ -1,0 +1,88 @@
+#include "serve/subscription.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace dkf {
+
+namespace {
+
+constexpr const char* kSubscriptionKindNames[static_cast<int>(
+    SubscriptionKind::kCount)] = {
+    "point",
+    "band_alert",
+    "range_predicate",
+    "aggregate",
+};
+
+constexpr const char* kNotificationKindNames[static_cast<int>(
+    NotificationKind::kCount)] = {
+    "initial",
+    "value",
+    "band_exit",
+    "band_enter",
+    "uncertainty_high",
+    "uncertainty_ok",
+    "predicate_true",
+    "predicate_false",
+    "aggregate_update",
+};
+
+}  // namespace
+
+const char* SubscriptionKindName(SubscriptionKind kind) {
+  const int index = static_cast<int>(kind);
+  if (index < 0 || index >= static_cast<int>(SubscriptionKind::kCount)) {
+    return "unknown";
+  }
+  return kSubscriptionKindNames[index];
+}
+
+const char* NotificationKindName(NotificationKind kind) {
+  const int index = static_cast<int>(kind);
+  if (index < 0 || index >= static_cast<int>(NotificationKind::kCount)) {
+    return "unknown";
+  }
+  return kNotificationKindNames[index];
+}
+
+std::string FormatNotification(const Notification& notification) {
+  return StrFormat("%lld %d %lld %s %s %s",
+                   static_cast<long long>(notification.step),
+                   notification.source_id,
+                   static_cast<long long>(notification.subscription_id),
+                   NotificationKindName(notification.kind),
+                   DoubleToString(notification.value).c_str(),
+                   DoubleToString(notification.aux).c_str());
+}
+
+std::vector<NotificationBatch> MergeNotificationBatches(
+    const std::vector<std::vector<NotificationBatch>>& streams) {
+  // Group by step across all streams; the per-stream order within a
+  // step is preserved (streams are appended in caller order, and the
+  // final sort is stable), which is what keeps "same subscription,
+  // several kinds in one tick" sequences intact.
+  std::map<int64_t, std::vector<Notification>> by_step;
+  for (const auto& stream : streams) {
+    for (const NotificationBatch& batch : stream) {
+      auto& bucket = by_step[batch.step];
+      bucket.insert(bucket.end(), batch.notifications.begin(),
+                    batch.notifications.end());
+    }
+  }
+  std::vector<NotificationBatch> merged;
+  merged.reserve(by_step.size());
+  for (auto& [step, notifications] : by_step) {
+    std::stable_sort(notifications.begin(), notifications.end(),
+                     NotificationOrder);
+    NotificationBatch batch;
+    batch.step = step;
+    batch.notifications = std::move(notifications);
+    merged.push_back(std::move(batch));
+  }
+  return merged;
+}
+
+}  // namespace dkf

@@ -408,6 +408,132 @@ TEST(CheckpointChaosTest, SharedRngSnapshotRejectedByShardedRestore) {
             uninterrupted.uplink_traffic().dropped);
 }
 
+// ---- serving-layer continuation --------------------------------------
+
+constexpr int64_t kServeTicks = 200;
+constexpr int64_t kServeDrainTick = 60;
+constexpr int64_t kServeLateAttachTick = 80;
+
+/// A standing-query mix covering every subscription kind, attached at
+/// tick 0 (ids 1..4); a late band (id 6) attaches mid-run before the
+/// snapshot so a mid-run attach's state rides through the checkpoint.
+template <typename System>
+void InstallServeSubscriptions(System& system) {
+  Subscription point;
+  point.id = 1;
+  point.kind = SubscriptionKind::kPoint;
+  point.source_id = 1;
+  ASSERT_TRUE(system.Subscribe(point).ok());
+  Subscription band;
+  band.id = 2;
+  band.kind = SubscriptionKind::kBandAlert;
+  band.source_id = 2;
+  band.lo = -2.0;
+  band.hi = 2.0;
+  band.uncertainty_ceiling = 0.3;
+  ASSERT_TRUE(system.Subscribe(band).ok());
+  Subscription range;
+  range.id = 3;
+  range.kind = SubscriptionKind::kRangePredicate;
+  range.source_id = 5;
+  range.lo = 0.0;
+  range.hi = 10.0;
+  ASSERT_TRUE(system.Subscribe(range).ok());
+  Subscription agg;
+  agg.id = 4;
+  agg.kind = SubscriptionKind::kAggregate;
+  agg.aggregate_id = kAggregateId;
+  ASSERT_TRUE(system.Subscribe(agg).ok());
+}
+
+Subscription LateBand() {
+  Subscription late;
+  late.id = 6;
+  late.kind = SubscriptionKind::kBandAlert;
+  late.source_id = 9;
+  late.lo = -1.0;
+  late.hi = 4.0;
+  return late;
+}
+
+/// The uninterrupted serve run (notification stream + counters) and the
+/// snapshot its interrupted twin saved mid-outage. The early drain puts
+/// a nontrivial delivery cursor and a partially drained buffer into the
+/// checkpoint.
+struct ServeReference {
+  std::string snapshot_path;
+  std::vector<NotificationBatch> early;  // drained at kServeDrainTick
+  std::vector<NotificationBatch> late;   // drained at the end
+  ServeStats stats;
+};
+
+const ServeReference& GetServeReference() {
+  static const ServeReference* const reference = [] {
+    auto* ref = new ServeReference();
+    ref->snapshot_path = SnapshotPath("serve_chaos.dkfsnap");
+    StreamManagerOptions options;
+    options.channel = FleetChannel();
+    options.protocol = FleetProtocol();
+
+    StreamManager manager(options);
+    InstallChaosWorkload(manager);
+    InstallServeSubscriptions(manager);
+    RunTicks(manager, 0, kServeDrainTick);
+    ref->early = manager.DrainNotifications();
+    RunTicks(manager, kServeDrainTick, kServeLateAttachTick);
+    EXPECT_TRUE(manager.Subscribe(LateBand()).ok());
+    RunTicks(manager, kServeLateAttachTick, kServeTicks);
+    ref->late = manager.DrainNotifications();
+    ref->stats = manager.serve_stats();
+    EXPECT_FALSE(ref->late.empty());
+
+    StreamManager twin(options);
+    InstallChaosWorkload(twin);
+    InstallServeSubscriptions(twin);
+    RunTicks(twin, 0, kServeDrainTick);
+    EXPECT_TRUE(twin.DrainNotifications() == ref->early);
+    RunTicks(twin, kServeDrainTick, kServeLateAttachTick);
+    EXPECT_TRUE(twin.Subscribe(LateBand()).ok());
+    RunTicks(twin, kServeLateAttachTick, kSnapTick);
+    EXPECT_TRUE(twin.Save(ref->snapshot_path).ok());
+    return ref;
+  }();
+  return *reference;
+}
+
+TEST(CheckpointChaosTest, ServeDeliveryContinuesBitIdenticallyAcrossRestore) {
+  const ServeReference& ref = GetServeReference();
+
+  auto manager_or = StreamManager::Restore(ref.snapshot_path);
+  ASSERT_TRUE(manager_or.ok()) << manager_or.status().message();
+  StreamManager& manager = *manager_or.value();
+  EXPECT_EQ(manager.num_subscriptions(), 5u);
+  RunTicks(manager, kSnapTick, kServeTicks);
+  EXPECT_TRUE(manager.DrainNotifications() == ref.late)
+      << "manager->manager notification stream differs";
+  const ServeStats stats = manager.serve_stats();
+  EXPECT_EQ(stats.notifications, ref.stats.notifications);
+  EXPECT_EQ(stats.touched, ref.stats.touched);
+  EXPECT_EQ(stats.affected, ref.stats.affected);
+  EXPECT_EQ(stats.dropped, 0);
+
+  for (int shards : {1, 2, 4, 8}) {
+    auto engine_or = ShardedStreamEngine::Restore(ref.snapshot_path, shards);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().message();
+    ShardedStreamEngine& engine = *engine_or.value();
+    ASSERT_EQ(engine.num_subscriptions(), 5u);
+    RunTicks(engine, kSnapTick, kServeTicks);
+    EXPECT_TRUE(engine.DrainNotifications() == ref.late)
+        << "manager->engine(" << shards << ") notification stream differs";
+    const ServeStats merged = engine.serve_stats();
+    EXPECT_EQ(merged.subscriptions, 5);
+    EXPECT_EQ(merged.notifications, ref.stats.notifications) << shards;
+    EXPECT_EQ(merged.touched, ref.stats.touched) << shards;
+    EXPECT_EQ(merged.affected, ref.stats.affected) << shards;
+    EXPECT_EQ(merged.dropped, 0) << shards;
+  }
+}
+
 TEST(CheckpointChaosTest, UntracedSystemRoundTripsWithTracingOff) {
   const std::string path = SnapshotPath("untraced.dkfsnap");
   StreamManagerOptions options;

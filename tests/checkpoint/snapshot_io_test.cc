@@ -194,6 +194,47 @@ EngineSnapshot BuildSnapshot() {
       TraceEventKind::kDivergence)] = 1;
   snapshot.obs.dropped = 0;
   snapshot.obs.gauges["channel.in_flight"] = 2.0;
+
+  snapshot.serve.options.max_buffered_notifications = 4096;
+  ServeSubscriptionSnapshot band;
+  band.spec.id = 3;
+  band.spec.kind = SubscriptionKind::kBandAlert;
+  band.spec.source_id = 1;
+  band.spec.lo = -1.0;
+  band.spec.hi = 2.5;
+  band.spec.uncertainty_ceiling = 0.75;
+  band.spec.description = "band over source 1";
+  band.inside = true;
+  band.fired = true;
+  snapshot.serve.subscriptions.push_back(band);
+  ServeSubscriptionSnapshot agg_sub;
+  agg_sub.spec.id = 9;
+  agg_sub.spec.kind = SubscriptionKind::kAggregate;
+  agg_sub.spec.aggregate_id = 7;
+  snapshot.serve.subscriptions.push_back(agg_sub);
+  NotificationBatch batch;
+  batch.step = 109;
+  Notification agg_update;
+  agg_update.step = 109;
+  agg_update.source_id = -8;  // AggregateSourceKey(7)
+  agg_update.subscription_id = 9;
+  agg_update.kind = NotificationKind::kAggregateUpdate;
+  agg_update.value = 3.25;
+  batch.notifications.push_back(agg_update);
+  Notification band_exit;
+  band_exit.step = 109;
+  band_exit.source_id = 1;
+  band_exit.subscription_id = 3;
+  band_exit.kind = NotificationKind::kBandExit;
+  band_exit.value = 2.75;
+  band_exit.aux = 2.5;
+  batch.notifications.push_back(band_exit);
+  snapshot.serve.pending.push_back(batch);
+  snapshot.serve.drained_through_step = 108;
+  snapshot.serve.notifications = 61;
+  snapshot.serve.dropped = 2;
+  snapshot.serve.touched = 400;
+  snapshot.serve.affected = 59;
   return snapshot;
 }
 
@@ -322,6 +363,51 @@ TEST(SnapshotIoTest, RoundTripPreservesEveryField) {
   EXPECT_TRUE(decoded.obs.events[0] == original.obs.events[0]);
   EXPECT_EQ(decoded.obs.kind_counts, original.obs.kind_counts);
   EXPECT_EQ(decoded.obs.gauges.at("channel.in_flight"), 2.0);
+
+  EXPECT_EQ(decoded.serve.options.max_buffered_notifications, 4096u);
+  ASSERT_EQ(decoded.serve.subscriptions.size(), 2u);
+  EXPECT_TRUE(decoded.serve.subscriptions[0].spec ==
+              original.serve.subscriptions[0].spec);
+  EXPECT_TRUE(decoded.serve.subscriptions[0].inside);
+  EXPECT_TRUE(decoded.serve.subscriptions[0].fired);
+  EXPECT_TRUE(decoded.serve.subscriptions[1].spec ==
+              original.serve.subscriptions[1].spec);
+  EXPECT_FALSE(decoded.serve.subscriptions[1].inside);
+  ASSERT_EQ(decoded.serve.pending.size(), 1u);
+  EXPECT_TRUE(decoded.serve.pending[0] == original.serve.pending[0]);
+  EXPECT_EQ(decoded.serve.drained_through_step, 108);
+  EXPECT_EQ(decoded.serve.notifications, 61);
+  EXPECT_EQ(decoded.serve.dropped, 2);
+  EXPECT_EQ(decoded.serve.touched, 400);
+  EXPECT_EQ(decoded.serve.affected, 59);
+}
+
+TEST(SnapshotIoTest, ReadsVersion1FilesWithoutServeSection) {
+  EngineSnapshot snapshot = BuildSnapshot();
+  snapshot.serve = ServeSnapshot();  // v1 files predate the serving layer
+  const std::string v2 = EncodeSnapshot(snapshot).value();
+  // A v1 payload is the v2 payload minus the fixed-size empty serve
+  // section: 8 (options) + 8 + 8 (empty counts) + 8 (cursor) + 32
+  // (counters) = 64 bytes.
+  std::string payload = v2.substr(28);  // 8 magic + 4 + 8 + 8
+  ASSERT_GT(payload.size(), 64u);
+  payload.resize(payload.size() - 64);
+  BinaryWriter file;
+  for (char c : std::string("DKFSNAP1")) {
+    file.WriteU8(static_cast<uint8_t>(c));
+  }
+  file.WriteU32(1);
+  file.WriteU64(Fnv1a64(reinterpret_cast<const uint8_t*>(payload.data()),
+                        payload.size()));
+  file.WriteU64(payload.size());
+  std::string bytes = file.TakeBytes();
+  bytes.append(payload);
+  auto decoded_or = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().message();
+  EXPECT_EQ(decoded_or.value().ticks, 110);
+  EXPECT_TRUE(decoded_or.value().serve.subscriptions.empty());
+  EXPECT_TRUE(decoded_or.value().serve.pending.empty());
+  EXPECT_EQ(decoded_or.value().serve.drained_through_step, -1);
 }
 
 TEST(SnapshotIoTest, FileRoundTripAndMissingFile) {
