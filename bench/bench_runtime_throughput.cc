@@ -22,6 +22,8 @@
 // plus a metrics digest per row; bench_compare.py gates the overhead at
 // 5%. The primary throughput numbers always come from the untraced run.
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -146,6 +148,15 @@ std::map<int, Vector> SetUpFleet(System& system, int fleet, double delta) {
     readings[id] = Vector{SourceValue(id, 0)};
   }
   return readings;
+}
+
+/// Peak resident set size of the whole process, in bytes. Linux
+/// reports ru_maxrss in kilobytes. High-water, not current: within a
+/// sweep only the largest workload's row reflects its own footprint.
+int64_t PeakRssBytes() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
 }
 
 /// CPU time consumed by the whole process, in seconds. Does not advance
@@ -338,13 +349,16 @@ int main(int argc, char** argv) {
       std::printf(
           "%s\n    {\"sources\": %d, \"shards\": %d, \"seconds\": %.6f, "
           "\"ticks_per_sec\": %.2f, \"source_ticks_per_sec\": %.0f, "
+          "\"sources_per_sec\": %.0f, \"peak_rss_bytes\": %lld, "
           "\"sequential_ticks_per_sec\": %.2f, "
           "\"speedup_vs_sequential\": %.3f, \"equivalent\": %s, "
           "\"divergence_events\": %lld, \"resyncs_sent\": %lld, "
           "\"resyncs_applied\": %lld, \"degraded_ticks\": %lld, "
           "\"max_recovery_ticks\": %lld, \"rejected_corrupt\": %lld",
           first ? "" : ",", fleet, engine.num_shards(), run.seconds, tps,
-          tps * fleet, seq_tps, tps / seq_tps, equivalent ? "true" : "false",
+          tps * fleet, tps * fleet,
+          static_cast<long long>(PeakRssBytes()), seq_tps, tps / seq_tps,
+          equivalent ? "true" : "false",
           static_cast<long long>(run.faults.divergence_events),
           static_cast<long long>(run.faults.resyncs_sent),
           static_cast<long long>(run.faults.resyncs_applied),

@@ -3,7 +3,7 @@
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold=0.10]
 
-Supports three report kinds (both files must be the same kind):
+Supports four report kinds (both files must be the same kind):
 
 filter_hotpath — rows keyed by (model, state_dim). Fails when any row's
 ns_per_tick regressed by more than the threshold (default 10%), when a
@@ -28,6 +28,15 @@ FANOUT_TOUCH_FACTOR x affected (plus a small absolute slack) — the
 whole point of the query index is that per-tick work tracks the
 affected subscription count, not the registered count.
 
+fleet_scale — rows keyed by sources. Fails when any row's
+ns_per_tick_per_source regressed by more than the threshold, when a
+row disappeared, when the batched cost meets or exceeds the committed
+per-source dim-1 baseline (FLEET_NS_LIMIT — the batched engine must
+beat the path it replaces, not just track itself), when resident_ratio
+falls below FLEET_RESIDENT_FLOOR (the fleet quietly spilling back to
+the scalar path makes the numbers meaningless), or when the per-source
+equivalence cross-check failed on the row that carries one.
+
 All kinds additionally gate observability overhead: when NEW's rows
 carry an obs_overhead_pct field (bench run with tracing measured —
 always for filter_hotpath, --trace for runtime_throughput), any row
@@ -43,7 +52,8 @@ Intended for CI and for eyeballing a PR's perf delta:
 import json
 import sys
 
-KNOWN_KINDS = ("filter_hotpath", "runtime_throughput", "serve_fanout")
+KNOWN_KINDS = ("filter_hotpath", "runtime_throughput", "serve_fanout",
+               "fleet_scale")
 
 # Ceiling on the cost of running with trace sinks wired, as a percent of
 # the untraced run. The sinks are designed to be an array increment plus
@@ -145,9 +155,11 @@ def compare_runtime_throughput(old, new, threshold):
                 "event(s) but no resync was ever applied")
             marker = "  <-- NEVER HEALED"
         marker = check_obs_overhead(name, new_row, failures) or marker
+        rss = new_row.get("peak_rss_bytes")
+        rss_note = f" rss {rss / (1024 * 1024):.0f}MB" if rss else ""
         print(f"{name:28s} {old_tps:9.1f} -> {new_tps:9.1f} ticks/sec "
               f"({(new_tps / old_tps - 1) * 100:+6.1f}%) "
-              f"resyncs {old_resyncs} -> {new_resyncs}{marker}")
+              f"resyncs {old_resyncs} -> {new_resyncs}{rss_note}{marker}")
     return failures
 
 
@@ -200,6 +212,63 @@ def compare_serve_fanout(old, new, threshold):
     return failures
 
 
+# Absolute ceiling on the batched fleet's per-source tick cost: the
+# committed per-source baseline for a dim-1 steady-state tick. The
+# batched engine exists to beat this; a row at or above it means the
+# SoA path has degraded into a slower per-source loop.
+FLEET_NS_LIMIT = 75.0
+
+# Floor on the fraction of the fleet resident on the batched lanes at
+# the end of the timed window. The workload is suppression-heavy by
+# construction, so almost everything should be absorbed; mass spill
+# means the measurement no longer exercises the batched path.
+FLEET_RESIDENT_FLOOR = 0.90
+
+
+def compare_fleet_scale(old, new, threshold):
+    failures = []
+    old_rows = {r["sources"]: r for r in old["results"]}
+    new_rows = {r["sources"]: r for r in new["results"]}
+    for key, old_row in sorted(old_rows.items()):
+        name = f"sources={key}"
+        new_row = new_rows.get(key)
+        if new_row is None:
+            failures.append(f"{name}: present in old report, missing in new")
+            continue
+        old_ns = old_row["ns_per_tick_per_source"]
+        new_ns = new_row["ns_per_tick_per_source"]
+        ratio = new_ns / old_ns if old_ns > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: ns/tick/source regressed {old_ns:.1f} -> "
+                f"{new_ns:.1f} ({(ratio - 1) * 100:+.1f}%, "
+                f"threshold {threshold:.0%})")
+            marker = "  <-- REGRESSION"
+        if new_ns >= FLEET_NS_LIMIT:
+            failures.append(
+                f"{name}: {new_ns:.1f} ns/tick/source is not below the "
+                f"per-source baseline ({FLEET_NS_LIMIT:.0f} ns)")
+            marker = "  <-- OVER BUDGET"
+        resident = new_row.get("resident_ratio", 0.0)
+        if resident < FLEET_RESIDENT_FLOOR:
+            failures.append(
+                f"{name}: resident_ratio {resident:.2f} below floor "
+                f"{FLEET_RESIDENT_FLOOR:.2f} — fleet spilled off the "
+                "batched path")
+            marker = "  <-- SPILLED"
+        if not new_row.get("equivalent", True):
+            failures.append(
+                f"{name}: batched run diverged from the per-source twin")
+            marker = "  <-- DIVERGED"
+        marker = check_obs_overhead(name, new_row, failures) or marker
+        rss_mb = new_row.get("peak_rss_bytes", 0) / (1024 * 1024)
+        print(f"{name:18s} {old_ns:7.1f} -> {new_ns:7.1f} ns/tick/source "
+              f"({(ratio - 1) * 100:+6.1f}%) "
+              f"resident {resident:.2f} rss {rss_mb:.0f}MB{marker}")
+    return failures
+
+
 def main(argv):
     threshold = 0.10
     paths = []
@@ -218,6 +287,8 @@ def main(argv):
         failures = compare_filter_hotpath(old, new, threshold)
     elif old_kind == "serve_fanout":
         failures = compare_serve_fanout(old, new, threshold)
+    elif old_kind == "fleet_scale":
+        failures = compare_fleet_scale(old, new, threshold)
     else:
         failures = compare_runtime_throughput(old, new, threshold)
 

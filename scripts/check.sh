@@ -3,9 +3,9 @@
 # test suite, then the sharded
 # runtime's test binaries under ThreadSanitizer (race detection for the
 # worker pool / shard tick path / per-shard trace sinks), then the
-# protocol + observability + serving tests under ASan+UBSan, then a
-# gcov coverage build gating line coverage of src/obs/, src/dsms/, and
-# src/serve/, then a
+# protocol + observability + serving + batched-fleet tests under
+# ASan+UBSan, then a gcov coverage build gating line coverage of
+# src/obs/, src/dsms/, src/serve/, and src/fleet/, then a
 # Release-mode build of the filter hot-loop benchmark, refreshing
 # BENCH_filter_hotpath.json at the repo root. See docs/runtime.md,
 # docs/perf.md, and docs/observability.md.
@@ -39,15 +39,20 @@ else
   # golden_trace_test drives the per-shard trace sinks through the
   # worker pool, so it races exactly the code the obs layer added;
   # serve_golden_test does the same for the per-shard subscription
-  # engines (EndTick runs on shard workers, Drain on the driver).
+  # engines (EndTick runs on shard workers, Drain on the driver);
+  # the fleet tests run the batched SoA engine inside shard workers at
+  # several shard counts (docs/fleet.md).
   cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
     --target worker_pool_test sharded_engine_test golden_trace_test \
-             subscription_engine_test serve_golden_test
+             subscription_engine_test serve_golden_test \
+             fleet_equivalence_test fleet_churn_test
   "./build-${SANITIZE//,/-}/tests/worker_pool_test"
   "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
   "./build-${SANITIZE//,/-}/tests/golden_trace_test"
   "./build-${SANITIZE//,/-}/tests/subscription_engine_test"
   "./build-${SANITIZE//,/-}/tests/serve_golden_test"
+  "./build-${SANITIZE//,/-}/tests/fleet_equivalence_test"
+  "./build-${SANITIZE//,/-}/tests/fleet_churn_test"
 fi
 
 if [[ "${DKF_ASAN:-1}" == "0" ]]; then
@@ -63,7 +68,8 @@ else
     --target chaos_test channel_test stream_manager_test source_server_test \
              metrics_registry_test trace_sink_test golden_trace_test \
              obs_property_test corruption_fuzz_test \
-             subscription_engine_test serve_golden_test
+             subscription_engine_test serve_golden_test \
+             fleet_equivalence_test fleet_churn_test
   ./build-asan/tests/chaos_test
   ./build-asan/tests/channel_test
   ./build-asan/tests/stream_manager_test
@@ -75,30 +81,37 @@ else
   ./build-asan/tests/corruption_fuzz_test
   ./build-asan/tests/subscription_engine_test
   ./build-asan/tests/serve_golden_test
+  # The batched fleet's SoA lanes, spill/absorb path, and resident
+  # bookkeeping are exactly the new pointer/vector churn to chew on.
+  ./build-asan/tests/fleet_equivalence_test
+  ./build-asan/tests/fleet_churn_test
 fi
 
 if [[ "${DKF_COVERAGE:-1}" == "0" ]]; then
   echo "== coverage stage skipped (DKF_COVERAGE=0) =="
 else
-  echo "== coverage: src/obs + src/dsms + src/serve line-coverage floors =="
+  echo "== coverage: src/obs + src/dsms + src/serve + src/fleet line-coverage floors =="
   cmake -B build-coverage -S . -DDKF_COVERAGE=ON >/dev/null
   cmake --build build-coverage -j "$JOBS" \
     --target metrics_registry_test trace_sink_test golden_trace_test \
              obs_property_test corruption_fuzz_test chaos_test channel_test \
              stream_manager_test source_server_test simulation_test \
              confidence_test energy_model_test \
-             subscription_engine_test serve_golden_test
+             subscription_engine_test serve_golden_test \
+             fleet_equivalence_test fleet_churn_test
   # Fresh counters each run: .gcda files accumulate across executions.
   find build-coverage -name '*.gcda' -delete
   for t in metrics_registry_test trace_sink_test golden_trace_test \
            obs_property_test corruption_fuzz_test chaos_test channel_test \
            stream_manager_test source_server_test simulation_test \
            confidence_test energy_model_test \
-           subscription_engine_test serve_golden_test; do
+           subscription_engine_test serve_golden_test \
+           fleet_equivalence_test fleet_churn_test; do
     "./build-coverage/tests/$t" > /dev/null
   done
   python3 scripts/coverage_gate.py build-coverage --root=. \
-    --gate=src/obs=0.90 --gate=src/dsms=0.80 --gate=src/serve=0.85
+    --gate=src/obs=0.90 --gate=src/dsms=0.80 --gate=src/serve=0.85 \
+    --gate=src/fleet=0.85
 fi
 
 if [[ "${DKF_BENCH:-1}" == "0" ]]; then

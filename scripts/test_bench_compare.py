@@ -3,7 +3,8 @@
 
 Covers every gate on crafted fixtures — throughput/latency regression,
 missing rows, allocation and fast-path invariants, sequential-equivalence
-failures, resync storms, never-healed divergence, and the observability
+failures, resync storms, never-healed divergence, the fleet-scale
+budget/residency/equivalence gates, and the observability
 overhead ceiling — plus an end-to-end self-compare of the committed
 BENCH_filter_hotpath.json, which must always be regression-free against
 itself.
@@ -72,6 +73,20 @@ def serve_report(**overrides):
     return {"benchmark": "serve_fanout", "results": [row]}
 
 
+def fleet_report(**overrides):
+    row = {
+        "sources": 1000000,
+        "seconds": 4.0,
+        "ns_per_tick_per_source": 40.0,
+        "sources_per_sec": 25000000.0,
+        "resident_ratio": 0.99,
+        "peak_rss_bytes": 2 * 1024 * 1024 * 1024,
+        "uplink_messages": 12000,
+    }
+    row.update(overrides)
+    return {"benchmark": "fleet_scale", "results": [row]}
+
+
 def compare(old, new, threshold=0.10):
     """Runs the right comparison quietly and returns the failure list."""
     kind = old["benchmark"]
@@ -80,6 +95,8 @@ def compare(old, new, threshold=0.10):
             return bench_compare.compare_filter_hotpath(old, new, threshold)
         if kind == "serve_fanout":
             return bench_compare.compare_serve_fanout(old, new, threshold)
+        if kind == "fleet_scale":
+            return bench_compare.compare_fleet_scale(old, new, threshold)
         return bench_compare.compare_runtime_throughput(old, new, threshold)
 
 
@@ -254,6 +271,87 @@ class ServeFanoutGates(unittest.TestCase):
         # no-drop invariants, and hold the 1M-subscription row.
         subs = [row["subscriptions"] for row in report["results"]]
         self.assertIn(1000000, subs)
+
+
+class FleetScaleGates(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = fleet_report()
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+
+    def test_regression_beyond_threshold_fails(self):
+        failures = compare(fleet_report(),
+                           fleet_report(ns_per_tick_per_source=46.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("regressed", failures[0])
+
+    def test_regression_within_threshold_passes(self):
+        self.assertEqual(
+            compare(fleet_report(),
+                    fleet_report(ns_per_tick_per_source=43.0)), [])
+
+    def test_missing_row_fails(self):
+        failures = compare(fleet_report(), fleet_report(sources=10000))
+        self.assertTrue(any("missing in new" in f for f in failures))
+
+    def test_over_absolute_budget_fails(self):
+        # Even without a relative regression (old was already slow),
+        # meeting the per-source baseline fails the absolute gate.
+        old = fleet_report(
+            ns_per_tick_per_source=bench_compare.FLEET_NS_LIMIT)
+        new = fleet_report(
+            ns_per_tick_per_source=bench_compare.FLEET_NS_LIMIT)
+        failures = compare(old, new)
+        self.assertTrue(any("not below the per-source baseline" in f
+                            for f in failures))
+
+    def test_just_under_budget_passes(self):
+        self.assertEqual(
+            compare(fleet_report(ns_per_tick_per_source=74.0),
+                    fleet_report(ns_per_tick_per_source=74.0)), [])
+
+    def test_mass_spill_fails(self):
+        failures = compare(fleet_report(), fleet_report(resident_ratio=0.4))
+        self.assertTrue(any("spilled off the batched path" in f
+                            for f in failures))
+
+    def test_divergence_from_twin_fails(self):
+        failures = compare(fleet_report(), fleet_report(equivalent=False))
+        self.assertTrue(any("diverged" in f for f in failures))
+
+    def test_row_without_equivalence_check_passes(self):
+        # Only the smallest fleet size carries the twin cross-check;
+        # rows without the field are not failures.
+        self.assertEqual(compare(fleet_report(), fleet_report()), [])
+
+    def test_committed_snapshot_self_compare_is_clean(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_fleet_scale.json")
+        self.assertTrue(os.path.exists(path),
+                        "committed fleet-scale snapshot missing")
+        with open(path) as f:
+            report = json.load(f)
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+        # The committed run must hold the million-source row, beat the
+        # per-source budget on it, and carry a passing equivalence
+        # cross-check somewhere in the sweep.
+        rows = {row["sources"]: row for row in report["results"]}
+        self.assertIn(1000000, rows)
+        self.assertLess(rows[1000000]["ns_per_tick_per_source"],
+                        bench_compare.FLEET_NS_LIMIT)
+        self.assertTrue(any(row.get("equivalent") is True
+                            for row in report["results"]))
+
+
+class RuntimeReportNewKeys(unittest.TestCase):
+    def test_rows_with_memory_keys_pass(self):
+        new = runtime_report(sources_per_sec=400000.0,
+                             peak_rss_bytes=512 * 1024 * 1024)
+        self.assertEqual(compare(runtime_report(), new), [])
+
+    def test_rows_without_memory_keys_still_pass(self):
+        # Older committed snapshots predate the keys; both sides of the
+        # compare must accept their absence.
+        self.assertEqual(compare(runtime_report(), runtime_report()), [])
 
 
 class MainEndToEnd(unittest.TestCase):

@@ -254,15 +254,24 @@ class CheckpointAccess {
       SourceSnapshot source;
       source.source_id = source_id;
       source.model = engine.models_.at(source_id);
-      DKF_ASSIGN_OR_RETURN(source.node,
-                           shard.sources_.at(source_id)->ExportCheckpoint());
-      DKF_ASSIGN_OR_RETURN(source.link, shard.server_.ExportLink(source_id));
+      // Routed exports: a batch-resident source (src/fleet/) synthesizes
+      // the exact per-source state a spilled run would capture, so the
+      // snapshot bytes are engine-agnostic.
+      DKF_ASSIGN_OR_RETURN(source.node, shard.ExportSourceState(source_id));
+      DKF_ASSIGN_OR_RETURN(source.link, shard.ExportLinkState(source_id));
       source.channel = shard.channel_.ExportSourceCheckpoint(source_id);
       snapshot.sources.push_back(std::move(source));
     }
 
     for (const auto& shard : engine.shards_) {
       snapshot.server_faults.MergeFrom(shard->server_.fault_stats());
+      // Degraded ticks accounted on batch lanes live in the fleet
+      // engine; fold them in so the merged counters match a per-source
+      // run's server-side totals.
+      if (shard->fleet_ != nullptr) {
+        snapshot.server_faults.degraded_ticks +=
+            shard->fleet_->degraded_ticks();
+      }
     }
     snapshot.has_shared_rng = false;
 
@@ -589,7 +598,7 @@ Status ShardedStreamEngine::Save(const std::string& path) const {
 }
 
 Result<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Restore(
-    const std::string& path, int num_shards) {
+    const std::string& path, int num_shards, bool batched_fleet) {
   DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot, LoadSnapshotFile(path));
   if (!snapshot.channel.per_source_rng &&
       (snapshot.channel.drop_probability > 0.0 ||
@@ -606,6 +615,10 @@ Result<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Restore(
   options.default_delta = snapshot.default_delta;
   options.protocol = snapshot.protocol;
   options.serve = snapshot.serve.options;
+  // Snapshots are engine-agnostic: restoring onto the batched fleet
+  // engine reconstructs every source on the per-source path (spilled)
+  // and lets eligible ones re-enter their lanes after the next tick.
+  options.batched_fleet = batched_fleet;
   auto engine = std::make_unique<ShardedStreamEngine>(options);
   DKF_RETURN_IF_ERROR(CheckpointAccess::Restore(*engine, snapshot));
   return engine;

@@ -272,6 +272,23 @@ void Channel::FinalizeRestore() {
   }
 }
 
+bool Channel::has_residual_for(int source_id) const {
+  for (const auto& entry : in_flight_) {
+    if (entry.message.source_id == source_id) return true;
+  }
+  auto it = deferred_acks_.find(source_id);
+  return it != deferred_acks_.end() && !it->second.empty();
+}
+
+void Channel::AppendResidualSources(std::vector<int>* out) const {
+  for (const auto& entry : in_flight_) {
+    out->push_back(entry.message.source_id);
+  }
+  for (const auto& [id, acks] : deferred_acks_) {
+    if (!acks.empty()) out->push_back(id);
+  }
+}
+
 std::vector<uint32_t> Channel::TakeAcks(int source_id) {
   auto it = deferred_acks_.find(source_id);
   if (it == deferred_acks_.end()) return {};

@@ -112,6 +112,18 @@ class Channel {
   /// Messages currently sitting in the in-flight (delay) queue.
   size_t in_flight() const { return in_flight_.size(); }
 
+  /// True while the channel still holds state for `source_id`: an
+  /// in-flight (delayed) message, or a deferred ACK the sender has not
+  /// collected yet. The batched fleet engine (src/fleet/) uses this as an
+  /// absorb guard — a source with channel residue can still be mutated
+  /// asymmetrically by a delivery, so it must stay on the per-source path.
+  bool has_residual_for(int source_id) const;
+
+  /// Appends every source id with channel residue (possibly with
+  /// duplicates) to `out`: the bulk form of has_residual_for, so a scan
+  /// over many sources pays for the in-flight queue once, not per id.
+  void AppendResidualSources(std::vector<int>* out) const;
+
   /// Wires an observability sink: every fault the channel injects (drop,
   /// outage, corruption, delay, ACK loss) is emitted as a trace event
   /// stamped with the message's send tick and source. Pass nullptr to

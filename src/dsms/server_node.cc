@@ -60,6 +60,14 @@ Status ServerNode::TickAll() {
   return Status::OK();
 }
 
+Status ServerNode::TickSource(int source_id) {
+  auto it = predictors_.find(source_id);
+  if (it == predictors_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->Tick();
+}
+
 Status ServerNode::OnMessage(const Message& message) {
   auto it = predictors_.find(message.source_id);
   if (it == predictors_.end()) {

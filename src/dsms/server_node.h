@@ -47,6 +47,13 @@ class ServerNode {
   /// simulation tick, before delivering that tick's messages.
   Status TickAll();
 
+  /// Advances exactly one source's predictor, without touching the tick
+  /// clock or degraded-link accounting. Used by the batched fleet engine
+  /// when it spills a lane mid-tick: the freshly re-registered predictor
+  /// must catch up to the tick that TickAll (spilled sources only) already
+  /// applied to everyone else.
+  Status TickSource(int source_id);
+
   /// Applies an update, resync, heartbeat, or model-switch message.
   Status OnMessage(const Message& message);
 

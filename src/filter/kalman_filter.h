@@ -212,6 +212,11 @@ class KalmanFilter {
     obs_actor_ = actor;
   }
 
+  /// The transition matrix this filter itself would use at `step` — the
+  /// batched fleet engine (src/fleet/) asserts its cached per-group
+  /// coefficients are these exact bits before trusting them.
+  const Matrix& TransitionForStep(int64_t step) { return TransitionAt(step); }
+
  private:
   explicit KalmanFilter(KalmanFilterOptions options);
 

@@ -1,0 +1,1019 @@
+#include "fleet/fleet_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "core/suppression.h"
+
+namespace dkf {
+
+namespace {
+
+// Bitwise comparison helpers. The absorb predicate and the cached-phi
+// assertion both demand *bit* equality — `==` on doubles would treat
+// -0.0 == 0.0 and NaN != NaN, either of which could let a lane drift
+// from the per-source arithmetic by one representation.
+bool BitEqual(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return false;
+  return a.size() == 0 ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool BitEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const size_t n = a.rows() * a.cols();
+  return n == 0 ||
+         std::memcmp(a.RowData(0), b.RowData(0), n * sizeof(double)) == 0;
+}
+
+bool BitEqual(const std::vector<double>& flat, const Matrix& m) {
+  if (flat.size() != m.rows() * m.cols()) return false;
+  return flat.empty() ||
+         std::memcmp(flat.data(), m.RowData(0),
+                     flat.size() * sizeof(double)) == 0;
+}
+
+/// Every field of FullState, bitwise — StateEquals only compares
+/// step/x/p, which is not enough to fold two filters into one lane: the
+/// steady-state bookkeeping and noise matrices drive future arithmetic.
+bool FullStateBitEqual(const KalmanFilter::FullState& a,
+                       const KalmanFilter::FullState& b) {
+  if (a.step != b.step || a.phase != b.phase || a.ss_mode != b.ss_mode ||
+      a.ss_streak1 != b.ss_streak1 || a.ss_streak2 != b.ss_streak2 ||
+      a.predicts_since_correct != b.predicts_since_correct ||
+      a.ss_have_prev != b.ss_have_prev || a.ss_period != b.ss_period ||
+      a.ss_pending_priors != b.ss_pending_priors ||
+      a.ss_capture_idx != b.ss_capture_idx || a.ss_idx != b.ss_idx) {
+    return false;
+  }
+  if (!BitEqual(a.x, b.x) || !BitEqual(a.p, b.p) ||
+      !BitEqual(a.last_innovation, b.last_innovation) ||
+      !BitEqual(a.process_noise, b.process_noise) ||
+      !BitEqual(a.measurement_noise, b.measurement_noise) ||
+      !BitEqual(a.ss_prev_gain, b.ss_prev_gain)) {
+    return false;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (!BitEqual(a.ss_prev_post[i], b.ss_prev_post[i]) ||
+        !BitEqual(a.ss_gain[i], b.ss_gain[i]) ||
+        !BitEqual(a.ss_prior_p[i], b.ss_prior_p[i]) ||
+        !BitEqual(a.ss_post_p[i], b.ss_post_p[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AppendRaw(std::string* out, const void* p, size_t bytes) {
+  out->append(static_cast<const char*>(p), bytes);
+}
+
+void AppendMatrix(std::string* out, const Matrix& m) {
+  const size_t rows = m.rows();
+  const size_t cols = m.cols();
+  AppendRaw(out, &rows, sizeof(rows));
+  AppendRaw(out, &cols, sizeof(cols));
+  if (rows * cols > 0) AppendRaw(out, m.RowData(0), rows * cols * 8);
+}
+
+/// Canonical byte key of everything that makes two models interchangeable
+/// for batching purposes: lanes in one group share coefficients and the
+/// replay/loaner filters, so any field that could alter arithmetic or
+/// trace behavior must be part of the key.
+std::string ModelKey(const StateModel& model) {
+  std::string key = model.name;
+  key.push_back('\0');
+  AppendRaw(&key, &model.measurement_dim, sizeof(model.measurement_dim));
+  const char fast = model.options.steady_state_fast_path ? 1 : 0;
+  AppendRaw(&key, &fast, sizeof(fast));
+  AppendRaw(&key, &model.options.steady_state_tolerance, sizeof(double));
+  AppendMatrix(&key, model.options.transition);
+  AppendMatrix(&key, model.options.measurement);
+  AppendMatrix(&key, model.options.process_noise);
+  AppendMatrix(&key, model.options.measurement_noise);
+  AppendMatrix(&key, model.options.initial_covariance);
+  const size_t n = model.options.initial_state.size();
+  AppendRaw(&key, &n, sizeof(n));
+  if (n > 0) AppendRaw(&key, model.options.initial_state.data(), n * 8);
+  return key;
+}
+
+void FlattenMatrix(const Matrix& m, std::vector<double>* out) {
+  out->resize(m.rows() * m.cols());
+  if (!out->empty()) {
+    std::memcpy(out->data(), m.RowData(0), out->size() * sizeof(double));
+  }
+}
+
+}  // namespace
+
+FleetEngine::FleetEngine(ServerNode* server, Channel* channel,
+                         const ProtocolOptions& protocol,
+                         const EnergyModelOptions& energy)
+    : server_(server), channel_(channel), protocol_(protocol),
+      energy_(energy) {}
+
+Result<int> FleetEngine::GroupFor(const StateModel& model) {
+  if (model.options.transition_fn) return -1;  // no constant phi to cache
+  std::string key = ModelKey(model);
+  auto it = group_by_key_.find(key);
+  if (it != group_by_key_.end()) return it->second;
+
+  auto group = std::make_unique<Group>();
+  group->model = model;
+  group->n = model.options.initial_state.size();
+  group->m = model.options.measurement.rows();
+  DKF_ASSIGN_OR_RETURN(KalmanPredictor replay, KalmanPredictor::Create(model));
+  DKF_ASSIGN_OR_RETURN(KalmanPredictor loaner, KalmanPredictor::Create(model));
+  group->replay = std::move(replay);
+  group->loaner = std::move(loaner);
+  FlattenMatrix(model.options.transition, &group->phi);
+  FlattenMatrix(model.options.measurement, &group->h);
+  FlattenMatrix(model.options.process_noise, &group->q);
+  FlattenMatrix(model.options.measurement_noise, &group->r);
+  // The cached coefficients are derived once per group instead of per
+  // source; they must be the very bits the filter's own transition lookup
+  // produces, or the flat kernels would not be bit-identical to Predict.
+  const Matrix& phi0 = group->replay->mutable_filter().TransitionForStep(0);
+  if (!BitEqual(group->phi, phi0)) {
+    return Status::Internal(
+        "cached transition coefficients diverge from TransitionAt output");
+  }
+  group->sx.resize(group->n);
+  group->sp1.resize(group->n * group->n);
+  group->sp2.resize(group->n * group->n);
+  const int index = static_cast<int>(groups_.size());
+  groups_.push_back(std::move(group));
+  group_by_key_[std::move(key)] = index;
+  return index;
+}
+
+Status FleetEngine::Track(int source_id, const StateModel& model,
+                          SourceNode* node) {
+  if (nodes_.contains(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("source %d already tracked", source_id));
+  }
+  DKF_ASSIGN_OR_RETURN(int group_index, GroupFor(model));
+  nodes_[source_id] = node;
+  eligible_group_[source_id] = group_index;
+  spilled_.insert(source_id);
+  order_dirty_ = true;
+  return Status::OK();
+}
+
+KalmanFilter::FullState FleetEngine::LaneFullState(const Group& g,
+                                                   size_t lane) const {
+  KalmanFilter::FullState f = g.cold[lane];
+  const size_t n = g.n;
+  f.x = Vector(n);
+  std::memcpy(f.x.data(), &g.x[lane * n], n * sizeof(double));
+  if (g.p_stale[lane]) {
+    // Armed lanes defer the frozen-covariance copy; the filter's own fast
+    // path assigns p <- ss_prior_p[ss_idx] eagerly, so reconstruct that.
+    f.p = f.ss_prior_p[g.ss_idx[lane]];
+  } else {
+    f.p = Matrix(n, n);
+    std::memcpy(f.p.MutableRowData(0), &g.p[lane * n * n],
+                n * n * sizeof(double));
+  }
+  f.step = g.step[lane];
+  f.predicts_since_correct = g.psc[lane];
+  f.phase = g.phase[lane];
+  f.ss_mode = g.ss_mode[lane];
+  f.ss_idx = g.ss_idx[lane];
+  return f;
+}
+
+Result<SourceNode::CheckpointState> FleetEngine::SynthesizeForLane(
+    const Group& g, size_t lane) const {
+  const int id = g.ids[lane];
+  auto node_it = nodes_.find(id);
+  if (node_it == nodes_.end()) {
+    return Status::NotFound(StrFormat("source %d not tracked", id));
+  }
+  DKF_ASSIGN_OR_RETURN(SourceNode::CheckpointState state,
+                       node_it->second->ExportCheckpoint());
+  // The dormant node still holds everything a lane never advances (delta,
+  // sequence counter, divergence machine, fault counters); overlay the
+  // fields the lane does move.
+  state.mirror = LaneFullState(g, lane);
+  state.readings = g.readings[lane];
+  state.energy_transmission = g.energy_transmission[lane];
+  state.energy_compute = g.energy_compute[lane];
+  state.energy_sensing = g.energy_sensing[lane];
+  state.last_send_tick = g.last_send_tick[lane];
+  return state;
+}
+
+ServerNode::LinkSnapshot FleetEngine::SynthesizeLinkForLane(
+    const Group& g, size_t lane) const {
+  ServerNode::LinkSnapshot link;
+  link.last_sequence = g.link_last_sequence[lane];
+  link.last_valid_tick = g.link_last_valid_tick[lane];
+  link.last_resync_tick = g.link_last_resync_tick[lane];
+  link.last_update_tick = g.link_last_update_tick[lane];
+  // Mirror and predictor are bitwise equal while resident — one lane IS
+  // the whole dual link — so the same reconstruction serves both.
+  link.predictor = LaneFullState(g, lane);
+  return link;
+}
+
+size_t FleetEngine::AddLane(Group& g, int source_id,
+                            const SourceNode::CheckpointState& state,
+                            const ServerNode::LinkSnapshot& link) {
+  const size_t lane = g.ids.size();
+  const size_t n = g.n;
+  const KalmanFilter::FullState& m = state.mirror;
+  g.ids.push_back(source_id);
+  g.x.insert(g.x.end(), m.x.data(), m.x.data() + n);
+  g.p.insert(g.p.end(), m.p.RowData(0), m.p.RowData(0) + n * n);
+  g.step.push_back(m.step);
+  g.psc.push_back(m.predicts_since_correct);
+  g.phase.push_back(m.phase);
+  g.ss_mode.push_back(m.ss_mode);
+  g.ss_idx.push_back(m.ss_idx);
+  g.p_stale.push_back(0);
+  g.delta.push_back(state.delta);
+  g.last_send_tick.push_back(state.last_send_tick);
+  g.readings.push_back(state.readings);
+  g.energy_transmission.push_back(state.energy_transmission);
+  g.energy_compute.push_back(state.energy_compute);
+  g.energy_sensing.push_back(state.energy_sensing);
+  g.link_last_sequence.push_back(link.last_sequence);
+  g.link_last_valid_tick.push_back(link.last_valid_tick);
+  g.link_last_resync_tick.push_back(link.last_resync_tick);
+  g.link_last_update_tick.push_back(link.last_update_tick);
+  g.ss_period.push_back(m.ss_period);
+  g.batch_rank.push_back(-1);
+  g.value_ptrs.push_back(nullptr);
+  g.cold.push_back(m);
+  return lane;
+}
+
+void FleetEngine::RemoveLane(Group& g, size_t lane) {
+  const size_t last = g.ids.size() - 1;
+  const size_t n = g.n;
+  if (lane != last) {
+    const int moved = g.ids[last];
+    g.ids[lane] = g.ids[last];
+    std::memcpy(&g.x[lane * n], &g.x[last * n], n * sizeof(double));
+    std::memcpy(&g.p[lane * n * n], &g.p[last * n * n],
+                n * n * sizeof(double));
+    g.step[lane] = g.step[last];
+    g.psc[lane] = g.psc[last];
+    g.phase[lane] = g.phase[last];
+    g.ss_mode[lane] = g.ss_mode[last];
+    g.ss_idx[lane] = g.ss_idx[last];
+    g.p_stale[lane] = g.p_stale[last];
+    g.delta[lane] = g.delta[last];
+    g.last_send_tick[lane] = g.last_send_tick[last];
+    g.readings[lane] = g.readings[last];
+    g.energy_transmission[lane] = g.energy_transmission[last];
+    g.energy_compute[lane] = g.energy_compute[last];
+    g.energy_sensing[lane] = g.energy_sensing[last];
+    g.link_last_sequence[lane] = g.link_last_sequence[last];
+    g.link_last_valid_tick[lane] = g.link_last_valid_tick[last];
+    g.link_last_resync_tick[lane] = g.link_last_resync_tick[last];
+    g.link_last_update_tick[lane] = g.link_last_update_tick[last];
+    g.ss_period[lane] = g.ss_period[last];
+    g.batch_rank[lane] = g.batch_rank[last];
+    g.value_ptrs[lane] = g.value_ptrs[last];
+    g.cold[lane] = std::move(g.cold[last]);
+    resident_[moved].lane = lane;
+  }
+  g.ids.pop_back();
+  g.x.resize(g.x.size() - n);
+  g.p.resize(g.p.size() - n * n);
+  g.step.pop_back();
+  g.psc.pop_back();
+  g.phase.pop_back();
+  g.ss_mode.pop_back();
+  g.ss_idx.pop_back();
+  g.p_stale.pop_back();
+  g.delta.pop_back();
+  g.last_send_tick.pop_back();
+  g.readings.pop_back();
+  g.energy_transmission.pop_back();
+  g.energy_compute.pop_back();
+  g.energy_sensing.pop_back();
+  g.link_last_sequence.pop_back();
+  g.link_last_valid_tick.pop_back();
+  g.link_last_resync_tick.pop_back();
+  g.link_last_update_tick.pop_back();
+  g.ss_period.pop_back();
+  g.batch_rank.pop_back();
+  g.value_ptrs.pop_back();
+  g.cold.pop_back();
+}
+
+Status FleetEngine::SpillLane(int group_index, size_t lane, int64_t tick,
+                              const Vector* reading) {
+  Group& g = *groups_[group_index];
+  const int id = g.ids[lane];
+  SourceNode* node = nodes_.at(id);
+
+  DKF_ASSIGN_OR_RETURN(SourceNode::CheckpointState synth,
+                       SynthesizeForLane(g, lane));
+  ServerNode::LinkSnapshot link = SynthesizeLinkForLane(g, lane);
+  DKF_RETURN_IF_ERROR(node->ImportCheckpoint(synth));
+  DKF_RETURN_IF_ERROR(server_->RegisterSource(id, g.model));
+  DKF_RETURN_IF_ERROR(server_->RestoreLink(id, link));
+
+  RemoveLane(g, lane);
+  resident_.erase(id);
+  spilled_.insert(id);
+  order_dirty_ = true;
+
+  if (reading != nullptr) {
+    // Mid-tick spill: the server's TickAll already ran without this id,
+    // so the freshly re-registered predictor replays the predict it
+    // missed, then the verbatim per-source code takes the tick over.
+    DKF_RETURN_IF_ERROR(server_->TickSource(id));
+    auto step_or = node->ProcessReading(tick, *reading, channel_);
+    if (!step_or.ok()) return step_or.status();
+  }
+  return Status::OK();
+}
+
+Status FleetEngine::SpillForReconfigure(int source_id) {
+  auto it = resident_.find(source_id);
+  if (it == resident_.end()) return Status::OK();
+  return SpillLane(it->second.group, it->second.lane, /*tick=*/0,
+                   /*reading=*/nullptr);
+}
+
+int64_t FleetEngine::LookupBatchPos(const ReadingBatch& batch, int id,
+                                    bool* rebuilt) {
+  auto it = batch_pos_.find(id);
+  if (it != batch_pos_.end()) {
+    const int64_t pos = it->second;
+    if (pos >= 0 && static_cast<size_t>(pos) < batch.ids.size() &&
+        batch.ids[pos] == id) {
+      return pos;
+    }
+  }
+  if (!*rebuilt) {
+    batch_pos_.clear();
+    batch_pos_.reserve(batch.ids.size());
+    for (size_t i = 0; i < batch.ids.size(); ++i) {
+      batch_pos_[batch.ids[i]] = static_cast<int64_t>(i);
+    }
+    *rebuilt = true;
+    auto again = batch_pos_.find(id);
+    if (again != batch_pos_.end()) return again->second;
+  }
+  return -1;
+}
+
+void FleetEngine::RebuildOrder() {
+  order_.clear();
+  order_.reserve(nodes_.size());
+  for (auto& [id, node] : nodes_) {
+    TickEntry entry;
+    entry.id = id;
+    entry.node = node;
+    auto res = resident_.find(id);
+    if (res != resident_.end()) {
+      entry.group = res->second.group;
+      entry.lane = static_cast<int32_t>(res->second.lane);
+      // Carry the warm rank cache across the rebuild.
+      entry.rank = groups_[entry.group]->batch_rank[res->second.lane];
+    }
+    order_.push_back(entry);
+  }
+  order_dirty_ = false;
+}
+
+Status FleetEngine::ResolveReadings(const std::map<int, Vector>* readings,
+                                    const ReadingBatch* batch) {
+  staged_spilled_.clear();
+  staged_spilled_.reserve(spilled_.size());
+  if (order_dirty_) RebuildOrder();
+  bool rebuilt = false;
+  // Ascending id, like RunSourceTick's staging pass: the first missing
+  // reading reported is the same one the per-source path would name, and
+  // nothing is resolved until everything is (error before state moves).
+  for (TickEntry& entry : order_) {
+    const Vector* value = nullptr;
+    if (readings != nullptr) {
+      auto it = readings->find(entry.id);
+      if (it != readings->end()) value = &it->second;
+    } else {
+      // Fast path: the cached rank from the previous tick usually still
+      // holds (callers keep batch order stable); fall back to the
+      // position index, rebuilt at most once per tick.
+      int64_t rank = entry.rank;
+      if (rank < 0 || static_cast<size_t>(rank) >= batch->ids.size() ||
+          batch->ids[rank] != entry.id) {
+        rank = LookupBatchPos(*batch, entry.id, &rebuilt);
+      }
+      if (rank >= 0) {
+        entry.rank = rank;
+        value = &batch->values[rank];
+      }
+    }
+    if (value == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("missing reading for source %d", entry.id));
+    }
+    if (entry.group >= 0) {
+      Group& g = *groups_[entry.group];
+      g.batch_rank[entry.lane] = entry.rank;
+      g.value_ptrs[entry.lane] = value;
+    } else {
+      staged_spilled_.emplace_back(entry.node, value);
+    }
+  }
+  return Status::OK();
+}
+
+void FleetEngine::AccountDegradedLanes() {
+  // Replicates the degraded-service block at the top of
+  // ServerNode::TickAll for the lanes the server no longer sees,
+  // including its cheap-guard short-circuit so a fault-free run pays
+  // nothing. Must run before TickAll (`now` is the tick that just
+  // completed, under the pre-increment clock).
+  if (server_->ticks() <= 0 ||
+      (protocol_.staleness_budget <= 0 &&
+       server_->fault_stats().resyncs_applied == 0)) {
+    return;
+  }
+  const int64_t now = server_->ticks() - 1;
+  for (const auto& group : groups_) {
+    const Group& g = *group;
+    for (size_t i = 0; i < g.ids.size(); ++i) {
+      const bool degraded =
+          g.link_last_resync_tick[i] == now ||
+          (protocol_.staleness_budget > 0 &&
+           now - g.link_last_valid_tick[i] >= protocol_.staleness_budget);
+      if (!degraded) continue;
+      int64_t overdue = 0;
+      if (protocol_.staleness_budget > 0) {
+        overdue = now - g.link_last_valid_tick[i] -
+                  protocol_.staleness_budget + 1;
+      }
+      if (g.link_last_resync_tick[i] == now) {
+        overdue = std::max<int64_t>(overdue, 1);
+      }
+      overdue = std::max<int64_t>(overdue, 0);
+      ++degraded_ticks_;
+      DKF_TRACE(obs_sink_, now, g.ids[i], TraceEventKind::kDegradedTick,
+                TraceActor::kServer, static_cast<double>(overdue));
+    }
+  }
+}
+
+Status FleetEngine::TickLane(int group_index, size_t lane, int64_t tick,
+                             bool* spilled) {
+  Group& g = *groups_[group_index];
+  const int id = g.ids[lane];
+  const Vector* z = g.value_ptrs[lane];
+  const size_t n = g.n;
+  const size_t m = g.m;
+
+  // A due heartbeat touches the channel whatever the deviation says
+  // (suppressed -> heartbeat, violated -> measurement), so the per-source
+  // code must own this tick either way.
+  if (protocol_.heartbeat_interval > 0 &&
+      tick - g.last_send_tick[lane] >= protocol_.heartbeat_interval) {
+    DKF_RETURN_IF_ERROR(SpillLane(group_index, lane, tick, z));
+    *spilled = true;
+    return Status::OK();
+  }
+
+  double deviation = 0.0;
+  const double* phi = g.phi.data();
+  const double* h = g.h.data();
+  double* sx = g.sx.data();
+
+  if (g.ss_mode[lane] == kSsArmPending) {
+    // The rare arm-pending predict runs through the real filter so the
+    // capture/arm/freeze transition stays bit-exact, trace included.
+    // First a silent replay decides suppress-vs-spill without touching
+    // the lane; then, if suppressed, one traced replay per actor emits
+    // exactly what the server filter (TickAll) and the mirror
+    // (ProcessReading) would have, in that order.
+    KalmanPredictor& replay = *g.replay;
+    const KalmanFilter::FullState pre = LaneFullState(g, lane);
+    replay.SetTrace(nullptr, 0, TraceActor::kSourceFilter);
+    DKF_RETURN_IF_ERROR(replay.ImportFullState(pre));
+    DKF_RETURN_IF_ERROR(replay.Tick());
+    deviation = Deviation(replay.Predicted(), *z, DeviationNorm::kMaxAbs);
+    if (deviation > g.delta[lane]) {
+      DKF_RETURN_IF_ERROR(SpillLane(group_index, lane, tick, z));
+      *spilled = true;
+      return Status::OK();
+    }
+    DKF_RETURN_IF_ERROR(replay.ImportFullState(pre));
+    replay.SetTrace(obs_sink_, id, TraceActor::kServerFilter);
+    DKF_RETURN_IF_ERROR(replay.Tick());
+    DKF_RETURN_IF_ERROR(replay.ImportFullState(pre));
+    replay.SetTrace(obs_sink_, id, TraceActor::kSourceFilter);
+    DKF_RETURN_IF_ERROR(replay.Tick());
+    replay.SetTrace(nullptr, 0, TraceActor::kSourceFilter);
+    DKF_ASSIGN_OR_RETURN(KalmanFilter::FullState post,
+                         replay.ExportFullState());
+    g.cold[lane] = post;
+    std::memcpy(&g.x[lane * n], post.x.data(), n * sizeof(double));
+    std::memcpy(&g.p[lane * n * n], post.p.RowData(0),
+                n * n * sizeof(double));
+    g.p_stale[lane] = 0;
+    g.step[lane] = post.step;
+    g.psc[lane] = post.predicts_since_correct;
+    g.phase[lane] = post.phase;
+    g.ss_mode[lane] = post.ss_mode;
+    g.ss_idx[lane] = post.ss_idx;
+  } else if (g.ss_mode[lane] == kSsArmed &&
+             g.phase[lane] == kPhaseCorrected) {
+    // Armed fast path (KalmanFilter::Predict, armed branch): x <- phi x,
+    // covariance snaps along the frozen cycle. Flat replica of
+    // MultiplyInto(Matrix, Vector) — plain ascending sums, no zero-skip.
+    const double* x = &g.x[lane * n];
+    for (size_t r = 0; r < n; ++r) {
+      const double* phi_row = phi + r * n;
+      double sum = 0.0;
+      for (size_t c = 0; c < n; ++c) sum += phi_row[c] * x[c];
+      sx[r] = sum;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (!std::isfinite(sx[r])) {
+        return Status::Internal("filter state diverged to non-finite values");
+      }
+    }
+    for (size_t r = 0; r < m; ++r) {
+      const double* h_row = h + r * n;
+      double sum = 0.0;
+      for (size_t c = 0; c < n; ++c) sum += h_row[c] * sx[c];
+      deviation = std::max(deviation, std::fabs(sum - (*z)[r]));
+    }
+    if (deviation > g.delta[lane]) {
+      DKF_RETURN_IF_ERROR(SpillLane(group_index, lane, tick, z));
+      *spilled = true;
+      return Status::OK();
+    }
+    std::memcpy(&g.x[lane * n], sx, n * sizeof(double));
+    // (ss_idx + 1) % period without the integer divide: ss_idx stays in
+    // [0, period), so the wrap is a single compare.
+    const int32_t next_idx = g.ss_idx[lane] + 1;
+    g.ss_idx[lane] = next_idx == g.ss_period[lane] ? 0 : next_idx;
+    // Defer the p <- ss_prior_p[ss_idx] copy; LaneFullState and the next
+    // slow predict materialize it on demand.
+    g.p_stale[lane] = 1;
+    ++g.step[lane];
+    ++g.psc[lane];
+    g.phase[lane] = kPhasePredicted;
+  } else {
+    if (g.ss_mode[lane] == kSsArmed) {
+      // Coasting break: a second Predict without a Correct leaves the
+      // frozen cycle (DisarmSteadyState). Both halves of the dual link
+      // disarm at the same step; the server filter's event lands first
+      // because TickAll runs before the source loop.
+      const double period = static_cast<double>(g.cold[lane].ss_period);
+      DKF_TRACE(obs_sink_, g.step[lane], id, TraceEventKind::kFastPathDisarm,
+                TraceActor::kServerFilter, period);
+      DKF_TRACE(obs_sink_, g.step[lane], id, TraceEventKind::kFastPathDisarm,
+                TraceActor::kSourceFilter, period);
+      g.ss_mode[lane] = kSsTracking;
+      g.cold[lane].ss_streak1 = 0;
+      g.cold[lane].ss_streak2 = 0;
+      g.cold[lane].ss_have_prev = 0;
+      if (g.p_stale[lane]) {
+        std::memcpy(&g.p[lane * n * n],
+                    g.cold[lane].ss_prior_p[g.ss_idx[lane]].RowData(0),
+                    n * n * sizeof(double));
+        g.p_stale[lane] = 0;
+      }
+    }
+    // Slow predict (KalmanFilter::Predict, tracking path): x <- phi x,
+    // P <- phi P phi^T + Q, then Symmetrize — flat replicas of the
+    // in-place kernels, including their zero-skip structure, so every
+    // accumulation happens in the same order on the same values.
+    const double* x = &g.x[lane * n];
+    const double* p = &g.p[lane * n * n];
+    double* sp1 = g.sp1.data();
+    double* sp2 = g.sp2.data();
+    for (size_t r = 0; r < n; ++r) {
+      const double* phi_row = phi + r * n;
+      double sum = 0.0;
+      for (size_t c = 0; c < n; ++c) sum += phi_row[c] * x[c];
+      sx[r] = sum;
+    }
+    // sp1 = phi P (MultiplyInto: skip zero phi entries, accumulate rows).
+    std::memset(sp1, 0, n * n * sizeof(double));
+    for (size_t r = 0; r < n; ++r) {
+      const double* phi_row = phi + r * n;
+      double* out_row = sp1 + r * n;
+      for (size_t k = 0; k < n; ++k) {
+        const double av = phi_row[k];
+        if (av == 0.0) continue;
+        const double* p_row = p + k * n;
+        for (size_t c = 0; c < n; ++c) out_row[c] += av * p_row[c];
+      }
+    }
+    // sp2 = sp1 phi^T (MultiplyTransposedInto: skip zero sp1 entries).
+    for (size_t r = 0; r < n; ++r) {
+      const double* a_row = sp1 + r * n;
+      double* out_row = sp2 + r * n;
+      for (size_t c = 0; c < n; ++c) {
+        const double* b_row = phi + c * n;
+        double sum = 0.0;
+        for (size_t k = 0; k < n; ++k) {
+          const double av = a_row[k];
+          if (av == 0.0) continue;
+          sum += av * b_row[k];
+        }
+        out_row[c] = sum;
+      }
+    }
+    // P' = sp2 + Q (AddScaledInto with scale 1.0), then Symmetrize.
+    const double* q = g.q.data();
+    for (size_t i = 0; i < n * n; ++i) sp2[i] = sp2[i] + 1.0 * q[i];
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = r + 1; c < n; ++c) {
+        const double avg = 0.5 * (sp2[r * n + c] + sp2[c * n + r]);
+        sp2[r * n + c] = avg;
+        sp2[c * n + r] = avg;
+      }
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (!std::isfinite(sx[r])) {
+        return Status::Internal("filter state diverged to non-finite values");
+      }
+    }
+    for (size_t i = 0; i < n * n; ++i) {
+      if (!std::isfinite(sp2[i])) {
+        return Status::Internal("filter state diverged to non-finite values");
+      }
+    }
+    for (size_t r = 0; r < m; ++r) {
+      const double* h_row = h + r * n;
+      double sum = 0.0;
+      for (size_t c = 0; c < n; ++c) sum += h_row[c] * sx[c];
+      deviation = std::max(deviation, std::fabs(sum - (*z)[r]));
+    }
+    if (deviation > g.delta[lane]) {
+      DKF_RETURN_IF_ERROR(SpillLane(group_index, lane, tick, z));
+      *spilled = true;
+      return Status::OK();
+    }
+    std::memcpy(&g.x[lane * n], sx, n * sizeof(double));
+    std::memcpy(&g.p[lane * n * n], sp2, n * n * sizeof(double));
+    ++g.step[lane];
+    ++g.psc[lane];
+    g.phase[lane] = kPhasePredicted;
+  }
+
+  // Suppressed-tick bookkeeping, exactly what ProcessReading accrues on
+  // this path: one reading charge, one mirror filter step, one suppress
+  // event carrying (deviation, delta).
+  g.energy_sensing[lane] += energy_.instructions_per_reading;
+  g.readings[lane] += 1;
+  g.energy_compute[lane] += energy_.instructions_per_filter_step;
+  DKF_TRACE(obs_sink_, tick, id, TraceEventKind::kSuppress,
+            TraceActor::kSource, deviation, g.delta[lane]);
+  return Status::OK();
+}
+
+Status FleetEngine::TickGroupLanes(int group_index, int64_t tick) {
+  Group& g = *groups_[group_index];
+  const size_t n = g.n;
+  const size_t m = g.m;
+  const double* phi = g.phi.data();
+  const double* h = g.h.data();
+  double* sx = g.sx.data();
+  double* sp1 = g.sp1.data();
+  double* sp2 = g.sp2.data();
+  const double* q = g.q.data();
+  const int64_t hb_interval = protocol_.heartbeat_interval;
+
+  size_t lane = 0;
+  while (lane < g.ids.size()) {
+    // The two hot cases, replicated from TickLane: no heartbeat due,
+    // and either the armed frozen-gain predict (corrected last tick) or
+    // the tracking-mode slow predict (the steady regime of a
+    // long-suppressed lane, which disarms after two uncorrected
+    // predicts and then predicts through the full covariance update).
+    // Commit happens only when the prediction is finite and inside
+    // delta; every exception falls back to TickLane, which recomputes
+    // from the untouched lane state bit-exactly.
+    if (!(hb_interval > 0 &&
+          tick - g.last_send_tick[lane] >= hb_interval)) {
+      const uint8_t mode = g.ss_mode[lane];
+      if (mode == kSsArmed && g.phase[lane] == kPhaseCorrected) {
+        const double* x = &g.x[lane * n];
+        for (size_t r = 0; r < n; ++r) {
+          const double* phi_row = phi + r * n;
+          double sum = 0.0;
+          for (size_t c = 0; c < n; ++c) sum += phi_row[c] * x[c];
+          sx[r] = sum;
+        }
+        bool finite = true;
+        for (size_t r = 0; r < n; ++r) {
+          if (!std::isfinite(sx[r])) finite = false;
+        }
+        if (finite) {
+          const Vector* z = g.value_ptrs[lane];
+          double deviation = 0.0;
+          for (size_t r = 0; r < m; ++r) {
+            const double* h_row = h + r * n;
+            double sum = 0.0;
+            for (size_t c = 0; c < n; ++c) sum += h_row[c] * sx[c];
+            deviation = std::max(deviation, std::fabs(sum - (*z)[r]));
+          }
+          if (deviation <= g.delta[lane]) {
+            std::memcpy(&g.x[lane * n], sx, n * sizeof(double));
+            const int32_t next_idx = g.ss_idx[lane] + 1;
+            g.ss_idx[lane] = next_idx == g.ss_period[lane] ? 0 : next_idx;
+            g.p_stale[lane] = 1;
+            ++g.step[lane];
+            ++g.psc[lane];
+            g.phase[lane] = kPhasePredicted;
+            g.energy_sensing[lane] += energy_.instructions_per_reading;
+            g.readings[lane] += 1;
+            g.energy_compute[lane] += energy_.instructions_per_filter_step;
+            DKF_TRACE(obs_sink_, tick, g.ids[lane],
+                      TraceEventKind::kSuppress, TraceActor::kSource,
+                      deviation, g.delta[lane]);
+            ++lane;
+            continue;
+          }
+        }
+      } else if (mode == kSsTracking && !g.p_stale[lane]) {
+        // Slow predict, identical flat kernels to TickLane's tracking
+        // branch (zero-skip structure and accumulation order included).
+        const double* x = &g.x[lane * n];
+        const double* p = &g.p[lane * n * n];
+        for (size_t r = 0; r < n; ++r) {
+          const double* phi_row = phi + r * n;
+          double sum = 0.0;
+          for (size_t c = 0; c < n; ++c) sum += phi_row[c] * x[c];
+          sx[r] = sum;
+        }
+        std::memset(sp1, 0, n * n * sizeof(double));
+        for (size_t r = 0; r < n; ++r) {
+          const double* phi_row = phi + r * n;
+          double* out_row = sp1 + r * n;
+          for (size_t k = 0; k < n; ++k) {
+            const double av = phi_row[k];
+            if (av == 0.0) continue;
+            const double* p_row = p + k * n;
+            for (size_t c = 0; c < n; ++c) out_row[c] += av * p_row[c];
+          }
+        }
+        for (size_t r = 0; r < n; ++r) {
+          const double* a_row = sp1 + r * n;
+          double* out_row = sp2 + r * n;
+          for (size_t c = 0; c < n; ++c) {
+            const double* b_row = phi + c * n;
+            double sum = 0.0;
+            for (size_t k = 0; k < n; ++k) {
+              const double av = a_row[k];
+              if (av == 0.0) continue;
+              sum += av * b_row[k];
+            }
+            out_row[c] = sum;
+          }
+        }
+        for (size_t i = 0; i < n * n; ++i) sp2[i] = sp2[i] + 1.0 * q[i];
+        for (size_t r = 0; r < n; ++r) {
+          for (size_t c = r + 1; c < n; ++c) {
+            const double avg = 0.5 * (sp2[r * n + c] + sp2[c * n + r]);
+            sp2[r * n + c] = avg;
+            sp2[c * n + r] = avg;
+          }
+        }
+        bool finite = true;
+        for (size_t r = 0; r < n; ++r) {
+          if (!std::isfinite(sx[r])) finite = false;
+        }
+        for (size_t i = 0; i < n * n; ++i) {
+          if (!std::isfinite(sp2[i])) finite = false;
+        }
+        if (finite) {
+          const Vector* z = g.value_ptrs[lane];
+          double deviation = 0.0;
+          for (size_t r = 0; r < m; ++r) {
+            const double* h_row = h + r * n;
+            double sum = 0.0;
+            for (size_t c = 0; c < n; ++c) sum += h_row[c] * sx[c];
+            deviation = std::max(deviation, std::fabs(sum - (*z)[r]));
+          }
+          if (deviation <= g.delta[lane]) {
+            std::memcpy(&g.x[lane * n], sx, n * sizeof(double));
+            std::memcpy(&g.p[lane * n * n], sp2, n * n * sizeof(double));
+            ++g.step[lane];
+            ++g.psc[lane];
+            g.phase[lane] = kPhasePredicted;
+            g.energy_sensing[lane] += energy_.instructions_per_reading;
+            g.readings[lane] += 1;
+            g.energy_compute[lane] += energy_.instructions_per_filter_step;
+            DKF_TRACE(obs_sink_, tick, g.ids[lane],
+                      TraceEventKind::kSuppress, TraceActor::kSource,
+                      deviation, g.delta[lane]);
+            ++lane;
+            continue;
+          }
+        }
+      }
+    }
+    bool spilled = false;
+    DKF_RETURN_IF_ERROR(TickLane(group_index, lane, tick, &spilled));
+    // A spill swap-removed this lane; the moved lane (if any) now sits
+    // at the same index and still needs its tick.
+    if (!spilled) ++lane;
+  }
+  return Status::OK();
+}
+
+Status FleetEngine::TryAbsorbAll() {
+  if (spilled_.empty()) return Status::OK();
+  // One channel pass for the whole scan: probing has_residual_for per
+  // spilled source walks the in-flight queue each time, which turns a
+  // convergence-phase fleet (everything spilled, everything in flight)
+  // into a quadratic stall.
+  residual_scratch_.clear();
+  channel_->AppendResidualSources(&residual_scratch_);
+  std::unordered_set<int> busy(residual_scratch_.begin(),
+                               residual_scratch_.end());
+  for (auto it = spilled_.begin(); it != spilled_.end();) {
+    const int id = *it;
+    const int group_index = eligible_group_.at(id);
+    if (group_index < 0) {
+      ++it;
+      continue;
+    }
+    SourceNode* node = nodes_.at(id);
+    // Cheap prechecks before the full export: a pending resync or any
+    // channel residue (an in-flight message or an uncollected deferred
+    // ACK) can still mutate this link asymmetrically.
+    if (node->resync_pending() || busy.contains(id)) {
+      ++it;
+      continue;
+    }
+    auto state_or = node->ExportCheckpoint();
+    if (!state_or.ok()) return state_or.status();
+    const SourceNode::CheckpointState& state = state_or.value();
+    if (state.pending || state.resync_attempts != 0 ||
+        state.first_resync_sequence != 0 ||
+        state.smoothing_factor.has_value()) {
+      ++it;
+      continue;
+    }
+    auto link_or = server_->ExportLink(id);
+    if (!link_or.ok()) return link_or.status();
+    const ServerNode::LinkSnapshot& link = link_or.value();
+    Group& g = *groups_[group_index];
+    // The equivalence contract: fold only when mirror and predictor are
+    // the same filter bit-for-bit AND still running the group's cached
+    // coefficients (a reconfigured Q/R would diverge from the flats).
+    if (!FullStateBitEqual(state.mirror, link.predictor) ||
+        !BitEqual(g.q, state.mirror.process_noise) ||
+        !BitEqual(g.r, state.mirror.measurement_noise)) {
+      ++it;
+      continue;
+    }
+    const size_t lane = AddLane(g, id, state, link);
+    DKF_RETURN_IF_ERROR(server_->UnregisterSource(id));
+    resident_[id] = LaneRef{group_index, lane};
+    order_dirty_ = true;
+    it = spilled_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FleetEngine::ProcessTickImpl(int64_t tick,
+                                    const std::map<int, Vector>* readings,
+                                    const ReadingBatch* batch) {
+  DKF_RETURN_IF_ERROR(ResolveReadings(readings, batch));
+  // Same phase order as RunSourceTick: degraded accounting for the
+  // completed tick (lanes here, spilled links inside TickAll), server
+  // predicts, channel drain, then the sources — spilled first through the
+  // verbatim path, lanes through the flat kernel.
+  AccountDegradedLanes();
+  DKF_RETURN_IF_ERROR(server_->TickAll());
+  DKF_RETURN_IF_ERROR(channel_->BeginTick(tick));
+  for (auto& [node, reading] : staged_spilled_) {
+    auto step_or = node->ProcessReading(tick, *reading, channel_);
+    if (!step_or.ok()) return step_or.status();
+  }
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    DKF_RETURN_IF_ERROR(TickGroupLanes(static_cast<int>(gi), tick));
+  }
+  return TryAbsorbAll();
+}
+
+Status FleetEngine::ProcessTick(int64_t tick,
+                                const std::map<int, Vector>& readings) {
+  return ProcessTickImpl(tick, &readings, nullptr);
+}
+
+Status FleetEngine::ProcessTick(int64_t tick, const ReadingBatch& batch) {
+  if (batch.ids.size() != batch.values.size()) {
+    return Status::InvalidArgument(
+        StrFormat("reading batch has %zu ids but %zu values",
+                  batch.ids.size(), batch.values.size()));
+  }
+  return ProcessTickImpl(tick, nullptr, &batch);
+}
+
+Result<Vector> FleetEngine::Answer(int source_id) const {
+  auto it = resident_.find(source_id);
+  if (it == resident_.end()) {
+    return Status::NotFound(
+        StrFormat("source %d not registered", source_id));
+  }
+  const Group& g = *groups_[it->second.group];
+  DKF_RETURN_IF_ERROR(
+      g.loaner->ImportFullState(LaneFullState(g, it->second.lane)));
+  return g.loaner->Predicted();
+}
+
+Result<ServerNode::ConfidentAnswer> FleetEngine::AnswerWithConfidence(
+    int source_id) const {
+  auto it = resident_.find(source_id);
+  if (it == resident_.end()) {
+    return Status::NotFound(
+        StrFormat("source %d not registered", source_id));
+  }
+  const Group& g = *groups_[it->second.group];
+  const size_t lane = it->second.lane;
+  DKF_RETURN_IF_ERROR(g.loaner->ImportFullState(LaneFullState(g, lane)));
+  ServerNode::ConfidentAnswer answer;
+  answer.value = g.loaner->Predicted();
+  answer.covariance = g.loaner->PredictedCovariance();
+  // Degraded test + inflation from the lane's link scalars, replicating
+  // ServerNode::IsDegraded / OverdueTicks / AnswerWithConfidence.
+  const int64_t ticks_done = server_->ticks();
+  if (ticks_done > 0) {
+    const int64_t now = ticks_done - 1;
+    const bool degraded =
+        g.link_last_resync_tick[lane] == now ||
+        (protocol_.staleness_budget > 0 &&
+         now - g.link_last_valid_tick[lane] >= protocol_.staleness_budget);
+    if (degraded) {
+      answer.degraded = true;
+      if (answer.covariance.has_value()) {
+        int64_t overdue = 0;
+        if (protocol_.staleness_budget > 0) {
+          overdue = now - g.link_last_valid_tick[lane] -
+                    protocol_.staleness_budget + 1;
+        }
+        if (g.link_last_resync_tick[lane] == now) {
+          overdue = std::max<int64_t>(overdue, 1);
+        }
+        overdue = std::max<int64_t>(overdue, 0);
+        const double scale = 1.0 + protocol_.degraded_inflation *
+                                       static_cast<double>(overdue);
+        Matrix& covariance = *answer.covariance;
+        for (size_t r = 0; r < covariance.rows(); ++r) {
+          for (size_t c = 0; c < covariance.cols(); ++c) {
+            covariance(r, c) *= scale;
+          }
+        }
+      }
+    }
+  }
+  return answer;
+}
+
+Result<bool> FleetEngine::answer_degraded(int source_id) const {
+  auto it = resident_.find(source_id);
+  if (it == resident_.end()) {
+    return Status::NotFound(
+        StrFormat("source %d not registered", source_id));
+  }
+  const Group& g = *groups_[it->second.group];
+  const size_t lane = it->second.lane;
+  const int64_t ticks_done = server_->ticks();
+  if (ticks_done <= 0) return false;
+  const int64_t now = ticks_done - 1;
+  if (g.link_last_resync_tick[lane] == now) return true;
+  return protocol_.staleness_budget > 0 &&
+         now - g.link_last_valid_tick[lane] >= protocol_.staleness_budget;
+}
+
+Result<SourceNode::CheckpointState> FleetEngine::SynthesizeSourceState(
+    int source_id) const {
+  auto it = resident_.find(source_id);
+  if (it == resident_.end()) {
+    return Status::NotFound(
+        StrFormat("source %d not resident", source_id));
+  }
+  return SynthesizeForLane(*groups_[it->second.group], it->second.lane);
+}
+
+Result<ServerNode::LinkSnapshot> FleetEngine::SynthesizeLinkState(
+    int source_id) const {
+  auto it = resident_.find(source_id);
+  if (it == resident_.end()) {
+    return Status::NotFound(
+        StrFormat("source %d not resident", source_id));
+  }
+  return SynthesizeLinkForLane(*groups_[it->second.group], it->second.lane);
+}
+
+}  // namespace dkf

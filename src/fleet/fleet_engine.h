@@ -1,0 +1,327 @@
+#ifndef DKF_FLEET_FLEET_ENGINE_H_
+#define DKF_FLEET_FLEET_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/predictor.h"
+#include "dsms/channel.h"
+#include "dsms/energy_model.h"
+#include "dsms/protocol.h"
+#include "dsms/server_node.h"
+#include "dsms/source_node.h"
+#include "models/state_model.h"
+#include "obs/trace_sink.h"
+
+namespace dkf {
+
+/// The engine-level tick input for the batched fast path: readings in a
+/// flat parallel-array layout instead of a std::map, so a million-source
+/// tick costs no tree lookups. `ids[i]` owns `values[i]`. The order is
+/// the caller's; the fleet engine caches each lane's rank and revalidates
+/// it per tick, so a stable order is fastest but not required.
+struct ReadingBatch {
+  std::vector<int> ids;
+  std::vector<Vector> values;
+};
+
+/// Structure-of-arrays batched tick engine for steady-state sources
+/// (docs/fleet.md).
+///
+/// Every source a shard owns is *tracked* here when the batched fleet
+/// path is enabled. A tracked source is in exactly one of two states:
+///
+///  * **spilled** — it lives on the classic per-source path: its
+///    SourceNode processes readings, its predictor is registered with
+///    the ServerNode, and this engine only watches it for re-entry.
+///  * **resident** — its entire dual link is folded into one SoA *lane*:
+///    a single copy of the (bit-identical) mirror/predictor filter state
+///    packed into contiguous arrays, ticked by flat loops that replicate
+///    the KalmanFilter predict arithmetic operation-for-operation. While
+///    resident the source is NOT registered with the ServerNode and its
+///    SourceNode lies dormant — the lane is the link.
+///
+/// The invariant that makes this bit-exact (the equivalence contract of
+/// docs/fleet.md): a lane only ever executes *fully suppressed healthy
+/// ticks* inline. Any tick on which the source would touch the channel —
+/// the deviation exceeds delta, a heartbeat is due — or on which its
+/// filter would do anything but a plain predict, first *spills* the
+/// source back to the per-source objects (reconstructing them from the
+/// lane bit-for-bit) and then runs the verbatim per-source code.
+/// Consequently resident sources never send, so the channel, protocol
+/// state machine, and server ingress are byte-identical to a run without
+/// this engine; and a spilled source re-enters (is *absorbed*) only when
+/// its mirror and server predictor are bitwise equal again with no
+/// channel residue, so folding the pair into one lane loses nothing.
+///
+/// Threading contract: same as the shard that owns it — ProcessTick on
+/// the shard's worker thread, everything else on the driver between
+/// ticks.
+class FleetEngine {
+ public:
+  /// `server`, `channel` are the owning shard's; they must outlive this
+  /// engine. `protocol`/`energy` must be the options the shard builds
+  /// its SourceNodes with (the lane replicates their accounting).
+  FleetEngine(ServerNode* server, Channel* channel,
+              const ProtocolOptions& protocol,
+              const EnergyModelOptions& energy);
+
+  /// Starts managing a source. Call right after the shard has created
+  /// `node` and registered the source with the server: the source starts
+  /// out spilled and is absorbed at the end of the first tick that
+  /// leaves its link healthy and bit-converged. `node` must stay valid
+  /// for this engine's lifetime. Sources with a time-varying transition
+  /// are tracked but never absorbed (no constant coefficients to cache).
+  Status Track(int source_id, const StateModel& model, SourceNode* node);
+
+  /// True when the source is currently folded into a lane.
+  bool resident(int source_id) const {
+    return resident_.find(source_id) != resident_.end();
+  }
+
+  size_t resident_count() const { return resident_.size(); }
+  size_t tracked_count() const { return nodes_.size(); }
+
+  /// Degraded ticks accounted on resident lanes (the server counts the
+  /// spilled ones); the shard adds this to its merged fault counters.
+  int64_t degraded_ticks() const { return degraded_ticks_; }
+
+  void set_trace_sink(TraceSink* sink) { obs_sink_ = sink; }
+
+  /// Spills a resident source between ticks so a reconfiguration
+  /// (set_delta / set_smoothing) runs through the real SourceNode.
+  /// No-op when the source is already spilled. The source re-enters at
+  /// the end of the next tick if still eligible.
+  Status SpillForReconfigure(int source_id);
+
+  /// One protocol tick over every tracked source, bit-identical to
+  /// RunSourceTick over the same ids: spilled sources run the verbatim
+  /// per-source path, resident lanes run the flat suppressed-predict
+  /// kernel (spilling first if the tick is anything but a suppressed
+  /// healthy predict), and newly re-converged sources are absorbed at
+  /// the end. The map overload mirrors RunSourceTick's lookup; the
+  /// batch overload is the allocation-light fast path.
+  Status ProcessTick(int64_t tick, const std::map<int, Vector>& readings);
+  Status ProcessTick(int64_t tick, const ReadingBatch& batch);
+
+  /// Answer surface for resident sources (the shard routes here when the
+  /// server has no predictor for the id). Bit-identical to what the
+  /// ServerNode would produce for the same link state: the lane state is
+  /// loaded into a per-group loaner filter and answered through the very
+  /// same code paths.
+  Result<Vector> Answer(int source_id) const;
+  Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
+      int source_id) const;
+  Result<bool> answer_degraded(int source_id) const;
+
+  /// Checkpoint surface for resident sources: synthesizes the exact
+  /// per-source snapshots a spilled run would capture. The mirror and
+  /// predictor of a resident source are bitwise equal by construction,
+  /// so both synthesized states carry the same filter bits.
+  Result<SourceNode::CheckpointState> SynthesizeSourceState(
+      int source_id) const;
+  Result<ServerNode::LinkSnapshot> SynthesizeLinkState(int source_id) const;
+
+ private:
+  /// Phase / SsMode enum values mirrored from KalmanFilter::FullState's
+  /// uint8_t encoding.
+  static constexpr uint8_t kPhaseInitial = 0;
+  static constexpr uint8_t kPhasePredicted = 1;
+  static constexpr uint8_t kPhaseCorrected = 2;
+  static constexpr uint8_t kSsTracking = 0;
+  static constexpr uint8_t kSsArmPending = 1;
+  static constexpr uint8_t kSsArmed = 2;
+
+  /// All lanes sharing one model recipe. The per-model coefficients
+  /// (phi, H, Q, R) are cached flat exactly once here — asserted
+  /// bit-equal to the filter's own TransitionAt output at creation — and
+  /// every per-lane quantity lives in a parallel array indexed by lane.
+  struct Group {
+    StateModel model;  // canonical recipe (server re-registration at spill)
+    size_t n = 0;      // state dimension
+    size_t m = 0;      // measurement dimension
+
+    // Cached per-model coefficients, row-major flat.
+    std::vector<double> phi;  // n x n
+    std::vector<double> h;    // m x n
+    std::vector<double> q;    // n x n
+    std::vector<double> r;    // m x m
+
+    // Hot SoA lane state (everything a suppressed predict touches).
+    std::vector<int> ids;
+    std::vector<double> x;        // n per lane
+    std::vector<double> p;        // n*n per lane; invalid while p_stale
+    std::vector<int64_t> step;
+    std::vector<int64_t> psc;     // predicts_since_correct
+    std::vector<uint8_t> phase;
+    std::vector<uint8_t> ss_mode;
+    std::vector<int32_t> ss_idx;
+    std::vector<uint8_t> p_stale;  // armed lanes defer the frozen-P copy
+    std::vector<double> delta;
+    std::vector<int64_t> last_send_tick;
+    std::vector<int64_t> readings;
+    std::vector<double> energy_transmission;
+    std::vector<double> energy_compute;
+    std::vector<double> energy_sensing;
+    // Server-side link bookkeeping (staleness / degraded accounting).
+    std::vector<uint32_t> link_last_sequence;
+    std::vector<int64_t> link_last_valid_tick;
+    std::vector<int64_t> link_last_resync_tick;
+    std::vector<int64_t> link_last_update_tick;
+    // Frozen-cycle length, duplicated out of `cold` so the armed predict
+    // never touches the big cold structs.
+    std::vector<int32_t> ss_period;
+    // ReadingBatch rank cache (-1 until resolved) and the per-tick
+    // resolved reading pointer.
+    std::vector<int64_t> batch_rank;
+    std::vector<const Vector*> value_ptrs;
+
+    // Cold per-lane state: the complete FullState fields a suppressed
+    // predict never touches (frozen gain/covariance cycle, streak
+    // history, noise copies), plus the armed path's ss_prior_p source.
+    std::vector<KalmanFilter::FullState> cold;
+
+    // Flat scratch for the decide-before-commit predict.
+    std::vector<double> sx;   // n
+    std::vector<double> sp1;  // n*n
+    std::vector<double> sp2;  // n*n
+
+    // Loaner filters: `loaner` synthesizes answers/checkpoints from lane
+    // state (mutable: Answer() is logically const), `replay` executes
+    // the rare arm-pending tick through the real filter so the freeze
+    // transition stays bit-exact, trace events included.
+    mutable std::optional<KalmanPredictor> loaner;
+    std::optional<KalmanPredictor> replay;
+  };
+
+  struct LaneRef {
+    int group = 0;
+    size_t lane = 0;
+  };
+
+  /// The group for `model`, created on first use; -1 when the model is
+  /// ineligible for batching (time-varying transition).
+  Result<int> GroupFor(const StateModel& model);
+
+  /// Reconstructs the lane's FullState (mirror == predictor bitwise).
+  KalmanFilter::FullState LaneFullState(const Group& g, size_t lane) const;
+
+  /// The per-source CheckpointState a spilled run would capture, built
+  /// from the dormant node plus the lane's live fields.
+  Result<SourceNode::CheckpointState> SynthesizeForLane(const Group& g,
+                                                        size_t lane) const;
+
+  ServerNode::LinkSnapshot SynthesizeLinkForLane(const Group& g,
+                                                 size_t lane) const;
+
+  /// Moves a lane back to the per-source objects. When `reading` is
+  /// non-null the spill happens mid-tick: the server predictor replays
+  /// the predict it missed (TickAll ran before the lane loop) and the
+  /// node processes this tick's reading verbatim.
+  Status SpillLane(int group_index, size_t lane, int64_t tick,
+                   const Vector* reading);
+
+  /// Swap-removes lane `lane` from `g`, fixing the moved lane's ref.
+  void RemoveLane(Group& g, size_t lane);
+
+  /// Appends a lane built from a healthy source's snapshots; returns its
+  /// index.
+  size_t AddLane(Group& g, int source_id,
+                 const SourceNode::CheckpointState& state,
+                 const ServerNode::LinkSnapshot& link);
+
+  /// End-of-tick scan: folds every spilled source whose link is healthy
+  /// and bit-converged with no channel residue back into its group.
+  Status TryAbsorbAll();
+
+  /// Degraded-service accounting for resident lanes, replicating
+  /// ServerNode::TickAll's previous-tick bookkeeping.
+  void AccountDegradedLanes();
+
+  /// Resolves every tracked source's reading up front (exactly one of
+  /// `readings`/`batch` is non-null), staging spilled sources in
+  /// ascending id order and caching lane reading pointers. Errors before
+  /// any filter state moves.
+  Status ResolveReadings(const std::map<int, Vector>* readings,
+                         const ReadingBatch* batch);
+
+  /// Rebuilds the flat ascending-id iteration order after any
+  /// membership or residency change.
+  void RebuildOrder();
+
+  /// Batch position of `id`, using (and lazily rebuilding, at most once
+  /// per tick) the cached index; -1 when the batch has no entry.
+  int64_t LookupBatchPos(const ReadingBatch& batch, int id, bool* rebuilt);
+
+  Status ProcessTickImpl(int64_t tick, const std::map<int, Vector>* readings,
+                         const ReadingBatch* batch);
+
+  /// Ticks one resident lane at `lane` in group `gi`: flat suppressed
+  /// predict or spill. Sets `*respill` when the lane was removed (the
+  /// caller must re-run the same index).
+  Status TickLane(int group_index, size_t lane, int64_t tick,
+                  bool* spilled);
+
+  /// Ticks every lane of group `gi`. The dominant case — armed,
+  /// corrected, no heartbeat due, deviation inside delta — runs inline
+  /// here; everything exceptional falls back to TickLane, which
+  /// recomputes from the untouched lane state (bit-exact: nothing is
+  /// committed before the fallback decision).
+  Status TickGroupLanes(int group_index, int64_t tick);
+
+  ServerNode* server_;
+  Channel* channel_;
+  ProtocolOptions protocol_;
+  EnergyModelOptions energy_;
+  TraceSink* obs_sink_ = nullptr;
+
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::map<std::string, int> group_by_key_;
+
+  /// Every tracked source, ascending (validation iterates this so the
+  /// first missing reading reported matches the per-source path).
+  std::map<int, SourceNode*> nodes_;
+  /// Tracked id -> group index, or -1 when never batchable.
+  std::map<int, int> eligible_group_;
+  /// Currently resident sources and their lane.
+  std::map<int, LaneRef> resident_;
+  /// Currently spilled sources (ascending — per-source processing order).
+  std::set<int> spilled_;
+
+  /// One tracked source in the flat per-tick resolve pass: the tree
+  /// maps above are authoritative for membership, but walking them per
+  /// source per tick costs more than the batched predict itself, so the
+  /// resolve loop runs over this ascending-id snapshot instead
+  /// (rebuilt only when membership or residency changed).
+  struct TickEntry {
+    int id = 0;
+    SourceNode* node = nullptr;
+    int32_t group = -1;  // -1 = spilled
+    int32_t lane = 0;
+    int64_t rank = -1;   // cached ReadingBatch position
+  };
+  std::vector<TickEntry> order_;
+  bool order_dirty_ = true;
+
+  /// Per-tick staging of spilled work, mirroring RunSourceTick.
+  std::vector<std::pair<SourceNode*, const Vector*>> staged_spilled_;
+  /// ReadingBatch id -> position cache (validated entry-wise per use).
+  std::unordered_map<int, int64_t> batch_pos_;
+  /// Scratch for TryAbsorbAll's one-pass channel residue scan.
+  std::vector<int> residual_scratch_;
+
+  int64_t degraded_ticks_ = 0;
+};
+
+}  // namespace dkf
+
+#endif  // DKF_FLEET_FLEET_ENGINE_H_

@@ -1,7 +1,6 @@
 #include "query/registry.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/string_util.h"
 
@@ -19,46 +18,52 @@ Status QueryRegistry::AddQuery(const ContinuousQuery& query) {
         StrFormat("query %d already registered", query.id));
   }
   queries_[query.id] = query;
+  by_source_[query.source_id].insert(query.id);
   return Status::OK();
 }
 
 Status QueryRegistry::RemoveQuery(int query_id) {
-  if (queries_.erase(query_id) == 0) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
     return Status::NotFound(StrFormat("query %d not registered", query_id));
   }
+  auto source_it = by_source_.find(it->second.source_id);
+  source_it->second.erase(query_id);
+  if (source_it->second.empty()) by_source_.erase(source_it);
+  queries_.erase(it);
   return Status::OK();
 }
 
 Result<double> QueryRegistry::EffectiveDelta(int source_id) const {
-  double best = 0.0;
-  bool found = false;
-  for (const auto& [id, query] : queries_) {
-    if (query.source_id != source_id) continue;
-    best = found ? std::min(best, query.precision) : query.precision;
-    found = true;
-  }
-  if (!found) {
+  auto it = by_source_.find(source_id);
+  if (it == by_source_.end()) {
     return Status::NotFound(
         StrFormat("no queries on source %d", source_id));
+  }
+  double best = 0.0;
+  bool found = false;
+  for (int query_id : it->second) {
+    const double precision = queries_.at(query_id).precision;
+    best = found ? std::min(best, precision) : precision;
+    found = true;
   }
   return best;
 }
 
 Result<std::optional<double>> QueryRegistry::EffectiveSmoothing(
     int source_id) const {
+  auto it = by_source_.find(source_id);
+  if (it == by_source_.end()) {
+    return Status::NotFound(
+        StrFormat("no queries on source %d", source_id));
+  }
   std::optional<double> best;
-  bool any_query = false;
-  for (const auto& [id, query] : queries_) {
-    if (query.source_id != source_id) continue;
-    any_query = true;
+  for (int query_id : it->second) {
+    const ContinuousQuery& query = queries_.at(query_id);
     if (query.smoothing_factor.has_value()) {
       best = best.has_value() ? std::min(*best, *query.smoothing_factor)
                               : *query.smoothing_factor;
     }
-  }
-  if (!any_query) {
-    return Status::NotFound(
-        StrFormat("no queries on source %d", source_id));
   }
   return best;
 }
@@ -66,16 +71,17 @@ Result<std::optional<double>> QueryRegistry::EffectiveSmoothing(
 std::vector<ContinuousQuery> QueryRegistry::QueriesForSource(
     int source_id) const {
   std::vector<ContinuousQuery> out;
-  for (const auto& [id, query] : queries_) {
-    if (query.source_id == source_id) out.push_back(query);
-  }
+  auto it = by_source_.find(source_id);
+  if (it == by_source_.end()) return out;
+  for (int query_id : it->second) out.push_back(queries_.at(query_id));
   return out;
 }
 
 std::vector<int> QueryRegistry::ActiveSources() const {
-  std::set<int> sources;
-  for (const auto& [id, query] : queries_) sources.insert(query.source_id);
-  return std::vector<int>(sources.begin(), sources.end());
+  std::vector<int> sources;
+  sources.reserve(by_source_.size());
+  for (const auto& [source_id, ids] : by_source_) sources.push_back(source_id);
+  return sources;
 }
 
 }  // namespace dkf

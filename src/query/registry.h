@@ -2,6 +2,7 @@
 #define DKF_QUERY_REGISTRY_H_
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/result.h"
@@ -48,6 +49,11 @@ class QueryRegistry {
 
  private:
   std::map<int, ContinuousQuery> queries_;  // by query id
+  /// source id -> its query ids (ascending). Every per-source question
+  /// above answers from this index; without it, registering a
+  /// million-source fleet one query at a time is quadratic in the fleet
+  /// size (each Add's reconfigure would rescan every query).
+  std::map<int, std::set<int>> by_source_;
 };
 
 }  // namespace dkf

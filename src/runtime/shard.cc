@@ -52,7 +52,24 @@ StreamShard::StreamShard(const ChannelOptions& channel,
       energy_(energy),
       default_delta_(default_delta),
       protocol_(protocol),
+      per_source_rng_(channel.per_source_rng),
       serve_(serve) {}
+
+Status StreamShard::EnableFleet() {
+  if (fleet_ != nullptr) return Status::OK();
+  if (!sources_.empty()) {
+    return Status::FailedPrecondition(
+        "EnableFleet must be called before any AddSource");
+  }
+  if (!per_source_rng_) {
+    return Status::InvalidArgument(
+        "the batched fleet engine requires per_source_rng channels");
+  }
+  fleet_ = std::make_unique<FleetEngine>(&server_, &channel_, protocol_,
+                                         energy_);
+  if (obs_sink_ != nullptr) fleet_->set_trace_sink(obs_sink_);
+  return Status::OK();
+}
 
 Status StreamShard::AddSource(int source_id, const StateModel& model) {
   if (sources_.contains(source_id)) {
@@ -76,6 +93,15 @@ Status StreamShard::AddSource(int source_id, const StateModel& model) {
   sources_[source_id] =
       std::make_unique<SourceNode>(std::move(node_or).value());
   if (obs_sink_ != nullptr) sources_[source_id]->set_trace_sink(obs_sink_);
+  if (fleet_ != nullptr) {
+    Status tracked =
+        fleet_->Track(source_id, model, sources_[source_id].get());
+    if (!tracked.ok()) {
+      sources_.erase(source_id);
+      (void)server_.UnregisterSource(source_id);
+      return tracked;
+    }
+  }
   return Status::OK();
 }
 
@@ -84,6 +110,7 @@ void StreamShard::set_trace_sink(TraceSink* sink) {
   channel_.set_trace_sink(sink);
   server_.set_trace_sink(sink);
   serve_.set_trace_sink(sink);
+  if (fleet_ != nullptr) fleet_->set_trace_sink(sink);
   for (auto& [id, node] : sources_) node->set_trace_sink(sink);
 }
 
@@ -102,6 +129,13 @@ Status StreamShard::Reconfigure(int source_id,
   if (it == sources_.end()) {
     return Status::NotFound(StrFormat("source %d not on shard", source_id));
   }
+  // A batch-resident source must be spilled back to its real SourceNode
+  // before the reconfiguration lands — set_delta/set_smoothing run
+  // through the verbatim per-source code, and the source re-enters the
+  // batch at the end of the next tick if still eligible.
+  if (fleet_ != nullptr) {
+    DKF_RETURN_IF_ERROR(fleet_->SpillForReconfigure(source_id));
+  }
   auto changed_or =
       InstallEffectiveConfig(registry, default_delta_, source_id,
                              *it->second, installed_smoothing_[source_id]);
@@ -115,8 +149,43 @@ Status StreamShard::ProcessTick(int64_t tick,
   const bool timed = obs_sink_ != nullptr && obs_sink_->options().record_timing;
   const auto start = timed ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point();
-  DKF_RETURN_IF_ERROR(
-      RunSourceTick(tick, server_, sources_, readings, channel_));
+  if (fleet_ != nullptr) {
+    DKF_RETURN_IF_ERROR(fleet_->ProcessTick(tick, readings));
+  } else {
+    DKF_RETURN_IF_ERROR(
+        RunSourceTick(tick, server_, sources_, readings, channel_));
+  }
+  return FinishTick(tick, timed, start);
+}
+
+Status StreamShard::ProcessTick(int64_t tick, const ReadingBatch& batch) {
+  const bool timed = obs_sink_ != nullptr && obs_sink_->options().record_timing;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
+  if (fleet_ != nullptr) {
+    DKF_RETURN_IF_ERROR(fleet_->ProcessTick(tick, batch));
+  } else {
+    if (batch.ids.size() != batch.values.size()) {
+      return Status::InvalidArgument(
+          StrFormat("reading batch has %zu ids but %zu values",
+                    batch.ids.size(), batch.values.size()));
+    }
+    // Per-source fallback: project this shard's slice of the batch into
+    // the map form RunSourceTick expects.
+    std::map<int, Vector> readings;
+    for (size_t i = 0; i < batch.ids.size(); ++i) {
+      if (sources_.contains(batch.ids[i])) {
+        readings.emplace(batch.ids[i], batch.values[i]);
+      }
+    }
+    DKF_RETURN_IF_ERROR(
+        RunSourceTick(tick, server_, sources_, readings, channel_));
+  }
+  return FinishTick(tick, timed, start);
+}
+
+Status StreamShard::FinishTick(int64_t tick, bool timed,
+                               std::chrono::steady_clock::time_point start) {
   // Serve this shard's subscriptions while still on the worker thread:
   // the per-shard index makes notification fan-out scale with shards
   // exactly like the protocol work does.
@@ -135,11 +204,17 @@ Status StreamShard::ProcessTick(int64_t tick,
 }
 
 Result<Vector> StreamShard::Answer(int source_id) const {
+  if (fleet_ != nullptr && fleet_->resident(source_id)) {
+    return fleet_->Answer(source_id);
+  }
   return server_.Answer(source_id);
 }
 
 Result<ServerNode::ConfidentAnswer> StreamShard::AnswerWithConfidence(
     int source_id) const {
+  if (fleet_ != nullptr && fleet_->resident(source_id)) {
+    return fleet_->AnswerWithConfidence(source_id);
+  }
   return server_.AnswerWithConfidence(source_id);
 }
 
@@ -147,7 +222,7 @@ Result<double> StreamShard::PartialSum(
     const std::vector<int>& source_ids) const {
   double sum = 0.0;
   for (int source_id : source_ids) {
-    auto answer_or = server_.Answer(source_id);
+    auto answer_or = Answer(source_id);
     if (!answer_or.ok()) return answer_or.status();
     sum += answer_or.value()[0];
   }
@@ -159,10 +234,10 @@ Result<std::pair<double, int>> StreamShard::PartialSumWithStatus(
   double sum = 0.0;
   int degraded_members = 0;
   for (int source_id : source_ids) {
-    auto answer_or = server_.Answer(source_id);
+    auto answer_or = Answer(source_id);
     if (!answer_or.ok()) return answer_or.status();
     sum += answer_or.value()[0];
-    auto degraded_or = server_.degraded(source_id);
+    auto degraded_or = answer_degraded(source_id);
     if (!degraded_or.ok()) return degraded_or.status();
     if (degraded_or.value()) ++degraded_members;
   }
@@ -171,6 +246,10 @@ Result<std::pair<double, int>> StreamShard::PartialSumWithStatus(
 
 Status StreamShard::VerifyLinkConsistency() const {
   for (const auto& [id, node] : sources_) {
+    // Batch-resident sources hold mirror == predictor bitwise by
+    // construction (one lane stores both); there is no separate server
+    // predictor to compare against.
+    if (fleet_ != nullptr && fleet_->resident(id)) continue;
     if (node->resync_pending()) continue;
     auto predictor_or = server_.predictor(id);
     if (!predictor_or.ok()) return predictor_or.status();
@@ -183,6 +262,9 @@ Status StreamShard::VerifyLinkConsistency() const {
 }
 
 Result<bool> StreamShard::answer_degraded(int source_id) const {
+  if (fleet_ != nullptr && fleet_->resident(source_id)) {
+    return fleet_->answer_degraded(source_id);
+  }
   return server_.degraded(source_id);
 }
 
@@ -196,6 +278,9 @@ Result<bool> StreamShard::resync_pending(int source_id) const {
 
 ProtocolFaultStats StreamShard::fault_stats() const {
   ProtocolFaultStats merged = server_.fault_stats();
+  // Degraded ticks on batch-resident lanes are accounted by the fleet
+  // engine (the server only sees the spilled sources).
+  if (fleet_ != nullptr) merged.degraded_ticks += fleet_->degraded_ticks();
   for (const auto& [id, node] : sources_) {
     merged.MergeFrom(node->fault_stats());
   }
@@ -204,6 +289,7 @@ ProtocolFaultStats StreamShard::fault_stats() const {
 
 Status StreamShard::VerifyMirrorConsistency() const {
   for (const auto& [id, node] : sources_) {
+    if (fleet_ != nullptr && fleet_->resident(id)) continue;
     auto predictor_or = server_.predictor(id);
     if (!predictor_or.ok()) return predictor_or.status();
     if (!node->mirror().StateEquals(*predictor_or.value())) {
@@ -236,6 +322,26 @@ Result<size_t> StreamShard::source_dim(int source_id) const {
     return Status::NotFound(StrFormat("source %d not registered", source_id));
   }
   return it->second->mirror().dim();
+}
+
+Result<SourceNode::CheckpointState> StreamShard::ExportSourceState(
+    int source_id) const {
+  if (fleet_ != nullptr && fleet_->resident(source_id)) {
+    return fleet_->SynthesizeSourceState(source_id);
+  }
+  auto it = sources_.find(source_id);
+  if (it == sources_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return it->second->ExportCheckpoint();
+}
+
+Result<ServerNode::LinkSnapshot> StreamShard::ExportLinkState(
+    int source_id) const {
+  if (fleet_ != nullptr && fleet_->resident(source_id)) {
+    return fleet_->SynthesizeLinkState(source_id);
+  }
+  return server_.ExportLink(source_id);
 }
 
 }  // namespace dkf

@@ -1,6 +1,7 @@
 #ifndef DKF_RUNTIME_SHARD_H_
 #define DKF_RUNTIME_SHARD_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
@@ -13,6 +14,7 @@
 #include "dsms/protocol.h"
 #include "dsms/server_node.h"
 #include "dsms/source_node.h"
+#include "fleet/fleet_engine.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "obs/trace_sink.h"
@@ -45,6 +47,21 @@ class StreamShard {
               const ProtocolOptions& protocol = ProtocolOptions(),
               const ServeOptions& serve = ServeOptions());
 
+  /// Switches this shard to the batched fleet engine (src/fleet/,
+  /// docs/fleet.md): steady-state sources are folded into SoA lanes and
+  /// ticked by flat kernels, bit-identical to the per-source path. Must
+  /// be called before any AddSource. Requires per_source_rng (the
+  /// batched path's send order differs from the per-source ascending
+  /// sweep, which only the per-source fault streams make unobservable).
+  Status EnableFleet();
+
+  bool fleet_enabled() const { return fleet_ != nullptr; }
+
+  /// Sources currently folded into batch lanes (0 without EnableFleet).
+  size_t fleet_resident_count() const {
+    return fleet_ ? fleet_->resident_count() : 0;
+  }
+
   /// Installs a source and its dual filters on this shard.
   Status AddSource(int source_id, const StateModel& model);
 
@@ -56,6 +73,11 @@ class StreamShard {
   /// the engine's full batch; entries for other shards' sources are
   /// ignored.
   Status ProcessTick(int64_t tick, const std::map<int, Vector>& readings);
+
+  /// Allocation-light variant for huge fleets: readings come as parallel
+  /// id/value arrays (see ReadingBatch). Entries for other shards'
+  /// sources are ignored.
+  Status ProcessTick(int64_t tick, const ReadingBatch& batch);
 
   Result<Vector> Answer(int source_id) const;
   Result<ServerNode::ConfidentAnswer> AnswerWithConfidence(
@@ -120,6 +142,13 @@ class StreamShard {
 
   ServeStats serve_stats() const { return serve_.stats(); }
 
+  /// Per-source snapshot state, routed so checkpointing works with the
+  /// fleet engine on: a batch-resident source's state is synthesized
+  /// from its lane (bit-identical to what the per-source objects would
+  /// export); everyone else exports from the real objects.
+  Result<SourceNode::CheckpointState> ExportSourceState(int source_id) const;
+  Result<ServerNode::LinkSnapshot> ExportLinkState(int source_id) const;
+
   /// Wires this shard's channel, server, and source nodes (present and
   /// future) into an observability sink. The engine hands each shard its
   /// own sink so emission stays lock-free under the thread contract;
@@ -130,11 +159,18 @@ class StreamShard {
  private:
   friend class CheckpointAccess;
 
+  /// Shared tail of both ProcessTick overloads: serve the shard's
+  /// subscriptions and record per-tick observability.
+  Status FinishTick(int64_t tick, bool timed,
+                    std::chrono::steady_clock::time_point start);
+
   ServerNode server_;
   Channel channel_;
   EnergyModelOptions energy_;
   double default_delta_;
   ProtocolOptions protocol_;
+  /// Remembered from the channel options: EnableFleet requires it.
+  bool per_source_rng_ = false;
   std::map<int, std::unique_ptr<SourceNode>> sources_;
   /// Smoothing factor currently installed at each node (tracked so an
   /// unrelated reconfiguration does not restart KF_c).
@@ -143,6 +179,8 @@ class StreamShard {
   /// owned sources, evaluated at the tail of ProcessTick (still on the
   /// worker thread — the per-shard index is what scales the fan-out).
   SubscriptionEngine serve_;
+  /// Batched steady-state engine; null unless EnableFleet was called.
+  std::unique_ptr<FleetEngine> fleet_;
   int64_t control_messages_ = 0;
   /// Per-shard observability sink (owned by the engine; null while
   /// tracing is off).

@@ -59,7 +59,18 @@ ShardedStreamEngine::ShardedStreamEngine(
     shards_.push_back(std::make_unique<StreamShard>(
         channel, options_.energy, options_.default_delta,
         options_.protocol, options_.serve));
+    if (options_.batched_fleet) {
+      // Cannot fail: the shard is empty and per_source_rng was just
+      // forced on above.
+      (void)shards_.back()->EnableFleet();
+    }
   }
+}
+
+size_t ShardedStreamEngine::fleet_resident_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->fleet_resident_count();
+  return total;
 }
 
 int ShardedStreamEngine::ShardIndexFor(int source_id) const {
@@ -263,6 +274,31 @@ Status ShardedStreamEngine::ProcessTick(const std::map<int, Vector>& readings) {
   DKF_RETURN_IF_ERROR(pool_.RunAll(tick_tasks_));
   // Aggregate subscriptions need every shard's partial sums, so their
   // serve pass runs on the driver after the tick joins.
+  DKF_RETURN_IF_ERROR(aggregate_serve_.EndTick(tick, EngineAnswers(*this)));
+  ++ticks_;
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::ProcessTick(const ReadingBatch& batch) {
+  if (batch.ids.size() != batch.values.size()) {
+    return Status::InvalidArgument(
+        StrFormat("reading batch has %zu ids but %zu values",
+                  batch.ids.size(), batch.values.size()));
+  }
+  if (batch.ids.size() != registered_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu readings for %zu sources", batch.ids.size(),
+                  registered_.size()));
+  }
+  tick_tasks_.clear();
+  tick_tasks_.reserve(shards_.size());
+  const int64_t tick = ticks_;
+  for (auto& shard : shards_) {
+    StreamShard* raw = shard.get();
+    tick_tasks_.push_back(
+        [raw, tick, &batch] { return raw->ProcessTick(tick, batch); });
+  }
+  DKF_RETURN_IF_ERROR(pool_.RunAll(tick_tasks_));
   DKF_RETURN_IF_ERROR(aggregate_serve_.EndTick(tick, EngineAnswers(*this)));
   ++ticks_;
   return Status::OK();

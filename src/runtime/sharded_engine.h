@@ -44,6 +44,11 @@ struct ShardedStreamEngineOptions {
   /// Serving front-end knobs. The backpressure bound applies per shard
   /// (each shard buffers its own subscriptions' notifications).
   ServeOptions serve;
+  /// Run every shard on the batched fleet engine (src/fleet/,
+  /// docs/fleet.md): steady-state sources are packed into
+  /// structure-of-arrays lanes and ticked by flat kernels, bit-identical
+  /// to the per-source path at any shard count.
+  bool batched_fleet = false;
 };
 
 /// The sharded, multi-threaded counterpart of StreamManager for large
@@ -114,6 +119,11 @@ class ShardedStreamEngine {
   /// contain exactly one entry per registered source.
   Status ProcessTick(const std::map<int, Vector>& readings);
 
+  /// Allocation-light variant for huge fleets: one tick with readings
+  /// given as parallel id/value arrays (any order, one entry per
+  /// registered source). Bit-identical to the map overload.
+  Status ProcessTick(const ReadingBatch& batch);
+
   /// The server-side answer for a source's stream.
   Result<Vector> Answer(int source_id) const;
 
@@ -171,6 +181,10 @@ class ShardedStreamEngine {
   const QueryRegistry& registry() const { return registry_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// Sources currently folded into batch lanes, summed across shards
+  /// (always 0 unless options.batched_fleet).
+  size_t fleet_resident_count() const;
+
   /// Per-source effective delta currently installed.
   Result<double> source_delta(int source_id) const;
 
@@ -218,8 +232,12 @@ class ShardedStreamEngine {
   /// count: `num_shards` overrides the saved count when > 0 (elastic
   /// re-sharding). The restored engine's merged trace, answers, and
   /// fault sequence continue bit-identically to the uninterrupted run.
+  /// `batched_fleet` restores onto the batched fleet engine (snapshots
+  /// are engine-agnostic: sources restore spilled and re-enter their
+  /// lanes at the end of the next tick).
   static Result<std::unique_ptr<ShardedStreamEngine>> Restore(
-      const std::string& path, int num_shards = 0);
+      const std::string& path, int num_shards = 0,
+      bool batched_fleet = false);
 
  private:
   friend class CheckpointAccess;
