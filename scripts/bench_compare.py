@@ -3,7 +3,7 @@
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold=0.10]
 
-Supports four report kinds (both files must be the same kind):
+Supports five report kinds (both files must be the same kind):
 
 filter_hotpath — rows keyed by (model, state_dim). Fails when any row's
 ns_per_tick regressed by more than the threshold (default 10%), when a
@@ -37,6 +37,14 @@ falls below FLEET_RESIDENT_FLOOR (the fleet quietly spilling back to
 the scalar path makes the numbers meaningless), or when the per-source
 equivalence cross-check failed on the row that carries one.
 
+governor — rows keyed by sources. Fails when a row disappeared, when
+any row's sustained overshoot exceeds GOVERNOR_OVERSHOOT_LIMIT, when
+the settled wire rate leaves the GOVERNOR_FLAT_TOL band around the
+report's budget (the headline robustness claim: doubling the fleet
+must not move the bytes), when a run never settles within the sweep,
+or when settle time regresses past the old report's by more than
+GOVERNOR_SETTLE_SLACK epochs.
+
 All kinds additionally gate observability overhead: when NEW's rows
 carry an obs_overhead_pct field (bench run with tracing measured —
 always for filter_hotpath, --trace for runtime_throughput), any row
@@ -53,7 +61,7 @@ import json
 import sys
 
 KNOWN_KINDS = ("filter_hotpath", "runtime_throughput", "serve_fanout",
-               "fleet_scale")
+               "fleet_scale", "governor")
 
 # Ceiling on the cost of running with trace sinks wired, as a percent of
 # the untraced run. The sinks are designed to be an array increment plus
@@ -269,6 +277,62 @@ def compare_fleet_scale(old, new, threshold):
     return failures
 
 
+# Ceiling on a governed fleet's sustained overshoot over the settled
+# window, and the band the settled wire rate must hold around the
+# budget regardless of fleet size. Settle time may drift by a few
+# epochs run to run (the workload is seeded but timing-free, so the
+# slack only covers control-law changes, not machine noise).
+GOVERNOR_OVERSHOOT_LIMIT = 0.05
+GOVERNOR_FLAT_TOL = 0.10
+GOVERNOR_SETTLE_SLACK = 6
+
+
+def compare_governor(old, new, threshold):
+    del threshold  # the budget band is absolute, not relative to old
+    failures = []
+    budget = new.get("budget_bytes_per_tick", 0.0)
+    epochs = new.get("epochs", 0)
+    old_rows = {r["sources"]: r for r in old["results"]}
+    new_rows = {r["sources"]: r for r in new["results"]}
+    for key, old_row in sorted(old_rows.items()):
+        name = f"sources={key}"
+        new_row = new_rows.get(key)
+        if new_row is None:
+            failures.append(f"{name}: present in old report, missing in new")
+            continue
+        bytes_per_tick = new_row["bytes_per_tick"]
+        overshoot = new_row["overshoot"]
+        settle = new_row["settle_epochs"]
+        old_settle = old_row["settle_epochs"]
+        marker = ""
+        if overshoot > GOVERNOR_OVERSHOOT_LIMIT:
+            failures.append(
+                f"{name}: sustained overshoot {overshoot:.1%} "
+                f"(limit {GOVERNOR_OVERSHOOT_LIMIT:.0%})")
+            marker = "  <-- OVERSHOOT"
+        if budget > 0 and abs(bytes_per_tick / budget - 1.0) > \
+                GOVERNOR_FLAT_TOL:
+            failures.append(
+                f"{name}: settled {bytes_per_tick:.1f} bytes/tick is "
+                f"outside +-{GOVERNOR_FLAT_TOL:.0%} of the "
+                f"{budget:.0f} budget")
+            marker = "  <-- OFF BUDGET"
+        if settle >= epochs:
+            failures.append(f"{name}: budget never settled in the sweep")
+            marker = "  <-- NEVER SETTLED"
+        elif settle > old_settle + GOVERNOR_SETTLE_SLACK:
+            failures.append(
+                f"{name}: settle regressed {old_settle} -> {settle} "
+                f"epochs (slack {GOVERNOR_SETTLE_SLACK})")
+            marker = "  <-- SLOW SETTLE"
+        marker = check_obs_overhead(name, new_row, failures) or marker
+        print(f"{name:14s} {old_row['bytes_per_tick']:7.1f} -> "
+              f"{bytes_per_tick:7.1f} bytes/tick "
+              f"(budget {budget:.0f}) overshoot {overshoot:5.1%} "
+              f"settle {old_settle:3d} -> {settle:3d}{marker}")
+    return failures
+
+
 def main(argv):
     threshold = 0.10
     paths = []
@@ -289,6 +353,8 @@ def main(argv):
         failures = compare_serve_fanout(old, new, threshold)
     elif old_kind == "fleet_scale":
         failures = compare_fleet_scale(old, new, threshold)
+    elif old_kind == "governor":
+        failures = compare_governor(old, new, threshold)
     else:
         failures = compare_runtime_throughput(old, new, threshold)
 

@@ -5,7 +5,7 @@
 # worker pool / shard tick path / per-shard trace sinks), then the
 # protocol + observability + serving + batched-fleet tests under
 # ASan+UBSan, then a gcov coverage build gating line coverage of
-# src/obs/, src/dsms/, src/serve/, and src/fleet/, then a
+# src/obs/, src/dsms/, src/serve/, src/fleet/, and src/governor/, then a
 # Release-mode build of the filter hot-loop benchmark, refreshing
 # BENCH_filter_hotpath.json at the repo root. See docs/runtime.md,
 # docs/perf.md, and docs/observability.md.
@@ -41,11 +41,14 @@ else
   # serve_golden_test does the same for the per-shard subscription
   # engines (EndTick runs on shard workers, Drain on the driver);
   # the fleet tests run the batched SoA engine inside shard workers at
-  # several shard counts (docs/fleet.md).
+  # several shard counts (docs/fleet.md); the governor tests drive
+  # epoch planning + batched reconfiguration from the tick driver while
+  # shard workers run (docs/governor.md).
   cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
     --target worker_pool_test sharded_engine_test golden_trace_test \
              subscription_engine_test serve_golden_test \
-             fleet_equivalence_test fleet_churn_test
+             fleet_equivalence_test fleet_churn_test \
+             governor_test governor_chaos_test
   "./build-${SANITIZE//,/-}/tests/worker_pool_test"
   "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
   "./build-${SANITIZE//,/-}/tests/golden_trace_test"
@@ -53,6 +56,8 @@ else
   "./build-${SANITIZE//,/-}/tests/serve_golden_test"
   "./build-${SANITIZE//,/-}/tests/fleet_equivalence_test"
   "./build-${SANITIZE//,/-}/tests/fleet_churn_test"
+  "./build-${SANITIZE//,/-}/tests/governor_test"
+  "./build-${SANITIZE//,/-}/tests/governor_chaos_test"
 fi
 
 if [[ "${DKF_ASAN:-1}" == "0" ]]; then
@@ -69,7 +74,8 @@ else
              metrics_registry_test trace_sink_test golden_trace_test \
              obs_property_test corruption_fuzz_test \
              subscription_engine_test serve_golden_test \
-             fleet_equivalence_test fleet_churn_test
+             fleet_equivalence_test fleet_churn_test \
+             governor_test governor_chaos_test
   ./build-asan/tests/chaos_test
   ./build-asan/tests/channel_test
   ./build-asan/tests/stream_manager_test
@@ -85,12 +91,16 @@ else
   # bookkeeping are exactly the new pointer/vector churn to chew on.
   ./build-asan/tests/fleet_equivalence_test
   ./build-asan/tests/fleet_churn_test
+  # The governor's per-epoch allocation scratch and the mid-stream
+  # reconfigure spills are fresh allocation churn for ASan.
+  ./build-asan/tests/governor_test
+  ./build-asan/tests/governor_chaos_test
 fi
 
 if [[ "${DKF_COVERAGE:-1}" == "0" ]]; then
   echo "== coverage stage skipped (DKF_COVERAGE=0) =="
 else
-  echo "== coverage: src/obs + src/dsms + src/serve + src/fleet line-coverage floors =="
+  echo "== coverage: src/obs + src/dsms + src/serve + src/fleet + src/governor line-coverage floors =="
   cmake -B build-coverage -S . -DDKF_COVERAGE=ON >/dev/null
   cmake --build build-coverage -j "$JOBS" \
     --target metrics_registry_test trace_sink_test golden_trace_test \
@@ -98,7 +108,8 @@ else
              stream_manager_test source_server_test simulation_test \
              confidence_test energy_model_test \
              subscription_engine_test serve_golden_test \
-             fleet_equivalence_test fleet_churn_test
+             fleet_equivalence_test fleet_churn_test \
+             governor_test governor_chaos_test
   # Fresh counters each run: .gcda files accumulate across executions.
   find build-coverage -name '*.gcda' -delete
   for t in metrics_registry_test trace_sink_test golden_trace_test \
@@ -106,12 +117,13 @@ else
            stream_manager_test source_server_test simulation_test \
            confidence_test energy_model_test \
            subscription_engine_test serve_golden_test \
-           fleet_equivalence_test fleet_churn_test; do
+           fleet_equivalence_test fleet_churn_test \
+           governor_test governor_chaos_test; do
     "./build-coverage/tests/$t" > /dev/null
   done
   python3 scripts/coverage_gate.py build-coverage --root=. \
     --gate=src/obs=0.90 --gate=src/dsms=0.80 --gate=src/serve=0.85 \
-    --gate=src/fleet=0.85
+    --gate=src/fleet=0.85 --gate=src/governor=0.85
 fi
 
 if [[ "${DKF_BENCH:-1}" == "0" ]]; then

@@ -4,10 +4,10 @@
 Covers every gate on crafted fixtures — throughput/latency regression,
 missing rows, allocation and fast-path invariants, sequential-equivalence
 failures, resync storms, never-healed divergence, the fleet-scale
-budget/residency/equivalence gates, and the observability
-overhead ceiling — plus an end-to-end self-compare of the committed
-BENCH_filter_hotpath.json, which must always be regression-free against
-itself.
+budget/residency/equivalence gates, the governor budget-holding gates,
+and the observability overhead ceiling — plus an end-to-end
+self-compare of the committed BENCH_filter_hotpath.json, which must
+always be regression-free against itself.
 """
 
 import contextlib
@@ -87,6 +87,29 @@ def fleet_report(**overrides):
     return {"benchmark": "fleet_scale", "results": [row]}
 
 
+def governor_report(**overrides):
+    row = {
+        "sources": 64,
+        "seconds": 0.03,
+        "bytes_per_tick": 148.0,
+        "overshoot": 0.0,
+        "settle_epochs": 25,
+        "mean_delta": 2.7,
+        "suppression_ratio": 0.92,
+        "uplink_updates": 5000,
+        "obs_overhead_pct": 1.0,
+    }
+    row.update(overrides)
+    return {
+        "benchmark": "governor",
+        "budget_bytes_per_tick": 150.0,
+        "epoch_ticks": 16,
+        "epochs": 60,
+        "settle_epochs": 30,
+        "results": [row],
+    }
+
+
 def compare(old, new, threshold=0.10):
     """Runs the right comparison quietly and returns the failure list."""
     kind = old["benchmark"]
@@ -97,6 +120,8 @@ def compare(old, new, threshold=0.10):
             return bench_compare.compare_serve_fanout(old, new, threshold)
         if kind == "fleet_scale":
             return bench_compare.compare_fleet_scale(old, new, threshold)
+        if kind == "governor":
+            return bench_compare.compare_governor(old, new, threshold)
         return bench_compare.compare_runtime_throughput(old, new, threshold)
 
 
@@ -340,6 +365,76 @@ class FleetScaleGates(unittest.TestCase):
                         bench_compare.FLEET_NS_LIMIT)
         self.assertTrue(any(row.get("equivalent") is True
                             for row in report["results"]))
+
+
+class GovernorGates(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = governor_report()
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+
+    def test_sustained_overshoot_fails(self):
+        failures = compare(governor_report(),
+                           governor_report(overshoot=0.08,
+                                           bytes_per_tick=162.0))
+        self.assertTrue(any("overshoot" in f for f in failures))
+
+    def test_settled_rate_off_budget_fails(self):
+        # Undershoot far below the band fails too: the claim is that the
+        # governor converges to the budget, not merely below it.
+        failures = compare(governor_report(),
+                           governor_report(bytes_per_tick=120.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("outside", failures[0])
+
+    def test_rate_inside_band_passes(self):
+        self.assertEqual(
+            compare(governor_report(),
+                    governor_report(bytes_per_tick=158.0)), [])
+
+    def test_never_settling_fails(self):
+        failures = compare(governor_report(),
+                           governor_report(settle_epochs=60))
+        self.assertTrue(any("never settled" in f for f in failures))
+
+    def test_settle_regression_beyond_slack_fails(self):
+        failures = compare(governor_report(),
+                           governor_report(settle_epochs=35))
+        self.assertTrue(any("settle regressed" in f for f in failures))
+
+    def test_settle_regression_within_slack_passes(self):
+        self.assertEqual(
+            compare(governor_report(), governor_report(settle_epochs=30)),
+            [])
+
+    def test_missing_row_fails(self):
+        failures = compare(governor_report(), governor_report(sources=128))
+        self.assertTrue(any("missing in new" in f for f in failures))
+
+    def test_obs_overhead_fails(self):
+        failures = compare(governor_report(),
+                           governor_report(obs_overhead_pct=9.0))
+        self.assertTrue(any("tracing overhead" in f for f in failures))
+
+    def test_committed_snapshot_self_compare_is_clean(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_governor.json")
+        self.assertTrue(os.path.exists(path),
+                        "committed governor snapshot missing")
+        with open(path) as f:
+            report = json.load(f)
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+        # The committed sweep must double the fleet at least twice and
+        # hold the budget band on every row — the headline claim.
+        budget = report["budget_bytes_per_tick"]
+        rows = report["results"]
+        self.assertGreaterEqual(len(rows), 3)
+        self.assertGreaterEqual(rows[-1]["sources"], 4 * rows[0]["sources"])
+        for row in rows:
+            self.assertLessEqual(
+                abs(row["bytes_per_tick"] / budget - 1.0),
+                bench_compare.GOVERNOR_FLAT_TOL)
+            self.assertLessEqual(row["overshoot"],
+                                 bench_compare.GOVERNOR_OVERSHOOT_LIMIT)
 
 
 class RuntimeReportNewKeys(unittest.TestCase):

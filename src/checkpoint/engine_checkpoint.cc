@@ -317,6 +317,22 @@ class CheckpointAccess {
                 return a.spec.id < b.spec.id;
               });
     snapshot.serve.pending = MergeNotificationBatches(serve_streams);
+
+    // Delta governor (snapshot v3): the configured control law plus
+    // every source's controller state, keyed by source id like
+    // everything else — a mid-epoch restore at any shard count resumes
+    // the exact same delta schedule.
+    if (engine.governor_ != nullptr) {
+      snapshot.governor.enabled = true;
+      snapshot.governor.options = engine.options_.governor;
+      snapshot.governor.epochs = engine.governor_->epochs();
+      for (const auto& [source_id, state] : engine.governor_->states()) {
+        GovernorSourceSnapshot entry;
+        entry.source_id = source_id;
+        entry.state = state;
+        snapshot.governor.states.push_back(entry);
+      }
+    }
     return snapshot;
   }
 
@@ -561,6 +577,23 @@ class CheckpointAccess {
     // The fleet-wide lifetime counters land on shard 0, like the server
     // fault stats: only the merged view is part of the contract.
     engine.shards_[0]->serve_.RestoreStats(ServeCounters(snapshot.serve));
+
+    // Governor controller state, moved verbatim. The epoch cadence is
+    // derived from the tick count restored above, so the next epoch
+    // fires exactly where the uninterrupted run's would have.
+    if (snapshot.governor.enabled) {
+      if (engine.governor_ == nullptr) {
+        return Status::InvalidArgument(
+            "snapshot has the delta governor enabled but the target engine "
+            "was built without one");
+      }
+      std::map<int, DeltaGovernor::SourceState> governor_states;
+      for (const GovernorSourceSnapshot& entry : snapshot.governor.states) {
+        governor_states[entry.source_id] = entry.state;
+      }
+      engine.governor_->ImportState(snapshot.governor.epochs,
+                                    std::move(governor_states));
+    }
     for (auto& shard : engine.shards_) {
       DKF_RETURN_IF_ERROR(
           shard->serve_.RefreshCaches(ShardAnswerReader(*shard)));
@@ -580,6 +613,12 @@ Status StreamManager::Save(const std::string& path) const {
 Result<std::unique_ptr<StreamManager>> StreamManager::Restore(
     const std::string& path) {
   DKF_ASSIGN_OR_RETURN(EngineSnapshot snapshot, LoadSnapshotFile(path));
+  if (snapshot.governor.enabled) {
+    return Status::InvalidArgument(
+        "snapshot has the delta governor enabled; StreamManager never runs "
+        "governor epochs, so a restored run would silently diverge — "
+        "restore with ShardedStreamEngine::Restore");
+  }
   StreamManagerOptions options;
   options.energy = snapshot.energy;
   options.channel = snapshot.channel;
@@ -615,6 +654,8 @@ Result<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Restore(
   options.default_delta = snapshot.default_delta;
   options.protocol = snapshot.protocol;
   options.serve = snapshot.serve.options;
+  options.governor = snapshot.governor.options;
+  options.governor.enabled = snapshot.governor.enabled;
   // Snapshots are engine-agnostic: restoring onto the batched fleet
   // engine reconstructs every source on the per-source path (spilled)
   // and lets eligible ones re-enter their lanes after the next tick.

@@ -13,6 +13,7 @@
 #include "dsms/protocol.h"
 #include "dsms/server_node.h"
 #include "dsms/source_node.h"
+#include "governor/delta_governor.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "obs/trace.h"
@@ -98,6 +99,26 @@ struct ServeSnapshot {
   int64_t affected = 0;
 };
 
+/// One source's governor controller state, keyed by source id (layout-
+/// free like everything else in the snapshot).
+struct GovernorSourceSnapshot {
+  int source_id = 0;
+  DeltaGovernor::SourceState state;
+};
+
+/// Delta-governor state (src/governor/, snapshot v3): the configured
+/// control law plus every source's EWMA rates and sensitivity fit, so a
+/// restore mid-epoch resumes the exact same delta schedule. The epoch
+/// cadence itself is stateless (derived from the tick count), so no
+/// phase needs storing.
+struct GovernorSnapshot {
+  bool enabled = false;
+  GovernorOptions options;
+  int64_t epochs = 0;
+  /// Controller state, strictly ascending source id.
+  std::vector<GovernorSourceSnapshot> states;
+};
+
 /// The complete persisted state of a StreamManager or a
 /// ShardedStreamEngine between two ticks. A snapshot captured from
 /// either system restores into either system, at any shard count, and
@@ -143,6 +164,10 @@ struct EngineSnapshot {
   /// Serving front-end (empty when decoded from a v1 file, which
   /// predates src/serve/).
   ServeSnapshot serve;
+
+  /// Delta governor (disabled when decoded from a v1/v2 file, which
+  /// predate src/governor/).
+  GovernorSnapshot governor;
 };
 
 }  // namespace dkf

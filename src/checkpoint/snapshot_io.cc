@@ -675,6 +675,35 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
   writer.WriteI64(snapshot.serve.dropped);
   writer.WriteI64(snapshot.serve.touched);
   writer.WriteI64(snapshot.serve.affected);
+
+  // Delta governor (snapshot v3).
+  writer.WriteBool(snapshot.governor.enabled);
+  if (snapshot.governor.enabled) {
+    const GovernorOptions& g = snapshot.governor.options;
+    writer.WriteI64(g.epoch_ticks);
+    writer.WriteF64(g.budget_bytes_per_tick);
+    writer.WriteF64(g.delta_floor);
+    writer.WriteF64(g.delta_ceiling);
+    writer.WriteF64(g.max_step_ratio);
+    writer.WriteF64(g.dead_band);
+    writer.WriteF64(g.ewma_alpha);
+    writer.WriteF64(g.process_noise);
+    writer.WriteF64(g.measurement_noise);
+    writer.WriteI64(snapshot.governor.epochs);
+    writer.WriteU64(snapshot.governor.states.size());
+    for (const GovernorSourceSnapshot& entry : snapshot.governor.states) {
+      writer.WriteI64(entry.source_id);
+      writer.WriteF64(entry.state.ewma_bytes);
+      writer.WriteF64(entry.state.ewma_updates);
+      writer.WriteI64(entry.state.last_bytes);
+      writer.WriteI64(entry.state.last_updates);
+      writer.WriteF64(entry.state.intensity);
+      writer.WriteF64(entry.state.variance);
+      writer.WriteBool(entry.state.measured);
+      writer.WriteBool(entry.state.frozen);
+      writer.WriteF64(entry.state.held_delta);
+    }
+  }
   return Status::OK();
 }
 
@@ -860,6 +889,59 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader,
     DKF_ASSIGN_OR_RETURN(snapshot.serve.dropped, reader.ReadI64());
     DKF_ASSIGN_OR_RETURN(snapshot.serve.touched, reader.ReadI64());
     DKF_ASSIGN_OR_RETURN(snapshot.serve.affected, reader.ReadI64());
+  }
+
+  // Delta governor — absent from v1/v2 files (disabled defaults).
+  if (version >= 3) {
+    DKF_ASSIGN_OR_RETURN(snapshot.governor.enabled, reader.ReadBool());
+    if (snapshot.governor.enabled) {
+      GovernorOptions& g = snapshot.governor.options;
+      g.enabled = true;
+      DKF_ASSIGN_OR_RETURN(g.epoch_ticks, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(g.budget_bytes_per_tick, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(g.delta_floor, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(g.delta_ceiling, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(g.max_step_ratio, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(g.dead_band, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(g.ewma_alpha, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(g.process_noise, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(g.measurement_noise, reader.ReadF64());
+      DKF_RETURN_IF_ERROR(DeltaGovernor::Validate(g));
+      DKF_ASSIGN_OR_RETURN(snapshot.governor.epochs, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(uint64_t num_states, reader.ReadU64());
+      DKF_RETURN_IF_ERROR(
+          CheckCount(reader, num_states, 66, "governor state"));
+      snapshot.governor.states.reserve(static_cast<size_t>(num_states));
+      int previous_state_id = INT32_MIN;
+      for (uint64_t i = 0; i < num_states; ++i) {
+        GovernorSourceSnapshot entry;
+        DKF_ASSIGN_OR_RETURN(entry.source_id,
+                             DecodeI32(reader, "governor source id"));
+        if (entry.source_id <= previous_state_id) {
+          return Status::InvalidArgument(
+              "governor states must have strictly ascending source ids");
+        }
+        previous_state_id = entry.source_id;
+        DKF_ASSIGN_OR_RETURN(entry.state.ewma_bytes, reader.ReadF64());
+        DKF_ASSIGN_OR_RETURN(entry.state.ewma_updates, reader.ReadF64());
+        DKF_ASSIGN_OR_RETURN(entry.state.last_bytes, reader.ReadI64());
+        DKF_ASSIGN_OR_RETURN(entry.state.last_updates, reader.ReadI64());
+        DKF_ASSIGN_OR_RETURN(entry.state.intensity, reader.ReadF64());
+        DKF_ASSIGN_OR_RETURN(entry.state.variance, reader.ReadF64());
+        DKF_ASSIGN_OR_RETURN(entry.state.measured, reader.ReadBool());
+        DKF_ASSIGN_OR_RETURN(entry.state.frozen, reader.ReadBool());
+        DKF_ASSIGN_OR_RETURN(entry.state.held_delta, reader.ReadF64());
+        if (!std::isfinite(entry.state.ewma_bytes) ||
+            !std::isfinite(entry.state.ewma_updates) ||
+            !std::isfinite(entry.state.intensity) ||
+            !std::isfinite(entry.state.variance) ||
+            !std::isfinite(entry.state.held_delta)) {
+          return Status::InvalidArgument(
+              "governor state contains a non-finite value");
+        }
+        snapshot.governor.states.push_back(entry);
+      }
+    }
   }
   return snapshot;
 }

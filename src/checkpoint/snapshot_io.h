@@ -26,10 +26,12 @@ namespace dkf {
 /// as SaveSynopsis).
 
 inline constexpr char kSnapshotMagic[] = "DKFSNAP1";  // 8 bytes on the wire
-/// v2 appended the serving-layer section (src/serve/) to the payload.
-inline constexpr uint32_t kSnapshotVersion = 2;
+/// v2 appended the serving-layer section (src/serve/); v3 appended the
+/// delta-governor section (src/governor/).
+inline constexpr uint32_t kSnapshotVersion = 3;
 /// Oldest version this build still reads. v1 files predate the serving
-/// layer; they decode with an empty ServeSnapshot.
+/// layer; they decode with an empty ServeSnapshot. v2 files predate the
+/// governor; they decode with a disabled GovernorSnapshot.
 inline constexpr uint32_t kSnapshotMinVersion = 1;
 
 /// Serializes a snapshot to the full file image (header + payload).

@@ -129,7 +129,18 @@ std::vector<TraceEvent> StreamManager::Trace() const {
 
 MetricsRegistry StreamManager::MetricsSnapshot() const {
   MetricsRegistry registry;
-  if (sink_ != nullptr) sink_->SnapshotInto(&registry);
+  if (sink_ != nullptr) {
+    sink_->SnapshotInto(&registry);
+    // Per-source uplink accounting, mirroring
+    // ShardedStreamEngine::MetricsSnapshot so the two systems stay
+    // gauge-for-gauge comparable.
+    for (const auto& [source_id, node] : sources_) {
+      (void)node;
+      registry.SetGauge(StrFormat("uplink.bytes.%d", source_id),
+                        static_cast<double>(
+                            channel_.for_source(source_id).bytes));
+    }
+  }
   return registry;
 }
 

@@ -327,6 +327,7 @@ Status FleetEngine::SpillLane(int group_index, size_t lane, int64_t tick,
   resident_.erase(id);
   spilled_.insert(id);
   order_dirty_ = true;
+  ++spills_;
 
   if (reading != nullptr) {
     // Mid-tick spill: the server's TickAll already ran without this id,

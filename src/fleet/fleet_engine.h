@@ -95,6 +95,11 @@ class FleetEngine {
   /// spilled ones); the shard adds this to its merged fault counters.
   int64_t degraded_ticks() const { return degraded_ticks_; }
 
+  /// Lifetime count of lane spills (mid-tick protocol spills plus
+  /// reconfigure spills). A governor sweep that keeps a cohort's deltas
+  /// stable must not move this — churn tests pin it.
+  int64_t spill_count() const { return spills_; }
+
   void set_trace_sink(TraceSink* sink) { obs_sink_ = sink; }
 
   /// Spills a resident source between ticks so a reconfiguration
@@ -320,6 +325,7 @@ class FleetEngine {
   std::vector<int> residual_scratch_;
 
   int64_t degraded_ticks_ = 0;
+  int64_t spills_ = 0;
 };
 
 }  // namespace dkf

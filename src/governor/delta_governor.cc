@@ -1,0 +1,274 @@
+#include "governor/delta_governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dkf {
+namespace {
+
+/// Guards the relative-noise products when a state or measurement sits
+/// at zero, so a quiet source keeps a live (if tiny) variance and can
+/// re-acquire once it starts sending.
+constexpr double kNoiseEps = 1e-12;
+
+double Clamp(double value, double lo, double hi) {
+  return std::min(hi, std::max(lo, value));
+}
+
+}  // namespace
+
+Status DeltaGovernor::Validate(const GovernorOptions& options) {
+  if (options.epoch_ticks < 1) {
+    return Status::InvalidArgument("governor epoch_ticks must be >= 1");
+  }
+  if (!(options.budget_bytes_per_tick > 0.0)) {
+    return Status::InvalidArgument(
+        "governor budget_bytes_per_tick must be positive");
+  }
+  if (!(options.delta_floor > 0.0)) {
+    return Status::InvalidArgument("governor delta_floor must be positive");
+  }
+  if (!(options.delta_ceiling >= options.delta_floor)) {
+    return Status::InvalidArgument(
+        "governor delta_ceiling must be >= delta_floor");
+  }
+  if (!(options.max_step_ratio > 1.0)) {
+    return Status::InvalidArgument("governor max_step_ratio must exceed 1");
+  }
+  if (!(options.dead_band >= 0.0) || !(options.dead_band < 1.0)) {
+    return Status::InvalidArgument("governor dead_band must be in [0, 1)");
+  }
+  if (!(options.ewma_alpha > 0.0) || !(options.ewma_alpha <= 1.0)) {
+    return Status::InvalidArgument("governor ewma_alpha must be in (0, 1]");
+  }
+  if (!(options.process_noise > 0.0)) {
+    return Status::InvalidArgument("governor process_noise must be positive");
+  }
+  if (!(options.measurement_noise > 0.0)) {
+    return Status::InvalidArgument(
+        "governor measurement_noise must be positive");
+  }
+  return Status::OK();
+}
+
+Result<GovernorEpochResult> DeltaGovernor::PlanEpoch(
+    const std::vector<GovernorSourceSample>& samples) {
+  DKF_RETURN_IF_ERROR(Validate(options_));
+
+  GovernorEpochResult result;
+  result.epoch = epochs_;
+  result.budget = options_.budget_bytes_per_tick;
+
+  // ---- phase 1: measurement — rates, freezes, sensitivity fit -------
+  //
+  // Single ascending pass. Unhealthy sources are frozen: counters
+  // still advance (so the first healthy epoch measures only healthy
+  // traffic — anti-windup), but neither the EWMA nor the Kalman fit
+  // sees the storm, and the source is held at its installed delta.
+  const double ticks = static_cast<double>(options_.epoch_ticks);
+  int last_id = 0;
+  bool first = true;
+  for (const GovernorSourceSample& sample : samples) {
+    if (!first && sample.source_id <= last_id) {
+      return Status::InvalidArgument(
+          "governor samples must ascend strictly by source id");
+    }
+    first = false;
+    last_id = sample.source_id;
+
+    SourceState& st = states_[sample.source_id];
+    if (sample.unhealthy) {
+      if (!st.frozen) {
+        st.frozen = true;
+        result.newly_frozen.push_back(sample.source_id);
+      }
+      st.held_delta = sample.delta;
+      st.last_bytes = sample.bytes;
+      st.last_updates = sample.updates;
+      continue;
+    }
+    st.frozen = false;
+
+    const double bytes_rate =
+        static_cast<double>(sample.bytes - st.last_bytes) / ticks;
+    const double updates_rate =
+        static_cast<double>(sample.updates - st.last_updates) / ticks;
+    st.last_bytes = sample.bytes;
+    st.last_updates = sample.updates;
+
+    // Self-correcting sensitivity measurement: the event-triggered
+    // send rate scales as x / delta^2, so z = rate * delta^2 reads the
+    // intensity x regardless of which delta produced the traffic. The
+    // rate entering z is the EWMA, not the raw epoch count: at wide
+    // deltas a healthy source legitimately sits silent for a whole
+    // epoch, and a raw zero would zero the relative measurement noise
+    // (r * z^2), snap the fit to zero, and send the allocator probing
+    // down — a permanent burst/probe limit cycle at fleet scale. With
+    // the EWMA, silence decays the estimate at the configured alpha
+    // instead, and the dead band absorbs the wobble.
+    if (!st.measured) {
+      st.measured = true;
+      st.ewma_bytes = std::max(0.0, bytes_rate);
+      st.ewma_updates = std::max(0.0, updates_rate);
+      const double z = st.ewma_bytes * sample.delta * sample.delta;
+      st.intensity = z;
+      st.variance = z * z + kNoiseEps;
+    } else {
+      const double a = options_.ewma_alpha;
+      st.ewma_bytes = a * std::max(0.0, bytes_rate) + (1.0 - a) * st.ewma_bytes;
+      st.ewma_updates =
+          a * std::max(0.0, updates_rate) + (1.0 - a) * st.ewma_updates;
+      const double z = st.ewma_bytes * sample.delta * sample.delta;
+      // Relative-noise scalar Kalman step. Process noise scales with
+      // the larger of state and measurement so a quiet stream that
+      // wakes up re-acquires within a few epochs instead of being
+      // pinned by its own tiny variance. Measurement noise scales with
+      // the STATE, not the measurement: r ~ z^2 would shrink the
+      // noise (and inflate the gain) exactly when z reads low, biasing
+      // the fit downward and parking the settled spend above budget.
+      // With r ~ x^2 the gain is the same for high and low reads, and
+      // a near-zero state still re-acquires in one step.
+      const double level = std::max(std::abs(st.intensity), std::abs(z));
+      st.variance += options_.process_noise * (level * level + kNoiseEps);
+      const double r_eff = options_.measurement_noise *
+                           (st.intensity * st.intensity + kNoiseEps);
+      const double gain = st.variance / (st.variance + r_eff);
+      st.intensity = std::max(0.0, st.intensity + gain * (z - st.intensity));
+      st.variance *= (1.0 - gain);
+    }
+  }
+
+  // ---- phase 2: budget accounting -----------------------------------
+  //
+  // Frozen sources reserve their held EWMA spend off the top; the
+  // water-filling below allocates only what remains to healthy ones.
+  double spend = 0.0;
+  double frozen_spend = 0.0;
+  for (const auto& [id, st] : states_) {
+    spend += st.ewma_bytes;
+    if (st.frozen) {
+      ++result.frozen;
+      frozen_spend += st.ewma_bytes;
+    }
+  }
+  result.spend = spend;
+  result.overshoot = std::max(0.0, spend / result.budget - 1.0);
+
+  // ---- phase 3: water-filling over the healthy set ------------------
+  //
+  // Minimize sum(delta_i) subject to sum(x_i / delta_i^2) <= C with
+  // per-source bounds. Unconstrained optimum: delta_i = cbrt(x_i) *
+  // sqrt(S / C), S = sum(cbrt(x_j)). Bounds are resolved by clamp
+  // iteration: pin violators to their bound, charge their pinned spend
+  // against C, re-solve the rest. Each round pins at least one source,
+  // so the loop is bounded by the fleet size.
+  struct Allocation {
+    const GovernorSourceSample* sample;
+    double lo, hi;   // floor/ceiling intersected with the slew window
+    double root;     // cbrt(intensity)
+    double target = 0.0;
+    bool pinned = false;
+  };
+  std::vector<Allocation> allocs;
+  allocs.reserve(samples.size());
+  for (const GovernorSourceSample& sample : samples) {
+    const SourceState& st = states_.at(sample.source_id);
+    if (st.frozen) continue;
+    Allocation alloc;
+    alloc.sample = &sample;
+    // Slew window around the installed delta, kept inside the hard
+    // bounds. Clamping both ends into [floor, ceiling] preserves
+    // lo <= hi even when the installed delta sits outside the bounds —
+    // the source then walks toward the band at the slew rate.
+    alloc.lo = Clamp(sample.delta / options_.max_step_ratio,
+                     options_.delta_floor, options_.delta_ceiling);
+    alloc.hi = Clamp(sample.delta * options_.max_step_ratio,
+                     options_.delta_floor, options_.delta_ceiling);
+    alloc.root = std::cbrt(st.intensity);
+    allocs.push_back(alloc);
+  }
+
+  double budget_left = result.budget - frozen_spend;
+  size_t unpinned = allocs.size();
+  while (unpinned > 0) {
+    double root_sum = 0.0;
+    for (const Allocation& alloc : allocs) {
+      if (!alloc.pinned) root_sum += alloc.root;
+    }
+    if (!(budget_left > 0.0)) {
+      // Sustained overload (or frozen spend alone exceeds the budget):
+      // everything left inflates to its slew-limited ceiling. The next
+      // epochs keep widening until the budget holds — proportional
+      // degradation, never oscillation.
+      for (Allocation& alloc : allocs) {
+        if (!alloc.pinned) {
+          alloc.target = alloc.hi;
+          alloc.pinned = true;
+        }
+      }
+      break;
+    }
+    if (root_sum <= 0.0) {
+      // Every remaining source is quiet (zero estimated intensity):
+      // probe toward the floor at the slew rate, spending nothing.
+      for (Allocation& alloc : allocs) {
+        if (!alloc.pinned) {
+          alloc.target = alloc.lo;
+          alloc.pinned = true;
+        }
+      }
+      break;
+    }
+    const double scale = std::sqrt(root_sum / budget_left);
+    bool clamped = false;
+    for (Allocation& alloc : allocs) {
+      if (alloc.pinned) continue;
+      const double ideal = alloc.root * scale;
+      if (ideal < alloc.lo || ideal > alloc.hi) {
+        alloc.target = ideal < alloc.lo ? alloc.lo : alloc.hi;
+        alloc.pinned = true;
+        clamped = true;
+        --unpinned;
+        const double x = alloc.root * alloc.root * alloc.root;
+        budget_left -= x / (alloc.target * alloc.target);
+      }
+    }
+    if (!clamped) {
+      for (Allocation& alloc : allocs) {
+        if (!alloc.pinned) alloc.target = alloc.root * scale;
+      }
+      break;
+    }
+  }
+
+  // ---- phase 4: dead band + change list -----------------------------
+  //
+  // The dead band suppresses reconfigure churn near equilibrium, but a
+  // widening move is never held while the fleet overspends: the budget
+  // is a ceiling, not a setpoint, and holding small widening steps
+  // would let the spend camp a band-width above it (and, with a slew
+  // ratio inside the band, stall overload degradation outright).
+  // Tightening moves stay banded, so the settled spend sits at or just
+  // under the budget rather than oscillating around it.
+  const bool overspent = spend > result.budget;
+  for (const Allocation& alloc : allocs) {
+    const GovernorSourceSample& sample = *alloc.sample;
+    SourceState& st = states_.at(sample.source_id);
+    const double target = Clamp(alloc.target, options_.delta_floor,
+                                options_.delta_ceiling);
+    const bool widening = target > sample.delta;
+    if (!(overspent && widening) &&
+        std::abs(target - sample.delta) <=
+            options_.dead_band * sample.delta) {
+      st.held_delta = sample.delta;  // hold: no reconfigure, no spill
+      continue;
+    }
+    st.held_delta = target;
+    result.changes.push_back({sample.source_id, target, sample.delta});
+  }
+
+  ++epochs_;
+  return result;
+}
+
+}  // namespace dkf

@@ -30,10 +30,15 @@ constexpr const char* kKindNames[kNumTraceEventKinds] = {
     "subscribe",
     "notify",
     "notify_drop",
+    "governor_epoch",
+    "delta_raise",
+    "delta_lower",
+    "governor_freeze",
 };
 
 constexpr const char* kActorNames[static_cast<int>(TraceActor::kCount)] = {
     "source", "server", "channel", "source_filter", "server_filter", "serve",
+    "governor",
 };
 
 }  // namespace

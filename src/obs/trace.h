@@ -58,6 +58,12 @@ enum class TraceEventKind : uint8_t {
   kNotify,              // one notification entered a batch
   kNotifyDrop,          // backpressure evicted an undrained batch
 
+  // Global delta governor (src/governor/) epochs + allocations.
+  kGovernorEpoch,       // one allocation epoch ran (source_id = -1)
+  kDeltaRaise,          // governor widened a source's delta
+  kDeltaLower,          // governor tightened a source's delta
+  kGovernorFreeze,      // unhealthy source excluded + held at last delta
+
   kCount,  // sentinel, not a real event
 };
 
@@ -73,6 +79,7 @@ enum class TraceActor : uint8_t {
   kSourceFilter,
   kServerFilter,
   kServe,
+  kGovernor,
   kCount,  // sentinel
 };
 

@@ -144,6 +144,26 @@ Status StreamShard::Reconfigure(int source_id,
   return Status::OK();
 }
 
+Status StreamShard::ReconfigureSources(
+    const std::vector<std::pair<int, double>>& deltas) {
+  for (const auto& [source_id, delta] : deltas) {
+    auto it = sources_.find(source_id);
+    if (it == sources_.end()) {
+      return Status::NotFound(StrFormat("source %d not on shard", source_id));
+    }
+    if (it->second->delta() == delta) continue;
+    // A batch-resident source must spill back to its real SourceNode
+    // before the new width lands (same rule as Reconfigure); with the
+    // whole epoch applied in this one sweep it spills at most once.
+    if (fleet_ != nullptr) {
+      DKF_RETURN_IF_ERROR(fleet_->SpillForReconfigure(source_id));
+    }
+    DKF_RETURN_IF_ERROR(it->second->set_delta(delta));
+    ++control_messages_;
+  }
+  return Status::OK();
+}
+
 Status StreamShard::ProcessTick(int64_t tick,
                                 const std::map<int, Vector>& readings) {
   const bool timed = obs_sink_ != nullptr && obs_sink_->options().record_timing;

@@ -69,6 +69,12 @@ class StreamShard {
   /// and pushes it to the node, counting a control message on change.
   Status Reconfigure(int source_id, const QueryRegistry& registry);
 
+  /// Installs new precision widths on many of this shard's sources in
+  /// one sweep — the governor's per-epoch fan-out. Entries whose delta
+  /// already matches are skipped entirely (no control message, no
+  /// fleet-lane spill), so a cohort-stable allocation costs nothing.
+  Status ReconfigureSources(const std::vector<std::pair<int, double>>& deltas);
+
   /// Runs one protocol tick over this shard's sources. `readings` is
   /// the engine's full batch; entries for other shards' sources are
   /// ignored.
@@ -118,6 +124,18 @@ class StreamShard {
   Result<size_t> source_dim(int source_id) const;
 
   const ChannelStats& uplink_traffic() const { return channel_.total(); }
+
+  /// Per-source uplink counters from this shard's channel (zeros for an
+  /// id that never sent).
+  const ChannelStats& source_uplink(int source_id) const {
+    return channel_.for_source(source_id);
+  }
+
+  /// Lifetime count of batch-lane spills (0 without EnableFleet).
+  int64_t fleet_spill_count() const {
+    return fleet_ ? fleet_->spill_count() : 0;
+  }
+
   int64_t control_messages() const { return control_messages_; }
   size_t num_sources() const { return sources_.size(); }
 

@@ -65,6 +65,9 @@ ShardedStreamEngine::ShardedStreamEngine(
       (void)shards_.back()->EnableFleet();
     }
   }
+  if (options_.governor.enabled) {
+    governor_ = std::make_unique<DeltaGovernor>(options_.governor);
+  }
 }
 
 size_t ShardedStreamEngine::fleet_resident_count() const {
@@ -275,6 +278,7 @@ Status ShardedStreamEngine::ProcessTick(const std::map<int, Vector>& readings) {
   // Aggregate subscriptions need every shard's partial sums, so their
   // serve pass runs on the driver after the tick joins.
   DKF_RETURN_IF_ERROR(aggregate_serve_.EndTick(tick, EngineAnswers(*this)));
+  DKF_RETURN_IF_ERROR(MaybeRunGovernor());
   ++ticks_;
   return Status::OK();
 }
@@ -300,6 +304,7 @@ Status ShardedStreamEngine::ProcessTick(const ReadingBatch& batch) {
   }
   DKF_RETURN_IF_ERROR(pool_.RunAll(tick_tasks_));
   DKF_RETURN_IF_ERROR(aggregate_serve_.EndTick(tick, EngineAnswers(*this)));
+  DKF_RETURN_IF_ERROR(MaybeRunGovernor());
   ++ticks_;
   return Status::OK();
 }
@@ -453,6 +458,116 @@ Result<double> ShardedStreamEngine::source_delta(int source_id) const {
   return OwningShard(source_id).source_delta(source_id);
 }
 
+Status ShardedStreamEngine::ReconfigureSources(
+    const std::vector<std::pair<int, double>>& deltas) {
+  for (const auto& [source_id, delta] : deltas) {
+    if (!HasSource(source_id)) {
+      return Status::NotFound(
+          StrFormat("source %d not registered", source_id));
+    }
+    if (!(delta > 0.0)) {
+      return Status::InvalidArgument(
+          StrFormat("delta for source %d must be positive", source_id));
+    }
+  }
+  // One fan-out per owning shard, ascending shard index; within a shard
+  // the caller's order is preserved.
+  std::vector<std::vector<std::pair<int, double>>> per_shard(shards_.size());
+  for (const auto& entry : deltas) {
+    per_shard[static_cast<size_t>(ShardIndexFor(entry.first))].push_back(
+        entry);
+  }
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (per_shard[shard].empty()) continue;
+    DKF_RETURN_IF_ERROR(shards_[shard]->ReconfigureSources(per_shard[shard]));
+  }
+  return Status::OK();
+}
+
+int64_t ShardedStreamEngine::fleet_spill_count() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->fleet_spill_count();
+  return total;
+}
+
+Status ShardedStreamEngine::MaybeRunGovernor() {
+  if (governor_ == nullptr) return Status::OK();
+  const int64_t tick = ticks_;  // the tick that just finished
+  const int64_t epoch_ticks = governor_->options().epoch_ticks;
+  if (epoch_ticks < 1) {
+    return Status::InvalidArgument("governor epoch_ticks must be >= 1");
+  }
+  // Stateless schedule: epoch boundaries depend only on the tick count,
+  // so a snapshot restored mid-epoch resumes the exact same cadence.
+  if ((tick + 1) % epoch_ticks != 0) return Status::OK();
+
+  std::vector<GovernorSourceSample> samples;
+  samples.reserve(registered_.size());
+  for (const auto& [source_id, shard_index] : registered_) {
+    const StreamShard& shard = *shards_[static_cast<size_t>(shard_index)];
+    GovernorSourceSample sample;
+    sample.source_id = source_id;
+    const ChannelStats& uplink = shard.source_uplink(source_id);
+    sample.bytes = uplink.bytes;
+    auto updates_or = shard.updates_sent(source_id);
+    if (!updates_or.ok()) return updates_or.status();
+    sample.updates = updates_or.value();
+    auto delta_or = shard.source_delta(source_id);
+    if (!delta_or.ok()) return delta_or.status();
+    sample.delta = delta_or.value();
+    auto pending_or = shard.resync_pending(source_id);
+    if (!pending_or.ok()) return pending_or.status();
+    auto degraded_or = shard.answer_degraded(source_id);
+    if (!degraded_or.ok()) return degraded_or.status();
+    sample.unhealthy = pending_or.value() || degraded_or.value();
+    samples.push_back(sample);
+  }
+
+  auto result_or = governor_->PlanEpoch(samples);
+  if (!result_or.ok()) return result_or.status();
+  const GovernorEpochResult& result = result_or.value();
+
+  if (!result.changes.empty()) {
+    std::vector<std::pair<int, double>> installs;
+    installs.reserve(result.changes.size());
+    for (const DeltaChange& change : result.changes) {
+      installs.emplace_back(change.source_id, change.delta);
+    }
+    DKF_RETURN_IF_ERROR(ReconfigureSources(installs));
+  }
+
+  if (!sinks_.empty()) {
+    // Per-source events go to the OWNING shard's sink so the merged
+    // trace is layout-invariant: all events for one (step, source) must
+    // live in one stream, in emission order, at any shard count.
+    for (const DeltaChange& change : result.changes) {
+      sinks_[static_cast<size_t>(ShardIndexFor(change.source_id))]->Emit(
+          tick, change.source_id,
+          change.delta > change.previous ? TraceEventKind::kDeltaRaise
+                                         : TraceEventKind::kDeltaLower,
+          TraceActor::kGovernor, change.delta, change.previous,
+          result.epoch);
+    }
+    for (int source_id : result.newly_frozen) {
+      sinks_[static_cast<size_t>(ShardIndexFor(source_id))]->Emit(
+          tick, source_id, TraceEventKind::kGovernorFreeze,
+          TraceActor::kGovernor, governor_->states().at(source_id).held_delta,
+          0.0, result.epoch);
+    }
+    // The epoch summary carries a negative source key, parked in shard
+    // 0's sink like the aggregate-serve events.
+    sinks_.front()->Emit(tick, -1, TraceEventKind::kGovernorEpoch,
+                         TraceActor::kGovernor, result.spend, result.budget,
+                         result.epoch);
+    sinks_.front()->SetGauge("governor.budget_bytes_per_tick", result.budget);
+    sinks_.front()->SetGauge("governor.spend_bytes_per_tick", result.spend);
+    sinks_.front()->SetGauge("governor.overshoot", result.overshoot);
+    sinks_.front()->SetGauge("governor.frozen",
+                             static_cast<double>(result.frozen));
+  }
+  return Status::OK();
+}
+
 Status ShardedStreamEngine::EnableTracing(const ObsOptions& obs) {
   sinks_.clear();
   sinks_.reserve(shards_.size());
@@ -485,6 +600,24 @@ MetricsRegistry ShardedStreamEngine::MetricsSnapshot() const {
   // Re-derive the ratio gauges over the *merged* counters (each fold's
   // own derivation only saw a prefix of the shards).
   DeriveRates(&registry);
+  // Per-source uplink accounting, keyed by source id — shard-invariant
+  // because the per-source channel counters are (per-source RNG) and
+  // the governor's EWMA state is layout-free.
+  if (!sinks_.empty()) {
+    for (const auto& [source_id, shard_index] : registered_) {
+      const ChannelStats& uplink =
+          shards_[static_cast<size_t>(shard_index)]->source_uplink(source_id);
+      registry.SetGauge(StrFormat("uplink.bytes.%d", source_id),
+                        static_cast<double>(uplink.bytes));
+    }
+    if (governor_ != nullptr) {
+      for (const auto& [source_id, state] : governor_->states()) {
+        registry.SetGauge(
+            StrFormat("uplink.updates_rate_ewma.%d", source_id),
+            state.ewma_updates);
+      }
+    }
+  }
   return registry;
 }
 

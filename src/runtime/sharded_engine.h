@@ -11,6 +11,7 @@
 #include "dsms/energy_model.h"
 #include "dsms/protocol.h"
 #include "dsms/server_node.h"
+#include "governor/delta_governor.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "obs/trace_merge.h"
@@ -49,6 +50,12 @@ struct ShardedStreamEngineOptions {
   /// structure-of-arrays lanes and ticked by flat kernels, bit-identical
   /// to the per-source path at any shard count.
   bool batched_fleet = false;
+  /// Fleet-wide delta governor (src/governor/, docs/governor.md). When
+  /// governor.enabled, the engine runs one allocation epoch every
+  /// governor.epoch_ticks ticks on the driver thread, re-installing
+  /// per-source deltas so total uplink spend tracks the configured
+  /// bytes/tick budget.
+  GovernorOptions governor;
 };
 
 /// The sharded, multi-threaded counterpart of StreamManager for large
@@ -188,6 +195,19 @@ class ShardedStreamEngine {
   /// Per-source effective delta currently installed.
   Result<double> source_delta(int source_id) const;
 
+  /// Installs new precision widths directly on many sources at once —
+  /// one fan-out per owning shard. Validates every id before touching
+  /// anything. This is the governor's installation path, but it is
+  /// public API: an operator can pre-seed deltas the same way.
+  Status ReconfigureSources(const std::vector<std::pair<int, double>>& deltas);
+
+  /// The delta governor (nullptr unless options.governor.enabled).
+  const DeltaGovernor* governor() const { return governor_.get(); }
+
+  /// Lifetime batch-lane spills summed across shards (always 0 unless
+  /// options.batched_fleet).
+  int64_t fleet_spill_count() const;
+
   /// Per-source update totals.
   Result<int64_t> updates_sent(int source_id) const;
 
@@ -242,6 +262,12 @@ class ShardedStreamEngine {
  private:
   friend class CheckpointAccess;
 
+  /// Runs one governor epoch when the tick that just finished completes
+  /// an epoch window: samples every source's uplink counters, plans the
+  /// allocation, installs changes shard-by-shard, and emits governor
+  /// traces/gauges. Driver thread, between the tick join and ++ticks_.
+  Status MaybeRunGovernor();
+
   StreamShard& OwningShard(int source_id) {
     return *shards_[static_cast<size_t>(ShardIndexFor(source_id))];
   }
@@ -279,6 +305,8 @@ class ShardedStreamEngine {
   WorkerPool pool_;
   /// Reused every tick (one task per shard) to avoid reallocation.
   std::vector<WorkerPool::Task> tick_tasks_;
+  /// Fleet-wide delta governor (null unless options.governor.enabled).
+  std::unique_ptr<DeltaGovernor> governor_;
   int64_t ticks_ = 0;
   /// One observability sink per shard (empty while tracing is off).
   /// Owned here; shards hold raw pointers.

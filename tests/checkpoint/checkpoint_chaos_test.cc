@@ -534,6 +534,129 @@ TEST(CheckpointChaosTest, ServeDeliveryContinuesBitIdenticallyAcrossRestore) {
   }
 }
 
+// ---- governor continuation -------------------------------------------
+
+/// Governor knobs for the continuation runs. With 16-tick epochs the
+/// boundaries land after ticks 95 and 111, so kSnapTick = 110 catches
+/// the controller mid-epoch: its EWMA rates, sensitivity fits, and
+/// freeze flags must come back verbatim for the post-restore epoch at
+/// tick 111 to allocate identically.
+GovernorOptions SnapGovernor() {
+  GovernorOptions governor;
+  governor.enabled = true;
+  governor.epoch_ticks = 16;
+  governor.budget_bytes_per_tick = 140.0;
+  governor.delta_floor = 0.05;
+  governor.delta_ceiling = 64.0;
+  governor.max_step_ratio = 2.0;
+  governor.dead_band = 0.10;
+  return governor;
+}
+
+/// The uninterrupted governed run (per-tick answers from the snapshot
+/// tick on, final delta schedule, merged trace, controller state) and
+/// the snapshot its interrupted twin saved mid-outage, mid-epoch.
+struct GovernorReference {
+  std::string snapshot_path;
+  std::vector<std::array<double, kNumSources + 1>> answers;  // from kSnapTick
+  std::array<double, kNumSources + 1> deltas{};
+  std::vector<TraceEvent> trace;
+  int64_t epochs = 0;
+  std::map<int, DeltaGovernor::SourceState> states;
+};
+
+const GovernorReference& GetGovernorReference() {
+  static const GovernorReference* const reference = [] {
+    auto* ref = new GovernorReference();
+    ref->snapshot_path = SnapshotPath("governor_chaos.dkfsnap");
+    ShardedStreamEngineOptions options;
+    options.num_shards = 3;
+    options.channel = FleetChannel();
+    options.protocol = FleetProtocol();
+    options.governor = SnapGovernor();
+
+    ShardedStreamEngine engine(options);
+    InstallChaosWorkload(engine);
+    const Reference& readings = GetReference();
+    for (int64_t t = 0; t < kFleetTicks; ++t) {
+      EXPECT_TRUE(
+          engine.ProcessTick(readings.readings[static_cast<size_t>(t)]).ok())
+          << "tick " << t;
+      if (t >= kSnapTick) {
+        std::array<double, kNumSources + 1> answers{};
+        for (int id = 1; id <= kNumSources; ++id) {
+          answers[static_cast<size_t>(id)] = engine.Answer(id).value()[0];
+        }
+        ref->answers.push_back(answers);
+      }
+    }
+    for (int id = 1; id <= kNumSources; ++id) {
+      ref->deltas[static_cast<size_t>(id)] = engine.source_delta(id).value();
+    }
+    ref->trace = engine.MergedTrace();
+    ref->epochs = engine.governor()->epochs();
+    ref->states = engine.governor()->states();
+    EXPECT_EQ(ref->epochs, kFleetTicks / 16);
+    EXPECT_EQ(engine.shard_sink(0)->dropped_events(), 0)
+        << "ring too small for exact trace comparisons";
+
+    ShardedStreamEngine twin(options);
+    InstallChaosWorkload(twin);
+    RunTicks(twin, 0, kSnapTick);
+    EXPECT_TRUE(twin.Save(ref->snapshot_path).ok());
+    return ref;
+  }();
+  return *reference;
+}
+
+TEST(CheckpointChaosTest, GovernorResumesMidEpochBitIdentically) {
+  const GovernorReference& ref = GetGovernorReference();
+  const Reference& readings = GetReference();
+  for (int shards : {1, 2, 8}) {
+    const std::string label =
+        "governor(3)->engine(" + std::to_string(shards) + ")";
+    auto engine_or = ShardedStreamEngine::Restore(ref.snapshot_path, shards);
+    ASSERT_TRUE(engine_or.ok()) << label << ": "
+                                << engine_or.status().message();
+    ShardedStreamEngine& engine = *engine_or.value();
+    ASSERT_EQ(engine.num_shards(), shards) << label;
+    ASSERT_EQ(engine.ticks(), kSnapTick) << label;
+    ASSERT_NE(engine.governor(), nullptr) << label;
+    for (int64_t t = kSnapTick; t < kFleetTicks; ++t) {
+      ASSERT_TRUE(
+          engine.ProcessTick(readings.readings[static_cast<size_t>(t)]).ok())
+          << label << " tick " << t;
+      const auto& answers = ref.answers[static_cast<size_t>(t - kSnapTick)];
+      for (int id = 1; id <= kNumSources; ++id) {
+        ASSERT_EQ(engine.Answer(id).value()[0],
+                  answers[static_cast<size_t>(id)])
+            << label << " tick " << t << " source " << id;
+      }
+    }
+    for (int id = 1; id <= kNumSources; ++id) {
+      EXPECT_EQ(engine.source_delta(id).value(),
+                ref.deltas[static_cast<size_t>(id)])
+          << label << " source " << id;
+    }
+    EXPECT_TRUE(engine.MergedTrace() == ref.trace)
+        << label << ": merged trace differs";
+    EXPECT_EQ(engine.governor()->epochs(), ref.epochs) << label;
+    EXPECT_TRUE(engine.governor()->states() == ref.states)
+        << label << ": controller state differs";
+  }
+}
+
+TEST(CheckpointChaosTest, GovernorSnapshotRejectedByManagerRestore) {
+  // A StreamManager never runs governor epochs, so restoring a governed
+  // snapshot into one would silently abandon the budget control loop.
+  const GovernorReference& ref = GetGovernorReference();
+  auto manager_or = StreamManager::Restore(ref.snapshot_path);
+  ASSERT_FALSE(manager_or.ok());
+  EXPECT_EQ(manager_or.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(manager_or.status().message().find("governor"),
+            std::string::npos);
+}
+
 TEST(CheckpointChaosTest, UntracedSystemRoundTripsWithTracingOff) {
   const std::string path = SnapshotPath("untraced.dkfsnap");
   StreamManagerOptions options;

@@ -235,6 +235,36 @@ EngineSnapshot BuildSnapshot() {
   snapshot.serve.dropped = 2;
   snapshot.serve.touched = 400;
   snapshot.serve.affected = 59;
+
+  snapshot.governor.enabled = true;
+  snapshot.governor.options.enabled = true;
+  snapshot.governor.options.epoch_ticks = 16;
+  snapshot.governor.options.budget_bytes_per_tick = 150.0;
+  snapshot.governor.options.delta_floor = 0.05;
+  snapshot.governor.options.delta_ceiling = 64.0;
+  snapshot.governor.options.max_step_ratio = 2.0;
+  snapshot.governor.options.dead_band = 0.10;
+  snapshot.governor.options.ewma_alpha = 0.35;
+  snapshot.governor.options.process_noise = 0.04;
+  snapshot.governor.options.measurement_noise = 0.20;
+  snapshot.governor.epochs = 6;
+  GovernorSourceSnapshot measured;
+  measured.source_id = 1;
+  measured.state.ewma_bytes = 87.5;
+  measured.state.ewma_updates = 2.75;
+  measured.state.last_bytes = 9800;
+  measured.state.last_updates = 310;
+  measured.state.intensity = 196.875;
+  measured.state.variance = 12.5;
+  measured.state.measured = true;
+  snapshot.governor.states.push_back(measured);
+  GovernorSourceSnapshot frozen;
+  frozen.source_id = 4;
+  frozen.state.last_bytes = 450;
+  frozen.state.last_updates = 12;
+  frozen.state.frozen = true;
+  frozen.state.held_delta = 2.5;
+  snapshot.governor.states.push_back(frozen);
   return snapshot;
 }
 
@@ -380,34 +410,118 @@ TEST(SnapshotIoTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(decoded.serve.dropped, 2);
   EXPECT_EQ(decoded.serve.touched, 400);
   EXPECT_EQ(decoded.serve.affected, 59);
+
+  ASSERT_TRUE(decoded.governor.enabled);
+  EXPECT_TRUE(decoded.governor.options.enabled);
+  EXPECT_EQ(decoded.governor.options.epoch_ticks, 16);
+  EXPECT_EQ(decoded.governor.options.budget_bytes_per_tick, 150.0);
+  EXPECT_EQ(decoded.governor.options.delta_floor, 0.05);
+  EXPECT_EQ(decoded.governor.options.delta_ceiling, 64.0);
+  EXPECT_EQ(decoded.governor.options.max_step_ratio, 2.0);
+  EXPECT_EQ(decoded.governor.options.dead_band, 0.10);
+  EXPECT_EQ(decoded.governor.options.ewma_alpha, 0.35);
+  EXPECT_EQ(decoded.governor.options.process_noise, 0.04);
+  EXPECT_EQ(decoded.governor.options.measurement_noise, 0.20);
+  EXPECT_EQ(decoded.governor.epochs, 6);
+  ASSERT_EQ(decoded.governor.states.size(), 2u);
+  EXPECT_EQ(decoded.governor.states[0].source_id, 1);
+  EXPECT_TRUE(decoded.governor.states[0].state ==
+              original.governor.states[0].state);
+  EXPECT_EQ(decoded.governor.states[1].source_id, 4);
+  EXPECT_TRUE(decoded.governor.states[1].state ==
+              original.governor.states[1].state);
 }
 
-TEST(SnapshotIoTest, ReadsVersion1FilesWithoutServeSection) {
-  EngineSnapshot snapshot = BuildSnapshot();
-  snapshot.serve = ServeSnapshot();  // v1 files predate the serving layer
-  const std::string v2 = EncodeSnapshot(snapshot).value();
-  // A v1 payload is the v2 payload minus the fixed-size empty serve
-  // section: 8 (options) + 8 + 8 (empty counts) + 8 (cursor) + 32
-  // (counters) = 64 bytes.
-  std::string payload = v2.substr(28);  // 8 magic + 4 + 8 + 8
-  ASSERT_GT(payload.size(), 64u);
-  payload.resize(payload.size() - 64);
+/// Re-wraps a current-format payload under an older header version.
+std::string CraftFile(uint32_t version, const std::string& payload) {
   BinaryWriter file;
   for (char c : std::string("DKFSNAP1")) {
     file.WriteU8(static_cast<uint8_t>(c));
   }
-  file.WriteU32(1);
+  file.WriteU32(version);
   file.WriteU64(Fnv1a64(reinterpret_cast<const uint8_t*>(payload.data()),
                         payload.size()));
   file.WriteU64(payload.size());
   std::string bytes = file.TakeBytes();
   bytes.append(payload);
-  auto decoded_or = DecodeSnapshot(bytes);
+  return bytes;
+}
+
+TEST(SnapshotIoTest, ReadsVersion1FilesWithoutServeSection) {
+  EngineSnapshot snapshot = BuildSnapshot();
+  snapshot.serve = ServeSnapshot();  // v1 files predate the serving layer
+  snapshot.governor = GovernorSnapshot();  // ...and the delta governor
+  const std::string v3 = EncodeSnapshot(snapshot).value();
+  // A v1 payload is the v3 payload minus the fixed-size empty serve
+  // section — 8 (options) + 8 + 8 (empty counts) + 8 (cursor) + 32
+  // (counters) = 64 bytes — and the disabled-governor flag (1 byte).
+  std::string payload = v3.substr(28);  // 8 magic + 4 + 8 + 8
+  ASSERT_GT(payload.size(), 65u);
+  payload.resize(payload.size() - 65);
+  auto decoded_or = DecodeSnapshot(CraftFile(1, payload));
   ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().message();
   EXPECT_EQ(decoded_or.value().ticks, 110);
   EXPECT_TRUE(decoded_or.value().serve.subscriptions.empty());
   EXPECT_TRUE(decoded_or.value().serve.pending.empty());
   EXPECT_EQ(decoded_or.value().serve.drained_through_step, -1);
+  EXPECT_FALSE(decoded_or.value().governor.enabled);
+}
+
+TEST(SnapshotIoTest, ReadsVersion2FilesWithoutGovernorSection) {
+  EngineSnapshot snapshot = BuildSnapshot();
+  snapshot.governor = GovernorSnapshot();  // v2 predates the governor
+  const std::string v3 = EncodeSnapshot(snapshot).value();
+  // A v2 payload is the v3 payload minus the disabled-governor flag,
+  // the single trailing byte.
+  std::string payload = v3.substr(28);  // 8 magic + 4 + 8 + 8
+  ASSERT_GT(payload.size(), 1u);
+  payload.resize(payload.size() - 1);
+  auto decoded_or = DecodeSnapshot(CraftFile(2, payload));
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().message();
+  const EngineSnapshot& decoded = decoded_or.value();
+  EXPECT_EQ(decoded.ticks, 110);
+  // The serve section (a v2 feature) still decodes in full.
+  EXPECT_EQ(decoded.serve.subscriptions.size(), 2u);
+  EXPECT_EQ(decoded.serve.notifications, 61);
+  // The governor section defaults to disabled with empty state.
+  EXPECT_FALSE(decoded.governor.enabled);
+  EXPECT_TRUE(decoded.governor.states.empty());
+  EXPECT_EQ(decoded.governor.epochs, 0);
+}
+
+TEST(SnapshotIoTest, RejectsCorruptGovernorSections) {
+  // Out-of-order source ids: the encoder writes whatever it is given,
+  // the decoder refuses.
+  EngineSnapshot unordered = BuildSnapshot();
+  std::swap(unordered.governor.states[0], unordered.governor.states[1]);
+  auto unordered_result =
+      DecodeSnapshot(EncodeSnapshot(unordered).value());
+  ASSERT_FALSE(unordered_result.ok());
+  EXPECT_EQ(unordered_result.status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_NE(unordered_result.status().message().find("ascending"),
+            std::string::npos);
+
+  // A non-finite controller state would poison every later allocation.
+  EngineSnapshot poisoned = BuildSnapshot();
+  poisoned.governor.states[0].state.intensity =
+      std::numeric_limits<double>::quiet_NaN();
+  auto poisoned_result = DecodeSnapshot(EncodeSnapshot(poisoned).value());
+  ASSERT_FALSE(poisoned_result.ok());
+  EXPECT_EQ(poisoned_result.status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_NE(poisoned_result.status().message().find("non-finite"),
+            std::string::npos);
+
+  // Invalid governor options (a dead band of 1 would hold every delta
+  // forever) fail the decoder's Validate pass.
+  EngineSnapshot misconfigured = BuildSnapshot();
+  misconfigured.governor.options.dead_band = 1.0;
+  auto misconfigured_result =
+      DecodeSnapshot(EncodeSnapshot(misconfigured).value());
+  ASSERT_FALSE(misconfigured_result.ok());
+  EXPECT_EQ(misconfigured_result.status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(SnapshotIoTest, FileRoundTripAndMissingFile) {

@@ -1,0 +1,391 @@
+// Unit tests for the fleet-wide delta governor (docs/governor.md):
+// option validation, the water-filling allocation math, the robustness
+// clamps (floor/ceiling/slew/dead-band), the freeze rule, overload
+// degradation, and checkpoint state transfer.
+
+#include "governor/delta_governor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace dkf {
+namespace {
+
+/// Wide-open knobs for the allocation-math tests: no slew limit in
+/// range, no dead band, EWMA = latest epoch only.
+GovernorOptions MathOptions(double budget) {
+  GovernorOptions options;
+  options.enabled = true;
+  options.epoch_ticks = 10;
+  options.budget_bytes_per_tick = budget;
+  options.delta_floor = 0.01;
+  options.delta_ceiling = 1e6;
+  options.max_step_ratio = 1e9;
+  options.dead_band = 0.0;
+  options.ewma_alpha = 1.0;
+  return options;
+}
+
+GovernorSourceSample Sample(int id, int64_t bytes, double delta,
+                            bool unhealthy = false) {
+  GovernorSourceSample sample;
+  sample.source_id = id;
+  sample.bytes = bytes;
+  sample.updates = bytes / 29;  // message size for a scalar payload
+  sample.delta = delta;
+  sample.unhealthy = unhealthy;
+  return sample;
+}
+
+TEST(GovernorValidateTest, AcceptsDefaultsWithBudget) {
+  GovernorOptions options;
+  options.budget_bytes_per_tick = 100.0;
+  EXPECT_TRUE(DeltaGovernor::Validate(options).ok());
+}
+
+TEST(GovernorValidateTest, RejectsOutOfRangeKnobs) {
+  const GovernorOptions good = MathOptions(100.0);
+  auto expect_invalid = [](GovernorOptions options) {
+    const Status status = DeltaGovernor::Validate(options);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  };
+  {
+    GovernorOptions o = good;
+    o.epoch_ticks = 0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.budget_bytes_per_tick = 0.0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.delta_floor = 0.0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.delta_ceiling = o.delta_floor / 2.0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.max_step_ratio = 1.0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.dead_band = 1.0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.ewma_alpha = 0.0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.process_noise = 0.0;
+    expect_invalid(o);
+  }
+  {
+    GovernorOptions o = good;
+    o.measurement_noise = -1.0;
+    expect_invalid(o);
+  }
+}
+
+TEST(GovernorPlanTest, ValidatesLazily) {
+  GovernorOptions options = MathOptions(100.0);
+  options.dead_band = 2.0;  // out of range; the constructor must not throw
+  DeltaGovernor governor(options);
+  auto result = governor.PlanEpoch({Sample(1, 100, 1.0)});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GovernorPlanTest, RejectsNonAscendingSamples) {
+  DeltaGovernor governor(MathOptions(100.0));
+  auto result =
+      governor.PlanEpoch({Sample(2, 100, 1.0), Sample(1, 100, 1.0)});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GovernorPlanTest, SourceExactlyAtBudgetHoldsSteady) {
+  // One source spending exactly the budget at delta = 1: the
+  // unconstrained optimum reproduces the installed delta (to rounding),
+  // so even a hairline dead band installs nothing.
+  GovernorOptions options = MathOptions(100.0);
+  options.dead_band = 1e-9;
+  DeltaGovernor governor(options);
+  auto result = governor.PlanEpoch({Sample(1, 1000, 1.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().epoch, 0);
+  EXPECT_NEAR(result.value().spend, 100.0, 1e-9);
+  EXPECT_EQ(result.value().overshoot, 0.0);
+  EXPECT_TRUE(result.value().changes.empty());
+  const auto& state = governor.states().at(1);
+  EXPECT_NEAR(state.intensity, 100.0, 1e-9);
+  EXPECT_TRUE(state.measured);
+  EXPECT_NEAR(state.held_delta, 1.0, 1e-12);
+}
+
+TEST(GovernorPlanTest, OverspendingSourceIsWidened) {
+  // The same source then doubles its traffic: the fitted intensity
+  // rises, the allocation widens delta (a raise), and the planned
+  // schedule spends the full budget against the new estimate.
+  DeltaGovernor governor(MathOptions(100.0));
+  ASSERT_TRUE(governor.PlanEpoch({Sample(1, 1000, 1.0)}).ok());
+  auto result = governor.PlanEpoch({Sample(1, 3000, 1.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_GT(result.value().overshoot, 0.0);
+  ASSERT_EQ(result.value().changes.size(), 1u);
+  const DeltaChange& change = result.value().changes[0];
+  EXPECT_EQ(change.source_id, 1);
+  EXPECT_EQ(change.previous, 1.0);
+  EXPECT_GT(change.delta, 1.0);
+  const double intensity = governor.states().at(1).intensity;
+  EXPECT_GT(intensity, 100.0);   // moved toward the new measurement
+  EXPECT_LT(intensity, 200.0);   // but not all the way (noisy channel)
+  // The schedule it installed spends the budget exactly per the fit.
+  EXPECT_NEAR(intensity / (change.delta * change.delta), 100.0, 1e-6);
+}
+
+TEST(GovernorPlanTest, WaterFillingSplitsByCubeRootOfIntensity) {
+  // Two sources with intensities 8 and 64 and budget 6: the optimum is
+  // delta_i = cbrt(x_i) * sqrt(S / C) with S = cbrt(8) + cbrt(64) = 6,
+  // so delta = (2, 4) — spending 8/4 + 64/16 = 6, the whole budget,
+  // with the busier stream held to only twice the width.
+  DeltaGovernor governor(MathOptions(6.0));
+  auto result =
+      governor.PlanEpoch({Sample(1, 80, 1.0), Sample(2, 640, 1.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().changes.size(), 2u);
+  EXPECT_EQ(result.value().changes[0].source_id, 1);
+  EXPECT_NEAR(result.value().changes[0].delta, 2.0, 1e-9);
+  EXPECT_EQ(result.value().changes[1].source_id, 2);
+  EXPECT_NEAR(result.value().changes[1].delta, 4.0, 1e-9);
+}
+
+TEST(GovernorPlanTest, SlewLimitBoundsPerEpochMovement) {
+  GovernorOptions options = MathOptions(1.0);
+  options.max_step_ratio = 2.0;
+  DeltaGovernor governor(options);
+  // Intensity 1000 against budget 1 wants delta = 100; the slew limit
+  // allows at most a doubling per epoch.
+  auto result = governor.PlanEpoch({Sample(1, 10000, 1.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().changes.size(), 1u);
+  EXPECT_NEAR(result.value().changes[0].delta, 2.0, 1e-12);
+  // Next epoch walks another slew-limited step from the new delta.
+  auto next = governor.PlanEpoch({Sample(1, 20000, 2.0)});
+  ASSERT_TRUE(next.ok()) << next.status().message();
+  ASSERT_EQ(next.value().changes.size(), 1u);
+  EXPECT_NEAR(next.value().changes[0].delta, 4.0, 1e-12);
+}
+
+TEST(GovernorPlanTest, QuietSourcesProbeTowardTheFloor) {
+  // A source that sent nothing has zero estimated intensity: it costs
+  // nothing, so the governor probes it toward the delta floor (at the
+  // slew rate) instead of leaving precision on the table.
+  GovernorOptions options = MathOptions(100.0);
+  options.max_step_ratio = 4.0;
+  DeltaGovernor governor(options);
+  auto result = governor.PlanEpoch({Sample(1, 0, 8.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().changes.size(), 1u);
+  EXPECT_NEAR(result.value().changes[0].delta, 2.0, 1e-12);  // 8 / 4
+  auto next = governor.PlanEpoch({Sample(1, 0, 2.0)});
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(next.value().changes.size(), 1u);
+  EXPECT_NEAR(next.value().changes[0].delta, 0.5, 1e-12);
+}
+
+TEST(GovernorPlanTest, DeadBandHoldsNearNoiseMoves) {
+  // Identical traffic easing slightly below the budget, two dead
+  // bands: the tolerant governor holds the small tightening move (no
+  // reconfigure, no spill), the tight one installs it.
+  GovernorOptions tolerant = MathOptions(100.0);
+  tolerant.dead_band = 0.5;
+  GovernorOptions tight = MathOptions(100.0);
+  tight.dead_band = 0.01;
+  DeltaGovernor hold_governor(tolerant);
+  DeltaGovernor move_governor(tight);
+  const std::vector<GovernorSourceSample> first = {Sample(1, 1000, 1.0)};
+  const std::vector<GovernorSourceSample> second = {Sample(1, 1800, 1.0)};
+  ASSERT_TRUE(hold_governor.PlanEpoch(first).ok());
+  ASSERT_TRUE(move_governor.PlanEpoch(first).ok());
+  auto held = hold_governor.PlanEpoch(second);
+  auto moved = move_governor.PlanEpoch(second);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(moved.ok());
+  EXPECT_TRUE(held.value().changes.empty());
+  EXPECT_EQ(moved.value().changes.size(), 1u);
+  // The held source still records its installed delta for the next
+  // epoch's slew window.
+  EXPECT_EQ(hold_governor.states().at(1).held_delta, 1.0);
+}
+
+TEST(GovernorPlanTest, DeadBandYieldsToOverspendingWidening) {
+  // The budget is a ceiling, not a setpoint: while the fleet spends
+  // above it, widening moves install even inside a generous dead band
+  // — otherwise the settled spend camps a band-width over the budget.
+  GovernorOptions options = MathOptions(100.0);
+  options.dead_band = 0.5;
+  DeltaGovernor governor(options);
+  ASSERT_TRUE(governor.PlanEpoch({Sample(1, 1000, 1.0)}).ok());
+  // Traffic doubles: spend 200 vs budget 100, target inside the band.
+  auto widened = governor.PlanEpoch({Sample(1, 3000, 1.0)});
+  ASSERT_TRUE(widened.ok()) << widened.status().message();
+  EXPECT_GT(widened.value().spend, 100.0);
+  ASSERT_EQ(widened.value().changes.size(), 1u);
+  EXPECT_GT(widened.value().changes[0].delta, 1.0);
+}
+
+TEST(GovernorPlanTest, UnhealthySourceIsFrozenAndHeld) {
+  DeltaGovernor governor(MathOptions(100.0));
+  ASSERT_TRUE(governor.PlanEpoch({Sample(1, 1000, 1.0)}).ok());
+  const double intensity_before = governor.states().at(1).intensity;
+
+  // A resync storm balloons the counters; the governor must not let
+  // the storm into the fit, must not retune the source, and must
+  // report the freeze exactly once.
+  auto frozen = governor.PlanEpoch({Sample(1, 50000, 1.0, true)});
+  ASSERT_TRUE(frozen.ok()) << frozen.status().message();
+  EXPECT_EQ(frozen.value().frozen, 1);
+  ASSERT_EQ(frozen.value().newly_frozen.size(), 1u);
+  EXPECT_EQ(frozen.value().newly_frozen[0], 1);
+  EXPECT_TRUE(frozen.value().changes.empty());
+  EXPECT_EQ(governor.states().at(1).intensity, intensity_before);
+  EXPECT_NEAR(governor.states().at(1).ewma_bytes, 100.0, 1e-9);
+
+  auto still = governor.PlanEpoch({Sample(1, 52000, 1.0, true)});
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still.value().frozen, 1);
+  EXPECT_TRUE(still.value().newly_frozen.empty());  // not newly frozen
+
+  // Anti-windup: the counters kept advancing during the freeze, so the
+  // first healthy epoch measures only the healthy traffic after the
+  // storm — 1000 bytes over 10 ticks, not the 51000-byte backlog.
+  auto thawed = governor.PlanEpoch({Sample(1, 53000, 1.0)});
+  ASSERT_TRUE(thawed.ok());
+  EXPECT_EQ(thawed.value().frozen, 0);
+  EXPECT_NEAR(governor.states().at(1).ewma_bytes, 100.0, 1e-9);
+}
+
+TEST(GovernorPlanTest, FrozenSpendIsReservedOffTheBudget) {
+  // Source 1 spends 40 bytes/tick, source 2 spends 20, budget 120.
+  // When source 1 freezes, its held 40 is reserved off the top, so
+  // source 2 alone is allocated the remaining 80: with intensity 20
+  // the single-source optimum spends all of it, delta = sqrt(20/80).
+  DeltaGovernor governor(MathOptions(120.0));
+  ASSERT_TRUE(
+      governor
+          .PlanEpoch({Sample(1, 400, 1.0), Sample(2, 200, 1.0)})
+          .ok());
+  EXPECT_NEAR(governor.states().at(1).ewma_bytes, 40.0, 1e-9);
+  auto result =
+      governor.PlanEpoch({Sample(1, 800, 1.0, true), Sample(2, 400, 1.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().frozen, 1);
+  ASSERT_EQ(result.value().changes.size(), 1u);
+  EXPECT_EQ(result.value().changes[0].source_id, 2);
+  EXPECT_NEAR(result.value().changes[0].delta, 0.5, 1e-9);
+}
+
+TEST(GovernorPlanTest, SustainedOverloadInflatesProportionally) {
+  // The frozen source alone spends 3x the budget: every healthy source
+  // inflates to its slew-limited ceiling — proportional degradation,
+  // no oscillation — and keeps widening in later epochs.
+  GovernorOptions options = MathOptions(100.0);
+  options.max_step_ratio = 2.0;
+  DeltaGovernor governor(options);
+  ASSERT_TRUE(
+      governor
+          .PlanEpoch({Sample(1, 3000, 1.0), Sample(2, 200, 1.0)})
+          .ok());
+  auto result =
+      governor.PlanEpoch({Sample(1, 6000, 1.0, true), Sample(2, 400, 1.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_GT(result.value().overshoot, 0.05);
+  ASSERT_EQ(result.value().changes.size(), 1u);
+  EXPECT_EQ(result.value().changes[0].source_id, 2);
+  EXPECT_NEAR(result.value().changes[0].delta, 2.0, 1e-12);  // the hi bound
+  auto next =
+      governor.PlanEpoch({Sample(1, 9000, 2.0, true), Sample(2, 500, 2.0)});
+  ASSERT_TRUE(next.ok());
+  ASSERT_EQ(next.value().changes.size(), 1u);
+  EXPECT_NEAR(next.value().changes[0].delta, 4.0, 1e-12);
+}
+
+TEST(GovernorPlanTest, CeilingCapsInflation) {
+  GovernorOptions options = MathOptions(1e-6);  // hopeless budget
+  options.max_step_ratio = 1e9;
+  options.delta_ceiling = 50.0;
+  DeltaGovernor governor(options);
+  auto result = governor.PlanEpoch({Sample(1, 100000, 1.0)});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().changes.size(), 1u);
+  EXPECT_NEAR(result.value().changes[0].delta, 50.0, 1e-12);
+}
+
+TEST(GovernorPlanTest, AbsentSourceKeepsItsState) {
+  DeltaGovernor governor(MathOptions(100.0));
+  ASSERT_TRUE(
+      governor
+          .PlanEpoch({Sample(1, 1000, 1.0), Sample(2, 500, 1.0)})
+          .ok());
+  const auto state_before = governor.states().at(2);
+  ASSERT_TRUE(governor.PlanEpoch({Sample(1, 2000, 1.0)}).ok());
+  EXPECT_TRUE(governor.states().at(2) == state_before);
+}
+
+TEST(GovernorStateTest, ImportedStateContinuesIdentically) {
+  // Two governors, one seeded from the other's exported state, must
+  // plan bit-identical epochs from then on (the snapshot-v3 contract).
+  GovernorOptions options = MathOptions(90.0);
+  options.ewma_alpha = 0.3;
+  options.dead_band = 0.1;
+  options.max_step_ratio = 2.0;
+  DeltaGovernor original(options);
+  ASSERT_TRUE(
+      original
+          .PlanEpoch({Sample(1, 700, 1.0), Sample(2, 1400, 2.0)})
+          .ok());
+  ASSERT_TRUE(
+      original
+          .PlanEpoch({Sample(1, 1500, 1.0), Sample(2, 2700, 2.0, true)})
+          .ok());
+
+  DeltaGovernor imported(options);
+  imported.ImportState(original.epochs(), original.states());
+  EXPECT_EQ(imported.epochs(), 2);
+
+  const std::vector<GovernorSourceSample> epoch3 = {
+      Sample(1, 2600, 1.0), Sample(2, 4100, 2.0)};
+  auto a = original.PlanEpoch(epoch3);
+  auto b = imported.PlanEpoch(epoch3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().epoch, b.value().epoch);
+  EXPECT_EQ(a.value().spend, b.value().spend);
+  EXPECT_EQ(a.value().frozen, b.value().frozen);
+  ASSERT_EQ(a.value().changes.size(), b.value().changes.size());
+  for (size_t i = 0; i < a.value().changes.size(); ++i) {
+    EXPECT_EQ(a.value().changes[i].source_id,
+              b.value().changes[i].source_id);
+    EXPECT_EQ(a.value().changes[i].delta, b.value().changes[i].delta);
+    EXPECT_EQ(a.value().changes[i].previous,
+              b.value().changes[i].previous);
+  }
+  EXPECT_TRUE(original.states() == imported.states());
+}
+
+}  // namespace
+}  // namespace dkf
