@@ -1,0 +1,218 @@
+// Adaptive noise servo vs fixed-noise DKF on the three streamgen
+// scenario workloads (regime shift, degrading sensor, quantized
+// readings; docs/adaptive.md).
+//
+// For each scenario the same observed stream is driven through the full
+// protocol twice — servo on and servo off — and the report carries:
+//   - adaptive_updates / fixed_updates: transmissions under each mode,
+//   - suppression_gain: 1 - adaptive/fixed (the servo's payoff),
+//   - delta_violations: suppressed, non-degraded ticks whose served
+//     answer missed the reading by more than delta (must be 0 — the
+//     servo may never weaken the paper's precision contract),
+//   - equivalent: the adaptive run repeated on the 2-shard engine
+//     answers bit-identically to the sequential manager.
+//
+// Prints one machine-readable JSON object on stdout; scripts/check.sh
+// writes it to BENCH_adaptive.json and scripts/bench_compare.py gates
+// the gain floor, the precision contract, and the equivalence bit.
+//
+// Flags: --ticks=2000
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsms/stream_manager.h"
+#include "models/model_factory.h"
+#include "runtime/sharded_engine.h"
+#include "streamgen/scenario_generator.h"
+
+namespace dkf::bench {
+namespace {
+
+struct Config {
+  size_t ticks = 2000;
+};
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ticks=", 0) == 0) {
+      config.ticks = static_cast<size_t>(
+          std::max(1, std::atoi(arg.c_str() + 8)));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+AdaptiveNoiseConfig ServoConfig() {
+  AdaptiveNoiseConfig config;
+  config.enabled = true;
+  config.warmup_corrections = 4;
+  config.widen_rate = 0.15;
+  config.shrink_rate = 0.05;
+  config.holdover_gap = 256;
+  return config;
+}
+
+StateModel Model(double measurement_variance, double process_variance) {
+  ModelNoise noise;
+  noise.process_variance = process_variance;
+  noise.measurement_variance = measurement_variance;
+  auto model_or = MakeLinearModel(1, 1.0, noise);
+  if (!model_or.ok()) std::abort();
+  return std::move(model_or).value();
+}
+
+struct Scenario {
+  std::string name;
+  TimeSeries observed{1};
+  StateModel model;
+  double delta = 2.0;
+};
+
+std::vector<Scenario> BuildScenarios(size_t ticks) {
+  std::vector<Scenario> scenarios;
+  {
+    RegimeShiftOptions options;
+    options.num_points = ticks;
+    options.shift_point = ticks / 2;
+    auto data_or = GenerateRegimeShift(options);
+    if (!data_or.ok()) std::abort();
+    scenarios.push_back(Scenario{"regime_shift",
+                                 std::move(data_or).value().observed,
+                                 Model(0.0025, 0.05), 2.0});
+  }
+  {
+    DegradingSensorOptions options;
+    options.num_points = ticks;
+    auto data_or = GenerateDegradingSensor(options);
+    if (!data_or.ok()) std::abort();
+    scenarios.push_back(Scenario{"degrading_sensor",
+                                 std::move(data_or).value().observed,
+                                 Model(0.0025, 0.05), 2.0});
+  }
+  {
+    QuantizedReadingsOptions options;
+    options.num_points = ticks;
+    auto data_or = GenerateQuantizedReadings(options);
+    if (!data_or.ok()) std::abort();
+    scenarios.push_back(Scenario{"quantized_readings",
+                                 std::move(data_or).value().observed,
+                                 Model(1e-4, 1e-4), 0.4});
+  }
+  return scenarios;
+}
+
+struct RunStats {
+  int64_t updates = 0;
+  int64_t delta_violations = 0;
+  std::vector<double> answers;  // per-tick served value
+};
+
+RunStats DriveManager(const Scenario& scenario, bool adaptive) {
+  StreamManagerOptions options;
+  options.channel.seed = 5;
+  if (adaptive) options.protocol.adaptive = ServoConfig();
+  StreamManager manager(options);
+  if (!manager.RegisterSource(1, scenario.model).ok()) std::abort();
+  ContinuousQuery query;
+  query.id = 1;
+  query.source_id = 1;
+  query.precision = scenario.delta;
+  if (!manager.SubmitQuery(query).ok()) std::abort();
+
+  RunStats stats;
+  stats.answers.reserve(scenario.observed.size());
+  int64_t updates_before = 0;
+  for (size_t k = 0; k < scenario.observed.size(); ++k) {
+    std::map<int, Vector> readings;
+    readings[1] = Vector{scenario.observed.value(k)};
+    if (!manager.ProcessTick(readings).ok()) std::abort();
+    auto answer_or = manager.Answer(1);
+    if (!answer_or.ok()) std::abort();
+    stats.answers.push_back(answer_or.value()[0]);
+    const int64_t updates_now = manager.updates_sent(1).value();
+    const bool suppressed = updates_now == updates_before;
+    updates_before = updates_now;
+    if (suppressed && !manager.answer_degraded(1).value() &&
+        std::fabs(answer_or.value()[0] - scenario.observed.value(k)) >
+            scenario.delta) {
+      ++stats.delta_violations;
+    }
+  }
+  stats.updates = updates_before;
+  return stats;
+}
+
+/// Repeats the adaptive run on the 2-shard engine and reports whether
+/// every per-tick answer is bit-identical to the manager's.
+bool EngineEquivalent(const Scenario& scenario, const RunStats& reference) {
+  ShardedStreamEngineOptions options;
+  options.num_shards = 2;
+  options.channel.seed = 5;
+  options.protocol.adaptive = ServoConfig();
+  ShardedStreamEngine engine(options);
+  if (!engine.RegisterSource(1, scenario.model).ok()) std::abort();
+  ContinuousQuery query;
+  query.id = 1;
+  query.source_id = 1;
+  query.precision = scenario.delta;
+  if (!engine.SubmitQuery(query).ok()) std::abort();
+
+  for (size_t k = 0; k < scenario.observed.size(); ++k) {
+    std::map<int, Vector> readings;
+    readings[1] = Vector{scenario.observed.value(k)};
+    if (!engine.ProcessTick(readings).ok()) std::abort();
+    auto answer_or = engine.Answer(1);
+    if (!answer_or.ok()) std::abort();
+    if (answer_or.value()[0] != reference.answers[k]) return false;
+  }
+  return engine.updates_sent(1).value() == reference.updates;
+}
+
+}  // namespace
+}  // namespace dkf::bench
+
+int main(int argc, char** argv) {
+  using namespace dkf;
+  using namespace dkf::bench;
+  const Config config = ParseArgs(argc, argv);
+  const std::vector<Scenario> scenarios = BuildScenarios(config.ticks);
+
+  std::printf("{\n  \"benchmark\": \"adaptive\",\n");
+  std::printf("  \"ticks\": %zu,\n  \"results\": [", config.ticks);
+  bool first = true;
+  for (const Scenario& scenario : scenarios) {
+    const RunStats adaptive = DriveManager(scenario, /*adaptive=*/true);
+    const RunStats fixed = DriveManager(scenario, /*adaptive=*/false);
+    const bool equivalent = EngineEquivalent(scenario, adaptive);
+    const double gain =
+        fixed.updates > 0
+            ? 1.0 - static_cast<double>(adaptive.updates) /
+                        static_cast<double>(fixed.updates)
+            : 0.0;
+    std::printf(
+        "%s\n    {\"scenario\": \"%s\", \"delta\": %.2f, "
+        "\"adaptive_updates\": %lld, \"fixed_updates\": %lld, "
+        "\"suppression_gain\": %.4f, \"delta_violations\": %lld, "
+        "\"equivalent\": %s}",
+        first ? "" : ",", scenario.name.c_str(), scenario.delta,
+        static_cast<long long>(adaptive.updates),
+        static_cast<long long>(fixed.updates), gain,
+        static_cast<long long>(adaptive.delta_violations +
+                               fixed.delta_violations),
+        equivalent ? "true" : "false");
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -8,6 +8,9 @@
 //     Inverse(S)) — the "before" of the optimization,
 //   - heap allocations per steady-state Predict+Correct cycle, counted by
 //     global operator new/delete hooks (must be 0 for dims <= 6),
+//   - heap allocations per cycle with the adaptive noise servo wired
+//     (OnCorrection + Correct + InstallInto; must also be 0 — the servo
+//     is scalar-state and may not put allocations back into the hot path),
 //   - ns/tick with a trace sink wired (the filter's only emission sites
 //     are fast-path arm/disarm transitions, so a wired sink must cost
 //     nothing in steady state; bench_compare.py gates the overhead at 5%).
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "filter/adaptive_noise.h"
 #include "filter/kalman_filter.h"
 #include "linalg/decompose.h"
 #include "linalg/matrix.h"
@@ -154,12 +158,15 @@ struct CaseResult {
   double ref_ns_per_tick = 0.0;
   double traced_ns_per_tick = 0.0;
   double allocs_per_tick = 0.0;
+  double adaptive_allocs_per_tick = 0.0;
   bool armed = false;
   double checksum = 0.0;  // defeats dead-code elimination; also a canary
 };
 
-CaseResult RunCase(const std::string& name, const KalmanFilterOptions& options,
-                   size_t measurement_dim, const Config& config) {
+CaseResult RunCase(const std::string& name, const StateModel& model,
+                   const Config& config) {
+  const KalmanFilterOptions& options = model.options;
+  const size_t measurement_dim = model.measurement_dim;
   CaseResult result;
   result.model = name;
   result.state_dim = options.initial_state.size();
@@ -189,6 +196,41 @@ CaseResult RunCase(const std::string& name, const KalmanFilterOptions& options,
       g_alloc_count.load(std::memory_order_relaxed);
   result.allocs_per_tick =
       static_cast<double>(allocs_after - allocs_before) / kAllocWindow;
+
+  // Allocation count with the adaptive noise servo in the loop. The
+  // servo's state is scalars plus two measurement-width vectors sized at
+  // construction, so a settled OnCorrection + InstallInto cycle must be
+  // as allocation-free as the bare filter.
+  {
+    AdaptiveNoiseConfig adaptive_config;
+    adaptive_config.enabled = true;
+    adaptive_config.warmup_corrections = 4;
+    auto adapter_or = NoiseAdapter::Create(adaptive_config, model);
+    if (!adapter_or.ok()) std::abort();
+    NoiseAdapter adapter = std::move(adapter_or).value();
+    auto adaptive_filter_or = KalmanFilter::Create(options);
+    if (!adaptive_filter_or.ok()) std::abort();
+    KalmanFilter adaptive_filter = std::move(adaptive_filter_or).value();
+    auto adaptive_tick = [&](int t) {
+      for (size_t i = 0; i < measurement_dim; ++i) {
+        z[i] = MeasurementValue(t, i);
+      }
+      if (!adaptive_filter.Predict().ok()) std::abort();
+      if (!adapter.OnCorrection(adaptive_filter, z, t).ok()) std::abort();
+      if (!adaptive_filter.Correct(z).ok()) std::abort();
+      if (!adapter.InstallInto(&adaptive_filter).ok()) std::abort();
+    };
+    for (int t = 0; t < config.warmup; ++t) adaptive_tick(t);
+    const std::uint64_t adaptive_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    for (int t = 0; t < kAllocWindow; ++t) {
+      adaptive_tick(config.warmup + t);
+    }
+    const std::uint64_t adaptive_after =
+        g_alloc_count.load(std::memory_order_relaxed);
+    result.adaptive_allocs_per_tick =
+        static_cast<double>(adaptive_after - adaptive_before) / kAllocWindow;
+  }
 
   // Timed loops, current implementation, untraced and with a trace sink
   // wired. The steady-state hot loop has no emission sites (only
@@ -273,13 +315,11 @@ int main(int argc, char** argv) {
   std::vector<CaseResult> results;
   for (size_t d = 1; d <= 6; ++d) {
     auto model = MakeConstantModel(d, noise).value();
-    results.push_back(RunCase("constant", model.options, model.measurement_dim,
-                              config));
+    results.push_back(RunCase("constant", model, config));
   }
   for (size_t axes = 1; axes <= 3; ++axes) {
     auto model = MakeLinearModel(axes, 1.0, noise).value();
-    results.push_back(RunCase("linear", model.options, model.measurement_dim,
-                              config));
+    results.push_back(RunCase("linear", model, config));
   }
 
   std::printf("{\n  \"benchmark\": \"filter_hotpath\",\n");
@@ -292,12 +332,14 @@ int main(int argc, char** argv) {
         "\"measurement_dim\": %zu, \"ns_per_tick\": %.1f, "
         "\"ref_ns_per_tick\": %.1f, \"speedup_vs_reference\": %.2f, "
         "\"traced_ns_per_tick\": %.1f, \"obs_overhead_pct\": %.2f, "
-        "\"allocs_per_tick\": %.4f, \"steady_state_armed\": %s}",
+        "\"allocs_per_tick\": %.4f, \"adaptive_allocs_per_tick\": %.4f, "
+        "\"steady_state_armed\": %s}",
         first ? "" : ",", r.model.c_str(), r.state_dim, r.measurement_dim,
         r.ns_per_tick, r.ref_ns_per_tick, r.ref_ns_per_tick / r.ns_per_tick,
         r.traced_ns_per_tick,
         (r.traced_ns_per_tick / r.ns_per_tick - 1.0) * 100.0,
-        r.allocs_per_tick, r.armed ? "true" : "false");
+        r.allocs_per_tick, r.adaptive_allocs_per_tick,
+        r.armed ? "true" : "false");
     first = false;
   }
   std::printf("\n  ]\n}\n");

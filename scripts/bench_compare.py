@@ -3,13 +3,14 @@
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold=0.10]
 
-Supports five report kinds (both files must be the same kind):
+Supports six report kinds (both files must be the same kind):
 
 filter_hotpath — rows keyed by (model, state_dim). Fails when any row's
 ns_per_tick regressed by more than the threshold (default 10%), when a
 row present in OLD disappeared from NEW, or when NEW reports nonzero
-allocs_per_tick / a disarmed fast path for an inline-size model
-(state_dim <= 6).
+allocs_per_tick / nonzero adaptive_allocs_per_tick (the noise servo may
+not put allocations back into the hot loop) / a disarmed fast path for
+an inline-size model (state_dim <= 6).
 
 runtime_throughput — rows keyed by (sources, shards). Fails when any
 row's ticks_per_sec regressed by more than the threshold, when a row
@@ -37,6 +38,14 @@ falls below FLEET_RESIDENT_FLOOR (the fleet quietly spilling back to
 the scalar path makes the numbers meaningless), or when the per-source
 equivalence cross-check failed on the row that carries one.
 
+adaptive — rows keyed by scenario. Fails when a row disappeared, when
+any delta_violations are reported (the servo silently weakened the
+paper's precision contract), when the sharded equivalence cross-check
+failed, when suppression_gain fell below ADAPTIVE_GAIN_FLOOR (the
+servo no longer pays for itself on a workload built to reward it), or
+when a scenario's gain dropped more than ADAPTIVE_GAIN_SLACK below the
+old report's (the streams are seeded, so any drift is a code change).
+
 governor — rows keyed by sources. Fails when a row disappeared, when
 any row's sustained overshoot exceeds GOVERNOR_OVERSHOOT_LIMIT, when
 the settled wire rate leaves the GOVERNOR_FLAT_TOL band around the
@@ -61,7 +70,7 @@ import json
 import sys
 
 KNOWN_KINDS = ("filter_hotpath", "runtime_throughput", "serve_fanout",
-               "fleet_scale", "governor")
+               "fleet_scale", "governor", "adaptive")
 
 # Ceiling on the cost of running with trace sinks wired, as a percent of
 # the untraced run. The sinks are designed to be an array increment plus
@@ -112,6 +121,11 @@ def compare_filter_hotpath(old, new, threshold):
                 f"{name}: {new_row['allocs_per_tick']} allocs/tick "
                 "(inline sizes must be allocation-free)")
             marker = "  <-- ALLOCATES"
+        if key[1] <= 6 and new_row.get("adaptive_allocs_per_tick", 0) != 0:
+            failures.append(
+                f"{name}: {new_row['adaptive_allocs_per_tick']} allocs/tick "
+                "with the noise servo wired (must stay allocation-free)")
+            marker = "  <-- SERVO ALLOCATES"
         if key[1] <= 6 and not new_row.get("steady_state_armed", False):
             failures.append(f"{name}: steady-state fast path did not arm")
             marker = "  <-- NOT ARMED"
@@ -277,6 +291,58 @@ def compare_fleet_scale(old, new, threshold):
     return failures
 
 
+# Floor on the adaptive servo's suppression gain per scenario, and the
+# absolute drop vs. the old report that counts as a regression. The
+# scenario streams are seeded and the protocol is deterministic, so the
+# gains are exactly reproducible — the slack only covers deliberate
+# servo-law retunes, not machine noise.
+ADAPTIVE_GAIN_FLOOR = 0.08
+ADAPTIVE_GAIN_SLACK = 0.05
+
+
+def compare_adaptive(old, new, threshold):
+    del threshold  # the gain gates are absolute, not relative percentages
+    failures = []
+    old_rows = {r["scenario"]: r for r in old["results"]}
+    new_rows = {r["scenario"]: r for r in new["results"]}
+    for key, old_row in sorted(old_rows.items()):
+        name = key
+        new_row = new_rows.get(key)
+        if new_row is None:
+            failures.append(f"{name}: present in old report, missing in new")
+            continue
+        old_gain = old_row["suppression_gain"]
+        new_gain = new_row["suppression_gain"]
+        marker = ""
+        if new_row.get("delta_violations", 0) != 0:
+            failures.append(
+                f"{name}: {new_row['delta_violations']} suppressed tick(s) "
+                "outside delta — the servo broke the precision contract")
+            marker = "  <-- DELTA VIOLATED"
+        if not new_row.get("equivalent", True):
+            failures.append(
+                f"{name}: sharded adaptive run diverged from the "
+                "sequential baseline")
+            marker = "  <-- DIVERGED"
+        if new_gain < ADAPTIVE_GAIN_FLOOR:
+            failures.append(
+                f"{name}: suppression gain {new_gain:.1%} below floor "
+                f"{ADAPTIVE_GAIN_FLOOR:.0%} — the servo no longer pays "
+                "for itself")
+            marker = "  <-- NO GAIN"
+        elif new_gain < old_gain - ADAPTIVE_GAIN_SLACK:
+            failures.append(
+                f"{name}: suppression gain regressed {old_gain:.1%} -> "
+                f"{new_gain:.1%} (slack {ADAPTIVE_GAIN_SLACK:.0%})")
+            marker = "  <-- GAIN REGRESSED"
+        marker = check_obs_overhead(name, new_row, failures) or marker
+        print(f"{name:22s} gain {old_gain:6.1%} -> {new_gain:6.1%} "
+              f"updates {new_row['adaptive_updates']}/"
+              f"{new_row['fixed_updates']} "
+              f"violations {new_row.get('delta_violations', 0)}{marker}")
+    return failures
+
+
 # Ceiling on a governed fleet's sustained overshoot over the settled
 # window, and the band the settled wire rate must hold around the
 # budget regardless of fleet size. Settle time may drift by a few
@@ -355,6 +421,8 @@ def main(argv):
         failures = compare_fleet_scale(old, new, threshold)
     elif old_kind == "governor":
         failures = compare_governor(old, new, threshold)
+    elif old_kind == "adaptive":
+        failures = compare_adaptive(old, new, threshold)
     else:
         failures = compare_runtime_throughput(old, new, threshold)
 

@@ -3,12 +3,14 @@
 # test suite, then the sharded
 # runtime's test binaries under ThreadSanitizer (race detection for the
 # worker pool / shard tick path / per-shard trace sinks), then the
-# protocol + observability + serving + batched-fleet tests under
-# ASan+UBSan, then a gcov coverage build gating line coverage of
-# src/obs/, src/dsms/, src/serve/, src/fleet/, and src/governor/, then a
-# Release-mode build of the filter hot-loop benchmark, refreshing
-# BENCH_filter_hotpath.json at the repo root. See docs/runtime.md,
-# docs/perf.md, and docs/observability.md.
+# protocol + observability + serving + batched-fleet + adaptive-servo
+# tests under ASan+UBSan, then a gcov coverage build gating line
+# coverage of src/obs/, src/dsms/, src/serve/, src/fleet/,
+# src/governor/, and src/filter/, then Release-mode builds of the
+# filter hot-loop and adaptive-servo benchmarks, refreshing
+# BENCH_filter_hotpath.json and BENCH_adaptive.json at the repo root.
+# See docs/runtime.md, docs/perf.md, docs/observability.md, and
+# docs/adaptive.md.
 #
 # Env knobs:
 #   JOBS            parallel build jobs (default: nproc)
@@ -43,12 +45,14 @@ else
   # the fleet tests run the batched SoA engine inside shard workers at
   # several shard counts (docs/fleet.md); the governor tests drive
   # epoch planning + batched reconfiguration from the tick driver while
-  # shard workers run (docs/governor.md).
+  # shard workers run (docs/governor.md); the adaptive scenario battery
+  # runs the noise servo inside shard workers at 1/2/4/8 shards
+  # (docs/adaptive.md).
   cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
     --target worker_pool_test sharded_engine_test golden_trace_test \
              subscription_engine_test serve_golden_test \
              fleet_equivalence_test fleet_churn_test \
-             governor_test governor_chaos_test
+             governor_test governor_chaos_test adaptive_scenarios_test
   "./build-${SANITIZE//,/-}/tests/worker_pool_test"
   "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
   "./build-${SANITIZE//,/-}/tests/golden_trace_test"
@@ -58,6 +62,7 @@ else
   "./build-${SANITIZE//,/-}/tests/fleet_churn_test"
   "./build-${SANITIZE//,/-}/tests/governor_test"
   "./build-${SANITIZE//,/-}/tests/governor_chaos_test"
+  "./build-${SANITIZE//,/-}/tests/adaptive_scenarios_test"
 fi
 
 if [[ "${DKF_ASAN:-1}" == "0" ]]; then
@@ -75,7 +80,8 @@ else
              obs_property_test corruption_fuzz_test \
              subscription_engine_test serve_golden_test \
              fleet_equivalence_test fleet_churn_test \
-             governor_test governor_chaos_test
+             governor_test governor_chaos_test \
+             adaptive_property_test adaptive_scenarios_test
   ./build-asan/tests/chaos_test
   ./build-asan/tests/channel_test
   ./build-asan/tests/stream_manager_test
@@ -95,12 +101,16 @@ else
   # reconfigure spills are fresh allocation churn for ASan.
   ./build-asan/tests/governor_test
   ./build-asan/tests/governor_chaos_test
+  # The noise servo's resync_adapt payload (export/import, corrupted
+  # frames, holdover resets) is new parsing surface for ASan+UBSan.
+  ./build-asan/tests/adaptive_property_test
+  ./build-asan/tests/adaptive_scenarios_test
 fi
 
 if [[ "${DKF_COVERAGE:-1}" == "0" ]]; then
   echo "== coverage stage skipped (DKF_COVERAGE=0) =="
 else
-  echo "== coverage: src/obs + src/dsms + src/serve + src/fleet + src/governor line-coverage floors =="
+  echo "== coverage: src/obs + src/dsms + src/serve + src/fleet + src/governor + src/filter line-coverage floors =="
   cmake -B build-coverage -S . -DDKF_COVERAGE=ON >/dev/null
   cmake --build build-coverage -j "$JOBS" \
     --target metrics_registry_test trace_sink_test golden_trace_test \
@@ -109,7 +119,12 @@ else
              confidence_test energy_model_test \
              subscription_engine_test serve_golden_test \
              fleet_equivalence_test fleet_churn_test \
-             governor_test governor_chaos_test
+             governor_test governor_chaos_test \
+             kalman_filter_test fast_path_test extended_kalman_filter_test \
+             steady_state_test recursive_least_squares_test \
+             noise_estimation_test rts_smoother_test \
+             unscented_kalman_filter_test \
+             adaptive_property_test adaptive_scenarios_test
   # Fresh counters each run: .gcda files accumulate across executions.
   find build-coverage -name '*.gcda' -delete
   for t in metrics_registry_test trace_sink_test golden_trace_test \
@@ -118,25 +133,33 @@ else
            confidence_test energy_model_test \
            subscription_engine_test serve_golden_test \
            fleet_equivalence_test fleet_churn_test \
-           governor_test governor_chaos_test; do
+           governor_test governor_chaos_test \
+           kalman_filter_test fast_path_test extended_kalman_filter_test \
+           steady_state_test recursive_least_squares_test \
+           noise_estimation_test rts_smoother_test \
+           unscented_kalman_filter_test \
+           adaptive_property_test adaptive_scenarios_test; do
     "./build-coverage/tests/$t" > /dev/null
   done
   python3 scripts/coverage_gate.py build-coverage --root=. \
     --gate=src/obs=0.90 --gate=src/dsms=0.80 --gate=src/serve=0.85 \
-    --gate=src/fleet=0.85 --gate=src/governor=0.85
+    --gate=src/fleet=0.85 --gate=src/governor=0.85 --gate=src/filter=0.90
 fi
 
 if [[ "${DKF_BENCH:-1}" == "0" ]]; then
   echo "== benchmark stage skipped (DKF_BENCH=0) =="
 else
-  echo "== release bench: filter hot path =="
+  echo "== release bench: filter hot path + adaptive servo =="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-release -j "$JOBS" --target bench_filter_hotpath
+  cmake --build build-release -j "$JOBS" \
+    --target bench_filter_hotpath bench_adaptive
   ./build-release/bench/bench_filter_hotpath > BENCH_filter_hotpath.json
+  ./build-release/bench/bench_adaptive > BENCH_adaptive.json
   # Surface the numbers; compare against the committed snapshot with
   #   git stash -- BENCH_filter_hotpath.json  (or git show HEAD:...)
   #   scripts/bench_compare.py <old> BENCH_filter_hotpath.json
   cat BENCH_filter_hotpath.json
+  cat BENCH_adaptive.json
 fi
 
 echo "== all checks passed =="

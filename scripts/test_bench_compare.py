@@ -5,9 +5,10 @@ Covers every gate on crafted fixtures — throughput/latency regression,
 missing rows, allocation and fast-path invariants, sequential-equivalence
 failures, resync storms, never-healed divergence, the fleet-scale
 budget/residency/equivalence gates, the governor budget-holding gates,
-and the observability overhead ceiling — plus an end-to-end
-self-compare of the committed BENCH_filter_hotpath.json, which must
-always be regression-free against itself.
+the adaptive precision/gain/equivalence gates, and the observability
+overhead ceiling — plus an end-to-end self-compare of the committed
+BENCH_filter_hotpath.json, which must always be regression-free
+against itself.
 """
 
 import contextlib
@@ -110,6 +111,20 @@ def governor_report(**overrides):
     }
 
 
+def adaptive_report(**overrides):
+    row = {
+        "scenario": "regime_shift",
+        "delta": 2.0,
+        "adaptive_updates": 176,
+        "fixed_updates": 252,
+        "suppression_gain": 0.30,
+        "delta_violations": 0,
+        "equivalent": True,
+    }
+    row.update(overrides)
+    return {"benchmark": "adaptive", "ticks": 2000, "results": [row]}
+
+
 def compare(old, new, threshold=0.10):
     """Runs the right comparison quietly and returns the failure list."""
     kind = old["benchmark"]
@@ -122,6 +137,8 @@ def compare(old, new, threshold=0.10):
             return bench_compare.compare_fleet_scale(old, new, threshold)
         if kind == "governor":
             return bench_compare.compare_governor(old, new, threshold)
+        if kind == "adaptive":
+            return bench_compare.compare_adaptive(old, new, threshold)
         return bench_compare.compare_runtime_throughput(old, new, threshold)
 
 
@@ -164,6 +181,20 @@ class FilterHotpathGates(unittest.TestCase):
         failures = compare(hotpath_report(),
                            hotpath_report(steady_state_armed=False))
         self.assertTrue(any("did not arm" in f for f in failures))
+
+    def test_servo_allocation_fails(self):
+        failures = compare(hotpath_report(),
+                           hotpath_report(adaptive_allocs_per_tick=1.0))
+        self.assertTrue(any("noise servo" in f for f in failures))
+
+    def test_servo_zero_allocation_passes(self):
+        self.assertEqual(
+            compare(hotpath_report(),
+                    hotpath_report(adaptive_allocs_per_tick=0.0)), [])
+
+    def test_report_without_servo_field_passes(self):
+        # Pre-adaptive snapshots predate the field; not a failure.
+        self.assertEqual(compare(hotpath_report(), hotpath_report()), [])
 
     def test_obs_overhead_over_limit_fails(self):
         failures = compare(
@@ -435,6 +466,65 @@ class GovernorGates(unittest.TestCase):
                 bench_compare.GOVERNOR_FLAT_TOL)
             self.assertLessEqual(row["overshoot"],
                                  bench_compare.GOVERNOR_OVERSHOOT_LIMIT)
+
+
+class AdaptiveGates(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = adaptive_report()
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+
+    def test_missing_row_fails(self):
+        failures = compare(adaptive_report(),
+                           adaptive_report(scenario="degrading_sensor"))
+        self.assertTrue(any("missing in new" in f for f in failures))
+
+    def test_delta_violation_fails(self):
+        failures = compare(adaptive_report(),
+                           adaptive_report(delta_violations=3))
+        self.assertTrue(any("precision contract" in f for f in failures))
+
+    def test_shard_divergence_fails(self):
+        failures = compare(adaptive_report(), adaptive_report(equivalent=False))
+        self.assertTrue(any("diverged" in f for f in failures))
+
+    def test_gain_below_floor_fails(self):
+        failures = compare(
+            adaptive_report(),
+            adaptive_report(
+                suppression_gain=bench_compare.ADAPTIVE_GAIN_FLOOR - 0.01))
+        self.assertTrue(any("below floor" in f for f in failures))
+
+    def test_gain_regression_beyond_slack_fails(self):
+        failures = compare(adaptive_report(suppression_gain=0.30),
+                           adaptive_report(suppression_gain=0.20))
+        self.assertTrue(any("gain regressed" in f for f in failures))
+
+    def test_gain_regression_within_slack_passes(self):
+        self.assertEqual(
+            compare(adaptive_report(suppression_gain=0.30),
+                    adaptive_report(suppression_gain=0.27)), [])
+
+    def test_gain_improvement_passes(self):
+        self.assertEqual(
+            compare(adaptive_report(suppression_gain=0.30),
+                    adaptive_report(suppression_gain=0.45)), [])
+
+    def test_committed_snapshot_self_compare_is_clean(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_adaptive.json")
+        self.assertTrue(os.path.exists(path),
+                        "committed adaptive snapshot missing")
+        with open(path) as f:
+            report = json.load(f)
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+        # The committed run must cover all three scenario workloads and
+        # hold the precision contract on each.
+        scenarios = {row["scenario"] for row in report["results"]}
+        self.assertEqual(scenarios, {"regime_shift", "degrading_sensor",
+                                     "quantized_readings"})
+        for row in report["results"]:
+            self.assertEqual(row["delta_violations"], 0)
+            self.assertTrue(row["equivalent"])
 
 
 class RuntimeReportNewKeys(unittest.TestCase):

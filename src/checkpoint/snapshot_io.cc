@@ -204,7 +204,8 @@ Result<KalmanFilter::FullState> DecodeFullState(BinaryReader& reader) {
   return f;
 }
 
-void EncodeMessage(BinaryWriter& writer, const Message& message) {
+void EncodeMessage(BinaryWriter& writer, const Message& message,
+                   uint32_t version) {
   writer.WriteU8(static_cast<uint8_t>(message.type));
   writer.WriteI64(message.source_id);
   writer.WriteI64(message.tick);
@@ -215,9 +216,10 @@ void EncodeMessage(BinaryWriter& writer, const Message& message) {
   EncodeVector(writer, message.resync_state);
   EncodeMatrix(writer, message.resync_covariance);
   writer.WriteI64(message.resync_step);
+  if (version >= 4) EncodeVector(writer, message.resync_adapt);
 }
 
-Result<Message> DecodeMessage(BinaryReader& reader) {
+Result<Message> DecodeMessage(BinaryReader& reader, uint32_t version) {
   Message message;
   DKF_ASSIGN_OR_RETURN(uint8_t type, reader.ReadU8());
   if (type > static_cast<uint8_t>(MessageType::kHeartbeat)) {
@@ -236,6 +238,9 @@ Result<Message> DecodeMessage(BinaryReader& reader) {
   DKF_ASSIGN_OR_RETURN(message.resync_state, DecodeVector(reader));
   DKF_ASSIGN_OR_RETURN(message.resync_covariance, DecodeMatrix(reader));
   DKF_ASSIGN_OR_RETURN(message.resync_step, reader.ReadI64());
+  if (version >= 4) {
+    DKF_ASSIGN_OR_RETURN(message.resync_adapt, DecodeVector(reader));
+  }
   return message;
 }
 
@@ -315,7 +320,8 @@ Result<std::optional<double>> DecodeOptionalDouble(BinaryReader& reader) {
 }
 
 void EncodeNodeState(BinaryWriter& writer,
-                     const SourceNode::CheckpointState& node) {
+                     const SourceNode::CheckpointState& node,
+                     uint32_t version) {
   writer.WriteF64(node.delta);
   EncodeOptionalDouble(writer, node.smoothing_factor);
   writer.WriteF64(node.smoothing_measurement_variance);
@@ -337,9 +343,11 @@ void EncodeNodeState(BinaryWriter& writer,
   writer.WriteI64(node.last_resync_tick);
   writer.WriteI64(node.last_send_tick);
   EncodeFaultStats(writer, node.faults);
+  if (version >= 4) EncodeVector(writer, node.adapt);
 }
 
-Result<SourceNode::CheckpointState> DecodeNodeState(BinaryReader& reader) {
+Result<SourceNode::CheckpointState> DecodeNodeState(BinaryReader& reader,
+                                                    uint32_t version) {
   SourceNode::CheckpointState node;
   DKF_ASSIGN_OR_RETURN(node.delta, reader.ReadF64());
   DKF_ASSIGN_OR_RETURN(node.smoothing_factor, DecodeOptionalDouble(reader));
@@ -363,29 +371,39 @@ Result<SourceNode::CheckpointState> DecodeNodeState(BinaryReader& reader) {
   DKF_ASSIGN_OR_RETURN(node.last_resync_tick, reader.ReadI64());
   DKF_ASSIGN_OR_RETURN(node.last_send_tick, reader.ReadI64());
   DKF_ASSIGN_OR_RETURN(node.faults, DecodeFaultStats(reader));
+  if (version >= 4) {
+    DKF_ASSIGN_OR_RETURN(node.adapt, DecodeVector(reader));
+  }
   return node;
 }
 
-void EncodeLink(BinaryWriter& writer, const ServerNode::LinkSnapshot& link) {
+void EncodeLink(BinaryWriter& writer, const ServerNode::LinkSnapshot& link,
+                uint32_t version) {
   writer.WriteU32(link.last_sequence);
   writer.WriteI64(link.last_valid_tick);
   writer.WriteI64(link.last_resync_tick);
   writer.WriteI64(link.last_update_tick);
   EncodeFullState(writer, link.predictor);
+  if (version >= 4) EncodeVector(writer, link.adapt);
 }
 
-Result<ServerNode::LinkSnapshot> DecodeLink(BinaryReader& reader) {
+Result<ServerNode::LinkSnapshot> DecodeLink(BinaryReader& reader,
+                                            uint32_t version) {
   ServerNode::LinkSnapshot link;
   DKF_ASSIGN_OR_RETURN(link.last_sequence, reader.ReadU32());
   DKF_ASSIGN_OR_RETURN(link.last_valid_tick, reader.ReadI64());
   DKF_ASSIGN_OR_RETURN(link.last_resync_tick, reader.ReadI64());
   DKF_ASSIGN_OR_RETURN(link.last_update_tick, reader.ReadI64());
   DKF_ASSIGN_OR_RETURN(link.predictor, DecodeFullState(reader));
+  if (version >= 4) {
+    DKF_ASSIGN_OR_RETURN(link.adapt, DecodeVector(reader));
+  }
   return link;
 }
 
 void EncodeChannelLane(BinaryWriter& writer,
-                       const Channel::SourceCheckpoint& lane) {
+                       const Channel::SourceCheckpoint& lane,
+                       uint32_t version) {
   EncodeChannelStats(writer, lane.stats);
   writer.WriteBool(lane.has_rng);
   if (lane.has_rng) EncodeRngState(writer, lane.rng);
@@ -396,13 +414,14 @@ void EncodeChannelLane(BinaryWriter& writer,
     writer.WriteI64(entry.due);
     writer.WriteBool(entry.ack_lost);
     writer.WriteBool(entry.corrupted);
-    EncodeMessage(writer, entry.message);
+    EncodeMessage(writer, entry.message, version);
   }
   writer.WriteU64(lane.deferred_acks.size());
   for (uint32_t ack : lane.deferred_acks) writer.WriteU32(ack);
 }
 
-Result<Channel::SourceCheckpoint> DecodeChannelLane(BinaryReader& reader) {
+Result<Channel::SourceCheckpoint> DecodeChannelLane(BinaryReader& reader,
+                                                    uint32_t version) {
   Channel::SourceCheckpoint lane;
   DKF_ASSIGN_OR_RETURN(lane.stats, DecodeChannelStats(reader));
   DKF_ASSIGN_OR_RETURN(lane.has_rng, reader.ReadBool());
@@ -421,7 +440,7 @@ Result<Channel::SourceCheckpoint> DecodeChannelLane(BinaryReader& reader) {
     DKF_ASSIGN_OR_RETURN(entry.due, reader.ReadI64());
     DKF_ASSIGN_OR_RETURN(entry.ack_lost, reader.ReadBool());
     DKF_ASSIGN_OR_RETURN(entry.corrupted, reader.ReadBool());
-    DKF_ASSIGN_OR_RETURN(entry.message, DecodeMessage(reader));
+    DKF_ASSIGN_OR_RETURN(entry.message, DecodeMessage(reader, version));
     lane.in_flight.push_back(std::move(entry));
   }
   DKF_ASSIGN_OR_RETURN(uint64_t acks, reader.ReadU64());
@@ -580,7 +599,8 @@ Result<Notification> DecodeNotification(BinaryReader& reader) {
   return notification;
 }
 
-Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
+Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot,
+                     uint32_t version) {
   // Configuration.
   writer.WriteF64(snapshot.energy.instructions_per_bit);
   writer.WriteF64(snapshot.energy.instructions_per_filter_step);
@@ -595,6 +615,29 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
   writer.WriteI64(snapshot.protocol.resync_retry_backoff);
   writer.WriteI64(snapshot.protocol.staleness_budget);
   writer.WriteF64(snapshot.protocol.degraded_inflation);
+  if (version >= 4) {
+    // Adaptive-noise configuration (snapshot v4). Older targets drop it;
+    // their decoders leave the config default (adaptation disabled).
+    const AdaptiveNoiseConfig& a = snapshot.protocol.adaptive;
+    writer.WriteBool(a.enabled);
+    writer.WriteF64(a.ratio_alpha);
+    writer.WriteF64(a.corr_alpha);
+    writer.WriteI64(a.warmup_corrections);
+    writer.WriteF64(a.widen_threshold);
+    writer.WriteF64(a.shrink_threshold);
+    writer.WriteF64(a.widen_rate);
+    writer.WriteF64(a.shrink_rate);
+    writer.WriteF64(a.r_scale_floor);
+    writer.WriteF64(a.r_scale_ceiling);
+    writer.WriteF64(a.corr_q_threshold);
+    writer.WriteF64(a.q_rate);
+    writer.WriteF64(a.q_scale_floor);
+    writer.WriteF64(a.q_scale_ceiling);
+    writer.WriteF64(a.variance_floor);
+    writer.WriteBool(a.quantization_floor);
+    writer.WriteI64(a.holdover_gap);
+    writer.WriteI64(a.lock_streak);
+  }
   writer.WriteI64(snapshot.num_shards);
 
   // Progress.
@@ -606,9 +649,9 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
   for (const SourceSnapshot& source : snapshot.sources) {
     writer.WriteI64(source.source_id);
     DKF_RETURN_IF_ERROR(EncodeModel(writer, source.model));
-    EncodeNodeState(writer, source.node);
-    EncodeLink(writer, source.link);
-    EncodeChannelLane(writer, source.channel);
+    EncodeNodeState(writer, source.node, version);
+    EncodeLink(writer, source.link, version);
+    EncodeChannelLane(writer, source.channel, version);
   }
 
   EncodeFaultStats(writer, snapshot.server_faults);
@@ -654,7 +697,8 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
     }
   }
 
-  // Serving front-end (snapshot v2).
+  // Serving front-end (snapshot v2). v1 files end here.
+  if (version < 2) return Status::OK();
   writer.WriteU64(snapshot.serve.options.max_buffered_notifications);
   writer.WriteU64(snapshot.serve.subscriptions.size());
   for (const ServeSubscriptionSnapshot& sub : snapshot.serve.subscriptions) {
@@ -676,7 +720,8 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot) {
   writer.WriteI64(snapshot.serve.touched);
   writer.WriteI64(snapshot.serve.affected);
 
-  // Delta governor (snapshot v3).
+  // Delta governor (snapshot v3). v2 files end here.
+  if (version < 3) return Status::OK();
   writer.WriteBool(snapshot.governor.enabled);
   if (snapshot.governor.enabled) {
     const GovernorOptions& g = snapshot.governor.options;
@@ -730,6 +775,27 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader,
   DKF_ASSIGN_OR_RETURN(snapshot.protocol.staleness_budget, reader.ReadI64());
   DKF_ASSIGN_OR_RETURN(snapshot.protocol.degraded_inflation,
                        reader.ReadF64());
+  if (version >= 4) {
+    AdaptiveNoiseConfig& a = snapshot.protocol.adaptive;
+    DKF_ASSIGN_OR_RETURN(a.enabled, reader.ReadBool());
+    DKF_ASSIGN_OR_RETURN(a.ratio_alpha, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.corr_alpha, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.warmup_corrections, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(a.widen_threshold, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.shrink_threshold, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.widen_rate, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.shrink_rate, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.r_scale_floor, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.r_scale_ceiling, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.corr_q_threshold, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.q_rate, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.q_scale_floor, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.q_scale_ceiling, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.variance_floor, reader.ReadF64());
+    DKF_ASSIGN_OR_RETURN(a.quantization_floor, reader.ReadBool());
+    DKF_ASSIGN_OR_RETURN(a.holdover_gap, reader.ReadI64());
+    DKF_ASSIGN_OR_RETURN(a.lock_streak, reader.ReadI64());
+  }
   DKF_ASSIGN_OR_RETURN(snapshot.num_shards, DecodeI32(reader, "num_shards"));
   if (snapshot.num_shards < 1) {
     return Status::InvalidArgument("snapshot shard count must be >= 1");
@@ -751,9 +817,9 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader,
     }
     previous_id = source.source_id;
     DKF_ASSIGN_OR_RETURN(source.model, DecodeModel(reader));
-    DKF_ASSIGN_OR_RETURN(source.node, DecodeNodeState(reader));
-    DKF_ASSIGN_OR_RETURN(source.link, DecodeLink(reader));
-    DKF_ASSIGN_OR_RETURN(source.channel, DecodeChannelLane(reader));
+    DKF_ASSIGN_OR_RETURN(source.node, DecodeNodeState(reader, version));
+    DKF_ASSIGN_OR_RETURN(source.link, DecodeLink(reader, version));
+    DKF_ASSIGN_OR_RETURN(source.channel, DecodeChannelLane(reader, version));
     snapshot.sources.push_back(std::move(source));
   }
 
@@ -949,15 +1015,26 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader,
 }  // namespace
 
 Result<std::string> EncodeSnapshot(const EngineSnapshot& snapshot) {
+  return EncodeSnapshotForVersion(snapshot, kSnapshotVersion);
+}
+
+Result<std::string> EncodeSnapshotForVersion(const EngineSnapshot& snapshot,
+                                             uint32_t version) {
+  if (version < kSnapshotMinVersion || version > kSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("cannot encode snapshot version %u (this build writes "
+                  "%u..%u)",
+                  version, kSnapshotMinVersion, kSnapshotVersion));
+  }
   BinaryWriter payload;
-  DKF_RETURN_IF_ERROR(EncodePayload(payload, snapshot));
+  DKF_RETURN_IF_ERROR(EncodePayload(payload, snapshot, version));
   const std::string& body = payload.bytes();
 
   BinaryWriter file;
   for (size_t i = 0; i < kMagicBytes; ++i) {
     file.WriteU8(static_cast<uint8_t>(kSnapshotMagic[i]));
   }
-  file.WriteU32(kSnapshotVersion);
+  file.WriteU32(version);
   file.WriteU64(
       Fnv1a64(reinterpret_cast<const uint8_t*>(body.data()), body.size()));
   file.WriteU64(body.size());

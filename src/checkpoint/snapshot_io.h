@@ -27,15 +27,30 @@ namespace dkf {
 
 inline constexpr char kSnapshotMagic[] = "DKFSNAP1";  // 8 bytes on the wire
 /// v2 appended the serving-layer section (src/serve/); v3 appended the
-/// delta-governor section (src/governor/).
-inline constexpr uint32_t kSnapshotVersion = 3;
+/// delta-governor section (src/governor/); v4 added the adaptive-noise
+/// fields (protocol config + per-source/link/resync-message adapter
+/// state, docs/adaptive.md).
+inline constexpr uint32_t kSnapshotVersion = 4;
 /// Oldest version this build still reads. v1 files predate the serving
 /// layer; they decode with an empty ServeSnapshot. v2 files predate the
-/// governor; they decode with a disabled GovernorSnapshot.
+/// governor; they decode with a disabled GovernorSnapshot. v1-v3 files
+/// predate noise adaptation; they decode with it disabled and empty
+/// adapter state.
 inline constexpr uint32_t kSnapshotMinVersion = 1;
 
 /// Serializes a snapshot to the full file image (header + payload).
 Result<std::string> EncodeSnapshot(const EngineSnapshot& snapshot);
+
+/// Serializes a snapshot as an *older* format version (header stamped
+/// with `version`, later sections and fields omitted from the payload).
+/// Data only newer versions can carry is silently dropped — the result
+/// is exactly what a build of that era would have written for the
+/// downgraded state. InvalidArgument outside
+/// [kSnapshotMinVersion, kSnapshotVersion]. This exists for
+/// backward-compatibility tests and downgrade tooling; production saves
+/// should use EncodeSnapshot.
+Result<std::string> EncodeSnapshotForVersion(const EngineSnapshot& snapshot,
+                                             uint32_t version);
 
 /// Parses and validates a full file image.
 Result<EngineSnapshot> DecodeSnapshot(const std::string& bytes);

@@ -90,6 +90,12 @@ class Predictor {
         "predictor does not support full-state import");
   }
 
+  /// The underlying KalmanFilter when the scheme has one that online
+  /// noise adaptation (filter/adaptive_noise.h) may retune, else nullptr.
+  /// Point predictors and schemes with no tunable noise opt out by
+  /// default, which disables adaptation on their links.
+  virtual KalmanFilter* AdaptableFilter() { return nullptr; }
+
   /// Deep copy. A link clones its prototype once for the server filter and
   /// once for the source-side mirror.
   virtual std::unique_ptr<Predictor> Clone() const = 0;
@@ -138,6 +144,7 @@ class KalmanPredictor : public Predictor {
   Status ImportFullState(const KalmanFilter::FullState& full) override {
     return filter_.ImportFullState(full);
   }
+  KalmanFilter* AdaptableFilter() override { return &filter_; }
   std::unique_ptr<Predictor> Clone() const override {
     return std::make_unique<KalmanPredictor>(*this);
   }

@@ -30,17 +30,28 @@ void Channel::Corrupt(Message* framed, Rng& rng) {
   // damage the header (checksum) instead. Either way the receiver's
   // recomputed checksum no longer matches the stamped one.
   Vector* target = nullptr;
+  size_t span = 0;
   if (framed->payload.size() > 0) {
     target = &framed->payload;
+    span = framed->payload.size();
   } else if (framed->resync_state.size() > 0) {
+    // Resyncs expose the state vector plus (on adaptive links) the
+    // adapter payload as one combined corruption span, chosen with a
+    // single draw so the RNG stream — and therefore every shard-count
+    // equivalence — is unchanged when resync_adapt is empty.
     target = &framed->resync_state;
+    span = framed->resync_state.size() + framed->resync_adapt.size();
   }
   if (target == nullptr) {
     framed->checksum ^= 0xA5A5A5A5u;
     return;
   }
-  const size_t index = static_cast<size_t>(
-      rng.UniformInt(0, static_cast<int64_t>(target->size()) - 1));
+  size_t index = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(span) - 1));
+  if (index >= target->size()) {
+    index -= target->size();
+    target = &framed->resync_adapt;
+  }
   double value = (*target)[index];
   uint64_t bits;
   std::memcpy(&bits, &value, sizeof(bits));

@@ -52,6 +52,13 @@ struct Message {
   Matrix resync_covariance;
   int64_t resync_step = 0;
 
+  /// kResync payload, adaptive links only: the mirror's NoiseAdapter
+  /// state (filter/adaptive_noise.h), so a healed link re-locks the
+  /// adaptation servo bit-exactly along with the filter. Empty on
+  /// non-adaptive links — and an empty vector leaves SizeBytes and
+  /// ComputeChecksum bit-identical to the pre-adaptive wire format.
+  Vector resync_adapt;
+
   /// Serialized size: type/source/tick/sequence/checksum header
   /// (21 bytes) + the per-type payload: 8 bytes per payload double, + the
   /// model index for switch messages, + the full state dump for resyncs.
@@ -69,7 +76,8 @@ struct Message {
         bytes += resync_state.size() * sizeof(double) +
                  resync_covariance.rows() * resync_covariance.cols() *
                      sizeof(double) +
-                 8;  // the step counter
+                 8 +  // the step counter
+                 resync_adapt.size() * sizeof(double);
         break;
       case MessageType::kHeartbeat:
         break;
@@ -110,6 +118,9 @@ struct Message {
       for (size_t c = 0; c < resync_covariance.cols(); ++c) {
         mix_double(resync_covariance(r, c));
       }
+    }
+    for (size_t i = 0; i < resync_adapt.size(); ++i) {
+      mix_double(resync_adapt[i]);
     }
     return hash;
   }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "filter/adaptive_noise.h"
+
 namespace dkf {
 
 /// Tunables of the hardened dual-link protocol (divergence detection,
@@ -40,6 +42,13 @@ struct ProtocolOptions {
   /// Covariance inflation applied to degraded answers, per tick overdue:
   /// the reported covariance is scaled by (1 + inflation * overdue).
   double degraded_inflation = 0.25;
+
+  /// Online Q/R adaptation (docs/adaptive.md). Both link endpoints run
+  /// identical NoiseAdapter instances over the *transmitted* corrections
+  /// only, so the mirror and the server filter adapt bit-identically;
+  /// resync messages carry the adapter state to re-lock a healed link.
+  /// Disabled by default (fixed nominal noise, legacy behavior).
+  AdaptiveNoiseConfig adaptive;
 };
 
 }  // namespace dkf

@@ -19,7 +19,13 @@ Status ServerNode::RegisterSource(int source_id, const StateModel& model) {
   LinkState link;
   // The staleness clock starts at registration, not at tick 0.
   link.last_valid_tick = ticks_done_ - 1;
-  links_[source_id] = link;
+  if (protocol_.adaptive.enabled &&
+      predictors_[source_id]->AdaptableFilter() != nullptr) {
+    auto adapter_or = NoiseAdapter::Create(protocol_.adaptive, model);
+    if (!adapter_or.ok()) return adapter_or.status();
+    link.adapter = std::move(adapter_or).value();
+  }
+  links_[source_id] = std::move(link);
   return Status::OK();
 }
 
@@ -121,7 +127,36 @@ Status ServerNode::OnMessage(const Message& message) {
       DKF_TRACE(obs_sink_, now, message.source_id,
                 TraceEventKind::kUpdateApplied, TraceActor::kServer, 0.0,
                 0.0, message.sequence);
-      return it->second->Update(message.payload);
+      {
+        // Adapt on exactly the corrections the server applies — the same
+        // values, in the same order, that corrected the mirror, which is
+        // what keeps both NoiseAdapter instances bit-identical.
+        KalmanFilter* adaptable =
+            link.adapter.enabled() ? it->second->AdaptableFilter() : nullptr;
+        NoiseAdapter::Decision adapt_decision;
+        if (adaptable != nullptr) {
+          auto decision_or =
+              link.adapter.OnCorrection(*adaptable, message.payload, now);
+          if (!decision_or.ok()) return decision_or.status();
+          adapt_decision = decision_or.value();
+        }
+        DKF_RETURN_IF_ERROR(it->second->Update(message.payload));
+        if (adaptable != nullptr) {
+          DKF_RETURN_IF_ERROR(link.adapter.InstallInto(adaptable));
+          if (adapt_decision.frozen) {
+            DKF_TRACE(obs_sink_, now, message.source_id,
+                      TraceEventKind::kAdaptFreeze, TraceActor::kServer,
+                      link.adapter.r_scale(), link.adapter.q_scale(),
+                      message.sequence);
+          } else if (adapt_decision.adapted) {
+            DKF_TRACE(obs_sink_, now, message.source_id,
+                      TraceEventKind::kNoiseAdapt, TraceActor::kServer,
+                      link.adapter.r_scale(), link.adapter.q_scale(),
+                      message.sequence);
+          }
+        }
+      }
+      return Status::OK();
 
     case MessageType::kResync: {
       // Overwrite with the mirror's snapshot, then replay the ticks the
@@ -140,6 +175,16 @@ Status ServerNode::OnMessage(const Message& message) {
       snapshot.covariance = message.resync_covariance;
       snapshot.step = message.resync_step;
       DKF_RETURN_IF_ERROR(it->second->ImportState(snapshot));
+      if (link.adapter.enabled()) {
+        // Re-lock the noise servo with the mirror's shipped state and
+        // install its effective Q/R *before* replaying the in-flight
+        // ticks, so the replayed Predicts inflate with the same Q the
+        // mirror used while the snapshot was in flight.
+        DKF_RETURN_IF_ERROR(link.adapter.ImportState(message.resync_adapt));
+        if (KalmanFilter* adaptable = it->second->AdaptableFilter()) {
+          DKF_RETURN_IF_ERROR(link.adapter.InstallInto(adaptable));
+        }
+      }
       for (int64_t i = 0; i < in_flight_ticks; ++i) {
         DKF_RETURN_IF_ERROR(it->second->Tick());
       }
@@ -192,6 +237,7 @@ Result<ServerNode::LinkSnapshot> ServerNode::ExportLink(int source_id) const {
   auto full_or = it->second->ExportFullState();
   if (!full_or.ok()) return full_or.status();
   snapshot.predictor = std::move(full_or).value();
+  snapshot.adapt = link_it->second.adapter.ExportState();
   return snapshot;
 }
 
@@ -206,6 +252,9 @@ Status ServerNode::RestoreLink(int source_id, const LinkSnapshot& snapshot) {
   link_it->second.last_valid_tick = snapshot.last_valid_tick;
   link_it->second.last_resync_tick = snapshot.last_resync_tick;
   link_it->second.last_update_tick = snapshot.last_update_tick;
+  // The FullState above already carries the adapted effective Q/R; only
+  // the servo statistics need restoring.
+  DKF_RETURN_IF_ERROR(link_it->second.adapter.ImportState(snapshot.adapt));
   return Status::OK();
 }
 
@@ -290,6 +339,14 @@ Result<const Predictor*> ServerNode::predictor(int source_id) const {
     return Status::NotFound(StrFormat("source %d not registered", source_id));
   }
   return static_cast<const Predictor*>(it->second.get());
+}
+
+Result<const NoiseAdapter*> ServerNode::noise_adapter(int source_id) const {
+  auto it = links_.find(source_id);
+  if (it == links_.end()) {
+    return Status::NotFound(StrFormat("source %d not registered", source_id));
+  }
+  return static_cast<const NoiseAdapter*>(&it->second.adapter);
 }
 
 }  // namespace dkf

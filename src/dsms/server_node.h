@@ -93,6 +93,10 @@ class ServerNode {
   /// The predictor backing a source (for tests).
   Result<const Predictor*> predictor(int source_id) const;
 
+  /// The server-side noise adaptation servo for a source (for tests and
+  /// gauges); disabled unless ProtocolOptions::adaptive.enabled.
+  Result<const NoiseAdapter*> noise_adapter(int source_id) const;
+
   size_t num_sources() const { return predictors_.size(); }
 
   /// Wires an observability sink: every ingress outcome (update applied,
@@ -111,6 +115,9 @@ class ServerNode {
     int64_t last_resync_tick = -2;
     int64_t last_update_tick = -1;
     KalmanFilter::FullState predictor;
+    /// NoiseAdapter::ExportState() payload; empty when adaptation is off
+    /// (snapshot v4, docs/checkpoint.md).
+    Vector adapt;
   };
 
   Result<LinkSnapshot> ExportLink(int source_id) const;
@@ -141,6 +148,9 @@ class ServerNode {
     int64_t last_resync_tick = -2;
     /// Tick of the last applied correction; -1 = never.
     int64_t last_update_tick = -1;
+    /// Server half of the Q/R servo; adapts on exactly the corrections
+    /// it applies, mirroring the source (docs/adaptive.md).
+    NoiseAdapter adapter;
   };
 
   bool IsDegraded(const LinkState& link) const;

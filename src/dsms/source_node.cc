@@ -44,8 +44,16 @@ Result<SourceNode> SourceNode::Create(const SourceNodeOptions& options) {
     if (!smoother_or.ok()) return smoother_or.status();
     smoother = std::move(smoother_or).value();
   }
-  return SourceNode(options, predictor_or.value().Clone(),
-                    std::move(smoother));
+  SourceNode node(options, predictor_or.value().Clone(),
+                  std::move(smoother));
+  if (options.protocol.adaptive.enabled &&
+      node.mirror_->AdaptableFilter() != nullptr) {
+    auto adapter_or =
+        NoiseAdapter::Create(options.protocol.adaptive, options.model);
+    if (!adapter_or.ok()) return adapter_or.status();
+    node.adapter_ = std::move(adapter_or).value();
+  }
+  return node;
 }
 
 Status SourceNode::set_delta(double delta) {
@@ -100,6 +108,7 @@ Result<SourceNode::CheckpointState> SourceNode::ExportCheckpoint() const {
   state.last_resync_tick = last_resync_tick_;
   state.last_send_tick = last_send_tick_;
   state.faults = faults_;
+  state.adapt = adapter_.ExportState();
   return state;
 }
 
@@ -126,6 +135,9 @@ Status SourceNode::ImportCheckpoint(const CheckpointState& state) {
   last_resync_tick_ = state.last_resync_tick;
   last_send_tick_ = state.last_send_tick;
   faults_ = state.faults;
+  // The mirror FullState above already carries the adapted effective Q/R;
+  // only the servo's own statistics need restoring.
+  DKF_RETURN_IF_ERROR(adapter_.ImportState(state.adapt));
   return Status::OK();
 }
 
@@ -169,6 +181,10 @@ Status SourceNode::MaybeSendResync(int64_t tick, Channel* channel,
   message.resync_state = std::move(snapshot.state);
   message.resync_covariance = std::move(snapshot.covariance);
   message.resync_step = snapshot.step;
+  // Adaptive links re-lock the noise servo along with the filter: the
+  // resync carries the mirror's adapter state (empty when adaptation is
+  // off, leaving the wire format byte-identical).
+  if (adapter_.enabled()) message.resync_adapt = adapter_.ExportState();
   if (first_resync_sequence_ == 0) first_resync_sequence_ = message.sequence;
 
   energy_.ChargeTransmission(message.SizeBytes());
@@ -284,12 +300,39 @@ Result<SourceStepResult> SourceNode::ProcessReading(int64_t tick,
         ack = ack_or.value();
       }
       switch (ack) {
-        case SendAck::kAcked:
+        case SendAck::kAcked: {
           // Correct the mirror only on confirmed delivery: the mirror
-          // must track the *server's* state.
+          // must track the *server's* state. An ACKed correction is also
+          // the only thing the noise servo may learn from — the server
+          // sees exactly the same value, so both adapters move in
+          // lockstep (docs/adaptive.md).
           result.delivered = true;
+          KalmanFilter* adaptable =
+              adapter_.enabled() ? mirror_->AdaptableFilter() : nullptr;
+          NoiseAdapter::Decision adapt_decision;
+          if (adaptable != nullptr) {
+            auto decision_or =
+                adapter_.OnCorrection(*adaptable, result.protocol_value, tick);
+            if (!decision_or.ok()) return decision_or.status();
+            adapt_decision = decision_or.value();
+          }
           DKF_RETURN_IF_ERROR(mirror_->Update(result.protocol_value));
+          if (adaptable != nullptr) {
+            DKF_RETURN_IF_ERROR(adapter_.InstallInto(adaptable));
+            if (adapt_decision.frozen) {
+              DKF_TRACE(obs_sink_, tick, options_.source_id,
+                        TraceEventKind::kAdaptFreeze, TraceActor::kSource,
+                        adapter_.r_scale(), adapter_.q_scale(),
+                        message.sequence);
+            } else if (adapt_decision.adapted) {
+              DKF_TRACE(obs_sink_, tick, options_.source_id,
+                        TraceEventKind::kNoiseAdapt, TraceActor::kSource,
+                        adapter_.r_scale(), adapter_.q_scale(),
+                        message.sequence);
+            }
+          }
           break;
+        }
         case SendAck::kDropped:
           // Reliable-ACK loss (legacy): the server never saw it, the
           // mirror stays uncorrected, the next tick's deviation test

@@ -126,6 +126,12 @@ class SourceNode {
   /// The mirror predictor (for the mirror-consistency tests).
   const Predictor& mirror() const { return *mirror_; }
 
+  /// The mirror-side noise adaptation servo (disabled unless
+  /// ProtocolOptions::adaptive.enabled and the predictor exposes an
+  /// adaptable filter). Gauges, fleet re-absorption gating, and the
+  /// mirror-consistency tests read it; only ProcessReading mutates it.
+  const NoiseAdapter& noise_adapter() const { return adapter_; }
+
   /// Everything that distinguishes this node from a freshly created one
   /// with the same model: filters (KF_m and, when active, KF_c), installed
   /// reconfig state, energy totals, wire sequence counter, the divergence
@@ -151,6 +157,9 @@ class SourceNode {
     int64_t last_resync_tick = -1;
     int64_t last_send_tick = -1;
     ProtocolFaultStats faults;
+    /// NoiseAdapter::ExportState() payload; empty when adaptation is off
+    /// (snapshot v4, docs/checkpoint.md).
+    Vector adapt;
   };
 
   Result<CheckpointState> ExportCheckpoint() const;
@@ -206,6 +215,9 @@ class SourceNode {
   /// Tick of the last transmission attempt of any kind (heartbeat pacing).
   int64_t last_send_tick_ = -1;
   ProtocolFaultStats faults_;
+  /// Mirror-side Q/R servo; adapts only on ACKed corrections so it stays
+  /// bit-identical to the server-side instance (docs/adaptive.md).
+  NoiseAdapter adapter_;
   TraceSink* obs_sink_ = nullptr;
 };
 

@@ -135,10 +135,15 @@ MetricsRegistry StreamManager::MetricsSnapshot() const {
     // ShardedStreamEngine::MetricsSnapshot so the two systems stay
     // gauge-for-gauge comparable.
     for (const auto& [source_id, node] : sources_) {
-      (void)node;
       registry.SetGauge(StrFormat("uplink.bytes.%d", source_id),
                         static_cast<double>(
                             channel_.for_source(source_id).bytes));
+      if (node->noise_adapter().enabled()) {
+        registry.SetGauge(StrFormat("adapt.r_scale.%d", source_id),
+                          node->noise_adapter().r_scale());
+        registry.SetGauge(StrFormat("adapt.q_scale.%d", source_id),
+                          node->noise_adapter().q_scale());
+      }
     }
   }
   return registry;

@@ -21,40 +21,30 @@ Result<AdaptiveNoiseEstimator> AdaptiveNoiseEstimator::Create(
 
 void AdaptiveNoiseEstimator::Observe(const Vector& innovation,
                                      const Matrix& projected_covariance) {
-  innovations_.push_back(innovation);
-  projected_.push_back(projected_covariance);
-  while (innovations_.size() > options_.window) {
-    innovations_.pop_front();
-    projected_.pop_front();
+  const size_t m = innovation.size();
+  if (moment_.rows() != m) {
+    moment_ = Matrix(m, m);
+    projected_ = Matrix(m, m);
+    weight_ = 0.0;
+    observed_ = 0;
   }
+  const double alpha = 1.0 - 1.0 / static_cast<double>(options_.window);
+  // Bias-corrected EWMA: keep un-normalized sums plus their total weight,
+  // so early estimates are true weighted means instead of zero-biased.
+  moment_ = moment_ * alpha + innovation.Outer(innovation) * (1.0 - alpha);
+  projected_ = projected_ * alpha + projected_covariance * (1.0 - alpha);
+  weight_ = weight_ * alpha + (1.0 - alpha);
+  ++observed_;
 }
 
 Result<Matrix> AdaptiveNoiseEstimator::EstimateMeasurementNoise() const {
-  if (innovations_.size() < options_.min_samples) {
+  if (observed_ < options_.min_samples) {
     return Status::FailedPrecondition("not enough innovations to adapt");
   }
-  const size_t m = innovations_.front().size();
-  const double count = static_cast<double>(innovations_.size());
-
-  // Sample second moment of the innovations (mean is theoretically zero for
-  // a consistent filter; using the raw second moment also captures bias
-  // caused by an over-confident R).
-  Matrix moment(m, m);
-  for (const Vector& y : innovations_) {
-    moment += y.Outer(y);
-  }
-  moment = moment * (1.0 / count);
-
-  // Average of the projected a-priori covariances H P^- H^T.
-  Matrix projected(m, m);
-  for (const Matrix& hph : projected_) projected += hph;
-  projected = projected * (1.0 / count);
-
-  Matrix estimate = moment - projected;
+  const double scale = 1.0 / weight_;
+  Matrix estimate = (moment_ - projected_) * scale;
   estimate.Symmetrize();
-  // Clamp diagonals to the floor; zero out any row/col whose diagonal was
-  // clamped hard negative to keep the matrix PSD-ish.
-  for (size_t i = 0; i < m; ++i) {
+  for (size_t i = 0; i < estimate.rows(); ++i) {
     estimate(i, i) = std::max(estimate(i, i), options_.floor);
   }
   return estimate;

@@ -1,7 +1,7 @@
 #ifndef DKF_FILTER_NOISE_ESTIMATION_H_
 #define DKF_FILTER_NOISE_ESTIMATION_H_
 
-#include <deque>
+#include <cstddef>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -14,13 +14,23 @@ namespace dkf {
 /// covariance R, addressing the paper's future-work item "robustness of
 /// the KF when the statistics of the noise are not known" (§6).
 ///
-/// Over a sliding window of innovations y_k = z_k - H x^-_k the sample
-/// covariance C approaches S = H P^- H^T + R for a consistent filter, so
-///   R_hat = C - H P^- H^T
-/// (projected back to positive diagonals) tracks the true R. Feeding R_hat
-/// back into the filter closes the adaptation loop.
+/// DEPRECATED: this class is the original standalone sketch, kept as a
+/// thin compatibility shim for existing callers (ablation bench, tests).
+/// New code — and everything wired into the DKF protocol — should use
+/// NoiseAdapter (filter/adaptive_noise.h), which adds ratio-gated R/Q
+/// servo control, clamps, quantization floors, holdover detection, and
+/// the mirror-consistent state serialization the protocol needs.
+///
+/// The exponentially weighted innovation statistics C ~ E[y y^T] and the
+/// matching weighted mean of the projected a-priori covariances
+/// H P^- H^T give
+///   R_hat = C - mean(H P^- H^T)
+/// (symmetrized, diagonals floored), since C approaches S = H P^- H^T + R
+/// for a consistent filter. `window` sets the EWMA retention
+/// (alpha = 1 - 1/window), matching the old sliding window's timescale
+/// with O(1) state and zero per-Observe heap allocation.
 struct AdaptiveNoiseOptions {
-  size_t window = 64;        ///< innovations kept for the sample covariance
+  size_t window = 64;        ///< EWMA timescale (old: innovations kept)
   size_t min_samples = 16;   ///< don't adapt before this many innovations
   double floor = 1e-9;       ///< lower clamp for estimated variances
 };
@@ -31,7 +41,8 @@ class AdaptiveNoiseEstimator {
       const AdaptiveNoiseOptions& options);
 
   /// Records the innovation and a-priori projected covariance
-  /// H P^- H^T from one correction step.
+  /// H P^- H^T from one correction step. O(m^2), allocation-free for
+  /// measurement widths <= 2 (inline matrix storage).
   void Observe(const Vector& innovation, const Matrix& projected_covariance);
 
   /// Current estimate of R, or FailedPrecondition before min_samples
@@ -41,15 +52,21 @@ class AdaptiveNoiseEstimator {
   /// Convenience: estimate R and install it into `filter`.
   Status Apply(KalmanFilter* filter) const;
 
-  size_t samples() const { return innovations_.size(); }
+  /// Effective sample count, saturating at `window` to preserve the old
+  /// sliding-window API contract.
+  size_t samples() const {
+    return observed_ < options_.window ? observed_ : options_.window;
+  }
 
  private:
   explicit AdaptiveNoiseEstimator(const AdaptiveNoiseOptions& options)
       : options_(options) {}
 
   AdaptiveNoiseOptions options_;
-  std::deque<Vector> innovations_;
-  std::deque<Matrix> projected_;
+  size_t observed_ = 0;
+  double weight_ = 0.0;  ///< EWMA normalizer (bias correction)
+  Matrix moment_;        ///< weighted E[y y^T], un-normalized
+  Matrix projected_;     ///< weighted E[H P^- H^T], un-normalized
 };
 
 }  // namespace dkf

@@ -217,8 +217,16 @@ ServerNode::LinkSnapshot FleetEngine::SynthesizeLinkForLane(
   link.last_resync_tick = g.link_last_resync_tick[lane];
   link.last_update_tick = g.link_last_update_tick[lane];
   // Mirror and predictor are bitwise equal while resident — one lane IS
-  // the whole dual link — so the same reconstruction serves both.
+  // the whole dual link — so the same reconstruction serves both. The
+  // same holds for the noise servo (absorption required the two adapter
+  // states bit-equal, and corrections — the only thing that moves them —
+  // never happen on a resident lane), so the dormant node's state stands
+  // in for the server's.
   link.predictor = LaneFullState(g, lane);
+  auto node_it = nodes_.find(g.ids[lane]);
+  if (node_it != nodes_.end()) {
+    link.adapt = node_it->second->noise_adapter().ExportState();
+  }
   return link;
 }
 
@@ -320,7 +328,13 @@ Status FleetEngine::SpillLane(int group_index, size_t lane, int64_t tick,
                        SynthesizeForLane(g, lane));
   ServerNode::LinkSnapshot link = SynthesizeLinkForLane(g, lane);
   DKF_RETURN_IF_ERROR(node->ImportCheckpoint(synth));
-  DKF_RETURN_IF_ERROR(server_->RegisterSource(id, g.model));
+  // Register with the source's *nominal* model, not the (possibly
+  // adapted) group model: the server builds its NoiseAdapter from the
+  // registration model, and the servo's scales are relative to nominal.
+  // RestoreLink then overwrites the filter with the lane's full state,
+  // so the registration model's Q/R never reach the filter either way.
+  const StateModel& nominal_model = groups_[eligible_group_.at(id)]->model;
+  DKF_RETURN_IF_ERROR(server_->RegisterSource(id, nominal_model));
   DKF_RETURN_IF_ERROR(server_->RestoreLink(id, link));
 
   RemoveLane(g, lane);
@@ -867,7 +881,38 @@ Status FleetEngine::TryAbsorbAll() {
     auto link_or = server_->ExportLink(id);
     if (!link_or.ok()) return link_or.status();
     const ServerNode::LinkSnapshot& link = link_or.value();
-    Group& g = *groups_[group_index];
+    int target_index = group_index;
+    const NoiseAdapter& adapter = node->noise_adapter();
+    if (adapter.enabled()) {
+      // Adaptive links only fold once the servo has locked (the scales
+      // stopped moving) AND both ends' servo state is bit-identical —
+      // otherwise the next correction would move noise matrices a lane
+      // cannot represent, and convergence gating also keeps the number
+      // of per-(Q,R) groups bounded by the number of settled regimes.
+      if (!adapter.Converged() || !BitEqual(state.adapt, link.adapt)) {
+        ++it;
+        continue;
+      }
+      if (!BitEqual(groups_[group_index]->q, state.mirror.process_noise) ||
+          !BitEqual(groups_[group_index]->r,
+                    state.mirror.measurement_noise)) {
+        // The servo moved this source off its nominal noise: fold into a
+        // group keyed by the adapted (Q, R) instead. eligible_group_
+        // keeps pointing at the nominal group so spills re-register the
+        // nominal model.
+        StateModel adapted = groups_[group_index]->model;
+        adapted.options.process_noise = state.mirror.process_noise;
+        adapted.options.measurement_noise = state.mirror.measurement_noise;
+        auto adapted_or = GroupFor(adapted);
+        if (!adapted_or.ok()) return adapted_or.status();
+        target_index = adapted_or.value();
+        if (target_index < 0) {
+          ++it;
+          continue;
+        }
+      }
+    }
+    Group& g = *groups_[target_index];
     // The equivalence contract: fold only when mirror and predictor are
     // the same filter bit-for-bit AND still running the group's cached
     // coefficients (a reconfigured Q/R would diverge from the flats).
@@ -879,7 +924,7 @@ Status FleetEngine::TryAbsorbAll() {
     }
     const size_t lane = AddLane(g, id, state, link);
     DKF_RETURN_IF_ERROR(server_->UnregisterSource(id));
-    resident_[id] = LaneRef{group_index, lane};
+    resident_[id] = LaneRef{target_index, lane};
     order_dirty_ = true;
     it = spilled_.erase(it);
   }

@@ -34,6 +34,8 @@ constexpr const char* kKindNames[kNumTraceEventKinds] = {
     "delta_raise",
     "delta_lower",
     "governor_freeze",
+    "noise_adapt",
+    "adapt_freeze",
 };
 
 constexpr const char* kActorNames[static_cast<int>(TraceActor::kCount)] = {

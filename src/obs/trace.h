@@ -64,6 +64,11 @@ enum class TraceEventKind : uint8_t {
   kDeltaLower,          // governor tightened a source's delta
   kGovernorFreeze,      // unhealthy source excluded + held at last delta
 
+  // Online noise adaptation (filter/adaptive_noise.h). Emitted by both
+  // link endpoints; value = r_scale, aux = q_scale after the correction.
+  kNoiseAdapt,          // a correction moved the Q/R servo
+  kAdaptFreeze,         // holdover gap: statistics re-seeded, no movement
+
   kCount,  // sentinel, not a real event
 };
 

@@ -131,6 +131,14 @@ class StreamShard {
     return channel_.for_source(source_id);
   }
 
+  /// The mirror-side noise servo for a source, or nullptr for an unknown
+  /// id. Valid for fleet-resident sources too: the dormant node carries
+  /// the adapter state, which only corrections (spilled path) can move.
+  const NoiseAdapter* source_noise_adapter(int source_id) const {
+    auto it = sources_.find(source_id);
+    return it == sources_.end() ? nullptr : &it->second->noise_adapter();
+  }
+
   /// Lifetime count of batch-lane spills (0 without EnableFleet).
   int64_t fleet_spill_count() const {
     return fleet_ ? fleet_->spill_count() : 0;

@@ -605,10 +605,17 @@ MetricsRegistry ShardedStreamEngine::MetricsSnapshot() const {
   // the governor's EWMA state is layout-free.
   if (!sinks_.empty()) {
     for (const auto& [source_id, shard_index] : registered_) {
-      const ChannelStats& uplink =
-          shards_[static_cast<size_t>(shard_index)]->source_uplink(source_id);
+      const StreamShard& shard = *shards_[static_cast<size_t>(shard_index)];
+      const ChannelStats& uplink = shard.source_uplink(source_id);
       registry.SetGauge(StrFormat("uplink.bytes.%d", source_id),
                         static_cast<double>(uplink.bytes));
+      const NoiseAdapter* adapter = shard.source_noise_adapter(source_id);
+      if (adapter != nullptr && adapter->enabled()) {
+        registry.SetGauge(StrFormat("adapt.r_scale.%d", source_id),
+                          adapter->r_scale());
+        registry.SetGauge(StrFormat("adapt.q_scale.%d", source_id),
+                          adapter->q_scale());
+      }
     }
     if (governor_ != nullptr) {
       for (const auto& [source_id, state] : governor_->states()) {

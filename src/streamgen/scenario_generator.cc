@@ -1,0 +1,118 @@
+#include "streamgen/scenario_generator.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dkf {
+
+namespace {
+
+Status ValidateCommon(size_t num_points, double dt) {
+  if (num_points == 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  if (dt <= 0.0) {
+    return Status::InvalidArgument("dt must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ScenarioData> GenerateRegimeShift(const RegimeShiftOptions& options) {
+  DKF_RETURN_IF_ERROR(ValidateCommon(options.num_points, options.dt));
+  if (options.decay <= 0.0 || options.decay > 1.0) {
+    return Status::InvalidArgument("decay must be in (0, 1]");
+  }
+  if (options.drive_stddev < 0.0 || options.stddev_before < 0.0 ||
+      options.stddev_after < 0.0) {
+    return Status::InvalidArgument("stddevs must be >= 0");
+  }
+  if (options.shift_point > options.num_points) {
+    return Status::InvalidArgument("shift_point must be <= num_points");
+  }
+
+  Rng rng(options.seed);
+  ScenarioData data;
+  data.observed.Reserve(options.num_points);
+  data.truth.Reserve(options.num_points);
+
+  double x = 0.0;
+  for (size_t k = 0; k < options.num_points; ++k) {
+    x = options.decay * x + rng.Gaussian(0.0, options.drive_stddev);
+    const double stddev =
+        k < options.shift_point ? options.stddev_before : options.stddev_after;
+    const double t = static_cast<double>(k) * options.dt;
+    DKF_RETURN_IF_ERROR(data.truth.Append(t, x));
+    DKF_RETURN_IF_ERROR(
+        data.observed.Append(t, x + rng.Gaussian(0.0, stddev)));
+  }
+  return data;
+}
+
+Result<ScenarioData> GenerateDegradingSensor(
+    const DegradingSensorOptions& options) {
+  DKF_RETURN_IF_ERROR(ValidateCommon(options.num_points, options.dt));
+  if (options.decay <= 0.0 || options.decay > 1.0) {
+    return Status::InvalidArgument("decay must be in (0, 1]");
+  }
+  if (options.drive_stddev < 0.0 || options.stddev_start < 0.0 ||
+      options.stddev_end < 0.0) {
+    return Status::InvalidArgument("stddevs must be >= 0");
+  }
+
+  Rng rng(options.seed);
+  ScenarioData data;
+  data.observed.Reserve(options.num_points);
+  data.truth.Reserve(options.num_points);
+
+  const double span = options.num_points > 1
+                          ? static_cast<double>(options.num_points - 1)
+                          : 1.0;
+  double x = 0.0;
+  for (size_t k = 0; k < options.num_points; ++k) {
+    x = options.decay * x + rng.Gaussian(0.0, options.drive_stddev);
+    const double frac = static_cast<double>(k) / span;
+    const double stddev =
+        options.stddev_start + frac * (options.stddev_end - options.stddev_start);
+    const double t = static_cast<double>(k) * options.dt;
+    DKF_RETURN_IF_ERROR(data.truth.Append(t, x));
+    DKF_RETURN_IF_ERROR(
+        data.observed.Append(t, x + rng.Gaussian(0.0, stddev)));
+  }
+  return data;
+}
+
+Result<ScenarioData> GenerateQuantizedReadings(
+    const QuantizedReadingsOptions& options) {
+  DKF_RETURN_IF_ERROR(ValidateCommon(options.num_points, options.dt));
+  if (options.period_seconds <= 0.0) {
+    return Status::InvalidArgument("period_seconds must be positive");
+  }
+  if (options.pre_noise_stddev < 0.0) {
+    return Status::InvalidArgument("pre_noise_stddev must be >= 0");
+  }
+  if (options.step <= 0.0) {
+    return Status::InvalidArgument("step must be positive");
+  }
+
+  Rng rng(options.seed);
+  ScenarioData data;
+  data.observed.Reserve(options.num_points);
+  data.truth.Reserve(options.num_points);
+
+  const double omega = 2.0 * M_PI / options.period_seconds;
+  for (size_t k = 0; k < options.num_points; ++k) {
+    const double t = static_cast<double>(k) * options.dt;
+    const double x = options.amplitude * std::sin(omega * t) +
+                     options.drift_per_second * t;
+    DKF_RETURN_IF_ERROR(data.truth.Append(t, x));
+    const double noisy = x + rng.Gaussian(0.0, options.pre_noise_stddev);
+    const double quantized = std::round(noisy / options.step) * options.step;
+    DKF_RETURN_IF_ERROR(data.observed.Append(t, quantized));
+  }
+  return data;
+}
+
+}  // namespace dkf

@@ -1,0 +1,87 @@
+#ifndef DKF_STREAMGEN_SCENARIO_GENERATOR_H_
+#define DKF_STREAMGEN_SCENARIO_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/time_series.h"
+
+namespace dkf {
+
+/// Workloads for the adaptive-noise battery (docs/adaptive.md). Each one
+/// violates the fixed-R assumption of the nominal model in a different
+/// way, so a self-tuning filter has something concrete to win on:
+///
+///  * regime shift       — noise stddev jumps at a known tick
+///  * degrading sensor   — noise stddev ramps smoothly over the run
+///  * quantized readings — a coarse ADC step dominates the error budget
+///
+/// All three produce a width-1 observed/truth pair, deterministic per
+/// seed, following the TrajectoryData idiom.
+
+/// One attribute: truth + matching noisy observation.
+struct ScenarioData {
+  TimeSeries observed{1};
+  TimeSeries truth{1};
+};
+
+/// A first-order Gauss–Markov process whose *measurement* noise stddev
+/// switches from `stddev_before` to `stddev_after` at sample
+/// `shift_point`. The truth process itself is unchanged across the
+/// shift, so any extra transmissions are attributable to the stale R.
+struct RegimeShiftOptions {
+  size_t num_points = 2000;
+  double dt = 0.1;
+  /// Truth process: x' = decay * x + N(0, drive_stddev), a slow mean-
+  /// reverting drift a position/velocity model tracks comfortably.
+  double decay = 0.999;
+  double drive_stddev = 0.05;
+  double stddev_before = 0.05;
+  double stddev_after = 0.8;
+  size_t shift_point = 1000;
+  uint64_t seed = 7001;
+};
+
+Result<ScenarioData> GenerateRegimeShift(const RegimeShiftOptions& options);
+
+/// The same truth process with measurement noise that ramps linearly
+/// from `stddev_start` to `stddev_end` over the run — a sensor aging in
+/// place. No single fixed R is right for more than a slice of the run.
+struct DegradingSensorOptions {
+  size_t num_points = 2000;
+  double dt = 0.1;
+  double decay = 0.999;
+  double drive_stddev = 0.05;
+  double stddev_start = 0.05;
+  double stddev_end = 1.0;
+  uint64_t seed = 7002;
+};
+
+Result<ScenarioData> GenerateDegradingSensor(
+    const DegradingSensorOptions& options);
+
+/// A smooth slow trajectory observed through a coarse ADC: readings are
+/// rounded to multiples of `step` (plus a little pre-quantization
+/// noise). The effective measurement variance is dominated by the
+/// uniform quantization error, step^2 / 12 — which the adaptive servo's
+/// quantization floor is built to discover.
+struct QuantizedReadingsOptions {
+  size_t num_points = 2000;
+  double dt = 0.1;
+  /// Truth: sinusoid + linear drift, amplitude chosen so motion per
+  /// sample is smaller than the ADC step (the regime where quantization
+  /// hurts most).
+  double amplitude = 2.0;
+  double period_seconds = 60.0;
+  double drift_per_second = 0.02;
+  double pre_noise_stddev = 0.01;
+  double step = 0.5;
+  uint64_t seed = 7003;
+};
+
+Result<ScenarioData> GenerateQuantizedReadings(
+    const QuantizedReadingsOptions& options);
+
+}  // namespace dkf
+
+#endif  // DKF_STREAMGEN_SCENARIO_GENERATOR_H_

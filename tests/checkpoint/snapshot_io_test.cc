@@ -432,51 +432,28 @@ TEST(SnapshotIoTest, RoundTripPreservesEveryField) {
               original.governor.states[1].state);
 }
 
-/// Re-wraps a current-format payload under an older header version.
-std::string CraftFile(uint32_t version, const std::string& payload) {
-  BinaryWriter file;
-  for (char c : std::string("DKFSNAP1")) {
-    file.WriteU8(static_cast<uint8_t>(c));
-  }
-  file.WriteU32(version);
-  file.WriteU64(Fnv1a64(reinterpret_cast<const uint8_t*>(payload.data()),
-                        payload.size()));
-  file.WriteU64(payload.size());
-  std::string bytes = file.TakeBytes();
-  bytes.append(payload);
-  return bytes;
-}
-
 TEST(SnapshotIoTest, ReadsVersion1FilesWithoutServeSection) {
   EngineSnapshot snapshot = BuildSnapshot();
   snapshot.serve = ServeSnapshot();  // v1 files predate the serving layer
   snapshot.governor = GovernorSnapshot();  // ...and the delta governor
-  const std::string v3 = EncodeSnapshot(snapshot).value();
-  // A v1 payload is the v3 payload minus the fixed-size empty serve
-  // section — 8 (options) + 8 + 8 (empty counts) + 8 (cursor) + 32
-  // (counters) = 64 bytes — and the disabled-governor flag (1 byte).
-  std::string payload = v3.substr(28);  // 8 magic + 4 + 8 + 8
-  ASSERT_GT(payload.size(), 65u);
-  payload.resize(payload.size() - 65);
-  auto decoded_or = DecodeSnapshot(CraftFile(1, payload));
+  auto encoded_or = EncodeSnapshotForVersion(snapshot, 1);
+  ASSERT_TRUE(encoded_or.ok()) << encoded_or.status().message();
+  auto decoded_or = DecodeSnapshot(encoded_or.value());
   ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().message();
   EXPECT_EQ(decoded_or.value().ticks, 110);
   EXPECT_TRUE(decoded_or.value().serve.subscriptions.empty());
   EXPECT_TRUE(decoded_or.value().serve.pending.empty());
   EXPECT_EQ(decoded_or.value().serve.drained_through_step, -1);
   EXPECT_FALSE(decoded_or.value().governor.enabled);
+  EXPECT_FALSE(decoded_or.value().protocol.adaptive.enabled);
 }
 
 TEST(SnapshotIoTest, ReadsVersion2FilesWithoutGovernorSection) {
   EngineSnapshot snapshot = BuildSnapshot();
   snapshot.governor = GovernorSnapshot();  // v2 predates the governor
-  const std::string v3 = EncodeSnapshot(snapshot).value();
-  // A v2 payload is the v3 payload minus the disabled-governor flag,
-  // the single trailing byte.
-  std::string payload = v3.substr(28);  // 8 magic + 4 + 8 + 8
-  ASSERT_GT(payload.size(), 1u);
-  payload.resize(payload.size() - 1);
-  auto decoded_or = DecodeSnapshot(CraftFile(2, payload));
+  auto encoded_or = EncodeSnapshotForVersion(snapshot, 2);
+  ASSERT_TRUE(encoded_or.ok()) << encoded_or.status().message();
+  auto decoded_or = DecodeSnapshot(encoded_or.value());
   ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().message();
   const EngineSnapshot& decoded = decoded_or.value();
   EXPECT_EQ(decoded.ticks, 110);
@@ -487,6 +464,41 @@ TEST(SnapshotIoTest, ReadsVersion2FilesWithoutGovernorSection) {
   EXPECT_FALSE(decoded.governor.enabled);
   EXPECT_TRUE(decoded.governor.states.empty());
   EXPECT_EQ(decoded.governor.epochs, 0);
+}
+
+TEST(SnapshotIoTest, ReadsVersion3FilesWithoutAdaptiveFields) {
+  // A v3 target drops the adaptive configuration and every adapter
+  // vector, even when the source snapshot carries them; the decoded
+  // snapshot comes back adaptation-disabled, everything else intact.
+  EngineSnapshot snapshot = BuildSnapshot();
+  snapshot.protocol.adaptive.enabled = true;
+  snapshot.protocol.adaptive.holdover_gap = 512;
+  snapshot.sources[0].node.adapt = Vector{1.0, 0.5, 0.25};
+  snapshot.sources[0].link.adapt = Vector{1.0, 0.5, 0.25};
+  auto encoded_or = EncodeSnapshotForVersion(snapshot, 3);
+  ASSERT_TRUE(encoded_or.ok()) << encoded_or.status().message();
+  auto decoded_or = DecodeSnapshot(encoded_or.value());
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().message();
+  const EngineSnapshot& decoded = decoded_or.value();
+  EXPECT_EQ(decoded.ticks, 110);
+  EXPECT_FALSE(decoded.protocol.adaptive.enabled);
+  EXPECT_EQ(decoded.protocol.adaptive.holdover_gap,
+            AdaptiveNoiseConfig().holdover_gap);
+  EXPECT_EQ(decoded.sources[0].node.adapt.size(), 0);
+  EXPECT_EQ(decoded.sources[0].link.adapt.size(), 0);
+  // v3 features survive the downgrade untouched.
+  EXPECT_TRUE(decoded.governor.enabled);
+  EXPECT_EQ(decoded.serve.subscriptions.size(), 2u);
+}
+
+TEST(SnapshotIoTest, RejectsEncodingUnsupportedVersions) {
+  EngineSnapshot snapshot = BuildSnapshot();
+  auto too_old = EncodeSnapshotForVersion(snapshot, 0);
+  ASSERT_FALSE(too_old.ok());
+  EXPECT_EQ(too_old.status().code(), StatusCode::kInvalidArgument);
+  auto too_new = EncodeSnapshotForVersion(snapshot, kSnapshotVersion + 1);
+  ASSERT_FALSE(too_new.ok());
+  EXPECT_EQ(too_new.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SnapshotIoTest, RejectsCorruptGovernorSections) {

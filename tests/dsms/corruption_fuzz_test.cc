@@ -13,6 +13,8 @@
 #include "common/rng.h"
 #include "dsms/message.h"
 #include "dsms/server_node.h"
+#include "filter/adaptive_noise.h"
+#include "filter/kalman_filter.h"
 #include "models/model_factory.h"
 #include "obs/trace.h"
 #include "obs/trace_sink.h"
@@ -41,7 +43,7 @@ bool FlipRandomBit(Rng& rng, Message& message) {
     static_cast<unsigned char*>(data)[bit / 8] ^=
         static_cast<unsigned char>(1u << (bit % 8));
   };
-  switch (static_cast<int>(rng.Uniform() * 6.0)) {
+  switch (static_cast<int>(rng.Uniform() * 7.0)) {
     case 0: {  // message type tag
       unsigned char type_byte = static_cast<unsigned char>(message.type);
       flip(&type_byte, 1);
@@ -66,6 +68,15 @@ bool FlipRandomBit(Rng& rng, Message& message) {
       const size_t i =
           static_cast<size_t>(rng.Uniform() * message.resync_state.size());
       flip(&message.resync_state[i], sizeof(double));
+      return true;
+    }
+    case 5: {
+      // The v4 adapter payload is checksum-covered like every other
+      // resync field: a flipped noise-servo double must bounce too.
+      if (message.resync_adapt.size() == 0) return false;
+      const size_t i =
+          static_cast<size_t>(rng.Uniform() * message.resync_adapt.size());
+      flip(&message.resync_adapt[i], sizeof(double));
       return true;
     }
     default:
@@ -116,6 +127,10 @@ TEST(CorruptionFuzzTest, FlippedBitsNeverReachTheFilter) {
       message.resync_state = Vector{rng.Gaussian(0.0, 5.0)};
       message.resync_covariance = Matrix::Identity(1);
       message.resync_step = 1;
+      // Adapter payload rides along even on this non-adaptive link (the
+      // server ignores it after the checksum gate), so its bytes are
+      // part of the fuzzed surface.
+      message.resync_adapt = Vector{rng.Uniform(), rng.Uniform()};
     }
     message.checksum = message.ComputeChecksum();
     ASSERT_EQ(server.OnMessage(message).ok(), true);  // sanity: valid
@@ -169,6 +184,89 @@ TEST(CorruptionFuzzTest, FlippedBitsNeverReachTheFilter) {
   }
   EXPECT_EQ(corrupt_events, injected);
 #endif
+}
+
+// Focused fuzz for the v4 resync_adapt payload on a link whose noise
+// servo is actually on: no flipped adapter bit may ever reach the
+// server's servo, so the effective R/Q it would install can never be
+// silently skewed by the wire.
+TEST(CorruptionFuzzTest, AdapterPayloadCorruptionNeverSkewsNoise) {
+  constexpr int kRounds = 600;
+  ProtocolOptions protocol;
+  protocol.adaptive.enabled = true;
+  protocol.adaptive.warmup_corrections = 4;
+  ServerNode server(protocol);
+  const StateModel model = ScalarModel();
+  ASSERT_TRUE(server.RegisterSource(1, model).ok());
+  ASSERT_TRUE(server.TickAll().ok());
+
+  // A mirror-side servo with nontrivial state to ship in resyncs.
+  auto adapter_or = NoiseAdapter::Create(protocol.adaptive, model);
+  ASSERT_TRUE(adapter_or.ok());
+  NoiseAdapter mirror_servo = std::move(adapter_or).value();
+  auto filter_or = KalmanFilter::Create(model.options);
+  ASSERT_TRUE(filter_or.ok());
+  KalmanFilter mirror = std::move(filter_or).value();
+  Rng rng(9099);
+  for (int64_t t = 0; t < 32; ++t) {
+    ASSERT_TRUE(mirror.Predict().ok());
+    const Vector z{rng.Gaussian(0.0, 2.0)};
+    ASSERT_TRUE(mirror_servo.OnCorrection(mirror, z, t).ok());
+    ASSERT_TRUE(mirror.Correct(z).ok());
+    ASSERT_TRUE(mirror_servo.InstallInto(&mirror).ok());
+  }
+  ASSERT_NE(mirror_servo.r_scale(), 1.0);
+
+  // One clean resync proves the payload is really consumed: the server
+  // servo re-locks to the mirror's exported state.
+  uint32_t sequence = 1;
+  auto make_resync = [&](int64_t tick) {
+    Message message;
+    message.type = MessageType::kResync;
+    message.source_id = 1;
+    message.tick = tick;
+    message.sequence = sequence++;
+    message.resync_state = Vector{rng.Gaussian(0.0, 5.0)};
+    message.resync_covariance = Matrix::Identity(1);
+    message.resync_step = 1;
+    message.resync_adapt = mirror_servo.ExportState();
+    message.checksum = message.ComputeChecksum();
+    return message;
+  };
+  ASSERT_TRUE(server.OnMessage(make_resync(0)).ok());
+  auto server_servo_or = server.noise_adapter(1);
+  ASSERT_TRUE(server_servo_or.ok());
+  ASSERT_TRUE(server_servo_or.value()->StateBitEqual(mirror_servo));
+
+  int64_t injected = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    Message corrupted = make_resync(0);
+    const size_t i = static_cast<size_t>(
+        rng.Uniform() * static_cast<double>(corrupted.resync_adapt.size()));
+    const size_t bit = static_cast<size_t>(rng.Uniform() * 64.0);
+    uint64_t bits;
+    std::memcpy(&bits, &corrupted.resync_adapt[i], sizeof(bits));
+    bits ^= (1ULL << bit);
+    std::memcpy(&corrupted.resync_adapt[i], &bits, sizeof(bits));
+    if (corrupted.ComputeChecksum() == corrupted.checksum) continue;
+
+    const auto faults_before = server.fault_stats().rejected_corrupt;
+    const Vector servo_before = server.noise_adapter(1).value()->ExportState();
+    ASSERT_TRUE(server.OnMessage(corrupted).ok()) << "round " << round;
+    ++injected;
+    EXPECT_EQ(server.fault_stats().rejected_corrupt, faults_before + 1)
+        << "round " << round;
+    // The servo state — and with it every future effective Q/R — is
+    // untouched by the rejected frame.
+    const Vector servo_after = server.noise_adapter(1).value()->ExportState();
+    ASSERT_EQ(servo_after.size(), servo_before.size());
+    for (size_t j = 0; j < servo_after.size(); ++j) {
+      ASSERT_EQ(servo_after[j], servo_before[j])
+          << "servo slot " << j << " skewed, round " << round;
+    }
+  }
+  EXPECT_GT(injected, kRounds / 2);
+  EXPECT_TRUE(server.noise_adapter(1).value()->StateBitEqual(mirror_servo));
 }
 
 }  // namespace

@@ -1,0 +1,111 @@
+#include "streamgen/scenario_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dkf {
+namespace {
+
+double SliceVariance(const TimeSeries& observed, const TimeSeries& truth,
+                     size_t begin, size_t end) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const double n = static_cast<double>(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const double e = observed.value(i) - truth.value(i);
+    sum += e;
+    sum_sq += e * e;
+  }
+  const double mean = sum / n;
+  return sum_sq / n - mean * mean;
+}
+
+TEST(ScenarioGeneratorTest, RegimeShiftChangesNoiseNotTruth) {
+  RegimeShiftOptions options;
+  auto data_or = GenerateRegimeShift(options);
+  ASSERT_TRUE(data_or.ok());
+  const ScenarioData& data = data_or.value();
+  ASSERT_EQ(data.observed.size(), options.num_points);
+  ASSERT_EQ(data.truth.size(), options.num_points);
+  ASSERT_EQ(data.observed.width(), 1u);
+
+  const double before = SliceVariance(data.observed, data.truth, 0,
+                                      options.shift_point);
+  const double after = SliceVariance(data.observed, data.truth,
+                                     options.shift_point, options.num_points);
+  // 0.05^2 = 0.0025 vs 0.8^2 = 0.64: the shift must be unmistakable.
+  EXPECT_LT(before, 0.01);
+  EXPECT_GT(after, 0.3);
+}
+
+TEST(ScenarioGeneratorTest, DegradingSensorNoiseRamps) {
+  DegradingSensorOptions options;
+  auto data_or = GenerateDegradingSensor(options);
+  ASSERT_TRUE(data_or.ok());
+  const ScenarioData& data = data_or.value();
+  ASSERT_EQ(data.observed.size(), options.num_points);
+
+  const size_t third = options.num_points / 3;
+  const double early = SliceVariance(data.observed, data.truth, 0, third);
+  const double late = SliceVariance(data.observed, data.truth,
+                                    options.num_points - third,
+                                    options.num_points);
+  EXPECT_GT(late, 10.0 * early);
+}
+
+TEST(ScenarioGeneratorTest, QuantizedReadingsSnapToStep) {
+  QuantizedReadingsOptions options;
+  auto data_or = GenerateQuantizedReadings(options);
+  ASSERT_TRUE(data_or.ok());
+  const ScenarioData& data = data_or.value();
+  ASSERT_EQ(data.observed.size(), options.num_points);
+  for (size_t i = 0; i < data.observed.size(); ++i) {
+    const double v = data.observed.value(i);
+    const double snapped = std::round(v / options.step) * options.step;
+    ASSERT_NEAR(v, snapped, 1e-12) << "sample " << i;
+  }
+  // The quantization error is bounded by half a step (plus pre-noise).
+  for (size_t i = 0; i < data.observed.size(); ++i) {
+    ASSERT_LE(std::fabs(data.observed.value(i) - data.truth.value(i)),
+              options.step / 2.0 + 5.0 * options.pre_noise_stddev)
+        << "sample " << i;
+  }
+}
+
+TEST(ScenarioGeneratorTest, DeterministicPerSeed) {
+  RegimeShiftOptions options;
+  const ScenarioData a = GenerateRegimeShift(options).value();
+  const ScenarioData b = GenerateRegimeShift(options).value();
+  ASSERT_EQ(a.observed.size(), b.observed.size());
+  for (size_t i = 0; i < a.observed.size(); ++i) {
+    ASSERT_EQ(a.observed.value(i), b.observed.value(i));
+  }
+  options.seed = 1;
+  const ScenarioData c = GenerateRegimeShift(options).value();
+  bool differs = false;
+  for (size_t i = 0; i < a.observed.size() && !differs; ++i) {
+    differs = a.observed.value(i) != c.observed.value(i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioGeneratorTest, ValidatesOptions) {
+  RegimeShiftOptions shift;
+  shift.num_points = 0;
+  EXPECT_FALSE(GenerateRegimeShift(shift).ok());
+  shift = RegimeShiftOptions();
+  shift.shift_point = shift.num_points + 1;
+  EXPECT_FALSE(GenerateRegimeShift(shift).ok());
+
+  DegradingSensorOptions degrade;
+  degrade.stddev_end = -1.0;
+  EXPECT_FALSE(GenerateDegradingSensor(degrade).ok());
+
+  QuantizedReadingsOptions quantized;
+  quantized.step = 0.0;
+  EXPECT_FALSE(GenerateQuantizedReadings(quantized).ok());
+}
+
+}  // namespace
+}  // namespace dkf
