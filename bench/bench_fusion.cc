@@ -1,0 +1,248 @@
+// Multi-sensor fusion uplink reduction on a redundant fleet.
+//
+// Sweeps group sizes (default 2 -> 8) of sensors observing ONE shared
+// random-walk state through identical measurement models, and compares
+// two deployments fed bit-identical readings:
+//
+//   baseline  N independent plain dual-filter links, each with its own
+//             per-source continuous query at trigger delta — the only
+//             option before src/fusion/ existed;
+//   fused     one N-member fusion group at the same delta — the first
+//             member to break the trigger corrects the fused posterior
+//             and the re-lock broadcast silences the rest of the group
+//             for that tick (docs/fusion.md section 3).
+//
+// Reports uplink messages/bytes for both, the headline uplink_reduction
+// (baseline bytes / fused bytes), and — honestly — the out-of-band
+// downlink broadcast bytes the fused win costs, plus each deployment's
+// answer RMSE against the shared truth, as machine-readable JSON on
+// stdout (one object; see docs/fusion.md section 7 for the schema).
+//
+// Flags: --members=2,4,8 --ticks=2000 --delta=1.5
+//
+// bench_compare.py gates uplink_reduction >= 2.0 on the largest group
+// as an absolute floor: redundancy must buy at least a 2x uplink cut.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dsms/stream_manager.h"
+#include "models/model_factory.h"
+
+namespace dkf::bench {
+namespace {
+
+struct Config {
+  std::vector<int> group_sizes = {2, 4, 8};
+  int64_t ticks = 2000;
+  double delta = 1.5;
+};
+
+std::vector<int> ParseIntList(const char* text) {
+  std::vector<int> values;
+  for (const char* p = text; *p != '\0';) {
+    values.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return values;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--members=", 0) == 0) {
+      config.group_sizes = ParseIntList(arg.c_str() + 10);
+    } else if (arg.rfind("--ticks=", 0) == 0) {
+      config.ticks = std::max<int64_t>(64, std::atoll(arg.c_str() + 8));
+    } else if (arg.rfind("--delta=", 0) == 0) {
+      config.delta = std::atof(arg.c_str() + 8);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+StateModel SharedModel() {
+  ModelNoise noise;
+  noise.process_variance = 0.05;
+  noise.measurement_variance = 0.2;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+/// Deterministic redundant workload: one shared truth walk, one fixed
+/// per-sensor noise stream. Both deployments replay the exact same
+/// readings, so every uplink delta is the protocol's, not the data's.
+struct Workload {
+  std::vector<double> truth;                 // [tick]
+  std::vector<std::vector<Vector>> reading;  // [tick][sensor]
+};
+
+Workload MakeWorkload(int members, int64_t ticks) {
+  Workload workload;
+  workload.truth.reserve(static_cast<size_t>(ticks));
+  workload.reading.reserve(static_cast<size_t>(ticks));
+  Rng truth_rng(7);
+  Rng sensor_rng(11);
+  double value = 20.0;
+  for (int64_t t = 0; t < ticks; ++t) {
+    value += truth_rng.Gaussian(0.0, 0.45);
+    workload.truth.push_back(value);
+    std::vector<Vector> row;
+    row.reserve(static_cast<size_t>(members));
+    for (int m = 0; m < members; ++m) {
+      row.push_back(Vector{value + sensor_rng.Gaussian(0.0, 0.4)});
+    }
+    workload.reading.push_back(std::move(row));
+  }
+  return workload;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  int64_t uplink_messages = 0;
+  int64_t uplink_bytes = 0;
+  int64_t broadcast_bytes = 0;  // fused runs only; 0 for baseline
+  double rmse = 0.0;
+};
+
+StreamManagerOptions CleanOptions() {
+  StreamManagerOptions options;
+  options.channel.seed = 9;
+  options.channel.per_source_rng = true;
+  return options;
+}
+
+/// N independent plain links, one per sensor, each answering its own
+/// per-source query at trigger delta. The deployment's answer is the
+/// client-side mean of the N per-source answers — the best a reader can
+/// do without server-side fusion.
+RunResult RunBaseline(int members, const Workload& workload,
+                      const Config& config) {
+  StreamManager manager(CleanOptions());
+  const StateModel model = SharedModel();
+  for (int m = 0; m < members; ++m) {
+    if (!manager.RegisterSource(m + 1, model).ok()) std::abort();
+    ContinuousQuery query;
+    query.id = m + 1;
+    query.source_id = m + 1;
+    query.precision = config.delta;
+    if (!manager.SubmitQuery(query).ok()) std::abort();
+  }
+
+  RunResult result;
+  double squared_error = 0.0;
+  std::map<int, Vector> readings;
+  for (int64_t t = 0; t < config.ticks; ++t) {
+    for (int m = 0; m < members; ++m) {
+      readings[m + 1] = workload.reading[static_cast<size_t>(t)]
+                                        [static_cast<size_t>(m)];
+    }
+    const auto start = std::chrono::steady_clock::now();
+    if (!manager.ProcessTick(readings).ok()) std::abort();
+    const auto end = std::chrono::steady_clock::now();
+    result.seconds += std::chrono::duration<double>(end - start).count();
+    double mean = 0.0;
+    for (int m = 0; m < members; ++m) {
+      mean += manager.Answer(m + 1).value()[0];
+    }
+    mean /= static_cast<double>(members);
+    const double error = mean - workload.truth[static_cast<size_t>(t)];
+    squared_error += error * error;
+  }
+  result.uplink_messages = manager.uplink_traffic().messages;
+  result.uplink_bytes = manager.uplink_traffic().bytes;
+  result.rmse = std::sqrt(squared_error / static_cast<double>(config.ticks));
+  return result;
+}
+
+/// One N-member fusion group at the same delta; the deployment's answer
+/// is the fused posterior's predicted measurement.
+RunResult RunFused(int members, const Workload& workload,
+                   const Config& config) {
+  StreamManager manager(CleanOptions());
+  FusionGroupConfig group;
+  group.group_id = 1;
+  group.model = SharedModel();
+  for (int m = 0; m < members; ++m) group.member_ids.push_back(m + 1);
+  group.delta = config.delta;
+  if (!manager.RegisterFusionGroup(group).ok()) std::abort();
+
+  RunResult result;
+  double squared_error = 0.0;
+  std::map<int, Vector> readings;
+  for (int64_t t = 0; t < config.ticks; ++t) {
+    for (int m = 0; m < members; ++m) {
+      readings[m + 1] = workload.reading[static_cast<size_t>(t)]
+                                        [static_cast<size_t>(m)];
+    }
+    const auto start = std::chrono::steady_clock::now();
+    if (!manager.ProcessTick(readings).ok()) std::abort();
+    const auto end = std::chrono::steady_clock::now();
+    result.seconds += std::chrono::duration<double>(end - start).count();
+    const double error = manager.AnswerFused(1).value()[0] -
+                         workload.truth[static_cast<size_t>(t)];
+    squared_error += error * error;
+  }
+  result.uplink_messages = manager.uplink_traffic().messages;
+  result.uplink_bytes = manager.uplink_traffic().bytes;
+  result.broadcast_bytes = manager.fusion_stats().broadcast_bytes;
+  result.rmse = std::sqrt(squared_error / static_cast<double>(config.ticks));
+  return result;
+}
+
+}  // namespace
+}  // namespace dkf::bench
+
+int main(int argc, char** argv) {
+  using namespace dkf;
+  using namespace dkf::bench;
+  const Config config = ParseArgs(argc, argv);
+
+  std::printf("{\n  \"benchmark\": \"fusion\",\n");
+  std::printf("  \"ticks\": %lld,\n  \"delta\": %g,\n  \"results\": [",
+              static_cast<long long>(config.ticks), config.delta);
+
+  bool first = true;
+  for (int members : config.group_sizes) {
+    const Workload workload = MakeWorkload(members, config.ticks);
+    const RunResult baseline = RunBaseline(members, workload, config);
+    const RunResult fused = RunFused(members, workload, config);
+    const double reduction =
+        static_cast<double>(baseline.uplink_bytes) /
+        static_cast<double>(std::max<int64_t>(1, fused.uplink_bytes));
+
+    std::printf(
+        "%s\n    {\"members\": %d, "
+        "\"baseline_uplink_messages\": %lld, "
+        "\"baseline_uplink_bytes\": %lld, "
+        "\"fused_uplink_messages\": %lld, "
+        "\"fused_uplink_bytes\": %lld, "
+        "\"uplink_reduction\": %.3f, "
+        "\"fused_broadcast_bytes\": %lld, "
+        "\"baseline_rmse\": %.4f, \"fused_rmse\": %.4f, "
+        "\"baseline_seconds\": %.6f, \"fused_seconds\": %.6f}",
+        first ? "" : ",", members,
+        static_cast<long long>(baseline.uplink_messages),
+        static_cast<long long>(baseline.uplink_bytes),
+        static_cast<long long>(fused.uplink_messages),
+        static_cast<long long>(fused.uplink_bytes), reduction,
+        static_cast<long long>(fused.broadcast_bytes), baseline.rmse,
+        fused.rmse, baseline.seconds, fused.seconds);
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

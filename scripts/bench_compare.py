@@ -3,7 +3,7 @@
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold=0.10]
 
-Supports six report kinds (both files must be the same kind):
+Supports seven report kinds (both files must be the same kind):
 
 filter_hotpath — rows keyed by (model, state_dim). Fails when any row's
 ns_per_tick regressed by more than the threshold (default 10%), when a
@@ -54,6 +54,17 @@ must not move the bytes), when a run never settles within the sweep,
 or when settle time regresses past the old report's by more than
 GOVERNOR_SETTLE_SLACK epochs.
 
+fusion — rows keyed by members (redundant sensors per group). Fails
+when a row disappeared, when the largest group's uplink_reduction
+falls below FUSION_REDUCTION_FLOOR (the headline claim: a redundant
+fleet must buy at least that multiple of uplink back), when any row's
+reduction drops more than FUSION_REDUCTION_SLACK below the old
+report's (the workload is seeded and the protocol deterministic, so
+drift is a code change), or when fused_rmse exceeds
+FUSION_RMSE_FACTOR x baseline_rmse (the uplink win may not be bought
+with garbage answers). The downlink broadcast_bytes are printed with
+every row — the uplink reduction is never quoted without its price.
+
 All kinds additionally gate observability overhead: when NEW's rows
 carry an obs_overhead_pct field (bench run with tracing measured —
 always for filter_hotpath, --trace for runtime_throughput), any row
@@ -70,7 +81,7 @@ import json
 import sys
 
 KNOWN_KINDS = ("filter_hotpath", "runtime_throughput", "serve_fanout",
-               "fleet_scale", "governor", "adaptive")
+               "fleet_scale", "governor", "adaptive", "fusion")
 
 # Ceiling on the cost of running with trace sinks wired, as a percent of
 # the untraced run. The sinks are designed to be an array increment plus
@@ -399,6 +410,60 @@ def compare_governor(old, new, threshold):
     return failures
 
 
+# Floor on the uplink reduction the LARGEST group in the sweep must
+# deliver (baseline bytes / fused bytes), the absolute drop vs. the old
+# report that counts as a regression on any row, and the ceiling on the
+# fused answer's RMSE as a multiple of the baseline's. The workload is
+# seeded and the clean-channel protocol deterministic, so the slack only
+# covers deliberate trigger/protocol retunes, not machine noise.
+FUSION_REDUCTION_FLOOR = 2.0
+FUSION_REDUCTION_SLACK = 0.2
+FUSION_RMSE_FACTOR = 2.0
+
+
+def compare_fusion(old, new, threshold):
+    del threshold  # the reduction gates are absolute, not percentages
+    failures = []
+    old_rows = {r["members"]: r for r in old["results"]}
+    new_rows = {r["members"]: r for r in new["results"]}
+    largest = max(new_rows) if new_rows else 0
+    for key, old_row in sorted(old_rows.items()):
+        name = f"members={key}"
+        new_row = new_rows.get(key)
+        if new_row is None:
+            failures.append(f"{name}: present in old report, missing in new")
+            continue
+        old_reduction = old_row["uplink_reduction"]
+        new_reduction = new_row["uplink_reduction"]
+        marker = ""
+        if key == largest and new_reduction < FUSION_REDUCTION_FLOOR:
+            failures.append(
+                f"{name}: uplink reduction {new_reduction:.2f}x below the "
+                f"{FUSION_REDUCTION_FLOOR:.1f}x floor on the largest group")
+            marker = "  <-- UNDER FLOOR"
+        elif new_reduction < old_reduction - FUSION_REDUCTION_SLACK:
+            failures.append(
+                f"{name}: uplink reduction regressed {old_reduction:.2f}x "
+                f"-> {new_reduction:.2f}x (slack {FUSION_REDUCTION_SLACK})")
+            marker = "  <-- REDUCTION LOST"
+        baseline_rmse = new_row["baseline_rmse"]
+        fused_rmse = new_row["fused_rmse"]
+        if fused_rmse > baseline_rmse * FUSION_RMSE_FACTOR:
+            failures.append(
+                f"{name}: fused rmse {fused_rmse:.3f} exceeds "
+                f"{FUSION_RMSE_FACTOR:.1f}x the baseline's "
+                f"{baseline_rmse:.3f} — uplink bought with garbage answers")
+            marker = "  <-- RMSE BLOWUP"
+        marker = check_obs_overhead(name, new_row, failures) or marker
+        print(f"{name:12s} reduction {old_reduction:5.2f}x -> "
+              f"{new_reduction:5.2f}x "
+              f"uplink {new_row['fused_uplink_bytes']}B "
+              f"(baseline {new_row['baseline_uplink_bytes']}B) "
+              f"downlink {new_row['fused_broadcast_bytes']}B "
+              f"rmse {fused_rmse:.3f}/{baseline_rmse:.3f}{marker}")
+    return failures
+
+
 def main(argv):
     threshold = 0.10
     paths = []
@@ -423,6 +488,8 @@ def main(argv):
         failures = compare_governor(old, new, threshold)
     elif old_kind == "adaptive":
         failures = compare_adaptive(old, new, threshold)
+    elif old_kind == "fusion":
+        failures = compare_fusion(old, new, threshold)
     else:
         failures = compare_runtime_throughput(old, new, threshold)
 

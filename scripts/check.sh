@@ -4,13 +4,13 @@
 # runtime's test binaries under ThreadSanitizer (race detection for the
 # worker pool / shard tick path / per-shard trace sinks), then the
 # protocol + observability + serving + batched-fleet + adaptive-servo
-# tests under ASan+UBSan, then a gcov coverage build gating line
-# coverage of src/obs/, src/dsms/, src/serve/, src/fleet/,
-# src/governor/, and src/filter/, then Release-mode builds of the
-# filter hot-loop and adaptive-servo benchmarks, refreshing
-# BENCH_filter_hotpath.json and BENCH_adaptive.json at the repo root.
-# See docs/runtime.md, docs/perf.md, docs/observability.md, and
-# docs/adaptive.md.
+# + fusion tests under ASan+UBSan, then a gcov coverage build gating
+# line coverage of src/obs/, src/dsms/, src/serve/, src/fleet/,
+# src/governor/, src/filter/, and src/fusion/, then Release-mode
+# builds of the filter hot-loop and adaptive-servo benchmarks,
+# refreshing BENCH_filter_hotpath.json and BENCH_adaptive.json at the
+# repo root. See docs/runtime.md, docs/perf.md, docs/observability.md,
+# docs/adaptive.md, and docs/fusion.md.
 #
 # Env knobs:
 #   JOBS            parallel build jobs (default: nproc)
@@ -47,12 +47,15 @@ else
   # epoch planning + batched reconfiguration from the tick driver while
   # shard workers run (docs/governor.md); the adaptive scenario battery
   # runs the noise servo inside shard workers at 1/2/4/8 shards
-  # (docs/adaptive.md).
+  # (docs/adaptive.md); the fusion chaos test ticks group-pinned
+  # FusionEngines inside shard workers and diffs merged state across
+  # shard counts (docs/fusion.md).
   cmake --build "build-${SANITIZE//,/-}" -j "$JOBS" \
     --target worker_pool_test sharded_engine_test golden_trace_test \
              subscription_engine_test serve_golden_test \
              fleet_equivalence_test fleet_churn_test \
-             governor_test governor_chaos_test adaptive_scenarios_test
+             governor_test governor_chaos_test adaptive_scenarios_test \
+             fusion_chaos_test
   "./build-${SANITIZE//,/-}/tests/worker_pool_test"
   "./build-${SANITIZE//,/-}/tests/sharded_engine_test"
   "./build-${SANITIZE//,/-}/tests/golden_trace_test"
@@ -63,6 +66,7 @@ else
   "./build-${SANITIZE//,/-}/tests/governor_test"
   "./build-${SANITIZE//,/-}/tests/governor_chaos_test"
   "./build-${SANITIZE//,/-}/tests/adaptive_scenarios_test"
+  "./build-${SANITIZE//,/-}/tests/fusion_chaos_test"
 fi
 
 if [[ "${DKF_ASAN:-1}" == "0" ]]; then
@@ -81,7 +85,8 @@ else
              subscription_engine_test serve_golden_test \
              fleet_equivalence_test fleet_churn_test \
              governor_test governor_chaos_test \
-             adaptive_property_test adaptive_scenarios_test
+             adaptive_property_test adaptive_scenarios_test \
+             fusion_engine_test fusion_chaos_test fusion_checkpoint_test
   ./build-asan/tests/chaos_test
   ./build-asan/tests/channel_test
   ./build-asan/tests/stream_manager_test
@@ -105,12 +110,18 @@ else
   # frames, holdover resets) is new parsing surface for ASan+UBSan.
   ./build-asan/tests/adaptive_property_test
   ./build-asan/tests/adaptive_scenarios_test
+  # The fusion engine's per-group member maps, deferred-ACK queues, and
+  # broadcast fan-out buffers are new allocation surface; the resync
+  # path parses member-shipped frames it then deliberately discards.
+  ./build-asan/tests/fusion_engine_test
+  ./build-asan/tests/fusion_chaos_test
+  ./build-asan/tests/fusion_checkpoint_test
 fi
 
 if [[ "${DKF_COVERAGE:-1}" == "0" ]]; then
   echo "== coverage stage skipped (DKF_COVERAGE=0) =="
 else
-  echo "== coverage: src/obs + src/dsms + src/serve + src/fleet + src/governor + src/filter line-coverage floors =="
+  echo "== coverage: src/obs + src/dsms + src/serve + src/fleet + src/governor + src/filter + src/fusion line-coverage floors =="
   cmake -B build-coverage -S . -DDKF_COVERAGE=ON >/dev/null
   cmake --build build-coverage -j "$JOBS" \
     --target metrics_registry_test trace_sink_test golden_trace_test \
@@ -124,7 +135,8 @@ else
              steady_state_test recursive_least_squares_test \
              noise_estimation_test rts_smoother_test \
              unscented_kalman_filter_test \
-             adaptive_property_test adaptive_scenarios_test
+             adaptive_property_test adaptive_scenarios_test \
+             fusion_engine_test fusion_chaos_test fusion_checkpoint_test
   # Fresh counters each run: .gcda files accumulate across executions.
   find build-coverage -name '*.gcda' -delete
   for t in metrics_registry_test trace_sink_test golden_trace_test \
@@ -138,12 +150,14 @@ else
            steady_state_test recursive_least_squares_test \
            noise_estimation_test rts_smoother_test \
            unscented_kalman_filter_test \
-           adaptive_property_test adaptive_scenarios_test; do
+           adaptive_property_test adaptive_scenarios_test \
+           fusion_engine_test fusion_chaos_test fusion_checkpoint_test; do
     "./build-coverage/tests/$t" > /dev/null
   done
   python3 scripts/coverage_gate.py build-coverage --root=. \
     --gate=src/obs=0.90 --gate=src/dsms=0.80 --gate=src/serve=0.85 \
-    --gate=src/fleet=0.85 --gate=src/governor=0.85 --gate=src/filter=0.90
+    --gate=src/fleet=0.85 --gate=src/governor=0.85 --gate=src/filter=0.90 \
+    --gate=src/fusion=0.85
 fi
 
 if [[ "${DKF_BENCH:-1}" == "0" ]]; then

@@ -7,6 +7,9 @@
 2. docs/architecture.md must mention every direct subdirectory of
    src/ — the architecture page is the map, and a subsystem missing
    from the map is drift.
+3. docs/architecture.md must link every other file in docs/ — the
+   "Which doc do I read?" index is only useful if it is complete, and
+   a doc nothing links to is a doc nobody finds.
 
 Run from anywhere: paths are resolved relative to the repo root
 (the parent of this script's directory). Exits nonzero with a report
@@ -90,9 +93,30 @@ def check_architecture_mentions(root):
     return errors
 
 
+def check_doc_index_complete(root):
+    """Every docs/*.md must be linked from docs/architecture.md."""
+    arch_path = os.path.join(root, "docs", "architecture.md")
+    if not os.path.isfile(arch_path):
+        return []  # already reported by check_architecture_mentions
+    text = strip_fenced_code(open(arch_path, encoding="utf-8").read())
+    linked = {os.path.normpath(target.split("#", 1)[0])
+              for target in LINK_RE.findall(text)}
+    errors = []
+    docs = os.path.join(root, "docs")
+    for name in sorted(os.listdir(docs)):
+        if not name.endswith(".md") or name == "architecture.md":
+            continue
+        if name not in linked:
+            errors.append(
+                f"docs/architecture.md: docs/{name} is not linked from "
+                "the doc index")
+    return errors
+
+
 def main():
     root = repo_root()
-    errors = check_links(root) + check_architecture_mentions(root)
+    errors = (check_links(root) + check_architecture_mentions(root)
+              + check_doc_index_complete(root))
     if errors:
         for error in errors:
             print(error, file=sys.stderr)
@@ -100,7 +124,7 @@ def main():
         return 1
     count = sum(1 for _ in markdown_files(root))
     print(f"check_docs: OK ({count} markdown files, all links resolve, "
-          "architecture.md covers all src/ subsystems)")
+          "architecture.md covers all src/ subsystems and links every doc)")
     return 0
 
 

@@ -125,6 +125,25 @@ def adaptive_report(**overrides):
     return {"benchmark": "adaptive", "ticks": 2000, "results": [row]}
 
 
+def fusion_report(**overrides):
+    row = {
+        "members": 8,
+        "baseline_uplink_messages": 2400,
+        "baseline_uplink_bytes": 70000,
+        "fused_uplink_messages": 600,
+        "fused_uplink_bytes": 25000,
+        "uplink_reduction": 2.8,
+        "fused_broadcast_bytes": 430000,
+        "baseline_rmse": 0.35,
+        "fused_rmse": 0.50,
+        "baseline_seconds": 0.005,
+        "fused_seconds": 0.003,
+    }
+    row.update(overrides)
+    return {"benchmark": "fusion", "ticks": 2000, "delta": 1.5,
+            "results": [row]}
+
+
 def compare(old, new, threshold=0.10):
     """Runs the right comparison quietly and returns the failure list."""
     kind = old["benchmark"]
@@ -139,6 +158,8 @@ def compare(old, new, threshold=0.10):
             return bench_compare.compare_governor(old, new, threshold)
         if kind == "adaptive":
             return bench_compare.compare_adaptive(old, new, threshold)
+        if kind == "fusion":
+            return bench_compare.compare_fusion(old, new, threshold)
         return bench_compare.compare_runtime_throughput(old, new, threshold)
 
 
@@ -525,6 +546,66 @@ class AdaptiveGates(unittest.TestCase):
         for row in report["results"]:
             self.assertEqual(row["delta_violations"], 0)
             self.assertTrue(row["equivalent"])
+
+
+class FusionGates(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = fusion_report()
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+
+    def test_largest_group_under_floor_fails(self):
+        failures = compare(fusion_report(),
+                           fusion_report(uplink_reduction=1.8))
+        self.assertTrue(any("floor" in f for f in failures))
+
+    def test_small_group_under_floor_passes(self):
+        # Only the largest group carries the absolute floor; a two-member
+        # group legitimately sits near 1x.
+        old = fusion_report()
+        old["results"].insert(0, dict(old["results"][0], members=2,
+                                      uplink_reduction=1.1))
+        self.assertEqual(compare(old, copy.deepcopy(old)), [])
+
+    def test_reduction_regression_beyond_slack_fails(self):
+        failures = compare(fusion_report(uplink_reduction=3.2),
+                           fusion_report(uplink_reduction=2.9))
+        self.assertTrue(any("regressed" in f for f in failures))
+
+    def test_reduction_regression_within_slack_passes(self):
+        self.assertEqual(
+            compare(fusion_report(uplink_reduction=2.9),
+                    fusion_report(uplink_reduction=2.8)), [])
+
+    def test_rmse_blowup_fails(self):
+        failures = compare(fusion_report(), fusion_report(fused_rmse=0.80))
+        self.assertTrue(any("rmse" in f for f in failures))
+
+    def test_missing_row_fails(self):
+        failures = compare(fusion_report(), fusion_report(members=4))
+        self.assertTrue(any("missing in new" in f for f in failures))
+
+    def test_obs_overhead_fails(self):
+        failures = compare(fusion_report(),
+                           fusion_report(obs_overhead_pct=9.0))
+        self.assertTrue(any("tracing overhead" in f for f in failures))
+
+    def test_committed_snapshot_self_compare_is_clean(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_fusion.json")
+        self.assertTrue(os.path.exists(path),
+                        "committed fusion snapshot missing")
+        with open(path) as f:
+            report = json.load(f)
+        self.assertEqual(compare(report, copy.deepcopy(report)), [])
+        # The committed sweep's largest group must clear the headline
+        # floor, and every row must report its downlink price.
+        rows = report["results"]
+        self.assertGreaterEqual(
+            rows[-1]["uplink_reduction"],
+            bench_compare.FUSION_REDUCTION_FLOOR)
+        for row in rows:
+            self.assertIn("fused_broadcast_bytes", row)
+            self.assertGreater(row["fused_broadcast_bytes"], 0)
 
 
 class RuntimeReportNewKeys(unittest.TestCase):

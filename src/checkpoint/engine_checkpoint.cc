@@ -56,6 +56,23 @@ std::vector<ContinuousQuery> CollectQueries(const QueryRegistry& registry) {
   return queries;
 }
 
+/// All registered fused queries, ascending id — replayed verbatim on
+/// restore (no reconfiguration runs; each group's effective delta is
+/// already exact in its GroupState).
+std::vector<FusedQuery> CollectFusedQueries(const QueryRegistry& registry) {
+  std::vector<FusedQuery> queries;
+  for (int group_id : registry.ActiveGroups()) {
+    for (const FusedQuery& query : registry.FusedQueriesForGroup(group_id)) {
+      queries.push_back(query);
+    }
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const FusedQuery& a, const FusedQuery& b) {
+              return a.id < b.id;
+            });
+  return queries;
+}
+
 /// Folds one serving engine's registrations, undrained buffer, cursor,
 /// and counters into the snapshot accumulators. The caller merges the
 /// collected streams and sorts the subscriptions once every engine has
@@ -115,6 +132,18 @@ class ManagerAnswerReader final : public ServeAnswerSource {
     return manager_.AnswerAggregate(aggregate_id);
   }
 
+  Result<double> FusedValue(int group_id) const override {
+    auto answer_or = manager_.AnswerFused(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> FusedUncertainty(int group_id) const override {
+    auto answer_or = manager_.AnswerFusedWithConfidence(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value().covariance(0, 0);
+  }
+
  private:
   const StreamManager& manager_;
 };
@@ -139,6 +168,18 @@ class ShardAnswerReader final : public ServeAnswerSource {
   Result<double> AggregateValue(int aggregate_id) const override {
     return Status::InvalidArgument(
         StrFormat("aggregate %d is not served at shard level", aggregate_id));
+  }
+
+  Result<double> FusedValue(int group_id) const override {
+    auto answer_or = shard_.AnswerFused(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> FusedUncertainty(int group_id) const override {
+    auto answer_or = shard_.AnswerFusedWithConfidence(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value().covariance(0, 0);
   }
 
  private:
@@ -231,6 +272,21 @@ class CheckpointAccess {
     std::vector<std::vector<NotificationBatch>> serve_streams;
     FoldServe(manager.serve_, &snapshot.serve, &serve_streams);
     snapshot.serve.pending = MergeNotificationBatches(serve_streams);
+
+    // Fusion groups with their members' channel lanes (members share the
+    // channel's per-source namespace, so their lanes export like any
+    // source's).
+    for (FusionEngine::GroupState& group : manager.fusion_.ExportGroups()) {
+      FusionGroupSnapshot entry;
+      entry.member_channels.reserve(group.members.size());
+      for (const FusionEngine::MemberState& member : group.members) {
+        entry.member_channels.push_back(
+            manager.channel_.ExportSourceCheckpoint(member.source_id));
+      }
+      entry.group = std::move(group);
+      snapshot.fusion_groups.push_back(std::move(entry));
+    }
+    snapshot.fused_queries = CollectFusedQueries(manager.registry_);
     return snapshot;
   }
 
@@ -333,6 +389,26 @@ class CheckpointAccess {
         snapshot.governor.states.push_back(entry);
       }
     }
+
+    // Fusion groups, collected across shards and ordered by group id so
+    // the snapshot is shard-layout-free like everything else.
+    for (const auto& shard : engine.shards_) {
+      for (FusionEngine::GroupState& group : shard->fusion_.ExportGroups()) {
+        FusionGroupSnapshot entry;
+        entry.member_channels.reserve(group.members.size());
+        for (const FusionEngine::MemberState& member : group.members) {
+          entry.member_channels.push_back(
+              shard->channel_.ExportSourceCheckpoint(member.source_id));
+        }
+        entry.group = std::move(group);
+        snapshot.fusion_groups.push_back(std::move(entry));
+      }
+    }
+    std::sort(snapshot.fusion_groups.begin(), snapshot.fusion_groups.end(),
+              [](const FusionGroupSnapshot& a, const FusionGroupSnapshot& b) {
+                return a.group.group_id < b.group.group_id;
+              });
+    snapshot.fused_queries = CollectFusedQueries(engine.registry_);
     return snapshot;
   }
 
@@ -355,6 +431,26 @@ class CheckpointAccess {
       manager.installed_smoothing_[source.source_id] =
           source.node.smoothing_factor;
     }
+    // Fusion groups and their members' channel lanes, before the
+    // channel's restore is finalized so the lanes are part of the same
+    // pass as the plain sources'.
+    for (const FusionGroupSnapshot& entry : snapshot.fusion_groups) {
+      if (entry.member_channels.size() != entry.group.members.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "fusion group %d has %zu channel lanes for %zu members",
+            entry.group.group_id, entry.member_channels.size(),
+            entry.group.members.size()));
+      }
+      DKF_RETURN_IF_ERROR(manager.fusion_.ImportGroup(entry.group));
+      for (size_t m = 0; m < entry.group.members.size(); ++m) {
+        manager.channel_.ImportSourceCheckpoint(
+            entry.group.members[m].source_id, entry.member_channels[m]);
+      }
+    }
+    // The fusion clock holds the last *completed* tick: the next
+    // BeginTick(ticks) does its degraded accounting for tick ticks-1,
+    // exactly as the uninterrupted run's would.
+    manager.fusion_.RestoreClock(snapshot.ticks - 1);
     manager.channel_.FinalizeRestore();
     if (snapshot.has_shared_rng) {
       manager.channel_.ImportSharedRng(snapshot.shared_rng);
@@ -365,6 +461,9 @@ class CheckpointAccess {
     // state restored above is already the post-reconfiguration state.
     for (const ContinuousQuery& query : snapshot.queries) {
       DKF_RETURN_IF_ERROR(manager.registry_.AddQuery(query));
+    }
+    for (const FusedQuery& query : snapshot.fused_queries) {
+      DKF_RETURN_IF_ERROR(manager.registry_.AddFusedQuery(query));
     }
     for (const AggregateSnapshot& aggregate : snapshot.aggregates) {
       StreamManager::AggregateBinding binding;
@@ -401,6 +500,12 @@ class CheckpointAccess {
               static_cast<long long>(sub.spec.id), sub.spec.aggregate_id));
         }
         members = it->second.source_ids;
+      } else if (sub.spec.kind == SubscriptionKind::kFused &&
+                 !manager.fusion_.has_group(sub.spec.group_id)) {
+        return Status::InvalidArgument(StrFormat(
+            "subscription %lld targets fusion group %d, which the snapshot "
+            "does not register",
+            static_cast<long long>(sub.spec.id), sub.spec.group_id));
       }
       DKF_RETURN_IF_ERROR(manager.serve_.ImportSubscription(state, members));
     }
@@ -431,7 +536,34 @@ class CheckpointAccess {
       shard.installed_smoothing_[source.source_id] =
           source.node.smoothing_factor;
     }
+    // Fusion groups: the whole group (posterior plus every member's
+    // mirror and channel lane) lands on the shard its group id pins it
+    // to under the *target* layout, before the channels finalize.
+    for (const FusionGroupSnapshot& entry : snapshot.fusion_groups) {
+      if (entry.member_channels.size() != entry.group.members.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "fusion group %d has %zu channel lanes for %zu members",
+            entry.group.group_id, entry.member_channels.size(),
+            entry.group.members.size()));
+      }
+      const int group_id = entry.group.group_id;
+      const int shard_index = engine.ShardIndexFor(group_id);
+      StreamShard& shard = *engine.shards_[static_cast<size_t>(shard_index)];
+      DKF_RETURN_IF_ERROR(shard.fusion_.ImportGroup(entry.group));
+      engine.fusion_groups_[group_id] = shard_index;
+      for (size_t m = 0; m < entry.group.members.size(); ++m) {
+        const int member_id = entry.group.members[m].source_id;
+        engine.fusion_members_[member_id] = group_id;
+        shard.channel_.ImportSourceCheckpoint(member_id,
+                                              entry.member_channels[m]);
+      }
+    }
     for (auto& shard : engine.shards_) {
+      // Last completed tick on every shard (groupless shards included —
+      // their clocks advance unconditionally), so the next
+      // BeginTick(ticks) accounts for tick ticks-1 like the
+      // uninterrupted run's.
+      shard->fusion_.RestoreClock(snapshot.ticks - 1);
       shard->channel_.FinalizeRestore();
     }
     // The snapshot's fleet-wide aggregates land on shard 0; only merged
@@ -441,6 +573,9 @@ class CheckpointAccess {
 
     for (const ContinuousQuery& query : snapshot.queries) {
       DKF_RETURN_IF_ERROR(engine.registry_.AddQuery(query));
+    }
+    for (const FusedQuery& query : snapshot.fused_queries) {
+      DKF_RETURN_IF_ERROR(engine.registry_.AddFusedQuery(query));
     }
     for (const AggregateSnapshot& aggregate : snapshot.aggregates) {
       ShardedStreamEngine::AggregateBinding binding;
@@ -523,6 +658,16 @@ class CheckpointAccess {
         }
         DKF_RETURN_IF_ERROR(engine.aggregate_serve_.ImportSubscription(
             state, it->second.source_ids));
+      } else if (sub.spec.kind == SubscriptionKind::kFused) {
+        auto it = engine.fusion_groups_.find(sub.spec.group_id);
+        if (it == engine.fusion_groups_.end()) {
+          return Status::InvalidArgument(StrFormat(
+              "subscription %lld targets fusion group %d, which the "
+              "snapshot does not register",
+              static_cast<long long>(sub.spec.id), sub.spec.group_id));
+        }
+        DKF_RETURN_IF_ERROR(engine.shards_[static_cast<size_t>(it->second)]
+                                ->serve_.ImportSubscription(state));
       } else {
         if (!engine.HasSource(sub.spec.source_id)) {
           return Status::InvalidArgument(StrFormat(
@@ -546,7 +691,14 @@ class CheckpointAccess {
       std::vector<std::vector<Notification>> per_shard(serve_shards);
       std::vector<Notification> engine_level;
       for (const Notification& notification : batch.notifications) {
-        if (notification.source_id < 0) {
+        // Fused keys are negative, so they must peel off before the
+        // negative-means-aggregate test: they go to the shard their
+        // group id pins them to, not to the engine level.
+        if (IsFusedSourceKey(notification.source_id)) {
+          per_shard[static_cast<size_t>(engine.ShardIndexFor(
+                        GroupIdFromFusedKey(notification.source_id)))]
+              .push_back(notification);
+        } else if (notification.source_id < 0) {
           engine_level.push_back(notification);
         } else {
           per_shard[static_cast<size_t>(

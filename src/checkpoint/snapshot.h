@@ -13,6 +13,7 @@
 #include "dsms/protocol.h"
 #include "dsms/server_node.h"
 #include "dsms/source_node.h"
+#include "fusion/fusion_engine.h"
 #include "governor/delta_governor.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
@@ -99,6 +100,19 @@ struct ServeSnapshot {
   int64_t affected = 0;
 };
 
+/// One fusion group and its members (src/fusion/, snapshot v5): the
+/// engine-side running state (posterior, version clock, member mirrors
+/// and protocol cursors) plus each member's channel lane — members
+/// share the per-source uplink fault-stream namespace with plain
+/// sources, so their lanes travel exactly like SourceSnapshot's.
+/// Keyed by group id; on a sharded restore the whole group lands on
+/// the shard ShardIndexFor(group_id) names.
+struct FusionGroupSnapshot {
+  FusionEngine::GroupState group;
+  /// One lane per member, parallel to group.members (ascending id).
+  std::vector<Channel::SourceCheckpoint> member_channels;
+};
+
 /// One source's governor controller state, keyed by source id (layout-
 /// free like everything else in the snapshot).
 struct GovernorSourceSnapshot {
@@ -168,6 +182,12 @@ struct EngineSnapshot {
   /// Delta governor (disabled when decoded from a v1/v2 file, which
   /// predate src/governor/).
   GovernorSnapshot governor;
+
+  /// Fusion groups and their standing fused queries (empty when decoded
+  /// from a v1-v4 file, which predate src/fusion/). Groups ascending by
+  /// group id, queries ascending by query id.
+  std::vector<FusionGroupSnapshot> fusion_groups;
+  std::vector<FusedQuery> fused_queries;
 };
 
 }  // namespace dkf

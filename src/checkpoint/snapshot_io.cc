@@ -541,7 +541,8 @@ Result<TraceEvent> DecodeTraceEvent(BinaryReader& reader) {
   return event;
 }
 
-void EncodeSubscription(BinaryWriter& writer, const Subscription& spec) {
+void EncodeSubscription(BinaryWriter& writer, const Subscription& spec,
+                        uint32_t version) {
   writer.WriteI64(spec.id);
   writer.WriteU8(static_cast<uint8_t>(spec.kind));
   writer.WriteI64(spec.source_id);
@@ -550,9 +551,11 @@ void EncodeSubscription(BinaryWriter& writer, const Subscription& spec) {
   writer.WriteF64(spec.hi);
   writer.WriteF64(spec.uncertainty_ceiling);
   writer.WriteString(spec.description);
+  if (version >= 5) writer.WriteI64(spec.group_id);
 }
 
-Result<Subscription> DecodeSubscription(BinaryReader& reader) {
+Result<Subscription> DecodeSubscription(BinaryReader& reader,
+                                        uint32_t version) {
   Subscription spec;
   DKF_ASSIGN_OR_RETURN(spec.id, reader.ReadI64());
   DKF_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
@@ -569,7 +572,19 @@ Result<Subscription> DecodeSubscription(BinaryReader& reader) {
   DKF_ASSIGN_OR_RETURN(spec.hi, reader.ReadF64());
   DKF_ASSIGN_OR_RETURN(spec.uncertainty_ceiling, reader.ReadF64());
   DKF_ASSIGN_OR_RETURN(spec.description, reader.ReadString());
+  if (version >= 5) {
+    DKF_ASSIGN_OR_RETURN(spec.group_id,
+                         DecodeI32(reader, "subscription group"));
+  }
   return spec;
+}
+
+/// Whether a buffered notification belongs to the fusion subsystem —
+/// dropped when downgrading below v5 (a build of that era has neither
+/// the kind nor the key range).
+bool IsFusedNotification(const Notification& notification) {
+  return notification.kind == NotificationKind::kFusedUpdate ||
+         IsFusedSourceKey(static_cast<int32_t>(notification.source_id));
 }
 
 void EncodeNotification(BinaryWriter& writer,
@@ -697,21 +712,52 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot,
     }
   }
 
-  // Serving front-end (snapshot v2). v1 files end here.
+  // Serving front-end (snapshot v2). v1 files end here. A downgrade
+  // below v5 drops the fusion subsystem, so its standing subscriptions
+  // and buffered notifications are filtered out of the serve section
+  // too — a pre-fusion decoder would reject the unknown kind and key
+  // range, and a build of that era could never have written them.
   if (version < 2) return Status::OK();
+  const auto keep_subscription = [version](const Subscription& spec) {
+    return version >= 5 || spec.kind != SubscriptionKind::kFused;
+  };
+  const auto keep_notification = [version](const Notification& n) {
+    return version >= 5 || !IsFusedNotification(n);
+  };
   writer.WriteU64(snapshot.serve.options.max_buffered_notifications);
-  writer.WriteU64(snapshot.serve.subscriptions.size());
+  uint64_t kept_subscriptions = 0;
   for (const ServeSubscriptionSnapshot& sub : snapshot.serve.subscriptions) {
-    EncodeSubscription(writer, sub.spec);
+    if (keep_subscription(sub.spec)) ++kept_subscriptions;
+  }
+  writer.WriteU64(kept_subscriptions);
+  for (const ServeSubscriptionSnapshot& sub : snapshot.serve.subscriptions) {
+    if (!keep_subscription(sub.spec)) continue;
+    EncodeSubscription(writer, sub.spec, version);
     writer.WriteBool(sub.inside);
     writer.WriteBool(sub.fired);
   }
-  writer.WriteU64(snapshot.serve.pending.size());
+  uint64_t kept_batches = 0;
   for (const NotificationBatch& batch : snapshot.serve.pending) {
-    writer.WriteI64(batch.step);
-    writer.WriteU64(batch.notifications.size());
     for (const Notification& notification : batch.notifications) {
-      EncodeNotification(writer, notification);
+      if (keep_notification(notification)) {
+        ++kept_batches;
+        break;
+      }
+    }
+  }
+  writer.WriteU64(kept_batches);
+  for (const NotificationBatch& batch : snapshot.serve.pending) {
+    uint64_t kept = 0;
+    for (const Notification& notification : batch.notifications) {
+      if (keep_notification(notification)) ++kept;
+    }
+    if (kept == 0) continue;
+    writer.WriteI64(batch.step);
+    writer.WriteU64(kept);
+    for (const Notification& notification : batch.notifications) {
+      if (keep_notification(notification)) {
+        EncodeNotification(writer, notification);
+      }
     }
   }
   writer.WriteI64(snapshot.serve.drained_through_step);
@@ -747,6 +793,56 @@ Status EncodePayload(BinaryWriter& writer, const EngineSnapshot& snapshot,
       writer.WriteBool(entry.state.measured);
       writer.WriteBool(entry.state.frozen);
       writer.WriteF64(entry.state.held_delta);
+    }
+  }
+
+  // Multi-sensor fusion (snapshot v5). v3/v4 files end here.
+  if (version < 5) return Status::OK();
+  writer.WriteU64(snapshot.fused_queries.size());
+  for (const FusedQuery& query : snapshot.fused_queries) {
+    writer.WriteI64(query.id);
+    writer.WriteI64(query.group_id);
+    writer.WriteF64(query.precision);
+    writer.WriteString(query.description);
+  }
+  writer.WriteU64(snapshot.fusion_groups.size());
+  for (const FusionGroupSnapshot& entry : snapshot.fusion_groups) {
+    const FusionEngine::GroupState& group = entry.group;
+    if (entry.member_channels.size() != group.members.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "fusion group %d has %zu channel lanes for %zu members",
+          group.group_id, entry.member_channels.size(),
+          group.members.size()));
+    }
+    writer.WriteI64(group.group_id);
+    DKF_RETURN_IF_ERROR(EncodeModel(writer, group.model));
+    writer.WriteF64(group.delta);
+    writer.WriteF64(group.base_delta);
+    writer.WriteU8(static_cast<uint8_t>(group.norm));
+    EncodeFullState(writer, group.posterior);
+    writer.WriteI64(group.version);
+    writer.WriteI64(group.last_valid_tick);
+    EncodeFaultStats(writer, group.faults);
+    writer.WriteI64(group.updates_applied);
+    writer.WriteI64(group.suppressed);
+    writer.WriteI64(group.transmissions);
+    writer.WriteI64(group.broadcasts);
+    writer.WriteI64(group.broadcast_bytes);
+    writer.WriteU64(group.members.size());
+    for (size_t m = 0; m < group.members.size(); ++m) {
+      const FusionEngine::MemberState& member = group.members[m];
+      writer.WriteI64(member.source_id);
+      EncodeFullState(writer, member.mirror);
+      writer.WriteI64(member.mirror_version);
+      writer.WriteBool(member.pending);
+      writer.WriteI64(member.pending_since);
+      writer.WriteI64(member.resync_attempts);
+      writer.WriteI64(member.last_resync_tick);
+      writer.WriteI64(member.last_send_tick);
+      writer.WriteU32(member.next_sequence);
+      writer.WriteU32(member.last_sequence);
+      writer.WriteI64(member.synced_version);
+      EncodeChannelLane(writer, entry.member_channels[m], version);
     }
   }
   return Status::OK();
@@ -914,7 +1010,7 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader,
     int64_t previous_sub = -1;
     for (uint64_t i = 0; i < num_subscriptions; ++i) {
       ServeSubscriptionSnapshot sub;
-      DKF_ASSIGN_OR_RETURN(sub.spec, DecodeSubscription(reader));
+      DKF_ASSIGN_OR_RETURN(sub.spec, DecodeSubscription(reader, version));
       if (sub.spec.id <= previous_sub) {
         return Status::InvalidArgument(
             "snapshot subscriptions must have strictly ascending ids");
@@ -1007,6 +1103,94 @@ Result<EngineSnapshot> DecodePayload(BinaryReader& reader,
         }
         snapshot.governor.states.push_back(entry);
       }
+    }
+  }
+
+  // Multi-sensor fusion — absent from v1-v4 files (no groups, no fused
+  // queries).
+  if (version >= 5) {
+    DKF_ASSIGN_OR_RETURN(uint64_t num_fused, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(CheckCount(reader, num_fused, 8, "fused query"));
+    snapshot.fused_queries.reserve(static_cast<size_t>(num_fused));
+    int previous_fused_id = INT32_MIN;
+    for (uint64_t i = 0; i < num_fused; ++i) {
+      FusedQuery query;
+      DKF_ASSIGN_OR_RETURN(query.id, DecodeI32(reader, "fused query id"));
+      if (query.id <= previous_fused_id) {
+        return Status::InvalidArgument(
+            "fused queries must have strictly ascending ids");
+      }
+      previous_fused_id = query.id;
+      DKF_ASSIGN_OR_RETURN(query.group_id,
+                           DecodeI32(reader, "fused query group"));
+      DKF_ASSIGN_OR_RETURN(query.precision, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(query.description, reader.ReadString());
+      snapshot.fused_queries.push_back(std::move(query));
+    }
+    DKF_ASSIGN_OR_RETURN(uint64_t num_groups, reader.ReadU64());
+    DKF_RETURN_IF_ERROR(CheckCount(reader, num_groups, 8, "fusion group"));
+    snapshot.fusion_groups.reserve(static_cast<size_t>(num_groups));
+    int previous_group_id = INT32_MIN;
+    for (uint64_t i = 0; i < num_groups; ++i) {
+      FusionGroupSnapshot entry;
+      FusionEngine::GroupState& group = entry.group;
+      DKF_ASSIGN_OR_RETURN(group.group_id,
+                           DecodeI32(reader, "fusion group id"));
+      if (group.group_id <= previous_group_id) {
+        return Status::InvalidArgument(
+            "fusion groups must have strictly ascending ids");
+      }
+      previous_group_id = group.group_id;
+      DKF_ASSIGN_OR_RETURN(group.model, DecodeModel(reader));
+      DKF_ASSIGN_OR_RETURN(group.delta, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(group.base_delta, reader.ReadF64());
+      DKF_ASSIGN_OR_RETURN(uint8_t norm, reader.ReadU8());
+      if (norm > static_cast<uint8_t>(DeviationNorm::kL1)) {
+        return Status::InvalidArgument(
+            StrFormat("invalid deviation norm %u in snapshot", norm));
+      }
+      group.norm = static_cast<DeviationNorm>(norm);
+      DKF_ASSIGN_OR_RETURN(group.posterior, DecodeFullState(reader));
+      DKF_ASSIGN_OR_RETURN(group.version, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(group.last_valid_tick, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(group.faults, DecodeFaultStats(reader));
+      DKF_ASSIGN_OR_RETURN(group.updates_applied, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(group.suppressed, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(group.transmissions, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(group.broadcasts, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(group.broadcast_bytes, reader.ReadI64());
+      DKF_ASSIGN_OR_RETURN(uint64_t num_members, reader.ReadU64());
+      DKF_RETURN_IF_ERROR(
+          CheckCount(reader, num_members, 8, "fusion member"));
+      group.members.reserve(static_cast<size_t>(num_members));
+      entry.member_channels.reserve(static_cast<size_t>(num_members));
+      int previous_member_id = INT32_MIN;
+      for (uint64_t m = 0; m < num_members; ++m) {
+        FusionEngine::MemberState member;
+        DKF_ASSIGN_OR_RETURN(member.source_id,
+                             DecodeI32(reader, "fusion member id"));
+        if (member.source_id <= previous_member_id) {
+          return Status::InvalidArgument(
+              "fusion members must have strictly ascending ids");
+        }
+        previous_member_id = member.source_id;
+        DKF_ASSIGN_OR_RETURN(member.mirror, DecodeFullState(reader));
+        DKF_ASSIGN_OR_RETURN(member.mirror_version, reader.ReadI64());
+        DKF_ASSIGN_OR_RETURN(member.pending, reader.ReadBool());
+        DKF_ASSIGN_OR_RETURN(member.pending_since, reader.ReadI64());
+        DKF_ASSIGN_OR_RETURN(member.resync_attempts,
+                             DecodeI32(reader, "fusion resync_attempts"));
+        DKF_ASSIGN_OR_RETURN(member.last_resync_tick, reader.ReadI64());
+        DKF_ASSIGN_OR_RETURN(member.last_send_tick, reader.ReadI64());
+        DKF_ASSIGN_OR_RETURN(member.next_sequence, reader.ReadU32());
+        DKF_ASSIGN_OR_RETURN(member.last_sequence, reader.ReadU32());
+        DKF_ASSIGN_OR_RETURN(member.synced_version, reader.ReadI64());
+        DKF_ASSIGN_OR_RETURN(Channel::SourceCheckpoint lane,
+                             DecodeChannelLane(reader, version));
+        group.members.push_back(std::move(member));
+        entry.member_channels.push_back(std::move(lane));
+      }
+      snapshot.fusion_groups.push_back(std::move(entry));
     }
   }
   return snapshot;

@@ -29,13 +29,16 @@ inline constexpr char kSnapshotMagic[] = "DKFSNAP1";  // 8 bytes on the wire
 /// v2 appended the serving-layer section (src/serve/); v3 appended the
 /// delta-governor section (src/governor/); v4 added the adaptive-noise
 /// fields (protocol config + per-source/link/resync-message adapter
-/// state, docs/adaptive.md).
-inline constexpr uint32_t kSnapshotVersion = 4;
+/// state, docs/adaptive.md); v5 appended the multi-sensor fusion
+/// section (src/fusion/: groups, member mirrors + channel lanes, fused
+/// queries) and the subscription group_id field.
+inline constexpr uint32_t kSnapshotVersion = 5;
 /// Oldest version this build still reads. v1 files predate the serving
 /// layer; they decode with an empty ServeSnapshot. v2 files predate the
 /// governor; they decode with a disabled GovernorSnapshot. v1-v3 files
 /// predate noise adaptation; they decode with it disabled and empty
-/// adapter state.
+/// adapter state. v1-v4 files predate fusion; they decode with no
+/// groups and no fused queries.
 inline constexpr uint32_t kSnapshotMinVersion = 1;
 
 /// Serializes a snapshot to the full file image (header + payload).

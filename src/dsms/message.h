@@ -59,12 +59,28 @@ struct Message {
   /// ComputeChecksum bit-identical to the pre-adaptive wire format.
   Vector resync_adapt;
 
+  /// Fusion-group addressing (docs/fusion.md). A message with
+  /// group_id >= 0 is fused traffic: `source_id` names the member and
+  /// the server routes it to the group's fused posterior instead of a
+  /// per-source link. -1 (the default) keeps plain traffic bit-identical
+  /// on the wire: the group fields then contribute nothing to SizeBytes
+  /// or ComputeChecksum.
+  int group_id = -1;
+
+  /// The group-posterior version the member's fused mirror tracked when
+  /// it sent this message. Lets the server tell a correction tested
+  /// against a fresh mirror from one sent across a partition (the member
+  /// missed re-lock broadcasts). -1 when group_id < 0.
+  int64_t group_version = -1;
+
   /// Serialized size: type/source/tick/sequence/checksum header
-  /// (21 bytes) + the per-type payload: 8 bytes per payload double, + the
+  /// (21 bytes; +12 for fused traffic's group id and posterior version)
+  /// + the per-type payload: 8 bytes per payload double, + the
   /// model index for switch messages, + the full state dump for resyncs.
   /// Heartbeats are header-only.
   size_t SizeBytes() const {
     size_t bytes = 1 + 4 + 8 + 4 + 4;
+    if (group_id >= 0) bytes += 4 + 8;  // group id + posterior version
     switch (type) {
       case MessageType::kMeasurement:
         bytes += payload.size() * sizeof(double);
@@ -121,6 +137,10 @@ struct Message {
     }
     for (size_t i = 0; i < resync_adapt.size(); ++i) {
       mix_double(resync_adapt[i]);
+    }
+    if (group_id >= 0) {
+      mix_bytes(&group_id, sizeof(group_id));
+      mix_bytes(&group_version, sizeof(group_version));
     }
     return hash;
   }

@@ -34,6 +34,18 @@ class ManagerAnswers final : public ServeAnswerSource {
     return manager_.AnswerAggregate(aggregate_id);
   }
 
+  Result<double> FusedValue(int group_id) const override {
+    auto answer_or = manager_.AnswerFused(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> FusedUncertainty(int group_id) const override {
+    auto answer_or = manager_.AnswerFusedWithConfidence(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value().covariance(0, 0);
+  }
+
  private:
   const StreamManager& manager_;
 };
@@ -45,15 +57,24 @@ StreamManager::StreamManager(const StreamManagerOptions& options)
       server_(options.protocol),
       channel_(
           [this](const Message& message) {
-            return server_.OnMessage(message);
+            // Fused traffic is addressed by group; everything else is a
+            // per-source dual link.
+            return message.group_id >= 0 ? fusion_.OnMessage(message)
+                                         : server_.OnMessage(message);
           },
           options.channel),
+      fusion_(options.protocol, options.channel.fault),
       serve_(options.serve) {}
 
 Status StreamManager::RegisterSource(int source_id, const StateModel& model) {
   if (sources_.contains(source_id)) {
     return Status::AlreadyExists(
         StrFormat("source %d already registered", source_id));
+  }
+  if (fusion_.owns_member(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("id %d already belongs to fusion group %d", source_id,
+                  fusion_.member_group(source_id)));
   }
   DKF_RETURN_IF_ERROR(server_.RegisterSource(source_id, model));
 
@@ -80,6 +101,7 @@ Status StreamManager::EnableTracing(const ObsOptions& obs) {
   sink_ = std::make_unique<TraceSink>(obs);
   channel_.set_trace_sink(sink_.get());
   server_.set_trace_sink(sink_.get());
+  fusion_.set_trace_sink(sink_.get());
   serve_.set_trace_sink(sink_.get());
   for (auto& [id, node] : sources_) node->set_trace_sink(sink_.get());
   return Status::OK();
@@ -88,12 +110,22 @@ Status StreamManager::EnableTracing(const ObsOptions& obs) {
 void StreamManager::DisableTracing() {
   channel_.set_trace_sink(nullptr);
   server_.set_trace_sink(nullptr);
+  fusion_.set_trace_sink(nullptr);
   serve_.set_trace_sink(nullptr);
   for (auto& [id, node] : sources_) node->set_trace_sink(nullptr);
   sink_.reset();
 }
 
 Status StreamManager::Subscribe(const Subscription& subscription) {
+  if (subscription.kind == SubscriptionKind::kFused) {
+    if (!fusion_.has_group(subscription.group_id)) {
+      return Status::NotFound(
+          StrFormat("subscription %lld targets unregistered fusion group %d",
+                    static_cast<long long>(subscription.id),
+                    subscription.group_id));
+    }
+    return serve_.Subscribe(subscription, ticks_, ManagerAnswers(*this));
+  }
   if (subscription.kind == SubscriptionKind::kAggregate) {
     auto it = aggregates_.find(subscription.aggregate_id);
     if (it == aggregates_.end()) {
@@ -285,6 +317,102 @@ Result<StreamManager::AggregateAnswer> StreamManager::AnswerAggregateWithStatus(
   return aggregate;
 }
 
+Status StreamManager::RegisterFusionGroup(const FusionGroupConfig& config) {
+  for (int member_id : config.member_ids) {
+    if (sources_.contains(member_id)) {
+      return Status::AlreadyExists(
+          StrFormat("fusion member id %d is a registered source",
+                    member_id));
+    }
+  }
+  DKF_RETURN_IF_ERROR(fusion_.RegisterGroup(config));
+  if (sink_ != nullptr) fusion_.set_trace_sink(sink_.get());
+  return Status::OK();
+}
+
+Status StreamManager::AddFusionMember(int group_id, int member_id) {
+  if (sources_.contains(member_id)) {
+    return Status::AlreadyExists(
+        StrFormat("fusion member id %d is a registered source", member_id));
+  }
+  DKF_RETURN_IF_ERROR(fusion_.AddMember(group_id, member_id));
+  if (sink_ != nullptr) fusion_.set_trace_sink(sink_.get());
+  // The admission handoff: the newcomer's mirror is handed the current
+  // posterior over the out-of-band downlink.
+  ++control_messages_;
+  return Status::OK();
+}
+
+Status StreamManager::RemoveFusionMember(int group_id, int member_id) {
+  DKF_RETURN_IF_ERROR(fusion_.RemoveMember(group_id, member_id));
+  ++control_messages_;  // the dismissal
+  return Status::OK();
+}
+
+Status StreamManager::SubmitFusedQuery(const FusedQuery& query) {
+  if (query.id >= kReservedQueryIdBase) {
+    return Status::InvalidArgument(
+        StrFormat("query ids >= %d are reserved for aggregate members",
+                  kReservedQueryIdBase));
+  }
+  if (!fusion_.has_group(query.group_id)) {
+    return Status::NotFound(
+        StrFormat("fused query %d targets unregistered fusion group %d",
+                  query.id, query.group_id));
+  }
+  DKF_RETURN_IF_ERROR(registry_.AddFusedQuery(query));
+  return ReconfigureFusionGroup(query.group_id);
+}
+
+Status StreamManager::RemoveFusedQuery(int query_id) {
+  // Find the query's group before removal so we can relax it after.
+  int group_id = -1;
+  for (int candidate : registry_.ActiveGroups()) {
+    for (const FusedQuery& query :
+         registry_.FusedQueriesForGroup(candidate)) {
+      if (query.id == query_id) group_id = candidate;
+    }
+  }
+  DKF_RETURN_IF_ERROR(registry_.RemoveFusedQuery(query_id));
+  if (group_id >= 0) return ReconfigureFusionGroup(group_id);
+  return Status::OK();
+}
+
+Result<Vector> StreamManager::AnswerFused(int group_id) const {
+  return fusion_.Answer(group_id);
+}
+
+Result<FusionEngine::ConfidentAnswer> StreamManager::AnswerFusedWithConfidence(
+    int group_id) const {
+  return fusion_.AnswerWithConfidence(group_id);
+}
+
+Result<bool> StreamManager::fused_degraded(int group_id) const {
+  return fusion_.answer_degraded(group_id);
+}
+
+Status StreamManager::ReconfigureFusionGroup(int group_id) {
+  double effective;
+  if (registry_.FusedQueriesForGroup(group_id).empty()) {
+    auto base_or = fusion_.group_base_delta(group_id);
+    if (!base_or.ok()) return base_or.status();
+    effective = base_or.value();
+  } else {
+    auto delta_or = registry_.EffectiveFusedDelta(group_id);
+    if (!delta_or.ok()) return delta_or.status();
+    effective = delta_or.value();
+  }
+  auto changed_or = fusion_.set_group_delta(group_id, effective);
+  if (!changed_or.ok()) return changed_or.status();
+  if (changed_or.value()) {
+    // Every member must learn the new trigger: one control message each.
+    auto members_or = fusion_.group_members(group_id);
+    if (!members_or.ok()) return members_or.status();
+    control_messages_ += static_cast<int64_t>(members_or.value().size());
+  }
+  return Status::OK();
+}
+
 Status StreamManager::ReconfigureSource(int source_id) {
   auto changed_or = InstallEffectiveConfig(
       registry_, options_.default_delta, source_id, *sources_.at(source_id),
@@ -295,16 +423,26 @@ Status StreamManager::ReconfigureSource(int source_id) {
 }
 
 Status StreamManager::ProcessTick(const std::map<int, Vector>& readings) {
-  if (readings.size() != sources_.size()) {
+  if (readings.size() != sources_.size() + fusion_.num_members()) {
     return Status::InvalidArgument(
-        StrFormat("got %zu readings for %zu sources", readings.size(),
-                  sources_.size()));
+        StrFormat("got %zu readings for %zu sources + %zu fusion members",
+                  readings.size(), sources_.size(), fusion_.num_members()));
   }
   const bool timed = sink_ != nullptr && sink_->options().record_timing;
   const auto start = timed ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point();
+  // Fused posteriors and mirrors predict before the channel drains its
+  // in-flight queue (inside RunSourceTick), so delayed fused deliveries
+  // land on post-predict state — the same ordering ServerNode::TickAll
+  // gives the per-source links. Unconditional: the engine's tick clock
+  // must advance even while no group is registered yet, so a group
+  // registered mid-run gets the right staleness origin.
+  DKF_RETURN_IF_ERROR(fusion_.BeginTick(ticks_));
   DKF_RETURN_IF_ERROR(
       RunSourceTick(ticks_, server_, sources_, readings, channel_));
+  // Fusion members run after the plain sources, in ascending (group,
+  // member) order — one global deterministic source order per tick.
+  DKF_RETURN_IF_ERROR(fusion_.ProcessReadings(ticks_, readings, &channel_));
   DKF_RETURN_IF_ERROR(serve_.EndTick(ticks_, ManagerAnswers(*this)));
   ++ticks_;
   if (sink_ != nullptr) {

@@ -11,6 +11,7 @@
 #include "dsms/protocol.h"
 #include "dsms/server_node.h"
 #include "dsms/source_node.h"
+#include "fusion/fusion_engine.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "obs/trace_merge.h"
@@ -79,6 +80,54 @@ class StreamManager {
   /// Removes an aggregate query and its synthetic per-source queries.
   Status RemoveAggregateQuery(int aggregate_id);
 
+  /// Registers a multi-sensor fusion group (src/fusion/, docs/fusion.md):
+  /// N correlated sensors observing one shared state, fused into one
+  /// posterior with event-triggered cross-source suppression. Member ids
+  /// share the channel's per-source namespace with plain sources and must
+  /// be disjoint from every registered source id. From the next tick on,
+  /// `ProcessTick` expects one reading per member.
+  Status RegisterFusionGroup(const FusionGroupConfig& config);
+
+  /// Adds / removes a member of a live group between ticks. Both charge
+  /// one control message (the admission state handoff / the dismissal).
+  Status AddFusionMember(int group_id, int member_id);
+  Status RemoveFusionMember(int group_id, int member_id);
+
+  /// Registers a continuous query against a fusion group's fused
+  /// posterior (QueryType::kFused) and tightens the group's event
+  /// trigger to the tightest active fused precision. Reconfiguration is
+  /// pushed to every member (one control message each when it changed).
+  Status SubmitFusedQuery(const FusedQuery& query);
+
+  /// Removes a fused query; the group's trigger relaxes to the remaining
+  /// queries' minimum (or back to its registration delta).
+  Status RemoveFusedQuery(int query_id);
+
+  /// The fused answer for a group: the posterior's predicted measurement.
+  Result<Vector> AnswerFused(int group_id) const;
+
+  /// Fused answer plus projected covariance, inflated while degraded.
+  Result<FusionEngine::ConfidentAnswer> AnswerFusedWithConfidence(
+      int group_id) const;
+
+  /// Whether the group's fused answers are currently served degraded
+  /// (the whole group silent past the staleness budget).
+  Result<bool> fused_degraded(int group_id) const;
+
+  /// Fusion-subsystem counters merged over every group.
+  FusionStats fusion_stats() const { return fusion_.stats(); }
+
+  /// The extended mirror-consistency contract over fusion groups: every
+  /// member that is not pending re-lock and saw the latest broadcast
+  /// holds a mirror bit-identical to the fused posterior.
+  Status VerifyFusedConsistency() const {
+    return fusion_.VerifyGroupConsistency();
+  }
+
+  /// Read access to the fusion subsystem (group topology, per-group
+  /// introspection).
+  const FusionEngine& fusion() const { return fusion_; }
+
   /// The server's current answer for an aggregate query's sum.
   Result<double> AnswerAggregate(int aggregate_id) const;
 
@@ -93,9 +142,11 @@ class StreamManager {
   };
   Result<AggregateAnswer> AnswerAggregateWithStatus(int aggregate_id) const;
 
-  /// Advances one tick: the server propagates every filter, then each
-  /// source processes its reading (suppressing or transmitting).
-  /// `readings` must contain exactly one entry per registered source.
+  /// Advances one tick: the server propagates every filter (per-source
+  /// and fused), then each source — plain sources first, fusion members
+  /// after — processes its reading (suppressing or transmitting).
+  /// `readings` must contain exactly one entry per registered source and
+  /// per fusion member.
   Status ProcessTick(const std::map<int, Vector>& readings);
 
   /// The server's current answer for a source's stream.
@@ -194,9 +245,18 @@ class StreamManager {
   /// (one control message when something actually changed).
   Status ReconfigureSource(int source_id);
 
+  /// Pushes the registry's tightest fused precision (or the group's
+  /// registration delta when no query binds) to a group — one control
+  /// message per member when the trigger actually changed.
+  Status ReconfigureFusionGroup(int group_id);
+
   StreamManagerOptions options_;
   ServerNode server_;
   Channel channel_;
+  /// Multi-sensor fusion groups (src/fusion/). Fused uplink traffic
+  /// (message.group_id >= 0) is routed here by the channel sink instead
+  /// of the per-source server node.
+  FusionEngine fusion_;
   std::map<int, std::unique_ptr<SourceNode>> sources_;
   /// Smoothing factor currently installed at each source (the manager
   /// tracks it so an unrelated reconfiguration does not restart KF_c).

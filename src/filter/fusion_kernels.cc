@@ -1,0 +1,75 @@
+#include "filter/fusion_kernels.h"
+
+#include "linalg/decompose.h"
+
+namespace dkf {
+
+Result<InformationState> ToInformation(const Vector& state,
+                                       const Matrix& covariance) {
+  if (covariance.rows() != covariance.cols() ||
+      covariance.rows() != state.size()) {
+    return Status::InvalidArgument(
+        "state and covariance dimensions disagree");
+  }
+  auto inverse_or = Inverse(covariance);
+  if (!inverse_or.ok()) return inverse_or.status();
+  InformationState info;
+  info.info_matrix = inverse_or.value();
+  info.info_vector = info.info_matrix * state;
+  return info;
+}
+
+Result<MomentState> FromInformation(const InformationState& info) {
+  if (info.info_matrix.rows() != info.info_matrix.cols() ||
+      info.info_matrix.rows() != info.info_vector.size()) {
+    return Status::InvalidArgument(
+        "information vector and matrix dimensions disagree");
+  }
+  auto inverse_or = Inverse(info.info_matrix);
+  if (!inverse_or.ok()) return inverse_or.status();
+  MomentState moments;
+  moments.covariance = inverse_or.value();
+  moments.state = moments.covariance * info.info_vector;
+  return moments;
+}
+
+Status AddObservation(InformationState* info, const Matrix& measurement,
+                      const Matrix& measurement_noise, const Vector& reading) {
+  const size_t m = measurement.rows();
+  const size_t n = measurement.cols();
+  if (info->info_matrix.rows() != n || info->info_vector.size() != n) {
+    return Status::InvalidArgument(
+        "observation dimensions disagree with the information state");
+  }
+  if (measurement_noise.rows() != m || measurement_noise.cols() != m ||
+      reading.size() != m) {
+    return Status::InvalidArgument(
+        "measurement noise / reading dimensions disagree");
+  }
+  auto noise_inverse_or = Inverse(measurement_noise);
+  if (!noise_inverse_or.ok()) return noise_inverse_or.status();
+  const Matrix ht_rinv = measurement.Transpose() * noise_inverse_or.value();
+  info->info_matrix = info->info_matrix + ht_rinv * measurement;
+  info->info_vector = info->info_vector + ht_rinv * reading;
+  return Status::OK();
+}
+
+Result<MomentState> CovarianceIntersect(const MomentState& a,
+                                        const MomentState& b, double omega) {
+  if (!(omega > 0.0) || !(omega < 1.0)) {
+    return Status::InvalidArgument(
+        "covariance intersection weight must lie in (0, 1)");
+  }
+  auto info_a_or = ToInformation(a.state, a.covariance);
+  if (!info_a_or.ok()) return info_a_or.status();
+  auto info_b_or = ToInformation(b.state, b.covariance);
+  if (!info_b_or.ok()) return info_b_or.status();
+  InformationState fused;
+  fused.info_matrix = omega * info_a_or.value().info_matrix +
+                      (1.0 - omega) * info_b_or.value().info_matrix;
+  fused.info_vector = omega * info_a_or.value().info_vector +
+                      (1.0 - omega) * info_b_or.value().info_vector;
+  return FromInformation(fused);
+}
+
+}  // namespace dkf

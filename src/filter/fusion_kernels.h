@@ -1,0 +1,65 @@
+#ifndef DKF_FILTER_FUSION_KERNELS_H_
+#define DKF_FILTER_FUSION_KERNELS_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace dkf {
+
+/// Fusion math for multi-sensor groups (src/fusion/, docs/fusion.md).
+///
+/// The information (canonical) form of a Gaussian is the natural algebra
+/// for fusing independent observations of one shared state: the
+/// information matrix Y = P^-1 and information vector y = P^-1 x are
+/// *additive* over observations, so the fused posterior after k
+/// event-triggered corrections is
+///
+///   Y = Y0 + sum_k H_k^T R_k^-1 H_k,   y = y0 + sum_k H_k^T R_k^-1 z_k
+///
+/// which is algebraically identical to applying the covariance-form
+/// Kalman correction once per arriving observation. The engine's fused
+/// posterior runs the covariance form (bit-compatible with the
+/// per-source dual link, including its steady-state fast path); these
+/// kernels are the information-form mirror of that update, used for
+/// cross-checking the posterior, for introspection APIs, and by tests
+/// that pin the algebraic-equivalence contract.
+
+/// A Gaussian in information (canonical) coordinates.
+struct InformationState {
+  Vector info_vector;  ///< y = P^-1 x
+  Matrix info_matrix;  ///< Y = P^-1
+};
+
+/// A Gaussian in moment coordinates (the filter's native form).
+struct MomentState {
+  Vector state;       ///< x
+  Matrix covariance;  ///< P
+};
+
+/// Converts moments -> information form. Fails when the covariance is
+/// not invertible (or dimensions disagree).
+Result<InformationState> ToInformation(const Vector& state,
+                                       const Matrix& covariance);
+
+/// Converts information form -> moments. Fails when the information
+/// matrix is singular (an improper / totally uninformative prior).
+Result<MomentState> FromInformation(const InformationState& info);
+
+/// Adds one linear observation z = H x + v, v ~ N(0, R) to an
+/// information state in place: Y += H^T R^-1 H, y += H^T R^-1 z.
+Status AddObservation(InformationState* info, const Matrix& measurement,
+                      const Matrix& measurement_noise, const Vector& reading);
+
+/// Covariance intersection of two consistent estimates with *unknown*
+/// cross-correlation (Julier/Uhlmann): the fused information form is the
+/// omega-weighted convex combination
+///   Y = w A^-1 + (1-w) B^-1,  y = w A^-1 a + (1-w) B^-1 b
+/// which is guaranteed consistent for any w in [0, 1]. Used when two
+/// fused posteriors that may share history must be merged without
+/// double-counting. `omega` must lie in (0, 1) exclusive.
+Result<MomentState> CovarianceIntersect(const MomentState& a,
+                                        const MomentState& b, double omega);
+
+}  // namespace dkf
+
+#endif  // DKF_FILTER_FUSION_KERNELS_H_

@@ -36,6 +36,9 @@ constexpr const char* kKindNames[kNumTraceEventKinds] = {
     "governor_freeze",
     "noise_adapt",
     "adapt_freeze",
+    "fused_suppress",
+    "fused_update",
+    "fused_broadcast",
 };
 
 constexpr const char* kActorNames[static_cast<int>(TraceActor::kCount)] = {

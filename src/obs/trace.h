@@ -69,6 +69,13 @@ enum class TraceEventKind : uint8_t {
   kNoiseAdapt,          // a correction moved the Q/R servo
   kAdaptFreeze,         // holdover gap: statistics re-seeded, no movement
 
+  // Multi-sensor fusion groups (src/fusion/, docs/fusion.md). Member
+  // events carry the member's source id; group-level events carry the
+  // group's negative serve key (FusedSourceKey).
+  kFusedSuppress,       // member reading within delta of the fused mirror
+  kFusedUpdate,         // member correction applied to the fused posterior
+  kFusedBroadcast,      // posterior re-lock broadcast to the members
+
   kCount,  // sentinel, not a real event
 };
 

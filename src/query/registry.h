@@ -45,7 +45,26 @@ class QueryRegistry {
   /// Ids of all sources with at least one active query.
   std::vector<int> ActiveSources() const;
 
-  size_t size() const { return queries_.size(); }
+  /// Registers a fused query (docs/fusion.md). Ids share one namespace
+  /// with plain queries: a fused query may not reuse a plain query's id
+  /// or vice versa. Errors when the id exists or precision is not
+  /// positive.
+  Status AddFusedQuery(const FusedQuery& query);
+
+  /// Removes a fused query by id.
+  Status RemoveFusedQuery(int query_id);
+
+  /// The tightest precision over the group's active fused queries.
+  Result<double> EffectiveFusedDelta(int group_id) const;
+
+  /// All fused queries bound to a group.
+  std::vector<FusedQuery> FusedQueriesForGroup(int group_id) const;
+
+  /// Ids of all fusion groups with at least one active fused query.
+  std::vector<int> ActiveGroups() const;
+
+  size_t size() const { return queries_.size() + fused_queries_.size(); }
+  size_t num_fused() const { return fused_queries_.size(); }
 
  private:
   std::map<int, ContinuousQuery> queries_;  // by query id
@@ -54,6 +73,8 @@ class QueryRegistry {
   /// million-source fleet one query at a time is quadratic in the fleet
   /// size (each Add's reconfigure would rescan every query).
   std::map<int, std::set<int>> by_source_;
+  std::map<int, FusedQuery> fused_queries_;  // by query id
+  std::map<int, std::set<int>> by_group_;    // group id -> fused query ids
 };
 
 }  // namespace dkf

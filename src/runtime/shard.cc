@@ -35,6 +35,18 @@ class ShardAnswers final : public ServeAnswerSource {
                   aggregate_id));
   }
 
+  Result<double> FusedValue(int group_id) const override {
+    auto answer_or = shard_.AnswerFused(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> FusedUncertainty(int group_id) const override {
+    auto answer_or = shard_.AnswerFusedWithConfidence(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value().covariance(0, 0);
+  }
+
  private:
   const StreamShard& shard_;
 };
@@ -47,13 +59,17 @@ StreamShard::StreamShard(const ChannelOptions& channel,
                          const ServeOptions& serve)
     : server_(protocol),
       channel_([this](const Message& message) {
-        return server_.OnMessage(message);
+        // Fused traffic is addressed by group; everything else is a
+        // per-source dual link.
+        return message.group_id >= 0 ? fusion_.OnMessage(message)
+                                     : server_.OnMessage(message);
       }, channel),
       energy_(energy),
       default_delta_(default_delta),
       protocol_(protocol),
       per_source_rng_(channel.per_source_rng),
-      serve_(serve) {}
+      serve_(serve),
+      fusion_(protocol, channel.fault) {}
 
 Status StreamShard::EnableFleet() {
   if (fleet_ != nullptr) return Status::OK();
@@ -75,6 +91,11 @@ Status StreamShard::AddSource(int source_id, const StateModel& model) {
   if (sources_.contains(source_id)) {
     return Status::AlreadyExists(
         StrFormat("source %d already registered", source_id));
+  }
+  if (fusion_.owns_member(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("id %d already belongs to fusion group %d", source_id,
+                  fusion_.member_group(source_id)));
   }
   DKF_RETURN_IF_ERROR(server_.RegisterSource(source_id, model));
 
@@ -109,6 +130,7 @@ void StreamShard::set_trace_sink(TraceSink* sink) {
   obs_sink_ = sink;
   channel_.set_trace_sink(sink);
   server_.set_trace_sink(sink);
+  fusion_.set_trace_sink(sink);
   serve_.set_trace_sink(sink);
   if (fleet_ != nullptr) fleet_->set_trace_sink(sink);
   for (auto& [id, node] : sources_) node->set_trace_sink(sink);
@@ -144,6 +166,73 @@ Status StreamShard::Reconfigure(int source_id,
   return Status::OK();
 }
 
+Status StreamShard::RegisterFusionGroup(const FusionGroupConfig& config) {
+  for (int member_id : config.member_ids) {
+    if (sources_.contains(member_id)) {
+      return Status::AlreadyExists(
+          StrFormat("fusion member id %d is a registered source", member_id));
+    }
+  }
+  DKF_RETURN_IF_ERROR(fusion_.RegisterGroup(config));
+  if (obs_sink_ != nullptr) fusion_.set_trace_sink(obs_sink_);
+  return Status::OK();
+}
+
+Status StreamShard::AddFusionMember(int group_id, int member_id) {
+  if (sources_.contains(member_id)) {
+    return Status::AlreadyExists(
+        StrFormat("fusion member id %d is a registered source", member_id));
+  }
+  DKF_RETURN_IF_ERROR(fusion_.AddMember(group_id, member_id));
+  if (obs_sink_ != nullptr) fusion_.set_trace_sink(obs_sink_);
+  // The admission handoff: the newcomer's mirror is handed the current
+  // posterior over the out-of-band downlink.
+  ++control_messages_;
+  return Status::OK();
+}
+
+Status StreamShard::RemoveFusionMember(int group_id, int member_id) {
+  DKF_RETURN_IF_ERROR(fusion_.RemoveMember(group_id, member_id));
+  ++control_messages_;  // the dismissal
+  return Status::OK();
+}
+
+Status StreamShard::ReconfigureFusionGroup(int group_id,
+                                           const QueryRegistry& registry) {
+  double effective;
+  if (registry.FusedQueriesForGroup(group_id).empty()) {
+    auto base_or = fusion_.group_base_delta(group_id);
+    if (!base_or.ok()) return base_or.status();
+    effective = base_or.value();
+  } else {
+    auto delta_or = registry.EffectiveFusedDelta(group_id);
+    if (!delta_or.ok()) return delta_or.status();
+    effective = delta_or.value();
+  }
+  auto changed_or = fusion_.set_group_delta(group_id, effective);
+  if (!changed_or.ok()) return changed_or.status();
+  if (changed_or.value()) {
+    // Every member must learn the new trigger: one control message each.
+    auto members_or = fusion_.group_members(group_id);
+    if (!members_or.ok()) return members_or.status();
+    control_messages_ += static_cast<int64_t>(members_or.value().size());
+  }
+  return Status::OK();
+}
+
+Result<Vector> StreamShard::AnswerFused(int group_id) const {
+  return fusion_.Answer(group_id);
+}
+
+Result<FusionEngine::ConfidentAnswer> StreamShard::AnswerFusedWithConfidence(
+    int group_id) const {
+  return fusion_.AnswerWithConfidence(group_id);
+}
+
+Result<bool> StreamShard::fused_degraded(int group_id) const {
+  return fusion_.answer_degraded(group_id);
+}
+
 Status StreamShard::ReconfigureSources(
     const std::vector<std::pair<int, double>>& deltas) {
   for (const auto& [source_id, delta] : deltas) {
@@ -169,12 +258,21 @@ Status StreamShard::ProcessTick(int64_t tick,
   const bool timed = obs_sink_ != nullptr && obs_sink_->options().record_timing;
   const auto start = timed ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point();
+  // Fused posteriors and mirrors predict before the channel drains its
+  // in-flight queue (inside the source tick), so delayed fused
+  // deliveries land on post-predict state — the same ordering
+  // ServerNode::TickAll gives the per-source links. Unconditional: the
+  // fusion clock must advance even while the shard has no groups.
+  DKF_RETURN_IF_ERROR(fusion_.BeginTick(tick));
   if (fleet_ != nullptr) {
     DKF_RETURN_IF_ERROR(fleet_->ProcessTick(tick, readings));
   } else {
     DKF_RETURN_IF_ERROR(
         RunSourceTick(tick, server_, sources_, readings, channel_));
   }
+  // Fusion members run after the plain sources, in ascending (group,
+  // member) order — one deterministic source order per shard tick.
+  DKF_RETURN_IF_ERROR(fusion_.ProcessReadings(tick, readings, &channel_));
   return FinishTick(tick, timed, start);
 }
 
@@ -182,6 +280,7 @@ Status StreamShard::ProcessTick(int64_t tick, const ReadingBatch& batch) {
   const bool timed = obs_sink_ != nullptr && obs_sink_->options().record_timing;
   const auto start = timed ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point();
+  DKF_RETURN_IF_ERROR(fusion_.BeginTick(tick));
   if (fleet_ != nullptr) {
     DKF_RETURN_IF_ERROR(fleet_->ProcessTick(tick, batch));
   } else {
@@ -200,6 +299,18 @@ Status StreamShard::ProcessTick(int64_t tick, const ReadingBatch& batch) {
     }
     DKF_RETURN_IF_ERROR(
         RunSourceTick(tick, server_, sources_, readings, channel_));
+  }
+  if (fusion_.active()) {
+    // Project the members' slice of the batch into the map form the
+    // fusion engine expects (members never batch into fleet lanes).
+    std::map<int, Vector> fused_readings;
+    for (size_t i = 0; i < batch.ids.size(); ++i) {
+      if (fusion_.owns_member(batch.ids[i])) {
+        fused_readings.emplace(batch.ids[i], batch.values[i]);
+      }
+    }
+    DKF_RETURN_IF_ERROR(
+        fusion_.ProcessReadings(tick, fused_readings, &channel_));
   }
   return FinishTick(tick, timed, start);
 }

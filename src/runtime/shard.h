@@ -15,6 +15,7 @@
 #include "dsms/server_node.h"
 #include "dsms/source_node.h"
 #include "fleet/fleet_engine.h"
+#include "fusion/fusion_engine.h"
 #include "metrics/fault_stats.h"
 #include "models/state_model.h"
 #include "obs/trace_sink.h"
@@ -64,6 +65,41 @@ class StreamShard {
 
   /// Installs a source and its dual filters on this shard.
   Status AddSource(int source_id, const StateModel& model);
+
+  /// Registers a fusion group on this shard (the engine pins a group to
+  /// the shard ShardIndexFor(group_id) names, so the whole group ticks
+  /// on one worker). Engine-wide id-disjointness is validated by the
+  /// engine; this shard rejects member ids colliding with its own
+  /// sources.
+  Status RegisterFusionGroup(const FusionGroupConfig& config);
+
+  /// Adds / removes a member of a live group between ticks. Both charge
+  /// one control message (admission handoff / dismissal).
+  Status AddFusionMember(int group_id, int member_id);
+  Status RemoveFusionMember(int group_id, int member_id);
+
+  /// Re-derives a group's event trigger from `registry` (tightest fused
+  /// precision, or the registration delta when no query binds) and
+  /// installs it, charging one control message per member on change.
+  Status ReconfigureFusionGroup(int group_id, const QueryRegistry& registry);
+
+  Result<Vector> AnswerFused(int group_id) const;
+  Result<FusionEngine::ConfidentAnswer> AnswerFusedWithConfidence(
+      int group_id) const;
+  Result<bool> fused_degraded(int group_id) const;
+
+  /// The extended mirror-consistency contract over this shard's groups.
+  Status VerifyFusedConsistency() const {
+    return fusion_.VerifyGroupConsistency();
+  }
+
+  /// Fusion-subsystem counters merged over this shard's groups.
+  FusionStats fusion_stats() const { return fusion_.stats(); }
+
+  /// Read access to this shard's fusion subsystem.
+  const FusionEngine& fusion() const { return fusion_; }
+
+  size_t num_fusion_members() const { return fusion_.num_members(); }
 
   /// Re-derives the source's effective delta/smoothing from `registry`
   /// and pushes it to the node, counting a control message on change.
@@ -205,6 +241,11 @@ class StreamShard {
   /// owned sources, evaluated at the tail of ProcessTick (still on the
   /// worker thread — the per-shard index is what scales the fan-out).
   SubscriptionEngine serve_;
+  /// This shard's fusion groups (src/fusion/). Fused uplink traffic
+  /// (message.group_id >= 0) is routed here by the channel sink instead
+  /// of the per-source server node. Fusion members never enter the
+  /// batched fleet: they are not SourceNodes.
+  FusionEngine fusion_;
   /// Batched steady-state engine; null unless EnableFleet was called.
   std::unique_ptr<FleetEngine> fleet_;
   int64_t control_messages_ = 0;

@@ -38,6 +38,18 @@ class EngineAnswers final : public ServeAnswerSource {
     return engine_.AnswerAggregateCanonical(aggregate_id);
   }
 
+  Result<double> FusedValue(int group_id) const override {
+    auto answer_or = engine_.AnswerFused(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value()[0];
+  }
+
+  Result<double> FusedUncertainty(int group_id) const override {
+    auto answer_or = engine_.AnswerFusedWithConfidence(group_id);
+    if (!answer_or.ok()) return answer_or.status();
+    return answer_or.value().covariance(0, 0);
+  }
+
  private:
   const ShardedStreamEngine& engine_;
 };
@@ -87,6 +99,11 @@ Status ShardedStreamEngine::RegisterSource(int source_id,
     return Status::AlreadyExists(
         StrFormat("source %d already registered", source_id));
   }
+  if (fusion_members_.contains(source_id)) {
+    return Status::AlreadyExists(
+        StrFormat("id %d already belongs to fusion group %d", source_id,
+                  fusion_members_.at(source_id)));
+  }
   const int shard = ShardIndexFor(source_id);
   DKF_RETURN_IF_ERROR(shards_[static_cast<size_t>(shard)]->AddSource(
       source_id, model));
@@ -126,6 +143,150 @@ Status ShardedStreamEngine::RemoveQuery(int query_id) {
   DKF_RETURN_IF_ERROR(registry_.RemoveQuery(query_id));
   if (source_id >= 0) {
     return OwningShard(source_id).Reconfigure(source_id, registry_);
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::RegisterFusionGroup(
+    const FusionGroupConfig& config) {
+  if (fusion_groups_.contains(config.group_id)) {
+    return Status::AlreadyExists(
+        StrFormat("fusion group %d already registered", config.group_id));
+  }
+  // Engine-wide disjointness: member ids share the per-source namespace
+  // with plain sources and every other group's members, regardless of
+  // which shards the colliding ids landed on.
+  for (int member_id : config.member_ids) {
+    if (HasSource(member_id)) {
+      return Status::AlreadyExists(
+          StrFormat("fusion member id %d is a registered source", member_id));
+    }
+    if (fusion_members_.contains(member_id)) {
+      return Status::AlreadyExists(
+          StrFormat("fusion member id %d already belongs to group %d",
+                    member_id, fusion_members_.at(member_id)));
+    }
+  }
+  // The whole group rides one shard: the posterior and every member
+  // mirror must tick on the same worker for the intra-tick broadcast
+  // diffusion to stay share-nothing.
+  const int shard = ShardIndexFor(config.group_id);
+  DKF_RETURN_IF_ERROR(
+      shards_[static_cast<size_t>(shard)]->RegisterFusionGroup(config));
+  fusion_groups_[config.group_id] = shard;
+  for (int member_id : config.member_ids) {
+    fusion_members_[member_id] = config.group_id;
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::AddFusionMember(int group_id, int member_id) {
+  auto it = fusion_groups_.find(group_id);
+  if (it == fusion_groups_.end()) {
+    return Status::NotFound(
+        StrFormat("fusion group %d not registered", group_id));
+  }
+  if (HasSource(member_id)) {
+    return Status::AlreadyExists(
+        StrFormat("fusion member id %d is a registered source", member_id));
+  }
+  if (fusion_members_.contains(member_id)) {
+    return Status::AlreadyExists(
+        StrFormat("fusion member id %d already belongs to group %d",
+                  member_id, fusion_members_.at(member_id)));
+  }
+  DKF_RETURN_IF_ERROR(shards_[static_cast<size_t>(it->second)]
+                          ->AddFusionMember(group_id, member_id));
+  fusion_members_[member_id] = group_id;
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::RemoveFusionMember(int group_id, int member_id) {
+  auto it = fusion_groups_.find(group_id);
+  if (it == fusion_groups_.end()) {
+    return Status::NotFound(
+        StrFormat("fusion group %d not registered", group_id));
+  }
+  DKF_RETURN_IF_ERROR(shards_[static_cast<size_t>(it->second)]
+                          ->RemoveFusionMember(group_id, member_id));
+  fusion_members_.erase(member_id);
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::SubmitFusedQuery(const FusedQuery& query) {
+  if (query.id >= kReservedQueryIdBase) {
+    return Status::InvalidArgument(
+        StrFormat("query ids >= %d are reserved for aggregate members",
+                  kReservedQueryIdBase));
+  }
+  auto it = fusion_groups_.find(query.group_id);
+  if (it == fusion_groups_.end()) {
+    return Status::NotFound(
+        StrFormat("fused query %d targets unregistered fusion group %d",
+                  query.id, query.group_id));
+  }
+  DKF_RETURN_IF_ERROR(registry_.AddFusedQuery(query));
+  return shards_[static_cast<size_t>(it->second)]->ReconfigureFusionGroup(
+      query.group_id, registry_);
+}
+
+Status ShardedStreamEngine::RemoveFusedQuery(int query_id) {
+  // Find the query's group before removal so we can relax it after.
+  int group_id = -1;
+  for (int candidate : registry_.ActiveGroups()) {
+    for (const FusedQuery& query :
+         registry_.FusedQueriesForGroup(candidate)) {
+      if (query.id == query_id) group_id = candidate;
+    }
+  }
+  DKF_RETURN_IF_ERROR(registry_.RemoveFusedQuery(query_id));
+  if (group_id >= 0) {
+    return shards_[static_cast<size_t>(fusion_groups_.at(group_id))]
+        ->ReconfigureFusionGroup(group_id, registry_);
+  }
+  return Status::OK();
+}
+
+Result<Vector> ShardedStreamEngine::AnswerFused(int group_id) const {
+  auto it = fusion_groups_.find(group_id);
+  if (it == fusion_groups_.end()) {
+    return Status::NotFound(
+        StrFormat("fusion group %d not registered", group_id));
+  }
+  return shards_[static_cast<size_t>(it->second)]->AnswerFused(group_id);
+}
+
+Result<FusionEngine::ConfidentAnswer>
+ShardedStreamEngine::AnswerFusedWithConfidence(int group_id) const {
+  auto it = fusion_groups_.find(group_id);
+  if (it == fusion_groups_.end()) {
+    return Status::NotFound(
+        StrFormat("fusion group %d not registered", group_id));
+  }
+  return shards_[static_cast<size_t>(it->second)]->AnswerFusedWithConfidence(
+      group_id);
+}
+
+Result<bool> ShardedStreamEngine::fused_degraded(int group_id) const {
+  auto it = fusion_groups_.find(group_id);
+  if (it == fusion_groups_.end()) {
+    return Status::NotFound(
+        StrFormat("fusion group %d not registered", group_id));
+  }
+  return shards_[static_cast<size_t>(it->second)]->fused_degraded(group_id);
+}
+
+FusionStats ShardedStreamEngine::fusion_stats() const {
+  FusionStats merged;
+  for (const auto& shard : shards_) {
+    merged.MergeFrom(shard->fusion_stats());
+  }
+  return merged;
+}
+
+Status ShardedStreamEngine::VerifyFusedConsistency() const {
+  for (const auto& shard : shards_) {
+    DKF_RETURN_IF_ERROR(shard->VerifyFusedConsistency());
   }
   return Status::OK();
 }
@@ -261,10 +422,11 @@ ShardedStreamEngine::AnswerAggregateWithStatus(int aggregate_id) const {
 }
 
 Status ShardedStreamEngine::ProcessTick(const std::map<int, Vector>& readings) {
-  if (readings.size() != registered_.size()) {
+  if (readings.size() != registered_.size() + fusion_members_.size()) {
     return Status::InvalidArgument(
-        StrFormat("got %zu readings for %zu sources", readings.size(),
-                  registered_.size()));
+        StrFormat("got %zu readings for %zu sources + %zu fusion members",
+                  readings.size(), registered_.size(),
+                  fusion_members_.size()));
   }
   tick_tasks_.clear();
   tick_tasks_.reserve(shards_.size());
@@ -289,10 +451,11 @@ Status ShardedStreamEngine::ProcessTick(const ReadingBatch& batch) {
         StrFormat("reading batch has %zu ids but %zu values",
                   batch.ids.size(), batch.values.size()));
   }
-  if (batch.ids.size() != registered_.size()) {
+  if (batch.ids.size() != registered_.size() + fusion_members_.size()) {
     return Status::InvalidArgument(
-        StrFormat("got %zu readings for %zu sources", batch.ids.size(),
-                  registered_.size()));
+        StrFormat("got %zu readings for %zu sources + %zu fusion members",
+                  batch.ids.size(), registered_.size(),
+                  fusion_members_.size()));
   }
   tick_tasks_.clear();
   tick_tasks_.reserve(shards_.size());
@@ -323,6 +486,20 @@ Status ShardedStreamEngine::Subscribe(const Subscription& subscription) {
           StrFormat("subscription %lld already registered",
                     static_cast<long long>(subscription.id)));
     }
+  }
+  if (subscription.kind == SubscriptionKind::kFused) {
+    // Fused subscriptions live on the group's pinned shard — never the
+    // engine-level aggregate slice — so notification evaluation runs on
+    // the same worker that owns the posterior.
+    auto it = fusion_groups_.find(subscription.group_id);
+    if (it == fusion_groups_.end()) {
+      return Status::NotFound(
+          StrFormat("subscription %lld targets unregistered fusion group %d",
+                    static_cast<long long>(subscription.id),
+                    subscription.group_id));
+    }
+    return shards_[static_cast<size_t>(it->second)]->Subscribe(subscription,
+                                                               ticks_);
   }
   if (subscription.kind == SubscriptionKind::kAggregate) {
     auto it = aggregates_.find(subscription.aggregate_id);

@@ -101,6 +101,53 @@ class ShardedStreamEngine {
   /// Removes an aggregate query and its synthetic per-source queries.
   Status RemoveAggregateQuery(int aggregate_id);
 
+  /// Registers a multi-sensor fusion group (src/fusion/, docs/fusion.md).
+  /// The whole group is pinned to the shard ShardIndexFor(group_id)
+  /// names — its posterior and every member mirror tick on one worker,
+  /// so the intra-tick broadcast diffusion never crosses shards. Member
+  /// ids share the per-source namespace and must be disjoint from every
+  /// registered source and member engine-wide.
+  Status RegisterFusionGroup(const FusionGroupConfig& config);
+
+  /// Adds / removes a member of a live group between ticks. Both charge
+  /// one control message on the owning shard.
+  Status AddFusionMember(int group_id, int member_id);
+  Status RemoveFusionMember(int group_id, int member_id);
+
+  /// Registers a continuous query against a group's fused posterior and
+  /// tightens the group's event trigger to the tightest active fused
+  /// precision (one control message per member when it changed).
+  Status SubmitFusedQuery(const FusedQuery& query);
+
+  /// Removes a fused query; the group's trigger relaxes to the remaining
+  /// queries' minimum (or back to its registration delta).
+  Status RemoveFusedQuery(int query_id);
+
+  /// The fused answer for a group, read from its owning shard.
+  Result<Vector> AnswerFused(int group_id) const;
+
+  /// Fused answer plus projected covariance, inflated while degraded.
+  Result<FusionEngine::ConfidentAnswer> AnswerFusedWithConfidence(
+      int group_id) const;
+
+  /// Whether a group's fused answers are currently served degraded.
+  Result<bool> fused_degraded(int group_id) const;
+
+  /// Fusion-subsystem counters merged across shards.
+  FusionStats fusion_stats() const;
+
+  /// The extended mirror-consistency contract over every shard's groups.
+  Status VerifyFusedConsistency() const;
+
+  /// The shard index a fusion group is pinned to, or -1 when unknown.
+  int fusion_group_shard(int group_id) const {
+    auto it = fusion_groups_.find(group_id);
+    return it == fusion_groups_.end() ? -1 : it->second;
+  }
+
+  size_t num_fusion_groups() const { return fusion_groups_.size(); }
+  size_t num_fusion_members() const { return fusion_members_.size(); }
+
   /// The current aggregate answer: the sum of per-shard partial sums.
   Result<double> AnswerAggregate(int aggregate_id) const;
 
@@ -282,6 +329,11 @@ class ShardedStreamEngine {
   std::vector<std::unique_ptr<StreamShard>> shards_;
   /// Registered source ids (membership; the shard index is derived).
   std::map<int, int> registered_;  // source id -> shard index
+  /// Fusion-group topology: group id -> pinned shard index, member id ->
+  /// owning group id. Kept engine-wide so id-collision validation and
+  /// readings-count checks never have to poll shards.
+  std::map<int, int> fusion_groups_;
+  std::map<int, int> fusion_members_;
 
   /// Aggregate id -> member sources, their synthetic queries, and the
   /// members grouped by shard (in shard order) for partial-sum answers.

@@ -15,6 +15,7 @@ constexpr const char* kSubscriptionKindNames[static_cast<int>(
     "band_alert",
     "range_predicate",
     "aggregate",
+    "fused",
 };
 
 constexpr const char* kNotificationKindNames[static_cast<int>(
@@ -28,6 +29,7 @@ constexpr const char* kNotificationKindNames[static_cast<int>(
     "predicate_true",
     "predicate_false",
     "aggregate_update",
+    "fused_update",
 };
 
 }  // namespace

@@ -27,6 +27,9 @@ enum class SubscriptionKind : uint8_t {
   /// The current answer of a registered aggregate (SUM) query,
   /// delivered whenever any member source's answer moved.
   kAggregate,
+  /// The fused posterior of a registered fusion group (docs/fusion.md),
+  /// delivered whenever the group estimate moved.
+  kFused,
   kCount,  // sentinel
 };
 
@@ -46,6 +49,8 @@ struct Subscription {
   int source_id = 0;
   /// Target aggregate (kAggregate only).
   int aggregate_id = 0;
+  /// Target fusion group (kFused only).
+  int group_id = 0;
   /// Band / range bounds (inclusive on both ends).
   double lo = 0.0;
   double hi = 0.0;
@@ -72,6 +77,7 @@ enum class NotificationKind : uint8_t {
   kPredicateTrue,    // range predicate flipped to true
   kPredicateFalse,   // range predicate flipped to false
   kAggregateUpdate,  // aggregate answer moved
+  kFusedUpdate,      // fused group posterior moved
   kCount,            // sentinel
 };
 
@@ -96,6 +102,26 @@ struct Notification {
 
   friend bool operator==(const Notification&, const Notification&) = default;
 };
+
+/// The ordering key fused-group notifications (and group-level trace
+/// events) use in place of a source id. Parked far below the aggregate
+/// keys (-1 - id) so the two negative ranges cannot collide for any
+/// group id the fusion engine accepts (RegisterFusionGroup bounds group
+/// ids to [0, 2^28]).
+inline constexpr int32_t kFusedSourceKeyBase = INT32_MIN / 2;
+inline int32_t FusedSourceKey(int group_id) {
+  return kFusedSourceKeyBase + group_id;
+}
+/// Inverse of FusedSourceKey, valid for keys in the fused range.
+inline int GroupIdFromFusedKey(int32_t source_key) {
+  return static_cast<int>(source_key - kFusedSourceKeyBase);
+}
+/// Whether a notification source key addresses a fused group (vs an
+/// aggregate or a plain source).
+inline bool IsFusedSourceKey(int32_t source_key) {
+  return source_key >= kFusedSourceKeyBase &&
+         source_key < kFusedSourceKeyBase / 2;
+}
 
 /// The canonical ordering key: (step, source_id, subscription_id).
 /// Notifications with equal keys (one subscription firing more than one

@@ -31,11 +31,16 @@ Status ValidateSubscription(const Subscription& spec,
     return Status::InvalidArgument("subscription ids must be non-negative");
   }
   // Negative keys in the notification order are reserved for aggregate
-  // subscriptions (AggregateSourceKey), so per-source kinds must target
-  // non-negative source ids.
-  if (spec.kind != SubscriptionKind::kAggregate && spec.source_id < 0) {
+  // and fused subscriptions (AggregateSourceKey / FusedSourceKey), so
+  // per-source kinds must target non-negative source ids.
+  if (spec.kind != SubscriptionKind::kAggregate &&
+      spec.kind != SubscriptionKind::kFused && spec.source_id < 0) {
     return Status::InvalidArgument(
         "subscriptions require a non-negative source id");
+  }
+  if (spec.kind == SubscriptionKind::kFused && spec.group_id < 0) {
+    return Status::InvalidArgument(
+        "fused subscriptions require a non-negative group id");
   }
   const bool interval = spec.kind == SubscriptionKind::kBandAlert ||
                         spec.kind == SubscriptionKind::kRangePredicate;
@@ -82,6 +87,9 @@ Result<double> SubscriptionEngine::CurrentValue(
     const Subscription& spec, const ServeAnswerSource& answers) const {
   if (spec.kind == SubscriptionKind::kAggregate) {
     return answers.AggregateValue(spec.aggregate_id);
+  }
+  if (spec.kind == SubscriptionKind::kFused) {
+    return answers.FusedValue(spec.group_id);
   }
   return answers.SourceValue(spec.source_id);
 }
@@ -131,6 +139,10 @@ Status SubscriptionEngine::Attach(const SubscriptionState& state,
           watching.insert(it, spec.aggregate_id);
         }
       }
+      break;
+    }
+    case SubscriptionKind::kFused: {
+      InsertSorted(&fused_[spec.group_id].subs, spec.id);
       break;
     }
     case SubscriptionKind::kCount:
@@ -187,6 +199,12 @@ Status SubscriptionEngine::Subscribe(const Subscription& subscription,
       per_source.last_value = member_or.value();
       per_source.has_value = true;
     }
+  } else if (subscription.kind == SubscriptionKind::kFused) {
+    PerFused& per_fused = fused_.at(subscription.group_id);
+    if (!per_fused.has_value) {
+      per_fused.last_value = value;
+      per_fused.has_value = true;
+    }
   } else {
     PerSource& per_source = sources_.at(subscription.source_id);
     if (!per_source.has_value) {
@@ -195,9 +213,12 @@ Status SubscriptionEngine::Subscribe(const Subscription& subscription,
     }
   }
 
-  const int32_t key = subscription.kind == SubscriptionKind::kAggregate
-                          ? AggregateSourceKey(subscription.aggregate_id)
-                          : subscription.source_id;
+  const int32_t key =
+      subscription.kind == SubscriptionKind::kAggregate
+          ? AggregateSourceKey(subscription.aggregate_id)
+          : (subscription.kind == SubscriptionKind::kFused
+                 ? FusedSourceKey(subscription.group_id)
+                 : subscription.source_id);
   DKF_TRACE(sink_, attach_step, key, TraceEventKind::kSubscribe,
             TraceActor::kServe, subscription.lo, subscription.hi,
             subscription.id);
@@ -240,6 +261,12 @@ Status SubscriptionEngine::Unsubscribe(int64_t subscription_id) {
         if (source_it->second.Empty()) sources_.erase(source_it);
       }
       aggregates_.erase(spec.aggregate_id);
+    }
+  } else if (spec.kind == SubscriptionKind::kFused) {
+    auto fused_it = fused_.find(spec.group_id);
+    if (fused_it != fused_.end()) {
+      EraseSorted(&fused_it->second.subs, subscription_id);
+      if (fused_it->second.subs.empty()) fused_.erase(fused_it);
     }
   } else {
     auto source_it = sources_.find(spec.source_id);
@@ -432,6 +459,23 @@ Status SubscriptionEngine::EndTick(int64_t step,
     }
   }
 
+  // Fused groups: the posterior is one server-side filter, so reading it
+  // is O(1) per watched group — fan out only when the answer moved.
+  for (auto& [group_id, per_fused] : fused_) {
+    auto value_or = answers.FusedValue(group_id);
+    if (!value_or.ok()) return value_or.status();
+    const double value = value_or.value();
+    if (per_fused.has_value && value == per_fused.last_value) continue;
+    per_fused.last_value = value;
+    per_fused.has_value = true;
+    for (int64_t id : per_fused.subs) {
+      ++counters_.touched;
+      ++counters_.affected;
+      PushNotification(&out, step, FusedSourceKey(group_id), id,
+                       NotificationKind::kFusedUpdate, value, 0.0);
+    }
+  }
+
   if (out.empty()) return Status::OK();
   std::stable_sort(out.begin(), out.end(), NotificationOrder);
   NotificationBatch batch;
@@ -491,6 +535,12 @@ Status SubscriptionEngine::RefreshCaches(const ServeAnswerSource& answers) {
     if (!value_or.ok()) return value_or.status();
     per_aggregate.last_value = value_or.value();
     per_aggregate.has_value = true;
+  }
+  for (auto& [group_id, per_fused] : fused_) {
+    auto value_or = answers.FusedValue(group_id);
+    if (!value_or.ok()) return value_or.status();
+    per_fused.last_value = value_or.value();
+    per_fused.has_value = true;
   }
   return Status::OK();
 }

@@ -61,6 +61,18 @@ class ServeAnswerSource {
   /// not expose a covariance).
   virtual Result<double> SourceUncertainty(int source_id) const = 0;
   virtual Result<double> AggregateValue(int aggregate_id) const = 0;
+  /// Current fused posterior answer for a fusion group (component 0).
+  /// Hosts without a fusion engine keep the default, which rejects any
+  /// kFused subscription at attach time.
+  virtual Result<double> FusedValue(int group_id) const {
+    (void)group_id;
+    return Status::InvalidArgument("host does not serve fused groups");
+  }
+  /// Projected variance of the fused answer.
+  virtual Result<double> FusedUncertainty(int group_id) const {
+    (void)group_id;
+    return Status::InvalidArgument("host does not serve fused groups");
+  }
 };
 
 /// One subscription plus the serving-layer state that makes delivery a
@@ -118,6 +130,11 @@ class SubscriptionEngine {
   /// (the members list would dangle).
   bool has_aggregate_subscriptions(int aggregate_id) const {
     return aggregates_.contains(aggregate_id);
+  }
+
+  /// Whether any standing subscription targets this fusion group.
+  bool has_fused_subscriptions(int group_id) const {
+    return fused_.contains(group_id);
   }
   size_t num_subscriptions() const { return subs_.size(); }
 
@@ -201,6 +218,14 @@ class SubscriptionEngine {
     bool has_value = false;
   };
 
+  /// Fan-out state for one watched fusion group: notify `subs` whenever
+  /// the fused posterior answer moves.
+  struct PerFused {
+    std::vector<int64_t> subs;  // ascending id
+    double last_value = 0.0;
+    bool has_value = false;
+  };
+
   Status Attach(const SubscriptionState& state,
                 const std::vector<int>& aggregate_members);
   void PushNotification(std::vector<Notification>* out, int64_t step,
@@ -215,6 +240,7 @@ class SubscriptionEngine {
   std::map<int64_t, SubscriptionState> subs_;
   std::map<int, PerSource> sources_;
   std::map<int, PerAggregate> aggregates_;
+  std::map<int, PerFused> fused_;
   std::deque<NotificationBatch> pending_;
   uint64_t pending_notifications_ = 0;
   int64_t drained_through_step_ = -1;

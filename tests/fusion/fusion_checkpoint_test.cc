@@ -1,0 +1,387 @@
+// Checkpoint coverage for the fusion subsystem (snapshot v5,
+// docs/checkpoint.md): a snapshot taken mid-outage carries every fused
+// posterior, member mirror, protocol cursor, and channel lane, and the
+// restored run — into either engine, at any shard count — continues
+// bit-identically. Downgraded (v1–v4) encodings drop the fusion section
+// and every fused serve artifact, and still load.
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/snapshot_io.h"
+#include "dsms/stream_manager.h"
+#include "models/model_factory.h"
+#include "runtime/sharded_engine.h"
+#include "serve/subscription.h"
+
+namespace dkf {
+namespace {
+
+constexpr int kGroupId = 4;
+constexpr int kPlainSource = 1;
+constexpr int64_t kTicks = 220;
+/// Inside the 100..115 outage window, so the checkpoint catches stale
+/// fused mirrors, pending resyncs, and staged in-flight fused frames.
+constexpr int64_t kSnapTick = 110;
+constexpr int64_t kJoinTick = 60;
+constexpr int64_t kLeaveTick = 80;
+constexpr int kJoiner = 103;
+constexpr int kLeaver = 101;
+
+StateModel ScalarModel(double process_variance = 0.05) {
+  ModelNoise noise;
+  noise.process_variance = process_variance;
+  noise.measurement_variance = 0.05;
+  return MakeLinearModel(1, 1.0, noise).value();
+}
+
+ChannelOptions ChaosChannel() {
+  ChannelOptions options;
+  options.seed = 77;
+  options.drop_probability = 0.1;
+  options.per_source_rng = true;
+  FaultModel fault;
+  fault.gilbert_elliott = GilbertElliottLoss{
+      /*p_good_to_bad=*/0.05, /*p_bad_to_good=*/0.3,
+      /*good_loss=*/0.0, /*bad_loss=*/1.0};
+  fault.delay = DelayModel{/*min_ticks=*/0, /*max_ticks=*/1};
+  fault.outages.push_back(OutageWindow{/*start=*/100, /*end=*/115});
+  fault.ack_loss_probability = 0.05;
+  fault.corruption_probability = 0.03;
+  fault.active_until = 180;
+  options.fault = fault;
+  return options;
+}
+
+ProtocolOptions ChaosProtocol() {
+  ProtocolOptions protocol;
+  protocol.heartbeat_interval = 3;
+  protocol.staleness_budget = 5;
+  protocol.resync_burst_retries = 4;
+  protocol.resync_retry_backoff = 6;
+  return protocol;
+}
+
+std::vector<int> ActiveMembers(int64_t tick) {
+  std::vector<int> members = {100, 101, 102};
+  if (tick >= kJoinTick) members.push_back(kJoiner);
+  if (tick >= kLeaveTick) std::erase(members, kLeaver);
+  return members;
+}
+
+std::map<int, Vector> ReadingsAt(int64_t tick) {
+  std::map<int, Vector> readings;
+  readings[kPlainSource] =
+      Vector{std::sin(0.05 * static_cast<double>(tick))};
+  const double truth = 0.04 * static_cast<double>(tick) +
+                       2.0 * std::sin(0.08 * static_cast<double>(tick));
+  for (int id : ActiveMembers(tick)) {
+    readings[id] = Vector{
+        truth + 0.03 * std::sin(0.9 * static_cast<double>(tick) + id)};
+  }
+  return readings;
+}
+
+template <typename System>
+void InstallWorkload(System& system) {
+  ASSERT_TRUE(system.RegisterSource(kPlainSource, ScalarModel()).ok());
+  ContinuousQuery query;
+  query.id = 1;
+  query.source_id = kPlainSource;
+  query.precision = 1.0;
+  ASSERT_TRUE(system.SubmitQuery(query).ok());
+  FusionGroupConfig group;
+  group.group_id = kGroupId;
+  group.model = ScalarModel(0.04);
+  group.member_ids = {100, 101, 102};
+  group.delta = 3.0;
+  ASSERT_TRUE(system.RegisterFusionGroup(group).ok());
+  FusedQuery fused_query;
+  fused_query.id = 9;
+  fused_query.group_id = kGroupId;
+  fused_query.precision = 0.8;
+  fused_query.description = "fused temperature";
+  ASSERT_TRUE(system.SubmitFusedQuery(fused_query).ok());
+  Subscription fused_sub;
+  fused_sub.id = 2;
+  fused_sub.kind = SubscriptionKind::kFused;
+  fused_sub.group_id = kGroupId;
+  ASSERT_TRUE(system.Subscribe(fused_sub).ok());
+  // A plain subscription rides along so the v1-v4 downgrade filter has
+  // something it must KEEP while dropping the fused artifacts.
+  Subscription point_sub;
+  point_sub.id = 3;
+  point_sub.kind = SubscriptionKind::kPoint;
+  point_sub.source_id = kPlainSource;
+  ASSERT_TRUE(system.Subscribe(point_sub).ok());
+}
+
+/// Drives `system` over [from, to), churning membership at the fixed
+/// ticks (only when they fall inside the window).
+template <typename System>
+void Drive(System& system, int64_t from, int64_t to) {
+  for (int64_t t = from; t < to; ++t) {
+    if (t == kJoinTick) {
+      ASSERT_TRUE(system.AddFusionMember(kGroupId, kJoiner).ok());
+    }
+    if (t == kLeaveTick) {
+      ASSERT_TRUE(system.RemoveFusionMember(kGroupId, kLeaver).ok());
+    }
+    ASSERT_TRUE(system.ProcessTick(ReadingsAt(t)).ok()) << "tick " << t;
+  }
+}
+
+/// The uninterrupted run: per-tick fused answers from the snapshot tick
+/// on, the late notification stream, and final accounting — plus the
+/// snapshot its interrupted twin saved mid-outage (after the membership
+/// churn, so the churned roster rides through the checkpoint).
+struct CheckpointReference {
+  std::string snapshot_path;
+  std::vector<double> fused;     // [t - kSnapTick]
+  std::vector<bool> degraded;    // [t - kSnapTick]
+  std::vector<double> plain;     // [t - kSnapTick]
+  FusionStats stats;
+  std::vector<NotificationBatch> late;  // drained at kSnapTick and at end
+};
+
+const CheckpointReference& GetCheckpointReference() {
+  static const CheckpointReference* const reference = [] {
+    auto* ref = new CheckpointReference();
+    ref->snapshot_path =
+        ::testing::TempDir() + "/fusion_chaos.dkfsnap";
+    StreamManagerOptions options;
+    options.channel = ChaosChannel();
+    options.protocol = ChaosProtocol();
+
+    StreamManager manager(options);
+    InstallWorkload(manager);
+    Drive(manager, 0, kSnapTick);
+    // No drain before the snapshot point: the undrained buffer (which
+    // holds fused notifications from before the save) must ride through
+    // the checkpoint, so the end-of-run drain covers the whole run for
+    // both the reference and every restored system.
+    for (int64_t t = kSnapTick; t < kTicks; ++t) {
+      EXPECT_TRUE(manager.ProcessTick(ReadingsAt(t)).ok()) << "tick " << t;
+      ref->fused.push_back(manager.AnswerFused(kGroupId).value()[0]);
+      ref->degraded.push_back(manager.fused_degraded(kGroupId).value());
+      ref->plain.push_back(manager.Answer(kPlainSource).value()[0]);
+    }
+    ref->stats = manager.fusion_stats();
+    ref->late = manager.DrainNotifications();
+    EXPECT_TRUE(manager.VerifyFusedConsistency().ok());
+    EXPECT_GT(ref->stats.faults.resyncs_applied, 0);
+
+    StreamManager twin(options);
+    InstallWorkload(twin);
+    Drive(twin, 0, kSnapTick);
+    EXPECT_TRUE(twin.Save(ref->snapshot_path).ok());
+    return ref;
+  }();
+  return *reference;
+}
+
+/// The churned roster came back (joiner present, leaver gone), and the
+/// fused query survived: the group still runs the tightened trigger,
+/// not its registration-time base.
+void ExpectTopologyRestored(const StreamManager& system,
+                            const std::string& label) {
+  EXPECT_EQ(system.fusion().group_members(kGroupId).value(),
+            (std::vector<int>{100, 102, kJoiner}))
+      << label;
+  EXPECT_EQ(system.fusion().group_delta(kGroupId).value(), 0.8) << label;
+}
+
+void ExpectTopologyRestored(const ShardedStreamEngine& system,
+                            const std::string& label) {
+  EXPECT_EQ(system.num_fusion_groups(), 1u) << label;
+  EXPECT_EQ(system.num_fusion_members(), 3u) << label;
+}
+
+template <typename System>
+void FinishAndExpectIdentical(System& system, const std::string& label) {
+  const CheckpointReference& ref = GetCheckpointReference();
+  ASSERT_EQ(system.ticks(), kSnapTick) << label;
+  ExpectTopologyRestored(system, label);
+  EXPECT_EQ(system.num_subscriptions(), 2u) << label;
+
+  for (int64_t t = kSnapTick; t < kTicks; ++t) {
+    ASSERT_TRUE(system.ProcessTick(ReadingsAt(t)).ok())
+        << label << " tick " << t;
+    const size_t i = static_cast<size_t>(t - kSnapTick);
+    ASSERT_EQ(system.AnswerFused(kGroupId).value()[0], ref.fused[i])
+        << label << " tick " << t;
+    ASSERT_EQ(system.fused_degraded(kGroupId).value(), ref.degraded[i])
+        << label << " tick " << t;
+    ASSERT_EQ(system.Answer(kPlainSource).value()[0], ref.plain[i])
+        << label << " tick " << t;
+  }
+  const FusionStats stats = system.fusion_stats();
+  EXPECT_EQ(stats.updates_applied, ref.stats.updates_applied) << label;
+  EXPECT_EQ(stats.suppressed, ref.stats.suppressed) << label;
+  EXPECT_EQ(stats.transmissions, ref.stats.transmissions) << label;
+  EXPECT_EQ(stats.broadcasts, ref.stats.broadcasts) << label;
+  EXPECT_EQ(stats.broadcast_bytes, ref.stats.broadcast_bytes) << label;
+  EXPECT_EQ(stats.faults.resyncs_applied, ref.stats.faults.resyncs_applied)
+      << label;
+  EXPECT_EQ(stats.faults.degraded_ticks, ref.stats.faults.degraded_ticks)
+      << label;
+  EXPECT_TRUE(system.DrainNotifications() == ref.late)
+      << label << ": fused notification stream differs";
+  EXPECT_TRUE(system.VerifyFusedConsistency().ok()) << label;
+  EXPECT_TRUE(system.VerifyMirrorConsistency().ok()) << label;
+}
+
+TEST(FusionCheckpointTest, ManagerRestoresFusionBitIdentically) {
+  auto restored_or =
+      StreamManager::Restore(GetCheckpointReference().snapshot_path);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+  FinishAndExpectIdentical(*restored_or.value(), "manager->manager");
+}
+
+TEST(FusionCheckpointTest, ShardedRestoreKeepsFusionBitIdentical) {
+  for (int shards : {1, 2, 4, 8}) {
+    auto restored_or = ShardedStreamEngine::Restore(
+        GetCheckpointReference().snapshot_path, shards);
+    ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+    ASSERT_EQ(restored_or.value()->num_shards(), shards);
+    // The whole group landed on its pinned shard.
+    EXPECT_EQ(restored_or.value()->fusion_group_shard(kGroupId),
+              kGroupId % shards);
+    FinishAndExpectIdentical(*restored_or.value(),
+                             "manager->engine(" + std::to_string(shards) +
+                                 ")");
+  }
+}
+
+TEST(FusionCheckpointTest, EngineSnapshotRoundTripsThroughResharding) {
+  // Save from a 3-shard engine (a count the restores never reuse) and
+  // restore across layouts, including back into a single manager.
+  const std::string path =
+      ::testing::TempDir() + "/fusion_engine_chaos.dkfsnap";
+  {
+    ShardedStreamEngineOptions options;
+    options.num_shards = 3;
+    options.channel = ChaosChannel();
+    options.protocol = ChaosProtocol();
+    ShardedStreamEngine engine(options);
+    InstallWorkload(engine);
+    Drive(engine, 0, kSnapTick);
+    ASSERT_TRUE(engine.Save(path).ok());
+  }
+  for (int shards : {1, 4}) {
+    auto restored_or = ShardedStreamEngine::Restore(path, shards);
+    ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+    FinishAndExpectIdentical(*restored_or.value(),
+                             "engine(3)->engine(" + std::to_string(shards) +
+                                 ")");
+  }
+  auto manager_or = StreamManager::Restore(path);
+  ASSERT_TRUE(manager_or.ok()) << manager_or.status().message();
+  FinishAndExpectIdentical(*manager_or.value(), "engine(3)->manager");
+}
+
+TEST(FusionCheckpointTest, RestoredTopologyStaysReconfigurable) {
+  auto restored_or =
+      StreamManager::Restore(GetCheckpointReference().snapshot_path);
+  ASSERT_TRUE(restored_or.ok());
+  StreamManager& manager = *restored_or.value();
+  // The member/source disjointness maps were rebuilt on restore.
+  EXPECT_EQ(manager.AddFusionMember(kGroupId, kPlainSource).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(manager.RegisterSource(100, ScalarModel()).code(),
+            StatusCode::kAlreadyExists);
+  // Query churn still works: removing the fused query relaxes the group
+  // back to its registration-time trigger.
+  ASSERT_TRUE(manager.RemoveFusedQuery(9).ok());
+  EXPECT_EQ(manager.fusion().group_delta(kGroupId).value(), 3.0);
+  ASSERT_TRUE(manager.RemoveFusionMember(kGroupId, 102).ok());
+  EXPECT_EQ(manager.fusion().group_members(kGroupId).value(),
+            (std::vector<int>{100, kJoiner}));
+}
+
+TEST(FusionCheckpointTest, DowngradedEncodingsDropFusionAndStillLoad) {
+  // Re-encoding the v5 snapshot at v1–v4 must (a) drop the fusion
+  // section, (b) filter the kFused subscription and every fused
+  // notification out of the serve section, and (c) produce a file a
+  // restore accepts.
+  const CheckpointReference& ref = GetCheckpointReference();
+  auto snapshot_or = LoadSnapshotFile(ref.snapshot_path);
+  ASSERT_TRUE(snapshot_or.ok()) << snapshot_or.status().message();
+  const EngineSnapshot& snapshot = snapshot_or.value();
+  ASSERT_EQ(snapshot.fusion_groups.size(), 1u);
+  ASSERT_EQ(snapshot.fused_queries.size(), 1u);
+  ASSERT_EQ(snapshot.fusion_groups[0].group.members.size(), 3u);
+  ASSERT_EQ(snapshot.fusion_groups[0].member_channels.size(), 3u);
+
+  bool had_fused_notification = false;
+  for (const NotificationBatch& batch : snapshot.serve.pending) {
+    for (const Notification& notification : batch.notifications) {
+      if (IsFusedSourceKey(notification.source_id)) {
+        had_fused_notification = true;
+      }
+    }
+  }
+  EXPECT_TRUE(had_fused_notification)
+      << "snapshot tick carries no buffered fused notification; the "
+         "filtering below would be vacuous";
+
+  for (uint32_t version = 1; version <= 4; ++version) {
+    auto encoded_or = EncodeSnapshotForVersion(snapshot, version);
+    ASSERT_TRUE(encoded_or.ok())
+        << "v" << version << ": " << encoded_or.status().message();
+    auto decoded_or = DecodeSnapshot(encoded_or.value());
+    ASSERT_TRUE(decoded_or.ok())
+        << "v" << version << ": " << decoded_or.status().message();
+    const EngineSnapshot& decoded = decoded_or.value();
+    EXPECT_TRUE(decoded.fusion_groups.empty()) << version;
+    EXPECT_TRUE(decoded.fused_queries.empty()) << version;
+    for (const ServeSubscriptionSnapshot& sub :
+         decoded.serve.subscriptions) {
+      EXPECT_NE(sub.spec.kind, SubscriptionKind::kFused) << version;
+    }
+    for (const NotificationBatch& batch : decoded.serve.pending) {
+      EXPECT_FALSE(batch.notifications.empty()) << version;
+      for (const Notification& notification : batch.notifications) {
+        EXPECT_FALSE(IsFusedSourceKey(notification.source_id)) << version;
+        EXPECT_NE(notification.kind, NotificationKind::kFusedUpdate)
+            << version;
+      }
+    }
+    // Everything else is era-appropriate and intact.
+    EXPECT_EQ(decoded.ticks, kSnapTick) << version;
+    EXPECT_EQ(decoded.sources.size(), 1u) << version;
+    if (version >= 2) {
+      EXPECT_FALSE(decoded.serve.subscriptions.empty()) << version;
+    }
+
+    // The downgraded image loads into a live engine: fusion-free, plain
+    // source intact and driveable.
+    const std::string path = ::testing::TempDir() + "/fusion_downgrade_v" +
+                             std::to_string(version) + ".dkfsnap";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good());
+      out.write(encoded_or.value().data(),
+                static_cast<std::streamsize>(encoded_or.value().size()));
+    }
+    auto manager_or = StreamManager::Restore(path);
+    ASSERT_TRUE(manager_or.ok())
+        << "v" << version << ": " << manager_or.status().message();
+    StreamManager& manager = *manager_or.value();
+    EXPECT_EQ(manager.fusion().num_groups(), 0u) << version;
+    EXPECT_EQ(manager.AnswerFused(kGroupId).status().code(),
+              StatusCode::kNotFound)
+        << version;
+    std::map<int, Vector> reading{{kPlainSource, Vector{0.5}}};
+    EXPECT_TRUE(manager.ProcessTick(reading).ok()) << version;
+  }
+}
+
+}  // namespace
+}  // namespace dkf
